@@ -1,0 +1,231 @@
+//! Ablation benchmarks (DESIGN.md experiments A1–A3 and U1).
+//!
+//! * A1 — lazy memoized evaluation (Tioga-2) vs eager whole-program
+//!   recompute after each edit (Tioga-1 baseline, paper §1.1 problem 2).
+//! * A2 — elevation-range culling on vs off (§6.1's machinery).
+//! * A3 — Sample as an interactive-response optimization (§4.2: "Sample
+//!   is useful for improving interactive response").
+//! * U1 — §8 update machinery: click-to-tuple hit testing and the update
+//!   round trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tioga2_bench::{scatter_composite, stations_only_catalog, SEED};
+use tioga2_dataflow::boxes::RelOpKind;
+use tioga2_dataflow::engine::eval_eager;
+use tioga2_dataflow::{BoxKind, Engine, Graph};
+use tioga2_display::drilldown::set_range;
+use tioga2_display::Composite;
+use tioga2_expr::parse;
+use tioga2_relational::ops;
+use tioga2_relational::update::{install_update, FieldChange};
+use tioga2_render::{render_scene, Framebuffer};
+use tioga2_viewer::{compose_scene, CullOptions, Viewer};
+
+/// A k-box chain over the stations table.
+fn chain(k: usize) -> (Graph, tioga2_dataflow::NodeId, Vec<tioga2_dataflow::NodeId>) {
+    let mut g = Graph::new();
+    let t = g.add(BoxKind::Table("Stations".into()));
+    let mut prev = t;
+    let mut nodes = vec![t];
+    for i in 0..k {
+        let r = g.add(BoxKind::rel(RelOpKind::Restrict(
+            parse(&format!("altitude > {}.0", i % 5)).unwrap(),
+        )));
+        g.connect(prev, 0, r, 0).unwrap();
+        nodes.push(r);
+        prev = r;
+    }
+    (g, prev, nodes)
+}
+
+/// A1: apply `edits` successive tail edits; measure total evaluation work
+/// under the lazy engine vs the Tioga-1 eager discipline.
+fn a1_lazy_vs_eager(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a1_lazy_vs_eager");
+    g.sample_size(10);
+    let cat = stations_only_catalog(5_000);
+    for &edits in &[1usize, 10, 50] {
+        g.bench_with_input(BenchmarkId::new("tioga2_lazy", edits), &edits, |b, &edits| {
+            b.iter(|| {
+                let (mut graph, sink, _) = chain(20);
+                let mut engine = Engine::new(cat.clone());
+                engine.demand(&graph, sink, 0).unwrap();
+                for i in 0..edits {
+                    graph
+                        .update_kind(
+                            sink,
+                            BoxKind::rel(RelOpKind::Restrict(
+                                parse(&format!("altitude > {}.0", i % 9)).unwrap(),
+                            )),
+                        )
+                        .unwrap();
+                    engine.demand(&graph, sink, 0).unwrap();
+                }
+                black_box(engine.stats.box_evals)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("tioga1_eager", edits), &edits, |b, &edits| {
+            b.iter(|| {
+                let (mut graph, sink, _) = chain(20);
+                let mut total = 0u64;
+                let (_, stats) = eval_eager(&graph, &cat).unwrap();
+                total += stats.box_evals;
+                for i in 0..edits {
+                    graph
+                        .update_kind(
+                            sink,
+                            BoxKind::rel(RelOpKind::Restrict(
+                                parse(&format!("altitude > {}.0", i % 9)).unwrap(),
+                            )),
+                        )
+                        .unwrap();
+                    let (_, stats) = eval_eager(&graph, &cat).unwrap();
+                    total += stats.box_evals;
+                }
+                black_box(total)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A2: the Figure 7 composite rendered with and without elevation-range
+/// culling.  Only ~1/8 of the layers are active at the probe elevation.
+fn a2_culling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a2_elevation_culling");
+    g.sample_size(12);
+    let base = scatter_composite(5_000);
+    let layers: Vec<_> = (0..8)
+        .map(|i| {
+            let lo = i as f64 * 10.0;
+            let mut l = set_range(&base.layers[0], lo, lo + 10.0).unwrap();
+            l.name = format!("layer{i}");
+            l
+        })
+        .collect();
+    let composite = Composite::new(layers).unwrap();
+    let mut viewer = Viewer::new("v", 640, 480);
+    viewer.fit(&composite).unwrap();
+    viewer.position.elevation = 15.0;
+    for (label, cull) in [
+        ("culling_on", CullOptions { elevation: true, bounds: true }),
+        ("culling_off", CullOptions { elevation: false, bounds: true }),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let vp = viewer.viewport();
+                let scene = compose_scene(
+                    &composite,
+                    viewer.position.elevation,
+                    &[],
+                    vp.world_bounds(),
+                    cull,
+                )
+                .unwrap();
+                let mut fb = Framebuffer::new(640, 480);
+                black_box(render_scene(&scene, &vp, &mut fb).len())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A3: render latency vs sample probability on a large relation — the
+/// paper's stated purpose for the Sample box.
+fn a3_sample(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a3_sample_interactivity");
+    g.sample_size(10);
+    let composite = scatter_composite(200_000);
+    let full = &composite.layers[0];
+    for &pct in &[100u32, 10, 1] {
+        let p = pct as f64 / 100.0;
+        let sampled = {
+            let mut l = full.clone();
+            l.rel = ops::sample(&full.rel, p, SEED).unwrap();
+            Composite::new(vec![l]).unwrap()
+        };
+        let mut viewer = Viewer::new("v", 640, 480);
+        viewer.fit(&sampled).unwrap();
+        g.bench_with_input(BenchmarkId::new("render_sampled_pct", pct), &pct, |b, _| {
+            b.iter(|| black_box(viewer.render(&sampled).unwrap().1.len()));
+        });
+    }
+    g.finish();
+}
+
+/// A4: the [Che95] browsing-query ablation — visible-region filtering by
+/// full scan vs the uniform-grid spatial index, at deep zoom (tiny
+/// visible window over a large canvas).
+fn a4_spatial_index(c: &mut Criterion) {
+    use std::collections::HashMap;
+    use tioga2_viewer::{compose_scene_indexed, SpatialIndex};
+    let mut g = c.benchmark_group("a4_spatial_index");
+    g.sample_size(10);
+    for &n in &[10_000usize, 200_000] {
+        let composite = scatter_composite(n);
+        // A window covering ~0.1% of the canvas area.
+        let vp = tioga2_render::Viewport::new((50.0, 50.0), 3.0, 640, 480);
+        let bounds = vp.world_bounds();
+        g.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    compose_scene(&composite, 3.0, &[], bounds, CullOptions::default())
+                        .unwrap()
+                        .len(),
+                )
+            });
+        });
+        let mut indices = HashMap::new();
+        indices.insert("scatter".to_string(), SpatialIndex::build(&composite.layers[0]).unwrap());
+        g.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    compose_scene_indexed(&composite, 3.0, &[], bounds, &indices).unwrap().len(),
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("index_build", n), &n, |b, _| {
+            b.iter(|| black_box(SpatialIndex::build(&composite.layers[0]).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+/// U1: click-to-tuple resolution and the §8 update round trip.
+fn u1_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("u1_update");
+    for &n in &[1_000usize, 100_000] {
+        let composite = scatter_composite(n);
+        let mut viewer = Viewer::new("v", 640, 480);
+        viewer.fit(&composite).unwrap();
+        let (_, hits, _) = viewer.render(&composite).unwrap();
+        g.bench_with_input(BenchmarkId::new("hit_test", n), &n, |b, _| {
+            b.iter(|| black_box(hits.top_hit(320, 240).is_some()));
+        });
+    }
+    let cat = stations_only_catalog(10_000);
+    let rel = cat.snapshot("Stations").unwrap();
+    let row = rel.tuples()[500].row_id;
+    let mut toggle = 0i64;
+    g.bench_function("update_roundtrip_10k", |b| {
+        b.iter(|| {
+            toggle += 1;
+            install_update(
+                &cat,
+                "Stations",
+                row,
+                &[FieldChange {
+                    field: "altitude".into(),
+                    value: tioga2_expr::Value::Float(toggle as f64),
+                }],
+            )
+            .unwrap();
+            black_box(toggle)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, a1_lazy_vs_eager, a2_culling, a3_sample, a4_spatial_index, u1_update);
+criterion_main!(benches);

@@ -1,0 +1,285 @@
+//! Regenerate every paper figure deterministically.
+//!
+//! Writes `out/figN_*.ppm` (+ `.svg` where a single scene exists) and
+//! prints the textual report recorded in EXPERIMENTS.md.
+//!
+//! Run with: `cargo run -p tioga2-bench --bin figures`
+
+use tioga2_bench::{build_figure1, build_figure4, build_figure7, build_figure8, catalog, session};
+use tioga2_core::Session;
+use tioga2_display::compose::PartitionSpec;
+use tioga2_display::{Displayable, Layout, Selection};
+use tioga2_expr::{parse, ScalarType as T};
+use tioga2_viewer::magnifier::Magnifier;
+
+fn save(s: &mut Session, canvas: &str, file: &str) -> Result<usize, Box<dyn std::error::Error>> {
+    let frame = s.render(canvas)?;
+    std::fs::create_dir_all("out")?;
+    tioga2_render::ppm::write_ppm(&frame.fb, format!("out/{file}.ppm"))?;
+    if !frame.scene.is_empty() {
+        let vp = s.viewers.get(canvas)?.viewport();
+        tioga2_render::svg::write_svg(&frame.scene, &vp, format!("out/{file}.svg"))?;
+    }
+    Ok(frame.hits.len().max(frame.member_hits.iter().map(|h| h.len()).sum()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Tioga-2 figure regeneration (seed {:#x}) ===\n", tioga2_bench::SEED);
+
+    // ---------------------------------------------------------- Figure 1
+    {
+        let mut s = session(catalog(200, 12));
+        let p = build_figure1(&mut s);
+        let objs = save(&mut s, "main", "fig1_default_table")?;
+        println!(
+            "[F1] default-table pipeline: {} boxes, {} LA tuples, {} screen objects",
+            s.graph.len(),
+            s.demand(p, 0)?.tuple_count(),
+            objs
+        );
+        println!("{}", s.graph.to_ascii());
+        std::fs::write("out/fig1_program.svg", tioga2_dataflow::diagram::to_svg(&s.graph))?;
+    }
+
+    // ------------------------------------------------- Figures 2/3 tables
+    {
+        let s = session(catalog(50, 2));
+        println!(
+            "[F2] program operations implemented: New/Add/Load/Save Program, Apply Box, \
+                  Delete Box, Replace Box, T, Encapsulate(+holes)"
+        );
+        println!(
+            "[F3] database operations implemented: Add Table, Project, Restrict, Sample, Join"
+        );
+        println!(
+            "     boxes menu ({} entries): {:?}\n",
+            tioga2_core::menus::boxes_menu(&s).len(),
+            tioga2_core::menus::boxes_menu(&s)
+        );
+    }
+
+    // ---------------------------------------------------------- Figure 4
+    {
+        let mut s = session(catalog(300, 4));
+        build_figure4(&mut s);
+        let objs = save(&mut s, "map", "fig4_station_map")?;
+        println!("[F4] station map: {objs} screen objects (circle + name per station)");
+        s.set_slider("map", "alt", 0.0, 120.0)?;
+        let low = s.render("map")?.hits.len();
+        println!("     altitude slider 0..120 filters to {low} objects\n");
+    }
+
+    // ---------------------------------------------------------- Figure 5
+    {
+        let mut s = session(catalog(100, 2));
+        let t = s.add_table("Stations")?;
+        let a = s.set_attribute(t, "x", T::Float, "longitude")?;
+        let b = s.scale_attribute(a, "x", 2.0)?;
+        let c = s.translate_attribute(b, "x", 100.0)?;
+        let d = s.swap_attributes(c, "x", "y")?;
+        let e = s.add_attribute(
+            d,
+            "alt_view",
+            T::Drawable,
+            "point('blue')",
+            tioga2_display::attr_ops::AttrRole::Display,
+        )?;
+        let f = s.combine_displays(e, "display", "alt_view", (0.0, -2.0), "both")?;
+        s.add_viewer(f, "attrs")?;
+        let objs = save(&mut s, "attrs", "fig5_attr_ops")?;
+        println!("[F5] attribute-operation chain (set/scale/translate/swap/add/combine): {objs} objects\n");
+    }
+
+    // ------------------------------------------------- Figures 6 & 7
+    {
+        let mut s = session(catalog(300, 4));
+        build_figure7(&mut s);
+        let far = save(&mut s, "atlas", "fig7_overlay_far")?;
+        println!("[F6/F7] overlay with restricted ranges:");
+        for bar in s.elevation_map("atlas")? {
+            println!(
+                "     [{}] {:10} range {:>6.1}..{:<12.1} {}",
+                bar.order,
+                bar.layer_name,
+                bar.range.min,
+                if bar.range.max > 1e11 { f64::INFINITY } else { bar.range.max },
+                if bar.active { "ACTIVE" } else { "" }
+            );
+        }
+        s.zoom("atlas", 0.2)?;
+        let near = save(&mut s, "atlas", "fig7_overlay_near")?;
+        println!("     far: {far} objects (circles layer); near: {near} objects (names layer)\n");
+    }
+
+    // ---------------------------------------------------------- Figure 8
+    {
+        let mut s = session(catalog(120, 30));
+        build_figure8(&mut s);
+        save(&mut s, "stations", "fig8_wormhole_canvas")?;
+        // Center on a station and descend through its wormhole.
+        {
+            let d = s.displayable("stations")?;
+            let dr = tioga2_display::lift::select_relation(&d, Selection::layer(0))?;
+            let lon = dr.rel.attr_value(0, "longitude")?.as_f64().unwrap();
+            let lat = dr.rel.attr_value(0, "latitude")?.as_f64().unwrap();
+            s.viewers.set_center("stations", (lon, lat))?;
+        }
+        let mut dest = None;
+        for _ in 0..90 {
+            if let Some(d) = s.zoom("stations", 0.6)? {
+                dest = Some(d);
+                break;
+            }
+        }
+        println!("[F8] wormhole pass-through -> {:?}, travel depth {}", dest, s.travel_depth());
+        save(&mut s, "temps", "fig8_destination")?;
+        s.zoom("temps", 0.5)?;
+        if let Some((fb, scene)) = s.render_rear_view(240, 180)? {
+            tioga2_render::ppm::write_ppm(&fb, "out/fig8_rear_view.ppm")?;
+            println!(
+                "     rear view mirror at {:.1}: {} objects\n",
+                s.rear_view_elevation().unwrap_or(0.0),
+                scene.len()
+            );
+        }
+    }
+
+    // ---------------------------------------------------------- Figure 9
+    {
+        let mut s = session(catalog(60, 30));
+        let obs = s.add_table("Observations")?;
+        let x = s.set_attribute(obs, "x", T::Float, "to_float(epoch(time)) / 86400.0")?;
+        let y = s.set_attribute(x, "y", T::Float, "temperature")?;
+        let d = s.set_attribute(y, "display", T::DrawList, "circle(0.3,'red') ++ nodraw()")?;
+        let d = s.add_attribute(
+            d,
+            "precip_view",
+            T::Drawable,
+            "rect(0.3,0.3,'blue')",
+            tioga2_display::attr_ops::AttrRole::Display,
+        )?;
+        s.add_viewer(d, "plot")?;
+        s.render("plot")?;
+        s.add_magnifier(
+            "plot",
+            Magnifier::new((220, 160, 200, 160), 2.0)?.with_display("precip_view"),
+        )?;
+        let frame = s.render("plot")?;
+        tioga2_render::ppm::write_ppm(&frame.fb, "out/fig9_magnifier.ppm")?;
+        println!(
+            "[F9] magnifying glass over an alternative display: blue precip pixels inside \
+                  the lens = {}\n",
+            frame.fb.count_color(tioga2_expr::Color::BLUE)
+        );
+    }
+
+    // --------------------------------------------------------- Figure 10
+    {
+        let mut s = session(catalog(60, 30));
+        let obs = s.add_table("Observations")?;
+        let x = s.set_attribute(obs, "x", T::Float, "to_float(epoch(time)) / 86400.0")?;
+        let xd = s.set_attribute(x, "display", T::DrawList, "point('blue') ++ nodraw()")?;
+        let tee = s.add_box(tioga2_dataflow::BoxKind::Tee(tioga2_dataflow::PortType::R))?;
+        s.connect(xd, 0, tee, 0)?;
+        let temp0 = s.set_attribute(tee, "y", T::Float, "temperature")?;
+        let temp = s.set_layer_name(temp0, "temperature")?;
+        let precip0 = s.add_box(tioga2_dataflow::BoxKind::RelOp {
+            op: tioga2_dataflow::boxes::RelOpKind::SetAttribute {
+                name: "y".into(),
+                ty: T::Float,
+                def: parse("precipitation")?,
+            },
+            shape: tioga2_dataflow::PortType::R,
+            sel: Selection::default(),
+        })?;
+        s.connect(tee, 1, precip0, 0)?;
+        let precip = s.set_layer_name(precip0, "precipitation")?;
+        let st = s.stitch(&[temp, precip], Layout::Vertical)?;
+        s.add_viewer(st, "both")?;
+        s.render("both")?;
+        let gw = s.group_window_mut("both")?;
+        gw.slave_members(0, 1)?;
+        gw.pan_member(0, 50, 0)?;
+        let frame = s.render("both")?;
+        tioga2_render::ppm::write_ppm(&frame.fb, "out/fig10_stitched.ppm")?;
+        println!(
+            "[F10] stitched temperature/precipitation, member 1 slaved to member 0: \
+                  {} member canvases\n",
+            frame.member_hits.len()
+        );
+    }
+
+    // --------------------------------------------------------- Figure 11
+    {
+        // A decade-long daily series so the 1990 cutoff has both sides.
+        let cat = tioga2_relational::Catalog::new();
+        let st = tioga2_datagen::stations(&tioga2_datagen::StationConfig {
+            n: 30,
+            seed: tioga2_bench::SEED,
+        });
+        let obs = tioga2_datagen::observations(
+            &st,
+            &tioga2_datagen::ObservationConfig {
+                per_station: 3650,
+                step: 86_400,
+                seed: tioga2_bench::SEED,
+                ..Default::default()
+            },
+        );
+        cat.register("Stations", st);
+        cat.register("Observations", obs);
+        let mut s = session(cat);
+        let obs = s.add_table("Observations")?;
+        let x = s.set_attribute(obs, "x", T::Float, "to_float(epoch(time)) / 86400.0")?;
+        let y = s.set_attribute(x, "y", T::Float, "temperature")?;
+        let g = s.replicate(
+            y,
+            PartitionSpec::Predicates(vec![
+                ("year < 1990".into(), parse("year(time) < 1990")?),
+                ("year >= 1990".into(), parse("year(time) >= 1990")?),
+            ]),
+            None,
+            Selection::default(),
+        )?;
+        s.add_viewer(g, "replicated")?;
+        if let Displayable::G(group) = s.displayable("replicated")? {
+            println!("[F11] replicate by year cutoff:");
+            for (label, m) in group.labels.iter().zip(&group.members) {
+                println!("     {:14} {:6} observations", label, m.layers[0].rel.len());
+            }
+        }
+        let frame = s.render("replicated")?;
+        tioga2_render::ppm::write_ppm(&frame.fb, "out/fig11_replicated.ppm")?;
+        println!();
+    }
+
+    // -------------------------------------------------------------- §8
+    {
+        let mut s = session(catalog(60, 2));
+        let t = s.add_table("Employees")?;
+        s.add_viewer(t, "emps")?;
+        let frame = s.render("emps")?;
+        let rec = frame.hits.records()[2].clone();
+        let (cx, cy) = ((rec.bbox.0 + rec.bbox.2) / 2, (rec.bbox.1 + rec.bbox.3) / 2);
+        let mut dialog = s.begin_update("emps", cx, cy)?;
+        let before: i64 = dialog
+            .fields
+            .iter()
+            .find(|f| f.name == "salary")
+            .unwrap()
+            .original
+            .parse()
+            .unwrap_or(0);
+        dialog.set_field("salary", (before + 1).to_string())?;
+        let row = dialog.row_id;
+        dialog.commit(&mut s)?;
+        println!(
+            "[U1/§8] clicked row {row}, salary {} -> {} installed through the canvas\n",
+            before,
+            before + 1
+        );
+    }
+
+    println!("all figures regenerated into out/");
+    Ok(())
+}

@@ -1,0 +1,206 @@
+//! Shared scenario builders for the benchmark harness and the `figures`
+//! regeneration binary.  Each builder corresponds to one paper figure —
+//! see DESIGN.md's per-experiment index and EXPERIMENTS.md for results.
+
+use tioga2_core::{Environment, Session};
+use tioga2_dataflow::NodeId;
+use tioga2_datagen::{register_standard_catalog, stations, StationConfig};
+use tioga2_display::attr_ops::AttrRole;
+use tioga2_display::{Composite, Selection};
+use tioga2_expr::ScalarType as T;
+use tioga2_relational::Catalog;
+
+/// Deterministic master seed for every benchmark scenario.
+pub const SEED: u64 = 0x7104a;
+
+/// A catalog with `n` stations (and the fixed auxiliary tables).
+pub fn catalog(n_stations: usize, obs_per_station: usize) -> Catalog {
+    let c = Catalog::new();
+    register_standard_catalog(&c, n_stations, obs_per_station, SEED);
+    c
+}
+
+/// A catalog holding *only* a stations table of the given size (cheap to
+/// build for large sweeps).
+pub fn stations_only_catalog(n: usize) -> Catalog {
+    let c = Catalog::new();
+    c.register("Stations", stations(&StationConfig { n, seed: SEED }));
+    c
+}
+
+pub fn session(cat: Catalog) -> Session {
+    let mut s = Session::new(Environment::new(cat));
+    s.set_canvas_size(640, 480);
+    s
+}
+
+/// Figure 1: `Stations → Restrict(LA) → Project → Viewer` with the
+/// default table display.  Returns the project node.
+pub fn build_figure1(s: &mut Session) -> NodeId {
+    let t = s.add_table("Stations").expect("Stations");
+    let r = s.restrict(t, "state = 'LA'").expect("restrict");
+    let p = s.project(r, &["name", "longitude", "latitude", "altitude"]).expect("project");
+    s.add_viewer(p, "main").expect("viewer");
+    p
+}
+
+/// Figure 4: stations at (longitude, latitude) with circle + name and an
+/// altitude slider dimension.  Returns the last node.
+pub fn build_figure4(s: &mut Session) -> NodeId {
+    let t = s.add_table("Stations").expect("Stations");
+    let r = s.restrict(t, "state = 'LA'").expect("restrict");
+    let x = s.set_attribute(r, "x", T::Float, "longitude").expect("x");
+    let y = s.set_attribute(x, "y", T::Float, "latitude").expect("y");
+    let d = s
+        .set_attribute(
+            y,
+            "display",
+            T::DrawList,
+            "circle(0.04,'red') ++ offset(text(name,'black'), 0.0, -0.07)",
+        )
+        .expect("display");
+    let alt = s.add_attribute(d, "alt", T::Float, "altitude", AttrRole::Location).expect("alt");
+    s.add_viewer(alt, "map").expect("viewer");
+    alt
+}
+
+/// Figure 7: map + circles(high) + names(low) overlay; returns the
+/// overlay output feeding the "atlas" canvas.
+pub fn build_figure7(s: &mut Session) -> NodeId {
+    let border = s.add_table("LaBorder").expect("LaBorder");
+    let bx = s.set_attribute(border, "x", T::Float, "x1").expect("x");
+    let by = s.set_attribute(bx, "y", T::Float, "y1").expect("y");
+    let map = s
+        .set_attribute(by, "display", T::DrawList, "line(x2 - x1, y2 - y1, 'gray') ++ nodraw()")
+        .expect("map display");
+    let map = s.set_layer_name(map, "map").expect("name");
+
+    let t = s.add_table("Stations").expect("Stations");
+    let la = s.restrict(t, "state = 'LA'").expect("restrict");
+    let sx = s.set_attribute(la, "x", T::Float, "longitude").expect("x");
+    let sy = s.set_attribute(sx, "y", T::Float, "latitude").expect("y");
+    let tee = s.add_box(tioga2_dataflow::BoxKind::Tee(tioga2_dataflow::PortType::R)).expect("tee");
+    s.connect(sy, 0, tee, 0).expect("connect");
+
+    let circles = s
+        .set_attribute(tee, "display", T::DrawList, "circle(0.04,'red') ++ nodraw()")
+        .expect("circles");
+    let circles = s.set_layer_name(circles, "circles").expect("name");
+    let circles = s.set_range(circles, 1.2, 1e12, Selection::default()).expect("range");
+
+    let names = s
+        .add_box(tioga2_dataflow::BoxKind::RelOp {
+            op: tioga2_dataflow::boxes::RelOpKind::SetAttribute {
+                name: "display".into(),
+                ty: T::DrawList,
+                def: tioga2_expr::parse(
+                    "circle(0.04,'red') ++ offset(text(name,'black'), 0.0, -0.07)",
+                )
+                .unwrap(),
+            },
+            shape: tioga2_dataflow::PortType::R,
+            sel: Selection::default(),
+        })
+        .expect("names");
+    s.connect(tee, 1, names, 0).expect("connect");
+    let names = s.set_layer_name(names, "names").expect("name");
+    let names = s.set_range(names, 0.0, 1.2, Selection::default()).expect("range");
+
+    let o1 = s.overlay(map, circles, vec![], true).expect("overlay");
+    let o2 = s.overlay(o1, names, vec![], true).expect("overlay");
+    s.add_viewer(o2, "atlas").expect("viewer");
+    o2
+}
+
+/// Figure 8: a stations canvas whose display embeds one wormhole per
+/// station (destination "temps"), plus the temps canvas.
+pub fn build_figure8(s: &mut Session) -> NodeId {
+    let obs = s.add_table("Observations").expect("Observations");
+    let ox = s.set_attribute(obs, "x", T::Float, "to_float(epoch(time)) / 86400.0").expect("x");
+    let oy = s.set_attribute(ox, "y", T::Float, "temperature").expect("y");
+    let od =
+        s.set_attribute(oy, "display", T::DrawList, "point('blue') ++ nodraw()").expect("display");
+    s.add_viewer(od, "temps").expect("viewer");
+
+    let t = s.add_table("Stations").expect("Stations");
+    let sx = s.set_attribute(t, "x", T::Float, "longitude").expect("x");
+    let sy = s.set_attribute(sx, "y", T::Float, "latitude").expect("y");
+    let wh = s
+        .set_attribute(
+            sy,
+            "display",
+            T::DrawList,
+            "circle(0.05,'red') ++ viewer('temps', 50.0, 5500.0, 20.0, 0.4, 0.3)",
+        )
+        .expect("wormholes");
+
+    // Underside marker layer (§6.3): visible only in rear view mirrors.
+    let t2 = s.add_table("Stations").expect("Stations");
+    let ux = s.set_attribute(t2, "x", T::Float, "longitude").expect("x");
+    let uy = s.set_attribute(ux, "y", T::Float, "latitude").expect("y");
+    let ud = s
+        .set_attribute(uy, "display", T::DrawList, "rect(0.3,0.3,'green') ++ nodraw()")
+        .expect("underside");
+    let under = s.set_range(ud, -1e12, -0.0001, Selection::default()).expect("range");
+    let both = s.overlay(wh, under, vec![], true).expect("overlay");
+    s.add_viewer(both, "stations").expect("viewer");
+    both
+}
+
+/// A bare scatter composite with `n` points for renderer-level benches.
+pub fn scatter_composite(n: usize) -> Composite {
+    use tioga2_display::defaults::make_display_relation;
+    use tioga2_expr::Value;
+    use tioga2_relational::relation::RelationBuilder;
+    let mut b = RelationBuilder::new().field("px", T::Float).field("py", T::Float);
+    // Deterministic quasi-random scatter (Weyl sequence).
+    let mut u = 0.5f64;
+    let mut v = 0.25f64;
+    for _ in 0..n {
+        u = (u + 0.754877666).fract();
+        v = (v + 0.569840296).fract();
+        b = b.row(vec![Value::Float(u * 100.0), Value::Float(v * 100.0)]);
+    }
+    let mut dr = make_display_relation(b.build().unwrap(), "scatter").unwrap();
+    dr.rel.set_method("x", T::Float, tioga2_expr::parse("px").unwrap()).unwrap();
+    dr.rel.set_method("y", T::Float, tioga2_expr::parse("py").unwrap()).unwrap();
+    dr.rel
+        .set_method(
+            "display",
+            T::DrawList,
+            tioga2_expr::parse("circle(0.5,'red') ++ nodraw()").unwrap(),
+        )
+        .unwrap();
+    Composite::new(vec![dr]).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_working_sessions() {
+        let mut s = session(catalog(60, 4));
+        build_figure1(&mut s);
+        assert!(s.render("main").unwrap().fb.ink_fraction() > 0.0);
+
+        let mut s = session(catalog(60, 4));
+        build_figure4(&mut s);
+        assert!(!s.render("map").unwrap().hits.is_empty());
+
+        let mut s = session(catalog(60, 4));
+        build_figure7(&mut s);
+        assert!(s.render("atlas").unwrap().fb.ink_fraction() > 0.0);
+
+        let mut s = session(catalog(20, 4));
+        build_figure8(&mut s);
+        assert!(s.render("stations").unwrap().fb.ink_fraction() > 0.0);
+        assert!(s.render("temps").unwrap().fb.ink_fraction() > 0.0);
+    }
+
+    #[test]
+    fn scatter_composite_sizes() {
+        let c = scatter_composite(500);
+        assert_eq!(c.layers[0].rel.len(), 500);
+    }
+}

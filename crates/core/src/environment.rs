@@ -1,0 +1,192 @@
+//! The durable environment: catalog, box registry, saved programs, and
+//! per-type update functions.
+
+use crate::error::CoreError;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tioga2_dataflow::{persist, BoxRegistry, CustomBox, EncapsulatedDef, Graph};
+use tioga2_expr::{timestamp_from_parts, ScalarType, Value};
+use tioga2_relational::Catalog;
+
+/// A per-type (or per-field) update parser: dialog text → typed value
+/// (paper §8: "we require the type definer to write a second update
+/// function that enables Tioga-2 to provide updates for instances of the
+/// type").
+pub type UpdateFn = Arc<dyn Fn(&str) -> Result<Value, String> + Send + Sync>;
+
+/// Parse `YYYY-MM-DD[ HH:MM]` into a timestamp.
+fn parse_timestamp_text(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    let (date, time) = match s.split_once(' ') {
+        Some((d, t)) => (d, Some(t)),
+        None => (s, None),
+    };
+    let mut dp = date.split('-');
+    let y: i64 = dp.next().and_then(|x| x.parse().ok()).ok_or("bad year")?;
+    let mo: u32 = dp.next().and_then(|x| x.parse().ok()).ok_or("bad month")?;
+    let d: u32 = dp.next().and_then(|x| x.parse().ok()).ok_or("bad day")?;
+    if dp.next().is_some() || !(1..=12).contains(&mo) || !(1..=31).contains(&d) {
+        return Err(format!("bad date '{date}'"));
+    }
+    let (h, mi) = match time {
+        None => (0, 0),
+        Some(t) => {
+            let mut tp = t.split(':');
+            let h: u32 = tp.next().and_then(|x| x.parse().ok()).ok_or("bad hour")?;
+            let mi: u32 = tp.next().and_then(|x| x.parse().ok()).ok_or("bad minute")?;
+            if h > 23 || mi > 59 {
+                return Err(format!("bad time '{t}'"));
+            }
+            (h, mi)
+        }
+    };
+    Ok(Value::Timestamp(timestamp_from_parts(y, mo, d, h, mi)))
+}
+
+/// The default update function for one scalar type.
+pub fn default_update_fn(ty: &ScalarType) -> UpdateFn {
+    match ty {
+        ScalarType::Bool => Arc::new(|s| match s.trim().to_ascii_lowercase().as_str() {
+            "true" | "t" | "yes" | "1" => Ok(Value::Bool(true)),
+            "false" | "f" | "no" | "0" => Ok(Value::Bool(false)),
+            other => Err(format!("'{other}' is not a boolean")),
+        }),
+        ScalarType::Int => Arc::new(|s| {
+            s.trim().parse().map(Value::Int).map_err(|_| format!("'{s}' is not an integer"))
+        }),
+        ScalarType::Float => Arc::new(|s| {
+            s.trim().parse().map(Value::Float).map_err(|_| format!("'{s}' is not a number"))
+        }),
+        ScalarType::Timestamp => Arc::new(parse_timestamp_text),
+        // Text accepts anything; drawables are computed, never updated.
+        _ => Arc::new(|s| Ok(Value::Text(s.to_string()))),
+    }
+}
+
+/// The durable environment shared by sessions.
+pub struct Environment {
+    pub catalog: Catalog,
+    pub registry: BoxRegistry,
+    programs: BTreeMap<String, String>,
+    /// Update-function overrides, keyed `table.field` ("he can replace
+    /// the default update command with one of his own choosing", §8).
+    update_overrides: BTreeMap<String, UpdateFn>,
+}
+
+impl Environment {
+    pub fn new(catalog: Catalog) -> Self {
+        Environment {
+            catalog,
+            registry: BoxRegistry::with_primitives(),
+            programs: BTreeMap::new(),
+            update_overrides: BTreeMap::new(),
+        }
+    }
+
+    /// **Save Program** under a name (paper Figure 2 — "save the current
+    /// program in the database"; our database is the environment).
+    pub fn save_program(&mut self, name: impl Into<String>, graph: &Graph) {
+        self.programs.insert(name.into(), persist::save_program(graph));
+    }
+
+    /// Retrieve a saved program.
+    pub fn load_program(&self, name: &str) -> Result<Graph, CoreError> {
+        let text = self
+            .programs
+            .get(name)
+            .ok_or_else(|| CoreError::Session(format!("no saved program '{name}'")))?;
+        Ok(persist::load_program(text, &self.registry)?)
+    }
+
+    pub fn program_names(&self) -> Vec<String> {
+        self.programs.keys().cloned().collect()
+    }
+
+    /// Register a big-programmer box.
+    pub fn register_custom(&mut self, custom: Arc<CustomBox>) {
+        self.registry.register_custom(custom);
+    }
+
+    /// Register an encapsulated definition as a reusable box.
+    pub fn register_encapsulated(&mut self, def: Arc<EncapsulatedDef>) {
+        self.registry.register_encapsulated(def);
+    }
+
+    /// Override the update function for `table.field`.
+    pub fn set_update_fn(&mut self, table: &str, field: &str, f: UpdateFn) {
+        self.update_overrides.insert(format!("{table}.{field}"), f);
+    }
+
+    /// The update function for a field: the override if present, else the
+    /// type default.
+    pub fn update_fn(&self, table: &str, field: &str, ty: &ScalarType) -> UpdateFn {
+        self.update_overrides
+            .get(&format!("{table}.{field}"))
+            .cloned()
+            .unwrap_or_else(|| default_update_fn(ty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_update_fns_parse() {
+        assert_eq!(default_update_fn(&ScalarType::Int)(" 42 "), Ok(Value::Int(42)));
+        assert!(default_update_fn(&ScalarType::Int)("x").is_err());
+        assert_eq!(default_update_fn(&ScalarType::Float)("2.5"), Ok(Value::Float(2.5)));
+        assert_eq!(default_update_fn(&ScalarType::Bool)("Yes"), Ok(Value::Bool(true)));
+        assert_eq!(default_update_fn(&ScalarType::Bool)("0"), Ok(Value::Bool(false)));
+        assert!(default_update_fn(&ScalarType::Bool)("maybe").is_err());
+        assert_eq!(
+            default_update_fn(&ScalarType::Text)("anything"),
+            Ok(Value::Text("anything".into()))
+        );
+    }
+
+    #[test]
+    fn timestamp_update_fn() {
+        let f = default_update_fn(&ScalarType::Timestamp);
+        assert_eq!(f("1990-01-01"), Ok(Value::Timestamp(timestamp_from_parts(1990, 1, 1, 0, 0))));
+        assert_eq!(
+            f("1992-07-14 12:30"),
+            Ok(Value::Timestamp(timestamp_from_parts(1992, 7, 14, 12, 30)))
+        );
+        assert!(f("1992/07/14").is_err());
+        assert!(f("1992-13-01").is_err());
+        assert!(f("1992-07-14 25:00").is_err());
+    }
+
+    #[test]
+    fn program_save_load() {
+        let mut env = Environment::new(Catalog::new());
+        let mut g = Graph::new();
+        g.add(tioga2_dataflow::BoxKind::Table("T".into()));
+        env.save_program("mine", &g);
+        assert_eq!(env.program_names(), vec!["mine".to_string()]);
+        let back = env.load_program("mine").unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(env.load_program("nope").is_err());
+    }
+
+    #[test]
+    fn update_override_takes_precedence() {
+        let mut env = Environment::new(Catalog::new());
+        env.set_update_fn(
+            "inventory",
+            "qty",
+            Arc::new(|s| {
+                // A custom "look and feel": quantities entered in dozens.
+                s.trim()
+                    .parse::<i64>()
+                    .map(|n| Value::Int(n * 12))
+                    .map_err(|_| "bad qty".to_string())
+            }),
+        );
+        let f = env.update_fn("inventory", "qty", &ScalarType::Int);
+        assert_eq!(f("3"), Ok(Value::Int(36)));
+        let g = env.update_fn("inventory", "other", &ScalarType::Int);
+        assert_eq!(g("3"), Ok(Value::Int(3)), "other fields keep the default");
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the environment layer.
+
+use std::fmt;
+use tioga2_dataflow::FlowError;
+use tioga2_display::DisplayError;
+use tioga2_relational::RelError;
+use tioga2_viewer::ViewError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    Flow(FlowError),
+    Display(DisplayError),
+    Rel(RelError),
+    View(ViewError),
+    /// Unknown canvas, program, or other session-level lookup failure.
+    Session(String),
+    /// Update-dialog error (bad field text, no hit, untraceable tuple).
+    Update(String),
+}
+
+impl From<FlowError> for CoreError {
+    fn from(e: FlowError) -> Self {
+        CoreError::Flow(e)
+    }
+}
+
+impl From<DisplayError> for CoreError {
+    fn from(e: DisplayError) -> Self {
+        CoreError::Display(e)
+    }
+}
+
+impl From<RelError> for CoreError {
+    fn from(e: RelError) -> Self {
+        CoreError::Rel(e)
+    }
+}
+
+impl From<ViewError> for CoreError {
+    fn from(e: ViewError) -> Self {
+        CoreError::View(e)
+    }
+}
+
+impl From<tioga2_expr::ExprError> for CoreError {
+    fn from(e: tioga2_expr::ExprError) -> Self {
+        CoreError::Rel(RelError::from(e))
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Flow(e) => write!(f, "{e}"),
+            CoreError::Display(e) => write!(f, "{e}"),
+            CoreError::Rel(e) => write!(f, "{e}"),
+            CoreError::View(e) => write!(f, "{e}"),
+            CoreError::Session(m) => write!(f, "session error: {m}"),
+            CoreError::Update(m) => write!(f, "update error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

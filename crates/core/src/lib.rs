@@ -1,0 +1,33 @@
+//! # tioga2-core
+//!
+//! The Tioga-2 environment itself — the paper's primary contribution
+//! assembled from the substrate crates.
+//!
+//! A [`Session`] is one user at the interface of paper §3: a **program
+//! window** (the boxes-and-arrows graph), one **canvas window** per
+//! viewer in the program, and a **menu bar** (operations, tables, boxes,
+//! undo, help).  Every primitive operation of Figures 2/3/5/6 and
+//! sections 7–8 is a session method; every method is an *incremental*
+//! program edit with an immediately renderable result (§1.2 principles
+//! 1–2: "every result of a user action has a valid visual
+//! representation", "programming is incremental").
+//!
+//! The [`Environment`] is the durable half: the table catalog, the box
+//! registry (primitives + encapsulated + big-programmer customs), saved
+//! programs, and the per-type update functions of §8.
+//!
+//! `mode` switches between the lazy Tioga-2 engine and an eager
+//! whole-program Tioga-1 baseline (for the A1 ablation).
+
+pub mod canvas;
+pub mod environment;
+pub mod error;
+pub mod menus;
+pub mod session;
+pub mod update;
+
+pub use canvas::Canvas;
+pub use environment::Environment;
+pub use error::CoreError;
+pub use session::{EvalMode, Session};
+pub use update::UpdateDialog;

@@ -1,0 +1,116 @@
+//! The menu bar (paper §3): "a menu of all operations available, a menu
+//! of all tables available, a menu of all boxes available, an undo button
+//! ... and a help button."
+
+use crate::session::Session;
+
+/// One entry of the operations menu, with its help text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperationHelp {
+    pub name: &'static str,
+    /// Which paper figure/section specifies it.
+    pub reference: &'static str,
+    pub help: &'static str,
+}
+
+/// The complete operations menu.
+pub const OPERATIONS: &[OperationHelp] = &[
+    OperationHelp { name: "New Program", reference: "Fig. 2", help: "Erase the program canvas." },
+    OperationHelp { name: "Add Program", reference: "Fig. 2", help: "Add a named program to the program canvas." },
+    OperationHelp { name: "Load Program", reference: "Fig. 2", help: "Shorthand for New Program followed by Add Program." },
+    OperationHelp { name: "Save Program", reference: "Fig. 2", help: "Save the current program in the database." },
+    OperationHelp { name: "Apply Box", reference: "Fig. 2", help: "Menu of all boxes whose inputs match the selected edges." },
+    OperationHelp { name: "Delete Box", reference: "Fig. 2", help: "Delete a box with no connected outputs, or splice out a same-typed single-input/single-output box." },
+    OperationHelp { name: "Replace Box", reference: "Fig. 2", help: "Replace one box by a different box with compatible types." },
+    OperationHelp { name: "T", reference: "Fig. 2", help: "Add a T-node to a designated edge; it passes its input unchanged to both outputs." },
+    OperationHelp { name: "Encapsulate", reference: "Fig. 2", help: "Turn a region of the program into a new box; inner holes make it a macro." },
+    OperationHelp { name: "Add Table", reference: "Fig. 3", help: "Add the box producing a specified relation as output." },
+    OperationHelp { name: "Project", reference: "Fig. 3", help: "Standard database projection; prompts for fields." },
+    OperationHelp { name: "Restrict", reference: "Fig. 3", help: "Filter a relation to tuples satisfying a predicate." },
+    OperationHelp { name: "Sample", reference: "Fig. 3", help: "Randomly sample a relation to improve interactive response." },
+    OperationHelp { name: "Join", reference: "Fig. 3", help: "Standard join of two relations; prompts for the join predicate." },
+    OperationHelp { name: "Aggregate", reference: "§5.3", help: "GROUP BY keys with count/sum/avg/min/max columns (general query-language surface)." },
+    OperationHelp { name: "Distinct", reference: "§5.3", help: "Drop duplicate tuples on the chosen attributes." },
+    OperationHelp { name: "Limit", reference: "§5.3", help: "Keep a window of tuples in the current order." },
+    OperationHelp { name: "Rename", reference: "§5.3", help: "Rename a stored field; computed attributes follow." },
+    OperationHelp { name: "Add Attribute", reference: "Fig. 5", help: "Add an attribute; a new location attribute adds a dimension, a new display attribute adds an alternative visualization." },
+    OperationHelp { name: "Remove Attribute", reference: "Fig. 5", help: "Remove an attribute; cannot remove x, y, or display." },
+    OperationHelp { name: "Set Attribute", reference: "Fig. 5", help: "Change the value of an existing attribute." },
+    OperationHelp { name: "Swap Attributes", reference: "Fig. 5", help: "Interchange two attributes of the same type." },
+    OperationHelp { name: "Scale Attribute", reference: "Fig. 5", help: "Multiply a numerical attribute by a number." },
+    OperationHelp { name: "Translate Attribute", reference: "Fig. 5", help: "Add a number to a numerical attribute." },
+    OperationHelp { name: "Combine Displays", reference: "Fig. 5", help: "Combine two display attributes into a new one at a relative offset." },
+    OperationHelp { name: "Set Range", reference: "Fig. 6", help: "Elevations at which a relation's display is defined; outside it contributes nothing." },
+    OperationHelp { name: "Overlay", reference: "Fig. 6", help: "Superimpose two composites; warns on dimension mismatch (invariant interpretation available)." },
+    OperationHelp { name: "Shuffle", reference: "Fig. 6", help: "Move a relation to the top of a composite's drawing order." },
+    OperationHelp { name: "Slave", reference: "§7.1", help: "Constrain two same-dimensional viewers to move together." },
+    OperationHelp { name: "Magnifying Glass", reference: "§7.2", help: "Place a viewer inside a viewer; zoom it to magnify, optionally on an alternative display." },
+    OperationHelp { name: "Stitch", reference: "§7.3", help: "Stitch composites into a group, side-by-side, vertical, or tabular." },
+    OperationHelp { name: "Replicate", reference: "§7.4", help: "Partition a relation by predicates and/or an enumerated type and stitch the replicas." },
+    OperationHelp { name: "Switch", reference: "§1.2", help: "Route tuples satisfying a predicate to one output and the rest to the other." },
+    OperationHelp { name: "Update", reference: "§8", help: "Click a screen object to edit its tuple with the per-type update functions." },
+];
+
+/// Help text for one operation, if it exists.
+pub fn help(name: &str) -> Option<&'static OperationHelp> {
+    OPERATIONS.iter().find(|o| o.name.eq_ignore_ascii_case(name))
+}
+
+/// The tables menu: all catalog tables (sorted).
+pub fn tables_menu(session: &Session) -> Vec<String> {
+    session.env.catalog.table_names()
+}
+
+/// The boxes menu: all instantiable boxes in the registry.
+pub fn boxes_menu(session: &Session) -> Vec<String> {
+    session.env.registry.templates().iter().map(|t| t.name.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::Environment;
+    use tioga2_relational::Catalog;
+
+    #[test]
+    fn every_paper_operation_has_help() {
+        for name in [
+            "Restrict",
+            "Project",
+            "Sample",
+            "Join",
+            "Add Table",
+            "Apply Box",
+            "Delete Box",
+            "Replace Box",
+            "T",
+            "Encapsulate",
+            "Set Range",
+            "Overlay",
+            "Shuffle",
+            "Stitch",
+            "Replicate",
+            "Swap Attributes",
+            "Combine Displays",
+            "Update",
+        ] {
+            assert!(help(name).is_some(), "missing help for {name}");
+        }
+        assert!(help("restrict").is_some(), "case-insensitive lookup");
+        assert!(help("Frobnicate").is_none());
+    }
+
+    #[test]
+    fn menus_reflect_environment() {
+        let cat = Catalog::new();
+        cat.register(
+            "Stations",
+            tioga2_relational::Relation::new(tioga2_relational::Schema::new(vec![]).unwrap()),
+        );
+        let session = Session::new(Environment::new(cat));
+        assert_eq!(tables_menu(&session), vec!["Stations".to_string()]);
+        let boxes = boxes_menu(&session);
+        assert!(boxes.contains(&"Restrict".to_string()));
+        assert!(boxes.contains(&"Stitch".to_string()));
+    }
+}

@@ -1,0 +1,1157 @@
+//! A Tioga-2 session: the single user interface of paper §3 for both
+//! building and using programs.
+
+use crate::canvas::{Canvas, CanvasFrame};
+use crate::environment::Environment;
+use crate::error::CoreError;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tioga2_dataflow::boxes::{CompOpKind, RelOpKind};
+use tioga2_dataflow::edit;
+use tioga2_dataflow::encapsulate::{encapsulate, EncapsulatedDef};
+use tioga2_dataflow::engine::eval_eager;
+use tioga2_dataflow::{
+    BoxKind, BoxTemplate, Engine, EvalStats, FlowError, Graph, Journal, NodeId, PortType,
+};
+use tioga2_display::compose::PartitionSpec;
+use tioga2_display::drilldown::{elevation_map, ElevationBar};
+use tioga2_display::{Displayable, Layout, Selection};
+use tioga2_expr::{parse, ScalarType, Shape, ViewerSpec};
+use tioga2_render::HitRecord;
+use tioga2_viewer::magnifier::Magnifier;
+use tioga2_viewer::navigator::PASS_THROUGH_ELEVATION;
+use tioga2_viewer::slaving::ViewerSet;
+
+/// Evaluation discipline: the lazy Tioga-2 engine, or the eager
+/// whole-program recompute of the original Tioga (the A1 baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    Lazy,
+    EagerTioga1,
+}
+
+/// One wormhole traversal on the travel stack.
+#[derive(Debug, Clone, PartialEq)]
+struct Travel {
+    canvas: String,
+    center: (f64, f64),
+    elevation: f64,
+    entry_elevation: f64,
+}
+
+/// Default canvas window size in pixels.
+pub const DEFAULT_CANVAS_SIZE: (u32, u32) = (640, 480);
+
+/// One user session.
+///
+/// ```
+/// use tioga2_core::{Environment, Session};
+/// use tioga2_datagen::register_standard_catalog;
+/// use tioga2_relational::Catalog;
+///
+/// let catalog = Catalog::new();
+/// register_standard_catalog(&catalog, 50, 4, 1);
+/// let mut session = Session::new(Environment::new(catalog));
+///
+/// // The paper's Figure 1 pipeline, built incrementally.
+/// let stations = session.add_table("Stations")?;
+/// let louisiana = session.restrict(stations, "state = 'LA'")?;
+/// session.add_viewer(louisiana, "main")?;
+/// let frame = session.render("main")?;
+/// assert!(frame.fb.ink_fraction() > 0.0);
+/// # Ok::<(), tioga2_core::CoreError>(())
+/// ```
+pub struct Session {
+    pub env: Environment,
+    pub graph: Graph,
+    engine: Engine,
+    journal: Journal,
+    pub viewers: ViewerSet,
+    canvases: BTreeMap<String, Canvas>,
+    focus: Option<String>,
+    history: Vec<Travel>,
+    mode: EvalMode,
+    canvas_size: (u32, u32),
+    /// Box evaluations spent in eager (Tioga-1) recomputes.
+    pub eager_evals: u64,
+    /// Validate appended boxes by evaluating them immediately (the
+    /// paper's immediate-feedback principle).  Benches may disable it to
+    /// measure pure edit cost.
+    validate_edits: bool,
+}
+
+impl Session {
+    pub fn new(env: Environment) -> Self {
+        let engine = Engine::new(env.catalog.clone());
+        Session {
+            env,
+            graph: Graph::new(),
+            engine,
+            journal: Journal::new(),
+            viewers: ViewerSet::new(),
+            canvases: BTreeMap::new(),
+            focus: None,
+            history: Vec::new(),
+            mode: EvalMode::Lazy,
+            canvas_size: DEFAULT_CANVAS_SIZE,
+            eager_evals: 0,
+            validate_edits: true,
+        }
+    }
+
+    /// Toggle immediate evaluation of newly appended boxes.
+    pub fn set_validate(&mut self, on: bool) {
+        self.validate_edits = on;
+    }
+
+    pub fn set_canvas_size(&mut self, width: u32, height: u32) {
+        self.canvas_size = (width.max(8), height.max(8));
+    }
+
+    pub fn set_mode(&mut self, mode: EvalMode) {
+        self.mode = mode;
+    }
+
+    pub fn mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// Lazy-engine statistics (box firings / cache hits).
+    pub fn engine_stats(&self) -> EvalStats {
+        self.engine.stats
+    }
+
+    // ------------------------------------------------------------ edits
+
+    /// Run one journaled edit.  On failure the program is rolled back, so
+    /// a rejected operation never leaves the session half-edited.
+    fn edit<R>(
+        &mut self,
+        f: impl FnOnce(&mut Graph) -> Result<R, FlowError>,
+    ) -> Result<R, CoreError> {
+        self.journal.checkpoint(&self.graph);
+        match f(&mut self.graph) {
+            Ok(r) => {
+                self.after_edit();
+                Ok(r)
+            }
+            Err(e) => {
+                self.journal.undo(&mut self.graph);
+                Err(e.into())
+            }
+        }
+    }
+
+    fn after_edit(&mut self) {
+        self.sync_canvases();
+        if self.mode == EvalMode::EagerTioga1 {
+            // The Tioga-1 discipline: recompute the whole program after
+            // every edit, no caching.
+            if let Ok((_, stats)) = eval_eager(&self.graph, &self.engine.catalog().clone()) {
+                self.eager_evals += stats.box_evals;
+            }
+        }
+    }
+
+    /// Reconcile canvas windows with the viewer boxes in the program:
+    /// every Viewer box has a canvas; no canvas outlives its box.
+    fn sync_canvases(&mut self) {
+        let mut present: BTreeMap<String, NodeId> = BTreeMap::new();
+        for n in self.graph.nodes() {
+            if let BoxKind::Viewer { canvas, .. } = &n.kind {
+                present.insert(canvas.clone(), n.id);
+            }
+        }
+        let stale: Vec<String> =
+            self.canvases.keys().filter(|k| !present.contains_key(*k)).cloned().collect();
+        for name in stale {
+            self.canvases.remove(&name);
+            let _ = self.viewers.delete(&name);
+            if self.focus.as_deref() == Some(&name) {
+                self.focus = None;
+            }
+        }
+        for (name, node) in present {
+            let entry = self
+                .canvases
+                .entry(name.clone())
+                .or_insert_with(|| Canvas::new(node, self.canvas_size.0, self.canvas_size.1));
+            entry.node = node;
+            if self.focus.is_none() {
+                self.focus = Some(name);
+            }
+        }
+    }
+
+    // --------------------------------------------- program ops (Fig. 2)
+
+    /// **New Program**: erase the program canvas.
+    pub fn new_program(&mut self) {
+        self.journal.checkpoint(&self.graph);
+        self.graph = Graph::new();
+        self.history.clear();
+        // A fresh graph reuses node ids and revisions; memoized results
+        // from the old graph must not be mistaken for the new one's.
+        self.engine.invalidate_all();
+        self.after_edit();
+    }
+
+    /// **Add Program**: add a named (saved) program to the canvas.
+    pub fn add_program(&mut self, name: &str) -> Result<(), CoreError> {
+        let other = self.env.load_program(name)?;
+        self.journal.checkpoint(&self.graph);
+        self.graph.add_program(&other);
+        self.after_edit();
+        Ok(())
+    }
+
+    /// **Load Program**: shorthand for New Program followed by Add
+    /// Program (paper Figure 2).
+    pub fn load_program(&mut self, name: &str) -> Result<(), CoreError> {
+        let other = self.env.load_program(name)?;
+        self.journal.checkpoint(&self.graph);
+        self.graph = Graph::new();
+        self.history.clear();
+        self.engine.invalidate_all();
+        self.graph.add_program(&other);
+        self.after_edit();
+        Ok(())
+    }
+
+    /// **Save Program** under a name in the environment.
+    pub fn save_program(&mut self, name: &str) {
+        let graph = self.graph.clone();
+        self.env.save_program(name, &graph);
+    }
+
+    /// **Apply Box**: boxes whose inputs match the selected output edges.
+    pub fn apply_box_candidates(
+        &self,
+        outputs: &[(NodeId, usize)],
+    ) -> Result<Vec<BoxTemplate>, CoreError> {
+        Ok(edit::apply_box_candidates(&self.graph, &self.env.registry, outputs)?
+            .into_iter()
+            .cloned()
+            .collect())
+    }
+
+    /// Add a disconnected box.
+    pub fn add_box(&mut self, kind: BoxKind) -> Result<NodeId, CoreError> {
+        self.edit(|g| Ok(g.add(kind)))
+    }
+
+    /// Connect an output to an input (type-checked).
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        out_port: usize,
+        to: NodeId,
+        in_port: usize,
+    ) -> Result<(), CoreError> {
+        self.edit(|g| g.connect(from, out_port, to, in_port))
+    }
+
+    /// **Delete Box** under the paper's legality rules.
+    pub fn delete_box(&mut self, id: NodeId) -> Result<(), CoreError> {
+        self.edit(|g| edit::delete_box(g, id))
+    }
+
+    /// **Replace Box** by a different box with compatible types.
+    pub fn replace_box(&mut self, id: NodeId, kind: BoxKind) -> Result<(), CoreError> {
+        self.edit(|g| g.replace_kind(id, kind))
+    }
+
+    /// Re-parameterize a box without changing its signature (editing a
+    /// Restrict predicate in place).
+    pub fn update_box(&mut self, id: NodeId, kind: BoxKind) -> Result<(), CoreError> {
+        self.edit(|g| g.update_kind(id, kind))
+    }
+
+    /// **T**: insert a T node on the edge into `(to, in_port)`.
+    pub fn add_tee(&mut self, to: NodeId, in_port: usize) -> Result<NodeId, CoreError> {
+        self.edit(|g| edit::insert_tee(g, to, in_port))
+    }
+
+    /// **Encapsulate** a region (with optional holes) and register the
+    /// definition as a reusable box.
+    pub fn encapsulate(
+        &mut self,
+        region: &[NodeId],
+        holes: &[Vec<NodeId>],
+        name: &str,
+    ) -> Result<Arc<EncapsulatedDef>, CoreError> {
+        let def = Arc::new(encapsulate(&self.graph, region, holes, name)?);
+        self.env.register_encapsulated(def.clone());
+        Ok(def)
+    }
+
+    /// The undo button.
+    pub fn undo(&mut self) -> bool {
+        let did = self.journal.undo(&mut self.graph);
+        if did {
+            self.sync_canvases();
+        }
+        did
+    }
+
+    pub fn redo(&mut self) -> bool {
+        let did = self.journal.redo(&mut self.graph);
+        if did {
+            self.sync_canvases();
+        }
+        did
+    }
+
+    // ------------------------------------------------- DB ops (Fig. 3)
+
+    fn out_shape(&self, node: NodeId, port: usize) -> Result<PortType, CoreError> {
+        let n = self.graph.node(node)?;
+        let ty = n
+            .out_types
+            .get(port)
+            .ok_or_else(|| CoreError::Session(format!("{node} has no output {port}")))?;
+        if !ty.is_displayable() {
+            return Err(CoreError::Session(format!(
+                "output {port} of '{}' is not a displayable",
+                n.name()
+            )));
+        }
+        Ok(ty.clone())
+    }
+
+    fn append(&mut self, upstream: NodeId, kind: BoxKind) -> Result<NodeId, CoreError> {
+        let id = self.edit(|g| {
+            let id = g.add(kind);
+            g.connect(upstream, 0, id, 0)?;
+            Ok(id)
+        })?;
+        self.validate_new(id)
+    }
+
+    /// Evaluate every output of a freshly added box so bad parameters
+    /// (e.g. a predicate naming a missing attribute) surface as an error
+    /// of the *action*, with the program rolled back — "every result of a
+    /// user action has a valid visual representation" (§1.2).
+    fn validate_new(&mut self, id: NodeId) -> Result<NodeId, CoreError> {
+        if !self.validate_edits {
+            return Ok(id);
+        }
+        let ports = self.graph.node(id)?.out_types.len();
+        for port in 0..ports {
+            // Unconnected *inputs* elsewhere are fine; only this box must
+            // evaluate.
+            if let Err(e) = self.engine.demand(&self.graph, id, port) {
+                self.journal.undo(&mut self.graph);
+                self.journal.forget_future();
+                self.sync_canvases();
+                return Err(e.into());
+            }
+        }
+        Ok(id)
+    }
+
+    /// **Add Table**: the zero-input box producing a relation's tuples.
+    pub fn add_table(&mut self, table: &str) -> Result<NodeId, CoreError> {
+        if !self.env.catalog.contains(table) {
+            return Err(CoreError::Session(format!("no table '{table}' in the catalog")));
+        }
+        self.edit(|g| Ok(g.add(BoxKind::Table(table.into()))))
+    }
+
+    /// Apply a relation-level op after `upstream`, lifted through the
+    /// component `sel` when the upstream displayable is a C or G (§2).
+    pub fn apply_rel_op(
+        &mut self,
+        upstream: NodeId,
+        op: RelOpKind,
+        sel: Selection,
+    ) -> Result<NodeId, CoreError> {
+        let shape = self.out_shape(upstream, 0)?;
+        self.append(upstream, BoxKind::RelOp { op, shape, sel })
+    }
+
+    /// **Restrict** with a predicate in surface syntax.
+    pub fn restrict(&mut self, upstream: NodeId, predicate: &str) -> Result<NodeId, CoreError> {
+        let pred = parse(predicate)?;
+        self.apply_rel_op(upstream, RelOpKind::Restrict(pred), Selection::default())
+    }
+
+    /// **Project** to the named stored fields.
+    pub fn project(&mut self, upstream: NodeId, fields: &[&str]) -> Result<NodeId, CoreError> {
+        let cols = fields.iter().map(|s| s.to_string()).collect();
+        self.apply_rel_op(upstream, RelOpKind::Project(cols), Selection::default())
+    }
+
+    /// **Sample** with retention probability `p`.
+    pub fn sample(&mut self, upstream: NodeId, p: f64, seed: u64) -> Result<NodeId, CoreError> {
+        self.apply_rel_op(upstream, RelOpKind::Sample { p, seed }, Selection::default())
+    }
+
+    /// Sort by `(attribute, ascending)` keys.
+    pub fn sort(&mut self, upstream: NodeId, keys: &[(&str, bool)]) -> Result<NodeId, CoreError> {
+        let keys = keys.iter().map(|(k, a)| (k.to_string(), *a)).collect();
+        self.apply_rel_op(upstream, RelOpKind::Sort(keys), Selection::default())
+    }
+
+    /// GROUP BY + aggregates, producing a fresh displayable relation
+    /// (defaults re-applied to the grouped schema).
+    pub fn aggregate(
+        &mut self,
+        upstream: NodeId,
+        keys: &[&str],
+        aggs: Vec<tioga2_relational::AggSpec>,
+    ) -> Result<NodeId, CoreError> {
+        let keys = keys.iter().map(|s| s.to_string()).collect();
+        self.apply_rel_op(upstream, RelOpKind::Aggregate { keys, aggs }, Selection::default())
+    }
+
+    /// DISTINCT on the given attributes (all stored fields if empty).
+    pub fn distinct(&mut self, upstream: NodeId, attrs: &[&str]) -> Result<NodeId, CoreError> {
+        let attrs = attrs.iter().map(|s| s.to_string()).collect();
+        self.apply_rel_op(upstream, RelOpKind::Distinct(attrs), Selection::default())
+    }
+
+    /// LIMIT/OFFSET in current tuple order.
+    pub fn limit(
+        &mut self,
+        upstream: NodeId,
+        offset: usize,
+        count: usize,
+    ) -> Result<NodeId, CoreError> {
+        self.apply_rel_op(upstream, RelOpKind::Limit { offset, count }, Selection::default())
+    }
+
+    /// Rename a stored field.
+    pub fn rename_field(
+        &mut self,
+        upstream: NodeId,
+        from: &str,
+        to: &str,
+    ) -> Result<NodeId, CoreError> {
+        self.apply_rel_op(
+            upstream,
+            RelOpKind::Rename { from: from.into(), to: to.into() },
+            Selection::default(),
+        )
+    }
+
+    /// **Join** two relation outputs on a predicate over the combined
+    /// naming (right-side collisions renamed `name` → `name_2`).
+    pub fn join(
+        &mut self,
+        left: NodeId,
+        right: NodeId,
+        predicate: &str,
+    ) -> Result<NodeId, CoreError> {
+        let pred = parse(predicate)?;
+        let id = self.edit(|g| {
+            let id = g.add(BoxKind::Join(pred));
+            g.connect(left, 0, id, 0)?;
+            g.connect(right, 0, id, 1)?;
+            Ok(id)
+        })?;
+        self.validate_new(id)
+    }
+
+    /// Add a scalar constant box — a runtime parameter (§2).  Update it
+    /// later with [`Session::set_const`] to twiddle the parameter.
+    pub fn add_const(&mut self, value: tioga2_expr::Value) -> Result<NodeId, CoreError> {
+        if matches!(value, tioga2_expr::Value::Drawable(_) | tioga2_expr::Value::DrawList(_)) {
+            return Err(CoreError::Session("constants must be scalar values".into()));
+        }
+        self.edit(|g| Ok(g.add(BoxKind::Const(value))))
+    }
+
+    /// Change a constant's value in place.  The type must stay the same
+    /// (signature-preserving edit); only the consuming cone re-fires.
+    pub fn set_const(&mut self, id: NodeId, value: tioga2_expr::Value) -> Result<(), CoreError> {
+        self.edit(|g| g.update_kind(id, BoxKind::Const(value)))
+    }
+
+    /// **Restrict** with named parameters fed by scalar boxes: the
+    /// predicate may reference each `(name, source node)` pair as a free
+    /// variable bound to that box's output.
+    pub fn restrict_with_params(
+        &mut self,
+        upstream: NodeId,
+        predicate: &str,
+        params: &[(&str, NodeId)],
+    ) -> Result<NodeId, CoreError> {
+        let pred = parse(predicate)?;
+        let shape = self.out_shape(upstream, 0)?;
+        let mut sig = Vec::new();
+        for (name, src) in params {
+            let n = self.graph.node(*src)?;
+            match n.out_types.first() {
+                Some(PortType::Scalar(t)) => sig.push((name.to_string(), t.clone())),
+                _ => {
+                    return Err(CoreError::Session(format!(
+                        "parameter '{name}' source is not a scalar box"
+                    )))
+                }
+            }
+        }
+        let kind = BoxKind::ParamRestrict { pred, params: sig, shape, sel: Selection::default() };
+        let params: Vec<(String, NodeId)> =
+            params.iter().map(|(n, id)| (n.to_string(), *id)).collect();
+        let id = self.edit(move |g| {
+            let id = g.add(kind);
+            g.connect(upstream, 0, id, 0)?;
+            for (i, (_, src)) in params.iter().enumerate() {
+                g.connect(*src, 0, id, i + 1)?;
+            }
+            Ok(id)
+        })?;
+        self.validate_new(id)
+    }
+
+    /// **Switch**: route tuples satisfying the predicate to output 0 and
+    /// the rest to output 1 (multi-output control flow, §1.2).
+    pub fn switch(&mut self, upstream: NodeId, predicate: &str) -> Result<NodeId, CoreError> {
+        let pred = parse(predicate)?;
+        self.append(upstream, BoxKind::Switch(pred))
+    }
+
+    // ------------------------------------- attribute ops (Fig. 5)
+
+    /// **Add Attribute** with a definition in surface syntax.
+    pub fn add_attribute(
+        &mut self,
+        upstream: NodeId,
+        name: &str,
+        ty: ScalarType,
+        def: &str,
+        role: tioga2_display::attr_ops::AttrRole,
+    ) -> Result<NodeId, CoreError> {
+        let def = parse(def)?;
+        self.apply_rel_op(
+            upstream,
+            RelOpKind::AddAttribute { name: name.into(), ty, def, role },
+            Selection::default(),
+        )
+    }
+
+    /// **Set Attribute**.
+    pub fn set_attribute(
+        &mut self,
+        upstream: NodeId,
+        name: &str,
+        ty: ScalarType,
+        def: &str,
+    ) -> Result<NodeId, CoreError> {
+        let def = parse(def)?;
+        self.apply_rel_op(
+            upstream,
+            RelOpKind::SetAttribute { name: name.into(), ty, def },
+            Selection::default(),
+        )
+    }
+
+    /// **Remove Attribute**.
+    pub fn remove_attribute(&mut self, upstream: NodeId, name: &str) -> Result<NodeId, CoreError> {
+        self.apply_rel_op(upstream, RelOpKind::RemoveAttribute(name.into()), Selection::default())
+    }
+
+    /// **Swap Attributes**.
+    pub fn swap_attributes(
+        &mut self,
+        upstream: NodeId,
+        a: &str,
+        b: &str,
+    ) -> Result<NodeId, CoreError> {
+        self.apply_rel_op(
+            upstream,
+            RelOpKind::SwapAttributes(a.into(), b.into()),
+            Selection::default(),
+        )
+    }
+
+    /// **Scale Attribute**.
+    pub fn scale_attribute(
+        &mut self,
+        upstream: NodeId,
+        name: &str,
+        k: f64,
+    ) -> Result<NodeId, CoreError> {
+        self.apply_rel_op(upstream, RelOpKind::ScaleAttribute(name.into(), k), Selection::default())
+    }
+
+    /// **Translate Attribute**.
+    pub fn translate_attribute(
+        &mut self,
+        upstream: NodeId,
+        name: &str,
+        c: f64,
+    ) -> Result<NodeId, CoreError> {
+        self.apply_rel_op(
+            upstream,
+            RelOpKind::TranslateAttribute(name.into(), c),
+            Selection::default(),
+        )
+    }
+
+    /// **Combine Displays** into a new display attribute.
+    pub fn combine_displays(
+        &mut self,
+        upstream: NodeId,
+        first: &str,
+        second: &str,
+        offset: (f64, f64),
+        new_name: &str,
+    ) -> Result<NodeId, CoreError> {
+        self.apply_rel_op(
+            upstream,
+            RelOpKind::CombineDisplays {
+                first: first.into(),
+                second: second.into(),
+                dx: offset.0,
+                dy: offset.1,
+                new_name: new_name.into(),
+            },
+            Selection::default(),
+        )
+    }
+
+    /// Make an alternative display the active one.
+    pub fn set_active_display(
+        &mut self,
+        upstream: NodeId,
+        name: &str,
+    ) -> Result<NodeId, CoreError> {
+        self.apply_rel_op(upstream, RelOpKind::SetActiveDisplay(name.into()), Selection::default())
+    }
+
+    // ----------------------------------------- drill down (Fig. 6, §7)
+
+    /// **Set Range** of a layer's elevation visibility.
+    pub fn set_range(
+        &mut self,
+        upstream: NodeId,
+        min: f64,
+        max: f64,
+        sel: Selection,
+    ) -> Result<NodeId, CoreError> {
+        self.apply_rel_op(upstream, RelOpKind::SetRange { min, max }, sel)
+    }
+
+    /// Rename a layer (elevation map caption).
+    pub fn set_layer_name(&mut self, upstream: NodeId, name: &str) -> Result<NodeId, CoreError> {
+        self.apply_rel_op(upstream, RelOpKind::SetLayerName(name.into()), Selection::default())
+    }
+
+    /// **Overlay** `top` onto `bottom` with an n-dimensional offset.
+    /// `invariant` is the user's answer to the dimension-mismatch
+    /// warning (§6.1).
+    pub fn overlay(
+        &mut self,
+        bottom: NodeId,
+        top: NodeId,
+        offset: Vec<f64>,
+        invariant: bool,
+    ) -> Result<NodeId, CoreError> {
+        let id = self.edit(|g| {
+            let id = g.add(BoxKind::Overlay { offset, invariant });
+            g.connect(bottom, 0, id, 0)?;
+            g.connect(top, 0, id, 1)?;
+            Ok(id)
+        })?;
+        self.validate_new(id)
+    }
+
+    /// **Shuffle**: move a layer to the top of the drawing order.
+    pub fn shuffle(
+        &mut self,
+        upstream: NodeId,
+        layer: usize,
+        sel: Selection,
+    ) -> Result<NodeId, CoreError> {
+        let shape = self.out_shape(upstream, 0)?;
+        let shape = if shape == PortType::R { PortType::C } else { shape };
+        self.append(upstream, BoxKind::CompOp { op: CompOpKind::Shuffle(layer), shape, sel })
+    }
+
+    /// **Stitch** composites into a group.
+    pub fn stitch(&mut self, members: &[NodeId], layout: Layout) -> Result<NodeId, CoreError> {
+        let members = members.to_vec();
+        let id = self.edit(move |g| {
+            let id = g.add(BoxKind::Stitch { arity: members.len(), layout });
+            for (i, m) in members.iter().enumerate() {
+                g.connect(*m, 0, id, i)?;
+            }
+            Ok(id)
+        })?;
+        self.validate_new(id)
+    }
+
+    /// **Replicate** by partition specs (§7.4), lifted through `sel`.
+    pub fn replicate(
+        &mut self,
+        upstream: NodeId,
+        horizontal: PartitionSpec,
+        vertical: Option<PartitionSpec>,
+        sel: Selection,
+    ) -> Result<NodeId, CoreError> {
+        let shape = self.out_shape(upstream, 0)?;
+        self.append(upstream, BoxKind::Replicate { horizontal, vertical, shape, sel })
+    }
+
+    // ------------------------------------------------ viewers & canvases
+
+    /// Attach a viewer (and its canvas window) to `upstream`'s output.
+    /// Viewers may be installed on any arc; this appends at the frontier.
+    pub fn add_viewer(&mut self, upstream: NodeId, canvas: &str) -> Result<NodeId, CoreError> {
+        if self.canvases.contains_key(canvas) {
+            return Err(CoreError::Session(format!("canvas '{canvas}' already exists")));
+        }
+        let ty = self.out_shape(upstream, 0)?;
+        let canvas_name = canvas.to_string();
+        let id = self.edit(move |g| {
+            let id = g.add(BoxKind::Viewer { canvas: canvas_name, ty });
+            g.connect(upstream, 0, id, 0)?;
+            Ok(id)
+        })?;
+        Ok(id)
+    }
+
+    /// Install a viewer *on an existing edge* — the paper's debugging
+    /// idiom ("it is easy to instrument a program", §10).
+    pub fn add_viewer_on_edge(
+        &mut self,
+        to: NodeId,
+        in_port: usize,
+        canvas: &str,
+    ) -> Result<NodeId, CoreError> {
+        if self.canvases.contains_key(canvas) {
+            return Err(CoreError::Session(format!("canvas '{canvas}' already exists")));
+        }
+        let node = self.graph.node(to)?;
+        let Some(Some((src, src_port))) = node.inputs.get(in_port).copied() else {
+            return Err(CoreError::Session(format!("no edge into input {in_port} of {to}")));
+        };
+        let ty = self.graph.node(src)?.out_types[src_port].clone();
+        let canvas_name = canvas.to_string();
+        self.edit(move |g| {
+            edit::insert_on_edge(g, to, in_port, BoxKind::Viewer { canvas: canvas_name, ty })
+        })
+    }
+
+    pub fn canvas_names(&self) -> Vec<String> {
+        self.canvases.keys().cloned().collect()
+    }
+
+    pub fn focus(&self) -> Option<&str> {
+        self.focus.as_deref()
+    }
+
+    pub fn set_focus(&mut self, canvas: &str) -> Result<(), CoreError> {
+        if !self.canvases.contains_key(canvas) {
+            return Err(CoreError::Session(format!("no canvas '{canvas}'")));
+        }
+        self.focus = Some(canvas.to_string());
+        Ok(())
+    }
+
+    fn canvas_node(&self, canvas: &str) -> Result<NodeId, CoreError> {
+        self.canvases
+            .get(canvas)
+            .map(|c| c.node)
+            .ok_or_else(|| CoreError::Session(format!("no canvas '{canvas}'")))
+    }
+
+    /// The displayable a canvas currently shows (demanding evaluation).
+    pub fn displayable(&mut self, canvas: &str) -> Result<Displayable, CoreError> {
+        let node = self.canvas_node(canvas)?;
+        Ok(self.engine.demand_displayable(&self.graph, node, 0)?)
+    }
+
+    /// Demand any node output directly (inspection of partial results).
+    pub fn demand(&mut self, node: NodeId, port: usize) -> Result<Displayable, CoreError> {
+        Ok(self.engine.demand_displayable(&self.graph, node, port)?)
+    }
+
+    /// Render a canvas window.
+    pub fn render(&mut self, canvas: &str) -> Result<CanvasFrame, CoreError> {
+        let content = self.displayable(canvas)?;
+        let c = self
+            .canvases
+            .get_mut(canvas)
+            .ok_or_else(|| CoreError::Session(format!("no canvas '{canvas}'")))?;
+        c.render(canvas, &content, &mut self.viewers)
+    }
+
+    fn ensure_fitted(&mut self, canvas: &str) -> Result<(), CoreError> {
+        let fitted = self
+            .canvases
+            .get(canvas)
+            .ok_or_else(|| CoreError::Session(format!("no canvas '{canvas}'")))?
+            .fitted;
+        if !fitted {
+            self.render(canvas)?;
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------- gestures (§3, §6)
+
+    /// Pan a canvas by screen pixels (slaved canvases follow).
+    pub fn pan(&mut self, canvas: &str, dx: i32, dy: i32) -> Result<(), CoreError> {
+        self.ensure_fitted(canvas)?;
+        Ok(self.viewers.pan_px(canvas, dx, dy)?)
+    }
+
+    /// Zoom a canvas.  Returns the destination canvas if the elevation
+    /// bottomed out over a wormhole and the user passed through (§6.2).
+    pub fn zoom(&mut self, canvas: &str, factor: f64) -> Result<Option<String>, CoreError> {
+        self.ensure_fitted(canvas)?;
+        self.viewers.zoom(canvas, factor)?;
+        let elevation = self.viewers.get(canvas)?.position.elevation;
+        if elevation <= PASS_THROUGH_ELEVATION {
+            if let Some(spec) = self.wormhole_under_center(canvas)? {
+                self.traverse(canvas, &spec)?;
+                return Ok(Some(spec.destination));
+            }
+            self.viewers.get_mut(canvas)?.position.elevation = PASS_THROUGH_ELEVATION;
+        }
+        Ok(None)
+    }
+
+    /// Move a canvas slider (§3).
+    pub fn set_slider(
+        &mut self,
+        canvas: &str,
+        dim: &str,
+        lo: f64,
+        hi: f64,
+    ) -> Result<(), CoreError> {
+        self.ensure_fitted(canvas)?;
+        Ok(self.viewers.get_mut(canvas)?.set_slider(dim, lo, hi)?)
+    }
+
+    /// Slave two canvases together (§7.1).
+    pub fn slave(&mut self, a: &str, b: &str) -> Result<(), CoreError> {
+        self.ensure_fitted(a)?;
+        self.ensure_fitted(b)?;
+        Ok(self.viewers.slave(a, b)?)
+    }
+
+    pub fn unslave(&mut self, a: &str, b: &str) -> Result<(), CoreError> {
+        Ok(self.viewers.unslave(a, b)?)
+    }
+
+    /// Attach a magnifying glass to a canvas (§7.2).
+    pub fn add_magnifier(&mut self, canvas: &str, m: Magnifier) -> Result<usize, CoreError> {
+        let c = self
+            .canvases
+            .get_mut(canvas)
+            .ok_or_else(|| CoreError::Session(format!("no canvas '{canvas}'")))?;
+        c.magnifiers.push(m);
+        Ok(c.magnifiers.len() - 1)
+    }
+
+    pub fn remove_magnifier(&mut self, canvas: &str, idx: usize) -> Result<(), CoreError> {
+        let c = self
+            .canvases
+            .get_mut(canvas)
+            .ok_or_else(|| CoreError::Session(format!("no canvas '{canvas}'")))?;
+        if idx >= c.magnifiers.len() {
+            return Err(CoreError::Session(format!("no magnifier {idx} on '{canvas}'")));
+        }
+        c.magnifiers.remove(idx);
+        Ok(())
+    }
+
+    /// The group window behind a canvas showing a `G`, after a render.
+    pub fn group_window_mut(
+        &mut self,
+        canvas: &str,
+    ) -> Result<&mut tioga2_viewer::group::GroupWindow, CoreError> {
+        self.canvases
+            .get_mut(canvas)
+            .ok_or_else(|| CoreError::Session(format!("no canvas '{canvas}'")))?
+            .group
+            .as_mut()
+            .ok_or_else(|| CoreError::Session(format!("canvas '{canvas}' is not showing a group")))
+    }
+
+    // -------------------------------------------- wormholes & rear view
+
+    fn composite_of(&mut self, canvas: &str) -> Result<tioga2_display::Composite, CoreError> {
+        Ok(self.displayable(canvas)?.into_composite()?)
+    }
+
+    /// The wormhole under the screen center of a canvas, if any.
+    pub fn wormhole_under_center(&mut self, canvas: &str) -> Result<Option<ViewerSpec>, CoreError> {
+        self.ensure_fitted(canvas)?;
+        let composite = self.composite_of(canvas)?;
+        let viewer = self.viewers.get(canvas)?;
+        let scene = viewer.scene(&composite)?;
+        let vp = viewer.viewport();
+        let (cx, cy) = (vp.width_px as i32 / 2, vp.height_px as i32 / 2);
+        for item in scene.items.iter().rev() {
+            if let Shape::Viewer(spec) = &item.drawable.shape {
+                let bbox = tioga2_render::scene::item_screen_bbox(item, &vp);
+                if cx >= bbox.0 && cx <= bbox.2 && cy >= bbox.1 && cy <= bbox.3 {
+                    return Ok(Some(spec.clone()));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Pass through a wormhole from `canvas` (§6.2).  The destination
+    /// canvas must exist (i.e. the program has a viewer of that name).
+    pub fn traverse(&mut self, canvas: &str, spec: &ViewerSpec) -> Result<(), CoreError> {
+        if !self.canvases.contains_key(&spec.destination) {
+            return Err(CoreError::Session(format!(
+                "wormhole destination '{}' is not a canvas of this program",
+                spec.destination
+            )));
+        }
+        self.ensure_fitted(canvas)?;
+        self.ensure_fitted(&spec.destination)?;
+        let from = self.viewers.get(canvas)?.position.clone();
+        self.history.push(Travel {
+            canvas: canvas.to_string(),
+            center: from.center,
+            elevation: from.elevation.max(PASS_THROUGH_ELEVATION),
+            entry_elevation: spec.elevation,
+        });
+        let v = self.viewers.get_mut(&spec.destination)?;
+        v.position.center = spec.at;
+        v.position.elevation = spec.elevation.max(PASS_THROUGH_ELEVATION);
+        self.focus = Some(spec.destination.clone());
+        Ok(())
+    }
+
+    /// Rear-view elevation for the canvas the user last left (§6.3):
+    /// zero at the moment of passage, increasingly negative as the user
+    /// descends on the current canvas.
+    pub fn rear_view_elevation(&self) -> Option<f64> {
+        let last = self.history.last()?;
+        let cur = self
+            .focus
+            .as_ref()
+            .and_then(|f| self.viewers.get(f).ok())
+            .map(|v| v.position.elevation)?;
+        Some((cur - last.entry_elevation).min(0.0))
+    }
+
+    /// Render the rear view mirror: the underside of the previous canvas.
+    pub fn render_rear_view(
+        &mut self,
+        width: u32,
+        height: u32,
+    ) -> Result<Option<(tioga2_render::Framebuffer, tioga2_render::Scene)>, CoreError> {
+        let Some(last) = self.history.last().cloned() else { return Ok(None) };
+        let rear = self.rear_view_elevation().unwrap_or(0.0).min(-PASS_THROUGH_ELEVATION);
+        let composite = self.composite_of(&last.canvas)?;
+        // The mirror's extent grows with the distance descended from the
+        // departed canvas (see §6.3: "he increases the distance from the
+        // previous canvas").
+        let extent = rear.abs().max(last.elevation);
+        let vp = tioga2_render::Viewport::new(last.center, extent, width, height);
+        let scene = tioga2_viewer::render_pass::compose_scene(
+            &composite,
+            rear,
+            &[],
+            vp.world_bounds(),
+            Default::default(),
+        )?;
+        let mut fb = tioga2_render::Framebuffer::new(width, height);
+        let _ = tioga2_render::render_scene(&scene, &vp, &mut fb);
+        Ok(Some((fb, scene)))
+    }
+
+    /// "Find your way home" (§6.3): pop the travel stack.
+    pub fn go_back(&mut self) -> Result<String, CoreError> {
+        let last = self
+            .history
+            .pop()
+            .ok_or_else(|| CoreError::Session("no canvas to go back to".into()))?;
+        self.ensure_fitted(&last.canvas)?;
+        let v = self.viewers.get_mut(&last.canvas)?;
+        v.position.center = last.center;
+        v.position.elevation = last.elevation;
+        self.focus = Some(last.canvas.clone());
+        Ok(last.canvas)
+    }
+
+    pub fn travel_depth(&self) -> usize {
+        self.history.len()
+    }
+
+    // ------------------------------------------- elevation map (§6.1)
+
+    /// The elevation map of a canvas at its current elevation.  For a
+    /// group canvas this is the map of the member under the cycling
+    /// cursor (§6.1).
+    pub fn elevation_map(&mut self, canvas: &str) -> Result<Vec<ElevationBar>, CoreError> {
+        // Group canvases: per-member maps through the cursor.
+        let is_group = matches!(self.displayable(canvas)?, Displayable::G(_));
+        if is_group {
+            self.render(canvas)?;
+            return Ok(self.group_window_mut(canvas)?.current_elevation_map()?);
+        }
+        self.ensure_fitted(canvas)?;
+        let composite = self.composite_of(canvas)?;
+        let elevation = self.viewers.get(canvas)?.position.elevation;
+        Ok(elevation_map(&composite, elevation))
+    }
+
+    /// Cycle a group canvas's elevation map to its next member.
+    pub fn cycle_elevation_map(&mut self, canvas: &str) -> Result<usize, CoreError> {
+        self.render(canvas)?;
+        Ok(self.group_window_mut(canvas)?.cycle_elevation_map())
+    }
+
+    /// Clone a canvas: a second viewer box on the same edge with the same
+    /// position (one of the viewer features inherited from the original
+    /// Tioga design, §1.1).
+    pub fn clone_canvas(&mut self, src: &str, new_name: &str) -> Result<NodeId, CoreError> {
+        if self.canvases.contains_key(new_name) {
+            return Err(CoreError::Session(format!("canvas '{new_name}' already exists")));
+        }
+        let node = self.canvas_node(src)?;
+        let (from, port, ty) = {
+            let n = self.graph.node(node)?;
+            let Some(Some((from, port))) = n.inputs.first().copied() else {
+                return Err(CoreError::Session(format!("canvas '{src}' has no input edge")));
+            };
+            (from, port, self.graph.node(from)?.out_types[port].clone())
+        };
+        let canvas_name = new_name.to_string();
+        let id = self.edit(move |g| {
+            let v = g.add(BoxKind::Viewer { canvas: canvas_name, ty });
+            g.connect(from, port, v, 0)?;
+            Ok(v)
+        })?;
+        // Copy the viewer position if the source has been rendered.
+        if let Ok(srcv) = self.viewers.get(src) {
+            let pos = srcv.position.clone();
+            let size = srcv.size;
+            let mut v = tioga2_viewer::Viewer::new(new_name, size.0, size.1);
+            v.position = pos;
+            self.viewers.insert(v);
+            if let Some(c) = self.canvases.get_mut(new_name) {
+                c.fitted = true;
+            }
+        }
+        Ok(id)
+    }
+
+    /// Direct manipulation of an elevation-map bar: dragging a layer's
+    /// range endpoints *edits the program* — a Set Range box is spliced
+    /// into the edge feeding the canvas's viewer.
+    pub fn set_range_via_map(
+        &mut self,
+        canvas: &str,
+        layer: usize,
+        min: f64,
+        max: f64,
+    ) -> Result<NodeId, CoreError> {
+        let node = self.canvas_node(canvas)?;
+        let src_ty = {
+            let n = self.graph.node(node)?;
+            let Some(Some((src, port))) = n.inputs.first().copied() else {
+                return Err(CoreError::Session(format!("canvas '{canvas}' has no input edge")));
+            };
+            self.graph.node(src)?.out_types[port].clone()
+        };
+        let kind = BoxKind::RelOp {
+            op: RelOpKind::SetRange { min, max },
+            shape: src_ty,
+            sel: Selection::layer(layer),
+        };
+        self.edit(|g| edit::insert_on_edge(g, node, 0, kind))
+    }
+
+    /// Elevation-map drawing-order manipulation: splice a Reorder box
+    /// into the canvas's edge.
+    pub fn reorder_via_map(
+        &mut self,
+        canvas: &str,
+        from: usize,
+        to: usize,
+    ) -> Result<NodeId, CoreError> {
+        let node = self.canvas_node(canvas)?;
+        let src_ty = {
+            let n = self.graph.node(node)?;
+            let Some(Some((src, port))) = n.inputs.first().copied() else {
+                return Err(CoreError::Session(format!("canvas '{canvas}' has no input edge")));
+            };
+            self.graph.node(src)?.out_types[port].clone()
+        };
+        let shape = if src_ty == PortType::R { PortType::C } else { src_ty };
+        let kind = BoxKind::CompOp {
+            op: CompOpKind::Reorder { from, to },
+            shape,
+            sel: Selection::default(),
+        };
+        self.edit(|g| edit::insert_on_edge(g, node, 0, kind))
+    }
+
+    // --------------------------------------------------- update (§8)
+
+    /// Click a canvas: the topmost screen object under the pixel.
+    pub fn click(&mut self, canvas: &str, x: i32, y: i32) -> Result<Option<HitRecord>, CoreError> {
+        let frame = self.render(canvas)?;
+        Ok(frame.hits.top_hit(x, y).cloned())
+    }
+
+    /// Click inside one member of a group canvas (member-local pixel
+    /// coordinates).
+    pub fn click_member(
+        &mut self,
+        canvas: &str,
+        member: usize,
+        x: i32,
+        y: i32,
+    ) -> Result<Option<HitRecord>, CoreError> {
+        let frame = self.render(canvas)?;
+        let hits = frame.member_hits.get(member).ok_or_else(|| {
+            CoreError::Session(format!("canvas '{canvas}' has no group member {member}"))
+        })?;
+        Ok(hits.top_hit(x, y).cloned())
+    }
+
+    /// §8 update through a group member's canvas.
+    pub fn begin_update_member(
+        &mut self,
+        canvas: &str,
+        member: usize,
+        x: i32,
+        y: i32,
+    ) -> Result<crate::update::UpdateDialog, CoreError> {
+        let hit = self
+            .click_member(canvas, member, x, y)?
+            .ok_or_else(|| CoreError::Update("no screen object at that position".into()))?;
+        crate::update::UpdateDialog::for_hit(self, &hit)
+    }
+
+    /// Click a screen object and open the generic update dialog for its
+    /// tuple (§8).
+    pub fn begin_update(
+        &mut self,
+        canvas: &str,
+        x: i32,
+        y: i32,
+    ) -> Result<crate::update::UpdateDialog, CoreError> {
+        let hit = self
+            .click(canvas, x, y)?
+            .ok_or_else(|| CoreError::Update("no screen object at that position".into()))?;
+        crate::update::UpdateDialog::for_hit(self, &hit)
+    }
+
+    /// Install committed changes (called by `UpdateDialog::commit`).
+    pub(crate) fn install_update(
+        &mut self,
+        table: &str,
+        row_id: u64,
+        changes: &[tioga2_relational::update::FieldChange],
+    ) -> Result<(), CoreError> {
+        tioga2_relational::update::install_update(&self.env.catalog, table, row_id, changes)?;
+        // Base data changed outside the structural signature.
+        self.engine.invalidate_all();
+        Ok(())
+    }
+}

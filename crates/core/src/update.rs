@@ -1,0 +1,99 @@
+//! The generic update dialog (paper §8).
+//!
+//! "When a user clicks on a screen object, the Tioga-2 run time system
+//! activates a generic update procedure, passing it the tuple
+//! corresponding to the screen object.  The function engages a dialog
+//! with the user to construct a new tuple — using the primitive update
+//! functions for the fields — and then perform an SQL update to install
+//! the new value in the database."
+
+use crate::error::CoreError;
+use crate::session::Session;
+use tioga2_expr::ScalarType;
+use tioga2_relational::update::FieldChange;
+use tioga2_render::HitRecord;
+
+/// One dialog field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DialogField {
+    pub name: String,
+    pub ty: ScalarType,
+    /// Current value rendered with the type's default display function.
+    pub original: String,
+    /// The user's replacement text, if edited.
+    pub edited: Option<String>,
+}
+
+/// An in-progress update of one tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateDialog {
+    pub table: String,
+    pub row_id: u64,
+    pub fields: Vec<DialogField>,
+}
+
+impl UpdateDialog {
+    /// Build the dialog for a clicked screen object.  The object's tuple
+    /// must be traceable to a base table (restrict/sample/sort preserve
+    /// lineage; join output is not updatable).
+    pub(crate) fn for_hit(session: &mut Session, hit: &HitRecord) -> Result<Self, CoreError> {
+        let table = hit.provenance.source.clone().ok_or_else(|| {
+            CoreError::Update(format!(
+                "screen object from layer '{}' is not traceable to a base table",
+                hit.provenance.layer
+            ))
+        })?;
+        let row_id = hit.provenance.row_id;
+        let base = session.env.catalog.snapshot(&table)?;
+        let tuple = base
+            .tuples()
+            .iter()
+            .find(|t| t.row_id == row_id)
+            .ok_or_else(|| {
+                CoreError::Update(format!("row {row_id} no longer exists in '{table}'"))
+            })?
+            .clone();
+        let fields = base
+            .schema()
+            .fields()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| DialogField {
+                name: f.name.clone(),
+                ty: f.ty.clone(),
+                original: tuple.values()[i].display_text(),
+                edited: None,
+            })
+            .collect();
+        Ok(UpdateDialog { table, row_id, fields })
+    }
+
+    /// Edit one field's text.
+    pub fn set_field(&mut self, name: &str, text: impl Into<String>) -> Result<(), CoreError> {
+        let f = self
+            .fields
+            .iter_mut()
+            .find(|f| f.name == name)
+            .ok_or_else(|| CoreError::Update(format!("no field '{name}'")))?;
+        f.edited = Some(text.into());
+        Ok(())
+    }
+
+    /// Parse the edited fields with their (possibly overridden) update
+    /// functions and install the new tuple.  All-or-nothing.
+    pub fn commit(self, session: &mut Session) -> Result<(), CoreError> {
+        let mut changes = Vec::new();
+        for f in &self.fields {
+            if let Some(text) = &f.edited {
+                let parser = session.env.update_fn(&self.table, &f.name, &f.ty);
+                let value = parser(text)
+                    .map_err(|m| CoreError::Update(format!("field '{}': {m}", f.name)))?;
+                changes.push(FieldChange { field: f.name.clone(), value });
+            }
+        }
+        if changes.is_empty() {
+            return Ok(());
+        }
+        session.install_update(&self.table, self.row_id, &changes)
+    }
+}

@@ -1,0 +1,247 @@
+//! Rendering the program window itself — the boxes-and-arrows diagram of
+//! paper Figure 1.
+//!
+//! The layout is a simple layered (Sugiyama-lite) arrangement: nodes are
+//! ranked by their longest path from a source, ranks become columns, and
+//! edges run left to right.  Output formats: self-contained SVG (for the
+//! figure regenerator) and Graphviz DOT (for external tooling).
+
+use crate::graph::{Graph, NodeId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Node box size and spacing in SVG pixels.
+const BOX_W: i32 = 150;
+const BOX_H: i32 = 44;
+const H_GAP: i32 = 60;
+const V_GAP: i32 = 26;
+const MARGIN: i32 = 20;
+
+/// Computed diagram layout: `(node, column, row)` plus total grid size.
+#[derive(Debug, Clone)]
+pub struct DiagramLayout {
+    pub positions: BTreeMap<NodeId, (usize, usize)>,
+    pub cols: usize,
+    pub rows: usize,
+}
+
+/// Rank every node by longest distance from a source, then stack each
+/// rank's nodes in id order.
+pub fn layout(graph: &Graph) -> DiagramLayout {
+    // Longest-path rank via memoized DFS over input edges (graphs are
+    // DAGs by construction).
+    fn rank(graph: &Graph, id: NodeId, memo: &mut BTreeMap<NodeId, usize>) -> usize {
+        if let Some(r) = memo.get(&id) {
+            return *r;
+        }
+        let r = graph
+            .node(id)
+            .map(|n| {
+                n.inputs
+                    .iter()
+                    .flatten()
+                    .map(|(src, _)| rank(graph, *src, memo) + 1)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0);
+        memo.insert(id, r);
+        r
+    }
+    let mut memo = BTreeMap::new();
+    let mut by_rank: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+    for id in graph.node_ids() {
+        let r = rank(graph, id, &mut memo);
+        by_rank.entry(r).or_default().push(id);
+    }
+    let mut positions = BTreeMap::new();
+    let mut rows = 1;
+    for (col, ids) in by_rank.values().enumerate() {
+        rows = rows.max(ids.len());
+        for (row, id) in ids.iter().enumerate() {
+            positions.insert(*id, (col, row));
+        }
+    }
+    DiagramLayout { positions, cols: by_rank.len().max(1), rows }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+fn px(col: usize, row: usize) -> (i32, i32) {
+    (MARGIN + col as i32 * (BOX_W + H_GAP), MARGIN + row as i32 * (BOX_H + V_GAP))
+}
+
+/// Render the program window as a self-contained SVG document.
+pub fn to_svg(graph: &Graph) -> String {
+    let l = layout(graph);
+    let width = MARGIN * 2 + l.cols as i32 * (BOX_W + H_GAP) - H_GAP.min(0);
+    let height = MARGIN * 2 + l.rows as i32 * (BOX_H + V_GAP);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\" font-family=\"monospace\" font-size=\"11\">"
+    );
+    let _ = writeln!(out, "<rect width=\"100%\" height=\"100%\" fill=\"#fbfbf7\"/>");
+
+    // Edges first (under the boxes).
+    for n in graph.nodes() {
+        let Some(&(tc, tr)) = l.positions.get(&n.id) else { continue };
+        let (tx, ty) = px(tc, tr);
+        for (in_port, inp) in n.inputs.iter().enumerate() {
+            let Some((src, out_port)) = inp else { continue };
+            let Some(&(sc, sr)) = l.positions.get(src) else { continue };
+            let (sx, sy) = px(sc, sr);
+            let src_n = graph.node(*src).expect("edge source exists");
+            let x0 = sx + BOX_W;
+            let y0 = sy + BOX_H * (*out_port as i32 + 1) / (src_n.out_types.len() as i32 + 1);
+            let x1 = tx;
+            let y1 = ty + BOX_H * (in_port as i32 + 1) / (n.in_types.len() as i32 + 1);
+            let mx = (x0 + x1) / 2;
+            let _ = writeln!(
+                out,
+                "<path d=\"M {x0} {y0} C {mx} {y0}, {mx} {y1}, {x1} {y1}\" fill=\"none\" stroke=\"#666666\" stroke-width=\"1.5\"/>"
+            );
+            // Arrowhead.
+            let _ = writeln!(
+                out,
+                "<polygon points=\"{x1},{y1} {},{} {},{}\" fill=\"#666666\"/>",
+                x1 - 7,
+                y1 - 4,
+                x1 - 7,
+                y1 + 4
+            );
+        }
+    }
+
+    // Boxes.
+    for n in graph.nodes() {
+        let Some(&(c, r)) = l.positions.get(&n.id) else { continue };
+        let (x, y) = px(c, r);
+        let is_viewer = matches!(n.kind, crate::boxes::BoxKind::Viewer { .. });
+        let fill = if is_viewer { "#e8f0fe" } else { "#ffffff" };
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x}\" y=\"{y}\" width=\"{BOX_W}\" height=\"{BOX_H}\" rx=\"6\" fill=\"{fill}\" stroke=\"#333333\" stroke-width=\"1.5\"/>"
+        );
+        let name = esc(&n.name());
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{name}</text>",
+            x + BOX_W / 2,
+            y + 18
+        );
+        let sig: String = format!(
+            "{} → {}",
+            n.in_types.iter().map(|t| t.code()).collect::<Vec<_>>().join(","),
+            n.out_types.iter().map(|t| t.code()).collect::<Vec<_>>().join(",")
+        );
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" fill=\"#888888\" font-size=\"9\">{} {}</text>",
+            x + BOX_W / 2,
+            y + 34,
+            n.id,
+            esc(&sig)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Render the program as Graphviz DOT.
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::from(
+        "digraph tioga2 {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
+    for n in graph.nodes() {
+        let _ =
+            writeln!(out, "  n{} [label=\"{}\\n{}\"];", n.id.0, n.name().replace('"', "'"), n.id);
+    }
+    for n in graph.nodes() {
+        for (in_port, inp) in n.inputs.iter().enumerate() {
+            if let Some((src, out_port)) = inp {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [taillabel=\"{}\", headlabel=\"{}\"];",
+                    src.0, n.id.0, out_port, in_port
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::{BoxKind, RelOpKind};
+    use crate::port::PortType;
+    use tioga2_expr::parse;
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let tee = g.add(BoxKind::Tee(PortType::R));
+        let r = g.add(BoxKind::rel(RelOpKind::Restrict(parse("state = 'LA'").unwrap())));
+        let v1 = g.add(BoxKind::Viewer { canvas: "main".into(), ty: PortType::R });
+        let v2 = g.add(BoxKind::Viewer { canvas: "probe".into(), ty: PortType::R });
+        g.connect(t, 0, tee, 0).unwrap();
+        g.connect(tee, 0, r, 0).unwrap();
+        g.connect(r, 0, v1, 0).unwrap();
+        g.connect(tee, 1, v2, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn layout_ranks_follow_dataflow() {
+        let g = sample_graph();
+        let l = layout(&g);
+        assert_eq!(l.cols, 4, "table, tee, (restrict|viewer2), ...");
+        let ids = g.node_ids();
+        let col = |i: usize| l.positions[&ids[i]].0;
+        assert_eq!(col(0), 0, "table is a source");
+        assert!(col(1) > col(0));
+        assert!(col(2) > col(1));
+        assert!(col(3) > col(2), "viewer after restrict");
+        assert!(col(4) > col(1), "probe viewer after the tee");
+    }
+
+    #[test]
+    fn svg_contains_every_box_and_edge() {
+        let g = sample_graph();
+        let svg = to_svg(&g);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<rect x=").count(), g.len(), "one box per node");
+        // 4 edges -> 4 paths + arrowheads.
+        assert_eq!(svg.matches("<path").count(), 4);
+        assert_eq!(svg.matches("<polygon").count(), 4);
+        assert!(svg.contains("Stations"));
+        assert!(svg.contains("Viewer[main]"));
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let g = sample_graph();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches("->").count(), 4);
+        assert_eq!(
+            dot.matches("label=").count(),
+            g.len() + 2 * 4,
+            "node labels + edge port labels"
+        );
+    }
+
+    #[test]
+    fn empty_graph_diagrams() {
+        let g = Graph::new();
+        assert!(to_svg(&g).contains("</svg>"));
+        assert!(to_dot(&g).contains("digraph"));
+        let l = layout(&g);
+        assert_eq!(l.positions.len(), 0);
+    }
+}

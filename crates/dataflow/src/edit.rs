@@ -1,0 +1,351 @@
+//! Program editing operations (paper §4.1, Figure 2) and undo.
+//!
+//! The paper's **Delete Box** rule preserves the "everything is always
+//! visualizable" property: "arbitrary box deletions are not allowed in
+//! Tioga-2.  A box may \\[be\\] deleted if (1) it has no outputs connected to
+//! other boxes (in which case no box inputs are left dangling), or (2) it
+//! has a single input and output of the same type (in which case the
+//! system connects the deleted box's predecessor to its successor)."
+
+use crate::boxes::{BoxKind, BoxRegistry, BoxTemplate};
+use crate::error::FlowError;
+use crate::graph::{Graph, NodeId};
+use crate::port::PortType;
+
+/// **Delete Box** with the paper's two legality cases.
+pub fn delete_box(graph: &mut Graph, id: NodeId) -> Result<(), FlowError> {
+    let consumers = graph.consumers(id);
+    if consumers.is_empty() {
+        // Case 1: no outputs connected.
+        graph.remove_node(id)?;
+        return Ok(());
+    }
+    let node = graph.node(id)?;
+    // Case 2: single input and output of the same type -> splice.
+    if node.in_types.len() == 1
+        && node.out_types.len() == 1
+        && node.in_types[0] == node.out_types[0]
+    {
+        let pred = node.inputs[0];
+        let Some((pred_id, pred_port)) = pred else {
+            return Err(FlowError::Edit(format!(
+                "cannot delete '{}': successors would be left dangling (its input is unconnected)",
+                node.name()
+            )));
+        };
+        graph.remove_node(id)?;
+        for (cons, in_port, _) in consumers {
+            graph.connect(pred_id, pred_port, cons, in_port)?;
+        }
+        return Ok(());
+    }
+    Err(FlowError::Edit(format!(
+        "cannot delete '{}': it has connected outputs and is not a single-input/single-output box of one type",
+        graph.node(id)?.name()
+    )))
+}
+
+/// **T** (Figure 2): "add a T-node to a designated edge" — the edge
+/// feeding `to`'s `in_port`.  Returns the new T node; its second output
+/// is free for, e.g., a viewer.
+pub fn insert_tee(graph: &mut Graph, to: NodeId, in_port: usize) -> Result<NodeId, FlowError> {
+    let node = graph.node(to)?;
+    let Some(Some((src, src_port))) = node.inputs.get(in_port).copied() else {
+        return Err(FlowError::Edit(format!("no edge into input {in_port} of {to}")));
+    };
+    let ty = graph.node(src)?.out_types[src_port].clone();
+    let tee = graph.add(BoxKind::Tee(ty));
+    graph.disconnect(to, in_port)?;
+    graph.connect(src, src_port, tee, 0)?;
+    graph.connect(tee, 0, to, in_port)?;
+    Ok(tee)
+}
+
+/// Insert a single-input/single-output box into the edge feeding `to`'s
+/// `in_port`.  This is how viewers are installed "on any arc in a
+/// diagram" (§10) and how incremental operations splice into a pipeline.
+pub fn insert_on_edge(
+    graph: &mut Graph,
+    to: NodeId,
+    in_port: usize,
+    kind: BoxKind,
+) -> Result<NodeId, FlowError> {
+    let (kin, kout) = kind.signature();
+    if kin.len() != 1 || kout.len() != 1 {
+        return Err(FlowError::Edit(format!(
+            "'{}' is not a single-input/single-output box",
+            kind.name()
+        )));
+    }
+    let node = graph.node(to)?;
+    let Some(Some((src, src_port))) = node.inputs.get(in_port).copied() else {
+        return Err(FlowError::Edit(format!("no edge into input {in_port} of {to}")));
+    };
+    let src_ty = graph.node(src)?.out_types[src_port].clone();
+    let dst_ty = node.in_types[in_port].clone();
+    if !kin[0].accepts(&src_ty) || !dst_ty.accepts(&kout[0]) {
+        return Err(FlowError::Type(format!(
+            "'{}' ({} -> {}) does not fit an edge of type {} -> {}",
+            kind.name(),
+            kin[0],
+            kout[0],
+            src_ty,
+            dst_ty
+        )));
+    }
+    let mid = graph.add(kind);
+    graph.disconnect(to, in_port)?;
+    graph.connect(src, src_port, mid, 0)?;
+    graph.connect(mid, 0, to, in_port)?;
+    Ok(mid)
+}
+
+/// **Apply Box** (Figure 2): given selected output ports ("edges"),
+/// return the registry boxes whose inputs match their types.
+pub fn apply_box_candidates<'r>(
+    graph: &Graph,
+    registry: &'r BoxRegistry,
+    outputs: &[(NodeId, usize)],
+) -> Result<Vec<&'r BoxTemplate>, FlowError> {
+    let mut types: Vec<PortType> = Vec::with_capacity(outputs.len());
+    for (id, port) in outputs {
+        let node = graph.node(*id)?;
+        let ty = node
+            .out_types
+            .get(*port)
+            .ok_or_else(|| FlowError::Graph(format!("{id} has no output {port}")))?;
+        types.push(ty.clone());
+    }
+    Ok(registry.matching(&types))
+}
+
+/// Snapshot-based undo/redo: the menu bar's single **undo button** (§3).
+/// Programs are small (metadata only — tuples never live in the graph),
+/// so whole-graph snapshots are cheap and always correct.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    past: Vec<Graph>,
+    future: Vec<Graph>,
+    limit: usize,
+}
+
+impl Journal {
+    pub fn new() -> Self {
+        Journal { past: Vec::new(), future: Vec::new(), limit: 256 }
+    }
+
+    /// Record the state *before* an edit.
+    pub fn checkpoint(&mut self, current: &Graph) {
+        self.past.push(current.clone());
+        if self.past.len() > self.limit {
+            self.past.remove(0);
+        }
+        self.future.clear();
+    }
+
+    pub fn can_undo(&self) -> bool {
+        !self.past.is_empty()
+    }
+
+    pub fn can_redo(&self) -> bool {
+        !self.future.is_empty()
+    }
+
+    /// Undo: restore the previous snapshot, exchanging it with `current`.
+    pub fn undo(&mut self, current: &mut Graph) -> bool {
+        match self.past.pop() {
+            Some(prev) => {
+                self.future.push(std::mem::replace(current, prev));
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn redo(&mut self, current: &mut Graph) -> bool {
+        match self.future.pop() {
+            Some(next) => {
+                self.past.push(std::mem::replace(current, next));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Discard the redo stack.  Used after a *rejected* edit is rolled
+    /// back, so the failed program state cannot be "redone" into.
+    pub fn forget_future(&mut self) {
+        self.future.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::RelOpKind;
+    use tioga2_expr::parse;
+
+    fn restrict(src: &str) -> BoxKind {
+        BoxKind::rel(RelOpKind::Restrict(parse(src).unwrap()))
+    }
+
+    fn chain() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict("state = 'LA'"));
+        let v = g.add(BoxKind::Viewer { canvas: "main".into(), ty: PortType::R });
+        g.connect(t, 0, r, 0).unwrap();
+        g.connect(r, 0, v, 0).unwrap();
+        (g, t, r, v)
+    }
+
+    #[test]
+    fn delete_case1_no_connected_outputs() {
+        let (mut g, _, _, v) = chain();
+        delete_box(&mut g, v).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(g.dangling_inputs().is_empty());
+    }
+
+    #[test]
+    fn delete_case2_splices() {
+        let (mut g, t, r, v) = chain();
+        delete_box(&mut g, r).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.node(v).unwrap().inputs[0], Some((t, 0)), "predecessor spliced to successor");
+        assert!(g.dangling_inputs().is_empty());
+    }
+
+    #[test]
+    fn delete_illegal_cases() {
+        let (mut g, t, _, _) = chain();
+        // Table has no input: deleting it would leave the restrict
+        // dangling -> rejected.
+        assert!(delete_box(&mut g, t).is_err());
+
+        // A Switch (1 in, 2 out) with a connected output is not splicable.
+        let mut g2 = Graph::new();
+        let t2 = g2.add(BoxKind::Table("A".into()));
+        let sw = g2.add(BoxKind::Switch(parse("a = 1").unwrap()));
+        let r2 = g2.add(restrict("TRUE"));
+        g2.connect(t2, 0, sw, 0).unwrap();
+        g2.connect(sw, 0, r2, 0).unwrap();
+        assert!(delete_box(&mut g2, sw).is_err());
+
+        // Disconnected restrict between others: input unconnected.
+        let mut g3 = Graph::new();
+        let r3 = g3.add(restrict("TRUE"));
+        let r4 = g3.add(restrict("TRUE"));
+        g3.connect(r3, 0, r4, 0).unwrap();
+        assert!(delete_box(&mut g3, r3).is_err(), "r3 has no input to splice from");
+    }
+
+    #[test]
+    fn delete_case2_with_fanout() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("A".into()));
+        let mid = g.add(restrict("TRUE"));
+        let a = g.add(restrict("a = 1"));
+        let b = g.add(restrict("a = 2"));
+        g.connect(t, 0, mid, 0).unwrap();
+        g.connect(mid, 0, a, 0).unwrap();
+        g.connect(mid, 0, b, 0).unwrap();
+        delete_box(&mut g, mid).unwrap();
+        assert_eq!(g.node(a).unwrap().inputs[0], Some((t, 0)));
+        assert_eq!(g.node(b).unwrap().inputs[0], Some((t, 0)));
+    }
+
+    #[test]
+    fn insert_tee_on_edge() {
+        let (mut g, t, r, _) = chain();
+        let tee = insert_tee(&mut g, r, 0).unwrap();
+        assert_eq!(g.node(tee).unwrap().inputs[0], Some((t, 0)));
+        assert_eq!(g.node(r).unwrap().inputs[0], Some((tee, 0)));
+        // Second output free: attach a viewer (the debugging idiom).
+        let v2 = g.add(BoxKind::Viewer { canvas: "probe".into(), ty: PortType::R });
+        g.connect(tee, 1, v2, 0).unwrap();
+        assert!(g.dangling_inputs().is_empty());
+        assert!(insert_tee(&mut g, t, 0).is_err(), "no edge into a table");
+    }
+
+    #[test]
+    fn insert_viewer_on_any_arc() {
+        let (mut g, t, r, _) = chain();
+        let v = insert_on_edge(
+            &mut g,
+            r,
+            0,
+            BoxKind::Viewer { canvas: "probe".into(), ty: PortType::R },
+        )
+        .unwrap();
+        assert_eq!(g.node(v).unwrap().inputs[0], Some((t, 0)));
+        assert_eq!(g.node(r).unwrap().inputs[0], Some((v, 0)));
+    }
+
+    #[test]
+    fn insert_on_edge_type_checked() {
+        let (mut g, _, r, _) = chain();
+        // A Join (2 inputs) cannot be spliced into one edge.
+        assert!(insert_on_edge(&mut g, r, 0, BoxKind::Join(parse("a = b").unwrap())).is_err());
+        // A G-producing box does not fit an R edge.
+        assert!(insert_on_edge(
+            &mut g,
+            r,
+            0,
+            BoxKind::Replicate {
+                horizontal: tioga2_display::compose::PartitionSpec::Enumerate("d".into()),
+                vertical: None,
+                shape: PortType::R,
+                sel: Default::default(),
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn apply_box_candidates_by_edge() {
+        let (g, t, _, _) = chain();
+        let reg = BoxRegistry::with_primitives();
+        let cands = apply_box_candidates(&g, &reg, &[(t, 0)]).unwrap();
+        assert!(cands.iter().any(|c| c.name == "Restrict"));
+        let pair = apply_box_candidates(&g, &reg, &[(t, 0), (t, 0)]).unwrap();
+        assert!(pair.iter().any(|c| c.name == "Join"));
+        assert!(apply_box_candidates(&g, &reg, &[(t, 7)]).is_err());
+    }
+
+    #[test]
+    fn journal_undo_redo() {
+        let (mut g, _, r, _) = chain();
+        let mut j = Journal::new();
+        assert!(!j.can_undo());
+
+        j.checkpoint(&g);
+        delete_box(&mut g, r).unwrap();
+        assert_eq!(g.len(), 2);
+
+        assert!(j.undo(&mut g));
+        assert_eq!(g.len(), 3, "undo restores the deleted box");
+        assert!(j.can_redo());
+        assert!(j.redo(&mut g));
+        assert_eq!(g.len(), 2);
+        assert!(!j.redo(&mut g));
+
+        // A new edit clears the redo stack.
+        j.checkpoint(&g);
+        let _ = g.add(BoxKind::Table("B".into()));
+        assert!(!j.can_redo());
+        assert!(j.undo(&mut g));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn journal_undo_is_exact_inverse() {
+        let (mut g, _, r, _) = chain();
+        let before = g.clone();
+        let mut j = Journal::new();
+        j.checkpoint(&g);
+        delete_box(&mut g, r).unwrap();
+        j.undo(&mut g);
+        assert_eq!(g, before);
+    }
+}

@@ -1,0 +1,383 @@
+//! **Encapsulate** (paper §4.1): turning a region of a program into a new
+//! box, optionally with *holes*.
+//!
+//! "The user specifies a portion of the program to be encapsulated by
+//! drawing a closed curve around a region of the program.  Edges cut by
+//! the curve are the inputs and outputs of the new box. ...  The user
+//! draws additional closed areas within the program region ...  These
+//! areas become 'holes' — they are not included in the encapsulated box,
+//! and edges cut by a hole are unconnected.  To use an encapsulated box
+//! with holes, the user must specify a box — with compatible types — that
+//! can be plugged into each hole."
+//!
+//! Holes make encapsulated boxes higher-order: graphical macros.
+
+use crate::boxes::BoxKind;
+use crate::error::FlowError;
+use crate::graph::{Graph, NodeId};
+use crate::port::PortType;
+use std::collections::BTreeMap;
+
+/// Signature of one hole.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoleSig {
+    pub in_types: Vec<PortType>,
+    pub out_types: Vec<PortType>,
+}
+
+/// A reusable encapsulated box definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncapsulatedDef {
+    pub name: String,
+    /// The inner program.  Outer inputs appear as `BoxKind::Param` nodes;
+    /// holes appear as `BoxKind::Hole` nodes.
+    pub graph: Graph,
+    pub in_types: Vec<PortType>,
+    pub out_types: Vec<PortType>,
+    /// Inner `(node, out_port)` exposed as each outer output.
+    pub output_bindings: Vec<(NodeId, usize)>,
+    pub holes: Vec<HoleSig>,
+}
+
+impl EncapsulatedDef {
+    /// Instantiate as a box, supplying one plug per hole.  Plug
+    /// signatures must match the hole signatures exactly in arity and
+    /// accept the hole's incoming types.
+    pub fn instantiate(
+        self: &std::sync::Arc<Self>,
+        plugs: Vec<BoxKind>,
+    ) -> Result<BoxKind, FlowError> {
+        if plugs.len() != self.holes.len() {
+            return Err(FlowError::Edit(format!(
+                "'{}' has {} hole(s) but {} plug(s) were supplied",
+                self.name,
+                self.holes.len(),
+                plugs.len()
+            )));
+        }
+        for (i, (plug, hole)) in plugs.iter().zip(&self.holes).enumerate() {
+            let (pin, pout) = plug.signature();
+            if pin.len() != hole.in_types.len() || pout.len() != hole.out_types.len() {
+                return Err(FlowError::Type(format!(
+                    "plug '{}' arity does not match hole {i}",
+                    plug.name()
+                )));
+            }
+            for (need, have) in pin.iter().zip(&hole.in_types) {
+                if !need.accepts(have) {
+                    return Err(FlowError::Type(format!(
+                        "plug '{}' input does not accept hole {i} input type {have}",
+                        plug.name()
+                    )));
+                }
+            }
+            for (have, need) in pout.iter().zip(&hole.out_types) {
+                if !need.accepts(have) {
+                    return Err(FlowError::Type(format!(
+                        "plug '{}' output {have} does not satisfy hole {i} output type {need}",
+                        plug.name()
+                    )));
+                }
+            }
+        }
+        Ok(BoxKind::Encapsulated { def: self.clone(), plugs })
+    }
+}
+
+/// Encapsulate `region` of `graph` (with optional `hole_regions`, which
+/// must be disjoint subsets of `region`) into a named definition.
+///
+/// * Edges entering the region from outside become inputs (`Param`s).
+/// * Edges leaving the region become outputs (one per distinct source
+///   port, in discovery order).
+/// * Nodes in a hole region are replaced by a single `Hole` box whose
+///   ports are the edges crossing the hole boundary.
+pub fn encapsulate(
+    graph: &Graph,
+    region: &[NodeId],
+    hole_regions: &[Vec<NodeId>],
+    name: impl Into<String>,
+) -> Result<EncapsulatedDef, FlowError> {
+    let name = name.into();
+    if region.is_empty() {
+        return Err(FlowError::Edit("cannot encapsulate an empty region".into()));
+    }
+    let in_region = |id: NodeId| region.contains(&id);
+    for id in region {
+        graph.node(*id)?;
+    }
+    for (hi, hole) in hole_regions.iter().enumerate() {
+        for id in hole {
+            if !in_region(*id) {
+                return Err(FlowError::Edit(format!("hole {hi} node {id} is outside the region")));
+            }
+        }
+        for other in &hole_regions[hi + 1..] {
+            if hole.iter().any(|n| other.contains(n)) {
+                return Err(FlowError::Edit("hole regions must be disjoint".into()));
+            }
+        }
+    }
+    let hole_of = |id: NodeId| hole_regions.iter().position(|h| h.contains(&id));
+
+    let mut inner = Graph::new();
+    let mut map: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+
+    // First pass: create the inner copies of kept (non-hole) nodes.
+    for id in region {
+        if hole_of(*id).is_none() {
+            let node = graph.node(*id)?;
+            map.insert(*id, inner.add(node.kind.clone()));
+        }
+    }
+
+    // Build hole signatures and nodes.  For each hole region: inputs are
+    // edges from kept/outer nodes into the hole; outputs are edges from
+    // the hole into kept nodes.
+    let mut holes: Vec<HoleSig> = Vec::new();
+    let mut hole_nodes: Vec<NodeId> = Vec::new();
+    // (hole idx, source outside-hole (outer id, out_port)) in port order.
+    let mut hole_input_edges: Vec<Vec<(NodeId, usize)>> = Vec::new();
+    // For each hole: map (hole-member node, out_port) -> hole out port.
+    let mut hole_out_ports: Vec<BTreeMap<(NodeId, usize), usize>> = Vec::new();
+
+    for hole in hole_regions {
+        let mut sig = HoleSig { in_types: vec![], out_types: vec![] };
+        let mut in_edges = Vec::new();
+        let mut out_ports = BTreeMap::new();
+        for id in hole {
+            let node = graph.node(*id)?;
+            for (in_port, inp) in node.inputs.iter().enumerate() {
+                if let Some((src, src_port)) = inp {
+                    if hole_of(*src).is_none() {
+                        // Edge cut by the hole boundary: a hole input.
+                        sig.in_types.push(node.in_types[in_port].clone());
+                        in_edges.push((*src, *src_port));
+                    }
+                }
+            }
+        }
+        for id in hole {
+            for (cons, _, out_port) in graph.consumers(*id) {
+                if in_region(cons) && hole_of(cons).is_none() {
+                    let key = (*id, out_port);
+                    if let std::collections::btree_map::Entry::Vacant(e) = out_ports.entry(key) {
+                        let p = sig.out_types.len();
+                        sig.out_types.push(graph.node(*id)?.out_types[out_port].clone());
+                        e.insert(p);
+                    }
+                }
+            }
+        }
+        let hn = inner.add(BoxKind::Hole {
+            idx: holes.len(),
+            in_types: sig.in_types.clone(),
+            out_types: sig.out_types.clone(),
+        });
+        holes.push(sig);
+        hole_nodes.push(hn);
+        hole_input_edges.push(in_edges);
+        hole_out_ports.push(out_ports);
+    }
+
+    // Second pass: re-create edges among kept nodes; crossing edges
+    // become Params; edges from holes attach to the hole nodes.
+    let mut in_types: Vec<PortType> = Vec::new();
+    // One Param per distinct outer (source node, out_port).
+    let mut param_for: BTreeMap<(NodeId, usize), NodeId> = BTreeMap::new();
+    let mut get_param = |inner: &mut Graph,
+                         in_types: &mut Vec<PortType>,
+                         src: NodeId,
+                         port: usize,
+                         ty: PortType| {
+        *param_for.entry((src, port)).or_insert_with(|| {
+            let idx = in_types.len();
+            in_types.push(ty.clone());
+            inner.add(BoxKind::Param { idx, ty })
+        })
+    };
+
+    for id in region {
+        if hole_of(*id).is_some() {
+            continue;
+        }
+        let node = graph.node(*id)?;
+        for (in_port, inp) in node.inputs.iter().enumerate() {
+            let Some((src, src_port)) = inp else { continue };
+            if let Some(hi) = hole_of(*src) {
+                // Edge out of a hole: connect from the hole node.
+                let hp = hole_out_ports[hi][&(*src, *src_port)];
+                inner.connect(hole_nodes[hi], hp, map[id], in_port)?;
+            } else if in_region(*src) {
+                inner.connect(map[src], *src_port, map[id], in_port)?;
+            } else {
+                // Edge entering the region: an outer input.
+                let ty = graph.node(*src)?.out_types[*src_port].clone();
+                let p = get_param(&mut inner, &mut in_types, *src, *src_port, ty);
+                inner.connect(p, 0, map[id], in_port)?;
+            }
+        }
+    }
+
+    // Hole input edges that originate outside the region need Params too.
+    for (hi, edges) in hole_input_edges.iter().enumerate() {
+        for (port_idx, (src, src_port)) in edges.iter().enumerate() {
+            if in_region(*src) {
+                inner.connect(map[src], *src_port, hole_nodes[hi], port_idx)?;
+            } else {
+                let ty = graph.node(*src)?.out_types[*src_port].clone();
+                let p = get_param(&mut inner, &mut in_types, *src, *src_port, ty);
+                inner.connect(p, 0, hole_nodes[hi], port_idx)?;
+            }
+        }
+    }
+
+    // Outputs: edges from kept region nodes to outside nodes.
+    let mut out_types: Vec<PortType> = Vec::new();
+    let mut output_bindings: Vec<(NodeId, usize)> = Vec::new();
+    let mut seen_out: BTreeMap<(NodeId, usize), usize> = BTreeMap::new();
+    for id in region {
+        if hole_of(*id).is_some() {
+            continue;
+        }
+        for (cons, _, out_port) in graph.consumers(*id) {
+            if !in_region(cons) {
+                let key = (*id, out_port);
+                if let std::collections::btree_map::Entry::Vacant(e) = seen_out.entry(key) {
+                    e.insert(out_types.len());
+                    out_types.push(graph.node(*id)?.out_types[out_port].clone());
+                    output_bindings.push((map[id], out_port));
+                }
+            }
+        }
+    }
+    if out_types.is_empty() {
+        // A region with no outgoing edges exposes the outputs of its
+        // sink nodes, so the encapsulated box is still useful.
+        for id in region {
+            if hole_of(*id).is_some() {
+                continue;
+            }
+            if graph.consumers(*id).is_empty() {
+                let node = graph.node(*id)?;
+                for (out_port, ty) in node.out_types.iter().enumerate() {
+                    out_types.push(ty.clone());
+                    output_bindings.push((map[id], out_port));
+                }
+            }
+        }
+    }
+    if out_types.is_empty() {
+        return Err(FlowError::Edit("encapsulated region exposes no outputs".into()));
+    }
+
+    Ok(EncapsulatedDef { name, graph: inner, in_types, out_types, output_bindings, holes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::RelOpKind;
+    use tioga2_expr::parse;
+
+    fn restrict(src: &str) -> BoxKind {
+        BoxKind::rel(RelOpKind::Restrict(parse(src).unwrap()))
+    }
+
+    /// Table -> Restrict -> Sample -> Restrict(sink); encapsulate the
+    /// middle two.
+    fn chain() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let s = g.add(BoxKind::rel(RelOpKind::Sample { p: 0.5, seed: 1 }));
+        let r2 = g.add(restrict("altitude > 0.0"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(r1, 0, s, 0).unwrap();
+        g.connect(s, 0, r2, 0).unwrap();
+        (g, vec![t, r1, s, r2])
+    }
+
+    #[test]
+    fn encapsulate_middle_of_chain() {
+        let (g, ids) = chain();
+        let def = encapsulate(&g, &[ids[1], ids[2]], &[], "LaSample").unwrap();
+        assert_eq!(def.in_types, vec![PortType::R]);
+        assert_eq!(def.out_types, vec![PortType::R]);
+        assert!(def.holes.is_empty());
+        // Inner graph: Param + Restrict + Sample.
+        assert_eq!(def.graph.len(), 3);
+    }
+
+    #[test]
+    fn encapsulate_whole_program_has_sink_outputs() {
+        let (g, ids) = chain();
+        let def = encapsulate(&g, &ids, &[], "All").unwrap();
+        assert!(def.in_types.is_empty());
+        assert_eq!(def.out_types, vec![PortType::R]);
+    }
+
+    #[test]
+    fn encapsulate_with_hole() {
+        let (g, ids) = chain();
+        // Region = r1, s, r2 with s as a hole.
+        let def = encapsulate(&g, &[ids[1], ids[2], ids[3]], &[vec![ids[2]]], "WithHole").unwrap();
+        assert_eq!(def.holes.len(), 1);
+        assert_eq!(def.holes[0].in_types, vec![PortType::R]);
+        assert_eq!(def.holes[0].out_types, vec![PortType::R]);
+        // Instantiate with a compatible plug.
+        let arc = std::sync::Arc::new(def);
+        let inst = arc.instantiate(vec![restrict("altitude < 100.0")]).unwrap();
+        let (pin, pout) = inst.signature();
+        assert_eq!(pin, vec![PortType::R]);
+        assert_eq!(pout, vec![PortType::R]);
+        // Wrong plug count / type rejected.
+        assert!(arc.instantiate(vec![]).is_err());
+        assert!(arc.instantiate(vec![BoxKind::Join(parse("a = b").unwrap())]).is_err());
+    }
+
+    #[test]
+    fn empty_region_rejected() {
+        let (g, _) = chain();
+        assert!(encapsulate(&g, &[], &[], "x").is_err());
+    }
+
+    #[test]
+    fn hole_outside_region_rejected() {
+        let (g, ids) = chain();
+        assert!(encapsulate(&g, &[ids[1]], &[vec![ids[2]]], "x").is_err());
+    }
+
+    #[test]
+    fn overlapping_holes_rejected() {
+        let (g, ids) = chain();
+        assert!(encapsulate(&g, &[ids[1], ids[2]], &[vec![ids[1]], vec![ids[1]]], "x").is_err());
+    }
+
+    #[test]
+    fn multi_input_region() {
+        // Two tables joined; encapsulating the join yields two inputs.
+        let mut g = Graph::new();
+        let a = g.add(BoxKind::Table("A".into()));
+        let b = g.add(BoxKind::Table("B".into()));
+        let j = g.add(BoxKind::Join(parse("id = id_2").unwrap()));
+        g.connect(a, 0, j, 0).unwrap();
+        g.connect(b, 0, j, 1).unwrap();
+        let def = encapsulate(&g, &[j], &[], "JoinOnly").unwrap();
+        assert_eq!(def.in_types, vec![PortType::R, PortType::R]);
+    }
+
+    #[test]
+    fn fan_out_within_region_dedupes_params() {
+        // One outer source feeding two region nodes: a single Param.
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("A".into()));
+        let r1 = g.add(restrict("a = 1"));
+        let r2 = g.add(restrict("a = 2"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(t, 0, r2, 0).unwrap();
+        let def = encapsulate(&g, &[r1, r2], &[], "Fan").unwrap();
+        assert_eq!(def.in_types.len(), 1, "one Param for one outer source port");
+        assert_eq!(def.out_types.len(), 2, "both sinks exposed");
+    }
+}

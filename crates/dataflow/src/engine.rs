@@ -1,0 +1,734 @@
+//! The lazy, memoizing evaluation engine.
+//!
+//! Paper §2: "When data is present on all of a box's inputs, the box can
+//! 'fire', producing results on one or more outputs.  Execution is lazy,
+//! evaluating only what is required to produce the demanded
+//! visualization."
+//!
+//! The engine is demand-driven: [`Engine::demand`] pulls one output port,
+//! recursively firing upstream boxes.  Every fired box's outputs are
+//! cached under a structural *signature* — a hash of the node's revision
+//! and its transitive input signatures — so an edit to one box
+//! invalidates exactly its downstream cone while everything else is a
+//! cache hit.  [`eval_eager`] is the Tioga-1 baseline for the A1
+//! ablation: recompute everything, no cache.
+
+use crate::boxes::{BoxKind, CompOpKind, RelOpKind};
+use crate::error::FlowError;
+use crate::graph::{Graph, NodeId};
+use crate::port::Data;
+use std::collections::HashMap;
+use tioga2_display::attr_ops;
+use tioga2_display::compose::{replicate_within, stitch};
+use tioga2_display::defaults::{make_display_relation, redefault};
+use tioga2_display::drilldown::{
+    overlay, reorder_layer, set_range, shuffle_to_top, MismatchPolicy,
+};
+use tioga2_display::lift::{apply_to_composite, apply_to_relation};
+use tioga2_display::{DisplayRelation, Displayable};
+use tioga2_expr::{Expr, UnaryOp};
+use tioga2_relational::ops;
+use tioga2_relational::Catalog;
+
+/// Evaluation counters, used by tests and the ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Boxes actually fired.
+    pub box_evals: u64,
+    /// Demands satisfied from the memo cache.
+    pub cache_hits: u64,
+}
+
+struct CacheEntry {
+    sig: u64,
+    outputs: Vec<Data>,
+}
+
+/// The lazy engine.  One engine is attached to one top-level graph; inner
+/// (encapsulated) graphs get transient sub-engines.
+pub struct Engine {
+    catalog: Catalog,
+    cache: HashMap<NodeId, CacheEntry>,
+    pub stats: EvalStats,
+}
+
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+impl Engine {
+    pub fn new(catalog: Catalog) -> Self {
+        Engine { catalog, cache: HashMap::new(), stats: EvalStats::default() }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Drop all memoized results (catalog updates call this: base-table
+    /// contents are outside the structural signature).
+    pub fn invalidate_all(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Demand the value on `(node, out_port)` of `graph`.
+    pub fn demand(&mut self, graph: &Graph, node: NodeId, port: usize) -> Result<Data, FlowError> {
+        let mut sigs = HashMap::new();
+        let outs = self.eval_node(graph, node, &[], &[], &mut sigs)?;
+        outs.get(port)
+            .cloned()
+            .ok_or_else(|| FlowError::Graph(format!("{node} has no output {port}")))
+    }
+
+    /// Demand the displayable on `(node, out_port)`.
+    pub fn demand_displayable(
+        &mut self,
+        graph: &Graph,
+        node: NodeId,
+        port: usize,
+    ) -> Result<Displayable, FlowError> {
+        Ok(self.demand(graph, node, port)?.into_displayable()?)
+    }
+
+    fn signature(
+        &self,
+        graph: &Graph,
+        id: NodeId,
+        env_sig: u64,
+        sigs: &mut HashMap<NodeId, u64>,
+    ) -> Result<u64, FlowError> {
+        if let Some(s) = sigs.get(&id) {
+            return Ok(*s);
+        }
+        let node = graph.node(id)?;
+        let mut words = vec![node.rev, env_sig];
+        for inp in &node.inputs {
+            match inp {
+                Some((src, port)) => {
+                    words.push(self.signature(graph, *src, env_sig, sigs)?);
+                    words.push(*port as u64 + 1);
+                }
+                None => words.push(u64::MAX),
+            }
+        }
+        let s = fnv1a(words);
+        sigs.insert(id, s);
+        Ok(s)
+    }
+
+    fn eval_node(
+        &mut self,
+        graph: &Graph,
+        id: NodeId,
+        env: &[Data],
+        plugs: &[BoxKind],
+        sigs: &mut HashMap<NodeId, u64>,
+    ) -> Result<Vec<Data>, FlowError> {
+        // Environment-dependent evaluations (inside encapsulations) are
+        // handled by sub-engines, whose caches are per-instantiation, so
+        // an env signature of 0 at the top level is sound.
+        let sig = self.signature(graph, id, 0, sigs)?;
+        if let Some(entry) = self.cache.get(&id) {
+            if entry.sig == sig {
+                self.stats.cache_hits += 1;
+                return Ok(entry.outputs.clone());
+            }
+        }
+        let node = graph.node(id)?.clone();
+        let mut inputs = Vec::with_capacity(node.inputs.len());
+        for (i, inp) in node.inputs.iter().enumerate() {
+            match inp {
+                Some((src, port)) => {
+                    let outs = self.eval_node(graph, *src, env, plugs, sigs)?;
+                    inputs.push(
+                        outs.get(*port).cloned().ok_or_else(|| {
+                            FlowError::Graph(format!("{src} has no output {port}"))
+                        })?,
+                    );
+                }
+                None => {
+                    return Err(FlowError::Dangling { node: node.name(), port: i });
+                }
+            }
+        }
+        self.stats.box_evals += 1;
+        let outputs = self.eval_kind(&node.kind, inputs, env, plugs)?;
+        if outputs.len() != node.out_types.len() {
+            return Err(FlowError::Eval(format!(
+                "box '{}' produced {} outputs, expected {}",
+                node.name(),
+                outputs.len(),
+                node.out_types.len()
+            )));
+        }
+        self.cache.insert(id, CacheEntry { sig, outputs: outputs.clone() });
+        Ok(outputs)
+    }
+
+    fn eval_kind(
+        &mut self,
+        kind: &BoxKind,
+        mut inputs: Vec<Data>,
+        env: &[Data],
+        plugs: &[BoxKind],
+    ) -> Result<Vec<Data>, FlowError> {
+        match kind {
+            BoxKind::Table(name) => {
+                let rel = self.catalog.snapshot(name)?;
+                let dr = make_display_relation(rel, name.clone())?;
+                Ok(vec![Data::D(Displayable::R(dr))])
+            }
+            BoxKind::Join(pred) => {
+                let right = displayable_relation(inputs.pop(), "Join right")?;
+                let left = displayable_relation(inputs.pop(), "Join left")?;
+                let joined = ops::join(&left.rel, &right.rel, pred)?;
+                let dr = redefault(joined, &left)?;
+                Ok(vec![Data::D(Displayable::R(dr))])
+            }
+            BoxKind::RelOp { op, sel, .. } => {
+                let d = input_displayable(inputs.pop(), op.name())?;
+                let out = apply_to_relation(&d, *sel, |dr| apply_rel_op(op, dr))?;
+                Ok(vec![Data::D(out)])
+            }
+            BoxKind::CompOp { op, sel, .. } => {
+                let d = input_displayable(inputs.pop(), op.name())?;
+                let out = apply_to_composite(&d, *sel, |c| match op {
+                    CompOpKind::Shuffle(i) => shuffle_to_top(c, *i),
+                    CompOpKind::Reorder { from, to } => reorder_layer(c, *from, *to),
+                })?;
+                Ok(vec![Data::D(out)])
+            }
+            BoxKind::Overlay { offset, invariant } => {
+                let top = input_displayable(inputs.pop(), "Overlay top")?.into_composite()?;
+                let bottom = input_displayable(inputs.pop(), "Overlay bottom")?.into_composite()?;
+                let policy =
+                    if *invariant { MismatchPolicy::Invariant } else { MismatchPolicy::Reject };
+                let c = overlay(&bottom, &top, offset, policy)?;
+                Ok(vec![Data::D(Displayable::C(c))])
+            }
+            BoxKind::Stitch { layout, .. } => {
+                let mut composites = Vec::with_capacity(inputs.len());
+                for d in inputs {
+                    composites.push(input_displayable(Some(d), "Stitch")?.into_composite()?);
+                }
+                let g = stitch(composites, *layout)?;
+                Ok(vec![Data::D(Displayable::G(g))])
+            }
+            BoxKind::Replicate { horizontal, vertical, sel, .. } => {
+                let d = input_displayable(inputs.pop(), "Replicate")?;
+                let g = replicate_within(&d, *sel, horizontal.clone(), vertical.clone())?;
+                Ok(vec![Data::D(Displayable::G(g))])
+            }
+            BoxKind::Switch(pred) => {
+                let dr = displayable_relation(inputs.pop(), "Switch")?;
+                let yes = ops::restrict(&dr.rel, pred)?;
+                let not_pred = Expr::Unary(UnaryOp::Not, Box::new(pred.clone()));
+                let no = ops::restrict(&dr.rel, &not_pred)?;
+                let mut dyes = dr.clone();
+                dyes.rel = yes;
+                let mut dno = dr;
+                dno.rel = no;
+                Ok(vec![Data::D(Displayable::R(dyes)), Data::D(Displayable::R(dno))])
+            }
+            BoxKind::Const(v) => Ok(vec![Data::Scalar(v.clone())]),
+            BoxKind::ParamRestrict { pred, params, sel, .. } => {
+                let mut bound = std::collections::BTreeMap::new();
+                // inputs: [displayable, scalar...] in declaration order.
+                let scalars = inputs.split_off(1);
+                for ((name, _), data) in params.iter().zip(scalars) {
+                    match data {
+                        Data::Scalar(v) => {
+                            bound.insert(name.clone(), v);
+                        }
+                        Data::D(_) => {
+                            return Err(FlowError::Eval(format!(
+                                "parameter '{name}' received a displayable"
+                            )))
+                        }
+                    }
+                }
+                let d = input_displayable(inputs.pop(), "Restrict(params)")?;
+                let out = apply_to_relation(&d, *sel, |dr| {
+                    let mut o = dr.clone();
+                    o.rel = ops::restrict_with_params(&dr.rel, pred, &bound)?;
+                    Ok(o)
+                })?;
+                Ok(vec![Data::D(out)])
+            }
+            BoxKind::Tee(_) => {
+                let d = inputs.pop().ok_or_else(|| FlowError::Eval("T needs an input".into()))?;
+                Ok(vec![d.clone(), d])
+            }
+            BoxKind::Viewer { .. } => {
+                let d =
+                    inputs.pop().ok_or_else(|| FlowError::Eval("Viewer needs an input".into()))?;
+                Ok(vec![d])
+            }
+            BoxKind::Param { idx, .. } => env
+                .get(*idx)
+                .cloned()
+                .map(|d| vec![d])
+                .ok_or_else(|| FlowError::Eval(format!("unbound parameter {idx}"))),
+            BoxKind::Hole { idx, .. } => {
+                let plug = plugs
+                    .get(*idx)
+                    .ok_or_else(|| FlowError::Eval(format!("hole {idx} has no plug")))?
+                    .clone();
+                self.eval_kind(&plug, inputs, env, plugs)
+            }
+            BoxKind::Encapsulated { def, plugs: my_plugs } => {
+                // Fresh sub-engine: inner results are represented in the
+                // outer cache by this node's own entry.
+                let mut sub = Engine::new(self.catalog.clone());
+                let mut outs = Vec::with_capacity(def.output_bindings.len());
+                let mut sigs = HashMap::new();
+                for (node, port) in &def.output_bindings {
+                    let vals = sub.eval_node(&def.graph, *node, &inputs, my_plugs, &mut sigs)?;
+                    outs.push(vals.get(*port).cloned().ok_or_else(|| {
+                        FlowError::Eval(format!("encapsulated output {node}.{port} missing"))
+                    })?);
+                }
+                self.stats.box_evals += sub.stats.box_evals;
+                Ok(outs)
+            }
+            BoxKind::Custom(c) => (c.f)(&inputs),
+        }
+    }
+}
+
+fn input_displayable(d: Option<Data>, what: &str) -> Result<Displayable, FlowError> {
+    match d {
+        Some(Data::D(d)) => Ok(d),
+        Some(Data::Scalar(v)) => {
+            Err(FlowError::Eval(format!("{what} expected a displayable, got scalar {v}")))
+        }
+        None => Err(FlowError::Eval(format!("{what} is missing an input"))),
+    }
+}
+
+fn displayable_relation(d: Option<Data>, what: &str) -> Result<DisplayRelation, FlowError> {
+    match input_displayable(d, what)? {
+        Displayable::R(r) => Ok(r),
+        other => {
+            Err(FlowError::Eval(format!("{what} expected a relation, got {}", other.type_tag())))
+        }
+    }
+}
+
+/// Apply one relation-level operation to a display relation.
+pub fn apply_rel_op(
+    op: &RelOpKind,
+    dr: &DisplayRelation,
+) -> Result<DisplayRelation, tioga2_display::DisplayError> {
+    match op {
+        RelOpKind::Restrict(pred) => {
+            let mut out = dr.clone();
+            out.rel = ops::restrict(&dr.rel, pred)?;
+            Ok(out)
+        }
+        RelOpKind::Project(cols) => {
+            let fields: Vec<&str> = cols.iter().map(String::as_str).collect();
+            let rel = ops::project(&dr.rel, &fields)?;
+            redefault(rel, dr)
+        }
+        RelOpKind::Sample { p, seed } => {
+            let mut out = dr.clone();
+            out.rel = ops::sample(&dr.rel, *p, *seed)?;
+            Ok(out)
+        }
+        RelOpKind::Aggregate { keys, aggs } => {
+            let keys: Vec<&str> = keys.iter().map(String::as_str).collect();
+            let rel = tioga2_relational::aggregate(&dr.rel, &keys, aggs)?;
+            redefault(rel, dr)
+        }
+        RelOpKind::Distinct(attrs) => {
+            let attrs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            let mut out = dr.clone();
+            out.rel = tioga2_relational::distinct(&dr.rel, &attrs)?;
+            Ok(out)
+        }
+        RelOpKind::Limit { offset, count } => {
+            let mut out = dr.clone();
+            out.rel = tioga2_relational::limit(&dr.rel, *offset, *count);
+            Ok(out)
+        }
+        RelOpKind::Rename { from, to } => {
+            let mut out = dr.clone();
+            out.rel = tioga2_relational::rename(&dr.rel, from, to)?;
+            out.rename_attr_refs(from, to);
+            out.validate()?;
+            Ok(out)
+        }
+        RelOpKind::Sort(keys) => {
+            let keys: Vec<(&str, bool)> = keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
+            let mut out = dr.clone();
+            out.rel = ops::sort(&dr.rel, &keys)?;
+            Ok(out)
+        }
+        RelOpKind::AddAttribute { name, ty, def, role } => {
+            attr_ops::add_attribute(dr, name, ty.clone(), def.clone(), *role)
+        }
+        RelOpKind::RemoveAttribute(name) => attr_ops::remove_attribute(dr, name),
+        RelOpKind::SetAttribute { name, ty, def } => {
+            attr_ops::set_attribute(dr, name, ty.clone(), def.clone())
+        }
+        RelOpKind::SwapAttributes(a, b) => attr_ops::swap_attributes(dr, a, b),
+        RelOpKind::ScaleAttribute(name, k) => attr_ops::scale_attribute(dr, name, *k),
+        RelOpKind::TranslateAttribute(name, c) => attr_ops::translate_attribute(dr, name, *c),
+        RelOpKind::CombineDisplays { first, second, dx, dy, new_name } => {
+            attr_ops::combine_displays(dr, first, second, (*dx, *dy), new_name)
+        }
+        RelOpKind::SetActiveDisplay(name) => attr_ops::set_active_display(dr, name),
+        RelOpKind::SetRange { min, max } => set_range(dr, *min, *max),
+        RelOpKind::SetLayerName(name) => {
+            let mut out = dr.clone();
+            out.name = name.clone();
+            Ok(out)
+        }
+    }
+}
+
+/// The Tioga-1 baseline: eagerly evaluate *every* sink after an edit with
+/// no caching (fresh engine).  Returns the stats of the full recompute.
+pub fn eval_eager(graph: &Graph, catalog: &Catalog) -> Result<(Vec<Data>, EvalStats), FlowError> {
+    let mut engine = Engine::new(catalog.clone());
+    let mut out = Vec::new();
+    for sink in graph.sinks() {
+        let node = graph.node(sink)?;
+        for port in 0..node.out_types.len() {
+            out.push(engine.demand(graph, sink, port)?);
+        }
+    }
+    Ok((out, engine.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::{BoxRegistry, CustomBox};
+    use crate::encapsulate::encapsulate;
+    use crate::port::PortType;
+    use tioga2_expr::{parse, ScalarType as T, Value};
+    use tioga2_relational::relation::RelationBuilder;
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        let mut b = RelationBuilder::new()
+            .field("name", T::Text)
+            .field("state", T::Text)
+            .field("altitude", T::Float);
+        for (n, s, a) in [
+            ("Baton Rouge", "LA", 17.0),
+            ("New Orleans", "LA", 2.0),
+            ("Shreveport", "LA", 55.0),
+            ("Austin", "TX", 149.0),
+        ] {
+            b = b.row(vec![Value::Text(n.into()), Value::Text(s.into()), Value::Float(a)]);
+        }
+        c.register("Stations", b.build().unwrap());
+        c
+    }
+
+    fn restrict(src: &str) -> BoxKind {
+        BoxKind::rel(RelOpKind::Restrict(parse(src).unwrap()))
+    }
+
+    #[test]
+    fn table_then_restrict_pipeline() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict("state = 'LA'"));
+        g.connect(t, 0, r, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let d = e.demand_displayable(&g, r, 0).unwrap();
+        assert_eq!(d.tuple_count(), 3);
+        assert_eq!(e.stats.box_evals, 2);
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Nope".into()));
+        let mut e = Engine::new(catalog());
+        assert!(e.demand(&g, t, 0).is_err());
+    }
+
+    #[test]
+    fn dangling_input_reported() {
+        let mut g = Graph::new();
+        let r = g.add(restrict("state = 'LA'"));
+        let mut e = Engine::new(catalog());
+        assert!(matches!(e.demand(&g, r, 0), Err(FlowError::Dangling { .. })));
+    }
+
+    #[test]
+    fn memoization_and_invalidation() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let r2 = g.add(restrict("altitude > 10.0"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(r1, 0, r2, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        e.demand(&g, r2, 0).unwrap();
+        assert_eq!(e.stats.box_evals, 3);
+
+        // Re-demand: all cache hits, no evals.
+        e.demand(&g, r2, 0).unwrap();
+        assert_eq!(e.stats.box_evals, 3);
+        assert!(e.stats.cache_hits >= 1);
+
+        // Edit the tail box: only it re-fires.
+        g.update_kind(r2, restrict("altitude > 20.0")).unwrap();
+        e.demand(&g, r2, 0).unwrap();
+        assert_eq!(e.stats.box_evals, 4, "only the edited box re-evaluates");
+
+        // Edit the head box: the whole cone re-fires.
+        g.update_kind(r1, restrict("state = 'TX'")).unwrap();
+        e.demand(&g, r2, 0).unwrap();
+        assert_eq!(e.stats.box_evals, 6);
+    }
+
+    #[test]
+    fn laziness_only_demanded_cone_fires() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let r2 = g.add(restrict("state = 'TX'"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(t, 0, r2, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        e.demand(&g, r1, 0).unwrap();
+        assert_eq!(e.stats.box_evals, 2, "r2 was never demanded");
+    }
+
+    #[test]
+    fn tee_duplicates() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let tee = g.add(BoxKind::Tee(PortType::R));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let r2 = g.add(restrict("state = 'TX'"));
+        g.connect(t, 0, tee, 0).unwrap();
+        g.connect(tee, 0, r1, 0).unwrap();
+        g.connect(tee, 1, r2, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        assert_eq!(e.demand_displayable(&g, r1, 0).unwrap().tuple_count(), 3);
+        assert_eq!(e.demand_displayable(&g, r2, 0).unwrap().tuple_count(), 1);
+        // The table fired once: tee reused the cached upstream.
+        assert_eq!(e.stats.box_evals, 4);
+    }
+
+    #[test]
+    fn switch_routes_by_predicate() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let sw = g.add(BoxKind::Switch(parse("altitude > 50.0").unwrap()));
+        g.connect(t, 0, sw, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let hi = e.demand_displayable(&g, sw, 0).unwrap();
+        let lo = e.demand_displayable(&g, sw, 1).unwrap();
+        assert_eq!(hi.tuple_count(), 2);
+        assert_eq!(lo.tuple_count(), 2);
+    }
+
+    #[test]
+    fn join_evaluates() {
+        let cat = catalog();
+        let mut obs = RelationBuilder::new()
+            .field("station", T::Text)
+            .field("temp", T::Float)
+            .build()
+            .unwrap();
+        obs.push_row(vec![Value::Text("Austin".into()), Value::Float(35.0)]).unwrap();
+        cat.register("Obs", obs);
+        let mut g = Graph::new();
+        let a = g.add(BoxKind::Table("Stations".into()));
+        let b = g.add(BoxKind::Table("Obs".into()));
+        let j = g.add(BoxKind::Join(parse("name = station").unwrap()));
+        g.connect(a, 0, j, 0).unwrap();
+        g.connect(b, 0, j, 1).unwrap();
+        let mut e = Engine::new(cat);
+        let d = e.demand_displayable(&g, j, 0).unwrap();
+        assert_eq!(d.tuple_count(), 1);
+    }
+
+    #[test]
+    fn viewer_passes_through() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let v = g.add(BoxKind::Viewer { canvas: "main".into(), ty: PortType::R });
+        let r = g.add(restrict("state = 'LA'"));
+        g.connect(t, 0, v, 0).unwrap();
+        g.connect(v, 0, r, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        // The viewer observes the full table; downstream keeps working.
+        assert_eq!(e.demand_displayable(&g, v, 0).unwrap().tuple_count(), 4);
+        assert_eq!(e.demand_displayable(&g, r, 0).unwrap().tuple_count(), 3);
+    }
+
+    #[test]
+    fn stitch_and_overlay() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let tee = g.add(BoxKind::Tee(PortType::R));
+        g.connect(t, 0, tee, 0).unwrap();
+        let ov = g.add(BoxKind::Overlay { offset: vec![], invariant: true });
+        g.connect(tee, 0, ov, 0).unwrap();
+        g.connect(tee, 1, ov, 1).unwrap();
+        let st = g.add(BoxKind::Stitch { arity: 2, layout: tioga2_display::Layout::Horizontal });
+        let t2 = g.add(BoxKind::Table("Stations".into()));
+        g.connect(ov, 0, st, 0).unwrap();
+        g.connect(t2, 0, st, 1).unwrap();
+        let mut e = Engine::new(catalog());
+        match e.demand_displayable(&g, st, 0).unwrap() {
+            Displayable::G(grp) => {
+                assert_eq!(grp.members.len(), 2);
+                assert_eq!(grp.members[0].layers.len(), 2, "overlay stacked two layers");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn encapsulated_box_evaluates() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let s = g.add(BoxKind::rel(RelOpKind::Sort(vec![("altitude".into(), true)])));
+        let r2 = g.add(restrict("altitude > 10.0"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(r1, 0, s, 0).unwrap();
+        g.connect(s, 0, r2, 0).unwrap();
+        let def = std::sync::Arc::new(encapsulate(&g, &[r1, s, r2], &[], "LaPipeline").unwrap());
+
+        // Use the encapsulated box in a fresh program.
+        let mut g2 = Graph::new();
+        let t2 = g2.add(BoxKind::Table("Stations".into()));
+        let ebox = g2.add(def.instantiate(vec![]).unwrap());
+        g2.connect(t2, 0, ebox, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let d = e.demand_displayable(&g2, ebox, 0).unwrap();
+        assert_eq!(d.tuple_count(), 2);
+    }
+
+    #[test]
+    fn encapsulated_hole_plugs_behave_as_macro() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let mid = g.add(restrict("TRUE"));
+        let r2 = g.add(restrict("altitude > 0.0"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(r1, 0, mid, 0).unwrap();
+        g.connect(mid, 0, r2, 0).unwrap();
+        let def =
+            std::sync::Arc::new(encapsulate(&g, &[r1, mid, r2], &[vec![mid]], "Holey").unwrap());
+
+        let mut g2 = Graph::new();
+        let t2 = g2.add(BoxKind::Table("Stations".into()));
+        // Plug the hole with a Sample box -> probabilistic filter.
+        let inst =
+            def.instantiate(vec![BoxKind::rel(RelOpKind::Sample { p: 1.0, seed: 7 })]).unwrap();
+        let ebox = g2.add(inst);
+        g2.connect(t2, 0, ebox, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        assert_eq!(e.demand_displayable(&g2, ebox, 0).unwrap().tuple_count(), 3);
+
+        // A different plug changes the behaviour: restrict to altitude < 10.
+        let inst2 = def.instantiate(vec![restrict("altitude < 10.0")]).unwrap();
+        g2.replace_kind(ebox, inst2).unwrap();
+        assert_eq!(e.demand_displayable(&g2, ebox, 0).unwrap().tuple_count(), 1);
+    }
+
+    #[test]
+    fn custom_box_fires() {
+        let mut reg = BoxRegistry::default();
+        let custom = std::sync::Arc::new(CustomBox {
+            name: "TakeFirst".into(),
+            in_types: vec![PortType::R],
+            out_types: vec![PortType::R],
+            f: Box::new(|ins| {
+                let d = ins[0].clone().into_displayable().map_err(FlowError::from)?;
+                match d {
+                    Displayable::R(mut dr) => {
+                        let first = dr.rel.tuples().first().cloned();
+                        let keep = first.map(|t| t.row_id);
+                        dr.rel.tuples_mut().retain(|t| Some(t.row_id) == keep);
+                        Ok(vec![Data::D(Displayable::R(dr))])
+                    }
+                    other => Ok(vec![Data::D(other)]),
+                }
+            }),
+        });
+        reg.register_custom(custom.clone());
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let c = g.add(reg.get("TakeFirst").unwrap().kind.clone().unwrap());
+        g.connect(t, 0, c, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        assert_eq!(e.demand_displayable(&g, c, 0).unwrap().tuple_count(), 1);
+    }
+
+    #[test]
+    fn eager_baseline_recomputes_everything() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let r2 = g.add(restrict("altitude > 10.0"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(r1, 0, r2, 0).unwrap();
+        let cat = catalog();
+        let (out1, stats1) = eval_eager(&g, &cat).unwrap();
+        assert_eq!(out1.len(), 1);
+        assert_eq!(stats1.box_evals, 3);
+        // Lazy engine across two consecutive identical demands fires 3
+        // boxes total; eager across two "edits" fires 6.
+        let (_, stats2) = eval_eager(&g, &cat).unwrap();
+        assert_eq!(stats1.box_evals + stats2.box_evals, 6);
+    }
+
+    #[test]
+    fn catalog_update_visible_after_invalidate() {
+        let cat = catalog();
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let mut e = Engine::new(cat.clone());
+        assert_eq!(e.demand_displayable(&g, t, 0).unwrap().tuple_count(), 4);
+        tioga2_relational::update::insert_row(
+            &cat,
+            "Stations",
+            vec![Value::Text("Lafayette".into()), Value::Text("LA".into()), Value::Float(11.0)],
+        )
+        .unwrap();
+        // Structural signature unchanged -> stale cache until invalidated.
+        assert_eq!(e.demand_displayable(&g, t, 0).unwrap().tuple_count(), 4);
+        e.invalidate_all();
+        assert_eq!(e.demand_displayable(&g, t, 0).unwrap().tuple_count(), 5);
+    }
+
+    #[test]
+    fn project_keeps_everything_visualizable() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let p = g.add(BoxKind::rel(RelOpKind::Project(vec!["name".into()])));
+        g.connect(t, 0, p, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let d = e.demand_displayable(&g, p, 0).unwrap();
+        match d {
+            Displayable::R(dr) => {
+                dr.validate().unwrap();
+                assert_eq!(dr.rel.schema().len(), 1);
+                assert!(!dr.tuple_display(0).unwrap().is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the dataflow layer.
+
+use std::fmt;
+use tioga2_display::DisplayError;
+use tioga2_relational::RelError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Port type error at an edge or in a box signature.
+    Type(String),
+    /// Structural graph error (unknown node, occupied port, cycle, ...).
+    Graph(String),
+    /// Illegal edit per the paper's rules (e.g. Delete Box legality).
+    Edit(String),
+    /// A demanded input is unconnected — evaluation cannot proceed.
+    Dangling { node: String, port: usize },
+    /// Error raised while evaluating a box.
+    Eval(String),
+    /// Error from the display layer.
+    Display(DisplayError),
+    /// Error from the relational layer.
+    Rel(RelError),
+    /// Malformed persisted program.
+    Persist(String),
+}
+
+impl From<DisplayError> for FlowError {
+    fn from(e: DisplayError) -> Self {
+        FlowError::Display(e)
+    }
+}
+
+impl From<RelError> for FlowError {
+    fn from(e: RelError) -> Self {
+        FlowError::Rel(e)
+    }
+}
+
+impl From<tioga2_expr::ExprError> for FlowError {
+    fn from(e: tioga2_expr::ExprError) -> Self {
+        FlowError::Rel(RelError::from(e))
+    }
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Type(m) => write!(f, "type error: {m}"),
+            FlowError::Graph(m) => write!(f, "graph error: {m}"),
+            FlowError::Edit(m) => write!(f, "edit error: {m}"),
+            FlowError::Dangling { node, port } => {
+                write!(f, "input {port} of box '{node}' is not connected")
+            }
+            FlowError::Eval(m) => write!(f, "evaluation error: {m}"),
+            FlowError::Display(e) => write!(f, "{e}"),
+            FlowError::Rel(e) => write!(f, "{e}"),
+            FlowError::Persist(m) => write!(f, "persistence error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}

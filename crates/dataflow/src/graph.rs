@@ -1,0 +1,542 @@
+//! The boxes-and-arrows program graph.
+//!
+//! Edges are stored as input back-pointers: every input port holds at
+//! most one incoming `(node, out_port)` reference, while outputs fan out
+//! freely.  Connections are type-checked (paper §2) and cycle-checked
+//! (dataflow programs are DAGs).  Every structural change bumps the
+//! affected node's revision, which is what the lazy engine's memoization
+//! keys on.
+
+use crate::boxes::BoxKind;
+use crate::error::FlowError;
+use crate::port::PortType;
+use std::collections::BTreeMap;
+
+/// Node identifier, stable across edits within one graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One box instance in a program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    pub id: NodeId,
+    pub kind: BoxKind,
+    /// Incoming edge per input port: `(source node, source output port)`.
+    pub inputs: Vec<Option<(NodeId, usize)>>,
+    /// Cached port types (from the kind's signature at creation).
+    pub in_types: Vec<PortType>,
+    pub out_types: Vec<PortType>,
+    /// Monotonic revision; bumped on any change to this node.
+    pub rev: u64,
+}
+
+impl Node {
+    pub fn name(&self) -> String {
+        self.kind.name()
+    }
+}
+
+/// A Tioga-2 program.
+///
+/// ```
+/// use tioga2_dataflow::{BoxKind, Graph};
+/// use tioga2_dataflow::boxes::RelOpKind;
+///
+/// let mut g = Graph::new();
+/// let table = g.add(BoxKind::Table("Stations".into()));
+/// let filter = g.add(BoxKind::rel(RelOpKind::Restrict(
+///     tioga2_expr::parse("state = 'LA'").unwrap(),
+/// )));
+/// g.connect(table, 0, filter, 0).unwrap();
+/// assert_eq!(g.sinks(), vec![filter]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    nodes: BTreeMap<NodeId, Node>,
+    next_id: u32,
+    next_rev: u64,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values()
+    }
+
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn node(&self, id: NodeId) -> Result<&Node, FlowError> {
+        self.nodes.get(&id).ok_or_else(|| FlowError::Graph(format!("no node {id}")))
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> Result<&mut Node, FlowError> {
+        self.nodes.get_mut(&id).ok_or_else(|| FlowError::Graph(format!("no node {id}")))
+    }
+
+    fn fresh_rev(&mut self) -> u64 {
+        self.next_rev += 1;
+        self.next_rev
+    }
+
+    /// Add a box; its ports start unconnected.
+    pub fn add(&mut self, kind: BoxKind) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        let (in_types, out_types) = kind.signature();
+        let rev = self.fresh_rev();
+        self.nodes.insert(
+            id,
+            Node { id, kind, inputs: vec![None; in_types.len()], in_types, out_types, rev },
+        );
+        id
+    }
+
+    /// Connect `from`'s output port to `to`'s input port.
+    ///
+    /// Fails on: unknown nodes/ports, an already-occupied input, a type
+    /// mismatch ("any attempt to connect an output to an input of
+    /// incompatible type is a type error", §2), or a cycle.
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        out_port: usize,
+        to: NodeId,
+        in_port: usize,
+    ) -> Result<(), FlowError> {
+        let src = self.node(from)?;
+        let out_ty = src
+            .out_types
+            .get(out_port)
+            .ok_or_else(|| FlowError::Graph(format!("{from} has no output {out_port}")))?
+            .clone();
+        let dst = self.node(to)?;
+        let in_ty = dst
+            .in_types
+            .get(in_port)
+            .ok_or_else(|| FlowError::Graph(format!("{to} has no input {in_port}")))?
+            .clone();
+        if dst.inputs[in_port].is_some() {
+            return Err(FlowError::Graph(format!("input {in_port} of {to} is already connected")));
+        }
+        if !in_ty.accepts(&out_ty) {
+            return Err(FlowError::Type(format!(
+                "cannot connect {} output of '{}' to {} input of '{}'",
+                out_ty,
+                src.name(),
+                in_ty,
+                dst.name()
+            )));
+        }
+        if from == to || self.reaches(to, from) {
+            return Err(FlowError::Graph(format!("edge {from}->{to} would create a cycle")));
+        }
+        let rev = self.fresh_rev();
+        let dst = self.node_mut(to)?;
+        dst.inputs[in_port] = Some((from, out_port));
+        dst.rev = rev;
+        Ok(())
+    }
+
+    /// Remove the edge feeding `to`'s input port.
+    pub fn disconnect(&mut self, to: NodeId, in_port: usize) -> Result<(), FlowError> {
+        let rev = self.fresh_rev();
+        let dst = self.node_mut(to)?;
+        if in_port >= dst.inputs.len() {
+            return Err(FlowError::Graph(format!("{to} has no input {in_port}")));
+        }
+        dst.inputs[in_port] = None;
+        dst.rev = rev;
+        Ok(())
+    }
+
+    /// Is `to` reachable from `from` by following edges forward?
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        // Edges are input back-pointers, so walk backwards from `to`.
+        let mut stack = vec![to];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == from {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(node) = self.nodes.get(&n) {
+                for inp in node.inputs.iter().flatten() {
+                    stack.push(inp.0);
+                }
+            }
+        }
+        false
+    }
+
+    /// Consumers of any output of `id`: `(consumer, in_port, out_port)`.
+    pub fn consumers(&self, id: NodeId) -> Vec<(NodeId, usize, usize)> {
+        let mut out = Vec::new();
+        for n in self.nodes.values() {
+            for (in_port, inp) in n.inputs.iter().enumerate() {
+                if let Some((src, out_port)) = inp {
+                    if *src == id {
+                        out.push((n.id, in_port, *out_port));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Replace the kind of a node.  The new kind must have a signature
+    /// compatible with the existing connections (paper Figure 2,
+    /// **Replace Box**: "replace one box by a different box with
+    /// compatible types").
+    pub fn replace_kind(&mut self, id: NodeId, kind: BoxKind) -> Result<(), FlowError> {
+        let (new_in, new_out) = kind.signature();
+        let node = self.node(id)?;
+        // Connected inputs must remain type-correct.
+        if new_in.len() < node.inputs.len()
+            && node.inputs[new_in.len()..].iter().any(Option::is_some)
+        {
+            return Err(FlowError::Edit(format!(
+                "replacement of '{}' drops connected inputs",
+                node.name()
+            )));
+        }
+        for (i, inp) in node.inputs.iter().enumerate() {
+            if let Some((src, op)) = inp {
+                if i >= new_in.len() {
+                    continue;
+                }
+                let out_ty = &self.node(*src)?.out_types[*op];
+                if !new_in[i].accepts(out_ty) {
+                    return Err(FlowError::Type(format!(
+                        "replacement input {i} of '{}' no longer accepts {}",
+                        kind.name(),
+                        out_ty
+                    )));
+                }
+            }
+        }
+        // Connected outputs must remain type-correct.
+        for (cons, in_port, out_port) in self.consumers(id) {
+            let need = &self.node(cons)?.in_types[in_port];
+            match new_out.get(out_port) {
+                Some(have) if need.accepts(have) => {}
+                _ => {
+                    return Err(FlowError::Type(format!(
+                        "replacement output {out_port} no longer satisfies input {in_port} of '{}'",
+                        self.node(cons)?.name()
+                    )))
+                }
+            }
+        }
+        let rev = self.fresh_rev();
+        let node = self.node_mut(id)?;
+        node.kind = kind;
+        let old_inputs = std::mem::take(&mut node.inputs);
+        node.inputs = (0..new_in.len()).map(|i| old_inputs.get(i).copied().flatten()).collect();
+        node.in_types = new_in;
+        node.out_types = new_out;
+        node.rev = rev;
+        // Consumers keep their edges; their cached data must refresh.
+        for (cons, _, _) in self.consumers(id) {
+            let rev = self.fresh_rev();
+            self.node_mut(cons)?.rev = rev;
+        }
+        Ok(())
+    }
+
+    /// Update a node's parameters in place (e.g. edit a Restrict
+    /// predicate) without changing its signature.
+    pub fn update_kind(&mut self, id: NodeId, kind: BoxKind) -> Result<(), FlowError> {
+        let (new_in, new_out) = kind.signature();
+        let node = self.node(id)?;
+        if new_in != node.in_types || new_out != node.out_types {
+            return Err(FlowError::Edit(
+                "update_kind cannot change a box's signature; use replace_kind".into(),
+            ));
+        }
+        let rev = self.fresh_rev();
+        let node = self.node_mut(id)?;
+        node.kind = kind;
+        node.rev = rev;
+        Ok(())
+    }
+
+    /// Raw node removal with edge cleanup.  Legality rules (the paper's
+    /// two permitted Delete Box cases) live in [`crate::edit::delete_box`];
+    /// this is the low-level primitive they use.
+    pub(crate) fn remove_node(&mut self, id: NodeId) -> Result<Node, FlowError> {
+        let node =
+            self.nodes.remove(&id).ok_or_else(|| FlowError::Graph(format!("no node {id}")))?;
+        let consumers: Vec<(NodeId, usize)> =
+            self.consumers(id).into_iter().map(|(n, in_port, _)| (n, in_port)).collect();
+        for (n, in_port) in consumers {
+            let rev = self.fresh_rev();
+            if let Ok(c) = self.node_mut(n) {
+                c.inputs[in_port] = None;
+                c.rev = rev;
+            }
+        }
+        Ok(node)
+    }
+
+    /// Sinks: nodes with no consumers.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.nodes.values().filter(|n| self.consumers(n.id).is_empty()).map(|n| n.id).collect()
+    }
+
+    /// All viewer nodes (canvas windows), in id order.
+    pub fn viewers(&self) -> Vec<NodeId> {
+        self.nodes
+            .values()
+            .filter(|n| matches!(n.kind, BoxKind::Viewer { .. }))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Any input port anywhere left dangling?  The "everything is always
+    /// visualizable" invariant requires this to be false for ports that
+    /// are demanded; the edit layer keeps it false everywhere.
+    pub fn dangling_inputs(&self) -> Vec<(NodeId, usize)> {
+        let mut out = Vec::new();
+        for n in self.nodes.values() {
+            for (i, inp) in n.inputs.iter().enumerate() {
+                if inp.is_none() {
+                    out.push((n.id, i));
+                }
+            }
+        }
+        out
+    }
+
+    /// Append all nodes of `other` into this graph (paper Figure 2,
+    /// **Add Program**), remapping ids.  Returns the id map.
+    pub fn add_program(&mut self, other: &Graph) -> BTreeMap<NodeId, NodeId> {
+        let mut map = BTreeMap::new();
+        for n in other.nodes.values() {
+            let new_id = self.add(n.kind.clone());
+            map.insert(n.id, new_id);
+        }
+        for n in other.nodes.values() {
+            for (in_port, inp) in n.inputs.iter().enumerate() {
+                if let Some((src, out_port)) = inp {
+                    // Connections were legal in `other`; re-play them.
+                    let _ = self.connect(map[src], *out_port, map[&n.id], in_port);
+                }
+            }
+        }
+        map
+    }
+
+    /// An ASCII rendering of the program window: one line per box with
+    /// its inputs — the textual stand-in for the paper's Figure 1 program
+    /// diagram.
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::new();
+        for n in self.nodes.values() {
+            let ins: Vec<String> = n
+                .inputs
+                .iter()
+                .map(|i| match i {
+                    Some((src, port)) => format!("{src}.{port}"),
+                    None => "∅".into(),
+                })
+                .collect();
+            let sig_in: Vec<String> = n.in_types.iter().map(|t| t.to_string()).collect();
+            let sig_out: Vec<String> = n.out_types.iter().map(|t| t.to_string()).collect();
+            out.push_str(&format!(
+                "{} {} [{}] <- ({}) : ({}) -> ({})\n",
+                n.id,
+                n.name(),
+                n.rev,
+                ins.join(", "),
+                sig_in.join(", "),
+                sig_out.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::RelOpKind;
+    use tioga2_expr::parse;
+
+    fn restrict_kind() -> BoxKind {
+        BoxKind::rel(RelOpKind::Restrict(parse("state = 'LA'").unwrap()))
+    }
+
+    #[test]
+    fn add_and_connect() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict_kind());
+        g.connect(t, 0, r, 0).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.node(r).unwrap().inputs[0], Some((t, 0)));
+        assert_eq!(g.consumers(t), vec![(r, 0, 0)]);
+        assert_eq!(g.sinks(), vec![r]);
+    }
+
+    #[test]
+    fn connect_type_errors() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let stitch =
+            g.add(BoxKind::Stitch { arity: 2, layout: tioga2_display::Layout::Horizontal });
+        // R feeds a C input via coercion.
+        g.connect(t, 0, stitch, 0).unwrap();
+        // G output cannot feed an R input.
+        let restrict = g.add(restrict_kind());
+        let rep = g.add(BoxKind::Replicate {
+            horizontal: tioga2_display::compose::PartitionSpec::Enumerate("d".into()),
+            vertical: None,
+            shape: crate::port::PortType::R,
+            sel: Default::default(),
+        });
+        let t2 = g.add(BoxKind::Table("S2".into()));
+        g.connect(t2, 0, rep, 0).unwrap();
+        assert!(matches!(g.connect(rep, 0, restrict, 0), Err(FlowError::Type(_))));
+    }
+
+    #[test]
+    fn connect_occupied_port_rejected() {
+        let mut g = Graph::new();
+        let t1 = g.add(BoxKind::Table("A".into()));
+        let t2 = g.add(BoxKind::Table("B".into()));
+        let r = g.add(restrict_kind());
+        g.connect(t1, 0, r, 0).unwrap();
+        assert!(g.connect(t2, 0, r, 0).is_err());
+        g.disconnect(r, 0).unwrap();
+        g.connect(t2, 0, r, 0).unwrap();
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut g = Graph::new();
+        let a = g.add(restrict_kind());
+        let b = g.add(restrict_kind());
+        g.connect(a, 0, b, 0).unwrap();
+        assert!(g.connect(b, 0, a, 0).is_err());
+        assert!(g.connect(a, 0, a, 0).is_err());
+    }
+
+    #[test]
+    fn bad_ports_rejected() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("A".into()));
+        let r = g.add(restrict_kind());
+        assert!(g.connect(t, 5, r, 0).is_err());
+        assert!(g.connect(t, 0, r, 5).is_err());
+        assert!(g.connect(NodeId(99), 0, r, 0).is_err());
+        assert!(g.disconnect(r, 9).is_err());
+    }
+
+    #[test]
+    fn fan_out_allowed() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("A".into()));
+        let r1 = g.add(restrict_kind());
+        let r2 = g.add(restrict_kind());
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(t, 0, r2, 0).unwrap();
+        assert_eq!(g.consumers(t).len(), 2);
+    }
+
+    #[test]
+    fn replace_kind_checks_compatibility() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("A".into()));
+        let r = g.add(restrict_kind());
+        let r2 = g.add(restrict_kind());
+        g.connect(t, 0, r, 0).unwrap();
+        g.connect(r, 0, r2, 0).unwrap();
+        // Replace Restrict with Sample — same R->R shape.
+        g.replace_kind(r, BoxKind::rel(RelOpKind::Sample { p: 0.5, seed: 1 })).unwrap();
+        assert_eq!(g.node(r).unwrap().name(), "Sample");
+        assert_eq!(g.node(r).unwrap().inputs[0], Some((t, 0)), "edges survive");
+        // Replace with a table (drops the connected input) is illegal.
+        assert!(g.replace_kind(r, BoxKind::Table("B".into())).is_err());
+        // Replace with Replicate (R -> G) breaks the downstream R input.
+        assert!(g
+            .replace_kind(
+                r,
+                BoxKind::Replicate {
+                    horizontal: tioga2_display::compose::PartitionSpec::Enumerate("d".into()),
+                    vertical: None,
+                    shape: crate::port::PortType::R,
+                    sel: Default::default(),
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn update_kind_bumps_rev_only() {
+        let mut g = Graph::new();
+        let r = g.add(restrict_kind());
+        let rev0 = g.node(r).unwrap().rev;
+        g.update_kind(r, BoxKind::rel(RelOpKind::Restrict(parse("state = 'TX'").unwrap())))
+            .unwrap();
+        assert!(g.node(r).unwrap().rev > rev0);
+        assert!(g.update_kind(r, BoxKind::Table("A".into())).is_err(), "signature change rejected");
+    }
+
+    #[test]
+    fn remove_node_cleans_edges() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("A".into()));
+        let r = g.add(restrict_kind());
+        g.connect(t, 0, r, 0).unwrap();
+        g.remove_node(t).unwrap();
+        assert_eq!(g.node(r).unwrap().inputs[0], None);
+        assert_eq!(g.dangling_inputs(), vec![(r, 0)]);
+    }
+
+    #[test]
+    fn add_program_remaps() {
+        let mut a = Graph::new();
+        let t = a.add(BoxKind::Table("A".into()));
+        let r = a.add(restrict_kind());
+        a.connect(t, 0, r, 0).unwrap();
+
+        let mut b = Graph::new();
+        b.add(BoxKind::Table("B".into()));
+        let map = b.add_program(&a);
+        assert_eq!(b.len(), 3);
+        let new_r = map[&r];
+        assert!(b.node(new_r).unwrap().inputs[0].is_some());
+    }
+
+    #[test]
+    fn ascii_diagram_mentions_boxes() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict_kind());
+        g.connect(t, 0, r, 0).unwrap();
+        let s = g.to_ascii();
+        assert!(s.contains("Stations"));
+        assert!(s.contains("Restrict"));
+    }
+}

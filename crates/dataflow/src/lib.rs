@@ -1,0 +1,42 @@
+//! # tioga2-dataflow
+//!
+//! The boxes-and-arrows program model of Tioga-2 (paper §2, §4):
+//!
+//! * **Boxes** are primitive procedures with typed input and output ports;
+//!   unlike the original Tioga, boxes may have **multiple outputs**, which
+//!   is how control flow enters the language (§1.2 principle 5 — the
+//!   [`boxes::BoxKind::Switch`] box realizes the paper's
+//!   "if condition then deliver data to box i else deliver data to box j").
+//! * **Edges** connect outputs to inputs of compatible types; "any attempt
+//!   to connect an output to an input of incompatible type is a type
+//!   error".  The displayable subtyping `R ≤ C ≤ G` is applied at edges.
+//! * **Execution is lazy**, "evaluating only what is required to produce
+//!   the demanded visualization": the [`engine::Engine`] pulls demanded
+//!   outputs through memoized, signature-invalidated box evaluations.  An
+//!   eager whole-program evaluator ([`engine::eval_eager`]) reproduces
+//!   Tioga-1 behaviour for the ablation benches.
+//! * **Program editing** (paper Figure 2) lives in [`edit`]: Apply Box
+//!   matching, the two legal Delete Box cases, Replace Box, **T** nodes,
+//!   and snapshot-based undo/redo.
+//! * **Encapsulate** (with *holes* — graphical macros / higher-order
+//!   functions) lives in [`encapsulate`].
+//! * Programs persist to a line-oriented text format ([`persist`]),
+//!   fulfilling Save/Load/Add Program.
+
+pub mod boxes;
+pub mod diagram;
+pub mod edit;
+pub mod encapsulate;
+pub mod engine;
+pub mod error;
+pub mod graph;
+pub mod persist;
+pub mod port;
+
+pub use boxes::{BoxKind, BoxRegistry, BoxTemplate, CustomBox};
+pub use edit::Journal;
+pub use encapsulate::EncapsulatedDef;
+pub use engine::{Engine, EvalStats};
+pub use error::FlowError;
+pub use graph::{Graph, Node, NodeId};
+pub use port::{Data, PortType};

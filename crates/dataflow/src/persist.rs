@@ -1,0 +1,1001 @@
+//! Program persistence (paper Figure 2: **Save Program** / **Load
+//! Program** / **Add Program**).
+//!
+//! Programs serialize to a small S-expression format: atoms, quoted
+//! strings (with `\"` and `\\` escapes) and parenthesized lists.
+//! Expressions persist as their surface syntax (the printer/parser
+//! round-trip is property-tested in `tioga2-expr`).  Custom
+//! (big-programmer) boxes persist by name and are resolved against the
+//! [`BoxRegistry`] at load time.
+
+use crate::boxes::{BoxKind, BoxRegistry, CompOpKind, RelOpKind};
+use crate::encapsulate::{EncapsulatedDef, HoleSig};
+use crate::error::FlowError;
+use crate::graph::{Graph, NodeId};
+use crate::port::PortType;
+use std::sync::Arc;
+use tioga2_display::attr_ops::AttrRole;
+use tioga2_display::compose::PartitionSpec;
+use tioga2_display::{Layout, Selection};
+use tioga2_expr::{parse as parse_expr, Expr, ScalarType};
+
+// ---------------------------------------------------------------- sexpr
+
+/// Minimal S-expression value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sexp {
+    /// Bare atom (no whitespace/parens/quotes).
+    Atom(String),
+    /// Quoted string.
+    Str(String),
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    fn atom(s: impl Into<String>) -> Sexp {
+        Sexp::Atom(s.into())
+    }
+
+    fn list(items: Vec<Sexp>) -> Sexp {
+        Sexp::List(items)
+    }
+
+    fn int(i: i64) -> Sexp {
+        Sexp::Atom(i.to_string())
+    }
+
+    fn float(x: f64) -> Sexp {
+        Sexp::Atom(format!("{x:?}"))
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Sexp::Atom(a) => out.push_str(a),
+            Sexp::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Sexp::List(items) => {
+                out.push('(');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    item.write(out);
+                }
+                out.push(')');
+            }
+        }
+    }
+
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    /// Parse one S-expression from `src`.
+    pub fn parse(src: &str) -> Result<Sexp, FlowError> {
+        let mut chars = src.chars().peekable();
+        let v = parse_sexp(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.peek().is_some() {
+            return Err(FlowError::Persist("trailing input after S-expression".into()));
+        }
+        Ok(v)
+    }
+
+    fn as_list(&self) -> Result<&[Sexp], FlowError> {
+        match self {
+            Sexp::List(items) => Ok(items),
+            other => Err(FlowError::Persist(format!("expected list, got {}", other.to_text()))),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, FlowError> {
+        match self {
+            Sexp::Str(s) => Ok(s),
+            other => Err(FlowError::Persist(format!("expected string, got {}", other.to_text()))),
+        }
+    }
+
+    fn as_atom(&self) -> Result<&str, FlowError> {
+        match self {
+            Sexp::Atom(a) => Ok(a),
+            other => Err(FlowError::Persist(format!("expected atom, got {}", other.to_text()))),
+        }
+    }
+
+    fn as_usize(&self) -> Result<usize, FlowError> {
+        self.as_atom()?
+            .parse()
+            .map_err(|_| FlowError::Persist(format!("bad integer {}", self.to_text())))
+    }
+
+    fn as_u64(&self) -> Result<u64, FlowError> {
+        self.as_atom()?
+            .parse()
+            .map_err(|_| FlowError::Persist(format!("bad integer {}", self.to_text())))
+    }
+
+    fn as_f64(&self) -> Result<f64, FlowError> {
+        self.as_atom()?
+            .parse()
+            .map_err(|_| FlowError::Persist(format!("bad float {}", self.to_text())))
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_sexp(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<Sexp, FlowError> {
+    skip_ws(chars);
+    match chars.peek() {
+        None => Err(FlowError::Persist("unexpected end of input".into())),
+        Some('(') => {
+            chars.next();
+            let mut items = Vec::new();
+            loop {
+                skip_ws(chars);
+                match chars.peek() {
+                    Some(')') => {
+                        chars.next();
+                        return Ok(Sexp::List(items));
+                    }
+                    None => return Err(FlowError::Persist("unclosed '('".into())),
+                    _ => items.push(parse_sexp(chars)?),
+                }
+            }
+        }
+        Some(')') => Err(FlowError::Persist("unexpected ')'".into())),
+        Some('"') => {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    None => return Err(FlowError::Persist("unclosed string".into())),
+                    Some('"') => return Ok(Sexp::Str(s)),
+                    Some('\\') => match chars.next() {
+                        Some('"') => s.push('"'),
+                        Some('\\') => s.push('\\'),
+                        Some('n') => s.push('\n'),
+                        other => return Err(FlowError::Persist(format!("bad escape {other:?}"))),
+                    },
+                    Some(c) => s.push(c),
+                }
+            }
+        }
+        Some(_) => {
+            let mut a = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() || c == '(' || c == ')' || c == '"' {
+                    break;
+                }
+                a.push(c);
+                chars.next();
+            }
+            Ok(Sexp::Atom(a))
+        }
+    }
+}
+
+// ------------------------------------------------------------- encoding
+
+fn expr_sexp(e: &Expr) -> Sexp {
+    Sexp::Str(e.to_string())
+}
+
+fn expr_from(s: &Sexp) -> Result<Expr, FlowError> {
+    parse_expr(s.as_str()?).map_err(FlowError::from)
+}
+
+fn sel_sexp(sel: &Selection) -> Sexp {
+    let part = |o: Option<usize>| match o {
+        Some(i) => Sexp::int(i as i64),
+        None => Sexp::atom("-"),
+    };
+    Sexp::list(vec![Sexp::atom("sel"), part(sel.member), part(sel.layer)])
+}
+
+fn sel_from(s: &Sexp) -> Result<Selection, FlowError> {
+    let items = s.as_list()?;
+    if items.len() != 3 || items[0].as_atom()? != "sel" {
+        return Err(FlowError::Persist(format!("bad selection {}", s.to_text())));
+    }
+    let part = |x: &Sexp| -> Result<Option<usize>, FlowError> {
+        if x.as_atom()? == "-" {
+            Ok(None)
+        } else {
+            Ok(Some(x.as_usize()?))
+        }
+    };
+    Ok(Selection { member: part(&items[1])?, layer: part(&items[2])? })
+}
+
+fn ty_sexp(t: &ScalarType) -> Sexp {
+    Sexp::atom(t.to_string())
+}
+
+fn ty_from(s: &Sexp) -> Result<ScalarType, FlowError> {
+    ScalarType::parse(s.as_atom()?)
+        .ok_or_else(|| FlowError::Persist(format!("bad scalar type {}", s.to_text())))
+}
+
+fn port_sexp(t: &PortType) -> Sexp {
+    Sexp::atom(t.code())
+}
+
+fn port_from(s: &Sexp) -> Result<PortType, FlowError> {
+    PortType::parse(s.as_atom()?)
+        .ok_or_else(|| FlowError::Persist(format!("bad port type {}", s.to_text())))
+}
+
+fn role_sexp(r: AttrRole) -> Sexp {
+    Sexp::atom(match r {
+        AttrRole::Plain => "plain",
+        AttrRole::Location => "location",
+        AttrRole::Display => "display",
+    })
+}
+
+fn role_from(s: &Sexp) -> Result<AttrRole, FlowError> {
+    match s.as_atom()? {
+        "plain" => Ok(AttrRole::Plain),
+        "location" => Ok(AttrRole::Location),
+        "display" => Ok(AttrRole::Display),
+        other => Err(FlowError::Persist(format!("bad attr role {other}"))),
+    }
+}
+
+fn layout_sexp(l: Layout) -> Sexp {
+    match l {
+        Layout::Horizontal => Sexp::atom("h"),
+        Layout::Vertical => Sexp::atom("v"),
+        Layout::Tabular { cols } => Sexp::list(vec![Sexp::atom("tab"), Sexp::int(cols as i64)]),
+    }
+}
+
+fn layout_from(s: &Sexp) -> Result<Layout, FlowError> {
+    match s {
+        Sexp::Atom(a) if a == "h" => Ok(Layout::Horizontal),
+        Sexp::Atom(a) if a == "v" => Ok(Layout::Vertical),
+        Sexp::List(items)
+            if items.len() == 2 && items[0].as_atom().map(|a| a == "tab").unwrap_or(false) =>
+        {
+            Ok(Layout::Tabular { cols: items[1].as_usize()? })
+        }
+        other => Err(FlowError::Persist(format!("bad layout {}", other.to_text()))),
+    }
+}
+
+fn partition_sexp(p: &PartitionSpec) -> Sexp {
+    match p {
+        PartitionSpec::Predicates(ps) => {
+            let mut items = vec![Sexp::atom("preds")];
+            for (label, e) in ps {
+                items.push(Sexp::list(vec![Sexp::Str(label.clone()), expr_sexp(e)]));
+            }
+            Sexp::list(items)
+        }
+        PartitionSpec::Enumerate(attr) => {
+            Sexp::list(vec![Sexp::atom("enum"), Sexp::Str(attr.clone())])
+        }
+    }
+}
+
+fn partition_from(s: &Sexp) -> Result<PartitionSpec, FlowError> {
+    let items = s.as_list()?;
+    match items.first().map(|h| h.as_atom()) {
+        Some(Ok("preds")) => {
+            let mut out = Vec::new();
+            for p in &items[1..] {
+                let pair = p.as_list()?;
+                if pair.len() != 2 {
+                    return Err(FlowError::Persist("bad predicate pair".into()));
+                }
+                out.push((pair[0].as_str()?.to_string(), expr_from(&pair[1])?));
+            }
+            Ok(PartitionSpec::Predicates(out))
+        }
+        Some(Ok("enum")) if items.len() == 2 => {
+            Ok(PartitionSpec::Enumerate(items[1].as_str()?.to_string()))
+        }
+        _ => Err(FlowError::Persist(format!("bad partition spec {}", s.to_text()))),
+    }
+}
+
+fn relop_sexp(op: &RelOpKind) -> Sexp {
+    match op {
+        RelOpKind::Restrict(e) => Sexp::list(vec![Sexp::atom("restrict"), expr_sexp(e)]),
+        RelOpKind::Project(cols) => {
+            let mut items = vec![Sexp::atom("project")];
+            items.extend(cols.iter().map(|c| Sexp::Str(c.clone())));
+            Sexp::list(items)
+        }
+        RelOpKind::Sample { p, seed } => {
+            Sexp::list(vec![Sexp::atom("sample"), Sexp::float(*p), Sexp::int(*seed as i64)])
+        }
+        RelOpKind::Aggregate { keys, aggs } => {
+            let mut key_items = vec![Sexp::atom("keys")];
+            key_items.extend(keys.iter().map(|k| Sexp::Str(k.clone())));
+            let mut agg_items = vec![Sexp::atom("aggs")];
+            for a in aggs {
+                agg_items.push(Sexp::list(vec![
+                    Sexp::atom(a.func.name()),
+                    match &a.attr {
+                        Some(x) => Sexp::Str(x.clone()),
+                        None => Sexp::atom("-"),
+                    },
+                    Sexp::Str(a.output.clone()),
+                ]));
+            }
+            Sexp::list(vec![Sexp::atom("aggregate"), Sexp::list(key_items), Sexp::list(agg_items)])
+        }
+        RelOpKind::Distinct(attrs) => {
+            let mut items = vec![Sexp::atom("distinct")];
+            items.extend(attrs.iter().map(|a| Sexp::Str(a.clone())));
+            Sexp::list(items)
+        }
+        RelOpKind::Limit { offset, count } => Sexp::list(vec![
+            Sexp::atom("limit"),
+            Sexp::int(*offset as i64),
+            Sexp::int(*count as i64),
+        ]),
+        RelOpKind::Rename { from, to } => {
+            Sexp::list(vec![Sexp::atom("rename"), Sexp::Str(from.clone()), Sexp::Str(to.clone())])
+        }
+        RelOpKind::Sort(keys) => {
+            let mut items = vec![Sexp::atom("sort")];
+            for (k, asc) in keys {
+                items.push(Sexp::list(vec![
+                    Sexp::Str(k.clone()),
+                    Sexp::atom(if *asc { "asc" } else { "desc" }),
+                ]));
+            }
+            Sexp::list(items)
+        }
+        RelOpKind::AddAttribute { name, ty, def, role } => Sexp::list(vec![
+            Sexp::atom("add-attr"),
+            Sexp::Str(name.clone()),
+            ty_sexp(ty),
+            expr_sexp(def),
+            role_sexp(*role),
+        ]),
+        RelOpKind::RemoveAttribute(name) => {
+            Sexp::list(vec![Sexp::atom("remove-attr"), Sexp::Str(name.clone())])
+        }
+        RelOpKind::SetAttribute { name, ty, def } => Sexp::list(vec![
+            Sexp::atom("set-attr"),
+            Sexp::Str(name.clone()),
+            ty_sexp(ty),
+            expr_sexp(def),
+        ]),
+        RelOpKind::SwapAttributes(a, b) => {
+            Sexp::list(vec![Sexp::atom("swap-attr"), Sexp::Str(a.clone()), Sexp::Str(b.clone())])
+        }
+        RelOpKind::ScaleAttribute(a, k) => {
+            Sexp::list(vec![Sexp::atom("scale-attr"), Sexp::Str(a.clone()), Sexp::float(*k)])
+        }
+        RelOpKind::TranslateAttribute(a, c) => {
+            Sexp::list(vec![Sexp::atom("translate-attr"), Sexp::Str(a.clone()), Sexp::float(*c)])
+        }
+        RelOpKind::CombineDisplays { first, second, dx, dy, new_name } => Sexp::list(vec![
+            Sexp::atom("combine-displays"),
+            Sexp::Str(first.clone()),
+            Sexp::Str(second.clone()),
+            Sexp::float(*dx),
+            Sexp::float(*dy),
+            Sexp::Str(new_name.clone()),
+        ]),
+        RelOpKind::SetActiveDisplay(name) => {
+            Sexp::list(vec![Sexp::atom("set-active-display"), Sexp::Str(name.clone())])
+        }
+        RelOpKind::SetRange { min, max } => {
+            Sexp::list(vec![Sexp::atom("set-range"), Sexp::float(*min), Sexp::float(*max)])
+        }
+        RelOpKind::SetLayerName(name) => {
+            Sexp::list(vec![Sexp::atom("set-layer-name"), Sexp::Str(name.clone())])
+        }
+    }
+}
+
+fn relop_from(s: &Sexp) -> Result<RelOpKind, FlowError> {
+    let items = s.as_list()?;
+    let head = items.first().ok_or_else(|| FlowError::Persist("empty relop".into()))?.as_atom()?;
+    match head {
+        "restrict" => Ok(RelOpKind::Restrict(expr_from(&items[1])?)),
+        "project" => Ok(RelOpKind::Project(
+            items[1..].iter().map(|c| c.as_str().map(str::to_string)).collect::<Result<_, _>>()?,
+        )),
+        "sample" => Ok(RelOpKind::Sample { p: items[1].as_f64()?, seed: items[2].as_u64()? }),
+        "aggregate" => {
+            let key_items = items[1].as_list()?;
+            let keys = key_items[1..]
+                .iter()
+                .map(|k| k.as_str().map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()?;
+            let agg_items = items[2].as_list()?;
+            let mut aggs = Vec::new();
+            for a in &agg_items[1..] {
+                let triple = a.as_list()?;
+                let func = tioga2_relational::AggFunc::parse(triple[0].as_atom()?)
+                    .ok_or_else(|| FlowError::Persist("bad aggregate function".into()))?;
+                let attr = match &triple[1] {
+                    Sexp::Atom(x) if x == "-" => None,
+                    other => Some(other.as_str()?.to_string()),
+                };
+                aggs.push(tioga2_relational::AggSpec {
+                    func,
+                    attr,
+                    output: triple[2].as_str()?.to_string(),
+                });
+            }
+            Ok(RelOpKind::Aggregate { keys, aggs })
+        }
+        "distinct" => Ok(RelOpKind::Distinct(
+            items[1..].iter().map(|a| a.as_str().map(str::to_string)).collect::<Result<_, _>>()?,
+        )),
+        "limit" => {
+            Ok(RelOpKind::Limit { offset: items[1].as_usize()?, count: items[2].as_usize()? })
+        }
+        "rename" => Ok(RelOpKind::Rename {
+            from: items[1].as_str()?.to_string(),
+            to: items[2].as_str()?.to_string(),
+        }),
+        "sort" => {
+            let mut keys = Vec::new();
+            for k in &items[1..] {
+                let pair = k.as_list()?;
+                keys.push((pair[0].as_str()?.to_string(), pair[1].as_atom()? == "asc"));
+            }
+            Ok(RelOpKind::Sort(keys))
+        }
+        "add-attr" => Ok(RelOpKind::AddAttribute {
+            name: items[1].as_str()?.to_string(),
+            ty: ty_from(&items[2])?,
+            def: expr_from(&items[3])?,
+            role: role_from(&items[4])?,
+        }),
+        "remove-attr" => Ok(RelOpKind::RemoveAttribute(items[1].as_str()?.to_string())),
+        "set-attr" => Ok(RelOpKind::SetAttribute {
+            name: items[1].as_str()?.to_string(),
+            ty: ty_from(&items[2])?,
+            def: expr_from(&items[3])?,
+        }),
+        "swap-attr" => Ok(RelOpKind::SwapAttributes(
+            items[1].as_str()?.to_string(),
+            items[2].as_str()?.to_string(),
+        )),
+        "scale-attr" => {
+            Ok(RelOpKind::ScaleAttribute(items[1].as_str()?.to_string(), items[2].as_f64()?))
+        }
+        "translate-attr" => {
+            Ok(RelOpKind::TranslateAttribute(items[1].as_str()?.to_string(), items[2].as_f64()?))
+        }
+        "combine-displays" => Ok(RelOpKind::CombineDisplays {
+            first: items[1].as_str()?.to_string(),
+            second: items[2].as_str()?.to_string(),
+            dx: items[3].as_f64()?,
+            dy: items[4].as_f64()?,
+            new_name: items[5].as_str()?.to_string(),
+        }),
+        "set-active-display" => Ok(RelOpKind::SetActiveDisplay(items[1].as_str()?.to_string())),
+        "set-range" => Ok(RelOpKind::SetRange { min: items[1].as_f64()?, max: items[2].as_f64()? }),
+        "set-layer-name" => Ok(RelOpKind::SetLayerName(items[1].as_str()?.to_string())),
+        other => Err(FlowError::Persist(format!("unknown relop '{other}'"))),
+    }
+}
+
+fn kind_sexp(kind: &BoxKind) -> Sexp {
+    match kind {
+        BoxKind::Table(t) => Sexp::list(vec![Sexp::atom("table"), Sexp::Str(t.clone())]),
+        BoxKind::Join(e) => Sexp::list(vec![Sexp::atom("join"), expr_sexp(e)]),
+        BoxKind::RelOp { op, shape, sel } => {
+            Sexp::list(vec![Sexp::atom("relop"), port_sexp(shape), sel_sexp(sel), relop_sexp(op)])
+        }
+        BoxKind::CompOp { op, shape, sel } => {
+            let op_s = match op {
+                CompOpKind::Shuffle(i) => {
+                    Sexp::list(vec![Sexp::atom("shuffle"), Sexp::int(*i as i64)])
+                }
+                CompOpKind::Reorder { from, to } => Sexp::list(vec![
+                    Sexp::atom("reorder"),
+                    Sexp::int(*from as i64),
+                    Sexp::int(*to as i64),
+                ]),
+            };
+            Sexp::list(vec![Sexp::atom("compop"), port_sexp(shape), sel_sexp(sel), op_s])
+        }
+        BoxKind::Overlay { offset, invariant } => {
+            let mut items = vec![
+                Sexp::atom("overlay"),
+                Sexp::atom(if *invariant { "invariant" } else { "strict" }),
+            ];
+            items.extend(offset.iter().map(|x| Sexp::float(*x)));
+            Sexp::list(items)
+        }
+        BoxKind::Stitch { arity, layout } => {
+            Sexp::list(vec![Sexp::atom("stitch"), Sexp::int(*arity as i64), layout_sexp(*layout)])
+        }
+        BoxKind::Replicate { horizontal, vertical, shape, sel } => {
+            let v = match vertical {
+                Some(v) => partition_sexp(v),
+                None => Sexp::atom("-"),
+            };
+            Sexp::list(vec![
+                Sexp::atom("replicate"),
+                port_sexp(shape),
+                sel_sexp(sel),
+                partition_sexp(horizontal),
+                v,
+            ])
+        }
+        BoxKind::Switch(e) => Sexp::list(vec![Sexp::atom("switch"), expr_sexp(e)]),
+        BoxKind::Const(v) => {
+            let (tag, body) = match v {
+                tioga2_expr::Value::Null => ("null", Sexp::atom("-")),
+                tioga2_expr::Value::Bool(b) => ("bool", Sexp::atom(if *b { "1" } else { "0" })),
+                tioga2_expr::Value::Int(i) => ("int", Sexp::int(*i)),
+                tioga2_expr::Value::Float(x) => ("float", Sexp::float(*x)),
+                tioga2_expr::Value::Text(t) => ("text", Sexp::Str(t.clone())),
+                tioga2_expr::Value::Timestamp(t) => ("timestamp", Sexp::int(*t)),
+                // Drawable constants cannot arise: Const is built from
+                // user-entered scalars.
+                _ => ("text", Sexp::Str(v.display_text())),
+            };
+            Sexp::list(vec![Sexp::atom("const"), Sexp::atom(tag), body])
+        }
+        BoxKind::ParamRestrict { pred, params, shape, sel } => {
+            let mut p_items = vec![Sexp::atom("params")];
+            for (name, ty) in params {
+                p_items.push(Sexp::list(vec![Sexp::Str(name.clone()), ty_sexp(ty)]));
+            }
+            Sexp::list(vec![
+                Sexp::atom("param-restrict"),
+                port_sexp(shape),
+                sel_sexp(sel),
+                expr_sexp(pred),
+                Sexp::list(p_items),
+            ])
+        }
+        BoxKind::Tee(t) => Sexp::list(vec![Sexp::atom("tee"), port_sexp(t)]),
+        BoxKind::Viewer { canvas, ty } => {
+            Sexp::list(vec![Sexp::atom("viewer"), Sexp::Str(canvas.clone()), port_sexp(ty)])
+        }
+        BoxKind::Param { idx, ty } => {
+            Sexp::list(vec![Sexp::atom("param"), Sexp::int(*idx as i64), port_sexp(ty)])
+        }
+        BoxKind::Hole { idx, in_types, out_types } => Sexp::list(vec![
+            Sexp::atom("hole"),
+            Sexp::int(*idx as i64),
+            Sexp::list(in_types.iter().map(port_sexp).collect()),
+            Sexp::list(out_types.iter().map(port_sexp).collect()),
+        ]),
+        BoxKind::Encapsulated { def, plugs } => Sexp::list(vec![
+            Sexp::atom("encap"),
+            def_sexp(def),
+            Sexp::list(plugs.iter().map(kind_sexp).collect()),
+        ]),
+        BoxKind::Custom(c) => Sexp::list(vec![Sexp::atom("custom"), Sexp::Str(c.name.clone())]),
+    }
+}
+
+fn kind_from(s: &Sexp, registry: &BoxRegistry) -> Result<BoxKind, FlowError> {
+    let items = s.as_list()?;
+    let head =
+        items.first().ok_or_else(|| FlowError::Persist("empty box kind".into()))?.as_atom()?;
+    match head {
+        "table" => Ok(BoxKind::Table(items[1].as_str()?.to_string())),
+        "join" => Ok(BoxKind::Join(expr_from(&items[1])?)),
+        "relop" => Ok(BoxKind::RelOp {
+            shape: port_from(&items[1])?,
+            sel: sel_from(&items[2])?,
+            op: relop_from(&items[3])?,
+        }),
+        "compop" => {
+            let op_items = items[3].as_list()?;
+            let op = match op_items[0].as_atom()? {
+                "shuffle" => CompOpKind::Shuffle(op_items[1].as_usize()?),
+                "reorder" => CompOpKind::Reorder {
+                    from: op_items[1].as_usize()?,
+                    to: op_items[2].as_usize()?,
+                },
+                other => return Err(FlowError::Persist(format!("unknown compop '{other}'"))),
+            };
+            Ok(BoxKind::CompOp { shape: port_from(&items[1])?, sel: sel_from(&items[2])?, op })
+        }
+        "overlay" => {
+            let invariant = items[1].as_atom()? == "invariant";
+            let offset = items[2..].iter().map(|x| x.as_f64()).collect::<Result<Vec<_>, _>>()?;
+            Ok(BoxKind::Overlay { offset, invariant })
+        }
+        "stitch" => {
+            Ok(BoxKind::Stitch { arity: items[1].as_usize()?, layout: layout_from(&items[2])? })
+        }
+        "replicate" => {
+            let vertical = match &items[4] {
+                Sexp::Atom(a) if a == "-" => None,
+                other => Some(partition_from(other)?),
+            };
+            Ok(BoxKind::Replicate {
+                shape: port_from(&items[1])?,
+                sel: sel_from(&items[2])?,
+                horizontal: partition_from(&items[3])?,
+                vertical,
+            })
+        }
+        "switch" => Ok(BoxKind::Switch(expr_from(&items[1])?)),
+        "const" => {
+            let v = match items[1].as_atom()? {
+                "null" => tioga2_expr::Value::Null,
+                "bool" => tioga2_expr::Value::Bool(items[2].as_atom()? == "1"),
+                "int" => tioga2_expr::Value::Int(
+                    items[2]
+                        .as_atom()?
+                        .parse()
+                        .map_err(|_| FlowError::Persist("bad const int".into()))?,
+                ),
+                "float" => tioga2_expr::Value::Float(items[2].as_f64()?),
+                "text" => tioga2_expr::Value::Text(items[2].as_str()?.to_string()),
+                "timestamp" => tioga2_expr::Value::Timestamp(
+                    items[2]
+                        .as_atom()?
+                        .parse()
+                        .map_err(|_| FlowError::Persist("bad const timestamp".into()))?,
+                ),
+                other => return Err(FlowError::Persist(format!("bad const tag '{other}'"))),
+            };
+            Ok(BoxKind::Const(v))
+        }
+        "param-restrict" => {
+            let p_items = items[4].as_list()?;
+            let mut params = Vec::new();
+            for p in &p_items[1..] {
+                let pair = p.as_list()?;
+                params.push((pair[0].as_str()?.to_string(), ty_from(&pair[1])?));
+            }
+            Ok(BoxKind::ParamRestrict {
+                shape: port_from(&items[1])?,
+                sel: sel_from(&items[2])?,
+                pred: expr_from(&items[3])?,
+                params,
+            })
+        }
+        "tee" => Ok(BoxKind::Tee(port_from(&items[1])?)),
+        "viewer" => Ok(BoxKind::Viewer {
+            canvas: items[1].as_str()?.to_string(),
+            ty: port_from(&items[2])?,
+        }),
+        "param" => Ok(BoxKind::Param { idx: items[1].as_usize()?, ty: port_from(&items[2])? }),
+        "hole" => Ok(BoxKind::Hole {
+            idx: items[1].as_usize()?,
+            in_types: items[2].as_list()?.iter().map(port_from).collect::<Result<_, _>>()?,
+            out_types: items[3].as_list()?.iter().map(port_from).collect::<Result<_, _>>()?,
+        }),
+        "encap" => {
+            let def = Arc::new(def_from(&items[1], registry)?);
+            let plugs = items[2]
+                .as_list()?
+                .iter()
+                .map(|p| kind_from(p, registry))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(BoxKind::Encapsulated { def, plugs })
+        }
+        "custom" => {
+            let name = items[1].as_str()?;
+            match registry.get(name).and_then(|t| t.kind.clone()) {
+                Some(k @ BoxKind::Custom(_)) => Ok(k),
+                _ => Err(FlowError::Persist(format!("custom box '{name}' is not registered"))),
+            }
+        }
+        other => Err(FlowError::Persist(format!("unknown box kind '{other}'"))),
+    }
+}
+
+fn def_sexp(def: &EncapsulatedDef) -> Sexp {
+    Sexp::list(vec![
+        Sexp::atom("def"),
+        Sexp::Str(def.name.clone()),
+        graph_sexp(&def.graph),
+        Sexp::list(def.in_types.iter().map(port_sexp).collect()),
+        Sexp::list(def.out_types.iter().map(port_sexp).collect()),
+        Sexp::list(
+            def.output_bindings
+                .iter()
+                .map(|(n, p)| Sexp::list(vec![Sexp::int(n.0 as i64), Sexp::int(*p as i64)]))
+                .collect(),
+        ),
+        Sexp::list(
+            def.holes
+                .iter()
+                .map(|h| {
+                    Sexp::list(vec![
+                        Sexp::list(h.in_types.iter().map(port_sexp).collect()),
+                        Sexp::list(h.out_types.iter().map(port_sexp).collect()),
+                    ])
+                })
+                .collect(),
+        ),
+    ])
+}
+
+fn def_from(s: &Sexp, registry: &BoxRegistry) -> Result<EncapsulatedDef, FlowError> {
+    let items = s.as_list()?;
+    if items.len() != 7 || items[0].as_atom()? != "def" {
+        return Err(FlowError::Persist("bad encapsulated def".into()));
+    }
+    let holes = items[6]
+        .as_list()?
+        .iter()
+        .map(|h| -> Result<HoleSig, FlowError> {
+            let pair = h.as_list()?;
+            Ok(HoleSig {
+                in_types: pair[0].as_list()?.iter().map(port_from).collect::<Result<_, _>>()?,
+                out_types: pair[1].as_list()?.iter().map(port_from).collect::<Result<_, _>>()?,
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(EncapsulatedDef {
+        name: items[1].as_str()?.to_string(),
+        graph: graph_from(&items[2], registry)?,
+        in_types: items[3].as_list()?.iter().map(port_from).collect::<Result<_, _>>()?,
+        out_types: items[4].as_list()?.iter().map(port_from).collect::<Result<_, _>>()?,
+        output_bindings: items[5]
+            .as_list()?
+            .iter()
+            .map(|b| -> Result<(NodeId, usize), FlowError> {
+                let pair = b.as_list()?;
+                Ok((NodeId(pair[0].as_usize()? as u32), pair[1].as_usize()?))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        holes,
+    })
+}
+
+fn graph_sexp(g: &Graph) -> Sexp {
+    let mut items = vec![Sexp::atom("graph")];
+    let mut nodes = vec![Sexp::atom("nodes")];
+    let mut edges = vec![Sexp::atom("edges")];
+    for n in g.nodes() {
+        nodes.push(Sexp::list(vec![Sexp::int(n.id.0 as i64), kind_sexp(&n.kind)]));
+        for (in_port, inp) in n.inputs.iter().enumerate() {
+            if let Some((src, out_port)) = inp {
+                edges.push(Sexp::list(vec![
+                    Sexp::int(n.id.0 as i64),
+                    Sexp::int(in_port as i64),
+                    Sexp::int(src.0 as i64),
+                    Sexp::int(*out_port as i64),
+                ]));
+            }
+        }
+    }
+    items.push(Sexp::list(nodes));
+    items.push(Sexp::list(edges));
+    Sexp::list(items)
+}
+
+fn graph_from(s: &Sexp, registry: &BoxRegistry) -> Result<Graph, FlowError> {
+    let items = s.as_list()?;
+    if items.len() != 3 || items[0].as_atom()? != "graph" {
+        return Err(FlowError::Persist("bad graph".into()));
+    }
+    let nodes = items[1].as_list()?;
+    let edges = items[2].as_list()?;
+    if nodes.first().map(|h| h.as_atom()) != Some(Ok("nodes"))
+        || edges.first().map(|h| h.as_atom()) != Some(Ok("edges"))
+    {
+        return Err(FlowError::Persist("bad graph sections".into()));
+    }
+    let mut g = Graph::new();
+    let mut map = std::collections::BTreeMap::new();
+    for n in &nodes[1..] {
+        let pair = n.as_list()?;
+        let old_id = pair[0].as_usize()? as u32;
+        let kind = kind_from(&pair[1], registry)?;
+        map.insert(NodeId(old_id), g.add(kind));
+    }
+    for e in &edges[1..] {
+        let q = e.as_list()?;
+        let to = *map
+            .get(&NodeId(q[0].as_usize()? as u32))
+            .ok_or_else(|| FlowError::Persist("edge references unknown node".into()))?;
+        let in_port = q[1].as_usize()?;
+        let from = *map
+            .get(&NodeId(q[2].as_usize()? as u32))
+            .ok_or_else(|| FlowError::Persist("edge references unknown node".into()))?;
+        let out_port = q[3].as_usize()?;
+        g.connect(from, out_port, to, in_port)?;
+    }
+    Ok(g)
+}
+
+/// Serialize a program.
+pub fn save_program(graph: &Graph) -> String {
+    let mut s = String::from("TIOGA2-PROGRAM v1\n");
+    s.push_str(&graph_sexp(graph).to_text());
+    s.push('\n');
+    s
+}
+
+/// Load a program, resolving custom boxes against `registry`.
+pub fn load_program(text: &str, registry: &BoxRegistry) -> Result<Graph, FlowError> {
+    let rest = text
+        .strip_prefix("TIOGA2-PROGRAM v1\n")
+        .ok_or_else(|| FlowError::Persist("bad program magic".into()))?;
+    let sexp = Sexp::parse(rest.trim_end())?;
+    graph_from(&sexp, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::CustomBox;
+    use crate::encapsulate::encapsulate;
+
+    fn registry() -> BoxRegistry {
+        BoxRegistry::with_primitives()
+    }
+
+    fn rich_graph() -> Graph {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(BoxKind::rel(RelOpKind::Restrict(
+            parse_expr("state = 'LA' AND altitude > 1.5").unwrap(),
+        )));
+        let p = g.add(BoxKind::rel(RelOpKind::Project(vec!["name".into(), "state".into()])));
+        let sw = g.add(BoxKind::Switch(parse_expr("altitude > 10.0").unwrap()));
+        let tee = g.add(BoxKind::Tee(PortType::R));
+        let ov = g.add(BoxKind::Overlay { offset: vec![1.5, -2.0], invariant: true });
+        let st = g.add(BoxKind::Stitch { arity: 2, layout: Layout::Tabular { cols: 2 } });
+        let rep = g.add(BoxKind::Replicate {
+            horizontal: PartitionSpec::Predicates(vec![(
+                "lo".into(),
+                parse_expr("altitude <= 5.0").unwrap(),
+            )]),
+            vertical: Some(PartitionSpec::Enumerate("state".into())),
+            shape: PortType::R,
+            sel: Selection::at(0, 0),
+        });
+        let v = g.add(BoxKind::Viewer { canvas: "main".into(), ty: PortType::G });
+        g.connect(t, 0, r, 0).unwrap();
+        g.connect(r, 0, p, 0).unwrap();
+        g.connect(p, 0, sw, 0).unwrap();
+        g.connect(sw, 0, tee, 0).unwrap();
+        g.connect(tee, 0, ov, 0).unwrap();
+        g.connect(tee, 1, ov, 1).unwrap();
+        g.connect(ov, 0, st, 0).unwrap();
+        g.connect(sw, 1, st, 1).unwrap();
+        g.connect(sw, 1, rep, 0).unwrap();
+        g.connect(st, 0, v, 0).unwrap();
+        g
+    }
+
+    fn same_shape(a: &Graph, b: &Graph) {
+        assert_eq!(a.len(), b.len());
+        let an: Vec<_> = a.nodes().collect();
+        let bn: Vec<_> = b.nodes().collect();
+        for (x, y) in an.iter().zip(&bn) {
+            assert_eq!(x.kind, y.kind, "kind mismatch at {}", x.id);
+            assert_eq!(x.inputs.len(), y.inputs.len());
+        }
+    }
+
+    #[test]
+    fn sexp_roundtrip() {
+        let src = r#"(a "str with \" and \\" (nested 1 2.5) -)"#;
+        let v = Sexp::parse(src).unwrap();
+        let v2 = Sexp::parse(&v.to_text()).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn sexp_errors() {
+        assert!(Sexp::parse("(unclosed").is_err());
+        assert!(Sexp::parse(")").is_err());
+        assert!(Sexp::parse("\"unclosed").is_err());
+        assert!(Sexp::parse("a b").is_err());
+        assert!(Sexp::parse("").is_err());
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let g = rich_graph();
+        let text = save_program(&g);
+        let g2 = load_program(&text, &registry()).unwrap();
+        same_shape(&g, &g2);
+        // Idempotent through a second cycle.
+        let text2 = save_program(&g2);
+        let g3 = load_program(&text2, &registry()).unwrap();
+        same_shape(&g2, &g3);
+    }
+
+    #[test]
+    fn encapsulated_roundtrip() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(BoxKind::rel(RelOpKind::Restrict(parse_expr("state = 'LA'").unwrap())));
+        let mid = g.add(BoxKind::rel(RelOpKind::Restrict(parse_expr("TRUE").unwrap())));
+        let r2 = g.add(BoxKind::rel(RelOpKind::Restrict(parse_expr("altitude > 0.0").unwrap())));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(r1, 0, mid, 0).unwrap();
+        g.connect(mid, 0, r2, 0).unwrap();
+        let def = Arc::new(encapsulate(&g, &[r1, mid, r2], &[vec![mid]], "Macro").unwrap());
+        let inst =
+            def.instantiate(vec![BoxKind::rel(RelOpKind::Sample { p: 0.5, seed: 9 })]).unwrap();
+        let mut g2 = Graph::new();
+        let t2 = g2.add(BoxKind::Table("Stations".into()));
+        let e = g2.add(inst);
+        g2.connect(t2, 0, e, 0).unwrap();
+
+        let text = save_program(&g2);
+        let loaded = load_program(&text, &registry()).unwrap();
+        same_shape(&g2, &loaded);
+        // The encapsulated def survived with its hole and plug.
+        let node = loaded.nodes().nth(1).unwrap();
+        match &node.kind {
+            BoxKind::Encapsulated { def, plugs } => {
+                assert_eq!(def.name, "Macro");
+                assert_eq!(def.holes.len(), 1);
+                assert_eq!(plugs.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_box_resolves_via_registry() {
+        let mut reg = registry();
+        let custom = Arc::new(CustomBox {
+            name: "Magic".into(),
+            in_types: vec![PortType::R],
+            out_types: vec![PortType::R],
+            f: Box::new(|ins| Ok(ins.to_vec())),
+        });
+        reg.register_custom(custom.clone());
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("A".into()));
+        let c = g.add(BoxKind::Custom(custom));
+        g.connect(t, 0, c, 0).unwrap();
+        let text = save_program(&g);
+        let loaded = load_program(&text, &reg).unwrap();
+        same_shape(&g, &loaded);
+        // Without the registration, loading fails.
+        assert!(load_program(&text, &registry()).is_err());
+    }
+
+    #[test]
+    fn bad_programs_rejected() {
+        assert!(load_program("garbage", &registry()).is_err());
+        assert!(load_program("TIOGA2-PROGRAM v1\n(nonsense)", &registry()).is_err());
+        assert!(load_program("TIOGA2-PROGRAM v1\n(graph (nodes (0 (frob))) (edges))", &registry())
+            .is_err());
+    }
+
+    #[test]
+    fn expressions_roundtrip_through_program() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("T".into()));
+        let pred = "if a > 1 then b || 'x''y' else 'z' end = 'w'";
+        let r = g.add(BoxKind::rel(RelOpKind::Restrict(parse_expr(pred).unwrap())));
+        g.connect(t, 0, r, 0).unwrap();
+        let loaded = load_program(&save_program(&g), &registry()).unwrap();
+        let node = loaded.nodes().nth(1).unwrap();
+        match &node.kind {
+            BoxKind::RelOp { op: RelOpKind::Restrict(e), .. } => {
+                assert_eq!(e, &parse_expr(pred).unwrap());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The `Employees` relation used by the paper's §7.4 Replicate example
+//! ("replication is tabular, with predicates salary <= 5000 and
+//! salary > 5000 in the horizontal dimension and the enumerated type
+//! department in the vertical dimension").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tioga2_expr::{timestamp_from_parts, ScalarType, Value};
+use tioga2_relational::relation::RelationBuilder;
+use tioga2_relational::Relation;
+
+const DEPARTMENTS: &[(&str, i64, i64)] = &[
+    // (name, salary min, salary max) — spans straddle the paper's 5000
+    // cutoff so both replicate cells are populated.
+    ("sales", 2500, 7000),
+    ("engineering", 3500, 9500),
+    ("shipping", 2000, 5500),
+    ("finance", 3000, 8500),
+];
+
+const FIRST: &[&str] = &[
+    "Alex", "Blair", "Casey", "Dana", "Emery", "Flynn", "Gale", "Harper", "Indra", "Jordan", "Kim",
+    "Lee", "Morgan", "Noel", "Oakley", "Parker", "Quinn", "Reese", "Sage", "Taylor",
+];
+
+const LAST: &[&str] = &[
+    "Abel",
+    "Boudreaux",
+    "Chen",
+    "Dufour",
+    "Evans",
+    "Fontenot",
+    "Guidry",
+    "Hebert",
+    "Ito",
+    "Jackson",
+    "Kowalski",
+    "Landry",
+    "Moreau",
+    "Nguyen",
+    "Okafor",
+    "Prejean",
+    "Quist",
+    "Romero",
+    "Singh",
+    "Thibodeaux",
+];
+
+/// Generate `Employees`: `id int, name text, salary int, department text,
+/// hired timestamp`.
+pub fn employees(n: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = RelationBuilder::new()
+        .field("id", ScalarType::Int)
+        .field("name", ScalarType::Text)
+        .field("salary", ScalarType::Int)
+        .field("department", ScalarType::Text)
+        .field("hired", ScalarType::Timestamp);
+    for i in 0..n {
+        let dept = &DEPARTMENTS[rng.gen_range(0..DEPARTMENTS.len())];
+        let salary = rng.gen_range(dept.1..=dept.2);
+        let name = format!(
+            "{} {}",
+            FIRST[rng.gen_range(0..FIRST.len())],
+            LAST[rng.gen_range(0..LAST.len())]
+        );
+        let hired = timestamp_from_parts(
+            rng.gen_range(1975..1996),
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28),
+            9,
+            0,
+        );
+        b = b.row(vec![
+            Value::Int(i as i64),
+            Value::Text(name),
+            Value::Int(salary),
+            Value::Text(dept.0.to_string()),
+            Value::Timestamp(hired),
+        ]);
+    }
+    b.build().expect("employee schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = employees(100, 4);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.tuples(), employees(100, 4).tuples());
+    }
+
+    #[test]
+    fn paper_cutoff_splits_both_ways() {
+        let r = employees(200, 8);
+        let lo = r
+            .tuples()
+            .iter()
+            .filter(|t| matches!(t.values()[2], Value::Int(s) if s <= 5000))
+            .count();
+        assert!(lo > 20 && lo < 180, "salary <= 5000 count {lo}");
+    }
+
+    #[test]
+    fn all_departments_present() {
+        let r = employees(200, 15);
+        let mut seen = std::collections::BTreeSet::new();
+        for t in r.tuples() {
+            seen.insert(t.values()[3].as_text().unwrap().to_string());
+        }
+        assert_eq!(seen.len(), DEPARTMENTS.len());
+    }
+}

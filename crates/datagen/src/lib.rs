@@ -1,0 +1,91 @@
+//! # tioga2-datagen
+//!
+//! Deterministic synthetic data standing in for the paper's weather data
+//! (the substitution is documented in `DESIGN.md`: the paper's examples
+//! use NOAA-style North-America station/observation data we do not have;
+//! these generators produce data with the same spatial and temporal
+//! structure, keyed by explicit seeds so every figure is reproducible
+//! bit-for-bit).
+//!
+//! Generators:
+//!
+//! * [`stations()`] — the `Stations` relation: named weather stations across
+//!   North America (with a guaranteed Louisiana contingent),
+//! * [`observations()`] — the `Observations` relation: per-station hourly
+//!   temperature/precipitation series with latitude, altitude, seasonal
+//!   and diurnal structure,
+//! * [`louisiana_border`] / [`louisiana_counties`] — line-segment
+//!   relations for the Figure 7 map overlay,
+//! * [`employees()`] — the salary/department relation of the paper's §7.4
+//!   Replicate example,
+//! * [`register_standard_catalog`] — one call to set up the catalog every
+//!   example, test and bench uses.
+
+pub mod employees;
+pub mod maps;
+pub mod observations;
+pub mod stations;
+
+pub use employees::employees;
+pub use maps::{louisiana_border, louisiana_counties};
+pub use observations::{observations, ObservationConfig};
+pub use stations::{stations, StationConfig, LOUISIANA_BOUNDS};
+
+use tioga2_relational::Catalog;
+
+/// Register the standard tables used by the paper's worked example:
+/// `Stations` (n stations), `Observations` (`obs_per_station` each),
+/// `LaBorder`, `LaCounties`, and `Employees`.
+pub fn register_standard_catalog(
+    catalog: &Catalog,
+    n_stations: usize,
+    obs_per_station: usize,
+    seed: u64,
+) {
+    let st = stations(&StationConfig { n: n_stations, seed });
+    let obs = observations(
+        &st,
+        &ObservationConfig {
+            per_station: obs_per_station,
+            seed: seed ^ 0x9e37,
+            ..Default::default()
+        },
+    );
+    catalog.register("Stations", st);
+    catalog.register("Observations", obs);
+    catalog.register("LaBorder", louisiana_border());
+    catalog.register("LaCounties", louisiana_counties());
+    catalog.register("Employees", employees(200, seed ^ 0xabcd));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalog_registers_all_tables() {
+        let c = Catalog::new();
+        register_standard_catalog(&c, 50, 10, 42);
+        for t in ["Stations", "Observations", "LaBorder", "LaCounties", "Employees"] {
+            assert!(c.contains(t), "missing {t}");
+        }
+        assert_eq!(c.snapshot("Stations").unwrap().len(), 50);
+        assert_eq!(c.snapshot("Observations").unwrap().len(), 500);
+    }
+
+    #[test]
+    fn catalog_generation_is_deterministic() {
+        let a = Catalog::new();
+        let b = Catalog::new();
+        register_standard_catalog(&a, 30, 5, 7);
+        register_standard_catalog(&b, 30, 5, 7);
+        assert_eq!(
+            a.snapshot("Stations").unwrap().tuples(),
+            b.snapshot("Stations").unwrap().tuples()
+        );
+        assert_eq!(
+            a.snapshot("Observations").unwrap().tuples(),
+            b.snapshot("Observations").unwrap().tuples()
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Map line relations: a stylized Louisiana border and county grid,
+//! "derived from a relation of lines defining the map" (paper §6.1,
+//! Figure 7).
+
+use tioga2_expr::{ScalarType, Value};
+use tioga2_relational::relation::RelationBuilder;
+use tioga2_relational::Relation;
+
+/// Stylized Louisiana border polyline (longitude, latitude), traced
+/// clockwise from the northwest corner.  Schematic, not surveyed — the
+/// figure only needs a recognizable state outline for reference.
+const BORDER: &[(f64, f64)] = &[
+    (-94.04, 33.02),
+    (-91.17, 33.01),
+    (-91.20, 32.20),
+    (-90.95, 31.70),
+    (-91.50, 31.05),
+    (-90.85, 30.70),
+    (-89.85, 30.65),
+    (-89.80, 30.20),
+    (-89.50, 30.18),
+    (-89.20, 29.70),
+    (-89.00, 29.20),
+    (-89.40, 28.95),
+    (-90.30, 29.25),
+    (-91.30, 29.50),
+    (-92.20, 29.55),
+    (-93.20, 29.72),
+    (-93.85, 29.70),
+    (-93.80, 30.40),
+    (-93.70, 31.00),
+    (-94.00, 31.50),
+    (-94.04, 33.02),
+];
+
+/// Even-odd point-in-polygon test against the stylized border.
+pub fn inside_louisiana(lon: f64, lat: f64) -> bool {
+    let mut inside = false;
+    let n = BORDER.len() - 1; // closed polyline: last point repeats first
+    for i in 0..n {
+        let (x0, y0) = BORDER[i];
+        let (x1, y1) = BORDER[i + 1];
+        if (y0 <= lat && lat < y1) || (y1 <= lat && lat < y0) {
+            let t = (lat - y0) / (y1 - y0);
+            if lon < x0 + t * (x1 - x0) {
+                inside = !inside;
+            }
+        }
+    }
+    inside
+}
+
+fn line_relation(segments: impl IntoIterator<Item = ((f64, f64), (f64, f64))>) -> Relation {
+    let mut b = RelationBuilder::new()
+        .field("x1", ScalarType::Float)
+        .field("y1", ScalarType::Float)
+        .field("x2", ScalarType::Float)
+        .field("y2", ScalarType::Float);
+    for ((x1, y1), (x2, y2)) in segments {
+        b = b.row(vec![Value::Float(x1), Value::Float(y1), Value::Float(x2), Value::Float(y2)]);
+    }
+    b.build().expect("line schema is valid")
+}
+
+/// The Louisiana border as a relation of line segments
+/// (`x1, y1, x2, y2` — one tuple per segment).
+pub fn louisiana_border() -> Relation {
+    line_relation(BORDER.windows(2).map(|w| (w[0], w[1])))
+}
+
+/// A schematic county grid inside the state's bounding box (clipped to a
+/// coarse interior region), giving the Figure 7 drill-down a second map
+/// level.
+pub fn louisiana_counties() -> Relation {
+    let (lon0, lat0, lon1, lat1) = (-93.8, 29.8, -89.3, 32.8);
+    let mut segments = Vec::new();
+    let cols = 6;
+    let rows = 5;
+    for i in 0..=cols {
+        let x = lon0 + (lon1 - lon0) * i as f64 / cols as f64;
+        segments.push(((x, lat0), (x, lat1)));
+    }
+    for j in 0..=rows {
+        let y = lat0 + (lat1 - lat0) * j as f64 / rows as f64;
+        segments.push(((lon0, y), (lon1, y)));
+    }
+    line_relation(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stations::LOUISIANA_BOUNDS;
+
+    #[test]
+    fn border_is_closed_polyline() {
+        let r = louisiana_border();
+        assert_eq!(r.len(), BORDER.len() - 1);
+        // Consecutive segments share endpoints; the chain closes.
+        let first = r.tuples().first().unwrap();
+        let last = r.tuples().last().unwrap();
+        assert_eq!(first.values()[0], last.values()[2]);
+        assert_eq!(first.values()[1], last.values()[3]);
+        for w in r.tuples().windows(2) {
+            assert_eq!(w[0].values()[2], w[1].values()[0]);
+            assert_eq!(w[0].values()[3], w[1].values()[1]);
+        }
+    }
+
+    #[test]
+    fn border_within_louisiana_bounds() {
+        let (lon0, lat0, lon1, lat1) = LOUISIANA_BOUNDS;
+        for t in louisiana_border().tuples() {
+            for (xi, yi) in [(0, 1), (2, 3)] {
+                let x = t.values()[xi].as_f64().unwrap();
+                let y = t.values()[yi].as_f64().unwrap();
+                assert!(x >= lon0 && x <= lon1, "lon {x}");
+                assert!(y >= lat0 && y <= lat1, "lat {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_in_polygon_agrees_with_landmarks() {
+        // Baton Rouge and Shreveport are inside; Houston and Jackson are
+        // outside the stylized border.
+        assert!(inside_louisiana(-91.15, 30.45), "Baton Rouge");
+        assert!(inside_louisiana(-93.75, 32.52), "Shreveport");
+        assert!(!inside_louisiana(-95.36, 29.76), "Houston TX");
+        assert!(!inside_louisiana(-90.18, 32.30), "Jackson MS");
+        assert!(!inside_louisiana(-88.0, 30.0), "Gulf, east of the state");
+    }
+
+    #[test]
+    fn county_grid_has_expected_lines() {
+        let r = louisiana_counties();
+        assert_eq!(r.len(), 7 + 6);
+    }
+}

@@ -1,0 +1,181 @@
+//! The `Observations` relation: per-station weather time series.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tioga2_expr::{timestamp_from_parts, ScalarType, Value};
+use tioga2_relational::relation::RelationBuilder;
+use tioga2_relational::Relation;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct ObservationConfig {
+    /// Observations per station.
+    pub per_station: usize,
+    /// Timestamp of the first observation.
+    pub start: i64,
+    /// Seconds between observations.
+    pub step: i64,
+    pub seed: u64,
+}
+
+impl Default for ObservationConfig {
+    fn default() -> Self {
+        ObservationConfig {
+            per_station: 24,
+            // The paper predates 1996; Figure 11 splits at 1990, so the
+            // default series spans 1985–1995 when per_station is large.
+            start: timestamp_from_parts(1985, 1, 1, 0, 0),
+            step: 6 * 3600,
+            seed: 0,
+        }
+    }
+}
+
+/// Generate the `Observations` relation:
+/// `station_id int, time timestamp, temperature float, precipitation
+/// float`.
+///
+/// Temperature combines a latitude gradient, an altitude lapse rate, a
+/// seasonal sinusoid, a diurnal sinusoid and noise, so drill-down views
+/// at any scale show plausible structure.  Precipitation is bursty:
+/// mostly zero with occasional showers whose intensity grows toward the
+/// Gulf coast.
+pub fn observations(stations: &Relation, cfg: &ObservationConfig) -> Relation {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let id_idx = stations.schema().index_of("id").expect("stations has id");
+    let lat_idx = stations.schema().index_of("latitude").expect("stations has latitude");
+    let alt_idx = stations.schema().index_of("altitude").expect("stations has altitude");
+
+    let mut b = RelationBuilder::new()
+        .field("station_id", ScalarType::Int)
+        .field("time", ScalarType::Timestamp)
+        .field("temperature", ScalarType::Float)
+        .field("precipitation", ScalarType::Float);
+
+    for t in stations.tuples() {
+        let id = t.values()[id_idx].clone();
+        let lat = t.values()[lat_idx].as_f64().unwrap_or(30.0);
+        let alt = t.values()[alt_idx].as_f64().unwrap_or(0.0);
+        let base = 32.0 - (lat - 25.0) * 0.9 - alt * 0.0065;
+        let wetness = ((33.0 - lat) / 8.0).clamp(0.2, 1.5);
+        for k in 0..cfg.per_station {
+            let ts = cfg.start + k as i64 * cfg.step;
+            let day_frac = (ts.rem_euclid(86_400)) as f64 / 86_400.0;
+            let year_frac = (ts.rem_euclid(31_557_600)) as f64 / 31_557_600.0;
+            let seasonal = -10.0 * (std::f64::consts::TAU * (year_frac + 0.04)).cos();
+            let diurnal = -4.0 * (std::f64::consts::TAU * day_frac).cos();
+            let noise: f64 = rng.gen_range(-2.0..2.0);
+            let temp = base + seasonal + diurnal + noise;
+            let precip = if rng.gen::<f64>() < 0.22 * wetness {
+                let burst: f64 = rng.gen_range(0.0..1.0);
+                (burst * burst * 25.0 * wetness * 100.0).round() / 100.0
+            } else {
+                0.0
+            };
+            b = b.row(vec![
+                id.clone(),
+                Value::Timestamp(ts),
+                Value::Float((temp * 10.0).round() / 10.0),
+                Value::Float(precip),
+            ]);
+        }
+    }
+    b.build().expect("observation schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stations::{stations, StationConfig};
+
+    fn obs(per: usize, seed: u64) -> Relation {
+        let st = stations(&StationConfig { n: 20, seed: 1 });
+        observations(&st, &ObservationConfig { per_station: per, seed, ..Default::default() })
+    }
+
+    #[test]
+    fn cardinality_and_determinism() {
+        let a = obs(12, 5);
+        assert_eq!(a.len(), 240);
+        assert_eq!(a.tuples(), obs(12, 5).tuples());
+        assert_ne!(a.tuples(), obs(12, 6).tuples());
+    }
+
+    #[test]
+    fn temperatures_physical() {
+        let r = obs(40, 9);
+        for t in r.tuples() {
+            let temp = t.values()[2].as_f64().unwrap();
+            assert!((-60.0..60.0).contains(&temp), "temperature {temp}");
+        }
+    }
+
+    #[test]
+    fn precipitation_bursty_nonnegative() {
+        let r = obs(100, 13);
+        let mut dry = 0usize;
+        for t in r.tuples() {
+            let p = t.values()[3].as_f64().unwrap();
+            assert!(p >= 0.0);
+            if p == 0.0 {
+                dry += 1;
+            }
+        }
+        let frac = dry as f64 / r.len() as f64;
+        assert!(frac > 0.4 && frac < 0.95, "dry fraction {frac}");
+    }
+
+    #[test]
+    fn seasonal_signal_present() {
+        // January should average colder than July for a northern station.
+        let st = stations(&StationConfig { n: 1, seed: 3 });
+        let r = observations(
+            &st,
+            &ObservationConfig { per_station: 365 * 4, step: 6 * 3600, ..Default::default() },
+        );
+        let mut jan = (0.0, 0usize);
+        let mut jul = (0.0, 0usize);
+        for t in r.tuples() {
+            let ts = match t.values()[1] {
+                Value::Timestamp(x) => x,
+                _ => unreachable!(),
+            };
+            let month = tioga2_expr::value::timestamp_parts(ts).1;
+            let temp = t.values()[2].as_f64().unwrap();
+            if month == 1 {
+                jan = (jan.0 + temp, jan.1 + 1);
+            } else if month == 7 {
+                jul = (jul.0 + temp, jul.1 + 1);
+            }
+        }
+        let jan_avg = jan.0 / jan.1 as f64;
+        let jul_avg = jul.0 / jul.1 as f64;
+        assert!(jul_avg > jan_avg + 8.0, "jan {jan_avg:.1} vs jul {jul_avg:.1}");
+    }
+
+    #[test]
+    fn figure11_cutoff_has_data_on_both_sides() {
+        let st = stations(&StationConfig { n: 3, seed: 2 });
+        let r = observations(
+            &st,
+            &ObservationConfig { per_station: 4000, step: 86_400, ..Default::default() },
+        );
+        let cutoff = timestamp_from_parts(1990, 1, 1, 0, 0);
+        let before = r
+            .tuples()
+            .iter()
+            .filter(|t| matches!(t.values()[1], Value::Timestamp(x) if x < cutoff))
+            .count();
+        assert!(before > 0 && before < r.len(), "both sides of 1990 populated");
+    }
+
+    #[test]
+    fn joins_back_to_stations() {
+        let st = stations(&StationConfig { n: 10, seed: 1 });
+        let ob = observations(&st, &ObservationConfig { per_station: 3, ..Default::default() });
+        let j =
+            tioga2_relational::ops::join(&st, &ob, &tioga2_expr::parse("id = station_id").unwrap())
+                .unwrap();
+        assert_eq!(j.len(), 30);
+    }
+}

@@ -1,0 +1,186 @@
+//! The `Stations` relation: weather stations across North America.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tioga2_expr::{timestamp_from_parts, ScalarType, Value};
+use tioga2_relational::relation::RelationBuilder;
+use tioga2_relational::Relation;
+
+/// Louisiana bounding box `(lon_min, lat_min, lon_max, lat_max)` used by
+/// the Figure 1 Restrict and the map overlay.
+pub const LOUISIANA_BOUNDS: (f64, f64, f64, f64) = (-94.05, 28.9, -88.8, 33.02);
+
+/// Regions stations are drawn from: `(state code, lon range, lat range,
+/// weight)`.  Louisiana is up-weighted so the paper's worked example has
+/// enough in-state stations at any catalog size.
+type Region = (&'static str, (f64, f64), (f64, f64), u32);
+
+const REGIONS: &[Region] = &[
+    ("LA", (-94.0, -89.0), (29.0, 33.0), 16),
+    ("TX", (-106.5, -93.6), (25.9, 36.4), 10),
+    ("CA", (-124.3, -114.2), (32.6, 41.9), 8),
+    ("FL", (-87.6, -80.1), (25.2, 30.9), 6),
+    ("NY", (-79.7, -72.0), (40.6, 45.0), 5),
+    ("WA", (-124.6, -117.0), (45.6, 48.9), 4),
+    ("CO", (-109.0, -102.1), (37.0, 41.0), 4),
+    ("IL", (-91.5, -87.5), (37.0, 42.5), 4),
+    ("GA", (-85.6, -80.9), (30.4, 35.0), 4),
+    ("AZ", (-114.8, -109.1), (31.4, 37.0), 3),
+    ("MN", (-97.2, -89.6), (43.5, 49.0), 3),
+    ("MT", (-116.0, -104.1), (44.4, 49.0), 3),
+    ("ME", (-71.1, -67.0), (43.1, 47.4), 2),
+    ("ON", (-95.1, -74.4), (41.7, 56.9), 5),
+    ("QC", (-79.7, -57.1), (45.0, 62.5), 4),
+    ("BC", (-139.0, -114.0), (48.3, 60.0), 4),
+    ("CH", (-109.0, -103.0), (26.0, 31.7), 3),
+    ("SO", (-115.0, -108.4), (26.0, 32.4), 2),
+];
+
+const NAME_FIRST: &[&str] = &[
+    "Baton", "New", "Grand", "Little", "Port", "Lake", "Fort", "Saint", "Cedar", "Red", "Twin",
+    "Iron", "Gulf", "Bayou", "Cypress", "Willow", "Pine", "Oak", "Silver", "North",
+];
+
+const NAME_SECOND: &[&str] = &[
+    "Rouge", "Orleans", "Isle", "Rock", "Allen", "Charles", "Landing", "Ridge", "Springs",
+    "Harbor", "Point", "Creek", "Falls", "Prairie", "Crossing", "Bluff", "Grove", "Shore",
+    "Junction", "Hollow",
+];
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct StationConfig {
+    pub n: usize,
+    pub seed: u64,
+}
+
+/// Generate the `Stations` relation:
+/// `id int, name text, state text, longitude float, latitude float,
+/// altitude float, built timestamp`.
+pub fn stations(cfg: &StationConfig) -> Relation {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let total_weight: u32 = REGIONS.iter().map(|r| r.3).sum();
+    let mut b = RelationBuilder::new()
+        .field("id", ScalarType::Int)
+        .field("name", ScalarType::Text)
+        .field("state", ScalarType::Text)
+        .field("longitude", ScalarType::Float)
+        .field("latitude", ScalarType::Float)
+        .field("altitude", ScalarType::Float)
+        .field("built", ScalarType::Timestamp);
+    for i in 0..cfg.n {
+        let mut pick = rng.gen_range(0..total_weight);
+        let region = REGIONS
+            .iter()
+            .find(|r| {
+                if pick < r.3 {
+                    true
+                } else {
+                    pick -= r.3;
+                    false
+                }
+            })
+            .expect("weights cover the range");
+        let (mut lon, mut lat);
+        loop {
+            lon = rng.gen_range(region.1 .0..region.1 .1);
+            lat = rng.gen_range(region.2 .0..region.2 .1);
+            // Louisiana samples stay inside the stylized border so map
+            // overlays (Figure 7) look right; other regions are plain
+            // boxes.
+            if region.0 != "LA" || crate::maps::inside_louisiana(lon, lat) {
+                break;
+            }
+        }
+        // Altitude: coastal south is low, mountains west/north higher,
+        // with a lognormal-ish tail.
+        let base = ((lat - 25.0) * 18.0).max(0.0) + ((-95.0 - lon).max(0.0) * 40.0);
+        let altitude = (base + rng.gen_range(0.0..120.0) * rng.gen_range(0.1..3.0)).max(0.0);
+        let name = format!(
+            "{} {}",
+            NAME_FIRST[rng.gen_range(0..NAME_FIRST.len())],
+            NAME_SECOND[rng.gen_range(0..NAME_SECOND.len())]
+        );
+        let built = timestamp_from_parts(
+            rng.gen_range(1930..1995),
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28),
+            0,
+            0,
+        );
+        b = b.row(vec![
+            Value::Int(i as i64),
+            Value::Text(name),
+            Value::Text(region.0.to_string()),
+            Value::Float((lon * 1000.0).round() / 1000.0),
+            Value::Float((lat * 1000.0).round() / 1000.0),
+            Value::Float(altitude.round()),
+            Value::Timestamp(built),
+        ]);
+    }
+    b.build().expect("station schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(n: usize, seed: u64) -> Relation {
+        stations(&StationConfig { n, seed })
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gen(100, 1).tuples(), gen(100, 1).tuples());
+        assert_ne!(gen(100, 1).tuples(), gen(100, 2).tuples());
+    }
+
+    #[test]
+    fn louisiana_is_well_represented() {
+        let r = gen(500, 42);
+        let la = r.tuples().iter().filter(|t| t.values()[2] == Value::Text("LA".into())).count();
+        assert!(la > 30, "only {la} Louisiana stations out of 500");
+        assert!(la < 300, "Louisiana should not dominate");
+    }
+
+    #[test]
+    fn louisiana_stations_inside_bounds() {
+        let r = gen(500, 7);
+        let (lon0, lat0, lon1, lat1) = LOUISIANA_BOUNDS;
+        for t in r.tuples() {
+            if t.values()[2] == Value::Text("LA".into()) {
+                let lon = t.values()[3].as_f64().unwrap();
+                let lat = t.values()[4].as_f64().unwrap();
+                assert!(lon >= lon0 && lon <= lon1, "lon {lon}");
+                assert!(lat >= lat0 && lat <= lat1, "lat {lat}");
+                assert!(
+                    crate::maps::inside_louisiana(lon, lat),
+                    "station at ({lon}, {lat}) is outside the border polygon"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schema_and_values_sane() {
+        let r = gen(50, 3);
+        assert_eq!(r.schema().len(), 7);
+        assert_eq!(r.len(), 50);
+        for (i, t) in r.tuples().iter().enumerate() {
+            assert_eq!(t.values()[0], Value::Int(i as i64), "ids sequential");
+            let alt = t.values()[5].as_f64().unwrap();
+            assert!((0.0..6000.0).contains(&alt), "altitude {alt}");
+            assert!(!t.values()[1].as_text().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn many_distinct_states() {
+        let r = gen(1000, 11);
+        let mut states = std::collections::BTreeSet::new();
+        for t in r.tuples() {
+            states.insert(t.values()[2].as_text().unwrap().to_string());
+        }
+        assert!(states.len() >= 12, "got {} states", states.len());
+    }
+}

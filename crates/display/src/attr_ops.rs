@@ -1,0 +1,439 @@
+//! Location and display attribute operations (paper Figure 5).
+//!
+//! | Operation           | Effect                                                            |
+//! |---------------------|-------------------------------------------------------------------|
+//! | Add Attribute       | add an attribute; user is prompted for definition                 |
+//! | Remove Attribute    | remove an attribute; cannot remove `x`, `y`, or `display`         |
+//! | Set Attribute       | change the value of an existing attribute                         |
+//! | Swap Attributes     | interchange two attributes of the same type                       |
+//! | Scale Attribute     | multiply numerical attribute by a number                          |
+//! | Translate Attribute | add a number to a numerical attribute                             |
+//! | Combine Displays    | combine two display attributes                                    |
+//!
+//! All operations are pure (`&DisplayRelation -> DisplayRelation`), which
+//! is what makes them cheap: only computed-attribute *metadata* changes;
+//! tuples are `Arc`-shared and re-evaluated lazily at render time.  The
+//! F5 bench demonstrates edit cost independent of relation size.
+
+use crate::displayable::DisplayRelation;
+use crate::error::DisplayError;
+use tioga2_expr::{BinOp, Expr, ScalarType};
+
+/// Role a new attribute plays in the visualization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrRole {
+    /// An ordinary computed attribute.
+    Plain,
+    /// A new location attribute — "adding a location attribute adds a new
+    /// dimension to the visualization" (§5.3).
+    Location,
+    /// A new alternative display — "adding a display attribute creates an
+    /// alternative visualization of the data" (§5.3).
+    Display,
+}
+
+/// **Add Attribute**.
+pub fn add_attribute(
+    dr: &DisplayRelation,
+    name: &str,
+    ty: ScalarType,
+    def: Expr,
+    role: AttrRole,
+) -> Result<DisplayRelation, DisplayError> {
+    let mut out = dr.clone();
+    out.rel.add_method(name, ty, def)?;
+    match role {
+        AttrRole::Plain => {}
+        AttrRole::Location => out.push_location_attr(name)?,
+        AttrRole::Display => out.push_display_attr(name)?,
+    }
+    out.validate()?;
+    Ok(out)
+}
+
+/// **Remove Attribute** — "cannot remove attributes x, y, or display":
+/// the two screen dimensions and the active display are load-bearing for
+/// the always-visualizable invariant.
+pub fn remove_attribute(dr: &DisplayRelation, name: &str) -> Result<DisplayRelation, DisplayError> {
+    if dr.location_attrs()[..2].iter().any(|a| a == name) {
+        return Err(DisplayError::Op(format!("cannot remove '{name}': it is a screen dimension")));
+    }
+    if dr.active_display() == name {
+        return Err(DisplayError::Op(format!("cannot remove '{name}': it is the active display")));
+    }
+    let mut out = dr.clone();
+    out.rel.remove_method(name)?;
+    // Removing a slider dimension also removes its offset component.
+    if let Some(idx) = out.location_attrs().iter().position(|a| a == name) {
+        out.location_attrs_mut().remove(idx);
+        out.offset.remove(idx);
+    }
+    out.display_attrs_mut().retain(|a| a != name);
+    out.validate()?;
+    Ok(out)
+}
+
+/// **Set Attribute** — change the type and definition of an existing
+/// computed attribute.  This is the operation behind Figure 4: changing
+/// `x` to `longitude` and `y` to `latitude` moves stations to map space.
+pub fn set_attribute(
+    dr: &DisplayRelation,
+    name: &str,
+    ty: ScalarType,
+    def: Expr,
+) -> Result<DisplayRelation, DisplayError> {
+    let mut out = dr.clone();
+    out.rel.set_method(name, ty, def)?;
+    out.validate()?;
+    Ok(out)
+}
+
+/// **Swap Attributes** — interchange the definitions of two computed
+/// attributes of the same type.  "Handy for interchanging two dimensions
+/// ... thereby 'rotating' the canvas, or interchanging the display
+/// attribute with one of the alternative displays" (§5.3).
+pub fn swap_attributes(
+    dr: &DisplayRelation,
+    a: &str,
+    b: &str,
+) -> Result<DisplayRelation, DisplayError> {
+    if a == b {
+        return Err(DisplayError::Op("cannot swap an attribute with itself".into()));
+    }
+    let ma = dr
+        .rel
+        .method(a)
+        .ok_or_else(|| DisplayError::Op(format!("'{a}' is not a computed attribute")))?
+        .clone();
+    let mb = dr
+        .rel
+        .method(b)
+        .ok_or_else(|| DisplayError::Op(format!("'{b}' is not a computed attribute")))?
+        .clone();
+    if ma.ty != mb.ty {
+        return Err(DisplayError::Op(format!(
+            "cannot swap '{a}' ({}) with '{b}' ({}): types differ",
+            ma.ty, mb.ty
+        )));
+    }
+    // Mutual references would invert through the swap; reject them rather
+    // than silently produce a cycle.
+    if ma.def.referenced_attrs().iter().any(|r| r == b)
+        || mb.def.referenced_attrs().iter().any(|r| r == a)
+    {
+        return Err(DisplayError::Op(format!(
+            "cannot swap '{a}' and '{b}': one references the other"
+        )));
+    }
+    let mut out = dr.clone();
+    out.rel.set_method(a, mb.ty, mb.def)?;
+    out.rel.set_method(b, ma.ty, ma.def)?;
+    out.validate()?;
+    Ok(out)
+}
+
+/// **Scale Attribute** — multiply a numeric computed attribute by `k`.
+/// "Useful for changing location attributes, thereby scaling ...
+/// dimensions of a visualization."
+pub fn scale_attribute(
+    dr: &DisplayRelation,
+    name: &str,
+    k: f64,
+) -> Result<DisplayRelation, DisplayError> {
+    numeric_rewrite(dr, name, |def| Expr::bin(BinOp::Mul, def, Expr::lit_float(k)))
+}
+
+/// **Translate Attribute** — add `c` to a numeric computed attribute.
+pub fn translate_attribute(
+    dr: &DisplayRelation,
+    name: &str,
+    c: f64,
+) -> Result<DisplayRelation, DisplayError> {
+    numeric_rewrite(dr, name, |def| Expr::bin(BinOp::Add, def, Expr::lit_float(c)))
+}
+
+fn numeric_rewrite(
+    dr: &DisplayRelation,
+    name: &str,
+    f: impl FnOnce(Expr) -> Expr,
+) -> Result<DisplayRelation, DisplayError> {
+    let m = dr
+        .rel
+        .method(name)
+        .ok_or_else(|| {
+            DisplayError::Op(format!(
+                "'{name}' is not a computed attribute; use Set Attribute to define it first"
+            ))
+        })?
+        .clone();
+    if !m.ty.is_numeric() || m.ty == ScalarType::Timestamp {
+        return Err(DisplayError::Op(format!(
+            "scale/translate requires a numeric attribute; '{name}' is {}",
+            m.ty
+        )));
+    }
+    let new_def = f(m.def);
+    let mut out = dr.clone();
+    // Int * float literal widens; declare as Float.
+    out.rel.set_method(name, ScalarType::Float, new_def)?;
+    out.validate()?;
+    Ok(out)
+}
+
+/// **Combine Displays** — combine two display attributes into a new one.
+/// "The user positions the displays on top of one another graphically to
+/// establish the relative position; alternatively, an explicit offset of
+/// one display to the other can be entered.  The combined display becomes
+/// a new display attribute."
+pub fn combine_displays(
+    dr: &DisplayRelation,
+    first: &str,
+    second: &str,
+    offset: (f64, f64),
+    new_name: &str,
+) -> Result<DisplayRelation, DisplayError> {
+    for a in [first, second] {
+        if !dr.display_attrs().iter().any(|d| d == a) {
+            return Err(DisplayError::Op(format!("'{a}' is not a display attribute")));
+        }
+    }
+    let second_expr = if offset == (0.0, 0.0) {
+        Expr::attr(second)
+    } else {
+        Expr::call(
+            "offset",
+            vec![Expr::attr(second), Expr::lit_float(offset.0), Expr::lit_float(offset.1)],
+        )
+    };
+    let def = Expr::bin(BinOp::Combine, Expr::attr(first), second_expr);
+    add_attribute(dr, new_name, ScalarType::DrawList, def, AttrRole::Display)
+}
+
+/// Make the named display attribute the active one (rotates it to the
+/// front of the display list).  This is the screen-level half of
+/// "interchanging the display attribute with one of the alternative
+/// displays".
+pub fn set_active_display(
+    dr: &DisplayRelation,
+    name: &str,
+) -> Result<DisplayRelation, DisplayError> {
+    let pos = dr
+        .display_attrs()
+        .iter()
+        .position(|a| a == name)
+        .ok_or_else(|| DisplayError::Op(format!("'{name}' is not a display attribute")))?;
+    let mut out = dr.clone();
+    let attrs = out.display_attrs_mut();
+    let chosen = attrs.remove(pos);
+    attrs.insert(0, chosen);
+    out.validate()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defaults::make_display_relation;
+    use tioga2_expr::{parse, ScalarType as T, Value};
+    use tioga2_relational::relation::RelationBuilder;
+
+    fn stations() -> DisplayRelation {
+        let rel = RelationBuilder::new()
+            .field("name", T::Text)
+            .field("longitude", T::Float)
+            .field("latitude", T::Float)
+            .field("altitude", T::Float)
+            .row(vec![
+                Value::Text("Baton Rouge".into()),
+                Value::Float(-91.1),
+                Value::Float(30.4),
+                Value::Float(17.0),
+            ])
+            .row(vec![
+                Value::Text("Shreveport".into()),
+                Value::Float(-93.7),
+                Value::Float(32.5),
+                Value::Float(55.0),
+            ])
+            .build()
+            .unwrap();
+        make_display_relation(rel, "stations").unwrap()
+    }
+
+    /// The paper's Figure 4 pipeline: map (x, y) to (longitude, latitude)
+    /// and show a circle + name.
+    fn figure4(dr: &DisplayRelation) -> DisplayRelation {
+        let dr = set_attribute(dr, "x", T::Float, parse("longitude").unwrap()).unwrap();
+        let dr = set_attribute(&dr, "y", T::Float, parse("latitude").unwrap()).unwrap();
+        set_attribute(
+            &dr,
+            "display",
+            T::DrawList,
+            parse("circle(2.0, 'red') ++ offset(text(name, 'black'), 0.0, -3.0)").unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure4_flow() {
+        let dr = figure4(&stations());
+        assert_eq!(dr.tuple_position(0).unwrap(), vec![-91.1, 30.4]);
+        let ds = dr.tuple_display(1).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].kind(), "circle");
+        assert_eq!(ds[1].kind(), "text");
+    }
+
+    #[test]
+    fn add_location_attribute_adds_slider_dimension() {
+        let dr = figure4(&stations());
+        let dr =
+            add_attribute(&dr, "alt", T::Float, parse("altitude").unwrap(), AttrRole::Location)
+                .unwrap();
+        assert_eq!(dr.dimension(), 3);
+        assert_eq!(dr.tuple_position(1).unwrap(), vec![-93.7, 32.5, 55.0]);
+    }
+
+    #[test]
+    fn add_display_attribute_is_alternative() {
+        let dr = figure4(&stations());
+        let dr = add_attribute(
+            &dr,
+            "plain",
+            T::Drawable,
+            parse("point('gray')").unwrap(),
+            AttrRole::Display,
+        )
+        .unwrap();
+        assert_eq!(dr.active_display(), "display");
+        assert_eq!(dr.display_attrs().len(), 2);
+        let active = set_active_display(&dr, "plain").unwrap();
+        assert_eq!(active.active_display(), "plain");
+        assert_eq!(active.tuple_display(0).unwrap()[0].kind(), "point");
+    }
+
+    #[test]
+    fn remove_attribute_protects_screen_roles() {
+        let dr = figure4(&stations());
+        assert!(remove_attribute(&dr, "x").is_err());
+        assert!(remove_attribute(&dr, "y").is_err());
+        assert!(remove_attribute(&dr, "display").is_err());
+        // Removing a slider dimension is fine.
+        let dr =
+            add_attribute(&dr, "alt", T::Float, parse("altitude").unwrap(), AttrRole::Location)
+                .unwrap();
+        let out = remove_attribute(&dr, "alt").unwrap();
+        assert_eq!(out.dimension(), 2);
+        assert_eq!(out.offset.len(), 2);
+        // Removing a non-active display deregisters it.
+        let dr2 = add_attribute(
+            &dr,
+            "alt2",
+            T::Drawable,
+            parse("point('red')").unwrap(),
+            AttrRole::Display,
+        )
+        .unwrap();
+        let out2 = remove_attribute(&dr2, "alt2").unwrap();
+        assert_eq!(out2.display_attrs().len(), 1);
+    }
+
+    #[test]
+    fn swap_rotates_canvas() {
+        let dr = figure4(&stations());
+        let rot = swap_attributes(&dr, "x", "y").unwrap();
+        assert_eq!(rot.tuple_position(0).unwrap(), vec![30.4, -91.1]);
+        // Swap is an involution.
+        let back = swap_attributes(&rot, "x", "y").unwrap();
+        assert_eq!(back.tuple_position(0).unwrap(), dr.tuple_position(0).unwrap());
+    }
+
+    #[test]
+    fn swap_rejects_mismatches() {
+        let dr = figure4(&stations());
+        assert!(swap_attributes(&dr, "x", "x").is_err());
+        assert!(swap_attributes(&dr, "x", "display").is_err(), "type mismatch");
+        assert!(swap_attributes(&dr, "x", "longitude").is_err(), "stored field");
+        assert!(swap_attributes(&dr, "x", "nope").is_err());
+    }
+
+    #[test]
+    fn swap_rejects_mutual_reference() {
+        let dr = stations();
+        let dr =
+            add_attribute(&dr, "a", T::Float, parse("altitude").unwrap(), AttrRole::Plain).unwrap();
+        let dr =
+            add_attribute(&dr, "b", T::Float, parse("a * 2.0").unwrap(), AttrRole::Plain).unwrap();
+        assert!(swap_attributes(&dr, "a", "b").is_err());
+    }
+
+    #[test]
+    fn scale_and_translate() {
+        let dr = figure4(&stations());
+        let dr = scale_attribute(&dr, "x", 2.0).unwrap();
+        let dr = translate_attribute(&dr, "x", 100.0).unwrap();
+        assert_eq!(dr.tuple_position(0).unwrap()[0], -91.1 * 2.0 + 100.0);
+        assert!(scale_attribute(&dr, "display", 2.0).is_err());
+        assert!(scale_attribute(&dr, "longitude", 2.0).is_err(), "stored field");
+        assert!(scale_attribute(&dr, "nope", 2.0).is_err());
+    }
+
+    #[test]
+    fn combine_displays_offsets_second() {
+        let dr = figure4(&stations());
+        let dr = add_attribute(
+            &dr,
+            "halo",
+            T::Drawable,
+            parse("outlined(circle(4.0, 'blue'))").unwrap(),
+            AttrRole::Display,
+        )
+        .unwrap();
+        let dr = combine_displays(&dr, "display", "halo", (1.0, 1.0), "combined").unwrap();
+        assert!(dr.display_attrs().iter().any(|a| a == "combined"));
+        let active = set_active_display(&dr, "combined").unwrap();
+        let ds = active.tuple_display(0).unwrap();
+        assert_eq!(ds.len(), 3, "circle + text + offset halo");
+        assert_eq!(ds[2].offset, (1.0, 1.0));
+        assert!(combine_displays(&dr, "display", "x", (0.0, 0.0), "bad").is_err());
+    }
+
+    #[test]
+    fn add_attribute_rejects_duplicates_and_bad_defs() {
+        let dr = stations();
+        assert!(add_attribute(&dr, "x", T::Float, parse("1.0").unwrap(), AttrRole::Plain).is_err());
+        assert!(add_attribute(&dr, "z", T::Float, parse("name").unwrap(), AttrRole::Plain).is_err());
+        assert!(add_attribute(
+            &dr,
+            "z",
+            T::Float,
+            parse("missing + 1.0").unwrap(),
+            AttrRole::Plain
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn set_attribute_type_change() {
+        let dr = stations();
+        let dr =
+            add_attribute(&dr, "tag", T::Text, parse("name").unwrap(), AttrRole::Plain).unwrap();
+        let dr = set_attribute(&dr, "tag", T::Int, parse("to_int(altitude)").unwrap()).unwrap();
+        assert_eq!(dr.rel.attr_type("tag"), Some(T::Int));
+    }
+
+    #[test]
+    fn ops_do_not_mutate_input() {
+        let dr = figure4(&stations());
+        let before = dr.clone();
+        let _ = scale_attribute(&dr, "x", 2.0).unwrap();
+        let _ = swap_attributes(&dr, "x", "y").unwrap();
+        let _ = remove_attribute(
+            &add_attribute(&dr, "alt", T::Float, parse("altitude").unwrap(), AttrRole::Location)
+                .unwrap(),
+            "alt",
+        )
+        .unwrap();
+        assert_eq!(dr, before);
+    }
+}

@@ -1,0 +1,324 @@
+//! Group constructors: **Stitch** (§7.3) and **Replicate** (§7.4).
+
+use crate::displayable::{Composite, DisplayRelation, Group, Layout};
+use crate::error::DisplayError;
+use tioga2_expr::{BinOp, Expr, Value};
+use tioga2_relational::ops::restrict;
+
+/// **Stitch** — "any number of composites can be stitched together to
+/// form a group displayable", displayed side-by-side, vertically, or in a
+/// tabular layout.  Each constituent keeps independent pan/zoom.
+pub fn stitch(composites: Vec<Composite>, layout: Layout) -> Result<Group, DisplayError> {
+    Group::new(composites, layout)
+}
+
+/// One dimension of a replication partition (§7.4): "the partitioning
+/// predicate is specified by giving a collection of predicates in the
+/// underlying query language or an enumerated type".
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionSpec {
+    /// Explicit predicates, e.g. `salary <= 5000`, `salary > 5000`.
+    Predicates(Vec<(String, Expr)>),
+    /// An attribute treated as an enumerated type: one partition per
+    /// distinct value, in sorted order.
+    Enumerate(String),
+}
+
+impl PartitionSpec {
+    /// Resolve to labelled predicates against `dr`'s relation.
+    fn resolve(&self, dr: &DisplayRelation) -> Result<Vec<(String, Expr)>, DisplayError> {
+        match self {
+            PartitionSpec::Predicates(ps) => {
+                if ps.is_empty() {
+                    return Err(DisplayError::Op("empty partition predicate list".into()));
+                }
+                Ok(ps.clone())
+            }
+            PartitionSpec::Enumerate(attr) => {
+                if !dr.rel.has_attr(attr) {
+                    return Err(DisplayError::Op(format!("no attribute '{attr}' to enumerate")));
+                }
+                let mut distinct: Vec<Value> = Vec::new();
+                for seq in 0..dr.rel.len() {
+                    let v = dr.rel.attr_value(seq, attr)?;
+                    if !distinct.contains(&v) {
+                        distinct.push(v);
+                    }
+                }
+                distinct.sort_by(|a, b| a.total_cmp(b));
+                if distinct.is_empty() {
+                    return Err(DisplayError::Op(format!(
+                        "attribute '{attr}' has no values to enumerate"
+                    )));
+                }
+                Ok(distinct
+                    .into_iter()
+                    .map(|v| {
+                        let label = format!("{attr} = {}", v.display_text());
+                        let pred = Expr::bin(BinOp::Eq, Expr::attr(attr), Expr::Literal(v));
+                        (label, pred)
+                    })
+                    .collect())
+            }
+        }
+    }
+}
+
+/// **Replicate** — partition a relation and stitch the per-partition
+/// displays into a group.  With both a horizontal and a vertical spec the
+/// layout is tabular (§7.4's example: salary predicates horizontally ×
+/// the `department` enumerated type vertically); with only a horizontal
+/// spec the replicas sit side by side.
+pub fn replicate(
+    dr: &DisplayRelation,
+    horizontal: PartitionSpec,
+    vertical: Option<PartitionSpec>,
+) -> Result<Group, DisplayError> {
+    let hs = horizontal.resolve(dr)?;
+    let vs = match &vertical {
+        Some(v) => v.resolve(dr)?,
+        None => vec![("".to_string(), Expr::Literal(Value::Bool(true)))],
+    };
+
+    let mut members = Vec::with_capacity(hs.len() * vs.len());
+    let mut labels = Vec::with_capacity(hs.len() * vs.len());
+    // Row-major: vertical (rows) outer, horizontal (columns) inner.
+    for (vlabel, vpred) in &vs {
+        for (hlabel, hpred) in &hs {
+            let pred = if vertical.is_some() {
+                Expr::bin(BinOp::And, hpred.clone(), vpred.clone())
+            } else {
+                hpred.clone()
+            };
+            let rel = restrict(&dr.rel, &pred)?;
+            let mut layer = dr.clone();
+            layer.rel = rel;
+            let label =
+                if vlabel.is_empty() { hlabel.clone() } else { format!("{hlabel} AND {vlabel}") };
+            layer.name = format!("{} [{}]", dr.name, label);
+            members.push(Composite::new(vec![layer])?);
+            labels.push(label);
+        }
+    }
+
+    let layout =
+        if vertical.is_some() { Layout::Tabular { cols: hs.len() } } else { Layout::Horizontal };
+    Group::new(members, layout)?.with_labels(labels)
+}
+
+/// **Replicate** lifted to an arbitrary displayable (the paper's Figure 11
+/// situation: "a viewer showing temperature vs time and precipitation vs
+/// time has been replicated").  The partition specs resolve against the
+/// relation at `sel`; for each partition the *entire* input displayable is
+/// cloned with that relation restricted, and all resulting members are
+/// flattened into one group.  With `m` original members and `h × v`
+/// partitions the layout is tabular with `h · m` columns (one row per
+/// vertical partition).
+pub fn replicate_within(
+    d: &crate::displayable::Displayable,
+    sel: crate::lift::Selection,
+    horizontal: PartitionSpec,
+    vertical: Option<PartitionSpec>,
+) -> Result<Group, DisplayError> {
+    use crate::displayable::Displayable;
+    if let Displayable::R(dr) = d {
+        return replicate(dr, horizontal, vertical);
+    }
+    let target = crate::lift::select_relation(d, sel)?;
+    let hs = horizontal.resolve(target)?;
+    let vs = match &vertical {
+        Some(v) => v.resolve(target)?,
+        None => vec![("".to_string(), Expr::Literal(Value::Bool(true)))],
+    };
+    let member_count = match d {
+        Displayable::G(g) => g.members.len(),
+        _ => 1,
+    };
+
+    let mut members = Vec::new();
+    let mut labels = Vec::new();
+    for (vlabel, vpred) in &vs {
+        for (hlabel, hpred) in &hs {
+            let pred = if vertical.is_some() {
+                Expr::bin(BinOp::And, hpred.clone(), vpred.clone())
+            } else {
+                hpred.clone()
+            };
+            let restricted = crate::lift::apply_to_relation(d, sel, |dr| {
+                let mut out = dr.clone();
+                out.rel = restrict(&dr.rel, &pred)?;
+                Ok(out)
+            })?;
+            let label =
+                if vlabel.is_empty() { hlabel.clone() } else { format!("{hlabel} AND {vlabel}") };
+            let part = restricted.into_group()?;
+            for (i, m) in part.members.into_iter().enumerate() {
+                members.push(m);
+                labels.push(if member_count > 1 {
+                    format!("{label} / {i}")
+                } else {
+                    label.clone()
+                });
+            }
+        }
+    }
+    let layout = Layout::Tabular { cols: hs.len() * member_count };
+    Group::new(members, layout)?.with_labels(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defaults::make_display_relation;
+    use tioga2_expr::{parse, ScalarType as T};
+    use tioga2_relational::relation::RelationBuilder;
+
+    fn employees() -> DisplayRelation {
+        let mut b = RelationBuilder::new()
+            .field("name", T::Text)
+            .field("salary", T::Int)
+            .field("department", T::Text);
+        for (n, s, d) in [
+            ("ann", 4000, "sales"),
+            ("bob", 6000, "sales"),
+            ("cat", 4500, "eng"),
+            ("dan", 9000, "eng"),
+            ("eve", 3000, "hr"),
+        ] {
+            b = b.row(vec![Value::Text(n.into()), Value::Int(s), Value::Text(d.into())]);
+        }
+        make_display_relation(b.build().unwrap(), "employees").unwrap()
+    }
+
+    #[test]
+    fn stitch_keeps_order_and_layout() {
+        let e = employees();
+        let g = stitch(
+            vec![
+                Composite::new(vec![e.clone()]).unwrap(),
+                Composite::new(vec![e.clone()]).unwrap(),
+            ],
+            Layout::Vertical,
+        )
+        .unwrap();
+        assert_eq!(g.members.len(), 2);
+        assert_eq!(g.layout, Layout::Vertical);
+        assert!(stitch(vec![], Layout::Vertical).is_err());
+    }
+
+    #[test]
+    fn replicate_by_predicates() {
+        // The Figure 11 pattern: records before/after a cutoff.
+        let g = replicate(
+            &employees(),
+            PartitionSpec::Predicates(vec![
+                ("salary <= 5000".into(), parse("salary <= 5000").unwrap()),
+                ("salary > 5000".into(), parse("salary > 5000").unwrap()),
+            ]),
+            None,
+        )
+        .unwrap();
+        assert_eq!(g.members.len(), 2);
+        assert_eq!(g.layout, Layout::Horizontal);
+        assert_eq!(g.members[0].layers[0].rel.len(), 3);
+        assert_eq!(g.members[1].layers[0].rel.len(), 2);
+        assert_eq!(g.labels[1], "salary > 5000");
+    }
+
+    #[test]
+    fn replicate_tabular_predicates_by_enum() {
+        // The paper's §7.4 example: salary predicates horizontally,
+        // department enumerated type vertically.
+        let g = replicate(
+            &employees(),
+            PartitionSpec::Predicates(vec![
+                ("lo".into(), parse("salary <= 5000").unwrap()),
+                ("hi".into(), parse("salary > 5000").unwrap()),
+            ]),
+            Some(PartitionSpec::Enumerate("department".into())),
+        )
+        .unwrap();
+        // 2 predicates x 3 departments.
+        assert_eq!(g.members.len(), 6);
+        assert_eq!(g.layout, Layout::Tabular { cols: 2 });
+        // Departments enumerate sorted: eng, hr, sales.
+        assert_eq!(g.labels[0], "lo AND department = eng");
+        // eng-lo = cat; eng-hi = dan; hr-hi = none.
+        assert_eq!(g.members[0].layers[0].rel.len(), 1);
+        assert_eq!(g.members[1].layers[0].rel.len(), 1);
+        assert_eq!(g.members[3].layers[0].rel.len(), 0, "hr hi is empty");
+        // Partition is exhaustive here: members tuple counts sum to 5.
+        let total: usize = g.members.iter().map(|m| m.layers[0].rel.len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn replicate_preserves_display_attrs() {
+        let e = employees();
+        let g = replicate(&e, PartitionSpec::Enumerate("department".into()), None).unwrap();
+        for m in &g.members {
+            m.layers[0].validate().unwrap();
+            assert_eq!(m.layers[0].active_display(), e.active_display());
+        }
+    }
+
+    #[test]
+    fn replicate_within_group_flattens() {
+        // Figure 11: a stitched 2-member group replicated by a cutoff.
+        let e = employees();
+        let g = stitch(
+            vec![
+                Composite::new(vec![e.clone()]).unwrap(),
+                Composite::new(vec![e.clone()]).unwrap(),
+            ],
+            Layout::Horizontal,
+        )
+        .unwrap();
+        let out = replicate_within(
+            &crate::displayable::Displayable::G(g),
+            crate::lift::Selection::at(0, 0),
+            PartitionSpec::Predicates(vec![
+                ("salary <= 5000".into(), parse("salary <= 5000").unwrap()),
+                ("salary > 5000".into(), parse("salary > 5000").unwrap()),
+            ]),
+            None,
+        )
+        .unwrap();
+        // 2 partitions x 2 members = 4 canvases, 4 columns.
+        assert_eq!(out.members.len(), 4);
+        assert_eq!(out.layout, Layout::Tabular { cols: 4 });
+        // Partition restricted only the selected member's relation.
+        assert_eq!(out.members[0].layers[0].rel.len(), 3);
+        assert_eq!(out.members[1].layers[0].rel.len(), 5, "unselected member untouched");
+    }
+
+    #[test]
+    fn replicate_within_r_matches_plain_replicate() {
+        let e = employees();
+        let spec = PartitionSpec::Enumerate("department".into());
+        let a = replicate(&e, spec.clone(), None).unwrap();
+        let b = replicate_within(
+            &crate::displayable::Displayable::R(e.clone()),
+            crate::lift::Selection::default(),
+            spec,
+            None,
+        )
+        .unwrap();
+        assert_eq!(a.members.len(), b.members.len());
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn replicate_errors() {
+        let e = employees();
+        assert!(replicate(&e, PartitionSpec::Predicates(vec![]), None).is_err());
+        assert!(replicate(&e, PartitionSpec::Enumerate("nope".into()), None).is_err());
+        // Enumerating an empty relation has no partitions.
+        let empty = make_display_relation(
+            RelationBuilder::new().field("d", T::Text).build().unwrap(),
+            "empty",
+        )
+        .unwrap();
+        assert!(replicate(&empty, PartitionSpec::Enumerate("d".into()), None).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Default location and display attributes (paper §5.2).
+//!
+//! "To guarantee that boxes produce relations with initial valid displays,
+//! Tioga-2 provides default location and display attributes. ...  The
+//! default space has two dimensions: the x-location is 0 and the
+//! y-location is the sequence number of the tuple.  Typically, the default
+//! attributes define a display consisting of a sequence of tuples in
+//! ASCII" — i.e. the classic terminal-monitor table.
+
+use crate::displayable::DisplayRelation;
+use crate::error::DisplayError;
+use crate::{DISPLAY_ATTR, X_ATTR, Y_ATTR};
+use tioga2_expr::{Expr, ScalarType};
+use tioga2_relational::Relation;
+
+/// Horizontal world units allotted to each column in the default display.
+pub const DEFAULT_COL_WIDTH: f64 = 90.0;
+/// Vertical world units between consecutive tuples in the default layout.
+pub const DEFAULT_ROW_STEP: f64 = 12.0;
+
+/// Build the default display expression: each field rendered as text via
+/// the per-type default display, side by side at fixed column offsets.
+pub fn default_display_expr(rel: &Relation) -> Expr {
+    let mut cells: Option<Expr> = None;
+    for (i, f) in rel.schema().fields().iter().enumerate() {
+        // text(to_text(field), 'black') — `to_text` is the per-atomic-type
+        // default display function of §5.2 and §8.
+        let cell = Expr::call(
+            "text",
+            vec![Expr::call("to_text", vec![Expr::attr(&f.name)]), Expr::lit_text("black")],
+        );
+        let cell = if i == 0 {
+            cell
+        } else {
+            Expr::call(
+                "offset",
+                vec![cell, Expr::lit_float(i as f64 * DEFAULT_COL_WIDTH), Expr::lit_float(0.0)],
+            )
+        };
+        cells = Some(match cells {
+            None => cell,
+            Some(acc) => Expr::bin(tioga2_expr::BinOp::Combine, acc, cell),
+        });
+    }
+    // A relation with no stored fields still displays (its row id).
+    cells.unwrap_or_else(|| {
+        Expr::call(
+            "text",
+            vec![Expr::call("to_text", vec![Expr::attr(crate::X_ATTR)]), Expr::lit_text("black")],
+        )
+    })
+}
+
+/// Ensure `rel` has valid `x`, `y` and `display` attributes, then wrap it
+/// as a [`DisplayRelation`].
+///
+/// * If a numeric attribute named `x` (resp. `y`) exists it is used as-is;
+///   otherwise the default is added: `x = 0.0`,
+///   `y = -__seq * DEFAULT_ROW_STEP` (downward so row 0 is at the top).
+/// * If a drawable attribute named `display` exists it is used; otherwise
+///   the ASCII-table default is added.
+pub fn make_display_relation(
+    mut rel: Relation,
+    name: impl Into<String>,
+) -> Result<DisplayRelation, DisplayError> {
+    if !has_numeric_attr(&rel, X_ATTR) {
+        ensure_absent(&rel, X_ATTR)?;
+        rel.add_method(X_ATTR, ScalarType::Float, Expr::lit_float(0.0))?;
+    }
+    if !has_numeric_attr(&rel, Y_ATTR) {
+        ensure_absent(&rel, Y_ATTR)?;
+        rel.add_method(
+            Y_ATTR,
+            ScalarType::Float,
+            Expr::bin(
+                tioga2_expr::BinOp::Mul,
+                Expr::call("to_float", vec![Expr::attr(tioga2_relational::SEQ_ATTR)]),
+                Expr::lit_float(-DEFAULT_ROW_STEP),
+            ),
+        )?;
+    }
+    if !has_drawable_attr(&rel, DISPLAY_ATTR) {
+        ensure_absent(&rel, DISPLAY_ATTR)?;
+        let def = default_display_expr(&rel);
+        let ty = infer_drawable_ty(&rel, &def)?;
+        rel.add_method(DISPLAY_ATTR, ty, def)?;
+    }
+    DisplayRelation::new(rel, name)
+}
+
+fn has_numeric_attr(rel: &Relation, name: &str) -> bool {
+    rel.attr_type(name).map(|t| t.is_numeric()).unwrap_or(false)
+}
+
+fn has_drawable_attr(rel: &Relation, name: &str) -> bool {
+    matches!(rel.attr_type(name), Some(ScalarType::Drawable | ScalarType::DrawList))
+}
+
+/// An attribute of the canonical name but the wrong type blocks defaults:
+/// surfacing the conflict beats silently shadowing user data.
+fn ensure_absent(rel: &Relation, name: &str) -> Result<(), DisplayError> {
+    if rel.has_attr(name) {
+        return Err(DisplayError::Op(format!(
+            "attribute '{name}' exists but has the wrong type for its visualization role"
+        )));
+    }
+    Ok(())
+}
+
+fn infer_drawable_ty(rel: &Relation, def: &Expr) -> Result<ScalarType, DisplayError> {
+    let env = rel.type_env();
+    let t = tioga2_expr::typecheck(def, &env).map_err(tioga2_relational::RelError::from)?;
+    Ok(match t {
+        ScalarType::Drawable => ScalarType::Drawable,
+        _ => ScalarType::DrawList,
+    })
+}
+
+/// Rebuild a displayable around a transformed relation, preserving as much
+/// of `template`'s visualization state as the new relation supports.
+///
+/// Used after operators that may invalidate computed attributes (Project
+/// drops methods whose dependencies were projected out; Join renames).
+/// Any missing `x`/`y`/`display` falls back to the §5.2 default, keeping
+/// the "everything is always visualizable" invariant; surviving slider
+/// dimensions and alternative displays stay registered.
+pub fn redefault(
+    rel: Relation,
+    template: &DisplayRelation,
+) -> Result<DisplayRelation, DisplayError> {
+    let mut out = make_display_relation(rel, template.name.clone())?;
+    out.elev_range = template.elev_range;
+    out.offset = vec![0.0, 0.0];
+    // Screen-dimension offsets carry over; slider offsets re-attach below.
+    out.offset[0] = template.offset.first().copied().unwrap_or(0.0);
+    out.offset[1] = template.offset.get(1).copied().unwrap_or(0.0);
+    for (i, a) in template.location_attrs().iter().enumerate().skip(2) {
+        if out.rel.attr_type(a).map(|t| t.is_numeric()).unwrap_or(false) {
+            out.push_location_attr(a.clone())?;
+            if let Some(off) = template.offset.get(i) {
+                *out.offset.last_mut().unwrap() = *off;
+            }
+        }
+    }
+    for a in template.display_attrs().iter() {
+        if a != DISPLAY_ATTR
+            && !out.display_attrs().contains(a)
+            && matches!(out.rel.attr_type(a), Some(ScalarType::Drawable | ScalarType::DrawList))
+        {
+            out.push_display_attr(a.clone())?;
+        }
+    }
+    // Preserve the active-display choice when it survived.
+    if template.active_display() != out.active_display()
+        && out.display_attrs().iter().any(|d| d == template.active_display())
+    {
+        out = crate::attr_ops::set_active_display(&out, template.active_display())?;
+    }
+    Ok(out)
+}
+
+/// The default update dialog's initial field values for one tuple — the
+/// "default display function ... used by Tioga-2 to render tuples
+/// containing this type" (§8), in textual form.
+pub fn default_field_texts(
+    rel: &Relation,
+    seq: usize,
+) -> Result<Vec<(String, String)>, DisplayError> {
+    let t = rel.tuples().get(seq).ok_or_else(|| DisplayError::Op(format!("no tuple at {seq}")))?;
+    Ok(rel
+        .schema()
+        .fields()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), t.values()[i].display_text()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tioga2_expr::{ScalarType as T, Value};
+    use tioga2_relational::relation::RelationBuilder;
+
+    fn base() -> Relation {
+        RelationBuilder::new()
+            .field("name", T::Text)
+            .field("qty", T::Int)
+            .row(vec![Value::Text("bolts".into()), Value::Int(40)])
+            .row(vec![Value::Text("nuts".into()), Value::Int(12)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn defaults_position_tuples_in_sequence() {
+        let dr = make_display_relation(base(), "inv").unwrap();
+        assert_eq!(dr.tuple_position(0).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(dr.tuple_position(1).unwrap(), vec![0.0, -DEFAULT_ROW_STEP]);
+    }
+
+    #[test]
+    fn default_display_is_text_row() {
+        let dr = make_display_relation(base(), "inv").unwrap();
+        let ds = dr.tuple_display(0).unwrap();
+        assert_eq!(ds.len(), 2, "one text cell per field");
+        assert!(ds.iter().all(|d| d.kind() == "text"));
+        assert_eq!(ds[0].offset, (0.0, 0.0));
+        assert_eq!(ds[1].offset, (DEFAULT_COL_WIDTH, 0.0));
+        match &ds[0].shape {
+            tioga2_expr::Shape::Text { content } => assert_eq!(content, "bolts"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn existing_xy_used_as_is() {
+        let rel = RelationBuilder::new()
+            .field("x", T::Float)
+            .field("y", T::Float)
+            .row(vec![Value::Float(5.0), Value::Float(7.0)])
+            .build()
+            .unwrap();
+        let dr = make_display_relation(rel, "pts").unwrap();
+        assert_eq!(dr.tuple_position(0).unwrap(), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn wrongly_typed_x_is_an_error() {
+        let rel = RelationBuilder::new()
+            .field("x", T::Text)
+            .row(vec![Value::Text("not a number".into())])
+            .build()
+            .unwrap();
+        assert!(make_display_relation(rel, "bad").is_err());
+    }
+
+    #[test]
+    fn empty_relation_still_displayable() {
+        let rel = RelationBuilder::new().field("a", T::Int).build().unwrap();
+        let dr = make_display_relation(rel, "empty").unwrap();
+        dr.validate().unwrap();
+        assert_eq!(dr.rel.len(), 0);
+    }
+
+    #[test]
+    fn zero_column_relation_displayable() {
+        let rel = Relation::new(tioga2_relational::Schema::new(vec![]).unwrap());
+        let dr = make_display_relation(rel, "unit").unwrap();
+        dr.validate().unwrap();
+    }
+
+    #[test]
+    fn redefault_preserves_surviving_state() {
+        use crate::attr_ops::{add_attribute, AttrRole};
+        let rel = RelationBuilder::new()
+            .field("name", T::Text)
+            .field("lon", T::Float)
+            .field("alt", T::Float)
+            .row(vec![Value::Text("a".into()), Value::Float(1.0), Value::Float(9.0)])
+            .build()
+            .unwrap();
+        let dr = make_display_relation(rel, "t").unwrap();
+        let dr = add_attribute(
+            &dr,
+            "altdim",
+            T::Float,
+            tioga2_expr::parse("alt").unwrap(),
+            AttrRole::Location,
+        )
+        .unwrap();
+        let mut dr = dr;
+        dr.elev_range = crate::displayable::ElevRange::new(1.0, 50.0).unwrap();
+        dr.offset = vec![3.0, 4.0, 5.0];
+
+        // A projection that keeps alt (so altdim survives) but drops lon.
+        let projected = tioga2_relational::ops::project(&dr.rel, &["name", "alt"]).unwrap();
+        let out = redefault(projected, &dr).unwrap();
+        out.validate().unwrap();
+        assert_eq!(out.dimension(), 3, "altdim survived");
+        assert_eq!(out.elev_range, dr.elev_range);
+        assert_eq!(out.offset, vec![3.0, 4.0, 5.0]);
+
+        // A projection that drops alt: altdim disappears, x/y/display
+        // fall back to defaults, invariant holds.
+        let projected2 = tioga2_relational::ops::project(&dr.rel, &["name"]).unwrap();
+        let out2 = redefault(projected2, &dr).unwrap();
+        out2.validate().unwrap();
+        assert_eq!(out2.dimension(), 2);
+    }
+
+    #[test]
+    fn default_field_texts_for_update_dialog() {
+        let dr = make_display_relation(base(), "inv").unwrap();
+        let fields = default_field_texts(&dr.rel, 1).unwrap();
+        assert_eq!(
+            fields,
+            vec![("name".to_string(), "nuts".to_string()), ("qty".to_string(), "12".to_string())]
+        );
+        assert!(default_field_texts(&dr.rel, 99).is_err());
+    }
+}

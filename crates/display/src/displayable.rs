@@ -1,0 +1,531 @@
+//! The three displayable types and their coercions.
+
+use crate::error::DisplayError;
+use crate::{DISPLAY_ATTR, X_ATTR, Y_ATTR};
+use tioga2_expr::{ScalarType, Value};
+use tioga2_relational::Relation;
+
+/// Elevation range of a displayable (paper §6.1 **Set Range** and §6.3):
+/// outside `[min, max]` the displayable contributes nothing to the canvas.
+/// Negative elevations place objects on the *underside* of the canvas,
+/// visible only in a rear view mirror after passing through a wormhole.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElevRange {
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Default for ElevRange {
+    fn default() -> Self {
+        // Visible from any positive elevation by default.
+        ElevRange { min: 0.0, max: f64::INFINITY }
+    }
+}
+
+impl ElevRange {
+    pub fn new(min: f64, max: f64) -> Result<Self, DisplayError> {
+        if min > max || min.is_nan() || max.is_nan() {
+            return Err(DisplayError::Op(format!("bad elevation range [{min}, {max}]")));
+        }
+        Ok(ElevRange { min, max })
+    }
+
+    pub fn contains(&self, elevation: f64) -> bool {
+        elevation >= self.min && elevation <= self.max
+    }
+
+    /// Entirely on the underside of the canvas (rear-view-mirror only)?
+    pub fn underside_only(&self) -> bool {
+        self.max < 0.0
+    }
+
+    /// Visible from above at some elevation?
+    pub fn topside(&self) -> bool {
+        self.max >= 0.0
+    }
+}
+
+/// An extended relation `R` — a relation that "knows how to display
+/// itself" (§2): it carries designated location attributes (the first two
+/// being the screen dimensions `x` and `y`) and display attributes (the
+/// first being the active one), an elevation range, and a per-dimension
+/// overlay offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisplayRelation {
+    pub rel: Relation,
+    /// Layer name shown in elevation maps and program diagrams.
+    pub name: String,
+    /// Location attribute names, length >= 2; `[0]` and `[1]` are the
+    /// screen dimensions, the rest are slider dimensions.
+    location_attrs: Vec<String>,
+    /// Display attribute names, length >= 1; `[0]` is the active display.
+    display_attrs: Vec<String>,
+    pub elev_range: ElevRange,
+    /// Offset added to each location dimension when rendered, set by
+    /// **Overlay** ("the relative position of one overlay to another may
+    /// be given ... by an explicit n-dimensional offset").
+    pub offset: Vec<f64>,
+}
+
+impl DisplayRelation {
+    /// Wrap a relation whose `x` / `y` / `display` attributes already
+    /// exist and have the right types.  Use [`crate::defaults`] to
+    /// construct those attributes when absent.
+    pub fn new(rel: Relation, name: impl Into<String>) -> Result<Self, DisplayError> {
+        let dr = DisplayRelation {
+            rel,
+            name: name.into(),
+            location_attrs: vec![X_ATTR.to_string(), Y_ATTR.to_string()],
+            display_attrs: vec![DISPLAY_ATTR.to_string()],
+            elev_range: ElevRange::default(),
+            offset: vec![0.0, 0.0],
+        };
+        dr.validate()?;
+        Ok(dr)
+    }
+
+    /// Check the displayable invariant: every location attribute exists
+    /// and is numeric; every display attribute exists and is drawable.
+    /// This is the "everything is always visualizable" property (§1.2,
+    /// principle 1) and is asserted after every editing operation.
+    pub fn validate(&self) -> Result<(), DisplayError> {
+        if self.location_attrs.len() < 2 {
+            return Err(DisplayError::Op("a displayable needs at least x and y".into()));
+        }
+        if self.display_attrs.is_empty() {
+            return Err(DisplayError::Op("a displayable needs a display attribute".into()));
+        }
+        if self.offset.len() != self.location_attrs.len() {
+            return Err(DisplayError::Op(format!(
+                "offset has {} dimensions, location has {}",
+                self.offset.len(),
+                self.location_attrs.len()
+            )));
+        }
+        for a in &self.location_attrs {
+            match self.rel.attr_type(a) {
+                Some(t) if t.is_numeric() => {}
+                Some(t) => {
+                    return Err(DisplayError::Op(format!(
+                        "location attribute '{a}' has non-numeric type {t}"
+                    )))
+                }
+                None => return Err(DisplayError::Op(format!("missing location attribute '{a}'"))),
+            }
+        }
+        for a in &self.display_attrs {
+            match self.rel.attr_type(a) {
+                Some(ScalarType::Drawable | ScalarType::DrawList) => {}
+                Some(t) => {
+                    return Err(DisplayError::Op(format!(
+                        "display attribute '{a}' has non-drawable type {t}"
+                    )))
+                }
+                None => return Err(DisplayError::Op(format!("missing display attribute '{a}'"))),
+            }
+        }
+        Ok(())
+    }
+
+    /// Dimension of the visualization space = number of location
+    /// attributes (§2).
+    pub fn dimension(&self) -> usize {
+        self.location_attrs.len()
+    }
+
+    pub fn location_attrs(&self) -> &[String] {
+        &self.location_attrs
+    }
+
+    pub fn display_attrs(&self) -> &[String] {
+        &self.display_attrs
+    }
+
+    /// The active display attribute.
+    pub fn active_display(&self) -> &str {
+        &self.display_attrs[0]
+    }
+
+    /// Slider dimensions: location attributes beyond `x` and `y`.
+    pub fn slider_attrs(&self) -> &[String] {
+        &self.location_attrs[2..]
+    }
+
+    pub(crate) fn location_attrs_mut(&mut self) -> &mut Vec<String> {
+        &mut self.location_attrs
+    }
+
+    pub(crate) fn display_attrs_mut(&mut self) -> &mut Vec<String> {
+        &mut self.display_attrs
+    }
+
+    /// Rewrite references to a renamed attribute in the location and
+    /// display registries (the relation's methods are rewritten by
+    /// `tioga2_relational::aggregate::rename`).
+    pub fn rename_attr_refs(&mut self, from: &str, to: &str) {
+        for a in &mut self.location_attrs {
+            if a == from {
+                *a = to.to_string();
+            }
+        }
+        for a in &mut self.display_attrs {
+            if a == from {
+                *a = to.to_string();
+            }
+        }
+    }
+
+    /// Register an additional location attribute (adds a dimension).
+    pub fn push_location_attr(&mut self, name: impl Into<String>) -> Result<(), DisplayError> {
+        let name = name.into();
+        if self.location_attrs.contains(&name) {
+            return Err(DisplayError::Op(format!("'{name}' is already a location attribute")));
+        }
+        self.location_attrs.push(name);
+        self.offset.push(0.0);
+        self.validate()
+    }
+
+    /// Register an additional (alternative) display attribute.
+    pub fn push_display_attr(&mut self, name: impl Into<String>) -> Result<(), DisplayError> {
+        let name = name.into();
+        if self.display_attrs.contains(&name) {
+            return Err(DisplayError::Op(format!("'{name}' is already a display attribute")));
+        }
+        self.display_attrs.push(name);
+        self.validate()
+    }
+
+    /// Position of tuple `seq` in n-space, with the overlay offset
+    /// applied (paper §2: "each tuple t of R is rendered by drawing
+    /// t.display at position <t.x, t.y, t.l1, ..., t.ln-2>").
+    pub fn tuple_position(&self, seq: usize) -> Result<Vec<f64>, DisplayError> {
+        let mut pos = Vec::with_capacity(self.location_attrs.len());
+        for (i, a) in self.location_attrs.iter().enumerate() {
+            let v = self.rel.attr_value(seq, a)?;
+            let x = match v {
+                Value::Null => f64::NAN,
+                other => other
+                    .as_f64()
+                    .ok_or_else(|| DisplayError::Op(format!("location '{a}' is not numeric")))?,
+            };
+            pos.push(x + self.offset[i]);
+        }
+        Ok(pos)
+    }
+
+    /// The draw list of tuple `seq` under the active display attribute.
+    pub fn tuple_display(&self, seq: usize) -> Result<Vec<tioga2_expr::Drawable>, DisplayError> {
+        self.tuple_display_with(seq, self.active_display())
+    }
+
+    /// The draw list of tuple `seq` under a named display attribute.
+    pub fn tuple_display_with(
+        &self,
+        seq: usize,
+        display_attr: &str,
+    ) -> Result<Vec<tioga2_expr::Drawable>, DisplayError> {
+        match self.rel.attr_value(seq, display_attr)? {
+            Value::Drawable(d) => Ok(vec![*d]),
+            Value::DrawList(ds) => Ok(ds),
+            Value::Null => Ok(vec![]),
+            other => Err(DisplayError::Op(format!(
+                "display attribute '{display_attr}' evaluated to {other}"
+            ))),
+        }
+    }
+}
+
+/// A composite `C = Composite(R1, ..., Rn)`: visualizations superimposed
+/// in one viewing space.  The vector order is the drawing order (§2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Composite {
+    pub layers: Vec<DisplayRelation>,
+}
+
+impl Composite {
+    pub fn new(layers: Vec<DisplayRelation>) -> Result<Self, DisplayError> {
+        if layers.is_empty() {
+            return Err(DisplayError::Op("a composite needs at least one layer".into()));
+        }
+        Ok(Composite { layers })
+    }
+
+    /// Composite dimension: the paper requires constituents of equal
+    /// dimension, but Overlay explicitly supports mismatches with the
+    /// lower-dimensional relations "treated as invariant in the extra
+    /// dimensions" (§6.1) — so the composite's dimension is the maximum.
+    pub fn dimension(&self) -> usize {
+        self.layers.iter().map(DisplayRelation::dimension).max().unwrap_or(2)
+    }
+
+    /// All slider dimension names across layers, deduplicated in layer
+    /// order.  A layer lacking a dimension is invariant in it.
+    pub fn slider_attrs(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for l in &self.layers {
+            for s in l.slider_attrs() {
+                if !out.contains(s) {
+                    out.push(s.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Layout of a group's members (§7.3: "side-by-side, arranged vertically,
+/// or laid out in a tabular fashion").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    Horizontal,
+    Vertical,
+    /// Tabular with the given number of columns.
+    Tabular {
+        cols: usize,
+    },
+}
+
+impl Layout {
+    /// Grid shape `(cols, rows)` for `n` members.
+    pub fn grid(&self, n: usize) -> (usize, usize) {
+        match *self {
+            Layout::Horizontal => (n.max(1), 1),
+            Layout::Vertical => (1, n.max(1)),
+            Layout::Tabular { cols } => {
+                let cols = cols.max(1);
+                (cols, n.div_ceil(cols).max(1))
+            }
+        }
+    }
+}
+
+/// A group `G = Group(C1, ..., Cn)`: visualizations of different viewing
+/// spaces arranged per `layout`.  Each member has independent pan/zoom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    pub members: Vec<Composite>,
+    pub layout: Layout,
+    /// Member captions (partition predicates for Replicate output).
+    pub labels: Vec<String>,
+}
+
+impl Group {
+    pub fn new(members: Vec<Composite>, layout: Layout) -> Result<Self, DisplayError> {
+        if members.is_empty() {
+            return Err(DisplayError::Op("a group needs at least one member".into()));
+        }
+        let labels = (0..members.len()).map(|i| format!("member {i}")).collect();
+        Ok(Group { members, layout, labels })
+    }
+
+    pub fn with_labels(mut self, labels: Vec<String>) -> Result<Self, DisplayError> {
+        if labels.len() != self.members.len() {
+            return Err(DisplayError::Op("label count must match member count".into()));
+        }
+        self.labels = labels;
+        Ok(self)
+    }
+}
+
+/// Any displayable (§2).  The coercions `R = Composite(R)` and
+/// `C = Group(C)` are [`Displayable::into_composite`] and
+/// [`Displayable::into_group`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Displayable {
+    R(DisplayRelation),
+    C(Composite),
+    G(Group),
+}
+
+impl Displayable {
+    /// Coerce up to a composite (`R = Composite(R)`).  A group coerces
+    /// only if it has exactly one member.
+    pub fn into_composite(self) -> Result<Composite, DisplayError> {
+        match self {
+            Displayable::R(r) => Composite::new(vec![r]),
+            Displayable::C(c) => Ok(c),
+            Displayable::G(g) => {
+                if g.members.len() == 1 {
+                    Ok(g.members.into_iter().next().unwrap())
+                } else {
+                    Err(DisplayError::Op("cannot use a multi-member group as a composite".into()))
+                }
+            }
+        }
+    }
+
+    /// Coerce up to a group (`C = Group(C)`).
+    pub fn into_group(self) -> Result<Group, DisplayError> {
+        match self {
+            Displayable::G(g) => Ok(g),
+            other => {
+                let c = other.into_composite()?;
+                Group::new(vec![c], Layout::Horizontal)
+            }
+        }
+    }
+
+    /// Short type tag: "R", "C" or "G".
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Displayable::R(_) => "R",
+            Displayable::C(_) => "C",
+            Displayable::G(_) => "G",
+        }
+    }
+
+    /// Total tuple count across all contained relations.
+    pub fn tuple_count(&self) -> usize {
+        match self {
+            Displayable::R(r) => r.rel.len(),
+            Displayable::C(c) => c.layers.iter().map(|l| l.rel.len()).sum(),
+            Displayable::G(g) => {
+                g.members.iter().flat_map(|c| c.layers.iter()).map(|l| l.rel.len()).sum()
+            }
+        }
+    }
+}
+
+impl From<DisplayRelation> for Displayable {
+    fn from(r: DisplayRelation) -> Self {
+        Displayable::R(r)
+    }
+}
+
+impl From<Composite> for Displayable {
+    fn from(c: Composite) -> Self {
+        Displayable::C(c)
+    }
+}
+
+impl From<Group> for Displayable {
+    fn from(g: Group) -> Self {
+        Displayable::G(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defaults::make_display_relation;
+    use tioga2_expr::{parse, ScalarType as T};
+    use tioga2_relational::relation::RelationBuilder;
+
+    pub(crate) fn small_dr(name: &str) -> DisplayRelation {
+        let rel = RelationBuilder::new()
+            .field("label", T::Text)
+            .field("lon", T::Float)
+            .field("lat", T::Float)
+            .row(vec![Value::Text("a".into()), Value::Float(1.0), Value::Float(2.0)])
+            .row(vec![Value::Text("b".into()), Value::Float(3.0), Value::Float(4.0)])
+            .build()
+            .unwrap();
+        make_display_relation(rel, name).unwrap()
+    }
+
+    #[test]
+    fn elev_range_semantics() {
+        let r = ElevRange::new(10.0, 100.0).unwrap();
+        assert!(r.contains(10.0) && r.contains(100.0) && !r.contains(9.9));
+        assert!(r.topside() && !r.underside_only());
+        let under = ElevRange::new(-50.0, -1.0).unwrap();
+        assert!(under.underside_only());
+        let both = ElevRange::new(-10.0, 10.0).unwrap();
+        assert!(both.topside() && !both.underside_only());
+        assert!(ElevRange::new(5.0, 1.0).is_err());
+        assert!(ElevRange::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn default_range_visible_everywhere_above_ground() {
+        let d = ElevRange::default();
+        assert!(d.contains(0.0) && d.contains(1e12));
+        assert!(!d.contains(-0.1));
+    }
+
+    #[test]
+    fn display_relation_validates() {
+        let dr = small_dr("t");
+        assert_eq!(dr.dimension(), 2);
+        dr.validate().unwrap();
+    }
+
+    #[test]
+    fn tuple_position_applies_offset() {
+        let mut dr = small_dr("t");
+        dr.rel.set_method("x", T::Float, parse("lon").unwrap()).unwrap();
+        dr.rel.set_method("y", T::Float, parse("lat").unwrap()).unwrap();
+        assert_eq!(dr.tuple_position(0).unwrap(), vec![1.0, 2.0]);
+        dr.offset = vec![10.0, -1.0];
+        assert_eq!(dr.tuple_position(1).unwrap(), vec![13.0, 3.0]);
+    }
+
+    #[test]
+    fn push_location_attr_adds_dimension() {
+        let mut dr = small_dr("t");
+        dr.rel.add_method("alt", T::Float, parse("lat * 10.0").unwrap()).unwrap();
+        dr.push_location_attr("alt").unwrap();
+        assert_eq!(dr.dimension(), 3);
+        assert_eq!(dr.slider_attrs(), &["alt".to_string()]);
+        assert_eq!(dr.offset.len(), 3);
+        assert!(dr.push_location_attr("alt").is_err(), "duplicate rejected");
+        assert!(dr.clone().push_location_attr("nope").is_err(), "missing attr rejected");
+    }
+
+    #[test]
+    fn composite_dimension_is_max() {
+        let a = small_dr("a");
+        let mut b = small_dr("b");
+        b.rel.add_method("alt", T::Float, parse("1.0").unwrap()).unwrap();
+        b.push_location_attr("alt").unwrap();
+        let c = Composite::new(vec![a, b]).unwrap();
+        assert_eq!(c.dimension(), 3);
+        assert_eq!(c.slider_attrs(), vec!["alt".to_string()]);
+    }
+
+    #[test]
+    fn coercions() {
+        let r = Displayable::R(small_dr("r"));
+        let c = r.clone().into_composite().unwrap();
+        assert_eq!(c.layers.len(), 1);
+        let g = r.into_group().unwrap();
+        assert_eq!(g.members.len(), 1);
+        // Multi-member group does not coerce down.
+        let g2 = Group::new(
+            vec![
+                Composite::new(vec![small_dr("a")]).unwrap(),
+                Composite::new(vec![small_dr("b")]).unwrap(),
+            ],
+            Layout::Horizontal,
+        )
+        .unwrap();
+        assert!(Displayable::G(g2).into_composite().is_err());
+    }
+
+    #[test]
+    fn layout_grids() {
+        assert_eq!(Layout::Horizontal.grid(3), (3, 1));
+        assert_eq!(Layout::Vertical.grid(3), (1, 3));
+        assert_eq!(Layout::Tabular { cols: 2 }.grid(5), (2, 3));
+        assert_eq!(Layout::Tabular { cols: 0 }.grid(5), (1, 5));
+    }
+
+    #[test]
+    fn group_labels() {
+        let g = Group::new(vec![Composite::new(vec![small_dr("a")]).unwrap()], Layout::Vertical)
+            .unwrap()
+            .with_labels(vec!["before 1990".into()])
+            .unwrap();
+        assert_eq!(g.labels, vec!["before 1990".to_string()]);
+        assert!(g.clone().with_labels(vec![]).is_err());
+    }
+
+    #[test]
+    fn tuple_count() {
+        let d = Displayable::R(small_dr("a"));
+        assert_eq!(d.tuple_count(), 2);
+        let c = Composite::new(vec![small_dr("a"), small_dr("b")]).unwrap();
+        assert_eq!(Displayable::C(c).tuple_count(), 4);
+    }
+}

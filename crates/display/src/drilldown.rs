@@ -1,0 +1,272 @@
+//! Drill-down primitives (paper §6.1, Figure 6): **Set Range**,
+//! **Overlay**, **Shuffle**, plus the elevation-map model that fronts
+//! them in the UI.
+//!
+//! Drill-down "additional detail" works by composing layers whose
+//! elevation ranges tile the zoom axis: e.g. in Figure 7 station names are
+//! range-limited so they "disappear at high elevations, where they would
+//! be illegible", while a plain circle layer covers the high elevations.
+
+use crate::displayable::{Composite, DisplayRelation, ElevRange};
+use crate::error::DisplayError;
+
+/// **Set Range** — "specifies the maximum and minimum elevations at which
+/// a relation's display is defined.  Outside of this range, the relation
+/// contributes nothing to the canvas."
+pub fn set_range(
+    dr: &DisplayRelation,
+    min: f64,
+    max: f64,
+) -> Result<DisplayRelation, DisplayError> {
+    let mut out = dr.clone();
+    out.elev_range = ElevRange::new(min, max)?;
+    Ok(out)
+}
+
+/// How an **Overlay** dimension mismatch should be handled.  The paper:
+/// "If the user attempts to overlay relations with different dimensions,
+/// Tioga-2 warns about the mismatch.  If the user wishes, the underlying
+/// relations are treated as invariant in the 'extra' dimensions."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MismatchPolicy {
+    /// Refuse the overlay (the warning dialog's "cancel").
+    Reject,
+    /// Accept: lower-dimensional layers are invariant in the extra
+    /// dimensions (the Figure 7 behaviour — the flat Louisiana map stays
+    /// in place while the Altitude slider filters stations).
+    Invariant,
+}
+
+/// **Overlay** — superimpose two composites (a relation is a trivial
+/// composite).  `offset` is an explicit n-dimensional offset applied to
+/// every layer of `top`; drawing order puts `top`'s layers after
+/// `bottom`'s.
+pub fn overlay(
+    bottom: &Composite,
+    top: &Composite,
+    offset: &[f64],
+    policy: MismatchPolicy,
+) -> Result<Composite, DisplayError> {
+    if bottom.dimension() != top.dimension() && policy == MismatchPolicy::Reject {
+        return Err(DisplayError::DimensionMismatch {
+            left: bottom.dimension(),
+            right: top.dimension(),
+        });
+    }
+    let mut layers = bottom.layers.clone();
+    for layer in &top.layers {
+        let mut l = layer.clone();
+        if !offset.is_empty() {
+            if offset.len() > l.offset.len() {
+                return Err(DisplayError::Op(format!(
+                    "overlay offset has {} dimensions but layer '{}' has {}",
+                    offset.len(),
+                    l.name,
+                    l.offset.len()
+                )));
+            }
+            for (i, d) in offset.iter().enumerate() {
+                l.offset[i] += d;
+            }
+        }
+        layers.push(l);
+    }
+    Composite::new(layers)
+}
+
+/// **Shuffle** — "moves a relation to the 'top' of the drawing order"
+/// (the end of the layer vector: later layers paint over earlier ones).
+pub fn shuffle_to_top(c: &Composite, layer_idx: usize) -> Result<Composite, DisplayError> {
+    if layer_idx >= c.layers.len() {
+        return Err(DisplayError::Op(format!(
+            "no layer {layer_idx} in a composite of {} layers",
+            c.layers.len()
+        )));
+    }
+    let mut layers = c.layers.clone();
+    let l = layers.remove(layer_idx);
+    layers.push(l);
+    Composite::new(layers)
+}
+
+/// Reorder a layer to an arbitrary position — the elevation map allows
+/// direct manipulation of "the ranges and drawing order of overlaid
+/// relations" (§6.1), which is more general than Shuffle alone.
+pub fn reorder_layer(c: &Composite, from: usize, to: usize) -> Result<Composite, DisplayError> {
+    if from >= c.layers.len() || to >= c.layers.len() {
+        return Err(DisplayError::Op(format!(
+            "reorder {from}->{to} out of bounds for {} layers",
+            c.layers.len()
+        )));
+    }
+    let mut layers = c.layers.clone();
+    let l = layers.remove(from);
+    layers.insert(to, l);
+    Composite::new(layers)
+}
+
+/// One bar of an elevation map (§6.1): "a bar-chart display of the
+/// maximum/minimum elevations and drawing order of all elements of a
+/// composite on the current canvas".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElevationBar {
+    /// Drawing order position (0 = painted first / bottom).
+    pub order: usize,
+    pub layer_name: String,
+    pub range: ElevRange,
+    /// Whether the layer is visible at the probe elevation supplied to
+    /// [`elevation_map`].
+    pub active: bool,
+}
+
+/// Compute the elevation map of a composite as seen from `elevation`.
+pub fn elevation_map(c: &Composite, elevation: f64) -> Vec<ElevationBar> {
+    c.layers
+        .iter()
+        .enumerate()
+        .map(|(order, l)| ElevationBar {
+            order,
+            layer_name: l.name.clone(),
+            range: l.elev_range,
+            active: l.elev_range.contains(elevation),
+        })
+        .collect()
+}
+
+/// Direct manipulation of an elevation map bar: drag its endpoints to new
+/// elevations.  Returns the updated composite.
+pub fn set_range_via_map(
+    c: &Composite,
+    layer_idx: usize,
+    min: f64,
+    max: f64,
+) -> Result<Composite, DisplayError> {
+    if layer_idx >= c.layers.len() {
+        return Err(DisplayError::Op(format!("no layer {layer_idx}")));
+    }
+    let mut layers = c.layers.clone();
+    layers[layer_idx] = set_range(&layers[layer_idx], min, max)?;
+    Composite::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr_ops::{add_attribute, AttrRole};
+    use crate::defaults::make_display_relation;
+    use tioga2_expr::{parse, ScalarType as T, Value};
+    use tioga2_relational::relation::RelationBuilder;
+
+    fn dr(name: &str) -> DisplayRelation {
+        let rel = RelationBuilder::new()
+            .field("v", T::Float)
+            .row(vec![Value::Float(1.0)])
+            .build()
+            .unwrap();
+        make_display_relation(rel, name).unwrap()
+    }
+
+    fn dr3(name: &str) -> DisplayRelation {
+        let d = dr(name);
+        add_attribute(&d, "alt", T::Float, parse("v * 10.0").unwrap(), AttrRole::Location).unwrap()
+    }
+
+    #[test]
+    fn set_range_limits_visibility() {
+        let d = set_range(&dr("a"), 10.0, 100.0).unwrap();
+        assert!(d.elev_range.contains(50.0));
+        assert!(!d.elev_range.contains(5.0));
+        assert!(set_range(&d, 100.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn overlay_appends_in_draw_order() {
+        let bottom = Composite::new(vec![dr("map")]).unwrap();
+        let top = Composite::new(vec![dr("stations")]).unwrap();
+        let c = overlay(&bottom, &top, &[], MismatchPolicy::Reject).unwrap();
+        assert_eq!(c.layers.len(), 2);
+        assert_eq!(c.layers[0].name, "map");
+        assert_eq!(c.layers[1].name, "stations", "top layer paints last");
+    }
+
+    #[test]
+    fn overlay_offset_accumulates_on_top_layers() {
+        let bottom = Composite::new(vec![dr("a")]).unwrap();
+        let top = Composite::new(vec![dr("b")]).unwrap();
+        let c = overlay(&bottom, &top, &[5.0, -2.0], MismatchPolicy::Reject).unwrap();
+        assert_eq!(c.layers[0].offset, vec![0.0, 0.0]);
+        assert_eq!(c.layers[1].offset, vec![5.0, -2.0]);
+        // Overlaying again adds.
+        let c2 = overlay(
+            &Composite::new(vec![dr("z")]).unwrap(),
+            &c,
+            &[1.0, 1.0],
+            MismatchPolicy::Reject,
+        )
+        .unwrap();
+        assert_eq!(c2.layers[2].offset, vec![6.0, -1.0]);
+    }
+
+    #[test]
+    fn overlay_dimension_mismatch_policies() {
+        // The Figure 7 situation: a flat (2-D) map under 3-D stations.
+        let map = Composite::new(vec![dr("map")]).unwrap();
+        let stations = Composite::new(vec![dr3("stations")]).unwrap();
+        let err = overlay(&map, &stations, &[], MismatchPolicy::Reject);
+        assert_eq!(err, Err(DisplayError::DimensionMismatch { left: 2, right: 3 }));
+        let c = overlay(&map, &stations, &[], MismatchPolicy::Invariant).unwrap();
+        assert_eq!(c.dimension(), 3);
+        assert_eq!(c.slider_attrs(), vec!["alt".to_string()]);
+        // The 2-D map layer has no 'alt' attribute: invariant under it.
+        assert!(c.layers[0].slider_attrs().is_empty());
+    }
+
+    #[test]
+    fn overlay_offset_longer_than_layer_dims_rejected() {
+        let a = Composite::new(vec![dr("a")]).unwrap();
+        let b = Composite::new(vec![dr("b")]).unwrap();
+        assert!(overlay(&a, &b, &[1.0, 2.0, 3.0], MismatchPolicy::Invariant).is_err());
+    }
+
+    #[test]
+    fn shuffle_moves_to_top() {
+        let c = Composite::new(vec![dr("a"), dr("b"), dr("c")]).unwrap();
+        let s = shuffle_to_top(&c, 0).unwrap();
+        let names: Vec<&str> = s.layers.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["b", "c", "a"]);
+        assert!(shuffle_to_top(&c, 3).is_err());
+    }
+
+    #[test]
+    fn reorder_layer_arbitrary() {
+        let c = Composite::new(vec![dr("a"), dr("b"), dr("c")]).unwrap();
+        let r = reorder_layer(&c, 2, 0).unwrap();
+        let names: Vec<&str> = r.layers.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["c", "a", "b"]);
+        assert!(reorder_layer(&c, 0, 5).is_err());
+    }
+
+    #[test]
+    fn elevation_map_reflects_ranges_and_order() {
+        // Figure 7: names visible only low, circles only high, map always.
+        let names = set_range(&dr("names"), 0.0, 50.0).unwrap();
+        let circles = set_range(&dr("circles"), 50.0, 1e6).unwrap();
+        let map = dr("map");
+        let c = Composite::new(vec![map, circles, names]).unwrap();
+        let bars = elevation_map(&c, 100.0);
+        assert_eq!(bars.len(), 3);
+        assert!(bars[0].active, "map visible at 100");
+        assert!(bars[1].active, "circles visible at 100");
+        assert!(!bars[2].active, "names hidden at 100");
+        let bars_low = elevation_map(&c, 10.0);
+        assert!(!bars_low[1].active && bars_low[2].active);
+    }
+
+    #[test]
+    fn set_range_via_elevation_map() {
+        let c = Composite::new(vec![dr("a"), dr("b")]).unwrap();
+        let c = set_range_via_map(&c, 1, 5.0, 25.0).unwrap();
+        assert_eq!(c.layers[1].elev_range, ElevRange::new(5.0, 25.0).unwrap());
+        assert!(set_range_via_map(&c, 9, 0.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for displayable operations.
+
+use std::fmt;
+use tioga2_relational::RelError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum DisplayError {
+    /// Error bubbling up from the relational layer.
+    Rel(RelError),
+    /// Illegal displayable operation (removing `x`, shuffling a missing
+    /// layer, stitching an empty list, ...).
+    Op(String),
+    /// Overlaying displayables of different dimensions (paper §6.1 warns
+    /// about the mismatch and asks the user to confirm the invariance
+    /// interpretation).  Carries the two dimensions.
+    DimensionMismatch { left: usize, right: usize },
+    /// A selection path (lift) that does not resolve to a component.
+    BadSelection(String),
+}
+
+impl From<RelError> for DisplayError {
+    fn from(e: RelError) -> Self {
+        DisplayError::Rel(e)
+    }
+}
+
+impl From<tioga2_expr::ExprError> for DisplayError {
+    fn from(e: tioga2_expr::ExprError) -> Self {
+        DisplayError::Rel(RelError::from(e))
+    }
+}
+
+impl fmt::Display for DisplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DisplayError::Rel(e) => write!(f, "{e}"),
+            DisplayError::Op(m) => write!(f, "display operation error: {m}"),
+            DisplayError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: overlaying a {left}-dimensional displayable with a {right}-dimensional one"
+            ),
+            DisplayError::BadSelection(m) => write!(f, "bad selection: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DisplayError {}

@@ -1,0 +1,39 @@
+//! # tioga2-display
+//!
+//! The displayable type system of Tioga-2 (paper §2):
+//!
+//! ```text
+//! G = Group(C1, ..., Cn)
+//! C = Composite(R1, ..., Rn)
+//! R = relations with attributes x, y, display
+//! ```
+//!
+//! together with the type equivalences `R = Composite(R)` and
+//! `C = Group(C)`, the default displays of §5.2, the location/display
+//! attribute operations of Figure 5, the drill-down primitives of Figure 6
+//! (Set Range / Overlay / Shuffle), and the Stitch / Replicate group
+//! constructors of §7.
+//!
+//! The *lift* module implements the paper's operator overloading: an
+//! operation defined on `R` is extended to `C` and `G` inputs by having
+//! the user select the component it applies to, after which the enclosing
+//! composite/group is reassembled "in the obvious way".
+
+pub mod attr_ops;
+pub mod compose;
+pub mod defaults;
+pub mod displayable;
+pub mod drilldown;
+pub mod error;
+pub mod lift;
+
+pub use displayable::{Composite, DisplayRelation, Displayable, ElevRange, Group, Layout};
+pub use error::DisplayError;
+pub use lift::Selection;
+
+/// Canonical name of the primary horizontal location attribute.
+pub const X_ATTR: &str = "x";
+/// Canonical name of the primary vertical location attribute.
+pub const Y_ATTR: &str = "y";
+/// Canonical name of the primary display attribute.
+pub const DISPLAY_ATTR: &str = "display";

@@ -1,0 +1,262 @@
+//! Operator overloading over the displayable hierarchy (paper §2).
+//!
+//! "Given a group G input to Restrict, Tioga-2 asks the user for the
+//! composite within the group, and the relation within that composite, to
+//! which the Restrict applies.  After applying the Restrict to the
+//! selected relation, Tioga-2 reassembles the composite and the group in
+//! the obvious way."
+//!
+//! [`Selection`] is the user's point-and-click answer; [`apply_to_relation`]
+//! and [`apply_to_composite`] are the generic lift used by every R- and
+//! C-level operation in `tioga2-core`.
+
+use crate::displayable::{Composite, DisplayRelation, Displayable};
+use crate::error::DisplayError;
+
+/// A path from a displayable to one of its components: which group member
+/// and which composite layer.  `None` means "there is only one — no
+/// prompt needed"; the paper only prompts when the choice is ambiguous.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Selection {
+    pub member: Option<usize>,
+    pub layer: Option<usize>,
+}
+
+impl Selection {
+    pub fn member(i: usize) -> Self {
+        Selection { member: Some(i), layer: None }
+    }
+
+    pub fn layer(i: usize) -> Self {
+        Selection { member: None, layer: Some(i) }
+    }
+
+    pub fn at(member: usize, layer: usize) -> Self {
+        Selection { member: Some(member), layer: Some(layer) }
+    }
+
+    fn pick(opt: Option<usize>, len: usize, what: &str) -> Result<usize, DisplayError> {
+        match opt {
+            Some(i) if i < len => Ok(i),
+            Some(i) => {
+                Err(DisplayError::BadSelection(format!("{what} {i} out of range (have {len})")))
+            }
+            None if len == 1 => Ok(0),
+            None => Err(DisplayError::BadSelection(format!(
+                "{len} {what}s available; a selection is required"
+            ))),
+        }
+    }
+}
+
+/// Apply an `R -> R` operation to the selected relation inside any
+/// displayable, reassembling the enclosing structure.
+pub fn apply_to_relation<F>(
+    d: &Displayable,
+    sel: Selection,
+    f: F,
+) -> Result<Displayable, DisplayError>
+where
+    F: FnOnce(&DisplayRelation) -> Result<DisplayRelation, DisplayError>,
+{
+    match d {
+        Displayable::R(r) => Ok(Displayable::R(f(r)?)),
+        Displayable::C(c) => {
+            let li = Selection::pick(sel.layer, c.layers.len(), "layer")?;
+            let mut layers = c.layers.clone();
+            layers[li] = f(&layers[li])?;
+            Ok(Displayable::C(Composite::new(layers)?))
+        }
+        Displayable::G(g) => {
+            let mi = Selection::pick(sel.member, g.members.len(), "member")?;
+            let li = Selection::pick(sel.layer, g.members[mi].layers.len(), "layer")?;
+            let mut members = g.members.clone();
+            let mut layers = members[mi].layers.clone();
+            layers[li] = f(&layers[li])?;
+            members[mi] = Composite::new(layers)?;
+            let mut out = g.clone();
+            out.members = members;
+            Ok(Displayable::G(out))
+        }
+    }
+}
+
+/// Apply a `C -> C` operation (e.g. Overlay, Shuffle) to the selected
+/// composite inside any displayable — "an operation defined on composite
+/// types is extended to work on group displayables by having the user
+/// first specify which component of the group is to be the operation's
+/// input" (§2).
+pub fn apply_to_composite<F>(
+    d: &Displayable,
+    sel: Selection,
+    f: F,
+) -> Result<Displayable, DisplayError>
+where
+    F: FnOnce(&Composite) -> Result<Composite, DisplayError>,
+{
+    match d {
+        Displayable::R(r) => {
+            let c = Composite::new(vec![r.clone()])?;
+            let out = f(&c)?;
+            // If the result is still a single layer, keep the R shape;
+            // otherwise it genuinely became a composite.
+            if out.layers.len() == 1 {
+                Ok(Displayable::R(out.layers.into_iter().next().unwrap()))
+            } else {
+                Ok(Displayable::C(out))
+            }
+        }
+        Displayable::C(c) => Ok(Displayable::C(f(c)?)),
+        Displayable::G(g) => {
+            let mi = Selection::pick(sel.member, g.members.len(), "member")?;
+            let mut members = g.members.clone();
+            members[mi] = f(&members[mi])?;
+            let mut out = g.clone();
+            out.members = members;
+            Ok(Displayable::G(out))
+        }
+    }
+}
+
+/// Borrow the selected relation (read-only lift, used by viewers and the
+/// update machinery to resolve a click back to a relation).
+pub fn select_relation(d: &Displayable, sel: Selection) -> Result<&DisplayRelation, DisplayError> {
+    match d {
+        Displayable::R(r) => Ok(r),
+        Displayable::C(c) => {
+            let li = Selection::pick(sel.layer, c.layers.len(), "layer")?;
+            Ok(&c.layers[li])
+        }
+        Displayable::G(g) => {
+            let mi = Selection::pick(sel.member, g.members.len(), "member")?;
+            let li = Selection::pick(sel.layer, g.members[mi].layers.len(), "layer")?;
+            Ok(&g.members[mi].layers[li])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defaults::make_display_relation;
+    use crate::displayable::{Group, Layout};
+    use crate::drilldown::shuffle_to_top;
+    use tioga2_expr::{parse, ScalarType as T, Value};
+    use tioga2_relational::ops::restrict;
+    use tioga2_relational::relation::RelationBuilder;
+
+    fn dr(name: &str, n: i64) -> DisplayRelation {
+        let mut b = RelationBuilder::new().field("v", T::Int);
+        for i in 0..n {
+            b = b.row(vec![Value::Int(i)]);
+        }
+        make_display_relation(b.build().unwrap(), name).unwrap()
+    }
+
+    fn restrict_op(d: &DisplayRelation) -> Result<DisplayRelation, DisplayError> {
+        let mut out = d.clone();
+        out.rel = restrict(&d.rel, &parse("v < 2").unwrap())?;
+        Ok(out)
+    }
+
+    #[test]
+    fn lift_restrict_over_r() {
+        let d = Displayable::R(dr("a", 5));
+        let out = apply_to_relation(&d, Selection::default(), restrict_op).unwrap();
+        assert_eq!(out.tuple_count(), 2);
+    }
+
+    #[test]
+    fn lift_restrict_over_composite_selected_layer() {
+        let c = Composite::new(vec![dr("a", 5), dr("b", 5)]).unwrap();
+        let d = Displayable::C(c);
+        let out = apply_to_relation(&d, Selection::layer(1), restrict_op).unwrap();
+        match out {
+            Displayable::C(c) => {
+                assert_eq!(c.layers[0].rel.len(), 5, "unselected layer untouched");
+                assert_eq!(c.layers[1].rel.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lift_requires_selection_when_ambiguous() {
+        let c = Composite::new(vec![dr("a", 5), dr("b", 5)]).unwrap();
+        let d = Displayable::C(c);
+        assert!(matches!(
+            apply_to_relation(&d, Selection::default(), restrict_op),
+            Err(DisplayError::BadSelection(_))
+        ));
+        // Single-layer composite needs no prompt.
+        let c1 = Displayable::C(Composite::new(vec![dr("a", 5)]).unwrap());
+        assert!(apply_to_relation(&c1, Selection::default(), restrict_op).is_ok());
+    }
+
+    #[test]
+    fn lift_restrict_over_group() {
+        let g = Group::new(
+            vec![
+                Composite::new(vec![dr("a", 5)]).unwrap(),
+                Composite::new(vec![dr("b", 5), dr("c", 5)]).unwrap(),
+            ],
+            Layout::Horizontal,
+        )
+        .unwrap();
+        let d = Displayable::G(g);
+        let out = apply_to_relation(&d, Selection::at(1, 0), restrict_op).unwrap();
+        match &out {
+            Displayable::G(g) => {
+                assert_eq!(g.members[0].layers[0].rel.len(), 5);
+                assert_eq!(g.members[1].layers[0].rel.len(), 2);
+                assert_eq!(g.members[1].layers[1].rel.len(), 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Out-of-range selections error.
+        assert!(apply_to_relation(&out, Selection::at(5, 0), restrict_op).is_err());
+        assert!(apply_to_relation(&out, Selection::at(1, 9), restrict_op).is_err());
+    }
+
+    #[test]
+    fn lift_composite_op_over_group() {
+        let g = Group::new(
+            vec![
+                Composite::new(vec![dr("a", 1), dr("b", 1)]).unwrap(),
+                Composite::new(vec![dr("c", 1)]).unwrap(),
+            ],
+            Layout::Horizontal,
+        )
+        .unwrap();
+        let d = Displayable::G(g);
+        let out = apply_to_composite(&d, Selection::member(0), |c| shuffle_to_top(c, 0)).unwrap();
+        match out {
+            Displayable::G(g) => {
+                let names: Vec<&str> =
+                    g.members[0].layers.iter().map(|l| l.name.as_str()).collect();
+                assert_eq!(names, vec!["b", "a"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn composite_op_on_r_keeps_shape() {
+        let d = Displayable::R(dr("a", 3));
+        let out = apply_to_composite(&d, Selection::default(), |c| shuffle_to_top(c, 0)).unwrap();
+        assert_eq!(out.type_tag(), "R");
+    }
+
+    #[test]
+    fn select_relation_paths() {
+        let g = Group::new(
+            vec![Composite::new(vec![dr("a", 1), dr("b", 2)]).unwrap()],
+            Layout::Vertical,
+        )
+        .unwrap();
+        let d = Displayable::G(g);
+        let r = select_relation(&d, Selection::at(0, 1)).unwrap();
+        assert_eq!(r.name, "b");
+        assert!(select_relation(&d, Selection::at(0, 7)).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Expression AST and its pretty-printer.
+//!
+//! The printer produces source that parses back to the same AST (tested by
+//! a proptest round-trip), which is what lets Tioga-2 persist attribute
+//! definitions inside saved programs.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Binary operators, in increasing precedence groups (see `parser`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Concat,  // || on text
+    Combine, // ++ on drawables / draw lists
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "OR",
+            BinOp::And => "AND",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Concat => "||",
+            BinOp::Combine => "++",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+
+    /// Parser precedence (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+            BinOp::Add | BinOp::Sub | BinOp::Concat | BinOp::Combine => 4,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 5,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// An expression over the attributes of one tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    /// Reference to an attribute of the tuple (stored or computed).
+    Attr(String),
+    Unary(UnaryOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Builtin function call.
+    Call(String, Vec<Expr>),
+    /// `if c then a else b end`
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    pub fn lit_int(i: i64) -> Expr {
+        Expr::Literal(Value::Int(i))
+    }
+    pub fn lit_float(x: f64) -> Expr {
+        Expr::Literal(Value::Float(x))
+    }
+    pub fn lit_text(s: impl Into<String>) -> Expr {
+        Expr::Literal(Value::Text(s.into()))
+    }
+    pub fn attr(name: impl Into<String>) -> Expr {
+        Expr::Attr(name.into())
+    }
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call(name.into(), args)
+    }
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary(op, Box::new(l), Box::new(r))
+    }
+
+    /// All attribute names referenced by this expression, in first-use
+    /// order without duplicates.  Used for dependency analysis of computed
+    /// attributes (cycle detection in `Add Attribute` definitions).
+    pub fn referenced_attrs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Attr(a) => {
+                if !out.iter().any(|x| x == a) {
+                    out.push(a.clone());
+                }
+            }
+            Expr::Unary(_, e) => e.collect_attrs(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_attrs(out);
+                r.collect_attrs(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_attrs(out);
+                }
+            }
+            Expr::If(c, t, e) => {
+                c.collect_attrs(out);
+                t.collect_attrs(out);
+                e.collect_attrs(out);
+            }
+        }
+    }
+
+    /// Rewrite every reference to attribute `from` into `to`.  Used by
+    /// Swap Attributes and by attribute removal safety analysis.
+    pub fn rename_attr(&mut self, from: &str, to: &str) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Attr(a) => {
+                if a == from {
+                    *a = to.to_string();
+                }
+            }
+            Expr::Unary(_, e) => e.rename_attr(from, to),
+            Expr::Binary(_, l, r) => {
+                l.rename_attr(from, to);
+                r.rename_attr(from, to);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.rename_attr(from, to);
+                }
+            }
+            Expr::If(c, t, e) => {
+                c.rename_attr(from, to);
+                t.rename_attr(from, to);
+                e.rename_attr(from, to);
+            }
+        }
+    }
+}
+
+fn fmt_literal(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Null => write!(f, "NULL"),
+        Value::Bool(true) => write!(f, "TRUE"),
+        Value::Bool(false) => write!(f, "FALSE"),
+        Value::Int(i) => write!(f, "{i}"),
+        // `{:?}` is Rust's shortest round-trip form: it keeps a `.0` on
+        // whole numbers and switches to exponent notation for large
+        // magnitudes, both of which re-lex as Float (never as Int).
+        Value::Float(x) => write!(f, "{x:?}"),
+        Value::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        Value::Timestamp(t) => write!(f, "timestamp({t})"),
+        // Drawable literals cannot appear in surface syntax; they are only
+        // constructed by builtins.  Print a reconstruction via builtins
+        // where possible (not needed for persistence — programs persist the
+        // constructing expression, not the value).
+        Value::Drawable(_) | Value::DrawList(_) => write!(f, "<drawable>"),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl Expr {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => fmt_literal(v, f),
+            Expr::Attr(a) => write!(f, "{a}"),
+            Expr::Unary(UnaryOp::Neg, e) => {
+                write!(f, "-")?;
+                e.fmt_prec(f, 6)
+            }
+            Expr::Unary(UnaryOp::Not, e) => {
+                write!(f, "NOT ")?;
+                e.fmt_prec(f, 6)
+            }
+            Expr::Binary(op, l, r) => {
+                let p = op.precedence();
+                if p < parent {
+                    write!(f, "(")?;
+                }
+                // Comparisons are non-associative in the grammar (`a = b
+                // = c` does not parse), so an equal-precedence left child
+                // needs parentheses too; the associative operators only
+                // parenthesize strictly-lower-precedence children.
+                let non_assoc = matches!(
+                    op,
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                );
+                l.fmt_prec(f, if non_assoc { p + 1 } else { p })?;
+                write!(f, " {} ", op.symbol())?;
+                // Left-associative: right side needs strictly higher prec.
+                r.fmt_prec(f, p + 1)?;
+                if p < parent {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+            Expr::If(c, t, e) => {
+                write!(f, "if ")?;
+                c.fmt_prec(f, 0)?;
+                write!(f, " then ")?;
+                t.fmt_prec(f, 0)?;
+                write!(f, " else ")?;
+                e.fmt_prec(f, 0)?;
+                write!(f, " end")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_attrs_dedup_order() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::attr("a"),
+            Expr::bin(BinOp::Mul, Expr::attr("b"), Expr::attr("a")),
+        );
+        assert_eq!(e.referenced_attrs(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn rename_attr_rewrites_all() {
+        let mut e = Expr::bin(BinOp::Add, Expr::attr("x"), Expr::attr("x"));
+        e.rename_attr("x", "y");
+        assert_eq!(e.referenced_attrs(), vec!["y".to_string()]);
+    }
+
+    #[test]
+    fn print_respects_precedence() {
+        // (a + b) * c must print with parens.
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Add, Expr::attr("a"), Expr::attr("b")),
+            Expr::attr("c"),
+        );
+        assert_eq!(e.to_string(), "(a + b) * c");
+        // a + b * c must not.
+        let e2 = Expr::bin(
+            BinOp::Add,
+            Expr::attr("a"),
+            Expr::bin(BinOp::Mul, Expr::attr("b"), Expr::attr("c")),
+        );
+        assert_eq!(e2.to_string(), "a + b * c");
+    }
+
+    #[test]
+    fn print_left_assoc_subtraction() {
+        // a - (b - c) needs parens; (a - b) - c does not.
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::attr("a"),
+            Expr::bin(BinOp::Sub, Expr::attr("b"), Expr::attr("c")),
+        );
+        assert_eq!(e.to_string(), "a - (b - c)");
+        let e2 = Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Sub, Expr::attr("a"), Expr::attr("b")),
+            Expr::attr("c"),
+        );
+        assert_eq!(e2.to_string(), "a - b - c");
+    }
+
+    #[test]
+    fn print_string_escaping() {
+        assert_eq!(Expr::lit_text("it's").to_string(), "'it''s'");
+    }
+}

@@ -1,0 +1,282 @@
+//! Primitive drawable objects (paper §5.1).
+//!
+//! "The primitive drawables include: point, line, rectangle, circle,
+//! polygon, text, and viewer.  Each primitive drawable has an offset, a
+//! color, and a style."
+//!
+//! The `Viewer` drawable is how wormholes are realized (§6.2): a viewer
+//! drawable names a destination canvas together with the elevation and
+//! location from which that canvas is initially seen.
+
+use std::fmt;
+
+/// An RGBA color.  Styles in the paper are left open-ended; we provide the
+/// common named colors plus `#rrggbb` hex parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color {
+    pub r: u8,
+    pub g: u8,
+    pub b: u8,
+    pub a: u8,
+}
+
+impl Color {
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Self {
+        Color { r, g, b, a: 255 }
+    }
+
+    pub const BLACK: Color = Color::rgb(0, 0, 0);
+    pub const WHITE: Color = Color::rgb(255, 255, 255);
+    pub const RED: Color = Color::rgb(220, 50, 47);
+    pub const GREEN: Color = Color::rgb(0, 153, 51);
+    pub const BLUE: Color = Color::rgb(38, 102, 204);
+    pub const YELLOW: Color = Color::rgb(230, 190, 20);
+    pub const ORANGE: Color = Color::rgb(235, 130, 20);
+    pub const PURPLE: Color = Color::rgb(130, 80, 200);
+    pub const GRAY: Color = Color::rgb(128, 128, 128);
+    pub const BROWN: Color = Color::rgb(140, 90, 40);
+    pub const CYAN: Color = Color::rgb(40, 170, 190);
+
+    /// Parse a color name (case-insensitive) or a `#rrggbb` hex triplet.
+    pub fn parse(s: &str) -> Option<Color> {
+        if let Some(hex) = s.strip_prefix('#') {
+            if hex.len() == 6 {
+                let r = u8::from_str_radix(&hex[0..2], 16).ok()?;
+                let g = u8::from_str_radix(&hex[2..4], 16).ok()?;
+                let b = u8::from_str_radix(&hex[4..6], 16).ok()?;
+                return Some(Color::rgb(r, g, b));
+            }
+            return None;
+        }
+        match s.to_ascii_lowercase().as_str() {
+            "black" => Some(Color::BLACK),
+            "white" => Some(Color::WHITE),
+            "red" => Some(Color::RED),
+            "green" => Some(Color::GREEN),
+            "blue" => Some(Color::BLUE),
+            "yellow" => Some(Color::YELLOW),
+            "orange" => Some(Color::ORANGE),
+            "purple" => Some(Color::PURPLE),
+            "gray" | "grey" => Some(Color::GRAY),
+            "brown" => Some(Color::BROWN),
+            "cyan" => Some(Color::CYAN),
+            _ => None,
+        }
+    }
+
+    /// CSS-style hex form, used by the SVG writer and by `Display`.
+    pub fn to_hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// Drawing style for a primitive drawable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Style {
+    /// Filled (true) or outlined (false) for area primitives.
+    pub filled: bool,
+    /// Stroke width in canvas pixels for outlined primitives and lines.
+    pub stroke_width: u32,
+    /// Text scale multiplier (1 = the base 5x7 bitmap font).
+    pub text_scale: u32,
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Style { filled: true, stroke_width: 1, text_scale: 1 }
+    }
+}
+
+/// Parameters of a `viewer` drawable — the wormhole mechanism of §6.2.
+///
+/// "A viewer drawable requires several parameters, including the size for
+/// the viewer, a destination canvas, the elevation from which the canvas is
+/// viewed, and the initial location."
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewerSpec {
+    /// Name of the destination canvas.
+    pub destination: String,
+    /// Elevation from which the destination canvas is initially viewed.
+    pub elevation: f64,
+    /// Initial location (x, y) on the destination canvas.
+    pub at: (f64, f64),
+    /// Size of the wormhole aperture on the source canvas (world units).
+    pub size: (f64, f64),
+}
+
+/// A primitive drawable object (§5.1).  The `offset` gives a position
+/// relative to the location attributes of the owning tuple, so multiple
+/// drawables in one display list need not be stacked atop one another.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drawable {
+    pub offset: (f64, f64),
+    pub color: Color,
+    pub style: Style,
+    pub shape: Shape,
+}
+
+/// The geometric/semantic payload of a drawable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// A single point (rendered as a small square of `stroke_width` px).
+    Point,
+    /// A line segment from the drawable position to position + (dx, dy).
+    Line { dx: f64, dy: f64 },
+    /// An axis-aligned rectangle of the given world size, centered.
+    Rect { w: f64, h: f64 },
+    /// A circle of the given world radius.
+    Circle { radius: f64 },
+    /// A closed polygon; vertices are relative to the drawable position.
+    Polygon { points: Vec<(f64, f64)> },
+    /// A text label.
+    Text { content: String },
+    /// A viewer onto another canvas — a wormhole (§6.2).
+    Viewer(ViewerSpec),
+}
+
+impl Drawable {
+    pub fn new(shape: Shape, color: Color) -> Self {
+        Drawable { offset: (0.0, 0.0), color, style: Style::default(), shape }
+    }
+
+    pub fn with_offset(mut self, dx: f64, dy: f64) -> Self {
+        self.offset = (dx, dy);
+        self
+    }
+
+    pub fn point(color: Color) -> Self {
+        Drawable::new(Shape::Point, color)
+    }
+
+    pub fn line(dx: f64, dy: f64, color: Color) -> Self {
+        Drawable::new(Shape::Line { dx, dy }, color)
+    }
+
+    pub fn rect(w: f64, h: f64, color: Color) -> Self {
+        Drawable::new(Shape::Rect { w, h }, color)
+    }
+
+    pub fn circle(radius: f64, color: Color) -> Self {
+        Drawable::new(Shape::Circle { radius }, color)
+    }
+
+    pub fn polygon(points: Vec<(f64, f64)>, color: Color) -> Self {
+        Drawable::new(Shape::Polygon { points }, color)
+    }
+
+    pub fn text(content: impl Into<String>, color: Color) -> Self {
+        Drawable::new(Shape::Text { content: content.into() }, color)
+    }
+
+    pub fn viewer(spec: ViewerSpec) -> Self {
+        Drawable::new(Shape::Viewer(spec), Color::GRAY)
+    }
+
+    /// A short tag naming the shape kind; used by elevation maps and debug
+    /// displays.
+    pub fn kind(&self) -> &'static str {
+        match self.shape {
+            Shape::Point => "point",
+            Shape::Line { .. } => "line",
+            Shape::Rect { .. } => "rect",
+            Shape::Circle { .. } => "circle",
+            Shape::Polygon { .. } => "polygon",
+            Shape::Text { .. } => "text",
+            Shape::Viewer(_) => "viewer",
+        }
+    }
+
+    /// Conservative bounding box `(min_x, min_y, max_x, max_y)` in world
+    /// units relative to the owning tuple's location (includes the offset).
+    pub fn bounds(&self) -> (f64, f64, f64, f64) {
+        let (ox, oy) = self.offset;
+        let (mut x0, mut y0, mut x1, mut y1) = match &self.shape {
+            Shape::Point => (0.0, 0.0, 0.0, 0.0),
+            Shape::Line { dx, dy } => (dx.min(0.0), dy.min(0.0), dx.max(0.0), dy.max(0.0)),
+            Shape::Rect { w, h } => (-w / 2.0, -h / 2.0, w / 2.0, h / 2.0),
+            Shape::Circle { radius } => (-radius, -radius, *radius, *radius),
+            Shape::Polygon { points } => {
+                let mut b = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+                for &(px, py) in points {
+                    b.0 = b.0.min(px);
+                    b.1 = b.1.min(py);
+                    b.2 = b.2.max(px);
+                    b.3 = b.3.max(py);
+                }
+                if points.is_empty() {
+                    (0.0, 0.0, 0.0, 0.0)
+                } else {
+                    b
+                }
+            }
+            // Text extent in world units is elevation-dependent; report a
+            // zero-size box anchored at the position.  The renderer computes
+            // the true pixel extent.
+            Shape::Text { .. } => (0.0, 0.0, 0.0, 0.0),
+            Shape::Viewer(spec) => {
+                (-spec.size.0 / 2.0, -spec.size.1 / 2.0, spec.size.0 / 2.0, spec.size.1 / 2.0)
+            }
+        };
+        x0 += ox;
+        y0 += oy;
+        x1 += ox;
+        y1 += oy;
+        (x0, y0, x1, y1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_parse_names_and_hex() {
+        assert_eq!(Color::parse("red"), Some(Color::RED));
+        assert_eq!(Color::parse("Grey"), Some(Color::GRAY));
+        assert_eq!(Color::parse("#102030"), Some(Color::rgb(0x10, 0x20, 0x30)));
+        assert_eq!(Color::parse("#1020"), None);
+        assert_eq!(Color::parse("no-such-color"), None);
+    }
+
+    #[test]
+    fn color_hex_roundtrip() {
+        let c = Color::rgb(1, 2, 3);
+        assert_eq!(Color::parse(&c.to_hex()), Some(c));
+    }
+
+    #[test]
+    fn drawable_bounds_include_offset() {
+        let d = Drawable::circle(2.0, Color::RED).with_offset(10.0, -1.0);
+        assert_eq!(d.bounds(), (8.0, -3.0, 12.0, 1.0));
+    }
+
+    #[test]
+    fn polygon_bounds() {
+        let d = Drawable::polygon(vec![(0.0, 0.0), (4.0, 1.0), (2.0, -2.0)], Color::BLUE);
+        assert_eq!(d.bounds(), (0.0, -2.0, 4.0, 1.0));
+    }
+
+    #[test]
+    fn empty_polygon_bounds_are_degenerate() {
+        let d = Drawable::polygon(vec![], Color::BLUE);
+        assert_eq!(d.bounds(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn viewer_drawable_kind() {
+        let v = Drawable::viewer(ViewerSpec {
+            destination: "temps".into(),
+            elevation: 100.0,
+            at: (0.0, 0.0),
+            size: (10.0, 8.0),
+        });
+        assert_eq!(v.kind(), "viewer");
+        assert_eq!(v.bounds(), (-5.0, -4.0, 5.0, 4.0));
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type shared by the lexer, parser, type checker and evaluator.
+
+use std::fmt;
+
+/// An error arising anywhere in the expression pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprError {
+    /// Lexical error: unexpected character or malformed literal.
+    Lex { pos: usize, msg: String },
+    /// Syntax error with the position (byte offset) it was detected at.
+    Parse { pos: usize, msg: String },
+    /// Static type error.
+    Type(String),
+    /// Reference to an attribute not present in the schema/tuple.
+    UnknownAttribute(String),
+    /// Call of a function that does not exist.
+    UnknownFunction(String),
+    /// Runtime evaluation error (division by zero, bad cast, ...).
+    Eval(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Lex { pos, msg } => write!(f, "lex error at {pos}: {msg}"),
+            ExprError::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            ExprError::Type(msg) => write!(f, "type error: {msg}"),
+            ExprError::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
+            ExprError::UnknownFunction(name) => write!(f, "unknown function: {name}"),
+            ExprError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}

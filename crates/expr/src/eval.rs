@@ -1,0 +1,326 @@
+//! The evaluator.
+//!
+//! Evaluation is defined over a [`Context`] — anything that can resolve an
+//! attribute name to a value.  The relational layer implements `Context`
+//! for a tuple joined with its relation's computed-attribute methods, which
+//! is how the paper's "R knows how to display itself" (§2) is realized.
+
+use crate::ast::{BinOp, Expr, UnaryOp};
+use crate::builtins::{builtin_eval, combine_values};
+use crate::error::ExprError;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// Attribute resolution during evaluation.
+pub trait Context {
+    /// Resolve attribute `name`, or `None` if it does not exist.
+    fn get(&self, name: &str) -> Option<Value>;
+}
+
+/// A simple map-backed context, used in tests and for scalar parameters.
+#[derive(Debug, Default, Clone)]
+pub struct MapContext(pub BTreeMap<String, Value>);
+
+impl MapContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with(mut self, name: impl Into<String>, v: Value) -> Self {
+        self.0.insert(name.into(), v);
+        self
+    }
+}
+
+impl Context for MapContext {
+    fn get(&self, name: &str) -> Option<Value> {
+        self.0.get(name).cloned()
+    }
+}
+
+fn arith(op: BinOp, l: Value, r: Value) -> Result<Value, ExprError> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // Integer-preserving fast path.
+    if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+        let (a, b) = (*a, *b);
+        return match op {
+            BinOp::Add => Ok(Value::Int(a.wrapping_add(b))),
+            BinOp::Sub => Ok(Value::Int(a.wrapping_sub(b))),
+            BinOp::Mul => Ok(Value::Int(a.wrapping_mul(b))),
+            BinOp::Div => {
+                if b == 0 {
+                    Err(ExprError::Eval("division by zero".into()))
+                } else {
+                    Ok(Value::Int(a.wrapping_div(b)))
+                }
+            }
+            BinOp::Mod => {
+                if b == 0 {
+                    Err(ExprError::Eval("modulo by zero".into()))
+                } else {
+                    Ok(Value::Int(a.wrapping_rem(b)))
+                }
+            }
+            _ => unreachable!("non-arithmetic op in arith"),
+        };
+    }
+    // Timestamp arithmetic.
+    if let Value::Timestamp(t) = l {
+        if let Some(d) = r.as_f64() {
+            return match (op, &r) {
+                (BinOp::Sub, Value::Timestamp(u)) => Ok(Value::Int(t - u)),
+                (BinOp::Add, _) => Ok(Value::Timestamp(t + d as i64)),
+                (BinOp::Sub, _) => Ok(Value::Timestamp(t - d as i64)),
+                _ => Err(ExprError::Eval("invalid timestamp arithmetic".into())),
+            };
+        }
+    }
+    if let Value::Timestamp(t) = r {
+        if matches!(op, BinOp::Add) {
+            if let Some(d) = l.as_f64() {
+                return Ok(Value::Timestamp(t + d as i64));
+            }
+        }
+    }
+    let a = l.as_f64().ok_or_else(|| ExprError::Eval(format!("expected number, got {l}")))?;
+    let b = r.as_f64().ok_or_else(|| ExprError::Eval(format!("expected number, got {r}")))?;
+    let x = match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == 0.0 {
+                return Err(ExprError::Eval("division by zero".into()));
+            }
+            a / b
+        }
+        BinOp::Mod => {
+            if b == 0.0 {
+                return Err(ExprError::Eval("modulo by zero".into()));
+            }
+            a % b
+        }
+        _ => unreachable!("non-arithmetic op in arith"),
+    };
+    Ok(Value::Float(x))
+}
+
+fn compare(op: BinOp, l: &Value, r: &Value) -> Result<Value, ExprError> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    let ord = l.total_cmp(r);
+    let b = match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::Ne => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::Le => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::Ge => ord != Ordering::Less,
+        _ => unreachable!("non-comparison op in compare"),
+    };
+    Ok(Value::Bool(b))
+}
+
+/// Evaluate `expr` in `ctx`.
+///
+/// Null semantics follow SQL: Null propagates through arithmetic,
+/// comparison and most functions; `AND`/`OR` use three-valued logic with
+/// short-circuiting; an `if` whose condition is Null takes the else branch.
+pub fn eval(expr: &Expr, ctx: &dyn Context) -> Result<Value, ExprError> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Attr(name) => ctx.get(name).ok_or_else(|| ExprError::UnknownAttribute(name.clone())),
+        Expr::Unary(UnaryOp::Neg, e) => {
+            let v = eval(e, ctx)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(x) => Ok(Value::Float(-x)),
+                other => Err(ExprError::Eval(format!("cannot negate {other}"))),
+            }
+        }
+        Expr::Unary(UnaryOp::Not, e) => {
+            let v = eval(e, ctx)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(ExprError::Eval(format!("cannot apply NOT to {other}"))),
+            }
+        }
+        Expr::Binary(op, l, r) => match op {
+            BinOp::And => {
+                let lv = eval(l, ctx)?;
+                match lv {
+                    Value::Bool(false) => Ok(Value::Bool(false)),
+                    Value::Bool(true) => eval(r, ctx),
+                    Value::Null => match eval(r, ctx)? {
+                        Value::Bool(false) => Ok(Value::Bool(false)),
+                        _ => Ok(Value::Null),
+                    },
+                    other => Err(ExprError::Eval(format!("AND on non-boolean {other}"))),
+                }
+            }
+            BinOp::Or => {
+                let lv = eval(l, ctx)?;
+                match lv {
+                    Value::Bool(true) => Ok(Value::Bool(true)),
+                    Value::Bool(false) => eval(r, ctx),
+                    Value::Null => match eval(r, ctx)? {
+                        Value::Bool(true) => Ok(Value::Bool(true)),
+                        _ => Ok(Value::Null),
+                    },
+                    other => Err(ExprError::Eval(format!("OR on non-boolean {other}"))),
+                }
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let lv = eval(l, ctx)?;
+                let rv = eval(r, ctx)?;
+                compare(*op, &lv, &rv)
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                let lv = eval(l, ctx)?;
+                let rv = eval(r, ctx)?;
+                arith(*op, lv, rv)
+            }
+            BinOp::Concat => {
+                let lv = eval(l, ctx)?;
+                let rv = eval(r, ctx)?;
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Value::Null);
+                }
+                match (lv, rv) {
+                    (Value::Text(a), Value::Text(b)) => Ok(Value::Text(a + &b)),
+                    (a, b) => Err(ExprError::Eval(format!("'||' on ({a}, {b})"))),
+                }
+            }
+            BinOp::Combine => {
+                let lv = eval(l, ctx)?;
+                let rv = eval(r, ctx)?;
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Value::Null);
+                }
+                combine_values(lv, rv)
+            }
+        },
+        Expr::Call(name, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, ctx)?);
+            }
+            builtin_eval(name, vals)
+        }
+        Expr::If(c, t, e) => match eval(c, ctx)? {
+            Value::Bool(true) => eval(t, ctx),
+            Value::Bool(false) | Value::Null => eval(e, ctx),
+            other => Err(ExprError::Eval(format!("if condition is {other}"))),
+        },
+    }
+}
+
+/// Evaluate an expression that must produce a boolean predicate result.
+/// Null counts as "no" — SQL WHERE semantics.
+pub fn eval_predicate(expr: &Expr, ctx: &dyn Context) -> Result<bool, ExprError> {
+    match eval(expr, ctx)? {
+        Value::Bool(b) => Ok(b),
+        Value::Null => Ok(false),
+        other => Err(ExprError::Eval(format!("predicate evaluated to {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ctx() -> MapContext {
+        MapContext::new()
+            .with("state", Value::Text("LA".into()))
+            .with("altitude", Value::Float(120.0))
+            .with("id", Value::Int(7))
+            .with("missing", Value::Null)
+    }
+
+    fn ev(src: &str) -> Result<Value, ExprError> {
+        eval(&parse(src).unwrap(), &ctx())
+    }
+
+    #[test]
+    fn eval_predicate_example() {
+        assert_eq!(ev("state = 'LA' AND altitude > 100").unwrap(), Value::Bool(true));
+        assert_eq!(ev("state = 'TX' OR altitude < 100").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn eval_arith() {
+        assert_eq!(ev("id * 2 + 1").unwrap(), Value::Int(15));
+        assert_eq!(ev("7 / 2").unwrap(), Value::Int(3));
+        assert_eq!(ev("7.0 / 2").unwrap(), Value::Float(3.5));
+        assert_eq!(ev("7 % 3").unwrap(), Value::Int(1));
+        assert!(ev("1 / 0").is_err());
+        assert!(ev("1.0 % 0.0").is_err());
+    }
+
+    #[test]
+    fn eval_null_three_valued_logic() {
+        assert_eq!(ev("missing = 1").unwrap(), Value::Null);
+        assert_eq!(ev("missing = 1 AND FALSE").unwrap(), Value::Bool(false));
+        assert_eq!(ev("missing = 1 OR TRUE").unwrap(), Value::Bool(true));
+        assert_eq!(ev("missing = 1 OR FALSE").unwrap(), Value::Null);
+        assert_eq!(ev("NOT (missing = 1)").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn eval_predicate_null_is_false() {
+        let e = parse("missing > 0").unwrap();
+        assert!(!eval_predicate(&e, &ctx()).unwrap());
+    }
+
+    #[test]
+    fn short_circuit_avoids_errors() {
+        // Division by zero on the right of a short-circuiting AND whose
+        // left is false must not error.
+        assert_eq!(ev("FALSE AND 1 / 0 = 1").unwrap(), Value::Bool(false));
+        assert_eq!(ev("TRUE OR 1 / 0 = 1").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn eval_if_with_null_condition() {
+        assert_eq!(ev("if missing > 0 then 'a' else 'b' end").unwrap(), Value::Text("b".into()));
+    }
+
+    #[test]
+    fn eval_text_concat() {
+        assert_eq!(ev("state || '-' || to_text(id)").unwrap(), Value::Text("LA-7".into()));
+        assert_eq!(ev("state || missing").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn eval_display_list() {
+        let v = ev("circle(3.0, 'red') ++ offset(text(state, 'black'), 0.0, -4.0)").unwrap();
+        match v {
+            Value::DrawList(ds) => {
+                assert_eq!(ds.len(), 2);
+                assert_eq!(ds[0].kind(), "circle");
+                assert_eq!(ds[1].kind(), "text");
+                assert_eq!(ds[1].offset, (0.0, -4.0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn timestamp_arith() {
+        let c = MapContext::new().with("t", Value::Timestamp(1000));
+        assert_eq!(eval(&parse("t + 500").unwrap(), &c).unwrap(), Value::Timestamp(1500));
+        assert_eq!(eval(&parse("t - t").unwrap(), &c).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn unknown_attribute_is_error() {
+        assert!(matches!(ev("nope + 1"), Err(ExprError::UnknownAttribute(_))));
+    }
+}

@@ -1,0 +1,337 @@
+//! Hand-rolled lexer for the expression language.
+
+use crate::error::ExprError;
+
+/// A lexical token with its byte position in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Int(i64),
+    Float(f64),
+    /// Single-quoted string literal with `''` escaping.
+    Str(String),
+    /// Identifier (attribute or function name).  Keywords are recognized
+    /// case-insensitively and returned as dedicated kinds.
+    Ident(String),
+    // Keywords
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    Null,
+    If,
+    Then,
+    Else,
+    End,
+    // Punctuation / operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Concat,   // ||
+    PlusPlus, // ++ draw-list combine
+    Eq,       // =
+    Ne,       // <> or !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LParen,
+    RParen,
+    Comma,
+    Eof,
+}
+
+/// Tokenize `src`; the final token is always `Eof`.
+pub fn lex(src: &str) -> Result<Vec<Token>, ExprError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                toks.push(Token { kind: TokenKind::LParen, pos: start });
+                i += 1;
+            }
+            ')' => {
+                toks.push(Token { kind: TokenKind::RParen, pos: start });
+                i += 1;
+            }
+            ',' => {
+                toks.push(Token { kind: TokenKind::Comma, pos: start });
+                i += 1;
+            }
+            '*' => {
+                toks.push(Token { kind: TokenKind::Star, pos: start });
+                i += 1;
+            }
+            '/' => {
+                toks.push(Token { kind: TokenKind::Slash, pos: start });
+                i += 1;
+            }
+            '%' => {
+                toks.push(Token { kind: TokenKind::Percent, pos: start });
+                i += 1;
+            }
+            '-' => {
+                toks.push(Token { kind: TokenKind::Minus, pos: start });
+                i += 1;
+            }
+            '+' => {
+                if bytes.get(i + 1) == Some(&b'+') {
+                    toks.push(Token { kind: TokenKind::PlusPlus, pos: start });
+                    i += 2;
+                } else {
+                    toks.push(Token { kind: TokenKind::Plus, pos: start });
+                    i += 1;
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    toks.push(Token { kind: TokenKind::Concat, pos: start });
+                    i += 2;
+                } else {
+                    return Err(ExprError::Lex { pos: start, msg: "expected '||'".into() });
+                }
+            }
+            '=' => {
+                toks.push(Token { kind: TokenKind::Eq, pos: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Token { kind: TokenKind::Ne, pos: start });
+                    i += 2;
+                } else {
+                    return Err(ExprError::Lex { pos: start, msg: "expected '!='".into() });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    toks.push(Token { kind: TokenKind::Le, pos: start });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    toks.push(Token { kind: TokenKind::Ne, pos: start });
+                    i += 2;
+                }
+                _ => {
+                    toks.push(Token { kind: TokenKind::Lt, pos: start });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Token { kind: TokenKind::Ge, pos: start });
+                    i += 2;
+                } else {
+                    toks.push(Token { kind: TokenKind::Gt, pos: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ExprError::Lex {
+                                pos: start,
+                                msg: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Advance by one UTF-8 char.
+                            let ch = src[i..].chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                toks.push(Token { kind: TokenKind::Str(s), pos: start });
+            }
+            '0'..='9' | '.' => {
+                let mut j = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_ascii_digit() {
+                        j += 1;
+                    } else if b == '.' && !seen_dot && !seen_exp {
+                        seen_dot = true;
+                        j += 1;
+                    } else if (b == 'e' || b == 'E')
+                        && !seen_exp
+                        && j > i
+                        && bytes
+                            .get(j + 1)
+                            .is_some_and(|&n| n.is_ascii_digit() || n == b'+' || n == b'-')
+                    {
+                        seen_exp = true;
+                        j += 1;
+                        if bytes[j] == b'+' || bytes[j] == b'-' {
+                            j += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[i..j];
+                if text == "." {
+                    return Err(ExprError::Lex { pos: start, msg: "unexpected '.'".into() });
+                }
+                let kind = if seen_dot || seen_exp {
+                    TokenKind::Float(text.parse().map_err(|_| ExprError::Lex {
+                        pos: start,
+                        msg: format!("bad float literal '{text}'"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| ExprError::Lex {
+                        pos: start,
+                        msg: format!("integer literal '{text}' out of range"),
+                    })?)
+                };
+                toks.push(Token { kind, pos: start });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[i..j];
+                let kind = match word.to_ascii_lowercase().as_str() {
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "not" => TokenKind::Not,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "null" => TokenKind::Null,
+                    "if" => TokenKind::If,
+                    "then" => TokenKind::Then,
+                    "else" => TokenKind::Else,
+                    "end" => TokenKind::End,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                toks.push(Token { kind, pos: start });
+                i = j;
+            }
+            other => {
+                return Err(ExprError::Lex {
+                    pos: start,
+                    msg: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    toks.push(Token { kind: TokenKind::Eof, pos: src.len() });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_predicate() {
+        assert_eq!(
+            kinds("state = 'LA' AND altitude > 100"),
+            vec![
+                TokenKind::Ident("state".into()),
+                TokenKind::Eq,
+                TokenKind::Str("LA".into()),
+                TokenKind::And,
+                TokenKind::Ident("altitude".into()),
+                TokenKind::Gt,
+                TokenKind::Int(100),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            kinds("1 2.5 .5 1e3 2.5E-2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(0.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            kinds("+ ++ || <> != <= >= < >"),
+            vec![
+                TokenKind::Plus,
+                TokenKind::PlusPlus,
+                TokenKind::Concat,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_string_escapes() {
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("#").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("If THEN eLsE end")[..4].to_vec(),
+            vec![TokenKind::If, TokenKind::Then, TokenKind::Else, TokenKind::End]
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! # tioga2-expr
+//!
+//! The value model and expression language underlying Tioga-2.
+//!
+//! In the Tioga-2 paper (Aiken, Chen, Stonebraker, Woodruff, ICDE 1996),
+//! visualizations are defined *tuple-wise* by **computed attributes**:
+//! every displayable relation carries method-defined *location attributes*
+//! (floating point positions in n-space) and *display attributes* (lists of
+//! primitive drawables).  Section 5.3 of the paper states that attribute
+//! definitions "may be given in a general query language".  This crate is
+//! that language: a small, SQL-flavoured, statically typed expression
+//! language whose value model includes the paper's primitive drawables
+//! (point, line, rectangle, circle, polygon, text and viewer — the last
+//! implementing wormholes).
+//!
+//! The crate provides:
+//!
+//! * [`Value`] / [`ScalarType`] — the runtime values and their types,
+//! * [`Drawable`] and friends — the primitive drawable objects of §5.1,
+//! * [`Expr`] — the expression AST,
+//! * [`parse`] — a recursive-descent parser for the surface syntax,
+//! * [`typecheck()`] — static type inference against a tuple schema,
+//! * [`eval()`] — the evaluator, and
+//! * a builtin function library (arithmetic, strings, time, drawable
+//!   constructors, draw-list combinators).
+//!
+//! The surface syntax is deliberately close to a SQL scalar expression:
+//!
+//! ```text
+//! state = 'LA' AND altitude > 100.0
+//! circle(3.0, 'red') ++ offset(text(name, 'black'), 0.0, -4.0)
+//! if temperature > 30.0 then 'hot' else 'mild' end
+//! ```
+
+pub mod ast;
+pub mod builtins;
+pub mod drawable;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod typecheck;
+pub mod value;
+
+pub use ast::{BinOp, Expr, UnaryOp};
+pub use drawable::{Color, Drawable, Shape, Style, ViewerSpec};
+pub use error::ExprError;
+pub use eval::{eval, eval_predicate, Context, MapContext};
+pub use parser::parse;
+pub use typecheck::{typecheck, TypeEnv};
+pub use value::{format_timestamp, timestamp_from_parts, timestamp_parts, ScalarType, Value};
+
+/// Convenience: parse, typecheck and return the expression together with its
+/// inferred type.
+pub fn compile(src: &str, env: &TypeEnv) -> Result<(Expr, ScalarType), ExprError> {
+    let expr = parse(src)?;
+    let ty = typecheck(&expr, env)?;
+    Ok((expr, ty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_simple_predicate() {
+        let mut env = TypeEnv::new();
+        env.insert("state".into(), ScalarType::Text);
+        env.insert("altitude".into(), ScalarType::Float);
+        let (_, ty) = compile("state = 'LA' AND altitude > 100.0", &env).unwrap();
+        assert_eq!(ty, ScalarType::Bool);
+    }
+
+    #[test]
+    fn compile_display_expression() {
+        let mut env = TypeEnv::new();
+        env.insert("name".into(), ScalarType::Text);
+        let (_, ty) =
+            compile("circle(3.0, 'red') ++ offset(text(name, 'black'), 0.0, -4.0)", &env).unwrap();
+        assert_eq!(ty, ScalarType::DrawList);
+    }
+}

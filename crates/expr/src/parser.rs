@@ -1,0 +1,322 @@
+//! Recursive-descent / precedence-climbing parser for the expression
+//! language.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! expr    := or
+//! or      := and (OR and)*
+//! and     := cmp (AND cmp)*
+//! cmp     := add ((= | <> | != | < | <= | > | >=) add)?
+//! add     := mul ((+ | - | '||' | '++') mul)*
+//! mul     := unary ((* | / | %) unary)*
+//! unary   := (- | NOT) unary | primary
+//! primary := literal | ident | ident '(' args ')' | '(' expr ')'
+//!          | IF expr THEN expr ELSE expr END
+//! ```
+
+use crate::ast::{BinOp, Expr, UnaryOp};
+use crate::error::ExprError;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::value::Value;
+
+/// Parse a complete expression; trailing input is an error.
+///
+/// ```
+/// use tioga2_expr::{parse, eval, MapContext, Value};
+///
+/// let pred = parse("altitude > 100.0 AND state = 'LA'").unwrap();
+/// let ctx = MapContext::new()
+///     .with("altitude", Value::Float(120.0))
+///     .with("state", Value::Text("LA".into()));
+/// assert_eq!(eval(&pred, &ctx).unwrap(), Value::Bool(true));
+/// ```
+pub fn parse(src: &str) -> Result<Expr, ExprError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.i].kind
+    }
+
+    fn pos(&self) -> usize {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.i].kind.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), ExprError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(ExprError::Parse {
+                pos: self.pos(),
+                msg: format!("expected {what}, found {:?}", self.peek()),
+            })
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ExprError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(ExprError::Parse {
+                pos: self.pos(),
+                msg: format!("unexpected trailing input: {:?}", self.peek()),
+            })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ExprError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ExprError> {
+        let mut l = self.and_expr()?;
+        while self.eat(&TokenKind::Or) {
+            let r = self.and_expr()?;
+            l = Expr::bin(BinOp::Or, l, r);
+        }
+        Ok(l)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ExprError> {
+        let mut l = self.cmp_expr()?;
+        while self.eat(&TokenKind::And) {
+            let r = self.cmp_expr()?;
+            l = Expr::bin(BinOp::And, l, r);
+        }
+        Ok(l)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ExprError> {
+        let l = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::Ne => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let r = self.add_expr()?;
+            Ok(Expr::bin(op, l, r))
+        } else {
+            Ok(l)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ExprError> {
+        let mut l = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Concat => BinOp::Concat,
+                TokenKind::PlusPlus => BinOp::Combine,
+                _ => break,
+            };
+            self.bump();
+            let r = self.mul_expr()?;
+            l = Expr::bin(op, l, r);
+        }
+        Ok(l)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ExprError> {
+        let mut l = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let r = self.unary_expr()?;
+            l = Expr::bin(op, l, r);
+        }
+        Ok(l)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ExprError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                // Fold negation of numeric literals so `-1` prints as `-1`.
+                Ok(match e {
+                    Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+                    Expr::Literal(Value::Float(x)) => Expr::Literal(Value::Float(-x)),
+                    other => Expr::Unary(UnaryOp::Neg, Box::new(other)),
+                })
+            }
+            TokenKind::Not => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnaryOp::Not, Box::new(e)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ExprError> {
+        let pos = self.pos();
+        match self.bump() {
+            TokenKind::Int(i) => Ok(Expr::Literal(Value::Int(i))),
+            TokenKind::Float(x) => Ok(Expr::Literal(Value::Float(x))),
+            TokenKind::Str(s) => Ok(Expr::Literal(Value::Text(s))),
+            TokenKind::True => Ok(Expr::Literal(Value::Bool(true))),
+            TokenKind::False => Ok(Expr::Literal(Value::Bool(false))),
+            TokenKind::Null => Ok(Expr::Literal(Value::Null)),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            TokenKind::If => {
+                let c = self.expr()?;
+                self.expect(TokenKind::Then, "'then'")?;
+                let t = self.expr()?;
+                self.expect(TokenKind::Else, "'else'")?;
+                let e = self.expr()?;
+                self.expect(TokenKind::End, "'end'")?;
+                Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e)))
+            }
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(TokenKind::Comma, "',' or ')'")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Attr(name))
+                }
+            }
+            other => Err(ExprError::Parse { pos, msg: format!("unexpected token {other:?}") }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_precedence() {
+        let e = parse("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+        let e = parse("(1 + 2) * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+    }
+
+    #[test]
+    fn parse_boolean_structure() {
+        let e = parse("a = 1 OR b = 2 AND c = 3").unwrap();
+        // AND binds tighter than OR.
+        match e {
+            Expr::Binary(BinOp::Or, _, r) => {
+                assert!(matches!(*r, Expr::Binary(BinOp::And, _, _)));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_function_calls() {
+        let e = parse("circle(3.0, 'red') ++ text(name, 'black')").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Combine, _, _)));
+    }
+
+    #[test]
+    fn parse_if() {
+        let e = parse("if x > 0 then 'pos' else 'neg' end").unwrap();
+        assert!(matches!(e, Expr::If(_, _, _)));
+    }
+
+    #[test]
+    fn parse_negative_literal_folds() {
+        assert_eq!(parse("-3").unwrap(), Expr::lit_int(-3));
+        assert_eq!(parse("-3.5").unwrap(), Expr::lit_float(-3.5));
+        assert!(matches!(parse("-x").unwrap(), Expr::Unary(UnaryOp::Neg, _)));
+    }
+
+    #[test]
+    fn parse_not() {
+        let e = parse("NOT a AND b").unwrap();
+        // NOT binds tighter than AND.
+        match e {
+            Expr::Binary(BinOp::And, l, _) => {
+                assert!(matches!(*l, Expr::Unary(UnaryOp::Not, _)));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_empty_arg_list() {
+        assert_eq!(parse("seq()").unwrap(), Expr::call("seq", vec![]));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("1 +").is_err());
+        assert!(parse("f(1,").is_err());
+        assert!(parse("(1").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("if a then b end").is_err());
+    }
+
+    #[test]
+    fn roundtrip_examples() {
+        for src in [
+            "state = 'LA' AND altitude > 100",
+            "circle(3.0, 'red') ++ offset(text(name, 'black'), 0.0, -4.0)",
+            "if temperature > 30.0 then 'hot' else 'mild' end",
+            "a || b || 'x'",
+            "-x * (y + 2) % 7",
+            "NOT (a OR b)",
+        ] {
+            let e1 = parse(src).unwrap();
+            let printed = e1.to_string();
+            let e2 = parse(&printed).unwrap();
+            assert_eq!(e1, e2, "roundtrip failed for {src} -> {printed}");
+        }
+    }
+}

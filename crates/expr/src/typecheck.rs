@@ -1,0 +1,221 @@
+//! Static type inference for expressions against a tuple schema.
+//!
+//! Tioga-2 checks types at program-edit time: connecting an output to an
+//! input of incompatible type "is a type error" (§2), and the same
+//! discipline applies to attribute definitions — an `Add Attribute`
+//! definition is rejected before it ever runs.
+
+use crate::ast::{BinOp, Expr, UnaryOp};
+use crate::builtins::builtin_type;
+use crate::error::ExprError;
+use crate::value::ScalarType;
+use std::collections::BTreeMap;
+
+/// Maps attribute names to their types.  `BTreeMap` keeps error messages
+/// and iteration deterministic.
+pub type TypeEnv = BTreeMap<String, ScalarType>;
+
+use ScalarType as T;
+
+/// Least numeric supertype for arithmetic.
+fn join_numeric(op: BinOp, l: &T, r: &T) -> Result<T, ExprError> {
+    match (l, r) {
+        (T::Int, T::Int) => Ok(T::Int),
+        // Timestamp arithmetic: t ± seconds, t - t.
+        (T::Timestamp, T::Int) | (T::Timestamp, T::Float)
+            if matches!(op, BinOp::Add | BinOp::Sub) =>
+        {
+            Ok(T::Timestamp)
+        }
+        (T::Int, T::Timestamp) | (T::Float, T::Timestamp) if matches!(op, BinOp::Add) => {
+            Ok(T::Timestamp)
+        }
+        (T::Timestamp, T::Timestamp) if matches!(op, BinOp::Sub) => Ok(T::Int),
+        (a, b) if a.is_numeric() && b.is_numeric() && *a != T::Timestamp && *b != T::Timestamp => {
+            Ok(T::Float)
+        }
+        _ => Err(ExprError::Type(format!("operator {} is not defined on ({l}, {r})", op.symbol()))),
+    }
+}
+
+/// True when values of `l` and `r` may be compared with =, <, ...
+fn comparable(l: &T, r: &T) -> bool {
+    if l == r {
+        return !matches!(l, T::Drawable | T::DrawList);
+    }
+    l.is_numeric() && r.is_numeric()
+}
+
+/// Infer the type of `expr` in `env`.
+pub fn typecheck(expr: &Expr, env: &TypeEnv) -> Result<ScalarType, ExprError> {
+    match expr {
+        Expr::Literal(v) => v
+            .scalar_type()
+            // NULL has no intrinsic type; treat as Text for inference
+            // purposes (comparisons with NULL are always allowed at
+            // runtime via null propagation).  A dedicated bottom type
+            // would complicate the little language for no paper-visible
+            // gain.
+            .map_or(Ok(T::Text), Ok),
+        Expr::Attr(name) => {
+            env.get(name).cloned().ok_or_else(|| ExprError::UnknownAttribute(name.clone()))
+        }
+        Expr::Unary(UnaryOp::Neg, e) => {
+            let t = typecheck(e, env)?;
+            if t.is_numeric() && t != T::Timestamp {
+                Ok(t)
+            } else {
+                Err(ExprError::Type(format!("unary '-' is not defined on {t}")))
+            }
+        }
+        Expr::Unary(UnaryOp::Not, e) => {
+            let t = typecheck(e, env)?;
+            if t == T::Bool {
+                Ok(T::Bool)
+            } else {
+                Err(ExprError::Type(format!("NOT is not defined on {t}")))
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let lt = typecheck(l, env)?;
+            let rt = typecheck(r, env)?;
+            match op {
+                BinOp::And | BinOp::Or => {
+                    if lt == T::Bool && rt == T::Bool {
+                        Ok(T::Bool)
+                    } else {
+                        Err(ExprError::Type(format!(
+                            "{} requires booleans, got ({lt}, {rt})",
+                            op.symbol()
+                        )))
+                    }
+                }
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    if comparable(&lt, &rt) {
+                        Ok(T::Bool)
+                    } else {
+                        Err(ExprError::Type(format!("cannot compare {lt} with {rt}")))
+                    }
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                    join_numeric(*op, &lt, &rt)
+                }
+                BinOp::Concat => {
+                    if lt == T::Text && rt == T::Text {
+                        Ok(T::Text)
+                    } else {
+                        Err(ExprError::Type(format!(
+                            "'||' requires text operands, got ({lt}, {rt})"
+                        )))
+                    }
+                }
+                BinOp::Combine => {
+                    let dl = |t: &T| matches!(t, T::Drawable | T::DrawList);
+                    if dl(&lt) && dl(&rt) {
+                        Ok(T::DrawList)
+                    } else {
+                        Err(ExprError::Type(format!(
+                            "'++' requires drawable operands, got ({lt}, {rt})"
+                        )))
+                    }
+                }
+            }
+        }
+        Expr::Call(name, args) => {
+            let mut arg_types = Vec::with_capacity(args.len());
+            for a in args {
+                arg_types.push(typecheck(a, env)?);
+            }
+            builtin_type(name, &arg_types)
+        }
+        Expr::If(c, t, e) => {
+            let ct = typecheck(c, env)?;
+            if ct != T::Bool {
+                return Err(ExprError::Type(format!("if condition must be bool, got {ct}")));
+            }
+            let tt = typecheck(t, env)?;
+            let et = typecheck(e, env)?;
+            if tt == et {
+                Ok(tt)
+            } else if tt.is_numeric() && et.is_numeric() && tt != T::Timestamp && et != T::Timestamp
+            {
+                Ok(T::Float)
+            } else if matches!(tt, T::Drawable | T::DrawList)
+                && matches!(et, T::Drawable | T::DrawList)
+            {
+                Ok(T::DrawList)
+            } else {
+                Err(ExprError::Type(format!("if branches have incompatible types {tt} and {et}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn env() -> TypeEnv {
+        let mut e = TypeEnv::new();
+        e.insert("state".into(), T::Text);
+        e.insert("altitude".into(), T::Float);
+        e.insert("id".into(), T::Int);
+        e.insert("when".into(), T::Timestamp);
+        e.insert("ok".into(), T::Bool);
+        e
+    }
+
+    fn ty(src: &str) -> Result<T, ExprError> {
+        typecheck(&parse(src).unwrap(), &env())
+    }
+
+    #[test]
+    fn predicates_are_bool() {
+        assert_eq!(ty("state = 'LA' AND altitude > 100").unwrap(), T::Bool);
+        assert_eq!(ty("NOT ok OR id <> 3").unwrap(), T::Bool);
+    }
+
+    #[test]
+    fn arithmetic_types() {
+        assert_eq!(ty("id + 1").unwrap(), T::Int);
+        assert_eq!(ty("id + 1.5").unwrap(), T::Float);
+        assert_eq!(ty("altitude * 2").unwrap(), T::Float);
+        assert_eq!(ty("when + 3600").unwrap(), T::Timestamp);
+        assert_eq!(ty("when - when").unwrap(), T::Int);
+    }
+
+    #[test]
+    fn comparison_mismatch_rejected() {
+        assert!(ty("state > 3").is_err());
+        assert!(ty("ok = 'yes'").is_err());
+    }
+
+    #[test]
+    fn drawable_expressions() {
+        assert_eq!(ty("circle(3.0, 'red')").unwrap(), T::Drawable);
+        assert_eq!(ty("circle(3.0, 'red') ++ text(state, 'black')").unwrap(), T::DrawList);
+        assert!(ty("circle(3.0, 'red') + 1").is_err());
+        assert!(ty("circle('red', 3.0)").is_err());
+    }
+
+    #[test]
+    fn if_branch_unification() {
+        assert_eq!(ty("if ok then 1 else 2 end").unwrap(), T::Int);
+        assert_eq!(ty("if ok then 1 else 2.0 end").unwrap(), T::Float);
+        assert_eq!(ty("if ok then circle(1.0,'red') else nodraw() end").unwrap(), T::DrawList);
+        assert!(ty("if ok then 1 else 'x' end").is_err());
+        assert!(ty("if id then 1 else 2 end").is_err());
+    }
+
+    #[test]
+    fn unknown_attribute_and_function() {
+        assert!(matches!(ty("no_such_col + 1"), Err(ExprError::UnknownAttribute(_))));
+        assert!(matches!(ty("no_such_fn(1)"), Err(ExprError::UnknownFunction(_))));
+    }
+
+    #[test]
+    fn comparisons_on_drawables_rejected() {
+        assert!(ty("circle(1.0,'red') = circle(1.0,'red')").is_err());
+    }
+}

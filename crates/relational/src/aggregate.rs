@@ -1,0 +1,492 @@
+//! Grouped aggregation, distinct, limit and rename.
+//!
+//! The paper assumes "a general query language" is available for
+//! attribute definitions and big-programmer boxes (§5.3, §1.2 principle
+//! 5); an object-relational engine without GROUP BY would not credibly
+//! stand in for POSTGRES.  These operators also power the dashboard
+//! examples (per-station temperature means, departmental headcounts).
+
+use crate::error::RelError;
+use crate::relation::Relation;
+use crate::schema::{Field, Schema};
+use crate::tuple::{Tuple, TupleContext};
+use std::collections::HashMap;
+use tioga2_expr::{Context, ScalarType, Value};
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<AggFunc> {
+        match s.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" | "mean" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Result type when applied to an input of type `ty`.
+    fn result_type(self, ty: &ScalarType) -> Result<ScalarType, RelError> {
+        match self {
+            AggFunc::Count => Ok(ScalarType::Int),
+            AggFunc::Sum | AggFunc::Avg => {
+                if ty.is_numeric() && *ty != ScalarType::Timestamp {
+                    Ok(if self == AggFunc::Avg { ScalarType::Float } else { ty.clone() })
+                } else {
+                    Err(RelError::Schema(format!("{} is not defined on {ty}", self.name())))
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                if matches!(ty, ScalarType::Drawable | ScalarType::DrawList) {
+                    Err(RelError::Schema(format!("{} is not defined on {ty}", self.name())))
+                } else {
+                    Ok(ty.clone())
+                }
+            }
+        }
+    }
+}
+
+/// One aggregate column specification: function, input attribute (None
+/// only for `count`), output name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub attr: Option<String>,
+    pub output: String,
+}
+
+impl AggSpec {
+    pub fn count(output: impl Into<String>) -> Self {
+        AggSpec { func: AggFunc::Count, attr: None, output: output.into() }
+    }
+
+    pub fn of(func: AggFunc, attr: impl Into<String>, output: impl Into<String>) -> Self {
+        AggSpec { func, attr: Some(attr.into()), output: output.into() }
+    }
+}
+
+struct Accumulator {
+    func: AggFunc,
+    count: i64,
+    sum: f64,
+    int_sum: i64,
+    int_exact: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Accumulator {
+    fn new(func: AggFunc) -> Self {
+        Accumulator { func, count: 0, sum: 0.0, int_sum: 0, int_exact: true, min: None, max: None }
+    }
+
+    fn push(&mut self, v: &Value) {
+        if v.is_null() {
+            // SQL semantics: NULL does not contribute (count counts rows,
+            // handled by the caller passing non-null only for count(attr)).
+            return;
+        }
+        self.count += 1;
+        if let Some(x) = v.as_f64() {
+            self.sum += x;
+            if let Value::Int(i) = v {
+                self.int_sum = self.int_sum.wrapping_add(*i);
+            } else {
+                self.int_exact = false;
+            }
+        }
+        let better_min = self.min.as_ref().is_none_or(|m| v.total_cmp(m).is_lt());
+        if better_min {
+            self.min = Some(v.clone());
+        }
+        let better_max = self.max.as_ref().is_none_or(|m| v.total_cmp(m).is_gt());
+        if better_max {
+            self.max = Some(v.clone());
+        }
+    }
+
+    fn finish(self, ty: &ScalarType) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if *ty == ScalarType::Int && self.int_exact {
+                    Value::Int(self.int_sum)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.unwrap_or(Value::Null),
+            AggFunc::Max => self.max.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Grouping key: canonical encoding mirroring the join key rules
+/// (numeric family normalized; Nulls group together, unlike join).
+fn group_key(vals: &[Value]) -> String {
+    let mut s = String::new();
+    for v in vals {
+        match v {
+            Value::Null => s.push_str("_;"),
+            other => match other.as_f64() {
+                Some(x) => s.push_str(&format!("n{x};")),
+                None => s.push_str(&format!(
+                    "{}:{};",
+                    other.scalar_type().map(|t| t.to_string()).unwrap_or_default(),
+                    other.display_text()
+                )),
+            },
+        }
+    }
+    s
+}
+
+/// GROUP BY `keys`, computing `aggs` per group.
+///
+/// Keys and aggregate inputs may be stored fields or computed
+/// attributes.  The output relation has one stored column per key (same
+/// type) followed by one per aggregate; groups appear in first-seen
+/// order.  With empty `keys` the whole relation is one group (a single
+/// output row, even for empty input — SQL semantics).
+pub fn aggregate(rel: &Relation, keys: &[&str], aggs: &[AggSpec]) -> Result<Relation, RelError> {
+    if aggs.is_empty() {
+        return Err(RelError::Schema("aggregate needs at least one aggregate column".into()));
+    }
+    // Output schema.
+    let mut fields = Vec::with_capacity(keys.len() + aggs.len());
+    for k in keys {
+        let ty = rel.attr_type(k).ok_or_else(|| RelError::UnknownAttribute(k.to_string()))?;
+        if matches!(ty, ScalarType::Drawable | ScalarType::DrawList) {
+            return Err(RelError::Schema(format!("cannot group by drawable attribute '{k}'")));
+        }
+        fields.push(Field::new(*k, ty));
+    }
+    let mut agg_in_types = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        let in_ty = match &a.attr {
+            Some(attr) => {
+                rel.attr_type(attr).ok_or_else(|| RelError::UnknownAttribute(attr.clone()))?
+            }
+            None => {
+                if a.func != AggFunc::Count {
+                    return Err(RelError::Schema(format!(
+                        "{} requires an input attribute",
+                        a.func.name()
+                    )));
+                }
+                ScalarType::Int
+            }
+        };
+        let out_ty = a.func.result_type(&in_ty)?;
+        fields.push(Field::new(&a.output, out_ty));
+        agg_in_types.push(in_ty);
+    }
+    let schema = Schema::new(fields)?;
+
+    // Group.
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, (Vec<Value>, Vec<Accumulator>)> = HashMap::new();
+    for (seq, t) in rel.tuples().iter().enumerate() {
+        let ctx = TupleContext::new(rel, t, seq);
+        let key_vals: Vec<Value> = keys.iter().map(|k| ctx.get(k).unwrap_or(Value::Null)).collect();
+        let key = group_key(&key_vals);
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (key_vals, aggs.iter().map(|a| Accumulator::new(a.func)).collect())
+        });
+        for (a, acc) in aggs.iter().zip(entry.1.iter_mut()) {
+            match &a.attr {
+                Some(attr) => acc.push(&ctx.get(attr).unwrap_or(Value::Null)),
+                None => acc.push(&Value::Int(1)),
+            }
+        }
+    }
+    // Empty input with no keys: one all-default group.
+    if groups.is_empty() && keys.is_empty() {
+        let key = group_key(&[]);
+        order.push(key.clone());
+        groups.insert(key, (vec![], aggs.iter().map(|a| Accumulator::new(a.func)).collect()));
+    }
+
+    let mut out = Relation::new(schema);
+    for key in order {
+        let (key_vals, accs) = groups.remove(&key).expect("group recorded");
+        let mut row = key_vals;
+        for (acc, ty) in accs.into_iter().zip(&agg_in_types) {
+            row.push(acc.finish(ty));
+        }
+        out.push_row(row)?;
+    }
+    Ok(out)
+}
+
+/// DISTINCT on the given attributes (all stored fields if empty),
+/// keeping the first tuple of each duplicate class.
+pub fn distinct(rel: &Relation, attrs: &[&str]) -> Result<Relation, RelError> {
+    let names: Vec<String> = if attrs.is_empty() {
+        rel.schema().names().map(str::to_string).collect()
+    } else {
+        for a in attrs {
+            if !rel.has_attr(a) {
+                return Err(RelError::UnknownAttribute(a.to_string()));
+            }
+        }
+        attrs.iter().map(|s| s.to_string()).collect()
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut kept = Vec::new();
+    for (seq, t) in rel.tuples().iter().enumerate() {
+        let ctx = TupleContext::new(rel, t, seq);
+        let vals: Vec<Value> = names.iter().map(|n| ctx.get(n).unwrap_or(Value::Null)).collect();
+        if seen.insert(group_key(&vals)) {
+            kept.push(t.clone());
+        }
+    }
+    Ok(Relation::from_parts(
+        rel.schema().clone(),
+        rel.methods().to_vec(),
+        kept,
+        rel.source().map(str::to_string),
+    ))
+}
+
+/// LIMIT/OFFSET in current tuple order.
+pub fn limit(rel: &Relation, offset: usize, count: usize) -> Relation {
+    let kept: Vec<Tuple> = rel.tuples().iter().skip(offset).take(count).cloned().collect();
+    Relation::from_parts(
+        rel.schema().clone(),
+        rel.methods().to_vec(),
+        kept,
+        rel.source().map(str::to_string),
+    )
+}
+
+/// Rename a stored field (methods referencing it are rewritten).
+pub fn rename(rel: &Relation, from: &str, to: &str) -> Result<Relation, RelError> {
+    if rel.schema().index_of(from).is_none() {
+        return Err(RelError::UnknownAttribute(from.to_string()));
+    }
+    if rel.has_attr(to) {
+        return Err(RelError::Schema(format!("attribute '{to}' already exists")));
+    }
+    let fields: Vec<Field> = rel
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| if f.name == from { Field::new(to, f.ty.clone()) } else { f.clone() })
+        .collect();
+    let schema = Schema::new(fields)?;
+    let mut out = Relation::from_parts(
+        schema,
+        rel.methods().to_vec(),
+        rel.tuples().to_vec(),
+        rel.source().map(str::to_string),
+    );
+    out.rename_in_methods(from, to);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use tioga2_expr::parse;
+    use ScalarType as T;
+
+    fn sales() -> Relation {
+        let mut b = RelationBuilder::new()
+            .field("dept", T::Text)
+            .field("amount", T::Int)
+            .field("weight", T::Float);
+        for (d, a, w) in [
+            ("east", 10, 1.5),
+            ("east", 20, 2.5),
+            ("west", 5, 0.5),
+            ("west", 7, 1.0),
+            ("west", 9, 1.5),
+            ("north", 100, 9.0),
+        ] {
+            b = b.row(vec![Value::Text(d.into()), Value::Int(a), Value::Float(w)]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn group_by_with_all_functions() {
+        let out = aggregate(
+            &sales(),
+            &["dept"],
+            &[
+                AggSpec::count("n"),
+                AggSpec::of(AggFunc::Sum, "amount", "total"),
+                AggSpec::of(AggFunc::Avg, "amount", "mean"),
+                AggSpec::of(AggFunc::Min, "amount", "lo"),
+                AggSpec::of(AggFunc::Max, "amount", "hi"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.schema().len(), 6);
+        // Groups in first-seen order: east, west, north.
+        let east = out.tuples()[0].values();
+        assert_eq!(east[0], Value::Text("east".into()));
+        assert_eq!(east[1], Value::Int(2));
+        assert_eq!(east[2], Value::Int(30));
+        assert_eq!(east[3], Value::Float(15.0));
+        assert_eq!(east[4], Value::Int(10));
+        assert_eq!(east[5], Value::Int(20));
+        let west = out.tuples()[1].values();
+        assert_eq!(west[1], Value::Int(3));
+        assert_eq!(west[2], Value::Int(21));
+    }
+
+    #[test]
+    fn global_aggregate_no_keys() {
+        let out = aggregate(&sales(), &[], &[AggSpec::of(AggFunc::Sum, "weight", "w")]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0].values()[0], Value::Float(16.0));
+        // Empty relation still yields one row.
+        let empty = RelationBuilder::new().field("x", T::Int).build().unwrap();
+        let out = aggregate(&empty, &[], &[AggSpec::count("n")]).unwrap();
+        assert_eq!(out.tuples()[0].values()[0], Value::Int(0));
+        // ... but keyed aggregation of empty input yields no groups.
+        let keyed = aggregate(&empty, &["x"], &[AggSpec::count("n")]).unwrap();
+        assert_eq!(keyed.len(), 0);
+    }
+
+    #[test]
+    fn aggregate_over_computed_attribute() {
+        let mut rel = sales();
+        rel.add_method("double", T::Int, parse("amount * 2").unwrap()).unwrap();
+        rel.add_method(
+            "band",
+            T::Text,
+            parse("if amount >= 10 then 'big' else 'small' end").unwrap(),
+        )
+        .unwrap();
+        let out = aggregate(&rel, &["band"], &[AggSpec::of(AggFunc::Sum, "double", "d")]).unwrap();
+        assert_eq!(out.len(), 2);
+        let big = out.tuples().iter().find(|t| t.values()[0] == Value::Text("big".into())).unwrap();
+        assert_eq!(big.values()[1], Value::Int(2 * (10 + 20 + 100)));
+    }
+
+    #[test]
+    fn nulls_skipped_but_grouped() {
+        let mut b = RelationBuilder::new().field("k", T::Text).field("v", T::Int);
+        b = b
+            .row(vec![Value::Null, Value::Int(1)])
+            .row(vec![Value::Null, Value::Null])
+            .row(vec![Value::Text("a".into()), Value::Int(5)]);
+        let rel = b.build().unwrap();
+        let out = aggregate(
+            &rel,
+            &["k"],
+            &[
+                AggSpec::count("rows"),
+                AggSpec::of(AggFunc::Sum, "v", "s"),
+                AggSpec::of(AggFunc::Count, "v", "nonnull"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2, "nulls form one group");
+        let nulls = out.tuples()[0].values();
+        assert_eq!(nulls[1], Value::Int(2), "count(*) counts rows");
+        assert_eq!(nulls[2], Value::Int(1), "sum skips nulls");
+        assert_eq!(nulls[3], Value::Int(1), "count(v) skips nulls");
+    }
+
+    #[test]
+    fn aggregate_type_errors() {
+        let rel = sales();
+        assert!(aggregate(&rel, &["nope"], &[AggSpec::count("n")]).is_err());
+        assert!(aggregate(&rel, &["dept"], &[]).is_err());
+        assert!(aggregate(&rel, &["dept"], &[AggSpec::of(AggFunc::Sum, "dept", "s")]).is_err());
+        assert!(aggregate(
+            &rel,
+            &["dept"],
+            &[AggSpec { func: AggFunc::Sum, attr: None, output: "s".into() }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn distinct_keeps_first() {
+        let rel = sales();
+        let d = distinct(&rel, &["dept"]).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.tuples()[0].values()[1], Value::Int(10), "first east row kept");
+        // Distinct over everything: no duplicates here, identity.
+        assert_eq!(distinct(&rel, &[]).unwrap().len(), rel.len());
+        assert!(distinct(&rel, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn distinct_numeric_family_normalizes() {
+        let mut b = RelationBuilder::new().field("x", T::Float);
+        b = b
+            .row(vec![Value::Float(2.0)])
+            .row(vec![Value::Float(2.0)])
+            .row(vec![Value::Float(3.0)]);
+        let rel = b.build().unwrap();
+        assert_eq!(distinct(&rel, &["x"]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn limit_and_offset() {
+        let rel = sales();
+        assert_eq!(limit(&rel, 0, 2).len(), 2);
+        assert_eq!(limit(&rel, 4, 10).len(), 2);
+        assert_eq!(limit(&rel, 99, 5).len(), 0);
+        assert_eq!(limit(&rel, 2, 2).tuples()[0].values()[0], Value::Text("west".into()));
+    }
+
+    #[test]
+    fn rename_rewrites_methods() {
+        let mut rel = sales();
+        rel.add_method("double", T::Int, parse("amount * 2").unwrap()).unwrap();
+        let out = rename(&rel, "amount", "revenue").unwrap();
+        assert!(out.schema().index_of("revenue").is_some());
+        assert!(out.schema().index_of("amount").is_none());
+        assert_eq!(out.attr_value(0, "double").unwrap(), Value::Int(20));
+        assert!(rename(&rel, "nope", "x").is_err());
+        assert!(rename(&rel, "amount", "dept").is_err());
+    }
+
+    #[test]
+    fn aggregate_count_functions_parse() {
+        assert_eq!(AggFunc::parse("AVG"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("mean"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("median"), None);
+        assert_eq!(AggFunc::Sum.name(), "sum");
+    }
+}

@@ -1,0 +1,126 @@
+//! The catalog: named, shared, updatable base tables.
+//!
+//! Tioga-2's **Add Table** operation (Figure 3) introduces "a box of the
+//! same name that takes no inputs and produces as output the tuples of the
+//! relation".  The catalog is where those names resolve.  Tables are
+//! behind `Arc<RwLock<...>>` so that viewers can read while the update
+//! machinery of §8 writes.
+
+use crate::error::RelError;
+use crate::relation::Relation;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Shared handle to one base table.
+pub type TableHandle = Arc<RwLock<Relation>>;
+
+/// A named collection of base tables.
+#[derive(Clone, Default)]
+pub struct Catalog {
+    tables: Arc<RwLock<BTreeMap<String, TableHandle>>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `rel` under `name`, replacing any previous table of that
+    /// name.  The relation's provenance is set to the table name so that
+    /// downstream restrict/sample/sort output stays update-traceable.
+    pub fn register(&self, name: impl Into<String>, mut rel: Relation) -> TableHandle {
+        let name = name.into();
+        rel.set_source(Some(name.clone()));
+        let handle = Arc::new(RwLock::new(rel));
+        self.tables.write().insert(name, handle.clone());
+        handle
+    }
+
+    /// Look up a table handle.
+    pub fn get(&self, name: &str) -> Result<TableHandle, RelError> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RelError::UnknownTable(name.to_string()))
+    }
+
+    /// Snapshot (clone) the current contents of a table.  Tuples are
+    /// `Arc`-shared, so this is cheap in the common case.
+    pub fn snapshot(&self, name: &str) -> Result<Relation, RelError> {
+        Ok(self.get(name)?.read().clone())
+    }
+
+    /// Names of all registered tables, sorted — this backs the paper's
+    /// "menu of all tables available" in the menu bar (§3).
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    pub fn remove(&self, name: &str) -> bool {
+        self.tables.write().remove(name).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use tioga2_expr::{ScalarType as T, Value};
+
+    fn small() -> Relation {
+        RelationBuilder::new().field("a", T::Int).row(vec![Value::Int(1)]).build().unwrap()
+    }
+
+    #[test]
+    fn register_get_snapshot() {
+        let c = Catalog::new();
+        c.register("t", small());
+        assert!(c.contains("t"));
+        assert_eq!(c.table_names(), vec!["t".to_string()]);
+        let snap = c.snapshot("t").unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.source(), Some("t"));
+        assert!(matches!(c.get("missing"), Err(RelError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn snapshot_isolated_from_later_writes() {
+        let c = Catalog::new();
+        let h = c.register("t", small());
+        let snap = c.snapshot("t").unwrap();
+        h.write().push_row(vec![Value::Int(2)]).unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(c.snapshot("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn remove_table() {
+        let c = Catalog::new();
+        c.register("t", small());
+        assert!(c.remove("t"));
+        assert!(!c.remove("t"));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let c = Catalog::new();
+        c.register("zeta", small());
+        c.register("alpha", small());
+        assert_eq!(c.table_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

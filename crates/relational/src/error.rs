@@ -1,0 +1,44 @@
+//! Error type for the relational engine.
+
+use std::fmt;
+use tioga2_expr::ExprError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelError {
+    /// Error from the expression layer (parse, type, eval).
+    Expr(ExprError),
+    /// Schema violation: duplicate field, bad type, arity mismatch, ...
+    Schema(String),
+    /// Reference to a table not present in the catalog.
+    UnknownTable(String),
+    /// Reference to an attribute not present in the relation.
+    UnknownAttribute(String),
+    /// Illegal update (read-only attribute, type mismatch, missing row).
+    Update(String),
+    /// Malformed persisted data.
+    Persist(String),
+}
+
+impl From<ExprError> for RelError {
+    fn from(e: ExprError) -> Self {
+        match e {
+            ExprError::UnknownAttribute(a) => RelError::UnknownAttribute(a),
+            other => RelError::Expr(other),
+        }
+    }
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::Expr(e) => write!(f, "{e}"),
+            RelError::Schema(m) => write!(f, "schema error: {m}"),
+            RelError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            RelError::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
+            RelError::Update(m) => write!(f, "update error: {m}"),
+            RelError::Persist(m) => write!(f, "persistence error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}

@@ -1,0 +1,638 @@
+//! The database operators of paper Figure 3 (plus sorting and union).
+//!
+//! All operators are pure: they take relations by reference and produce
+//! new relations, sharing tuple storage via `Arc`.  Provenance (`source`
+//! and `row_id`) is preserved where the operator's semantics allow a
+//! screen object to be traced back to a base-table row for update (§8):
+//! restrict, sample and sort preserve it; join does not.
+
+use crate::error::RelError;
+use crate::relation::{Method, Relation};
+use crate::schema::{Field, Schema};
+use crate::tuple::{Tuple, TupleContext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tioga2_expr::{eval, eval_predicate, typecheck, BinOp, Context, Expr, ScalarType, Value};
+
+/// **Restrict** (Figure 3): filter a relation to tuples satisfying a
+/// predicate.  The predicate may reference stored and computed attributes.
+pub fn restrict(rel: &Relation, predicate: &Expr) -> Result<Relation, RelError> {
+    let ty = typecheck(predicate, &rel.type_env())?;
+    if ty != ScalarType::Bool {
+        return Err(RelError::Schema(format!("restrict predicate has type {ty}, not bool")));
+    }
+    let mut kept = Vec::new();
+    for (seq, t) in rel.tuples().iter().enumerate() {
+        let ctx = TupleContext::new(rel, t, seq);
+        if eval_predicate(predicate, &ctx)? {
+            kept.push(t.clone());
+        }
+    }
+    Ok(Relation::from_parts(
+        rel.schema().clone(),
+        rel.methods().to_vec(),
+        kept,
+        rel.source().map(str::to_string),
+    ))
+}
+
+/// Context overlaying named scalar parameters on a tuple context — how
+/// "a runtime parameter supplied by the user" (§2) reaches a predicate.
+struct ParamContext<'a> {
+    inner: TupleContext<'a>,
+    params: &'a std::collections::BTreeMap<String, Value>,
+}
+
+impl Context for ParamContext<'_> {
+    fn get(&self, name: &str) -> Option<Value> {
+        if let Some(v) = self.params.get(name) {
+            return Some(v.clone());
+        }
+        self.inner.get(name)
+    }
+}
+
+/// **Restrict** with named scalar parameters bound into the predicate's
+/// scope.  Parameters shadow attributes of the same name.
+pub fn restrict_with_params(
+    rel: &Relation,
+    predicate: &Expr,
+    params: &std::collections::BTreeMap<String, Value>,
+) -> Result<Relation, RelError> {
+    let mut env = rel.type_env();
+    for (name, v) in params {
+        env.insert(name.clone(), v.scalar_type().unwrap_or(tioga2_expr::ScalarType::Text));
+    }
+    let ty = typecheck(predicate, &env)?;
+    if ty != ScalarType::Bool {
+        return Err(RelError::Schema(format!("restrict predicate has type {ty}, not bool")));
+    }
+    let mut kept = Vec::new();
+    for (seq, t) in rel.tuples().iter().enumerate() {
+        let ctx = ParamContext { inner: TupleContext::new(rel, t, seq), params };
+        if eval_predicate(predicate, &ctx)? {
+            kept.push(t.clone());
+        }
+    }
+    Ok(Relation::from_parts(
+        rel.schema().clone(),
+        rel.methods().to_vec(),
+        kept,
+        rel.source().map(str::to_string),
+    ))
+}
+
+/// **Project** (Figure 3): keep only the named stored fields.
+///
+/// Computed attributes survive projection iff every attribute they
+/// (transitively) reference survives; others are silently dropped, which
+/// mirrors the paper's incremental style — a projection that breaks a
+/// display function simply falls back to the default display upstream.
+pub fn project(rel: &Relation, fields: &[&str]) -> Result<Relation, RelError> {
+    let mut idxs = Vec::with_capacity(fields.len());
+    let mut new_fields = Vec::with_capacity(fields.len());
+    for &f in fields {
+        let i =
+            rel.schema().index_of(f).ok_or_else(|| RelError::UnknownAttribute(f.to_string()))?;
+        idxs.push(i);
+        new_fields.push(rel.schema().fields()[i].clone());
+    }
+    let schema = Schema::new(new_fields)?;
+
+    // Iteratively keep methods whose deps all resolve.
+    let mut keep: Vec<Method> = Vec::new();
+    let mut changed = true;
+    let mut remaining: Vec<&Method> = rel.methods().iter().collect();
+    while changed {
+        changed = false;
+        remaining.retain(|m| {
+            let ok = m.def.referenced_attrs().iter().all(|a| {
+                a == crate::SEQ_ATTR
+                    || schema.index_of(a).is_some()
+                    || keep.iter().any(|k| &k.name == a)
+            });
+            if ok {
+                keep.push((*m).clone());
+                changed = true;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    let tuples: Vec<Tuple> = rel
+        .tuples()
+        .iter()
+        .map(|t| Tuple::new(t.row_id, idxs.iter().map(|&i| t.values()[i].clone()).collect()))
+        .collect();
+    Ok(Relation::from_parts(schema, keep, tuples, rel.source().map(str::to_string)))
+}
+
+/// **Sample** (Figure 3): retain each tuple independently with probability
+/// `p`.  "Sample is useful for improving interactive response by reducing
+/// the size of data sets to be processed."  Deterministic given `seed`.
+pub fn sample(rel: &Relation, p: f64, seed: u64) -> Result<Relation, RelError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(RelError::Schema(format!("sample probability {p} outside [0, 1]")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kept: Vec<Tuple> = rel.tuples().iter().filter(|_| rng.gen::<f64>() < p).cloned().collect();
+    Ok(Relation::from_parts(
+        rel.schema().clone(),
+        rel.methods().to_vec(),
+        kept,
+        rel.source().map(str::to_string),
+    ))
+}
+
+/// Disambiguate colliding field names by suffixing `_2` (then `_3`, ...).
+fn disambiguate(taken: &Schema, name: &str, also: &[Field]) -> String {
+    let exists = |n: &str| taken.index_of(n).is_some() || also.iter().any(|f| f.name == n);
+    if !exists(name) {
+        return name.to_string();
+    }
+    for k in 2.. {
+        let cand = format!("{name}_{k}");
+        if !exists(&cand) {
+            return cand;
+        }
+    }
+    unreachable!()
+}
+
+/// Context over the concatenation of two tuples (left fields then renamed
+/// right fields), used to evaluate join predicates.
+struct JoinContext<'a> {
+    left: &'a Relation,
+    lt: &'a Tuple,
+    lseq: usize,
+    right: &'a Relation,
+    rt: &'a Tuple,
+    rseq: usize,
+    /// renamed-right-name → original right name
+    right_renames: &'a HashMap<String, String>,
+}
+
+impl Context for JoinContext<'_> {
+    fn get(&self, name: &str) -> Option<Value> {
+        let lctx = TupleContext::new(self.left, self.lt, self.lseq);
+        if let Some(v) = lctx.get(name) {
+            return Some(v);
+        }
+        let rname = self.right_renames.get(name).map(String::as_str).unwrap_or(name);
+        let rctx = TupleContext::new(self.right, self.rt, self.rseq);
+        rctx.get(rname)
+    }
+}
+
+/// Split a predicate into equi-join column pairs `(left_col, right_col)`
+/// plus a residual predicate, enabling the hash-join fast path.
+fn equi_keys(
+    pred: &Expr,
+    left: &Relation,
+    right_names: &HashMap<String, String>,
+) -> (Vec<(String, String)>, Vec<Expr>) {
+    fn walk(
+        e: &Expr,
+        left: &Relation,
+        right_names: &HashMap<String, String>,
+        keys: &mut Vec<(String, String)>,
+        residual: &mut Vec<Expr>,
+    ) {
+        match e {
+            Expr::Binary(BinOp::And, l, r) => {
+                walk(l, left, right_names, keys, residual);
+                walk(r, left, right_names, keys, residual);
+            }
+            Expr::Binary(BinOp::Eq, l, r) => {
+                if let (Expr::Attr(a), Expr::Attr(b)) = (l.as_ref(), r.as_ref()) {
+                    let a_left = left.has_attr(a);
+                    let b_left = left.has_attr(b);
+                    let a_right = right_names.contains_key(a);
+                    let b_right = right_names.contains_key(b);
+                    if a_left && b_right && !b_left {
+                        keys.push((a.clone(), right_names[b].clone()));
+                        return;
+                    }
+                    if b_left && a_right && !a_left {
+                        keys.push((b.clone(), right_names[a].clone()));
+                        return;
+                    }
+                }
+                residual.push(e.clone());
+            }
+            other => residual.push(other.clone()),
+        }
+    }
+    let mut keys = Vec::new();
+    let mut residual = Vec::new();
+    walk(pred, left, right_names, &mut keys, &mut residual);
+    (keys, residual)
+}
+
+/// Hash key for a tuple of join-key values; Null never matches Null.
+fn key_of(vals: &[Value]) -> Option<String> {
+    let mut s = String::new();
+    for v in vals {
+        if v.is_null() {
+            return None;
+        }
+        // Canonical text form; numeric family normalized through f64 so
+        // Int 2 joins Float 2.0, matching comparison semantics.
+        match v.as_f64() {
+            Some(x) => s.push_str(&format!("n{x};")),
+            None => s.push_str(&format!(
+                "{}:{};",
+                v.scalar_type().map(|t| t.to_string()).unwrap_or_default(),
+                v.display_text()
+            )),
+        }
+    }
+    Some(s)
+}
+
+/// **Join** (Figure 3): θ-join of two relations on an arbitrary predicate.
+///
+/// The output schema is the left stored fields followed by the right
+/// stored fields, with colliding right names suffixed (`name` → `name_2`).
+/// The predicate is written against that combined naming.  Conjunctive
+/// equality conditions between a left and a right attribute are executed
+/// as a hash join; any residual predicate is applied per candidate pair.
+pub fn join(left: &Relation, right: &Relation, predicate: &Expr) -> Result<Relation, RelError> {
+    // Build the combined schema and the renaming map.
+    let mut fields: Vec<Field> = left.schema().fields().to_vec();
+    let mut right_renames: HashMap<String, String> = HashMap::new();
+    for f in right.schema().fields() {
+        let new_name = disambiguate(left.schema(), &f.name, &fields[left.schema().len()..]);
+        right_renames.insert(new_name.clone(), f.name.clone());
+        fields.push(Field::new(new_name, f.ty.clone()));
+    }
+    let schema = Schema::new(fields)?;
+
+    // Type-check the predicate against the combined environment.
+    let mut env = left.type_env();
+    for m in right.methods() {
+        env.insert(m.name.clone(), m.ty.clone());
+    }
+    for (new_name, old_name) in &right_renames {
+        if let Some(f) = right.schema().field(old_name) {
+            env.insert(new_name.clone(), f.ty.clone());
+        }
+    }
+    let pty = typecheck(predicate, &env)?;
+    if pty != ScalarType::Bool {
+        return Err(RelError::Schema(format!("join predicate has type {pty}, not bool")));
+    }
+
+    let (keys, residual) = equi_keys(predicate, left, &right_renames);
+
+    let mut out: Vec<Tuple> = Vec::new();
+    let mut next_id = 0u64;
+    let mut emit = |lt: &Tuple, rt: &Tuple| {
+        let mut vals: Vec<Value> = Vec::with_capacity(schema.len());
+        vals.extend_from_slice(lt.values());
+        vals.extend_from_slice(rt.values());
+        out.push(Tuple::new(next_id, vals));
+        next_id += 1;
+    };
+
+    let check_residual =
+        |lt: &Tuple, lseq: usize, rt: &Tuple, rseq: usize| -> Result<bool, RelError> {
+            let ctx =
+                JoinContext { left, lt, lseq, right, rt, rseq, right_renames: &right_renames };
+            for p in &residual {
+                match eval(p, &ctx)? {
+                    Value::Bool(true) => {}
+                    Value::Bool(false) | Value::Null => return Ok(false),
+                    other => {
+                        return Err(RelError::Expr(tioga2_expr::ExprError::Eval(format!(
+                            "join predicate evaluated to {other}"
+                        ))))
+                    }
+                }
+            }
+            Ok(true)
+        };
+
+    if keys.is_empty() {
+        // Nested-loop θ-join.
+        for (lseq, lt) in left.tuples().iter().enumerate() {
+            for (rseq, rt) in right.tuples().iter().enumerate() {
+                if check_residual(lt, lseq, rt, rseq)? {
+                    emit(lt, rt);
+                }
+            }
+        }
+    } else {
+        // Hash join: build on right, probe from left.
+        let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+        for (rseq, rt) in right.tuples().iter().enumerate() {
+            let mut vals = Vec::with_capacity(keys.len());
+            let ctx = TupleContext::new(right, rt, rseq);
+            for (_, rk) in &keys {
+                vals.push(ctx.get(rk).unwrap_or(Value::Null));
+            }
+            if let Some(k) = key_of(&vals) {
+                table.entry(k).or_default().push(rseq);
+            }
+        }
+        for (lseq, lt) in left.tuples().iter().enumerate() {
+            let ctx = TupleContext::new(left, lt, lseq);
+            let mut vals = Vec::with_capacity(keys.len());
+            for (lk, _) in &keys {
+                vals.push(ctx.get(lk).unwrap_or(Value::Null));
+            }
+            let Some(k) = key_of(&vals) else { continue };
+            if let Some(matches) = table.get(&k) {
+                for &rseq in matches {
+                    let rt = &right.tuples()[rseq];
+                    if check_residual(lt, lseq, rt, rseq)? {
+                        emit(lt, rt);
+                    }
+                }
+            }
+        }
+    }
+
+    // Methods from the left side carry over; right-side methods carry over
+    // with attribute references renamed, unless the name itself collides.
+    let mut methods: Vec<Method> = left.methods().to_vec();
+    for m in right.methods() {
+        if methods.iter().any(|x| x.name == m.name) || schema.index_of(&m.name).is_some() {
+            continue;
+        }
+        let mut def = m.def.clone();
+        for (new_name, old_name) in &right_renames {
+            if new_name != old_name {
+                def.rename_attr(old_name, new_name);
+            }
+        }
+        methods.push(Method { name: m.name.clone(), ty: m.ty.clone(), def });
+    }
+
+    Ok(Relation::from_parts(schema, methods, out, None))
+}
+
+/// Sort by the given attributes (each ascending or descending).  Sorting
+/// may use computed attributes.  Stable.
+pub fn sort(rel: &Relation, keys: &[(&str, bool)]) -> Result<Relation, RelError> {
+    for (k, _) in keys {
+        if !rel.has_attr(k) {
+            return Err(RelError::UnknownAttribute(k.to_string()));
+        }
+    }
+    // Pre-evaluate keys (decorate-sort-undecorate) so method evaluation
+    // cost is O(n) not O(n log n).
+    let mut decorated: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(rel.len());
+    for (seq, t) in rel.tuples().iter().enumerate() {
+        let mut kv = Vec::with_capacity(keys.len());
+        for (k, _) in keys {
+            kv.push(rel.attr_value_of(t, seq, k)?);
+        }
+        decorated.push((kv, t.clone()));
+    }
+    decorated.sort_by(|(a, _), (b, _)| {
+        for (i, (_, asc)) in keys.iter().enumerate() {
+            let ord = a[i].total_cmp(&b[i]);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(Relation::from_parts(
+        rel.schema().clone(),
+        rel.methods().to_vec(),
+        decorated.into_iter().map(|(_, t)| t).collect(),
+        rel.source().map(str::to_string),
+    ))
+}
+
+/// Union of two relations with identical schemas (order: left then right).
+pub fn union(a: &Relation, b: &Relation) -> Result<Relation, RelError> {
+    if a.schema() != b.schema() {
+        return Err(RelError::Schema("union requires identical schemas".into()));
+    }
+    let mut tuples = a.tuples().to_vec();
+    tuples.extend_from_slice(b.tuples());
+    // Row ids may collide across the two inputs; re-identify.
+    let tuples = tuples
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| Tuple::new(i as u64, t.values().to_vec()))
+        .collect();
+    Ok(Relation::from_parts(a.schema().clone(), a.methods().to_vec(), tuples, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use tioga2_expr::parse;
+    use ScalarType as T;
+
+    fn stations() -> Relation {
+        let mut b = RelationBuilder::new()
+            .field("id", T::Int)
+            .field("name", T::Text)
+            .field("state", T::Text)
+            .field("altitude", T::Float);
+        let data = [
+            (1, "Baton Rouge", "LA", 17.0),
+            (2, "New Orleans", "LA", 2.0),
+            (3, "Shreveport", "LA", 55.0),
+            (4, "Austin", "TX", 149.0),
+            (5, "Denver", "CO", 1609.0),
+        ];
+        for (id, n, s, a) in data {
+            b = b.row(vec![
+                Value::Int(id),
+                Value::Text(n.into()),
+                Value::Text(s.into()),
+                Value::Float(a),
+            ]);
+        }
+        b.build().unwrap()
+    }
+
+    fn observations() -> Relation {
+        let mut b =
+            RelationBuilder::new().field("station_id", T::Int).field("temperature", T::Float);
+        for (sid, t) in [(1, 31.0), (1, 28.0), (2, 30.0), (4, 35.0), (9, 10.0)] {
+            b = b.row(vec![Value::Int(sid), Value::Float(t)]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn restrict_filters_and_preserves_methods() {
+        let mut r = stations();
+        r.add_method("x", T::Float, parse("altitude * 2.0").unwrap()).unwrap();
+        let la = restrict(&r, &parse("state = 'LA'").unwrap()).unwrap();
+        assert_eq!(la.len(), 3);
+        assert!(la.method("x").is_some());
+        assert_eq!(la.attr_value(0, "x").unwrap(), Value::Float(34.0));
+        // row_id provenance preserved.
+        assert_eq!(la.tuples()[1].row_id, stations().tuples()[1].row_id);
+    }
+
+    #[test]
+    fn restrict_on_computed_attribute() {
+        let mut r = stations();
+        r.add_method("high", T::Bool, parse("altitude > 100.0").unwrap()).unwrap();
+        let high = restrict(&r, &parse("high").unwrap()).unwrap();
+        assert_eq!(high.len(), 2);
+    }
+
+    #[test]
+    fn restrict_with_params_binds_scalars() {
+        let r = stations();
+        let mut params = std::collections::BTreeMap::new();
+        params.insert("cutoff".to_string(), Value::Float(100.0));
+        let out = restrict_with_params(&r, &parse("altitude > cutoff").unwrap(), &params).unwrap();
+        assert_eq!(out.len(), 2);
+        // Twiddle the parameter: different result, same predicate.
+        params.insert("cutoff".to_string(), Value::Float(1.0));
+        let out2 = restrict_with_params(&r, &parse("altitude > cutoff").unwrap(), &params).unwrap();
+        assert_eq!(out2.len(), 5);
+        // Unbound names still error.
+        assert!(restrict_with_params(&r, &parse("altitude > nope").unwrap(), &params).is_err());
+        // Parameters shadow attributes.
+        params.insert("altitude".to_string(), Value::Float(-1.0));
+        let shadowed =
+            restrict_with_params(&r, &parse("altitude > cutoff").unwrap(), &params).unwrap();
+        assert_eq!(shadowed.len(), 0, "constant -1 never exceeds 1");
+    }
+
+    #[test]
+    fn restrict_rejects_nonbool() {
+        assert!(restrict(&stations(), &parse("altitude").unwrap()).is_err());
+        assert!(restrict(&stations(), &parse("nope = 1").unwrap()).is_err());
+    }
+
+    #[test]
+    fn project_keeps_resolvable_methods() {
+        let mut r = stations();
+        r.add_method("x", T::Float, parse("altitude * 2.0").unwrap()).unwrap();
+        r.add_method("label", T::Drawable, parse("text(name, 'black')").unwrap()).unwrap();
+        let p = project(&r, &["name", "state"]).unwrap();
+        assert_eq!(p.schema().len(), 2);
+        assert!(p.method("label").is_some(), "label depends only on name");
+        assert!(p.method("x").is_none(), "x depended on dropped altitude");
+        assert!(project(&r, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn project_keeps_method_chains() {
+        let mut r = stations();
+        r.add_method("a", T::Float, parse("altitude + 1.0").unwrap()).unwrap();
+        r.add_method("b", T::Float, parse("a * 2.0").unwrap()).unwrap();
+        let p = project(&r, &["altitude"]).unwrap();
+        assert!(p.method("a").is_some());
+        assert!(p.method("b").is_some());
+        let q = project(&r, &["name"]).unwrap();
+        assert!(q.method("a").is_none());
+        assert!(q.method("b").is_none());
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_bounded() {
+        let r = stations();
+        let s1 = sample(&r, 0.5, 7).unwrap();
+        let s2 = sample(&r, 0.5, 7).unwrap();
+        assert_eq!(s1.tuples(), s2.tuples());
+        assert_eq!(sample(&r, 1.0, 1).unwrap().len(), r.len());
+        assert_eq!(sample(&r, 0.0, 1).unwrap().len(), 0);
+        assert!(sample(&r, 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn hash_join_matches_expected_pairs() {
+        let j = join(&stations(), &observations(), &parse("id = station_id").unwrap()).unwrap();
+        // Station 1 x2, station 2 x1, station 4 x1; station 9 unmatched.
+        assert_eq!(j.len(), 4);
+        assert!(j.schema().index_of("temperature").is_some());
+        assert!(j.source().is_none(), "join output is not update-traceable");
+    }
+
+    #[test]
+    fn join_renames_collisions() {
+        let j = join(&stations(), &stations(), &parse("id = id_2").unwrap()).unwrap();
+        assert_eq!(j.len(), 5);
+        assert!(j.schema().index_of("name_2").is_some());
+        assert!(j.schema().index_of("state_2").is_some());
+    }
+
+    #[test]
+    fn theta_join_with_residual() {
+        let j = join(
+            &stations(),
+            &observations(),
+            &parse("id = station_id AND temperature > 29.0").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(j.len(), 3);
+        // Pure θ (no equi keys) takes the nested-loop path.
+        let nl =
+            join(&stations(), &observations(), &parse("altitude > temperature").unwrap()).unwrap();
+        assert!(!nl.is_empty());
+    }
+
+    #[test]
+    fn join_type_checks_predicate() {
+        assert!(join(&stations(), &observations(), &parse("id + station_id").unwrap()).is_err());
+        assert!(join(&stations(), &observations(), &parse("name = station_id").unwrap()).is_err());
+    }
+
+    #[test]
+    fn sort_orders_and_is_stable() {
+        let r = stations();
+        let s = sort(&r, &[("altitude", false)]).unwrap();
+        let alts: Vec<f64> = s.tuples().iter().map(|t| t.values()[3].as_f64().unwrap()).collect();
+        assert_eq!(alts, vec![1609.0, 149.0, 55.0, 17.0, 2.0]);
+        let by_state = sort(&r, &[("state", true), ("name", true)]).unwrap();
+        assert_eq!(by_state.tuples()[0].values()[2], Value::Text("CO".into()));
+    }
+
+    #[test]
+    fn sort_on_computed_attr() {
+        let mut r = stations();
+        r.add_method("neg", T::Float, parse("0.0 - altitude").unwrap()).unwrap();
+        let s = sort(&r, &[("neg", true)]).unwrap();
+        assert_eq!(s.tuples()[0].values()[1], Value::Text("Denver".into()));
+    }
+
+    #[test]
+    fn union_appends() {
+        let r = stations();
+        let u = union(&r, &r).unwrap();
+        assert_eq!(u.len(), 10);
+        let o = observations();
+        assert!(union(&r, &o).is_err());
+    }
+
+    #[test]
+    fn join_null_keys_never_match() {
+        let mut left = RelationBuilder::new().field("k", T::Int).build().unwrap();
+        left.push_row(vec![Value::Null]).unwrap();
+        left.push_row(vec![Value::Int(1)]).unwrap();
+        let mut right = RelationBuilder::new().field("j", T::Int).build().unwrap();
+        right.push_row(vec![Value::Null]).unwrap();
+        right.push_row(vec![Value::Int(1)]).unwrap();
+        let out = join(&left, &right, &parse("k = j").unwrap()).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn join_numeric_family_keys() {
+        let mut left = RelationBuilder::new().field("k", T::Int).build().unwrap();
+        left.push_row(vec![Value::Int(2)]).unwrap();
+        let mut right = RelationBuilder::new().field("j", T::Float).build().unwrap();
+        right.push_row(vec![Value::Float(2.0)]).unwrap();
+        let out = join(&left, &right, &parse("k = j").unwrap()).unwrap();
+        assert_eq!(out.len(), 1, "Int 2 must hash-join Float 2.0");
+    }
+}

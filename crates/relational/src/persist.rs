@@ -1,0 +1,265 @@
+//! Plain-text persistence for relations.
+//!
+//! Tioga-2 saves programs and data "in the database" (Figure 2, **Save
+//! Program**).  We use a small, versioned, line-oriented text format with
+//! no external dependencies.  Computed attributes persist as expression
+//! source (the printer/parser round-trip is property-tested in
+//! `tioga2-expr`).
+
+use crate::error::RelError;
+use crate::relation::{Method, Relation};
+use crate::schema::{Field, Schema};
+use crate::tuple::Tuple;
+use tioga2_expr::{parse, ScalarType, Value};
+
+const MAGIC: &str = "TIOGA2-RELATION v1";
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, RelError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                other => {
+                    return Err(RelError::Persist(format!("bad escape \\{other:?}")));
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn encode_value(v: &Value) -> Result<String, RelError> {
+    Ok(match v {
+        Value::Null => "N".to_string(),
+        Value::Bool(b) => format!("B{}", *b as u8),
+        Value::Int(i) => format!("I{i}"),
+        // `{:?}` is Rust's shortest-roundtrip float form.
+        Value::Float(x) => format!("F{x:?}"),
+        Value::Text(s) => format!("S{}", escape(s)),
+        Value::Timestamp(t) => format!("T{t}"),
+        Value::Drawable(_) | Value::DrawList(_) => {
+            return Err(RelError::Persist("drawable values are never stored".into()))
+        }
+    })
+}
+
+fn decode_value(s: &str) -> Result<Value, RelError> {
+    let bad = || RelError::Persist(format!("bad value encoding '{s}'"));
+    let (tag, rest) = s.split_at(s.char_indices().nth(1).map(|(i, _)| i).unwrap_or(s.len()));
+    match tag {
+        "N" if rest.is_empty() => Ok(Value::Null),
+        "B" => match rest {
+            "0" => Ok(Value::Bool(false)),
+            "1" => Ok(Value::Bool(true)),
+            _ => Err(bad()),
+        },
+        "I" => rest.parse().map(Value::Int).map_err(|_| bad()),
+        "F" => rest.parse().map(Value::Float).map_err(|_| bad()),
+        "S" => unescape(rest).map(Value::Text),
+        "T" => rest.parse().map(Value::Timestamp).map_err(|_| bad()),
+        _ => Err(bad()),
+    }
+}
+
+/// Serialize a relation (schema, methods, tuples with row ids).
+pub fn save_relation(rel: &Relation) -> Result<String, RelError> {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!("fields {}\n", rel.schema().len()));
+    for f in rel.schema().fields() {
+        out.push_str(&format!("{}\t{}\n", escape(&f.name), f.ty));
+    }
+    out.push_str(&format!("methods {}\n", rel.methods().len()));
+    for m in rel.methods() {
+        out.push_str(&format!("{}\t{}\t{}\n", escape(&m.name), m.ty, m.def));
+    }
+    out.push_str(&format!("tuples {}\n", rel.len()));
+    for t in rel.tuples() {
+        out.push_str(&t.row_id.to_string());
+        for v in t.values() {
+            out.push('\t');
+            out.push_str(&encode_value(v)?);
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn expect_count(line: Option<&str>, word: &str) -> Result<usize, RelError> {
+    let line = line.ok_or_else(|| RelError::Persist(format!("missing '{word}' line")))?;
+    let rest = line
+        .strip_prefix(word)
+        .and_then(|r| r.strip_prefix(' '))
+        .ok_or_else(|| RelError::Persist(format!("expected '{word} <n>', got '{line}'")))?;
+    rest.parse().map_err(|_| RelError::Persist(format!("bad count in '{line}'")))
+}
+
+/// Parse a relation previously produced by [`save_relation`].
+pub fn load_relation(text: &str) -> Result<Relation, RelError> {
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return Err(RelError::Persist("bad magic".into()));
+    }
+    let nfields = expect_count(lines.next(), "fields")?;
+    let mut fields = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        let line = lines.next().ok_or_else(|| RelError::Persist("truncated fields".into()))?;
+        let (name, ty) = line
+            .split_once('\t')
+            .ok_or_else(|| RelError::Persist(format!("bad field line '{line}'")))?;
+        let ty =
+            ScalarType::parse(ty).ok_or_else(|| RelError::Persist(format!("bad type '{ty}'")))?;
+        fields.push(Field::new(unescape(name)?, ty));
+    }
+    let schema = Schema::new(fields)?;
+
+    let nmethods = expect_count(lines.next(), "methods")?;
+    let mut methods = Vec::with_capacity(nmethods);
+    for _ in 0..nmethods {
+        let line = lines.next().ok_or_else(|| RelError::Persist("truncated methods".into()))?;
+        let mut parts = line.splitn(3, '\t');
+        let name = parts.next().ok_or_else(|| RelError::Persist("bad method line".into()))?;
+        let ty = parts.next().ok_or_else(|| RelError::Persist("bad method line".into()))?;
+        let src = parts.next().ok_or_else(|| RelError::Persist("bad method line".into()))?;
+        let ty =
+            ScalarType::parse(ty).ok_or_else(|| RelError::Persist(format!("bad type '{ty}'")))?;
+        let def = parse(src).map_err(RelError::Expr)?;
+        methods.push(Method { name: unescape(name)?, ty, def });
+    }
+
+    let ntuples = expect_count(lines.next(), "tuples")?;
+    let mut tuples = Vec::with_capacity(ntuples);
+    for _ in 0..ntuples {
+        let line = lines.next().ok_or_else(|| RelError::Persist("truncated tuples".into()))?;
+        let mut parts = line.split('\t');
+        let row_id: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| RelError::Persist(format!("bad row id in '{line}'")))?;
+        let mut vals = Vec::with_capacity(schema.len());
+        for p in parts {
+            vals.push(decode_value(p)?);
+        }
+        if vals.len() != schema.len() {
+            return Err(RelError::Persist(format!(
+                "tuple arity {} does not match schema arity {}",
+                vals.len(),
+                schema.len()
+            )));
+        }
+        for (v, f) in vals.iter().zip(schema.fields()) {
+            if !v.conforms_to(&f.ty) {
+                return Err(RelError::Persist(format!(
+                    "value {v} does not conform to field '{}'",
+                    f.name
+                )));
+            }
+        }
+        tuples.push(Tuple::new(row_id, vals));
+    }
+    Ok(Relation::from_parts(schema, methods, tuples, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use ScalarType as T;
+
+    fn sample_rel() -> Relation {
+        let mut rel = RelationBuilder::new()
+            .field("name", T::Text)
+            .field("qty", T::Int)
+            .field("weight", T::Float)
+            .field("when", T::Timestamp)
+            .field("ok", T::Bool)
+            .row(vec![
+                Value::Text("tab\tand\nnewline \\ backslash".into()),
+                Value::Int(-5),
+                Value::Float(0.1),
+                Value::Timestamp(823_230_000),
+                Value::Bool(true),
+            ])
+            .row(vec![Value::Null, Value::Null, Value::Null, Value::Null, Value::Null])
+            .build()
+            .unwrap();
+        rel.add_method("x", T::Float, parse("weight * 2.0").unwrap()).unwrap();
+        rel.add_method(
+            "display",
+            T::DrawList,
+            parse("circle(2.0, 'red') ++ text(name, 'black')").unwrap(),
+        )
+        .unwrap();
+        rel
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rel = sample_rel();
+        let text = save_relation(&rel).unwrap();
+        let back = load_relation(&text).unwrap();
+        assert_eq!(back.schema(), rel.schema());
+        assert_eq!(back.methods(), rel.methods());
+        assert_eq!(back.tuples(), rel.tuples());
+        // Methods still evaluate.
+        assert_eq!(back.attr_value(0, "x").unwrap(), Value::Float(0.2));
+    }
+
+    #[test]
+    fn roundtrip_float_precision() {
+        let mut rel = RelationBuilder::new().field("x", T::Float).build().unwrap();
+        for x in [0.1, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE, -0.0] {
+            rel.push_row(vec![Value::Float(x)]).unwrap();
+        }
+        let back = load_relation(&save_relation(&rel).unwrap()).unwrap();
+        assert_eq!(back.tuples(), rel.tuples());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let rel = sample_rel();
+        let text = save_relation(&rel).unwrap();
+        assert!(load_relation("garbage").is_err());
+        assert!(load_relation(&text.replace(MAGIC, "TIOGA2-RELATION v9")).is_err());
+        let truncated: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(load_relation(&truncated).is_err());
+    }
+
+    #[test]
+    fn value_encoding_errors() {
+        assert!(decode_value("X1").is_err());
+        assert!(decode_value("B7").is_err());
+        assert!(decode_value("Iabc").is_err());
+        assert!(decode_value("").is_err());
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        for s in ["", "plain", "a\tb", "a\\nb", "\\", "tab\t\\t mix\r\n"] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s);
+        }
+        assert!(unescape("bad\\x").is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Schemas of stored attributes.
+
+use crate::error::RelError;
+use std::collections::HashMap;
+use tioga2_expr::ScalarType;
+
+/// A stored column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    pub name: String,
+    pub ty: ScalarType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, ty: ScalarType) -> Self {
+        Field { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of stored columns with O(1) name lookup.
+///
+/// Stored columns may not be of drawable type: the paper is explicit that
+/// location/display attributes "are computed attributes and are not stored
+/// in the database" (§5.1).
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: HashMap<String, usize>,
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+impl Schema {
+    /// Build a schema, validating field names are unique, non-empty, not
+    /// the reserved `__seq`, and of storable type.
+    pub fn new(fields: Vec<Field>) -> Result<Self, RelError> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if f.name.is_empty() {
+                return Err(RelError::Schema("empty field name".into()));
+            }
+            if f.name.starts_with("__") {
+                return Err(RelError::Schema(format!("field name '{}' is reserved", f.name)));
+            }
+            if matches!(f.ty, ScalarType::Drawable | ScalarType::DrawList) {
+                return Err(RelError::Schema(format!(
+                    "stored field '{}' may not have drawable type; use a computed attribute",
+                    f.name
+                )));
+            }
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(RelError::Schema(format!("duplicate field '{}'", f.name)));
+            }
+        }
+        Ok(Schema { fields, by_name })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(pairs: &[(&str, ScalarType)]) -> Result<Self, RelError> {
+        Schema::new(pairs.iter().map(|(n, t)| Field::new(*n, t.clone())).collect())
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|f| f.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ScalarType as T;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::of(&[("a", T::Int), ("b", T::Text)]).unwrap();
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.field("a").unwrap().ty, T::Int);
+        assert_eq!(s.index_of("c"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        assert!(Schema::of(&[("a", T::Int), ("a", T::Text)]).is_err());
+    }
+
+    #[test]
+    fn schema_rejects_drawable_storage() {
+        assert!(Schema::of(&[("d", T::Drawable)]).is_err());
+        assert!(Schema::of(&[("d", T::DrawList)]).is_err());
+    }
+
+    #[test]
+    fn schema_rejects_reserved_names() {
+        assert!(Schema::of(&[("__seq", T::Int)]).is_err());
+        assert!(Schema::of(&[("", T::Int)]).is_err());
+    }
+}

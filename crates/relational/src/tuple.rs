@@ -1,0 +1,100 @@
+//! Tuples and the evaluation context that makes computed attributes work.
+
+use crate::relation::Relation;
+use crate::SEQ_ATTR;
+use std::sync::Arc;
+use tioga2_expr::{eval, Context, Value};
+
+/// An immutable tuple.  Values are shared (`Arc`) so relational operators
+/// can pass tuples through without deep copies; `row_id` is a stable
+/// identity assigned by the owning base table and preserved through
+/// restrict/sample/sort, which is what lets a click on a rendered screen
+/// object be traced back to a database row for update (paper §8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    pub row_id: u64,
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    pub fn new(row_id: u64, values: Vec<Value>) -> Self {
+        Tuple { row_id, values: values.into() }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// A copy with one stored value replaced (used by update).
+    pub fn with_value(&self, i: usize, v: Value) -> Tuple {
+        let mut vals: Vec<Value> = self.values.to_vec();
+        vals[i] = v;
+        Tuple { row_id: self.row_id, values: vals.into() }
+    }
+}
+
+/// Evaluation context for one tuple of a relation: resolves stored fields
+/// directly and computed attributes by evaluating their defining
+/// expressions (recursively — methods may reference other methods; cycles
+/// are rejected at definition time by [`Relation::add_method`]).
+pub struct TupleContext<'a> {
+    pub relation: &'a Relation,
+    pub tuple: &'a Tuple,
+    /// 0-based position of the tuple in the relation, exposed as `__seq`.
+    pub seq: usize,
+}
+
+impl<'a> TupleContext<'a> {
+    pub fn new(relation: &'a Relation, tuple: &'a Tuple, seq: usize) -> Self {
+        TupleContext { relation, tuple, seq }
+    }
+}
+
+impl Context for TupleContext<'_> {
+    fn get(&self, name: &str) -> Option<Value> {
+        if name == SEQ_ATTR {
+            return Some(Value::Int(self.seq as i64));
+        }
+        if let Some(i) = self.relation.schema().index_of(name) {
+            return self.tuple.get(i).cloned();
+        }
+        let m = self.relation.method(name)?;
+        // Method evaluation failure surfaces as Null here; the relation-
+        // level accessors (`attr_value`) report the underlying error.
+        eval(&m.def, self).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tioga2_expr::Value;
+
+    #[test]
+    fn tuple_with_value_preserves_identity() {
+        let t = Tuple::new(42, vec![Value::Int(1), Value::Text("x".into())]);
+        let t2 = t.with_value(0, Value::Int(9));
+        assert_eq!(t2.row_id, 42);
+        assert_eq!(t2.get(0), Some(&Value::Int(9)));
+        assert_eq!(t.get(0), Some(&Value::Int(1)), "original unchanged");
+    }
+
+    #[test]
+    fn tuple_clone_is_shallow() {
+        let t = Tuple::new(1, vec![Value::Text("large".repeat(100))]);
+        let t2 = t.clone();
+        assert!(Arc::ptr_eq(&t.values, &t2.values));
+    }
+}

@@ -1,0 +1,446 @@
+//! RGBA framebuffer with clipped primitive rasterization.
+
+use tioga2_expr::Color;
+
+/// A width × height RGBA-8888 pixel buffer.  (0, 0) is the top-left
+/// corner; x grows right, y grows down (standard raster convention — the
+/// [`crate::Viewport`] flips world y so world y grows upward).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Framebuffer {
+    width: u32,
+    height: u32,
+    pixels: Vec<[u8; 4]>,
+}
+
+impl Framebuffer {
+    pub fn new(width: u32, height: u32) -> Self {
+        Framebuffer {
+            width,
+            height,
+            pixels: vec![[255, 255, 255, 255]; (width as usize) * (height as usize)],
+        }
+    }
+
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    pub fn pixels(&self) -> &[[u8; 4]] {
+        &self.pixels
+    }
+
+    pub fn clear(&mut self, color: Color) {
+        let px = [color.r, color.g, color.b, color.a];
+        self.pixels.fill(px);
+    }
+
+    #[inline]
+    pub fn get(&self, x: i32, y: i32) -> Option<[u8; 4]> {
+        if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32 {
+            return None;
+        }
+        Some(self.pixels[y as usize * self.width as usize + x as usize])
+    }
+
+    /// Set a pixel; out-of-bounds writes are silently clipped.
+    #[inline]
+    pub fn set(&mut self, x: i32, y: i32, color: Color) {
+        if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32 || color.a == 0 {
+            return;
+        }
+        let idx = y as usize * self.width as usize + x as usize;
+        if color.a == 255 {
+            self.pixels[idx] = [color.r, color.g, color.b, 255];
+        } else {
+            // Source-over blend for translucent marks.
+            let dst = self.pixels[idx];
+            let a = color.a as u32;
+            let inv = 255 - a;
+            self.pixels[idx] = [
+                ((color.r as u32 * a + dst[0] as u32 * inv) / 255) as u8,
+                ((color.g as u32 * a + dst[1] as u32 * inv) / 255) as u8,
+                ((color.b as u32 * a + dst[2] as u32 * inv) / 255) as u8,
+                255,
+            ];
+        }
+    }
+
+    /// Fraction of pixels that differ from pure white — a cheap "did
+    /// anything draw?" probe used heavily by tests.
+    pub fn ink_fraction(&self) -> f64 {
+        let ink = self.pixels.iter().filter(|p| p[0] != 255 || p[1] != 255 || p[2] != 255).count();
+        ink as f64 / self.pixels.len().max(1) as f64
+    }
+
+    /// Count pixels of exactly `color` (ignoring alpha).
+    pub fn count_color(&self, color: Color) -> usize {
+        self.pixels.iter().filter(|p| p[0] == color.r && p[1] == color.g && p[2] == color.b).count()
+    }
+
+    /// A point, rendered as a filled square of side `size` centered on
+    /// (x, y).
+    pub fn draw_point(&mut self, x: i32, y: i32, size: u32, color: Color) {
+        let half = (size.max(1) / 2) as i32;
+        for dy in -half..=half {
+            for dx in -half..=half {
+                self.set(x + dx, y + dy, color);
+            }
+        }
+    }
+
+    /// Clip a segment to the buffer rectangle (expanded by `pad`) with
+    /// Liang-Barsky; None if fully outside.
+    fn clip_segment(
+        &self,
+        x0: f64,
+        y0: f64,
+        x1: f64,
+        y1: f64,
+        pad: f64,
+    ) -> Option<(i32, i32, i32, i32)> {
+        let (min_x, min_y) = (-pad, -pad);
+        let (max_x, max_y) = (self.width as f64 + pad, self.height as f64 + pad);
+        let (dx, dy) = (x1 - x0, y1 - y0);
+        let mut t0 = 0.0f64;
+        let mut t1 = 1.0f64;
+        for (p, q) in [(-dx, x0 - min_x), (dx, max_x - x0), (-dy, y0 - min_y), (dy, max_y - y0)] {
+            if p == 0.0 {
+                if q < 0.0 {
+                    return None;
+                }
+            } else {
+                let r = q / p;
+                if p < 0.0 {
+                    if r > t1 {
+                        return None;
+                    }
+                    if r > t0 {
+                        t0 = r;
+                    }
+                } else {
+                    if r < t0 {
+                        return None;
+                    }
+                    if r < t1 {
+                        t1 = r;
+                    }
+                }
+            }
+        }
+        Some((
+            (x0 + t0 * dx).round() as i32,
+            (y0 + t0 * dy).round() as i32,
+            (x0 + t1 * dx).round() as i32,
+            (y0 + t1 * dy).round() as i32,
+        ))
+    }
+
+    /// Bresenham line with square pen of width `width`.  Segments are
+    /// clipped to the buffer first, so arbitrarily long lines (extreme
+    /// zoom) stay O(buffer size).
+    pub fn draw_line(&mut self, x0: i32, y0: i32, x1: i32, y1: i32, width: u32, color: Color) {
+        let pad = width as f64 + 1.0;
+        let Some((x0, y0, x1, y1)) =
+            self.clip_segment(x0 as f64, y0 as f64, x1 as f64, y1 as f64, pad)
+        else {
+            return;
+        };
+        let (mut x, mut y) = (x0, y0);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.draw_point(x, y, width, color);
+            if x == x1 && y == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y += sy;
+            }
+        }
+    }
+
+    pub fn fill_rect(&mut self, x0: i32, y0: i32, x1: i32, y1: i32, color: Color) {
+        let (x0, x1) = (x0.min(x1), x0.max(x1));
+        let (y0, y1) = (y0.min(y1), y0.max(y1));
+        for y in y0.max(0)..=y1.min(self.height as i32 - 1) {
+            for x in x0.max(0)..=x1.min(self.width as i32 - 1) {
+                self.set(x, y, color);
+            }
+        }
+    }
+
+    pub fn draw_rect(&mut self, x0: i32, y0: i32, x1: i32, y1: i32, width: u32, color: Color) {
+        self.draw_line(x0, y0, x1, y0, width, color);
+        self.draw_line(x1, y0, x1, y1, width, color);
+        self.draw_line(x1, y1, x0, y1, width, color);
+        self.draw_line(x0, y1, x0, y0, width, color);
+    }
+
+    pub fn fill_circle(&mut self, cx: i32, cy: i32, r: i32, color: Color) {
+        // Clip the row range to the buffer and use i64 math so huge radii
+        // (deep zoom) stay cheap and overflow-free.
+        let r = r.max(0) as i64;
+        let (cx, cy) = (cx as i64, cy as i64);
+        let y_lo = (cy - r).max(0);
+        let y_hi = (cy + r).min(self.height as i64 - 1);
+        for y in y_lo..=y_hi {
+            let dy = y - cy;
+            let half = ((r * r - dy * dy) as f64).sqrt() as i64;
+            let x_lo = (cx - half).max(0);
+            let x_hi = (cx + half).min(self.width as i64 - 1);
+            for x in x_lo..=x_hi {
+                self.set(x as i32, y as i32, color);
+            }
+        }
+    }
+
+    /// Midpoint circle outline.
+    pub fn draw_circle(&mut self, cx: i32, cy: i32, r: i32, width: u32, color: Color) {
+        if r <= 0 {
+            self.draw_point(cx, cy, width, color);
+            return;
+        }
+        let span = (self.width + self.height) as i32;
+        if r > span * 4 {
+            // The visible part of so large a circle is near-straight; the
+            // buffer intersects at most a shallow arc.  Draw it as chords
+            // (clipped lines) instead of walking millions of perimeter
+            // pixels.
+            let rf = r as f64;
+            let steps = 64;
+            let mut prev: Option<(i32, i32)> = None;
+            for i in 0..=steps {
+                let a = std::f64::consts::TAU * i as f64 / steps as f64;
+                let px = cx as f64 + rf * a.cos();
+                let py = cy as f64 + rf * a.sin();
+                let p = (
+                    px.clamp(i32::MIN as f64, i32::MAX as f64) as i32,
+                    py.clamp(i32::MIN as f64, i32::MAX as f64) as i32,
+                );
+                if let Some(q) = prev {
+                    self.draw_line(q.0, q.1, p.0, p.1, width, color);
+                }
+                prev = Some(p);
+            }
+            return;
+        }
+        let mut x = r;
+        let mut y = 0;
+        let mut err = 1 - r;
+        while x >= y {
+            for (px, py) in [
+                (cx + x, cy + y),
+                (cx + y, cy + x),
+                (cx - y, cy + x),
+                (cx - x, cy + y),
+                (cx - x, cy - y),
+                (cx - y, cy - x),
+                (cx + y, cy - x),
+                (cx + x, cy - y),
+            ] {
+                self.draw_point(px, py, width, color);
+            }
+            y += 1;
+            if err < 0 {
+                err += 2 * y + 1;
+            } else {
+                x -= 1;
+                err += 2 * (y - x) + 1;
+            }
+        }
+    }
+
+    /// Scanline polygon fill (even-odd rule).
+    pub fn fill_polygon(&mut self, pts: &[(i32, i32)], color: Color) {
+        if pts.len() < 3 {
+            return;
+        }
+        let min_y = pts.iter().map(|p| p.1).min().unwrap().max(0);
+        let max_y = pts.iter().map(|p| p.1).max().unwrap().min(self.height as i32 - 1);
+        for y in min_y..=max_y {
+            let mut xs: Vec<i32> = Vec::new();
+            let n = pts.len();
+            for i in 0..n {
+                let (x0, y0) = pts[i];
+                let (x1, y1) = pts[(i + 1) % n];
+                if (y0 <= y && y < y1) || (y1 <= y && y < y0) {
+                    let t = (y - y0) as f64 / (y1 - y0) as f64;
+                    xs.push((x0 as f64 + t * (x1 - x0) as f64).round() as i32);
+                }
+            }
+            xs.sort_unstable();
+            for pair in xs.chunks(2) {
+                if let [a, b] = pair {
+                    for x in (*a).max(0)..=(*b).min(self.width as i32 - 1) {
+                        self.set(x, y, color);
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn draw_polygon(&mut self, pts: &[(i32, i32)], width: u32, color: Color) {
+        if pts.is_empty() {
+            return;
+        }
+        let n = pts.len();
+        for i in 0..n {
+            let (x0, y0) = pts[i];
+            let (x1, y1) = pts[(i + 1) % n];
+            self.draw_line(x0, y0, x1, y1, width, color);
+        }
+    }
+
+    /// Copy `src` into this buffer with its top-left corner at (x, y),
+    /// clipping at the edges.  Used for magnifying glasses and wormhole
+    /// apertures (viewer-in-viewer rendering).
+    pub fn blit(&mut self, src: &Framebuffer, x: i32, y: i32) {
+        for sy in 0..src.height as i32 {
+            for sx in 0..src.width as i32 {
+                if let Some(px) = src.get(sx, sy) {
+                    self.set(x + sx, y + sy, Color { r: px[0], g: px[1], b: px[2], a: px[3] });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_buffer_is_white() {
+        let fb = Framebuffer::new(4, 3);
+        assert_eq!(fb.pixels().len(), 12);
+        assert_eq!(fb.ink_fraction(), 0.0);
+        assert_eq!(fb.get(0, 0), Some([255, 255, 255, 255]));
+        assert_eq!(fb.get(4, 0), None);
+        assert_eq!(fb.get(-1, 0), None);
+    }
+
+    #[test]
+    fn set_clips_out_of_bounds() {
+        let mut fb = Framebuffer::new(2, 2);
+        fb.set(-5, 0, Color::RED);
+        fb.set(0, 99, Color::RED);
+        assert_eq!(fb.ink_fraction(), 0.0);
+        fb.set(1, 1, Color::RED);
+        assert_eq!(fb.count_color(Color::RED), 1);
+    }
+
+    #[test]
+    fn alpha_blend() {
+        let mut fb = Framebuffer::new(1, 1);
+        fb.set(0, 0, Color { r: 0, g: 0, b: 0, a: 128 });
+        let p = fb.get(0, 0).unwrap();
+        assert!(p[0] > 100 && p[0] < 150, "half-blend of black over white, got {}", p[0]);
+        // Zero alpha is a no-op.
+        let mut fb2 = Framebuffer::new(1, 1);
+        fb2.set(0, 0, Color { r: 0, g: 0, b: 0, a: 0 });
+        assert_eq!(fb2.ink_fraction(), 0.0);
+    }
+
+    #[test]
+    fn line_endpoints_drawn() {
+        let mut fb = Framebuffer::new(10, 10);
+        fb.draw_line(1, 1, 8, 6, 1, Color::BLUE);
+        assert_eq!(fb.get(1, 1).unwrap()[2], Color::BLUE.b);
+        assert_eq!(fb.get(8, 6).unwrap()[2], Color::BLUE.b);
+        assert!(fb.count_color(Color::BLUE) >= 8);
+    }
+
+    #[test]
+    fn line_clips_safely() {
+        let mut fb = Framebuffer::new(4, 4);
+        fb.draw_line(-100, -50, 100, 50, 3, Color::BLACK);
+        assert!(fb.ink_fraction() > 0.0);
+    }
+
+    #[test]
+    fn rect_fill_and_outline() {
+        let mut fb = Framebuffer::new(10, 10);
+        fb.fill_rect(2, 2, 5, 4, Color::GREEN);
+        assert_eq!(fb.count_color(Color::GREEN), 4 * 3);
+        let mut fb2 = Framebuffer::new(10, 10);
+        fb2.draw_rect(2, 2, 7, 7, 1, Color::BLACK);
+        assert!(fb2.get(2, 4).is_some_and(|p| p[0] == 0));
+        assert_eq!(fb2.get(4, 4), Some([255, 255, 255, 255]), "interior empty");
+        // Inverted corners normalize.
+        let mut fb3 = Framebuffer::new(10, 10);
+        fb3.fill_rect(5, 4, 2, 2, Color::GREEN);
+        assert_eq!(fb3.count_color(Color::GREEN), 4 * 3);
+    }
+
+    #[test]
+    fn circle_fill_contains_center_and_respects_radius() {
+        let mut fb = Framebuffer::new(21, 21);
+        fb.fill_circle(10, 10, 5, Color::RED);
+        assert_eq!(fb.get(10, 10).unwrap()[0], Color::RED.r);
+        assert_eq!(fb.get(10, 4).unwrap(), [255, 255, 255, 255], "outside radius");
+        let area = fb.count_color(Color::RED) as f64;
+        let expect = std::f64::consts::PI * 25.0;
+        assert!((area - expect).abs() < expect * 0.3, "area {area} vs {expect}");
+    }
+
+    #[test]
+    fn circle_outline_on_perimeter() {
+        let mut fb = Framebuffer::new(21, 21);
+        fb.draw_circle(10, 10, 5, 1, Color::BLACK);
+        assert_eq!(fb.get(15, 10).unwrap()[0], 0);
+        assert_eq!(fb.get(10, 15).unwrap()[0], 0);
+        assert_eq!(fb.get(10, 10), Some([255, 255, 255, 255]), "center empty");
+        // Degenerate radius draws a point.
+        let mut fb2 = Framebuffer::new(5, 5);
+        fb2.draw_circle(2, 2, 0, 1, Color::BLACK);
+        assert_eq!(fb2.get(2, 2).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn polygon_fill_even_odd() {
+        let mut fb = Framebuffer::new(20, 20);
+        fb.fill_polygon(&[(2, 2), (17, 2), (17, 17), (2, 17)], Color::BLUE);
+        assert_eq!(fb.get(10, 10).unwrap()[2], Color::BLUE.b);
+        assert_eq!(fb.get(1, 1), Some([255, 255, 255, 255]));
+        // Triangle.
+        let mut fb2 = Framebuffer::new(20, 20);
+        fb2.fill_polygon(&[(10, 2), (18, 18), (2, 18)], Color::RED);
+        assert_eq!(fb2.get(10, 10).unwrap()[0], Color::RED.r);
+        assert_eq!(fb2.get(2, 3), Some([255, 255, 255, 255]));
+        // Degenerate polygons are no-ops.
+        let mut fb3 = Framebuffer::new(5, 5);
+        fb3.fill_polygon(&[(1, 1), (2, 2)], Color::RED);
+        assert_eq!(fb3.ink_fraction(), 0.0);
+    }
+
+    #[test]
+    fn blit_clips() {
+        let mut dst = Framebuffer::new(8, 8);
+        let mut src = Framebuffer::new(4, 4);
+        src.clear(Color::RED);
+        dst.blit(&src, 6, 6);
+        assert_eq!(dst.count_color(Color::RED), 4, "only the 2x2 overlap lands");
+        dst.blit(&src, 0, 0);
+        assert_eq!(dst.count_color(Color::RED), 16 + 4);
+    }
+
+    #[test]
+    fn clear_fills() {
+        let mut fb = Framebuffer::new(3, 3);
+        fb.clear(Color::BLACK);
+        assert_eq!(fb.count_color(Color::BLACK), 9);
+    }
+}

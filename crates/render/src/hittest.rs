@@ -1,0 +1,122 @@
+//! Hit testing: mapping a screen click back to the tuple that produced
+//! the clicked object.
+//!
+//! Paper §8: "When a user clicks on a screen object, the Tioga-2 run time
+//! system activates a generic update procedure, passing it the tuple
+//! corresponding to the screen object."  Rendering a scene produces a
+//! [`HitIndex`]; [`HitIndex::hit`] returns matches topmost-first (reverse
+//! draw order).
+
+/// Identity of the tuple behind a screen object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// Layer (display relation) name.
+    pub layer: String,
+    /// Stable base-table row identity (update target).
+    pub row_id: u64,
+    /// Position of the tuple within its displayed relation.
+    pub seq: usize,
+    /// Base table the tuple came from, when update-traceable.
+    pub source: Option<String>,
+}
+
+/// One rendered screen object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HitRecord {
+    /// Screen-space bounding box (x0, y0, x1, y1), inclusive.
+    pub bbox: (i32, i32, i32, i32),
+    /// What kind of drawable this was ("circle", "text", "viewer", ...).
+    pub kind: &'static str,
+    pub provenance: Provenance,
+    /// Index of the item in the scene that produced this record.
+    pub scene_index: usize,
+}
+
+/// Spatial index of rendered objects, in draw order.
+#[derive(Debug, Clone, Default)]
+pub struct HitIndex {
+    records: Vec<HitRecord>,
+}
+
+impl HitIndex {
+    pub fn push(&mut self, rec: HitRecord) {
+        self.records.push(rec);
+    }
+
+    pub fn records(&self) -> &[HitRecord] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All objects containing the point, topmost (last drawn) first.
+    pub fn hit(&self, x: i32, y: i32) -> Vec<&HitRecord> {
+        self.records
+            .iter()
+            .rev()
+            .filter(|r| {
+                let (x0, y0, x1, y1) = r.bbox;
+                x >= x0 && x <= x1 && y >= y0 && y <= y1
+            })
+            .collect()
+    }
+
+    /// The topmost object containing the point, if any.
+    pub fn top_hit(&self, x: i32, y: i32) -> Option<&HitRecord> {
+        self.hit(x, y).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(bbox: (i32, i32, i32, i32), layer: &str, row: u64, idx: usize) -> HitRecord {
+        HitRecord {
+            bbox,
+            kind: "circle",
+            provenance: Provenance {
+                layer: layer.into(),
+                row_id: row,
+                seq: row as usize,
+                source: Some("stations".into()),
+            },
+            scene_index: idx,
+        }
+    }
+
+    #[test]
+    fn hit_returns_topmost_first() {
+        let mut idx = HitIndex::default();
+        idx.push(rec((0, 0, 10, 10), "bottom", 1, 0));
+        idx.push(rec((5, 5, 15, 15), "top", 2, 1));
+        let hits = idx.hit(7, 7);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].provenance.layer, "top");
+        assert_eq!(hits[1].provenance.layer, "bottom");
+        assert_eq!(idx.top_hit(7, 7).unwrap().provenance.row_id, 2);
+    }
+
+    #[test]
+    fn miss_returns_empty() {
+        let mut idx = HitIndex::default();
+        idx.push(rec((0, 0, 10, 10), "a", 1, 0));
+        assert!(idx.hit(20, 20).is_empty());
+        assert!(idx.top_hit(20, 20).is_none());
+    }
+
+    #[test]
+    fn bbox_edges_inclusive() {
+        let mut idx = HitIndex::default();
+        idx.push(rec((2, 2, 4, 4), "a", 1, 0));
+        assert!(idx.top_hit(2, 2).is_some());
+        assert!(idx.top_hit(4, 4).is_some());
+        assert!(idx.top_hit(5, 4).is_none());
+    }
+}

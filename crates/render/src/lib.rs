@@ -1,0 +1,37 @@
+//! # tioga2-render
+//!
+//! A deterministic, dependency-free software rasterizer — the substitute
+//! for the X11 canvas of the original Tioga-2 design (the substitution is
+//! documented in `DESIGN.md`).  The paper's direct-manipulation semantics
+//! are about *what a gesture means as a program edit*, not about a
+//! windowing toolkit; a headless canvas lets the test suite assert
+//! pixel-level outcomes of every gesture, which an interactive GUI could
+//! not.
+//!
+//! Contents:
+//!
+//! * [`Framebuffer`] — an RGBA pixel buffer with clipped primitive
+//!   rasterization (Bresenham lines, midpoint circles, scanline polygon
+//!   fill) and sub-buffer blitting (used for magnifying glasses and
+//!   wormhole previews),
+//! * [`font`] — a 5×7 bitmap font for the text drawable,
+//! * [`Viewport`] — the world↔screen transform driven by pan position and
+//!   elevation (paper §2: a viewer has an n+1-dimensional position; zoom
+//!   changes the elevation),
+//! * [`Scene`] — a display list of positioned drawables with tuple
+//!   provenance, rendered to a framebuffer while building a [`HitIndex`]
+//!   (screen object → tuple) for the update machinery of §8, and
+//! * [`ppm`] / [`svg`] — image writers.
+
+pub mod font;
+pub mod framebuffer;
+pub mod hittest;
+pub mod ppm;
+pub mod scene;
+pub mod svg;
+pub mod viewport;
+
+pub use framebuffer::Framebuffer;
+pub use hittest::{HitIndex, HitRecord, Provenance};
+pub use scene::{render_scene, Scene, SceneItem};
+pub use viewport::Viewport;

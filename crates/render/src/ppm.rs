@@ -1,0 +1,50 @@
+//! Binary PPM (P6) image writer — the figure regenerator saves canvases
+//! with it, keeping the workspace dependency-free.
+
+use crate::framebuffer::Framebuffer;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Encode the framebuffer as a binary PPM (P6) byte vector.
+pub fn encode(fb: &Framebuffer) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + fb.pixels().len() * 3);
+    out.extend_from_slice(format!("P6\n{} {}\n255\n", fb.width(), fb.height()).as_bytes());
+    for p in fb.pixels() {
+        out.extend_from_slice(&p[..3]);
+    }
+    out
+}
+
+/// Write the framebuffer to `path` as PPM.
+pub fn write_ppm(fb: &Framebuffer, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&encode(fb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tioga2_expr::Color;
+
+    #[test]
+    fn header_and_size() {
+        let mut fb = Framebuffer::new(2, 3);
+        fb.set(0, 0, Color::RED);
+        let bytes = encode(&fb);
+        assert!(bytes.starts_with(b"P6\n2 3\n255\n"));
+        assert_eq!(bytes.len(), 11 + 2 * 3 * 3);
+        // First pixel is the red we set.
+        assert_eq!(&bytes[11..14], &[Color::RED.r, Color::RED.g, Color::RED.b]);
+    }
+
+    #[test]
+    fn write_to_disk() {
+        let fb = Framebuffer::new(4, 4);
+        let dir = std::env::temp_dir().join("tioga2_ppm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ppm");
+        write_ppm(&fb, &path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert_eq!(data, encode(&fb));
+    }
+}

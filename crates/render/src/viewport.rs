@@ -1,0 +1,180 @@
+//! The world ↔ screen transform.
+//!
+//! A Tioga-2 viewer has an (n+1)-dimensional position: a pan location in
+//! the n viewing dimensions plus an **elevation** (§2).  For the two
+//! screen dimensions the transform is determined by the pan center and
+//! the elevation; we define the visible world *height* to equal the
+//! elevation, so zooming in (descending) shows less of the world and
+//! elevation → 0 is the wormhole pass-through limit (§6.2).
+//!
+//! World coordinates follow mathematical convention (y grows up); pixel
+//! coordinates follow raster convention (y grows down).
+
+/// World↔screen transform for one canvas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Viewport {
+    /// World coordinates at the center of the screen.
+    pub center: (f64, f64),
+    /// Elevation: the visible world height.  Must be positive.
+    pub elevation: f64,
+    /// Screen size in pixels.
+    pub width_px: u32,
+    pub height_px: u32,
+}
+
+impl Viewport {
+    pub fn new(center: (f64, f64), elevation: f64, width_px: u32, height_px: u32) -> Self {
+        Viewport { center, elevation: elevation.max(f64::MIN_POSITIVE), width_px, height_px }
+    }
+
+    /// Pixels per world unit.
+    pub fn scale(&self) -> f64 {
+        self.height_px as f64 / self.elevation
+    }
+
+    /// Visible world width (aspect-corrected).
+    pub fn world_width(&self) -> f64 {
+        self.width_px as f64 / self.scale()
+    }
+
+    /// Visible world rectangle `(min_x, min_y, max_x, max_y)`.
+    pub fn world_bounds(&self) -> (f64, f64, f64, f64) {
+        let hw = self.world_width() / 2.0;
+        let hh = self.elevation / 2.0;
+        (self.center.0 - hw, self.center.1 - hh, self.center.0 + hw, self.center.1 + hh)
+    }
+
+    /// World → screen pixels (y flipped).
+    pub fn to_screen(&self, wx: f64, wy: f64) -> (i32, i32) {
+        let s = self.scale();
+        let x = (wx - self.center.0) * s + self.width_px as f64 / 2.0;
+        let y = self.height_px as f64 / 2.0 - (wy - self.center.1) * s;
+        (x.round() as i32, y.round() as i32)
+    }
+
+    /// Screen pixels → world.
+    pub fn to_world(&self, px: i32, py: i32) -> (f64, f64) {
+        let s = self.scale();
+        let wx = (px as f64 - self.width_px as f64 / 2.0) / s + self.center.0;
+        let wy = (self.height_px as f64 / 2.0 - py as f64) / s + self.center.1;
+        (wx, wy)
+    }
+
+    /// A world length in pixels.
+    pub fn len_to_px(&self, len: f64) -> i32 {
+        (len * self.scale()).round() as i32
+    }
+
+    /// Pan by a screen-pixel delta (e.g. a drag gesture).
+    pub fn pan_px(&mut self, dx_px: i32, dy_px: i32) {
+        let s = self.scale();
+        self.center.0 -= dx_px as f64 / s;
+        self.center.1 += dy_px as f64 / s;
+    }
+
+    /// Multiply the elevation by `factor` (< 1 zooms in, > 1 zooms out),
+    /// keeping the world point under the screen center fixed.
+    pub fn zoom(&mut self, factor: f64) {
+        self.elevation = (self.elevation * factor).max(f64::MIN_POSITIVE);
+    }
+
+    /// Fit the viewport to show the world rectangle with a margin factor
+    /// (1.1 = 10% border).  Degenerate rectangles get a unit window.
+    pub fn fit(bounds: (f64, f64, f64, f64), width_px: u32, height_px: u32, margin: f64) -> Self {
+        let (x0, y0, x1, y1) = bounds;
+        let cx = (x0 + x1) / 2.0;
+        let cy = (y0 + y1) / 2.0;
+        let w = (x1 - x0).abs().max(1e-9);
+        let h = (y1 - y0).abs().max(1e-9);
+        // Elevation must fit both height and (aspect-scaled) width.
+        let aspect = width_px.max(1) as f64 / height_px.max(1) as f64;
+        let elev = (h.max(w / aspect) * margin).max(1e-9);
+        Viewport::new((cx, cy), elev, width_px, height_px)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vp() -> Viewport {
+        Viewport::new((10.0, 20.0), 100.0, 400, 200)
+    }
+
+    #[test]
+    fn center_maps_to_screen_center() {
+        let v = vp();
+        assert_eq!(v.to_screen(10.0, 20.0), (200, 100));
+    }
+
+    #[test]
+    fn y_axis_flips() {
+        let v = vp();
+        let (_, py_up) = v.to_screen(10.0, 30.0);
+        let (_, py_down) = v.to_screen(10.0, 10.0);
+        assert!(py_up < 100 && py_down > 100, "world up is screen up");
+    }
+
+    #[test]
+    fn roundtrip_world_screen() {
+        let v = vp();
+        for &(wx, wy) in &[(10.0, 20.0), (0.0, 0.0), (-35.5, 61.25)] {
+            let (px, py) = v.to_screen(wx, wy);
+            let (bx, by) = v.to_world(px, py);
+            assert!((bx - wx).abs() < 1.0 && (by - wy).abs() < 1.0, "({wx},{wy}) -> ({bx},{by})");
+        }
+    }
+
+    #[test]
+    fn elevation_is_visible_height() {
+        let v = vp();
+        let (_, y0, _, y1) = v.world_bounds();
+        assert!((y1 - y0 - 100.0).abs() < 1e-9);
+        // Aspect 2:1 → world width is double.
+        assert!((v.world_width() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zoom_in_shows_less() {
+        let mut v = vp();
+        v.zoom(0.5);
+        assert_eq!(v.elevation, 50.0);
+        assert_eq!(v.scale(), 4.0);
+        v.zoom(0.0); // clamped, never reaches zero
+        assert!(v.elevation > 0.0);
+    }
+
+    #[test]
+    fn pan_px_moves_center() {
+        let mut v = vp();
+        // scale = 2 px per world unit; drag right 20px = move center left 10.
+        v.pan_px(20, 0);
+        assert!((v.center.0 - 0.0).abs() < 1e-9);
+        v.pan_px(0, -20);
+        assert!((v.center.1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_contains_bounds() {
+        let v = Viewport::fit((-91.0, 29.0, -89.0, 33.0), 400, 400, 1.1);
+        let (x0, y0, x1, y1) = v.world_bounds();
+        assert!(x0 <= -91.0 && x1 >= -89.0 && y0 <= 29.0 && y1 >= 33.0);
+        // Wide bounds on a square screen still fit horizontally.
+        let v2 = Viewport::fit((0.0, 0.0, 100.0, 1.0), 400, 400, 1.0);
+        let (x0, _, x1, _) = v2.world_bounds();
+        assert!(x0 <= 0.0 && x1 >= 100.0);
+    }
+
+    #[test]
+    fn fit_degenerate_bounds() {
+        let v = Viewport::fit((5.0, 5.0, 5.0, 5.0), 100, 100, 1.1);
+        assert!(v.elevation > 0.0);
+        assert_eq!(v.to_screen(5.0, 5.0), (50, 50));
+    }
+
+    #[test]
+    fn len_to_px() {
+        let v = vp();
+        assert_eq!(v.len_to_px(10.0), 20);
+    }
+}

@@ -1,0 +1,346 @@
+//! Spatial indexing for browsing queries.
+//!
+//! The paper defers performance to \\[Che95\\] ("the optimization and
+//! efficient implementation of browsing queries").  The dominant browsing
+//! query is the viewer's visible-region filter (§2): at high zoom a
+//! canvas of millions of tuples shows only a handful, yet a naive render
+//! evaluates every tuple's location attributes.  A [`SpatialIndex`] is a
+//! uniform grid over a layer's evaluated n-space positions: build once in
+//! O(n), then answer visible-rectangle queries in O(cells touched +
+//! answers), with the evaluated positions cached so candidates skip
+//! attribute re-evaluation entirely.
+//!
+//! The index is a snapshot of one [`DisplayRelation`] state: any change
+//! to the layer (data, methods, offsets) invalidates it.  The A4 ablation
+//! bench measures the scan-vs-index crossover.
+
+use crate::error::ViewError;
+use crate::render_pass::{CullOptions, Slider};
+use std::collections::HashMap;
+use tioga2_display::{Composite, DisplayRelation};
+use tioga2_render::hittest::Provenance;
+use tioga2_render::scene::{Scene, SceneItem};
+
+/// A uniform-grid index over one layer's tuple positions.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    /// Grid cell side length in world units.
+    cell: f64,
+    /// Cell -> tuple sequence numbers.
+    grid: HashMap<(i64, i64), Vec<u32>>,
+    /// Evaluated full positions per tuple (NaN positions excluded from
+    /// the grid but kept here for arity stability).
+    positions: Vec<Vec<f64>>,
+    /// World bbox of indexed points `(min_x, min_y, max_x, max_y)`.
+    bounds: Option<(f64, f64, f64, f64)>,
+}
+
+impl SpatialIndex {
+    /// Evaluate every tuple's position once and grid the x/y plane.
+    pub fn build(layer: &DisplayRelation) -> Result<Self, ViewError> {
+        let n = layer.rel.len();
+        let mut positions = Vec::with_capacity(n);
+        let mut bounds: Option<(f64, f64, f64, f64)> = None;
+        for seq in 0..n {
+            let pos = layer.tuple_position(seq)?;
+            let (x, y) = (pos[0], pos[1]);
+            if !x.is_nan() && !y.is_nan() {
+                bounds = Some(match bounds {
+                    None => (x, y, x, y),
+                    Some((x0, y0, x1, y1)) => (x0.min(x), y0.min(y), x1.max(x), y1.max(y)),
+                });
+            }
+            positions.push(pos);
+        }
+        // Aim for ~1 point per cell: cell = extent / sqrt(n).
+        let cell = match bounds {
+            Some((x0, y0, x1, y1)) => {
+                let extent = ((x1 - x0).max(y1 - y0)).max(1e-9);
+                (extent / (n.max(1) as f64).sqrt()).max(1e-9)
+            }
+            None => 1.0,
+        };
+        let mut grid: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (seq, pos) in positions.iter().enumerate() {
+            let (x, y) = (pos[0], pos[1]);
+            if x.is_nan() || y.is_nan() {
+                continue;
+            }
+            grid.entry(Self::key(cell, x, y)).or_default().push(seq as u32);
+        }
+        Ok(SpatialIndex { cell, grid, positions, bounds })
+    }
+
+    fn key(cell: f64, x: f64, y: f64) -> (i64, i64) {
+        ((x / cell).floor().clamp(-1e15, 1e15) as i64, (y / cell).floor().clamp(-1e15, 1e15) as i64)
+    }
+
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The evaluated position of tuple `seq`.
+    pub fn position(&self, seq: usize) -> Option<&[f64]> {
+        self.positions.get(seq).map(Vec::as_slice)
+    }
+
+    /// Tuple sequences whose (x, y) lies within the rectangle, ascending.
+    pub fn query(&self, min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Vec<usize> {
+        let Some((bx0, by0, bx1, by1)) = self.bounds else { return Vec::new() };
+        // Clip the query to the data bbox so an unbounded query does not
+        // enumerate astronomically many empty cells.
+        let qx0 = min_x.max(bx0);
+        let qy0 = min_y.max(by0);
+        let qx1 = max_x.min(bx1);
+        let qy1 = max_y.min(by1);
+        if qx0 > qx1 || qy0 > qy1 {
+            return Vec::new();
+        }
+        let (cx0, cy0) = Self::key(self.cell, qx0, qy0);
+        let (cx1, cy1) = Self::key(self.cell, qx1, qy1);
+        let mut out: Vec<usize> = Vec::new();
+        // Cheaper to scan all occupied cells when the window covers more
+        // cells than exist.
+        let window_cells = ((cx1 - cx0 + 1) as i128) * ((cy1 - cy0 + 1) as i128);
+        if window_cells > self.grid.len() as i128 {
+            for (cellk, seqs) in &self.grid {
+                if cellk.0 >= cx0 && cellk.0 <= cx1 && cellk.1 >= cy0 && cellk.1 <= cy1 {
+                    self.collect(seqs, min_x, min_y, max_x, max_y, &mut out);
+                }
+            }
+        } else {
+            for cx in cx0..=cx1 {
+                for cy in cy0..=cy1 {
+                    if let Some(seqs) = self.grid.get(&(cx, cy)) {
+                        self.collect(seqs, min_x, min_y, max_x, max_y, &mut out);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn collect(
+        &self,
+        seqs: &[u32],
+        min_x: f64,
+        min_y: f64,
+        max_x: f64,
+        max_y: f64,
+        out: &mut Vec<usize>,
+    ) {
+        for &seq in seqs {
+            let pos = &self.positions[seq as usize];
+            let (x, y) = (pos[0], pos[1]);
+            if x >= min_x && x <= max_x && y >= min_y && y <= max_y {
+                out.push(seq as usize);
+            }
+        }
+    }
+}
+
+/// Index-accelerated variant of
+/// [`crate::render_pass::compose_scene`]: layers present in `indices`
+/// (keyed by layer name) answer the visible-region filter from the grid
+/// and reuse cached positions; other layers fall back to the scan.
+///
+/// Semantics match `compose_scene` with default culling (the whole point
+/// of the index is the bounds filter, so it is always applied to indexed
+/// layers).
+pub fn compose_scene_indexed(
+    composite: &Composite,
+    elevation: f64,
+    sliders: &[Slider],
+    bounds: (f64, f64, f64, f64),
+    indices: &HashMap<String, SpatialIndex>,
+) -> Result<Scene, ViewError> {
+    let mut scene = Scene::default();
+    let (min_x, min_y, max_x, max_y) = bounds;
+    let margin_x = (max_x - min_x).abs() * 0.25;
+    let margin_y = (max_y - min_y).abs() * 0.25;
+
+    for layer in &composite.layers {
+        if !layer.elev_range.contains(elevation) {
+            continue;
+        }
+        let Some(index) = indices.get(&layer.name).filter(|i| i.len() == layer.rel.len()) else {
+            // Fall back to the scanning path for this layer.
+            let single = Composite::new(vec![layer.clone()])?;
+            let sub = crate::render_pass::compose_scene(
+                &single,
+                elevation,
+                sliders,
+                bounds,
+                CullOptions::default(),
+            )?;
+            scene.items.extend(sub.items);
+            continue;
+        };
+        let slider_dims: Vec<(usize, (f64, f64))> = sliders
+            .iter()
+            .filter_map(|s| {
+                layer.location_attrs().iter().position(|a| *a == s.dim).map(|i| (i, s.range))
+            })
+            .collect();
+        let source = layer.rel.source().map(str::to_string);
+        for seq in
+            index.query(min_x - margin_x, min_y - margin_y, max_x + margin_x, max_y + margin_y)
+        {
+            let pos = index.position(seq).expect("indexed position");
+            let mut visible = true;
+            for (dim_idx, (lo, hi)) in &slider_dims {
+                let v = pos.get(*dim_idx).copied().unwrap_or(f64::NAN);
+                if v.is_nan() || v < *lo || v > *hi {
+                    visible = false;
+                    break;
+                }
+            }
+            if !visible {
+                continue;
+            }
+            let row_id = layer.rel.tuples()[seq].row_id;
+            for drawable in layer.tuple_display(seq)? {
+                scene.push(SceneItem {
+                    world: (pos[0], pos[1]),
+                    drawable,
+                    provenance: Provenance {
+                        layer: layer.name.clone(),
+                        row_id,
+                        seq,
+                        source: source.clone(),
+                    },
+                });
+            }
+        }
+    }
+    Ok(scene)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render_pass::compose_scene;
+    use tioga2_display::attr_ops::{add_attribute, set_attribute, AttrRole};
+    use tioga2_display::defaults::make_display_relation;
+    use tioga2_expr::{parse, ScalarType as T, Value};
+    use tioga2_relational::relation::RelationBuilder;
+
+    fn grid_layer(n: usize) -> DisplayRelation {
+        let mut b = RelationBuilder::new().field("px", T::Float).field("py", T::Float);
+        let side = (n as f64).sqrt().ceil() as usize;
+        for i in 0..n {
+            b = b.row(vec![Value::Float((i % side) as f64), Value::Float((i / side) as f64)]);
+        }
+        let dr = make_display_relation(b.build().unwrap(), "grid").unwrap();
+        let dr = set_attribute(&dr, "x", T::Float, parse("px").unwrap()).unwrap();
+        let dr = set_attribute(&dr, "y", T::Float, parse("py").unwrap()).unwrap();
+        set_attribute(&dr, "display", T::DrawList, parse("point('red') ++ nodraw()").unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let layer = grid_layer(400);
+        let index = SpatialIndex::build(&layer).unwrap();
+        for window in [(-1.0, -1.0, 5.0, 5.0), (3.5, 3.5, 9.2, 7.1), (100.0, 100.0, 200.0, 200.0)] {
+            let got = index.query(window.0, window.1, window.2, window.3);
+            let mut want = Vec::new();
+            for seq in 0..layer.rel.len() {
+                let pos = layer.tuple_position(seq).unwrap();
+                if pos[0] >= window.0
+                    && pos[0] <= window.2
+                    && pos[1] >= window.1
+                    && pos[1] <= window.3
+                {
+                    want.push(seq);
+                }
+            }
+            assert_eq!(got, want, "window {window:?}");
+        }
+    }
+
+    #[test]
+    fn indexed_scene_matches_scan_scene() {
+        let layer = grid_layer(900);
+        let composite = Composite::new(vec![layer.clone()]).unwrap();
+        let mut indices = HashMap::new();
+        indices.insert("grid".to_string(), SpatialIndex::build(&layer).unwrap());
+        let bounds = (2.0, 2.0, 12.0, 9.0);
+        let scan = compose_scene(&composite, 10.0, &[], bounds, CullOptions::default()).unwrap();
+        let indexed = compose_scene_indexed(&composite, 10.0, &[], bounds, &indices).unwrap();
+        assert_eq!(scan, indexed, "index must be invisible to output");
+    }
+
+    #[test]
+    fn indexed_scene_respects_sliders_and_ranges() {
+        let layer = grid_layer(100);
+        let layer =
+            add_attribute(&layer, "band", T::Float, parse("px").unwrap(), AttrRole::Location)
+                .unwrap();
+        let composite = Composite::new(vec![layer.clone()]).unwrap();
+        let mut indices = HashMap::new();
+        indices.insert("grid".to_string(), SpatialIndex::build(&layer).unwrap());
+        let sliders = vec![Slider::new("band", 2.0, 4.0)];
+        let bounds = (-100.0, -100.0, 100.0, 100.0);
+        let scan =
+            compose_scene(&composite, 10.0, &sliders, bounds, CullOptions::default()).unwrap();
+        let indexed = compose_scene_indexed(&composite, 10.0, &sliders, bounds, &indices).unwrap();
+        assert_eq!(scan, indexed);
+        // Elevation culling still applies to indexed layers.
+        let mut ranged = layer.clone();
+        ranged.elev_range = tioga2_display::ElevRange::new(0.0, 5.0).unwrap();
+        let c2 = Composite::new(vec![ranged]).unwrap();
+        let out = compose_scene_indexed(&c2, 10.0, &[], bounds, &indices).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stale_index_falls_back_to_scan() {
+        let layer = grid_layer(100);
+        let mut indices = HashMap::new();
+        indices.insert("grid".to_string(), SpatialIndex::build(&grid_layer(50)).unwrap());
+        let composite = Composite::new(vec![layer]).unwrap();
+        let bounds = (-100.0, -100.0, 100.0, 100.0);
+        let out = compose_scene_indexed(&composite, 10.0, &[], bounds, &indices).unwrap();
+        assert_eq!(out.len(), 100, "size-mismatched index ignored, scan used");
+    }
+
+    #[test]
+    fn null_positions_excluded() {
+        let mut b = RelationBuilder::new().field("px", T::Float);
+        b = b.row(vec![Value::Null]).row(vec![Value::Float(3.0)]);
+        let dr = make_display_relation(b.build().unwrap(), "t").unwrap();
+        let dr = set_attribute(&dr, "x", T::Float, parse("px").unwrap()).unwrap();
+        let index = SpatialIndex::build(&dr).unwrap();
+        assert_eq!(index.len(), 2);
+        // Tuple 1 sits at (3, -12): the default y is -seq * 12.
+        assert_eq!(index.query(-20.0, -20.0, 10.0, 10.0), vec![1]);
+    }
+
+    #[test]
+    fn empty_layer_index() {
+        let dr =
+            make_display_relation(RelationBuilder::new().field("a", T::Int).build().unwrap(), "e")
+                .unwrap();
+        let index = SpatialIndex::build(&dr).unwrap();
+        assert!(index.is_empty());
+        assert!(index.query(-1.0, -1.0, 1.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn huge_window_does_not_enumerate_empty_cells() {
+        let layer = grid_layer(10_000);
+        let index = SpatialIndex::build(&layer).unwrap();
+        // A window vastly larger than the data: must stay fast because the
+        // query is clipped to the data bbox / occupied cells.
+        let t0 = std::time::Instant::now();
+        let all = index.query(-1e12, -1e12, 1e12, 1e12);
+        assert_eq!(all.len(), 10_000);
+        assert!(t0.elapsed().as_millis() < 2_000);
+    }
+}

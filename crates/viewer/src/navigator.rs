@@ -1,0 +1,384 @@
+//! Wormholes and rear view mirrors (paper §6.2, §6.3).
+//!
+//! A **wormhole** is a viewer drawable: "what is visible inside a
+//! wormhole is a point on another canvas from some elevation. ... When a
+//! user zooms in on a wormhole and reaches zero elevation he passes
+//! through the wormhole and moves from his original canvas to the
+//! destination canvas."
+//!
+//! The **rear view mirror** "shows the 'bottom side' of the canvas
+//! through which the user last moved. ... immediately after going through
+//! a wormhole, the user is ... at negative ground level for the canvas he
+//! just left.  As he descends toward the new canvas, he increases the
+//! distance from the previous canvas."
+
+use crate::error::ViewError;
+use crate::render_pass::{compose_scene, CullOptions};
+use crate::viewer::Viewer;
+use std::collections::BTreeMap;
+use tioga2_display::Composite;
+use tioga2_expr::{Shape, ViewerSpec};
+use tioga2_render::{render_scene, Framebuffer, Scene};
+
+/// The elevation at (or below) which zooming over a wormhole passes
+/// through it.
+pub const PASS_THROUGH_ELEVATION: f64 = 1e-3;
+
+/// One step of travel history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TravelRecord {
+    /// Canvas the user came from.
+    pub canvas: String,
+    /// Viewer state on that canvas at the moment of traversal.
+    pub center: (f64, f64),
+    pub elevation: f64,
+    /// Elevation of the destination canvas at entry (used to compute the
+    /// rear-view distance).
+    pub entry_elevation: f64,
+}
+
+/// A multi-canvas navigation session: named canvases, one active viewer,
+/// and the travel stack behind the rear view mirror.
+pub struct Navigator {
+    canvases: BTreeMap<String, Composite>,
+    pub viewer: Viewer,
+    current: String,
+    history: Vec<TravelRecord>,
+}
+
+impl Navigator {
+    /// Start on `initial`, fitting the viewer to its data.
+    pub fn new(
+        canvases: BTreeMap<String, Composite>,
+        initial: &str,
+        width: u32,
+        height: u32,
+    ) -> Result<Self, ViewError> {
+        if !canvases.contains_key(initial) {
+            return Err(ViewError::Nav(format!("unknown canvas '{initial}'")));
+        }
+        let mut viewer = Viewer::new(initial, width, height);
+        viewer.fit(&canvases[initial])?;
+        Ok(Navigator { canvases, viewer, current: initial.to_string(), history: Vec::new() })
+    }
+
+    pub fn current_canvas(&self) -> &str {
+        &self.current
+    }
+
+    pub fn canvas(&self, name: &str) -> Result<&Composite, ViewError> {
+        self.canvases.get(name).ok_or_else(|| ViewError::Nav(format!("unknown canvas '{name}'")))
+    }
+
+    pub fn history(&self) -> &[TravelRecord] {
+        &self.history
+    }
+
+    /// Register or replace a canvas.
+    pub fn set_canvas(&mut self, name: impl Into<String>, c: Composite) {
+        self.canvases.insert(name.into(), c);
+    }
+
+    /// Render the current canvas.
+    pub fn render(&self) -> Result<(Framebuffer, tioga2_render::HitIndex, Scene), ViewError> {
+        let c = self.canvas(&self.current)?;
+        self.viewer.render(c)
+    }
+
+    /// The wormhole whose aperture contains the world point under the
+    /// screen center, if any (topmost first).
+    pub fn wormhole_under_center(&self) -> Result<Option<ViewerSpec>, ViewError> {
+        let c = self.canvas(&self.current)?;
+        let scene = self.viewer.scene(c)?;
+        let vp = self.viewer.viewport();
+        let (cx, cy) = (vp.width_px as i32 / 2, vp.height_px as i32 / 2);
+        for item in scene.items.iter().rev() {
+            if let Shape::Viewer(spec) = &item.drawable.shape {
+                let bbox = tioga2_render::scene::item_screen_bbox(item, &vp);
+                if cx >= bbox.0 && cx <= bbox.2 && cy >= bbox.1 && cy <= bbox.3 {
+                    return Ok(Some(spec.clone()));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Zoom by `factor`.  If the elevation reaches the pass-through
+    /// threshold while a wormhole sits under the screen center, the user
+    /// passes through it: the method returns the destination canvas name.
+    pub fn zoom(&mut self, factor: f64) -> Result<Option<String>, ViewError> {
+        self.viewer.zoom(factor);
+        if self.viewer.position.elevation <= PASS_THROUGH_ELEVATION {
+            if let Some(spec) = self.wormhole_under_center()? {
+                self.traverse(&spec)?;
+                return Ok(Some(spec.destination));
+            }
+            // Bottomed out with no wormhole: clamp just above ground.
+            self.viewer.position.elevation = PASS_THROUGH_ELEVATION;
+        }
+        Ok(None)
+    }
+
+    /// Pass through `spec` immediately (also used when the user clicks a
+    /// wormhole instead of zooming all the way down).
+    pub fn traverse(&mut self, spec: &ViewerSpec) -> Result<(), ViewError> {
+        let dest = self.canvas(&spec.destination)?.clone();
+        self.history.push(TravelRecord {
+            canvas: self.current.clone(),
+            center: self.viewer.position.center,
+            elevation: self.viewer.position.elevation.max(PASS_THROUGH_ELEVATION),
+            entry_elevation: spec.elevation,
+        });
+        self.current = spec.destination.clone();
+        self.viewer.name = spec.destination.clone();
+        // "The user is initially positioned viewing the data for station s"
+        // — the spec carries the initial location and elevation (§6.2).
+        self.viewer.position.center = spec.at;
+        self.viewer.position.elevation = spec.elevation.max(PASS_THROUGH_ELEVATION);
+        // Sliders belong to the new canvas; refit ranges but keep pan.
+        let center = self.viewer.position.center;
+        let elev = self.viewer.position.elevation;
+        self.viewer.fit(&dest)?;
+        self.viewer.position.center = center;
+        self.viewer.position.elevation = elev;
+        Ok(())
+    }
+
+    /// The rear-view elevation for the canvas the user last left: zero at
+    /// the moment of passage, increasingly negative as the user descends
+    /// the new canvas.
+    pub fn rear_view_elevation(&self) -> Option<f64> {
+        let last = self.history.last()?;
+        Some((self.viewer.position.elevation - last.entry_elevation).min(0.0))
+    }
+
+    /// Render the rear view mirror: the underside of the previous canvas
+    /// (layers whose elevation range reaches below zero), from the
+    /// current rear-view elevation.  Returns None when there is no
+    /// history.
+    pub fn render_rear_view(
+        &self,
+        width: u32,
+        height: u32,
+    ) -> Result<Option<(Framebuffer, Scene)>, ViewError> {
+        let Some(last) = self.history.last() else { return Ok(None) };
+        let rear_elev = self.rear_view_elevation().unwrap_or(0.0).min(-PASS_THROUGH_ELEVATION);
+        let c = self.canvas(&last.canvas)?;
+        // The viewing extent grows with the distance from the departed
+        // canvas: descending away shows more of its underside.
+        let extent = rear_elev.abs().max(last.elevation).max(1e-6);
+        let vp = tioga2_render::Viewport::new(last.center, extent, width, height);
+        let scene = compose_scene(c, rear_elev, &[], vp.world_bounds(), CullOptions::default())?;
+        let mut fb = Framebuffer::new(width, height);
+        let _ = render_scene(&scene, &vp, &mut fb);
+        Ok(Some((fb, scene)))
+    }
+
+    /// "Find your way home": pop the travel stack and restore the
+    /// previous canvas and viewer position (the generalization of
+    /// hypertext "back", §6.3).
+    pub fn go_back(&mut self) -> Result<(), ViewError> {
+        let last =
+            self.history.pop().ok_or_else(|| ViewError::Nav("no canvas to go back to".into()))?;
+        let c = self.canvas(&last.canvas)?.clone();
+        self.current = last.canvas.clone();
+        self.viewer.name = last.canvas;
+        self.viewer.fit(&c)?;
+        self.viewer.position.center = last.center;
+        self.viewer.position.elevation = last.elevation;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tioga2_display::attr_ops::set_attribute;
+    use tioga2_display::defaults::make_display_relation;
+    use tioga2_display::drilldown::set_range;
+    use tioga2_expr::{parse, ScalarType as T, Value};
+    use tioga2_relational::relation::RelationBuilder;
+
+    /// A "stations" canvas whose display contains a wormhole to "temps"
+    /// once the user is below elevation 20, plus an underside marker for
+    /// the rear view mirror.
+    fn world() -> BTreeMap<String, Composite> {
+        let mut b = RelationBuilder::new().field("lon", T::Float).field("lat", T::Float);
+        b = b.row(vec![Value::Float(0.0), Value::Float(0.0)]);
+        let dr = make_display_relation(b.build().unwrap(), "stations").unwrap();
+        let dr = set_attribute(&dr, "x", T::Float, parse("lon").unwrap()).unwrap();
+        let dr = set_attribute(&dr, "y", T::Float, parse("lat").unwrap()).unwrap();
+        // Wormhole drawable: destination temps, entry elevation 80,
+        // positioned at (5, 3) on the destination canvas.
+        let dr = set_attribute(
+            &dr,
+            "display",
+            T::DrawList,
+            parse("circle(1.0,'red') ++ viewer('temps', 80.0, 5.0, 3.0, 6.0, 4.0)").unwrap(),
+        )
+        .unwrap();
+        let wormholes = set_range(&dr, 0.0, 20.0).unwrap();
+
+        // Underside marker on the stations canvas (visible in mirrors).
+        let mut under = make_display_relation(
+            RelationBuilder::new()
+                .field("lon", T::Float)
+                .row(vec![Value::Float(0.0)])
+                .build()
+                .unwrap(),
+            "under",
+        )
+        .unwrap();
+        under = set_attribute(&under, "x", T::Float, parse("lon").unwrap()).unwrap();
+        under = set_attribute(
+            &under,
+            "display",
+            T::DrawList,
+            parse("rect(4.0,4.0,'blue') ++ nodraw()").unwrap(),
+        )
+        .unwrap();
+        let under = set_range(&under, -1e6, -0.0001).unwrap();
+
+        let stations = Composite::new(vec![wormholes, under]).unwrap();
+
+        let mut t = RelationBuilder::new().field("time", T::Float).field("temp", T::Float);
+        for i in 0..5 {
+            t = t.row(vec![Value::Float(i as f64), Value::Float(20.0 + i as f64)]);
+        }
+        let temps = make_display_relation(t.build().unwrap(), "temps").unwrap();
+        let temps = set_attribute(&temps, "x", T::Float, parse("time").unwrap()).unwrap();
+        let temps = set_attribute(&temps, "y", T::Float, parse("temp").unwrap()).unwrap();
+        let temps = Composite::new(vec![temps]).unwrap();
+
+        let mut m = BTreeMap::new();
+        m.insert("stations".to_string(), stations);
+        m.insert("temps".to_string(), temps);
+        m
+    }
+
+    fn nav() -> Navigator {
+        let mut n = Navigator::new(world(), "stations", 200, 200).unwrap();
+        // Center on the station and descend below the wormhole's range.
+        n.viewer.position.center = (0.0, 0.0);
+        n.viewer.position.elevation = 10.0;
+        n
+    }
+
+    #[test]
+    fn unknown_canvas_rejected() {
+        assert!(Navigator::new(world(), "nope", 100, 100).is_err());
+    }
+
+    #[test]
+    fn wormhole_detected_under_center() {
+        let n = nav();
+        let spec = n.wormhole_under_center().unwrap().expect("wormhole visible");
+        assert_eq!(spec.destination, "temps");
+        // At high elevation the wormhole layer is range-culled.
+        let mut far = nav();
+        far.viewer.position.elevation = 100.0;
+        assert!(far.wormhole_under_center().unwrap().is_none());
+    }
+
+    #[test]
+    fn zooming_to_zero_passes_through() {
+        let mut n = nav();
+        let mut crossed = None;
+        for _ in 0..60 {
+            if let Some(dest) = n.zoom(0.5).unwrap() {
+                crossed = Some(dest);
+                break;
+            }
+        }
+        assert_eq!(crossed.as_deref(), Some("temps"));
+        assert_eq!(n.current_canvas(), "temps");
+        // Positioned per the viewer spec.
+        assert_eq!(n.viewer.position.center, (5.0, 3.0));
+        assert_eq!(n.viewer.position.elevation, 80.0);
+        assert_eq!(n.history().len(), 1);
+        assert_eq!(n.history()[0].canvas, "stations");
+    }
+
+    #[test]
+    fn zoom_without_wormhole_clamps() {
+        let mut n = nav();
+        // Pan away so no wormhole sits under the center.
+        n.viewer.position.center = (500.0, 500.0);
+        for _ in 0..80 {
+            assert_eq!(n.zoom(0.5).unwrap(), None);
+        }
+        assert!(n.viewer.position.elevation >= PASS_THROUGH_ELEVATION);
+        assert_eq!(n.current_canvas(), "stations");
+    }
+
+    #[test]
+    fn rear_view_shows_underside_of_previous_canvas() {
+        let mut n = nav();
+        let spec = n.wormhole_under_center().unwrap().unwrap();
+        n.traverse(&spec).unwrap();
+        // Descend the new canvas: rear elevation goes negative.
+        n.viewer.position.elevation = 40.0;
+        let rear = n.rear_view_elevation().unwrap();
+        assert!((rear - (40.0 - 80.0)).abs() < 1e-9);
+        let (fb, scene) = n.render_rear_view(100, 100).unwrap().unwrap();
+        assert_eq!(scene.len(), 1, "only the underside layer appears");
+        assert_eq!(scene.items[0].provenance.layer, "under");
+        assert!(fb.count_color(tioga2_expr::Color::BLUE) > 0);
+    }
+
+    #[test]
+    fn no_rear_view_before_travel() {
+        let n = nav();
+        assert!(n.render_rear_view(50, 50).unwrap().is_none());
+        assert_eq!(n.rear_view_elevation(), None);
+    }
+
+    #[test]
+    fn go_back_restores_position() {
+        let mut n = nav();
+        let before = n.viewer.position.clone();
+        let spec = n.wormhole_under_center().unwrap().unwrap();
+        n.traverse(&spec).unwrap();
+        n.viewer.position.center = (99.0, 99.0);
+        n.go_back().unwrap();
+        assert_eq!(n.current_canvas(), "stations");
+        assert_eq!(n.viewer.position.center, before.center);
+        assert_eq!(n.viewer.position.elevation, before.elevation);
+        assert!(n.go_back().is_err(), "history exhausted");
+    }
+
+    #[test]
+    fn multi_hop_history() {
+        let mut n = nav();
+        // stations -> temps (via spec), then register a wormhole-free
+        // canvas and hop again manually.
+        let spec = n.wormhole_under_center().unwrap().unwrap();
+        n.traverse(&spec).unwrap();
+        let spec2 = ViewerSpec {
+            destination: "stations".into(),
+            elevation: 30.0,
+            at: (0.0, 0.0),
+            size: (5.0, 5.0),
+        };
+        n.traverse(&spec2).unwrap();
+        assert_eq!(n.history().len(), 2);
+        n.go_back().unwrap();
+        assert_eq!(n.current_canvas(), "temps");
+        n.go_back().unwrap();
+        assert_eq!(n.current_canvas(), "stations");
+    }
+
+    #[test]
+    fn traverse_to_unknown_canvas_fails_cleanly() {
+        let mut n = nav();
+        let spec = ViewerSpec {
+            destination: "nope".into(),
+            elevation: 10.0,
+            at: (0.0, 0.0),
+            size: (1.0, 1.0),
+        };
+        assert!(n.traverse(&spec).is_err());
+        assert_eq!(n.current_canvas(), "stations");
+        assert!(n.history().is_empty(), "failed traversal leaves no history");
+    }
+}

@@ -1,0 +1,262 @@
+//! Slaving (paper §7.1): "Two viewers may be slaved together, in which
+//! case the system maintains the relative offset between the two viewers.
+//! When a viewer is deleted, all of its slaving relationships are also
+//! deleted.  Slaving relationships may be removed explicitly as well.
+//! Slaving is only defined for two viewers with the same dimensions."
+
+use crate::error::ViewError;
+use crate::viewer::Viewer;
+use std::collections::BTreeMap;
+
+/// One slaving constraint: `b.center = a.center + offset` (and the
+/// elevation ratio is maintained so slaved viewers zoom together).
+#[derive(Debug, Clone, PartialEq)]
+struct SlaveLink {
+    a: String,
+    b: String,
+    offset: (f64, f64),
+    elevation_ratio: f64,
+}
+
+/// A set of named viewers with slaving constraints.
+#[derive(Debug, Default)]
+pub struct ViewerSet {
+    viewers: BTreeMap<String, Viewer>,
+    links: Vec<SlaveLink>,
+}
+
+impl ViewerSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, viewer: Viewer) {
+        self.viewers.insert(viewer.name.clone(), viewer);
+    }
+
+    pub fn get(&self, name: &str) -> Result<&Viewer, ViewError> {
+        self.viewers.get(name).ok_or_else(|| ViewError::Slave(format!("unknown viewer '{name}'")))
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Viewer, ViewError> {
+        self.viewers
+            .get_mut(name)
+            .ok_or_else(|| ViewError::Slave(format!("unknown viewer '{name}'")))
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        self.viewers.keys().cloned().collect()
+    }
+
+    /// Slave `b` to `a`, capturing the current relative offset and
+    /// elevation ratio.  Both viewers must show the same number of slider
+    /// dimensions ("slaving is only defined for two viewers with the same
+    /// dimensions").
+    pub fn slave(&mut self, a: &str, b: &str) -> Result<(), ViewError> {
+        if a == b {
+            return Err(ViewError::Slave("cannot slave a viewer to itself".into()));
+        }
+        let va = self.get(a)?;
+        let vb = self.get(b)?;
+        if va.position.sliders.len() != vb.position.sliders.len() {
+            return Err(ViewError::Slave(format!(
+                "viewers '{a}' and '{b}' have different dimensions"
+            )));
+        }
+        if self.links.iter().any(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+            return Err(ViewError::Slave(format!("'{a}' and '{b}' are already slaved")));
+        }
+        let offset = (
+            vb.position.center.0 - va.position.center.0,
+            vb.position.center.1 - va.position.center.1,
+        );
+        let elevation_ratio = vb.position.elevation / va.position.elevation;
+        self.links.push(SlaveLink { a: a.into(), b: b.into(), offset, elevation_ratio });
+        Ok(())
+    }
+
+    /// Remove the slaving relationship between `a` and `b`.
+    pub fn unslave(&mut self, a: &str, b: &str) -> Result<(), ViewError> {
+        let n = self.links.len();
+        self.links.retain(|l| !((l.a == a && l.b == b) || (l.a == b && l.b == a)));
+        if self.links.len() == n {
+            return Err(ViewError::Slave(format!("'{a}' and '{b}' are not slaved")));
+        }
+        Ok(())
+    }
+
+    /// Delete a viewer; "all of its slaving relationships are also
+    /// deleted".
+    pub fn delete(&mut self, name: &str) -> Result<(), ViewError> {
+        if self.viewers.remove(name).is_none() {
+            return Err(ViewError::Slave(format!("unknown viewer '{name}'")));
+        }
+        self.links.retain(|l| l.a != name && l.b != name);
+        Ok(())
+    }
+
+    pub fn slaved_pairs(&self) -> Vec<(String, String)> {
+        self.links.iter().map(|l| (l.a.clone(), l.b.clone())).collect()
+    }
+
+    /// Propagate constraints after `moved` changed: BFS over the link
+    /// graph, adjusting every (transitively) slaved viewer to maintain
+    /// its captured offset and elevation ratio.
+    fn propagate(&mut self, moved: &str) -> Result<(), ViewError> {
+        let mut queue = vec![moved.to_string()];
+        let mut done = std::collections::BTreeSet::new();
+        done.insert(moved.to_string());
+        while let Some(cur) = queue.pop() {
+            let cur_pos = self.get(&cur)?.position.clone();
+            let links = self.links.clone();
+            for l in &links {
+                let (other, offset, ratio, forward) = if l.a == cur {
+                    (l.b.clone(), l.offset, l.elevation_ratio, true)
+                } else if l.b == cur {
+                    (l.a.clone(), l.offset, l.elevation_ratio, false)
+                } else {
+                    continue;
+                };
+                if done.contains(&other) {
+                    continue;
+                }
+                let v = self.get_mut(&other)?;
+                if forward {
+                    v.position.center = (cur_pos.center.0 + offset.0, cur_pos.center.1 + offset.1);
+                    v.position.elevation = cur_pos.elevation * ratio;
+                } else {
+                    v.position.center = (cur_pos.center.0 - offset.0, cur_pos.center.1 - offset.1);
+                    v.position.elevation = cur_pos.elevation / ratio;
+                }
+                done.insert(other.clone());
+                queue.push(other);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pan a viewer (screen pixels) and propagate to slaved viewers.
+    pub fn pan_px(&mut self, name: &str, dx: i32, dy: i32) -> Result<(), ViewError> {
+        self.get_mut(name)?.pan_px(dx, dy);
+        self.propagate(name)
+    }
+
+    /// Zoom a viewer and propagate.
+    pub fn zoom(&mut self, name: &str, factor: f64) -> Result<(), ViewError> {
+        self.get_mut(name)?.zoom(factor);
+        self.propagate(name)
+    }
+
+    /// Move a viewer to an absolute center and propagate.
+    pub fn set_center(&mut self, name: &str, center: (f64, f64)) -> Result<(), ViewError> {
+        self.get_mut(name)?.position.center = center;
+        self.propagate(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> ViewerSet {
+        let mut s = ViewerSet::new();
+        for name in ["a", "b", "c"] {
+            let mut v = Viewer::new(name, 100, 100);
+            v.position.center = (0.0, 0.0);
+            v.position.elevation = 100.0;
+            s.insert(v);
+        }
+        s
+    }
+
+    #[test]
+    fn slaved_viewers_move_together() {
+        let mut s = set();
+        s.get_mut("b").unwrap().position.center = (10.0, 0.0);
+        s.slave("a", "b").unwrap();
+        s.set_center("a", (5.0, 5.0)).unwrap();
+        assert_eq!(s.get("b").unwrap().position.center, (15.0, 5.0), "offset maintained");
+        // Moving the slave moves the master, too (symmetric constraint).
+        s.set_center("b", (0.0, 0.0)).unwrap();
+        assert_eq!(s.get("a").unwrap().position.center, (-10.0, 0.0));
+    }
+
+    #[test]
+    fn slaved_viewers_zoom_together() {
+        let mut s = set();
+        s.get_mut("b").unwrap().position.elevation = 50.0;
+        s.slave("a", "b").unwrap();
+        s.zoom("a", 0.5).unwrap();
+        assert_eq!(s.get("a").unwrap().position.elevation, 50.0);
+        assert_eq!(s.get("b").unwrap().position.elevation, 25.0, "ratio maintained");
+    }
+
+    #[test]
+    fn chains_propagate_transitively() {
+        let mut s = set();
+        s.slave("a", "b").unwrap();
+        s.slave("b", "c").unwrap();
+        s.set_center("a", (1.0, 2.0)).unwrap();
+        assert_eq!(s.get("b").unwrap().position.center, (1.0, 2.0));
+        assert_eq!(s.get("c").unwrap().position.center, (1.0, 2.0));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut s = set();
+        s.slave("a", "b").unwrap();
+        s.slave("b", "c").unwrap();
+        s.slave("c", "a").unwrap();
+        s.set_center("a", (7.0, 7.0)).unwrap();
+        assert_eq!(s.get("b").unwrap().position.center, (7.0, 7.0));
+        assert_eq!(s.get("c").unwrap().position.center, (7.0, 7.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut s = set();
+        s.get_mut("b")
+            .unwrap()
+            .position
+            .sliders
+            .push(crate::render_pass::Slider::new("alt", 0.0, 1.0));
+        assert!(s.slave("a", "b").is_err());
+    }
+
+    #[test]
+    fn duplicate_and_self_slaving_rejected() {
+        let mut s = set();
+        s.slave("a", "b").unwrap();
+        assert!(s.slave("a", "b").is_err());
+        assert!(s.slave("b", "a").is_err());
+        assert!(s.slave("a", "a").is_err());
+        assert!(s.slave("a", "zz").is_err());
+    }
+
+    #[test]
+    fn unslave_and_delete() {
+        let mut s = set();
+        s.slave("a", "b").unwrap();
+        s.unslave("b", "a").unwrap();
+        assert!(s.unslave("a", "b").is_err());
+        s.slave("a", "b").unwrap();
+        s.slave("b", "c").unwrap();
+        s.delete("b").unwrap();
+        assert!(s.slaved_pairs().is_empty(), "deleting a viewer deletes its relationships");
+        assert!(s.get("b").is_err());
+        // Remaining viewers move independently now.
+        s.set_center("a", (3.0, 3.0)).unwrap();
+        assert_eq!(s.get("c").unwrap().position.center, (0.0, 0.0));
+    }
+
+    #[test]
+    fn pan_px_propagates() {
+        let mut s = set();
+        s.slave("a", "b").unwrap();
+        s.pan_px("a", 50, 0).unwrap();
+        let ac = s.get("a").unwrap().position.center;
+        let bc = s.get("b").unwrap().position.center;
+        assert!((ac.0 - bc.0).abs() < 1e-9);
+        assert!(ac.0 < 0.0, "dragging right moves the world left");
+    }
+}

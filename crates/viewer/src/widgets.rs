@@ -1,0 +1,178 @@
+//! Canvas-adjacent widgets: the elevation map bar chart and slider bars
+//! (paper §3: each canvas window includes "a rear view mirror, zero or
+//! more slider bars, an elevation map, and an elevation control (a dashed
+//! line through the elevation map)").
+//!
+//! These render the widget *models* ([`ElevationBar`], [`Slider`]) to
+//! pixels; the models themselves are produced by
+//! `tioga2_display::drilldown::elevation_map` and the viewer state, and
+//! direct manipulation of them is handled at the session level
+//! (`set_range_via_map`, `reorder_via_map`, `set_slider`).
+
+use crate::render_pass::Slider;
+use tioga2_display::drilldown::ElevationBar;
+use tioga2_expr::Color;
+use tioga2_render::{font, Framebuffer};
+
+/// Layout constants for the elevation map widget.
+const BAR_H: i32 = 14;
+const GUTTER: i32 = 4;
+const LABEL_W: i32 = 80;
+
+/// Render an elevation map: one horizontal bar per layer (drawing order
+/// top to bottom), spanning the layer's elevation range on a log-ish
+/// horizontal axis, with the current elevation as a dashed vertical line
+/// (the paper's "elevation control").
+pub fn render_elevation_map(
+    bars: &[ElevationBar],
+    current_elevation: f64,
+    width: u32,
+    height: u32,
+) -> Framebuffer {
+    let mut fb = Framebuffer::new(width, height);
+    if bars.is_empty() {
+        return fb;
+    }
+    // Horizontal scale: map elevation e to x via asinh-like compression
+    // so [0, 1], [1, 100] and [100, 1e9] all stay visible; negative
+    // elevations (undersides) extend left of the zero mark.
+    let usable_w = width as i32 - LABEL_W - 2 * GUTTER;
+    let max_mag = bars
+        .iter()
+        .flat_map(|b| [b.range.min.abs(), b.range.max.abs()])
+        .chain([current_elevation.abs()])
+        .filter(|x| x.is_finite())
+        .fold(1.0f64, f64::max);
+    let to_x = |e: f64| -> i32 {
+        let e = if e.is_infinite() { e.signum() * max_mag } else { e };
+        let unit = e.signum() * (1.0 + e.abs()).ln() / (1.0 + max_mag).ln();
+        LABEL_W + GUTTER + ((unit + 1.0) / 2.0 * usable_w as f64) as i32
+    };
+
+    for (i, bar) in bars.iter().enumerate() {
+        let y0 = GUTTER + i as i32 * (BAR_H + GUTTER);
+        let x0 = to_x(bar.range.min);
+        let x1 = to_x(bar.range.max);
+        let color = if bar.active { Color::BLUE } else { Color::GRAY };
+        fb.fill_rect(x0, y0, x1.max(x0 + 1), y0 + BAR_H - 4, color);
+        font::draw_text(&mut fb, GUTTER, y0, &truncate(&bar.layer_name, 13), Color::BLACK, 1);
+    }
+
+    // The elevation control: a dashed vertical line at the current
+    // elevation, plus the zero (ground) mark.
+    let cx = to_x(current_elevation);
+    let mut y = 0;
+    while y < height as i32 {
+        fb.draw_line(cx, y, cx, (y + 3).min(height as i32 - 1), 1, Color::RED);
+        y += 7;
+    }
+    let zx = to_x(0.0);
+    fb.draw_line(zx, 0, zx, height as i32 - 1, 1, Color::rgb(200, 200, 200));
+    fb
+}
+
+/// Render one slider bar: a track with the selected [lo, hi] window
+/// filled, labelled with the dimension name.
+pub fn render_slider(
+    slider: &Slider,
+    data_range: (f64, f64),
+    width: u32,
+    height: u32,
+) -> Framebuffer {
+    let mut fb = Framebuffer::new(width, height);
+    let (dmin, dmax) = data_range;
+    let span = (dmax - dmin).abs().max(1e-12);
+    let usable = width as i32 - LABEL_W - 2 * GUTTER;
+    let to_x = |v: f64| -> i32 {
+        LABEL_W + GUTTER + (((v - dmin) / span).clamp(0.0, 1.0) * usable as f64) as i32
+    };
+    let mid = height as i32 / 2;
+    // Track.
+    fb.draw_line(LABEL_W + GUTTER, mid, width as i32 - GUTTER, mid, 1, Color::GRAY);
+    // Selected window.
+    let x0 = to_x(slider.range.0);
+    let x1 = to_x(slider.range.1);
+    fb.fill_rect(x0, mid - 3, x1.max(x0 + 1), mid + 3, Color::BLUE);
+    font::draw_text(&mut fb, GUTTER, mid - 4, &truncate(&slider.dim, 13), Color::BLACK, 1);
+    fb
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n.saturating_sub(1)).chain(['…']).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tioga2_display::ElevRange;
+
+    fn bar(name: &str, min: f64, max: f64, active: bool) -> ElevationBar {
+        ElevationBar {
+            order: 0,
+            layer_name: name.into(),
+            range: ElevRange::new(min, max).unwrap(),
+            active,
+        }
+    }
+
+    #[test]
+    fn elevation_map_draws_bars_and_control() {
+        let bars = vec![
+            bar("map", 0.0, f64::INFINITY, true),
+            bar("names", 0.0, 2.0, false),
+            bar("under", -100.0, -1.0, false),
+        ];
+        let fb = render_elevation_map(&bars, 50.0, 300, 80);
+        assert!(fb.count_color(Color::BLUE) > 50, "active bar filled blue");
+        assert!(fb.count_color(Color::GRAY) > 20, "inactive bars gray");
+        assert!(fb.count_color(Color::RED) > 5, "dashed elevation control");
+        assert!(fb.count_color(Color::BLACK) > 20, "labels drawn");
+    }
+
+    #[test]
+    fn empty_map_is_blank() {
+        let fb = render_elevation_map(&[], 10.0, 100, 40);
+        assert_eq!(fb.ink_fraction(), 0.0);
+    }
+
+    #[test]
+    fn negative_ranges_sit_left_of_ground() {
+        let bars = vec![bar("under", -50.0, -1.0, false), bar("top", 1.0, 50.0, true)];
+        let fb = render_elevation_map(&bars, 10.0, 400, 60);
+        // Find blue (active top bar) min-x and gray (under) max-x: gray
+        // must start left of blue.
+        let mut gray_min = i32::MAX;
+        let mut blue_min = i32::MAX;
+        for y in 0..60 {
+            for x in 0..400 {
+                let p = fb.get(x, y).unwrap();
+                if p == [Color::GRAY.r, Color::GRAY.g, Color::GRAY.b, 255] {
+                    gray_min = gray_min.min(x);
+                }
+                if p == [Color::BLUE.r, Color::BLUE.g, Color::BLUE.b, 255] {
+                    blue_min = blue_min.min(x);
+                }
+            }
+        }
+        assert!(gray_min < blue_min, "underside bar extends further left");
+    }
+
+    #[test]
+    fn slider_window_reflects_range() {
+        let narrow = render_slider(&Slider::new("alt", 40.0, 60.0), (0.0, 100.0), 300, 20);
+        let wide = render_slider(&Slider::new("alt", 0.0, 100.0), (0.0, 100.0), 300, 20);
+        assert!(wide.count_color(Color::BLUE) > 2 * narrow.count_color(Color::BLUE));
+    }
+
+    #[test]
+    fn long_names_truncate() {
+        assert_eq!(truncate("short", 13), "short");
+        let t = truncate("a very long layer name indeed", 13);
+        assert!(t.chars().count() <= 13);
+        assert!(t.ends_with('…'));
+    }
+}

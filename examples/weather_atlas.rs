@@ -1,0 +1,247 @@
+//! The full Louisiana weather atlas: the worked example of paper
+//! sections 4–6 (Figures 4, 7 and 8) as one runnable program.
+//!
+//! * Figure 4 — stations positioned at (longitude, latitude), drawn as a
+//!   circle plus their name, with an Altitude slider dimension.
+//! * Figure 7 — the state border map overlaid under two station layers
+//!   whose elevation ranges implement drill-down: plain circles from
+//!   high up, names appearing as you descend.
+//! * Figure 8 — zooming all the way into a station passes through a
+//!   wormhole onto that station's temperature-vs-time canvas; the rear
+//!   view mirror shows the underside of the canvas you left.
+//!
+//! Run with: `cargo run --example weather_atlas`
+
+use tioga2::core::{Environment, Session};
+use tioga2::datagen::register_standard_catalog;
+use tioga2::display::Selection;
+use tioga2::expr::ScalarType as T;
+use tioga2::relational::Catalog;
+
+fn save(frame: &tioga2::core::canvas::CanvasFrame, name: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all("out")?;
+    tioga2::render::ppm::write_ppm(&frame.fb, format!("out/{name}.ppm"))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = Catalog::new();
+    register_standard_catalog(&catalog, 300, 40, 7);
+    let mut s = Session::new(Environment::new(catalog));
+    s.set_canvas_size(640, 480);
+
+    // ------------------------------------------------------- Figure 4
+    let stations = s.add_table("Stations")?;
+    let la = s.restrict(stations, "state = 'LA'")?;
+    let sx = s.set_attribute(la, "x", T::Float, "longitude")?;
+    let sy = s.set_attribute(sx, "y", T::Float, "latitude")?;
+    let alt = s.add_attribute(
+        sy,
+        "alt",
+        T::Float,
+        "altitude",
+        tioga2::display::attr_ops::AttrRole::Location,
+    )?;
+
+    // Two alternative levels of detail for drill-down (Figure 7): a
+    // plain circle at high elevation, circle+name lower down.  A T lets
+    // both style chains share the positioned relation.
+    let tee = s.add_tee_output(alt)?;
+    let circles =
+        s.set_attribute(tee.0, "display", T::DrawList, "circle(0.035,'red') ++ nodraw()")?;
+    let circles = s.set_layer_name(circles, "stations (far)")?;
+    let circles = s.set_range(circles, 1.2, 1e12, Selection::default())?;
+
+    let named = s.set_attribute_on(
+        tee.1,
+        "display",
+        T::DrawList,
+        "circle(0.035,'red') ++ offset(text(name,'black'), 0.0, -0.06) \
+         ++ viewer('temps', 60.0, to_float(id) * 50.0, 15.0, 0.25, 0.2)",
+    )?;
+    let named = s.set_layer_name(named, "stations (near)")?;
+    let named = s.set_range(named, 0.0, 1.2, Selection::default())?;
+
+    // ------------------------------------------------------- Figure 7
+    // The Louisiana border map, "derived from a relation of lines".
+    let border = s.add_table("LaBorder")?;
+    let bx = s.set_attribute(border, "x", T::Float, "x1")?;
+    let by = s.set_attribute(bx, "y", T::Float, "y1")?;
+    let bd =
+        s.set_attribute(by, "display", T::DrawList, "line(x2 - x1, y2 - y1, 'gray') ++ nodraw()")?;
+    let map = s.set_layer_name(bd, "state map")?;
+
+    // Counties appear only when fairly close (second map level).
+    let counties = s.add_table("LaCounties")?;
+    let cx = s.set_attribute(counties, "x", T::Float, "x1")?;
+    let cy = s.set_attribute(cx, "y", T::Float, "y1")?;
+    let cd =
+        s.set_attribute(cy, "display", T::DrawList, "line(x2 - x1, y2 - y1, 'cyan') ++ nodraw()")?;
+    let cn = s.set_layer_name(cd, "county grid")?;
+    let counties = s.set_range(cn, 0.0, 2.5, Selection::default())?;
+
+    // Underside of the atlas canvas (§6.3): a marker visible only in
+    // rear view mirrors after travelling through a wormhole — "the rear
+    // view mirror [illuminates] the wormholes back to the canvas from
+    // which the user came".
+    let under = s.add_table("LaBorder")?;
+    let ux = s.set_attribute(under, "x", T::Float, "x1")?;
+    let uy = s.set_attribute(ux, "y", T::Float, "y1")?;
+    let ud = s.set_attribute(
+        uy,
+        "display",
+        T::DrawList,
+        "line(x2 - x1, y2 - y1, 'purple') ++ nodraw()",
+    )?;
+    let un = s.set_layer_name(ud, "atlas underside")?;
+    let under = s.set_range(un, -1e12, -0.0001, Selection::default())?;
+
+    // Overlay: map at the bottom, then counties, circles, names, and the
+    // underside.  The 2-D map is invariant in the stations' Altitude
+    // dimension (§6.1).
+    let o1 = s.overlay(map, counties, vec![], true)?;
+    let o2 = s.overlay(o1, circles, vec![], true)?;
+    let o3 = s.overlay(o2, named, vec![], true)?;
+    let atlas = s.overlay(o3, under, vec![], true)?;
+    s.add_viewer(atlas, "atlas")?;
+
+    // ------------------------------------------------------- Figure 8
+    // The wormhole destination: temperature vs time per station; x
+    // encodes station id * 50 + day so each station has its own strip.
+    let obs = s.add_table("Observations")?;
+    let ox = s.set_attribute(
+        obs,
+        "x",
+        T::Float,
+        "to_float(station_id) * 50.0 + to_float(epoch(time)) / 86400.0 - 5480.0",
+    )?;
+    let oy = s.set_attribute(ox, "y", T::Float, "temperature")?;
+    let od = s.set_attribute(oy, "display", T::DrawList, "point('blue') ++ nodraw()")?;
+    // Underside axes marker: visible only in rear view mirrors.
+    let od = s.set_layer_name(od, "temperature")?;
+    s.add_viewer(od, "temps")?;
+
+    // Render the atlas from three elevations to show the drill-down.
+    let far = s.render("atlas")?;
+    save(&far, "atlas_far")?;
+    println!("far view: {} objects (names hidden above elevation 1.2)", far.hits.len());
+    for bar in s.elevation_map("atlas")? {
+        println!(
+            "  elevation map: [{}] {:24} range {:>8.2}..{:<12.2} {}",
+            bar.order,
+            bar.layer_name,
+            bar.range.min,
+            bar.range.max,
+            if bar.active { "ACTIVE" } else { "" }
+        );
+    }
+
+    // Descend toward Baton Rouge-ish coordinates.
+    s.pan("atlas", 0, 0)?;
+    s.zoom("atlas", 0.5)?;
+    s.zoom("atlas", 0.5)?;
+    let near = s.render("atlas")?;
+    save(&near, "atlas_near")?;
+    println!("near view: {} objects (names + counties now visible)", near.hits.len());
+
+    // Use the Altitude slider: only low-lying stations.
+    s.set_slider("atlas", "alt", 0.0, 40.0)?;
+    let low = s.render("atlas")?;
+    save(&low, "atlas_lowland")?;
+    println!("lowland stations only: {} objects", low.hits.len());
+    s.set_slider("atlas", "alt", 0.0, 1e9)?;
+
+    // Center on a specific station, then keep zooming until we fall
+    // through its wormhole (the paper's drill-down to Figure 8).
+    if let tioga2::display::Displayable::R(dr) = s.demand(la, 0)? {
+        let lon = dr.rel.attr_value(0, "longitude")?.as_f64().unwrap();
+        let lat = dr.rel.attr_value(0, "latitude")?.as_f64().unwrap();
+        s.viewers.set_center("atlas", (lon, lat))?;
+    }
+    let mut destination = None;
+    for _ in 0..80 {
+        if let Some(d) = s.zoom("atlas", 0.6)? {
+            destination = Some(d);
+            break;
+        }
+    }
+    match destination {
+        Some(d) => {
+            println!("passed through a wormhole to '{d}' (travel depth {})", s.travel_depth());
+            let temps = s.render("temps")?;
+            save(&temps, "temps")?;
+            // Descend a little; the rear view mirror lights up.
+            s.zoom("temps", 0.5)?;
+            if let Some((fb, scene)) = s.render_rear_view(200, 160)? {
+                tioga2::render::ppm::write_ppm(&fb, "out/rear_view.ppm")?;
+                println!(
+                    "rear view mirror: {} underside objects at elevation {:.1}",
+                    scene.len(),
+                    s.rear_view_elevation().unwrap_or(0.0)
+                );
+            }
+            let home = s.go_back()?;
+            println!("went back home to '{home}'");
+        }
+        None => println!("no wormhole under the descent path this run"),
+    }
+
+    println!("figures written to out/atlas_*.ppm, out/temps.ppm, out/rear_view.ppm");
+    Ok(())
+}
+
+/// Small helper extensions used by the examples: a T with both outputs
+/// exposed, and applying a styling op to a specific tee output.
+trait SessionExt {
+    fn add_tee_output(
+        &mut self,
+        upstream: tioga2::dataflow::NodeId,
+    ) -> Result<
+        (tioga2::dataflow::NodeId, (tioga2::dataflow::NodeId, usize)),
+        tioga2::core::CoreError,
+    >;
+    fn set_attribute_on(
+        &mut self,
+        from: (tioga2::dataflow::NodeId, usize),
+        name: &str,
+        ty: T,
+        def: &str,
+    ) -> Result<tioga2::dataflow::NodeId, tioga2::core::CoreError>;
+}
+
+impl SessionExt for Session {
+    fn add_tee_output(
+        &mut self,
+        upstream: tioga2::dataflow::NodeId,
+    ) -> Result<
+        (tioga2::dataflow::NodeId, (tioga2::dataflow::NodeId, usize)),
+        tioga2::core::CoreError,
+    > {
+        use tioga2::dataflow::{BoxKind, PortType};
+        let tee = self.add_box(BoxKind::Tee(PortType::R))?;
+        self.connect(upstream, 0, tee, 0)?;
+        Ok((tee, (tee, 1)))
+    }
+
+    fn set_attribute_on(
+        &mut self,
+        from: (tioga2::dataflow::NodeId, usize),
+        name: &str,
+        ty: T,
+        def: &str,
+    ) -> Result<tioga2::dataflow::NodeId, tioga2::core::CoreError> {
+        use tioga2::dataflow::boxes::RelOpKind;
+        use tioga2::dataflow::{BoxKind, PortType};
+        let kind = BoxKind::RelOp {
+            op: RelOpKind::SetAttribute {
+                name: name.into(),
+                ty,
+                def: tioga2::expr::parse(def).map_err(tioga2::core::CoreError::from)?,
+            },
+            shape: PortType::R,
+            sel: Selection::default(),
+        };
+        let id = self.add_box(kind)?;
+        self.connect(from.0, from.1, id, 0)?;
+        Ok(id)
+    }
+}

@@ -1,0 +1,65 @@
+//! The interactive Tioga-2 shell.
+//!
+//! ```sh
+//! cargo run --bin tioga2-repl                 # interactive
+//! cargo run --bin tioga2-repl -- script.t2    # run a command script
+//! ```
+//!
+//! Starts with the standard synthetic catalog loaded (Stations,
+//! Observations, LaBorder, LaCounties, Employees).  Type `help`.
+
+use std::io::{BufRead, Write};
+use tioga2::core::{Environment, Session};
+use tioga2::datagen::register_standard_catalog;
+use tioga2::relational::Catalog;
+use tioga2::repl::{run_line, ReplOutcome};
+
+fn main() -> std::io::Result<()> {
+    let catalog = Catalog::new();
+    register_standard_catalog(&catalog, 300, 24, 42);
+    let mut session = Session::new(Environment::new(catalog));
+
+    let script = std::env::args().nth(1);
+    match script {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)?;
+            for (lineno, line) in text.lines().enumerate() {
+                match run_line(&mut session, line) {
+                    Ok(ReplOutcome::Quit) => break,
+                    Ok(ReplOutcome::Message(m)) => {
+                        if !m.is_empty() {
+                            println!("{m}");
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{path}:{}: {e}", lineno + 1);
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        None => {
+            println!("Tioga-2 — type 'help' for the operation list, 'quit' to leave.");
+            let stdin = std::io::stdin();
+            let mut out = std::io::stdout();
+            loop {
+                print!("tioga2> ");
+                out.flush()?;
+                let mut line = String::new();
+                if stdin.lock().read_line(&mut line)? == 0 {
+                    break;
+                }
+                match run_line(&mut session, &line) {
+                    Ok(ReplOutcome::Quit) => break,
+                    Ok(ReplOutcome::Message(m)) => {
+                        if !m.is_empty() {
+                            println!("{m}");
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+        }
+    }
+    Ok(())
+}

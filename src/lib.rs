@@ -1,0 +1,29 @@
+//! # tioga2 — facade crate
+//!
+//! Re-exports the full Tioga-2 workspace under one roof so that examples,
+//! integration tests and downstream users can `use tioga2::...` without
+//! naming the individual subsystem crates.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub mod repl;
+
+pub use tioga2_core as core;
+pub use tioga2_dataflow as dataflow;
+pub use tioga2_datagen as datagen;
+pub use tioga2_display as display;
+pub use tioga2_expr as expr;
+pub use tioga2_relational as relational;
+pub use tioga2_render as render;
+pub use tioga2_viewer as viewer;
+
+/// Commonly used items, importable as `use tioga2::prelude::*`.
+pub mod prelude {
+    pub use tioga2_core::{Environment, Session};
+    pub use tioga2_dataflow::{Graph, NodeId, PortType};
+    pub use tioga2_display::{Composite, DisplayRelation, Displayable, Group, Layout};
+    pub use tioga2_expr::{parse, Color, Drawable, Expr, ScalarType, Value};
+    pub use tioga2_relational::{Catalog, Relation, Schema, Tuple};
+    pub use tioga2_render::Framebuffer;
+    pub use tioga2_viewer::{Viewer, ViewerPosition};
+}

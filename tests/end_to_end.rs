@@ -1,0 +1,123 @@
+//! End-to-end integration: the complete Louisiana atlas built through the
+//! facade crate, persisted, reloaded, and re-rendered bit-identically.
+
+use tioga2::core::{Environment, Session};
+use tioga2::datagen::register_standard_catalog;
+use tioga2::display::Selection;
+use tioga2::expr::ScalarType as T;
+use tioga2::relational::Catalog;
+
+fn catalog() -> Catalog {
+    let c = Catalog::new();
+    register_standard_catalog(&c, 150, 10, 20260706);
+    c
+}
+
+fn build_atlas(s: &mut Session) {
+    let stations = s.add_table("Stations").unwrap();
+    let la = s.restrict(stations, "state = 'LA'").unwrap();
+    let sx = s.set_attribute(la, "x", T::Float, "longitude").unwrap();
+    let sy = s.set_attribute(sx, "y", T::Float, "latitude").unwrap();
+    let styled = s
+        .set_attribute(
+            sy,
+            "display",
+            T::DrawList,
+            "circle(0.04,'red') ++ offset(text(name,'black'), 0.0, -0.07)",
+        )
+        .unwrap();
+    let ranged = s.set_range(styled, 0.0, 1e9, Selection::default()).unwrap();
+
+    let border = s.add_table("LaBorder").unwrap();
+    let bx = s.set_attribute(border, "x", T::Float, "x1").unwrap();
+    let by = s.set_attribute(bx, "y", T::Float, "y1").unwrap();
+    let map = s
+        .set_attribute(by, "display", T::DrawList, "line(x2 - x1, y2 - y1, 'gray') ++ nodraw()")
+        .unwrap();
+
+    let atlas = s.overlay(map, ranged, vec![], true).unwrap();
+    s.add_viewer(atlas, "atlas").unwrap();
+}
+
+#[test]
+fn atlas_renders_and_roundtrips_bit_identically() {
+    let env = Environment::new(catalog());
+    let mut s = Session::new(env);
+    s.set_canvas_size(400, 300);
+    build_atlas(&mut s);
+
+    let first = s.render("atlas").unwrap();
+    assert!(first.fb.ink_fraction() > 0.001);
+    assert!(!first.hits.is_empty());
+
+    // Save, wipe, reload, re-render: the canvas must be bit-identical
+    // (deterministic data, deterministic program, deterministic raster).
+    s.save_program("atlas-program");
+    s.new_program();
+    assert!(s.render("atlas").is_err(), "canvas gone with the program");
+    s.load_program("atlas-program").unwrap();
+    let second = s.render("atlas").unwrap();
+    assert_eq!(first.fb.pixels(), second.fb.pixels());
+    assert_eq!(first.hits.len(), second.hits.len());
+}
+
+#[test]
+fn svg_and_ppm_outputs_are_consistent() {
+    let mut s = Session::new(Environment::new(catalog()));
+    s.set_canvas_size(320, 240);
+    build_atlas(&mut s);
+    let frame = s.render("atlas").unwrap();
+    let ppm = tioga2::render::ppm::encode(&frame.fb);
+    assert!(ppm.starts_with(b"P6\n320 240\n255\n"));
+    let vp = s.viewers.get("atlas").unwrap().viewport();
+    let svg = tioga2::render::svg::scene_to_svg(&frame.scene, &vp);
+    // Every circle in the scene appears in the SVG.
+    let circles = frame.scene.items.iter().filter(|i| i.drawable.kind() == "circle").count();
+    assert_eq!(svg.matches("<circle").count(), circles);
+    assert!(svg.contains("<line"), "map lines serialized");
+}
+
+#[test]
+fn update_through_full_stack_changes_pixels() {
+    let mut s = Session::new(Environment::new(catalog()));
+    s.set_canvas_size(400, 300);
+    build_atlas(&mut s);
+    let before = s.render("atlas").unwrap();
+
+    // Click the first station circle and move it north by editing its
+    // latitude (a §8 update through the rendered canvas).
+    let circle = before
+        .hits
+        .records()
+        .iter()
+        .find(|r| r.kind == "circle")
+        .expect("a station circle on screen")
+        .clone();
+    let (cx, cy) = ((circle.bbox.0 + circle.bbox.2) / 2, (circle.bbox.1 + circle.bbox.3) / 2);
+    let mut dialog = s.begin_update("atlas", cx, cy).unwrap();
+    assert_eq!(dialog.table, "Stations");
+    let old_lat: f64 =
+        dialog.fields.iter().find(|f| f.name == "latitude").unwrap().original.parse().unwrap();
+    dialog.set_field("latitude", format!("{}", old_lat + 0.8)).unwrap();
+    dialog.commit(&mut s).unwrap();
+
+    let after = s.render("atlas").unwrap();
+    assert_ne!(before.fb.pixels(), after.fb.pixels(), "the station moved on screen");
+}
+
+#[test]
+fn prelude_exposes_the_working_surface() {
+    use tioga2::prelude::*;
+    let catalog = Catalog::new();
+    register_standard_catalog(&catalog, 10, 2, 1);
+    let mut s = Session::new(Environment::new(catalog));
+    let t = s.add_table("Stations").unwrap();
+    s.add_viewer(t, "v").unwrap();
+    let d: Displayable = s.displayable("v").unwrap();
+    assert_eq!(d.tuple_count(), 10);
+    let e: Expr = parse("1 + 2").unwrap();
+    assert_eq!(e.to_string(), "1 + 2");
+    let fb = Framebuffer::new(4, 4);
+    assert_eq!(fb.width(), 4);
+    let _c: Color = Color::RED;
+}

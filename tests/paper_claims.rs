@@ -1,0 +1,212 @@
+//! The paper's §1.2 design principles and §10 conclusions, asserted as
+//! executable claims against the public API.
+
+use std::sync::Arc;
+use tioga2::core::{Environment, Session};
+use tioga2::dataflow::{BoxKind, CustomBox, Data, FlowError, PortType};
+use tioga2::datagen::register_standard_catalog;
+use tioga2::display::Displayable;
+use tioga2::expr::ScalarType as T;
+use tioga2::relational::Catalog;
+
+fn session() -> Session {
+    let catalog = Catalog::new();
+    register_standard_catalog(&catalog, 80, 6, 11);
+    Session::new(Environment::new(catalog))
+}
+
+/// Principle 1: "Every result of a user action has a valid visual
+/// representation."  After *each* step of a long pipeline the frontier
+/// is renderable through a probe viewer, including steps (Project,
+/// Aggregate) that destroy previously defined display functions.
+type Step = Box<dyn Fn(&mut Session, tioga2::dataflow::NodeId) -> tioga2::dataflow::NodeId>;
+
+#[test]
+fn principle1_every_step_is_visualizable() {
+    let mut s = session();
+    let mut frontier = s.add_table("Stations").unwrap();
+    let steps: Vec<Step> = vec![
+        Box::new(|s, f| s.restrict(f, "state = 'LA'").unwrap()),
+        Box::new(|s, f| s.set_attribute(f, "x", T::Float, "longitude").unwrap()),
+        Box::new(|s, f| s.set_attribute(f, "y", T::Float, "latitude").unwrap()),
+        Box::new(|s, f| {
+            s.set_attribute(f, "display", T::DrawList, "circle(0.1,'red') ++ nodraw()").unwrap()
+        }),
+        // Projection drops longitude: the x function dies, defaults revive.
+        Box::new(|s, f| s.project(f, &["name", "altitude"]).unwrap()),
+        Box::new(|s, f| s.sort(f, &[("altitude", false)]).unwrap()),
+        // Aggregation replaces the schema wholesale.
+        Box::new(|s, f| {
+            s.aggregate(
+                f,
+                &["name"],
+                vec![tioga2::relational::AggSpec::of(
+                    tioga2::relational::AggFunc::Max,
+                    "altitude",
+                    "peak",
+                )],
+            )
+            .unwrap()
+        }),
+        Box::new(|s, f| s.limit(f, 0, 5).unwrap()),
+    ];
+    for (i, step) in steps.into_iter().enumerate() {
+        frontier = step(&mut s, frontier);
+        let probe = format!("probe{i}");
+        s.add_viewer(frontier, &probe).unwrap();
+        let frame = s.render(&probe).unwrap();
+        // Valid visual representation: the render succeeds; if any tuples
+        // exist, something is on screen.
+        if s.displayable(&probe).unwrap().tuple_count() > 0 {
+            assert!(frame.fb.ink_fraction() > 0.0, "step {i} rendered nothing");
+        }
+    }
+}
+
+/// Principle 2 / §10 "better programming environment": construction,
+/// modification and use are the same activity — a saved program can be
+/// reloaded, used, then edited further without any compile step.
+#[test]
+fn principle2_construct_modify_use_are_one_activity() {
+    let mut s = session();
+    let t = s.add_table("Stations").unwrap();
+    let r = s.restrict(t, "state = 'LA'").unwrap();
+    s.add_viewer(r, "main").unwrap();
+    s.save_program("p");
+
+    // "Use" in a second session over the same environment.
+    s.load_program("p").unwrap();
+    let la = s.displayable("main").unwrap().tuple_count();
+    assert!(la > 0);
+
+    // Keep editing the loaded program: the viewer updates immediately.
+    let node = s
+        .graph
+        .node_ids()
+        .into_iter()
+        .find(|id| s.graph.node(*id).unwrap().name() == "Restrict")
+        .unwrap();
+    s.update_box(
+        node,
+        BoxKind::RelOp {
+            op: tioga2::dataflow::boxes::RelOpKind::Restrict(
+                tioga2::expr::parse("state = 'TX'").unwrap(),
+            ),
+            shape: PortType::R,
+            sel: Default::default(),
+        },
+    )
+    .unwrap();
+    let tx = s.displayable("main").unwrap().tuple_count();
+    assert_ne!(la, tx);
+}
+
+/// Principle 4: no inference — the same gesture sequence always produces
+/// the same program and the same pixels.
+#[test]
+fn principle4_gestures_are_deterministic() {
+    let build = || {
+        let mut s = session();
+        let t = s.add_table("Stations").unwrap();
+        let r = s.restrict(t, "altitude > 50.0").unwrap();
+        let x = s.set_attribute(r, "x", T::Float, "longitude").unwrap();
+        let y = s.set_attribute(x, "y", T::Float, "latitude").unwrap();
+        s.add_viewer(y, "v").unwrap();
+        let frame = s.render("v").unwrap();
+        (tioga2::dataflow::persist::save_program(&s.graph), frame.fb)
+    };
+    let (p1, fb1) = build();
+    let (p2, fb2) = build();
+    assert_eq!(p1, p2, "identical programs");
+    assert_eq!(fb1.pixels(), fb2.pixels(), "identical pixels");
+}
+
+/// Principle 5 / §10 "functionality": the big programmer registers boxes
+/// (custom functions) that little programmers then wire up; boxes may
+/// have multiple outputs (Switch, T) — "all of which are absent from
+/// Tioga".
+#[test]
+fn principle5_big_little_programmer_and_multi_output() {
+    let mut s = session();
+    // Big programmer: a "top-3 by altitude" box.
+    s.env.register_custom(Arc::new(CustomBox {
+        name: "Top3ByAltitude".into(),
+        in_types: vec![PortType::R],
+        out_types: vec![PortType::R],
+        f: Box::new(|ins| {
+            let d = ins[0].clone().into_displayable().map_err(FlowError::from)?;
+            match d {
+                Displayable::R(dr) => {
+                    let sorted = tioga2::relational::ops::sort(&dr.rel, &[("altitude", false)])?;
+                    let top = tioga2::relational::limit(&sorted, 0, 3);
+                    let mut out = dr.clone();
+                    out.rel = top;
+                    Ok(vec![Data::D(Displayable::R(out))])
+                }
+                other => Ok(vec![Data::D(other)]),
+            }
+        }),
+    }));
+    // Little programmer: finds it in the boxes menu and wires it up.
+    assert!(tioga2::core::menus::boxes_menu(&s).contains(&"Top3ByAltitude".to_string()));
+    let t = s.add_table("Stations").unwrap();
+    let kind = s.env.registry.get("Top3ByAltitude").unwrap().kind.clone().unwrap();
+    let top = s.add_box(kind).unwrap();
+    s.connect(t, 0, top, 0).unwrap();
+    assert_eq!(s.demand(top, 0).unwrap().tuple_count(), 3);
+
+    // Multiple outputs: Switch routes, T duplicates.
+    let sw = s.switch(t, "state = 'LA'").unwrap();
+    let la = s.demand(sw, 0).unwrap().tuple_count();
+    let rest = s.demand(sw, 1).unwrap().tuple_count();
+    assert_eq!(la + rest, 80);
+    assert_eq!(s.graph.node(sw).unwrap().out_types.len(), 2);
+}
+
+/// §10 "easy to instrument": a viewer goes onto *any* arc, and the
+/// intermediate data it shows tracks upstream edits.
+#[test]
+fn conclusion_viewers_instrument_any_edge() {
+    let mut s = session();
+    let t = s.add_table("Stations").unwrap();
+    let r1 = s.restrict(t, "altitude > 10.0").unwrap();
+    let r2 = s.restrict(r1, "state = 'LA'").unwrap();
+    s.add_viewer(r2, "final").unwrap();
+    // Instrument the middle edge.
+    let probe = s.add_viewer_on_edge(r2, 0, "middle").unwrap();
+    let _ = probe;
+    let mid = s.displayable("middle").unwrap().tuple_count();
+    let fin = s.displayable("final").unwrap().tuple_count();
+    assert!(mid >= fin);
+    // An upstream edit is visible at both probes.
+    s.update_box(
+        r1,
+        BoxKind::RelOp {
+            op: tioga2::dataflow::boxes::RelOpKind::Restrict(
+                tioga2::expr::parse("altitude > 1e9").unwrap(),
+            ),
+            shape: PortType::R,
+            sel: Default::default(),
+        },
+    )
+    .unwrap();
+    assert_eq!(s.displayable("middle").unwrap().tuple_count(), 0);
+    assert_eq!(s.displayable("final").unwrap().tuple_count(), 0);
+}
+
+/// §8: updates are *screen-object* updates, not general SQL — a tuple
+/// that is not traceable to a base table (a join output) cannot open an
+/// update dialog.
+#[test]
+fn section8_updates_require_lineage() {
+    let mut s = session();
+    let st = s.add_table("Stations").unwrap();
+    let obs = s.add_table("Observations").unwrap();
+    let j = s.join(st, obs, "id = station_id").unwrap();
+    s.add_viewer(j, "joined").unwrap();
+    let frame = s.render("joined").unwrap();
+    let rec = frame.hits.records()[0].clone();
+    let (cx, cy) = ((rec.bbox.0 + rec.bbox.2) / 2, (rec.bbox.1 + rec.bbox.3) / 2);
+    let err = s.begin_update("joined", cx, cy).unwrap_err();
+    assert!(err.to_string().contains("not traceable"), "{err}");
+}
