@@ -1,0 +1,129 @@
+//! Observability overhead: the instrumentation contract from DESIGN.md.
+//!
+//! * `warm_render` — the Figure 7 pipeline rendered repeatedly under the
+//!   default `NoopRecorder` vs a live `InMemoryRecorder`.  The delta is
+//!   the full cost of recording (span journal, counters, histograms).
+//! * `cold_demand` — invalidate-then-demand over a 30-box chain, the
+//!   path where every box fires and every fire opens a span.
+//! * `disabled_budget` — bounds the disabled path directly: measures the
+//!   per-call cost of a noop span pair, counts how many recorder touch
+//!   points one warm render performs, and checks the product stays under
+//!   2% of the render's wall time (the budget DESIGN.md promises).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use tioga2_bench::{build_figure7, catalog, session, stations_only_catalog};
+use tioga2_dataflow::boxes::RelOpKind;
+use tioga2_dataflow::{BoxKind, Engine, Graph};
+use tioga2_expr::parse;
+use tioga2_obs::InMemoryRecorder;
+
+fn warm_render(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead/warm_render");
+    g.sample_size(20);
+
+    // Default configuration: the noop recorder installed by Session::new.
+    let mut s = session(catalog(200, 4));
+    build_figure7(&mut s);
+    s.render("atlas").expect("warm-up");
+    g.bench_function("noop", |b| {
+        b.iter(|| black_box(s.render("atlas").expect("render")));
+    });
+
+    // Same session, tracing on: every render records spans + histograms.
+    s.set_recorder(Arc::new(InMemoryRecorder::new()));
+    s.render("atlas").expect("warm-up");
+    g.bench_function("inmemory", |b| {
+        b.iter(|| black_box(s.render("atlas").expect("render")));
+    });
+    g.finish();
+}
+
+fn cold_demand(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead/cold_demand");
+    g.sample_size(15);
+
+    let mut graph = Graph::new();
+    let t = graph.add(BoxKind::Table("Stations".into()));
+    let mut prev = t;
+    for i in 0..30 {
+        let r = graph.add(BoxKind::rel(RelOpKind::Restrict(
+            parse(&format!("altitude > {}.0", i % 7)).unwrap(),
+        )));
+        graph.connect(prev, 0, r, 0).unwrap();
+        prev = r;
+    }
+    let sink = prev;
+
+    let mut engine = Engine::new(stations_only_catalog(5_000));
+    g.bench_function("noop", |b| {
+        b.iter(|| {
+            engine.invalidate_all();
+            black_box(engine.demand(&graph, sink, 0).unwrap())
+        });
+    });
+
+    engine.set_recorder(Arc::new(InMemoryRecorder::new()));
+    g.bench_function("inmemory", |b| {
+        b.iter(|| {
+            engine.invalidate_all();
+            black_box(engine.demand(&graph, sink, 0).unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn disabled_budget(_c: &mut Criterion) {
+    // 1. Per-call cost of the disabled path: an is_enabled check plus a
+    //    noop span begin/end pair (call sites gate all string formatting
+    //    behind is_enabled, so this is an upper bound per touch point).
+    let noop = tioga2_obs::noop();
+    let calls = 2_000_000u64;
+    let start = Instant::now();
+    for _ in 0..calls {
+        if black_box(noop.is_enabled()) {
+            unreachable!();
+        }
+        let sp = noop.span_begin(black_box("x"), "");
+        noop.span_end(sp, &[]);
+    }
+    let ns_per_touch = start.elapsed().as_nanos() as f64 / calls as f64;
+
+    // 2. Recorder touch points in one warm Figure 7 render: spans (two
+    //    calls each), cache probes, and counter bumps.
+    let mut s = session(catalog(200, 4));
+    build_figure7(&mut s);
+    s.render("atlas").expect("warm-up");
+    let rec = Arc::new(InMemoryRecorder::new());
+    s.set_recorder(rec.clone());
+    s.render("atlas").expect("counted render");
+    let probes: u64 =
+        rec.node_cache_tallies().values().map(|t| t.hits + t.misses).sum();
+    let touches = 2 * rec.completed_spans().len() as u64 + probes + 8;
+
+    // 3. Wall time of one warm render under the noop recorder.
+    s.set_recorder(tioga2_obs::noop());
+    s.render("atlas").expect("warm-up");
+    let reps = 50u32;
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(s.render("atlas").expect("render"));
+    }
+    let render_ns = start.elapsed().as_nanos() as f64 / f64::from(reps);
+
+    let overhead_pct = 100.0 * (touches as f64 * ns_per_touch) / render_ns;
+    println!(
+        "obs_overhead/disabled_budget: {ns_per_touch:.2} ns/touch x {touches} \
+         touches vs {:.0} ns/render = {overhead_pct:.4}% (budget 2%)",
+        render_ns
+    );
+    assert!(
+        overhead_pct < 2.0,
+        "disabled recorder path exceeds the 2% budget: {overhead_pct:.4}%"
+    );
+}
+
+criterion_group!(benches, warm_render, cold_demand, disabled_budget);
+criterion_main!(benches);

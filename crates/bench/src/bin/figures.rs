@@ -1,15 +1,22 @@
 //! Regenerate every paper figure deterministically.
 //!
-//! Writes `out/figN_*.ppm` (+ `.svg` where a single scene exists) and
-//! prints the textual report recorded in EXPERIMENTS.md.
+//! Writes `out/figN_*.ppm` (+ `.svg` where a single scene exists), prints
+//! the textual report recorded in EXPERIMENTS.md, and emits
+//! `BENCH_figures.json` — per-figure wall time, engine counters
+//! (box_evals / cache_hits / rows in+out), and latency-histogram
+//! quantiles collected by an [`InMemoryRecorder`] attached to each
+//! figure's session.
 //!
 //! Run with: `cargo run -p tioga2-bench --bin figures`
 
+use std::sync::Arc;
+use std::time::Instant;
 use tioga2_bench::{build_figure1, build_figure4, build_figure7, build_figure8, catalog, session};
 use tioga2_core::Session;
 use tioga2_display::compose::PartitionSpec;
 use tioga2_display::{Displayable, Layout, Selection};
 use tioga2_expr::{parse, ScalarType as T};
+use tioga2_obs::{Histogram, InMemoryRecorder};
 use tioga2_viewer::magnifier::Magnifier;
 
 fn save(s: &mut Session, canvas: &str, file: &str) -> Result<usize, Box<dyn std::error::Error>> {
@@ -23,12 +30,98 @@ fn save(s: &mut Session, canvas: &str, file: &str) -> Result<usize, Box<dyn std:
     Ok(frame.hits.len().max(frame.member_hits.iter().map(|h| h.len()).sum()))
 }
 
+/// Everything measured while one figure regenerated.
+struct FigureStats {
+    name: String,
+    wall_ms: f64,
+    box_evals: u64,
+    cache_hits: u64,
+    rows_in: u64,
+    rows_out: u64,
+    spans: usize,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// Collects per-figure stats and serializes them to `BENCH_figures.json`.
+#[derive(Default)]
+struct Report {
+    figures: Vec<FigureStats>,
+    started: Option<Instant>,
+}
+
+impl Report {
+    /// Attach a fresh recorder to the figure's session and start its
+    /// wall-time clock.
+    fn begin(&mut self, s: &mut Session) -> Arc<InMemoryRecorder> {
+        let rec = Arc::new(InMemoryRecorder::new());
+        s.set_recorder(rec.clone());
+        self.started = Some(Instant::now());
+        rec
+    }
+
+    fn finish(&mut self, name: &str, s: &Session, rec: &InMemoryRecorder) {
+        let wall_ms = self.started.take().map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
+        let st = s.engine_stats();
+        self.figures.push(FigureStats {
+            name: name.to_string(),
+            wall_ms,
+            box_evals: st.box_evals,
+            cache_hits: st.cache_hits,
+            rows_in: st.rows_in,
+            rows_out: st.rows_out,
+            spans: rec.completed_spans().len(),
+            histograms: rec.histograms().into_iter().collect(),
+        });
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"seed\": \"{:#x}\",\n", tioga2_bench::SEED));
+        out.push_str("  \"figures\": [\n");
+        for (i, f) in self.figures.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", f.name));
+            out.push_str(&format!("      \"wall_ms\": {:.3},\n", f.wall_ms));
+            out.push_str(&format!("      \"box_evals\": {},\n", f.box_evals));
+            out.push_str(&format!("      \"cache_hits\": {},\n", f.cache_hits));
+            out.push_str(&format!("      \"rows_in\": {},\n", f.rows_in));
+            out.push_str(&format!("      \"rows_out\": {},\n", f.rows_out));
+            out.push_str(&format!("      \"spans\": {},\n", f.spans));
+            out.push_str("      \"histograms\": {");
+            for (j, (name, h)) in f.histograms.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n        \"{}\": {{\"count\": {}, \"mean_ns\": {:.1}, \
+                     \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99()
+                ));
+            }
+            if !f.histograms.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("}\n");
+            out.push_str(if i + 1 < self.figures.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Tioga-2 figure regeneration (seed {:#x}) ===\n", tioga2_bench::SEED);
+    let mut report = Report::default();
 
     // ---------------------------------------------------------- Figure 1
     {
         let mut s = session(catalog(200, 12));
+        let rec = report.begin(&mut s);
         let p = build_figure1(&mut s);
         let objs = save(&mut s, "main", "fig1_default_table")?;
         println!(
@@ -39,6 +132,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!("{}", s.graph.to_ascii());
         std::fs::write("out/fig1_program.svg", tioga2_dataflow::diagram::to_svg(&s.graph))?;
+        report.finish("fig1_default_table", &s, &rec);
     }
 
     // ------------------------------------------------- Figures 2/3 tables
@@ -61,17 +155,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------------------------------------------------------- Figure 4
     {
         let mut s = session(catalog(300, 4));
+        let rec = report.begin(&mut s);
         build_figure4(&mut s);
         let objs = save(&mut s, "map", "fig4_station_map")?;
         println!("[F4] station map: {objs} screen objects (circle + name per station)");
         s.set_slider("map", "alt", 0.0, 120.0)?;
         let low = s.render("map")?.hits.len();
         println!("     altitude slider 0..120 filters to {low} objects\n");
+        report.finish("fig4_station_map", &s, &rec);
     }
 
     // ---------------------------------------------------------- Figure 5
     {
         let mut s = session(catalog(100, 2));
+        let rec = report.begin(&mut s);
         let t = s.add_table("Stations")?;
         let a = s.set_attribute(t, "x", T::Float, "longitude")?;
         let b = s.scale_attribute(a, "x", 2.0)?;
@@ -88,11 +185,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.add_viewer(f, "attrs")?;
         let objs = save(&mut s, "attrs", "fig5_attr_ops")?;
         println!("[F5] attribute-operation chain (set/scale/translate/swap/add/combine): {objs} objects\n");
+        report.finish("fig5_attr_ops", &s, &rec);
     }
 
     // ------------------------------------------------- Figures 6 & 7
     {
         let mut s = session(catalog(300, 4));
+        let rec = report.begin(&mut s);
         build_figure7(&mut s);
         let far = save(&mut s, "atlas", "fig7_overlay_far")?;
         println!("[F6/F7] overlay with restricted ranges:");
@@ -109,11 +208,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.zoom("atlas", 0.2)?;
         let near = save(&mut s, "atlas", "fig7_overlay_near")?;
         println!("     far: {far} objects (circles layer); near: {near} objects (names layer)\n");
+        report.finish("fig7_overlay", &s, &rec);
     }
 
     // ---------------------------------------------------------- Figure 8
     {
         let mut s = session(catalog(120, 30));
+        let rec = report.begin(&mut s);
         build_figure8(&mut s);
         save(&mut s, "stations", "fig8_wormhole_canvas")?;
         // Center on a station and descend through its wormhole.
@@ -142,11 +243,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 scene.len()
             );
         }
+        report.finish("fig8_wormholes", &s, &rec);
     }
 
     // ---------------------------------------------------------- Figure 9
     {
         let mut s = session(catalog(60, 30));
+        let rec = report.begin(&mut s);
         let obs = s.add_table("Observations")?;
         let x = s.set_attribute(obs, "x", T::Float, "to_float(epoch(time)) / 86400.0")?;
         let y = s.set_attribute(x, "y", T::Float, "temperature")?;
@@ -171,11 +274,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                   the lens = {}\n",
             frame.fb.count_color(tioga2_expr::Color::BLUE)
         );
+        report.finish("fig9_magnifier", &s, &rec);
     }
 
     // --------------------------------------------------------- Figure 10
     {
         let mut s = session(catalog(60, 30));
+        let rec = report.begin(&mut s);
         let obs = s.add_table("Observations")?;
         let x = s.set_attribute(obs, "x", T::Float, "to_float(epoch(time)) / 86400.0")?;
         let xd = s.set_attribute(x, "display", T::DrawList, "point('blue') ++ nodraw()")?;
@@ -207,6 +312,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                   {} member canvases\n",
             frame.member_hits.len()
         );
+        report.finish("fig10_stitched", &s, &rec);
     }
 
     // --------------------------------------------------------- Figure 11
@@ -229,6 +335,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cat.register("Stations", st);
         cat.register("Observations", obs);
         let mut s = session(cat);
+        let rec = report.begin(&mut s);
         let obs = s.add_table("Observations")?;
         let x = s.set_attribute(obs, "x", T::Float, "to_float(epoch(time)) / 86400.0")?;
         let y = s.set_attribute(x, "y", T::Float, "temperature")?;
@@ -251,16 +358,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let frame = s.render("replicated")?;
         tioga2_render::ppm::write_ppm(&frame.fb, "out/fig11_replicated.ppm")?;
         println!();
+        report.finish("fig11_replicated", &s, &rec);
     }
 
     // -------------------------------------------------------------- §8
     {
         let mut s = session(catalog(60, 2));
+        let rec = report.begin(&mut s);
         let t = s.add_table("Employees")?;
         s.add_viewer(t, "emps")?;
         let frame = s.render("emps")?;
-        let rec = frame.hits.records()[2].clone();
-        let (cx, cy) = ((rec.bbox.0 + rec.bbox.2) / 2, (rec.bbox.1 + rec.bbox.3) / 2);
+        let hit = frame.hits.records()[2].clone();
+        let (cx, cy) = ((hit.bbox.0 + hit.bbox.2) / 2, (hit.bbox.1 + hit.bbox.3) / 2);
         let mut dialog = s.begin_update("emps", cx, cy)?;
         let before: i64 = dialog
             .fields
@@ -278,8 +387,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             before,
             before + 1
         );
+        report.finish("u1_update", &s, &rec);
     }
 
-    println!("all figures regenerated into out/");
+    std::fs::write("BENCH_figures.json", report.to_json())?;
+    println!(
+        "all figures regenerated into out/; BENCH_figures.json covers {} figures",
+        report.figures.len()
+    );
     Ok(())
 }

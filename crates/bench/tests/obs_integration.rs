@@ -1,0 +1,73 @@
+//! End-to-end observability check: run the Figure 7 pipeline under an
+//! `InMemoryRecorder` and verify the recorded spans tell the memoization
+//! story the engine claims — every box fires once on the cold render,
+//! and a second demand is pure cache hits.
+
+use std::sync::Arc;
+use tioga2_bench::{build_figure7, catalog, session};
+use tioga2_obs::{InMemoryRecorder, Recorder};
+
+#[test]
+fn figure7_under_recorder_traces_every_fire_then_caches() {
+    let mut s = session(catalog(60, 4));
+    let rec = Arc::new(InMemoryRecorder::new());
+    s.set_recorder(rec.clone());
+
+    build_figure7(&mut s);
+    s.render("atlas").expect("cold render");
+
+    let cold_stats = s.engine_stats();
+    assert!(cold_stats.box_evals > 0, "the cold render fires boxes");
+    assert!(cold_stats.rows_in > 0 && cold_stats.rows_out > 0);
+
+    // Every fired box produced exactly one `fire:` span.
+    let spans = rec.completed_spans();
+    let fire_spans: Vec<_> = spans.iter().filter(|sp| sp.name.starts_with("fire:")).collect();
+    assert_eq!(
+        fire_spans.len() as u64,
+        cold_stats.box_evals,
+        "one fire span per box evaluation"
+    );
+    // Fire spans nest under the demand that triggered them.
+    assert!(fire_spans.iter().all(|sp| sp.depth >= 1), "fires nest inside engine.demand");
+    // rows_in/rows_out fields ride on every fire span.
+    assert!(fire_spans
+        .iter()
+        .all(|sp| sp.fields.iter().any(|(k, _)| *k == "rows_in")
+            && sp.fields.iter().any(|(k, _)| *k == "rows_out")));
+    // The session-level render span is present and encloses depth 0.
+    assert!(spans.iter().any(|sp| sp.name == "session.render" && sp.depth == 0));
+    // The render passes were traced too.
+    assert!(spans.iter().any(|sp| sp.name == "render.compose"));
+    assert!(spans.iter().any(|sp| sp.name == "render.draw"));
+
+    // A second demand of the same canvas is answered from the memo
+    // cache: no new fire spans, only cache hits.
+    let fires_before = fire_spans.len();
+    rec.reset();
+    s.render("atlas").expect("warm render");
+    let warm_stats = s.engine_stats();
+    assert_eq!(
+        warm_stats.box_evals, cold_stats.box_evals,
+        "warm render fires nothing new"
+    );
+    assert!(warm_stats.cache_hits > cold_stats.cache_hits, "warm render hits the cache");
+
+    let warm_spans = rec.completed_spans();
+    assert_eq!(
+        warm_spans.iter().filter(|sp| sp.name.starts_with("fire:")).count(),
+        0,
+        "no fire spans on the warm render (had {fires_before} cold ones)"
+    );
+    assert!(rec.counter("engine.cache_hits").unwrap_or(0) > 0);
+    // Per-node tallies see the warm probes as hits.
+    let tallies = rec.node_cache_tallies();
+    assert!(!tallies.is_empty());
+    assert!(tallies.values().all(|t| t.misses == 0), "warm probes never miss");
+
+    // The exporters accept the whole journal.
+    let json = rec.chrome_trace_json().expect("chrome trace");
+    assert!(json.contains("\"traceEvents\""));
+    let table = rec.summary_table().expect("summary");
+    assert!(table.contains("engine.cache_hits"));
+}

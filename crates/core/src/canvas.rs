@@ -10,6 +10,7 @@
 use crate::error::CoreError;
 use tioga2_dataflow::NodeId;
 use tioga2_display::Displayable;
+use tioga2_obs::Recorder;
 use tioga2_render::{Framebuffer, HitIndex, Scene};
 use tioga2_viewer::group::GroupWindow;
 use tioga2_viewer::magnifier::Magnifier;
@@ -53,6 +54,17 @@ impl Canvas {
         content: &Displayable,
         viewers: &mut ViewerSet,
     ) -> Result<CanvasFrame, CoreError> {
+        self.render_recorded(name, content, viewers, tioga2_obs::noop_ref())
+    }
+
+    /// [`Canvas::render`] with compose/draw passes traced through `rec`.
+    pub fn render_recorded(
+        &mut self,
+        name: &str,
+        content: &Displayable,
+        viewers: &mut ViewerSet,
+        rec: &dyn Recorder,
+    ) -> Result<CanvasFrame, CoreError> {
         match content {
             Displayable::G(g) => {
                 let rebuild = match &self.group {
@@ -84,7 +96,7 @@ impl Canvas {
                     self.fitted = true;
                 }
                 let viewer = viewers.get(name)?.clone();
-                let (mut fb, hits, scene) = viewer.render(&composite)?;
+                let (mut fb, hits, scene) = viewer.render_recorded(&composite, rec)?;
                 for m in &self.magnifiers {
                     m.render_into(&viewer, &composite, &mut fb)?;
                 }

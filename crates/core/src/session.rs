@@ -17,6 +17,7 @@ use tioga2_display::compose::PartitionSpec;
 use tioga2_display::drilldown::{elevation_map, ElevationBar};
 use tioga2_display::{Displayable, Layout, Selection};
 use tioga2_expr::{parse, ScalarType, Shape, ViewerSpec};
+use tioga2_obs::{Recorder, SpanId};
 use tioga2_render::HitRecord;
 use tioga2_viewer::magnifier::Magnifier;
 use tioga2_viewer::navigator::PASS_THROUGH_ELEVATION;
@@ -78,6 +79,9 @@ pub struct Session {
     /// paper's immediate-feedback principle).  Benches may disable it to
     /// measure pure edit cost.
     validate_edits: bool,
+    /// Instrumentation sink, shared with the engine (defaults to the
+    /// zero-overhead no-op recorder).
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Session {
@@ -96,6 +100,28 @@ impl Session {
             canvas_size: DEFAULT_CANVAS_SIZE,
             eager_evals: 0,
             validate_edits: true,
+            recorder: tioga2_obs::noop(),
+        }
+    }
+
+    /// Install an instrumentation recorder for this session and its
+    /// engine.  Pass [`tioga2_obs::noop()`] to turn tracing back off.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.engine.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The session's current recorder.
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
+    /// Begin a session-level op span (no-op unless tracing is enabled).
+    fn op_span(&self, name: &str, detail: &str) -> SpanId {
+        if self.recorder.is_enabled() {
+            self.recorder.span_begin(name, detail)
+        } else {
+            SpanId::NONE
         }
     }
 
@@ -129,8 +155,9 @@ impl Session {
         &mut self,
         f: impl FnOnce(&mut Graph) -> Result<R, FlowError>,
     ) -> Result<R, CoreError> {
+        let span = self.op_span("session.edit", "");
         self.journal.checkpoint(&self.graph);
-        match f(&mut self.graph) {
+        let result = match f(&mut self.graph) {
             Ok(r) => {
                 self.after_edit();
                 Ok(r)
@@ -139,7 +166,9 @@ impl Session {
                 self.journal.undo(&mut self.graph);
                 Err(e.into())
             }
-        }
+        };
+        self.recorder.span_end(span, &[("ok", result.is_ok() as i64)]);
+        result
     }
 
     fn after_edit(&mut self) {
@@ -287,18 +316,22 @@ impl Session {
 
     /// The undo button.
     pub fn undo(&mut self) -> bool {
+        let span = self.op_span("session.undo", "");
         let did = self.journal.undo(&mut self.graph);
         if did {
             self.sync_canvases();
         }
+        self.recorder.span_end(span, &[("did", did as i64)]);
         did
     }
 
     pub fn redo(&mut self) -> bool {
+        let span = self.op_span("session.redo", "");
         let did = self.journal.redo(&mut self.graph);
         if did {
             self.sync_canvases();
         }
+        self.recorder.span_end(span, &[("did", did as i64)]);
         did
     }
 
@@ -771,12 +804,19 @@ impl Session {
 
     /// Render a canvas window.
     pub fn render(&mut self, canvas: &str) -> Result<CanvasFrame, CoreError> {
+        let span = self.op_span("session.render", canvas);
+        let result = self.render_inner(canvas);
+        self.recorder.span_end(span, &[("ok", result.is_ok() as i64)]);
+        result
+    }
+
+    fn render_inner(&mut self, canvas: &str) -> Result<CanvasFrame, CoreError> {
         let content = self.displayable(canvas)?;
         let c = self
             .canvases
             .get_mut(canvas)
             .ok_or_else(|| CoreError::Session(format!("no canvas '{canvas}'")))?;
-        c.render(canvas, &content, &mut self.viewers)
+        c.render_recorded(canvas, &content, &mut self.viewers, self.recorder.as_ref())
     }
 
     fn ensure_fitted(&mut self, canvas: &str) -> Result<(), CoreError> {
@@ -795,13 +835,31 @@ impl Session {
 
     /// Pan a canvas by screen pixels (slaved canvases follow).
     pub fn pan(&mut self, canvas: &str, dx: i32, dy: i32) -> Result<(), CoreError> {
-        self.ensure_fitted(canvas)?;
-        Ok(self.viewers.pan_px(canvas, dx, dy)?)
+        let span = self.op_span("session.pan", canvas);
+        let result = (|| {
+            self.ensure_fitted(canvas)?;
+            Ok(self.viewers.pan_px(canvas, dx, dy)?)
+        })();
+        self.recorder.span_end(span, &[("ok", result.is_ok() as i64)]);
+        result
     }
 
     /// Zoom a canvas.  Returns the destination canvas if the elevation
     /// bottomed out over a wormhole and the user passed through (§6.2).
     pub fn zoom(&mut self, canvas: &str, factor: f64) -> Result<Option<String>, CoreError> {
+        let span = self.op_span("session.zoom", canvas);
+        let result = self.zoom_inner(canvas, factor);
+        self.recorder.span_end(
+            span,
+            &[
+                ("ok", result.is_ok() as i64),
+                ("traversed", matches!(result, Ok(Some(_))) as i64),
+            ],
+        );
+        result
+    }
+
+    fn zoom_inner(&mut self, canvas: &str, factor: f64) -> Result<Option<String>, CoreError> {
         self.ensure_fitted(canvas)?;
         self.viewers.zoom(canvas, factor)?;
         let elevation = self.viewers.get(canvas)?.position.elevation;

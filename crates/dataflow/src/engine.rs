@@ -18,6 +18,8 @@ use crate::error::FlowError;
 use crate::graph::{Graph, NodeId};
 use crate::port::Data;
 use std::collections::HashMap;
+use std::sync::Arc;
+use tioga2_obs::{Recorder, SpanId};
 use tioga2_display::attr_ops;
 use tioga2_display::compose::{replicate_within, stitch};
 use tioga2_display::defaults::{make_display_relation, redefault};
@@ -31,12 +33,21 @@ use tioga2_relational::ops;
 use tioga2_relational::Catalog;
 
 /// Evaluation counters, used by tests and the ablation benches.
+///
+/// These are always maintained (they are a handful of integer adds per
+/// box fire); richer telemetry — per-box spans, per-node cache tallies,
+/// latency histograms — flows through the engine's [`Recorder`] and is
+/// only collected when an enabled recorder is installed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Boxes actually fired.
     pub box_evals: u64,
     /// Demands satisfied from the memo cache.
     pub cache_hits: u64,
+    /// Total tuples entering fired boxes.
+    pub rows_in: u64,
+    /// Total tuples leaving fired boxes.
+    pub rows_out: u64,
 }
 
 struct CacheEntry {
@@ -50,6 +61,7 @@ pub struct Engine {
     catalog: Catalog,
     cache: HashMap<NodeId, CacheEntry>,
     pub stats: EvalStats,
+    recorder: Arc<dyn Recorder>,
 }
 
 fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
@@ -65,24 +77,53 @@ fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
 
 impl Engine {
     pub fn new(catalog: Catalog) -> Self {
-        Engine { catalog, cache: HashMap::new(), stats: EvalStats::default() }
+        Engine {
+            catalog,
+            cache: HashMap::new(),
+            stats: EvalStats::default(),
+            recorder: tioga2_obs::noop(),
+        }
     }
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
 
+    /// Install an instrumentation sink.  Sub-engines spawned for
+    /// encapsulated boxes inherit it.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
     /// Drop all memoized results (catalog updates call this: base-table
-    /// contents are outside the structural signature).
+    /// contents are outside the structural signature).  Records a
+    /// `cache.invalidations` counter event with the number of entries
+    /// evicted journaled alongside.
     pub fn invalidate_all(&mut self) {
+        let evicted = self.cache.len() as u64;
         self.cache.clear();
+        self.recorder.add("cache.invalidations", 1);
+        self.recorder.add("cache.invalidated_entries", evicted);
     }
 
     /// Demand the value on `(node, out_port)` of `graph`.
     pub fn demand(&mut self, graph: &Graph, node: NodeId, port: usize) -> Result<Data, FlowError> {
+        let span = if self.recorder.is_enabled() {
+            self.recorder.span_begin("engine.demand", &format!("{node}:{port}"))
+        } else {
+            SpanId::NONE
+        };
         let mut sigs = HashMap::new();
-        let outs = self.eval_node(graph, node, &[], &[], &mut sigs)?;
-        outs.get(port)
+        let result = self.eval_node(graph, node, &[], &[], &mut sigs);
+        if !span.is_none() {
+            self.recorder.span_end(span, &[("ok", result.is_ok() as i64)]);
+        }
+        result?
+            .get(port)
             .cloned()
             .ok_or_else(|| FlowError::Graph(format!("{node} has no output {port}")))
     }
@@ -138,6 +179,11 @@ impl Engine {
         if let Some(entry) = self.cache.get(&id) {
             if entry.sig == sig {
                 self.stats.cache_hits += 1;
+                if self.recorder.is_enabled() {
+                    let node = graph.node(id)?;
+                    self.recorder.add("engine.cache_hits", 1);
+                    self.recorder.cache_access(&format!("{}#{id}", node.name()), true);
+                }
                 return Ok(entry.outputs.clone());
             }
         }
@@ -158,8 +204,31 @@ impl Engine {
                 }
             }
         }
+        let rows_in: u64 = inputs.iter().map(data_rows).sum();
         self.stats.box_evals += 1;
-        let outputs = self.eval_kind(&node.kind, inputs, env, plugs)?;
+        self.stats.rows_in += rows_in;
+        // Fire span: all string work is gated on an enabled recorder so
+        // the disabled path costs two virtual calls and the row sums.
+        let span = if self.recorder.is_enabled() {
+            self.recorder.add("engine.box_evals", 1);
+            self.recorder.cache_access(&format!("{}#{id}", node.name()), false);
+            self.recorder.span_begin(&format!("fire:{}", node.name()), &format!("{}#{id}", node.name()))
+        } else {
+            SpanId::NONE
+        };
+        let result = self.eval_kind(&node.kind, inputs, env, plugs);
+        if !span.is_none() {
+            let rows_out = result.as_ref().map(|outs| outs.iter().map(data_rows).sum::<u64>());
+            self.recorder.span_end(
+                span,
+                &[
+                    ("rows_in", rows_in as i64),
+                    ("rows_out", rows_out.map_or(-1, |r| r as i64)),
+                ],
+            );
+        }
+        let outputs = result?;
+        self.stats.rows_out += outputs.iter().map(data_rows).sum::<u64>();
         if outputs.len() != node.out_types.len() {
             return Err(FlowError::Eval(format!(
                 "box '{}' produced {} outputs, expected {}",
@@ -194,7 +263,10 @@ impl Engine {
             }
             BoxKind::RelOp { op, sel, .. } => {
                 let d = input_displayable(inputs.pop(), op.name())?;
-                let out = apply_to_relation(&d, *sel, |dr| apply_rel_op(op, dr))?;
+                let rec = &self.recorder;
+                let out = apply_to_relation(&d, *sel, |dr| {
+                    apply_rel_op_recorded(op, dr, rec.as_ref())
+                })?;
                 Ok(vec![Data::D(out)])
             }
             BoxKind::CompOp { op, sel, .. } => {
@@ -287,6 +359,7 @@ impl Engine {
                 // Fresh sub-engine: inner results are represented in the
                 // outer cache by this node's own entry.
                 let mut sub = Engine::new(self.catalog.clone());
+                sub.set_recorder(self.recorder.clone());
                 let mut outs = Vec::with_capacity(def.output_bindings.len());
                 let mut sigs = HashMap::new();
                 for (node, port) in &def.output_bindings {
@@ -296,10 +369,21 @@ impl Engine {
                     })?);
                 }
                 self.stats.box_evals += sub.stats.box_evals;
+                self.stats.cache_hits += sub.stats.cache_hits;
+                self.stats.rows_in += sub.stats.rows_in;
+                self.stats.rows_out += sub.stats.rows_out;
                 Ok(outs)
             }
             BoxKind::Custom(c) => (c.f)(&inputs),
         }
+    }
+}
+
+/// Tuple count of a dataflow value: scalars carry no rows.
+fn data_rows(d: &Data) -> u64 {
+    match d {
+        Data::D(d) => d.tuple_count() as u64,
+        Data::Scalar(_) => 0,
     }
 }
 
@@ -320,6 +404,24 @@ fn displayable_relation(d: Option<Data>, what: &str) -> Result<DisplayRelation, 
             Err(FlowError::Eval(format!("{what} expected a relation, got {}", other.type_tag())))
         }
     }
+}
+
+/// [`apply_rel_op`] wrapped in a `relop:<name>` span carrying the
+/// relation's rows in/out.  Disabled recorders short-circuit to the
+/// plain call.
+pub fn apply_rel_op_recorded(
+    op: &RelOpKind,
+    dr: &DisplayRelation,
+    rec: &dyn Recorder,
+) -> Result<DisplayRelation, tioga2_display::DisplayError> {
+    if !rec.is_enabled() {
+        return apply_rel_op(op, dr);
+    }
+    let span = rec.span_begin(&format!("relop:{}", op.name()), "");
+    let result = apply_rel_op(op, dr);
+    let rows_out = result.as_ref().map_or(-1, |out| out.rel.len() as i64);
+    rec.span_end(span, &[("rows_in", dr.rel.len() as i64), ("rows_out", rows_out)]);
+    result
 }
 
 /// Apply one relation-level operation to a display relation.
@@ -712,6 +814,62 @@ mod tests {
         assert_eq!(e.demand_displayable(&g, t, 0).unwrap().tuple_count(), 4);
         e.invalidate_all();
         assert_eq!(e.demand_displayable(&g, t, 0).unwrap().tuple_count(), 5);
+    }
+
+    #[test]
+    fn recorder_sees_fires_hits_and_invalidations() {
+        use tioga2_obs::InMemoryRecorder;
+        let rec = std::sync::Arc::new(InMemoryRecorder::new());
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict("state = 'LA'"));
+        g.connect(t, 0, r, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        e.set_recorder(rec.clone());
+
+        e.demand(&g, r, 0).unwrap();
+        assert_eq!(rec.counter("engine.box_evals"), Some(2));
+        let spans = rec.completed_spans();
+        let fires: Vec<&str> =
+            spans.iter().filter(|s| s.name.starts_with("fire:")).map(|s| s.name.as_str()).collect();
+        assert_eq!(fires.len(), 2);
+        // Fire spans nest under the demand span; the relop span nests
+        // under the Restrict fire.
+        assert!(spans.iter().any(|s| s.name == "engine.demand" && s.depth == 0));
+        assert!(spans.iter().any(|s| s.name.starts_with("fire:") && s.depth > 0));
+        assert!(spans.iter().any(|s| s.name == "relop:Restrict"));
+        // Rows flowed: the restrict saw 4 in, 3 out.
+        let relop = spans.iter().find(|s| s.name == "relop:Restrict").unwrap();
+        assert_eq!(relop.fields, vec![("rows_in", 4), ("rows_out", 3)]);
+        assert_eq!(e.stats.rows_in, 4, "table takes no rows, restrict takes 4");
+        assert_eq!(e.stats.rows_out, 7, "table emits 4, restrict emits 3");
+
+        // Second demand: pure cache hits, no new fire spans.
+        e.demand(&g, r, 0).unwrap();
+        assert_eq!(rec.counter("engine.box_evals"), Some(2));
+        assert_eq!(rec.counter("engine.cache_hits"), Some(1));
+        let tallies = rec.node_cache_tallies();
+        let restrict_tally =
+            tallies.iter().find(|(k, _)| k.starts_with("Restrict")).map(|(_, v)| *v).unwrap();
+        assert_eq!(restrict_tally.misses, 1);
+        assert_eq!(restrict_tally.hits, 1);
+
+        // Invalidation records its counter event.
+        e.invalidate_all();
+        assert_eq!(rec.counter("cache.invalidations"), Some(1));
+        assert_eq!(rec.counter("cache.invalidated_entries"), Some(2));
+    }
+
+    #[test]
+    fn stats_rows_accumulate_without_recorder() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict("state = 'LA'"));
+        g.connect(t, 0, r, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        e.demand(&g, r, 0).unwrap();
+        assert_eq!(e.stats.rows_in, 4);
+        assert_eq!(e.stats.rows_out, 7);
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Artifact exporters: Chrome trace-event JSON, plaintext summary
+//! table, Prometheus-style text exposition.
+//!
+//! All three are hand-rolled (this crate is dependency-free by design);
+//! the JSON writer escapes strings per RFC 8259.
+
+use crate::memory::{Event, InMemoryRecorder};
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Chrome trace-event JSON for the recorder's journal, loadable in
+/// Perfetto (ui.perfetto.dev) or `chrome://tracing`.
+///
+/// Completed spans are emitted as balanced `B`/`E` duration-event pairs
+/// on a single pid/tid; counter marks become `i` instant events.  Spans
+/// are reconstructed from self-contained `End` journal entries, so the
+/// output is balanced even when the ring buffer has evicted `Begin`
+/// entries: a span either appears with both its `B` and `E` or not at
+/// all.  Timestamps are microseconds (fractional, from nanoseconds).
+pub fn chrome_trace_json(rec: &InMemoryRecorder) -> String {
+    // (ts_ns, kind_rank, depth_rank, json) — `E` sorts before `B` on
+    // ties so back-to-back siblings stay balanced; deeper `E`s close
+    // first and shallower `B`s open first, preserving nesting.
+    let mut entries: Vec<(u64, u8, i64, String)> = Vec::new();
+
+    for span in rec.completed_spans() {
+        let args_b = format!("{{\"detail\":\"{}\"}}", escape_json(&span.detail));
+        let mut args_e = String::from("{");
+        for (i, (k, v)) in span.fields.iter().enumerate() {
+            if i > 0 {
+                args_e.push(',');
+            }
+            args_e.push_str(&format!("\"{}\":{}", escape_json(k), v));
+        }
+        args_e.push('}');
+        let name = escape_json(&span.name);
+        entries.push((
+            span.begin_ns,
+            1,
+            span.depth as i64,
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"tioga2\",\"ph\":\"B\",\"ts\":{:.3},\"pid\":1,\"tid\":1,\"args\":{}}}",
+                name,
+                span.begin_ns as f64 / 1000.0,
+                args_b
+            ),
+        ));
+        entries.push((
+            span.begin_ns + span.dur_ns,
+            0,
+            -(span.depth as i64),
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"tioga2\",\"ph\":\"E\",\"ts\":{:.3},\"pid\":1,\"tid\":1,\"args\":{}}}",
+                name,
+                (span.begin_ns + span.dur_ns) as f64 / 1000.0,
+                args_e
+            ),
+        ));
+    }
+
+    for ev in rec.events() {
+        if let Event::Count { name, delta, ts_ns } = ev {
+            entries.push((
+                ts_ns,
+                2,
+                0,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"tioga2.counter\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":1,\"tid\":1,\"args\":{{\"delta\":{}}}}}",
+                    escape_json(&name),
+                    ts_ns as f64 / 1000.0,
+                    delta
+                ),
+            ));
+        }
+    }
+
+    entries.sort_by(|a, b| (a.0, a.1, a.2).partial_cmp(&(b.0, b.1, b.2)).unwrap());
+
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, (_, _, _, json)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(json);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Human-readable summary: counters, per-node cache hit rates, and span
+/// latency quantiles.
+pub fn summary_table(rec: &InMemoryRecorder) -> String {
+    let mut out = String::new();
+
+    let counters = rec.counters();
+    out.push_str("== counters ==\n");
+    if counters.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for (name, value) in &counters {
+        out.push_str(&format!("  {name:<40} {value:>12}\n"));
+    }
+
+    let tallies = rec.node_cache_tallies();
+    out.push_str("\n== cache (per node) ==\n");
+    if tallies.is_empty() {
+        out.push_str("  (none)\n");
+    } else {
+        out.push_str(&format!(
+            "  {:<32} {:>8} {:>8} {:>9}\n",
+            "node", "hits", "misses", "hit_rate"
+        ));
+        for (node, tally) in &tallies {
+            out.push_str(&format!(
+                "  {:<32} {:>8} {:>8} {:>8.1}%\n",
+                node,
+                tally.hits,
+                tally.misses,
+                tally.hit_rate() * 100.0
+            ));
+        }
+    }
+
+    let histograms = rec.histograms();
+    out.push_str("\n== latency histograms ==\n");
+    if histograms.is_empty() {
+        out.push_str("  (none)\n");
+    } else {
+        out.push_str(&format!(
+            "  {:<32} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "span", "count", "p50", "p95", "p99", "max"
+        ));
+        for (name, h) in &histograms {
+            out.push_str(&format!(
+                "  {:<32} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                name,
+                h.count(),
+                fmt_ns(h.p50()),
+                fmt_ns(h.p95()),
+                fmt_ns(h.p99()),
+                fmt_ns(h.max())
+            ));
+        }
+    }
+
+    let dropped = rec.dropped_events();
+    if dropped > 0 {
+        out.push_str(&format!("\n(journal ring evicted {dropped} events)\n"));
+    }
+    out
+}
+
+/// Sanitize a name into a Prometheus metric/label token.
+fn prom_name(s: &str) -> String {
+    let mut out: String = s
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Prometheus text exposition (format 0.0.4): counters, per-node cache
+/// tallies, and span-duration summaries with p50/p95/p99 quantiles.
+pub fn prometheus_text(rec: &InMemoryRecorder) -> String {
+    let mut out = String::new();
+
+    for (name, value) in rec.counters() {
+        let metric = format!("tioga2_{}", prom_name(&name));
+        out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+    }
+
+    let tallies = rec.node_cache_tallies();
+    if !tallies.is_empty() {
+        out.push_str("# TYPE tioga2_cache_probes counter\n");
+        for (node, tally) in &tallies {
+            let node = escape_json(node);
+            out.push_str(&format!(
+                "tioga2_cache_probes{{node=\"{}\",outcome=\"hit\"}} {}\n",
+                node, tally.hits
+            ));
+            out.push_str(&format!(
+                "tioga2_cache_probes{{node=\"{}\",outcome=\"miss\"}} {}\n",
+                node, tally.misses
+            ));
+        }
+    }
+
+    let histograms = rec.histograms();
+    if !histograms.is_empty() {
+        out.push_str("# TYPE tioga2_span_duration_ns summary\n");
+        for (name, h) in &histograms {
+            let span = escape_json(name);
+            for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+                out.push_str(&format!(
+                    "tioga2_span_duration_ns{{span=\"{span}\",quantile=\"{q}\"}} {v}\n"
+                ));
+            }
+            out.push_str(&format!("tioga2_span_duration_ns_sum{{span=\"{span}\"}} {}\n", h.sum()));
+            out.push_str(&format!(
+                "tioga2_span_duration_ns_count{{span=\"{span}\"}} {}\n",
+                h.count()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample_recorder() -> InMemoryRecorder {
+        let rec = InMemoryRecorder::new();
+        let outer = rec.span_begin("render", "atlas");
+        let inner = rec.span_begin("fire:Restrict", "node 3 \"quoted\"");
+        rec.span_end(inner, &[("rows_in", 100), ("rows_out", 42)]);
+        rec.span_end(outer, &[]);
+        rec.add("engine.box_evals", 2);
+        rec.cache_access("Restrict#3", false);
+        rec.cache_access("Restrict#3", true);
+        rec
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let json = chrome_trace_json(&sample_recorder());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("fire:Restrict"));
+        assert!(json.contains("\"rows_out\":42"));
+        // The quote in the detail string is escaped.
+        assert!(json.contains("node 3 \\\"quoted\\\""));
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), json.matches("\"ph\":\"E\"").count());
+    }
+
+    #[test]
+    fn chrome_trace_orders_nested_spans() {
+        let json = chrome_trace_json(&sample_recorder());
+        let b_outer = json.find("\"name\":\"render\",\"cat\":\"tioga2\",\"ph\":\"B\"").unwrap();
+        let b_inner =
+            json.find("\"name\":\"fire:Restrict\",\"cat\":\"tioga2\",\"ph\":\"B\"").unwrap();
+        let e_outer = json.find("\"name\":\"render\",\"cat\":\"tioga2\",\"ph\":\"E\"").unwrap();
+        let e_inner =
+            json.find("\"name\":\"fire:Restrict\",\"cat\":\"tioga2\",\"ph\":\"E\"").unwrap();
+        assert!(b_outer < b_inner, "outer B must precede inner B");
+        assert!(b_inner < e_inner, "inner B must precede inner E");
+        assert!(e_inner < e_outer, "inner E must precede outer E");
+    }
+
+    #[test]
+    fn summary_table_sections() {
+        let table = summary_table(&sample_recorder());
+        assert!(table.contains("== counters =="));
+        assert!(table.contains("engine.box_evals"));
+        assert!(table.contains("== cache (per node) =="));
+        assert!(table.contains("Restrict#3"));
+        assert!(table.contains("50.0%"));
+        assert!(table.contains("== latency histograms =="));
+        assert!(table.contains("fire:Restrict"));
+    }
+
+    #[test]
+    fn prometheus_exposition() {
+        let text = prometheus_text(&sample_recorder());
+        assert!(text.contains("# TYPE tioga2_engine_box_evals counter"));
+        assert!(text.contains("tioga2_engine_box_evals 2"));
+        assert!(text.contains("tioga2_cache_probes{node=\"Restrict#3\",outcome=\"hit\"} 1"));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("tioga2_span_duration_ns_count{span=\"render\"} 1"));
+        // Metric names never contain dots.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let metric = line.split(&['{', ' '][..]).next().unwrap();
+            assert!(!metric.contains('.'), "unsanitized metric: {metric}");
+        }
+    }
+
+    #[test]
+    fn empty_recorder_exports() {
+        let rec = InMemoryRecorder::new();
+        let json = chrome_trace_json(&rec);
+        assert!(json.contains("traceEvents"));
+        assert!(summary_table(&rec).contains("(none)"));
+        assert_eq!(prometheus_text(&rec), "");
+    }
+}

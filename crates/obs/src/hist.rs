@@ -1,0 +1,213 @@
+//! Log₂-bucketed latency histograms.
+//!
+//! 64 buckets, where bucket `i` covers `[2^i, 2^(i+1))` nanoseconds
+//! (bucket 0 also absorbs 0).  That spans 1ns to ~584 years with ≤2×
+//! relative error before interpolation, which is plenty for latency
+//! work; quantiles interpolate linearly inside the winning bucket and
+//! are clamped to the observed min/max, so p50 of a constant stream is
+//! exact.
+
+/// One histogram: fixed 64-bucket log₂ layout plus exact count / sum /
+/// min / max.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 64], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+/// Index of the bucket covering `v`: `floor(log2(v))`, with 0 mapped to
+/// bucket 0.
+pub fn bucket_index(v: u64) -> usize {
+    63 - (v | 1).leading_zeros() as usize
+}
+
+/// Inclusive-exclusive bounds `[lo, hi)` of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    let lo = if i == 0 { 0 } else { 1u64 << i };
+    let hi = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+    (lo, hi)
+}
+
+impl Histogram {
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), linearly interpolated within
+    /// the winning bucket and clamped to the observed min/max.  Returns
+    /// 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The extremes are tracked exactly; skip interpolation.
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        // Rank of the target observation, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= target {
+                let (lo, hi) = bucket_bounds(i);
+                // Midpoint convention: the k-th of n observations in a
+                // bucket sits at fraction (k - 0.5)/n, so q=0 maps near
+                // `lo` and q=1 near (not onto) the exclusive bound `hi`.
+                let frac = ((target - cum) as f64 - 0.5) / n as f64;
+                let est = lo as f64 + frac * (hi.saturating_sub(lo)) as f64;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            cum += n;
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)`, for exposition formats.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, n)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(7), 2);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..63 {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo.max(1)), i);
+            assert_eq!(bucket_index(hi - 1), i);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn constant_stream_quantiles_are_exact() {
+        let mut h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(777);
+        }
+        assert_eq!(h.p50(), 777);
+        assert_eq!(h.p95(), 777);
+        assert_eq!(h.p99(), 777);
+        assert_eq!(h.min(), 777);
+        assert_eq!(h.max(), 777);
+    }
+
+    #[test]
+    fn uniform_stream_quantile_ordering() {
+        let mut h = Histogram::default();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Log buckets give ≤2x relative error.
+        assert!((2_500..=10_000).contains(&p50), "p50={p50}");
+        assert!(p99 >= 5_000, "p99={p99}");
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.sum(), (1 + 10_000) * 10_000 / 2);
+    }
+
+    #[test]
+    fn quantile_within_bucket_bounds() {
+        let mut h = Histogram::default();
+        for &v in &[3u64, 5, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        // p50 (3rd of 5) lands in the bucket holding 100: [64, 128).
+        let p50 = h.p50();
+        assert!((64..128).contains(&p50), "p50={p50}");
+        assert_eq!(h.quantile(1.0), 100_000);
+    }
+}

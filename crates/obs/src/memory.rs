@@ -1,0 +1,388 @@
+//! The collecting recorder: a `parking_lot`-guarded store of events,
+//! counters, cache tallies, and histograms.
+
+use crate::hist::Histogram;
+use crate::{Recorder, SpanId};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Instant;
+
+/// Default bound on the event journal.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
+
+/// One journal entry.  Times are nanoseconds since the recorder was
+/// created (or last reset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A span opened.
+    Begin { id: u64, name: String, detail: String, ts_ns: u64, depth: u32 },
+    /// A span closed.  Self-contained (name/detail/depth repeated) so a
+    /// span survives its `Begin` being evicted from the ring.
+    End {
+        id: u64,
+        name: String,
+        detail: String,
+        ts_ns: u64,
+        dur_ns: u64,
+        depth: u32,
+        fields: Vec<(&'static str, i64)>,
+    },
+    /// A counter bump (`Recorder::add`).
+    Count { name: String, delta: u64, ts_ns: u64 },
+}
+
+/// A closed span reconstructed from the journal.
+#[derive(Debug, Clone)]
+pub struct CompletedSpan {
+    pub id: u64,
+    pub name: String,
+    pub detail: String,
+    pub begin_ns: u64,
+    pub dur_ns: u64,
+    pub depth: u32,
+    pub fields: Vec<(&'static str, i64)>,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheTally {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheTally {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    events: VecDeque<Event>,
+    /// Events evicted from the ring since the last reset.
+    dropped: u64,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    node_cache: BTreeMap<String, CacheTally>,
+    /// Spans begun but not yet ended, keyed by span id.
+    open: HashMap<u64, OpenSpan>,
+    next_id: u64,
+    depth: u32,
+}
+
+struct OpenSpan {
+    name: String,
+    detail: String,
+    begin_ns: u64,
+    depth: u32,
+}
+
+/// The collecting [`Recorder`].
+pub struct InMemoryRecorder {
+    start: Instant,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InMemoryRecorder {
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// `capacity` bounds the event journal (ring buffer); counters,
+    /// histograms, and cache tallies are not ring-bounded.
+    pub fn with_capacity(capacity: usize) -> Self {
+        InMemoryRecorder {
+            start: Instant::now(),
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { next_id: 1, ..Inner::default() }),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn push_event(inner: &mut Inner, capacity: usize, ev: Event) {
+        if inner.events.len() >= capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(ev);
+    }
+
+    /// Snapshot of the journal, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// How many journal entries the ring has evicted.
+    pub fn dropped_events(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.inner.lock().counters.clone()
+    }
+
+    /// Snapshot of one histogram.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.lock().histograms.get(name).cloned()
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> BTreeMap<String, Histogram> {
+        self.inner.lock().histograms.clone()
+    }
+
+    /// Per-node memo-cache tallies, sorted by node label.
+    pub fn node_cache_tallies(&self) -> BTreeMap<String, CacheTally> {
+        self.inner.lock().node_cache.clone()
+    }
+
+    /// Cache hit rate for one node label, if that node was ever probed.
+    pub fn node_hit_rate(&self, node: &str) -> Option<f64> {
+        self.inner.lock().node_cache.get(node).map(CacheTally::hit_rate)
+    }
+
+    /// Closed spans reconstructed from `End` journal entries, ordered by
+    /// begin time.  Spans whose `End` was evicted are absent; spans
+    /// whose `Begin` was evicted are still complete (`End` is
+    /// self-contained).
+    pub fn completed_spans(&self) -> Vec<CompletedSpan> {
+        let inner = self.inner.lock();
+        let mut spans: Vec<CompletedSpan> = inner
+            .events
+            .iter()
+            .filter_map(|ev| match ev {
+                Event::End { id, name, detail, ts_ns, dur_ns, depth, fields } => {
+                    Some(CompletedSpan {
+                        id: *id,
+                        name: name.clone(),
+                        detail: detail.clone(),
+                        begin_ns: ts_ns - dur_ns,
+                        dur_ns: *dur_ns,
+                        depth: *depth,
+                        fields: fields.clone(),
+                    })
+                }
+                _ => None,
+            })
+            .collect();
+        spans.sort_by_key(|s| (s.begin_ns, s.depth, s.id));
+        spans
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn span_begin(&self, name: &str, detail: &str) -> SpanId {
+        let ts_ns = self.now_ns();
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let depth = inner.depth;
+        inner.depth += 1;
+        inner.open.insert(
+            id,
+            OpenSpan { name: name.to_string(), detail: detail.to_string(), begin_ns: ts_ns, depth },
+        );
+        Self::push_event(
+            &mut inner,
+            self.capacity,
+            Event::Begin { id, name: name.to_string(), detail: detail.to_string(), ts_ns, depth },
+        );
+        SpanId(id)
+    }
+
+    fn span_end(&self, id: SpanId, fields: &[(&'static str, i64)]) {
+        if id.is_none() {
+            return;
+        }
+        let ts_ns = self.now_ns();
+        let mut inner = self.inner.lock();
+        let Some(open) = inner.open.remove(&id.0) else { return };
+        inner.depth = inner.depth.saturating_sub(1);
+        let dur_ns = ts_ns.saturating_sub(open.begin_ns);
+        inner.histograms.entry(open.name.clone()).or_default().record(dur_ns);
+        Self::push_event(
+            &mut inner,
+            self.capacity,
+            Event::End {
+                id: id.0,
+                name: open.name,
+                detail: open.detail,
+                ts_ns: open.begin_ns + dur_ns,
+                dur_ns,
+                depth: open.depth,
+                fields: fields.to_vec(),
+            },
+        );
+    }
+
+    fn add(&self, counter: &str, delta: u64) {
+        let ts_ns = self.now_ns();
+        let mut inner = self.inner.lock();
+        *inner.counters.entry(counter.to_string()).or_insert(0) += delta;
+        Self::push_event(
+            &mut inner,
+            self.capacity,
+            Event::Count { name: counter.to_string(), delta, ts_ns },
+        );
+    }
+
+    fn observe_ns(&self, name: &str, nanos: u64) {
+        let mut inner = self.inner.lock();
+        inner.histograms.entry(name.to_string()).or_default().record(nanos);
+    }
+
+    fn cache_access(&self, node: &str, hit: bool) {
+        let mut inner = self.inner.lock();
+        let tally = inner.node_cache.entry(node.to_string()).or_default();
+        if hit {
+            tally.hits += 1;
+        } else {
+            tally.misses += 1;
+        }
+    }
+
+    fn reset(&self) {
+        let mut inner = self.inner.lock();
+        *inner = Inner { next_id: 1, ..Inner::default() };
+    }
+
+    fn counter(&self, name: &str) -> Option<u64> {
+        self.inner.lock().counters.get(name).copied()
+    }
+
+    fn chrome_trace_json(&self) -> Option<String> {
+        Some(crate::export::chrome_trace_json(self))
+    }
+
+    fn summary_table(&self) -> Option<String> {
+        Some(crate::export::summary_table(self))
+    }
+
+    fn prometheus_text(&self) -> Option<String> {
+        Some(crate::export::prometheus_text(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_complete() {
+        let rec = InMemoryRecorder::new();
+        let outer = rec.span_begin("outer", "o");
+        let inner = rec.span_begin("inner", "i");
+        rec.span_end(inner, &[("rows", 3)]);
+        rec.span_end(outer, &[]);
+        let spans = rec.completed_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[1].fields, vec![("rows", 3)]);
+        // The inner span is contained in the outer.
+        assert!(spans[1].begin_ns >= spans[0].begin_ns);
+        assert!(spans[1].begin_ns + spans[1].dur_ns <= spans[0].begin_ns + spans[0].dur_ns);
+        // Each closed span fed its histogram.
+        assert_eq!(rec.histogram("outer").unwrap().count(), 1);
+        assert_eq!(rec.histogram("inner").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_wraparound() {
+        let rec = InMemoryRecorder::with_capacity(8);
+        for i in 0..20u64 {
+            rec.add("c", i);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 8);
+        assert_eq!(rec.dropped_events(), 12);
+        // Oldest entries were evicted: the survivors are deltas 12..=19.
+        match &events[0] {
+            Event::Count { delta, .. } => assert_eq!(*delta, 12),
+            other => panic!("unexpected event {other:?}"),
+        }
+        // The counter itself is exact despite eviction.
+        assert_eq!(rec.counter("c"), Some((0..20).sum()));
+    }
+
+    #[test]
+    fn end_survives_begin_eviction() {
+        let rec = InMemoryRecorder::with_capacity(4);
+        let s = rec.span_begin("survivor", "d");
+        for _ in 0..10 {
+            rec.add("noise", 1);
+        }
+        rec.span_end(s, &[("f", 7)]);
+        let spans = rec.completed_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "survivor");
+        assert_eq!(spans[0].detail, "d");
+        assert_eq!(spans[0].fields, vec![("f", 7)]);
+    }
+
+    #[test]
+    fn cache_tallies_and_hit_rate() {
+        let rec = InMemoryRecorder::new();
+        rec.cache_access("Restrict#3", false);
+        rec.cache_access("Restrict#3", true);
+        rec.cache_access("Restrict#3", true);
+        rec.cache_access("Table#0", false);
+        let t = rec.node_cache_tallies();
+        assert_eq!(t["Restrict#3"], CacheTally { hits: 2, misses: 1 });
+        let rate = rec.node_hit_rate("Restrict#3").unwrap();
+        assert!((rate - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rec.node_hit_rate("Table#0"), Some(0.0));
+        assert_eq!(rec.node_hit_rate("absent"), None);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let rec = InMemoryRecorder::with_capacity(4);
+        let s = rec.span_begin("a", "");
+        rec.span_end(s, &[]);
+        for _ in 0..10 {
+            rec.add("c", 1);
+        }
+        rec.cache_access("n", true);
+        rec.reset();
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.dropped_events(), 0);
+        assert!(rec.counters().is_empty());
+        assert!(rec.histograms().is_empty());
+        assert!(rec.node_cache_tallies().is_empty());
+        // Ids restart, and recording still works.
+        let s2 = rec.span_begin("b", "");
+        assert_eq!(s2, SpanId(1));
+        rec.span_end(s2, &[]);
+        assert_eq!(rec.completed_spans().len(), 1);
+    }
+
+    #[test]
+    fn unbalanced_end_is_ignored() {
+        let rec = InMemoryRecorder::new();
+        rec.span_end(SpanId(42), &[]);
+        rec.span_end(SpanId::NONE, &[]);
+        assert!(rec.events().is_empty());
+    }
+}

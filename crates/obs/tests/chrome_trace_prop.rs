@@ -1,0 +1,297 @@
+//! Property tests for the Chrome trace exporter: under arbitrary
+//! interleavings of span activity, counter bumps, and ring-buffer
+//! pressure, the exported JSON must be well-formed and its `B`/`E`
+//! duration events must balance like matched parentheses.
+
+use proptest::prelude::*;
+use tioga2_obs::{InMemoryRecorder, Recorder, SpanId};
+
+// ---------------------------------------------------------------------
+// A minimal recursive-descent JSON parser (the workspace is
+// dependency-free; this validates well-formedness, nothing more).
+// ---------------------------------------------------------------------
+
+struct Json<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Json<'a> {
+    fn new(s: &'a str) -> Self {
+        Json { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn parse(mut self) -> Result<(), String> {
+        self.skip_ws();
+        self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", self.pos));
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, String> {
+        let b = self.peek().ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.bump()?;
+        if got != b {
+            return Err(format!("expected {:?} at byte {}, got {:?}", b as char, self.pos - 1, got as char));
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string(),
+            b't' => self.literal("true"),
+            b'f' => self.literal("false"),
+            b'n' => self.literal("null"),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!("unexpected byte {:?} at {}", other as char, self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        for &b in lit.as_bytes() {
+            self.expect(b)?;
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Ok(()),
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Ok(()),
+                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(()),
+                b'\\' => match self.bump()? {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                    b'u' => {
+                        for _ in 0..4 {
+                            let h = self.bump()?;
+                            if !h.is_ascii_hexdigit() {
+                                return Err("bad \\u escape".into());
+                            }
+                        }
+                    }
+                    other => return Err(format!("bad escape {:?}", other as char)),
+                },
+                b if b < 0x20 => return Err("raw control character in string".into()),
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err("number with no digits".into());
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Extract the `"ph"` value of every trace event, in array order.
+fn phases(json: &str) -> Vec<char> {
+    json.match_indices("\"ph\":\"")
+        .map(|(i, m)| json[i + m.len()..].chars().next().unwrap())
+        .collect()
+}
+
+/// One scripted recorder action.  Span ops address a stack of open
+/// spans, so scripts always describe well-nested (if possibly
+/// unfinished) activity — matching how the instrumented code uses the
+/// API.
+#[derive(Debug, Clone)]
+enum Action {
+    Begin(String, String),
+    /// End the innermost open span with this many fields.
+    End(u8),
+    Count(String, u64),
+    Observe(u64),
+    Cache(bool),
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    let name = "[a-z:._]{1,12}";
+    prop_oneof![
+        (name, ".*").prop_map(|(n, d)| Action::Begin(n, d)),
+        (0u8..4).prop_map(Action::End),
+        (name, 0u64..1000).prop_map(|(n, v)| Action::Count(n, v)),
+        (0u64..10_000_000).prop_map(Action::Observe),
+        any::<bool>().prop_map(Action::Cache),
+    ]
+}
+
+fn run_script(rec: &InMemoryRecorder, script: &[Action], close_all: bool) {
+    const FIELDS: [(&str, i64); 4] = [("rows_in", 10), ("rows_out", 7), ("hits", 1), ("neg", -3)];
+    let mut stack: Vec<SpanId> = Vec::new();
+    for action in script {
+        match action {
+            Action::Begin(name, detail) => stack.push(rec.span_begin(name, detail)),
+            Action::End(nfields) => {
+                if let Some(id) = stack.pop() {
+                    rec.span_end(id, &FIELDS[..*nfields as usize]);
+                }
+            }
+            Action::Count(name, delta) => rec.add(name, *delta),
+            Action::Observe(ns) => rec.observe_ns("external", *ns),
+            Action::Cache(hit) => rec.cache_access("node", *hit),
+        }
+    }
+    if close_all {
+        while let Some(id) = stack.pop() {
+            rec.span_end(id, &[]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any activity, large journal: the export is valid JSON and B/E
+    /// events balance like matched parentheses.
+    #[test]
+    fn chrome_trace_is_well_formed_and_balanced(
+        script in proptest::collection::vec(arb_action(), 0..80),
+        close_all in any::<bool>(),
+    ) {
+        let rec = InMemoryRecorder::new();
+        run_script(&rec, &script, close_all);
+        let json = rec.chrome_trace_json().unwrap();
+
+        Json::new(&json).parse().unwrap_or_else(|e| panic!("invalid JSON: {e}\n{json}"));
+
+        let mut depth = 0i64;
+        let mut pairs = 0u64;
+        for ph in phases(&json) {
+            match ph {
+                'B' => depth += 1,
+                'E' => {
+                    depth -= 1;
+                    pairs += 1;
+                    prop_assert!(depth >= 0, "E before matching B");
+                }
+                'i' => {}
+                other => prop_assert!(false, "unexpected phase {}", other),
+            }
+        }
+        prop_assert_eq!(depth, 0);
+        // Every completed span appears as exactly one B/E pair.
+        prop_assert_eq!(pairs, rec.completed_spans().len() as u64);
+    }
+
+    /// Same, under heavy ring pressure: evicting Begin entries must not
+    /// unbalance the export (spans are reconstructed from self-contained
+    /// End entries).
+    #[test]
+    fn chrome_trace_balanced_under_eviction(
+        script in proptest::collection::vec(arb_action(), 20..120),
+        capacity in 1usize..16,
+    ) {
+        let rec = InMemoryRecorder::with_capacity(capacity);
+        run_script(&rec, &script, true);
+        let json = rec.chrome_trace_json().unwrap();
+        Json::new(&json).parse().unwrap_or_else(|e| panic!("invalid JSON: {e}\n{json}"));
+        let mut depth = 0i64;
+        for ph in phases(&json) {
+            match ph {
+                'B' => depth += 1,
+                'E' => { depth -= 1; prop_assert!(depth >= 0); }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(depth, 0);
+    }
+}
+
+#[test]
+fn json_validator_rejects_garbage() {
+    assert!(Json::new("{\"a\":1}").parse().is_ok());
+    assert!(Json::new("[1,2,{\"x\":[true,null,\"s\\n\"]}]").parse().is_ok());
+    assert!(Json::new("{\"a\":1,}").parse().is_err());
+    assert!(Json::new("{'a':1}").parse().is_err());
+    assert!(Json::new("[1,2").parse().is_err());
+    assert!(Json::new("\"\u{1}\"").parse().is_err());
+    assert!(Json::new("01x").parse().is_err());
+}

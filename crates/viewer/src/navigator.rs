@@ -16,8 +16,10 @@ use crate::error::ViewError;
 use crate::render_pass::{compose_scene, CullOptions};
 use crate::viewer::Viewer;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use tioga2_display::Composite;
 use tioga2_expr::{Shape, ViewerSpec};
+use tioga2_obs::{Recorder, SpanId};
 use tioga2_render::{render_scene, Framebuffer, Scene};
 
 /// The elevation at (or below) which zooming over a wormhole passes
@@ -44,6 +46,7 @@ pub struct Navigator {
     pub viewer: Viewer,
     current: String,
     history: Vec<TravelRecord>,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Navigator {
@@ -59,7 +62,27 @@ impl Navigator {
         }
         let mut viewer = Viewer::new(initial, width, height);
         viewer.fit(&canvases[initial])?;
-        Ok(Navigator { canvases, viewer, current: initial.to_string(), history: Vec::new() })
+        Ok(Navigator {
+            canvases,
+            viewer,
+            current: initial.to_string(),
+            history: Vec::new(),
+            recorder: tioga2_obs::noop(),
+        })
+    }
+
+    /// Install an instrumentation recorder; pan/zoom/traverse latency
+    /// lands in its `nav.*` histograms.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    fn op_span(&self, name: &str) -> SpanId {
+        if self.recorder.is_enabled() {
+            self.recorder.span_begin(name, &self.current)
+        } else {
+            SpanId::NONE
+        }
     }
 
     pub fn current_canvas(&self) -> &str {
@@ -81,8 +104,19 @@ impl Navigator {
 
     /// Render the current canvas.
     pub fn render(&self) -> Result<(Framebuffer, tioga2_render::HitIndex, Scene), ViewError> {
+        let span = self.op_span("nav.render");
         let c = self.canvas(&self.current)?;
-        self.viewer.render(c)
+        let result = self.viewer.render_recorded(c, self.recorder.as_ref());
+        let items = result.as_ref().map_or(-1, |(_, _, s)| s.len() as i64);
+        self.recorder.span_end(span, &[("items", items)]);
+        result
+    }
+
+    /// Pan the viewer by screen pixels (`nav.pan` latency when traced).
+    pub fn pan_px(&mut self, dx: i32, dy: i32) {
+        let span = self.op_span("nav.pan");
+        self.viewer.pan_px(dx, dy);
+        self.recorder.span_end(span, &[]);
     }
 
     /// The wormhole whose aperture contains the world point under the
@@ -107,6 +141,19 @@ impl Navigator {
     /// threshold while a wormhole sits under the screen center, the user
     /// passes through it: the method returns the destination canvas name.
     pub fn zoom(&mut self, factor: f64) -> Result<Option<String>, ViewError> {
+        let span = self.op_span("nav.zoom");
+        let result = self.zoom_inner(factor);
+        self.recorder.span_end(
+            span,
+            &[
+                ("ok", result.is_ok() as i64),
+                ("traversed", matches!(result, Ok(Some(_))) as i64),
+            ],
+        );
+        result
+    }
+
+    fn zoom_inner(&mut self, factor: f64) -> Result<Option<String>, ViewError> {
         self.viewer.zoom(factor);
         if self.viewer.position.elevation <= PASS_THROUGH_ELEVATION {
             if let Some(spec) = self.wormhole_under_center()? {
@@ -122,6 +169,17 @@ impl Navigator {
     /// Pass through `spec` immediately (also used when the user clicks a
     /// wormhole instead of zooming all the way down).
     pub fn traverse(&mut self, spec: &ViewerSpec) -> Result<(), ViewError> {
+        let span = if self.recorder.is_enabled() {
+            self.recorder.span_begin("nav.traverse", &spec.destination)
+        } else {
+            SpanId::NONE
+        };
+        let result = self.traverse_inner(spec);
+        self.recorder.span_end(span, &[("ok", result.is_ok() as i64)]);
+        result
+    }
+
+    fn traverse_inner(&mut self, spec: &ViewerSpec) -> Result<(), ViewError> {
         let dest = self.canvas(&spec.destination)?.clone();
         self.history.push(TravelRecord {
             canvas: self.current.clone(),

@@ -9,6 +9,7 @@
 
 use crate::error::ViewError;
 use tioga2_display::Composite;
+use tioga2_obs::Recorder;
 use tioga2_render::hittest::Provenance;
 use tioga2_render::scene::{Scene, SceneItem};
 
@@ -121,6 +122,27 @@ pub fn compose_scene(
         }
     }
     Ok(scene)
+}
+
+/// [`compose_scene`] wrapped in a `render.compose` span recording layer
+/// and item counts; timing lands in the recorder's latency histogram.
+/// With a disabled recorder this is the plain lowering pass.
+pub fn compose_scene_recorded(
+    composite: &Composite,
+    elevation: f64,
+    sliders: &[Slider],
+    bounds: (f64, f64, f64, f64),
+    opts: CullOptions,
+    rec: &dyn Recorder,
+) -> Result<Scene, ViewError> {
+    if !rec.is_enabled() {
+        return compose_scene(composite, elevation, sliders, bounds, opts);
+    }
+    let span = rec.span_begin("render.compose", "");
+    let result = compose_scene(composite, elevation, sliders, bounds, opts);
+    let items = result.as_ref().map_or(-1, |s| s.len() as i64);
+    rec.span_end(span, &[("layers", composite.layers.len() as i64), ("items", items)]);
+    result
 }
 
 /// World-space bounding rectangle of the composite's tuples in the two

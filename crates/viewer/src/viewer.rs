@@ -1,8 +1,10 @@
 //! One canvas window: a viewer with an (n+1)-dimensional position.
 
 use crate::error::ViewError;
-use crate::render_pass::{compose_scene, data_bounds, CullOptions, Slider};
+use crate::render_pass::{compose_scene, compose_scene_recorded, data_bounds, CullOptions, Slider};
 use tioga2_display::Composite;
+use tioga2_obs::Recorder;
+use tioga2_render::scene::render_scene_recorded;
 use tioga2_render::{render_scene, Framebuffer, HitIndex, Scene, Viewport};
 
 /// The (n+1)-dimensional position of a viewer (§2): pan center +
@@ -116,6 +118,27 @@ impl Viewer {
         let scene = self.scene(composite)?;
         let mut fb = Framebuffer::new(self.size.0, self.size.1);
         let hits = render_scene(&scene, &self.viewport(), &mut fb);
+        Ok((fb, hits, scene))
+    }
+
+    /// [`Viewer::render`] with both passes (compose + draw) traced
+    /// through `rec`; identical output, zero extra cost when disabled.
+    pub fn render_recorded(
+        &self,
+        composite: &Composite,
+        rec: &dyn Recorder,
+    ) -> Result<(Framebuffer, HitIndex, Scene), ViewError> {
+        let vp = self.viewport();
+        let scene = compose_scene_recorded(
+            composite,
+            self.position.elevation,
+            &self.position.sliders,
+            vp.world_bounds(),
+            self.cull,
+            rec,
+        )?;
+        let mut fb = Framebuffer::new(self.size.0, self.size.1);
+        let hits = render_scene_recorded(&scene, &vp, &mut fb, rec);
         Ok((fb, hits, scene))
     }
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint: what every PR must keep green.
+#
+#   cargo build --release   — workspace builds clean
+#   cargo test -q           — root-package tests (tier-1 contract)
+#   cargo clippy -D warnings — workspace-wide lint, warnings are errors
+#
+# Run from the repository root:  ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+
+echo "ci: build + tests + clippy all green"

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so this workspace ships a
+//! minimal wall-clock bench harness exposing the criterion 0.5 API the
+//! benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.  Each benchmark
+//! runs `sample_size` timed samples after a short warm-up and prints
+//! mean / min / max per-iteration time.  No statistics, plots, or saved
+//! baselines — numbers are indicative, not criterion-grade.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_id: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let filter = self.filter.clone();
+        run_one(name, filter.as_deref(), 10, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.criterion.filter.as_deref(), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.criterion.filter.as_deref(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing driver passed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run once, then pick an iteration count aiming for
+        // ~20ms per sample so fast routines aren't all timer noise.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(20);
+        self.iters_per_sample =
+            (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Mean per-iteration time over all samples.
+    fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.samples.iter().sum();
+        total / (self.samples.len() as u32) / (self.iters_per_sample.max(1) as u32)
+    }
+
+    fn min(&self) -> Duration {
+        self.samples.iter().min().copied().unwrap_or(Duration::ZERO)
+            / (self.iters_per_sample.max(1) as u32)
+    }
+
+    fn max(&self) -> Duration {
+        self.samples.iter().max().copied().unwrap_or(Duration::ZERO)
+            / (self.iters_per_sample.max(1) as u32)
+    }
+}
+
+fn run_one<F>(name: &str, filter: Option<&str>, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = filter {
+        if !name.contains(filter) {
+            return;
+        }
+    }
+    let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1, sample_size };
+    f(&mut b);
+    println!(
+        "{:<56} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples x {} iters)",
+        name,
+        b.mean(),
+        b.min(),
+        b.max(),
+        b.samples.len(),
+        b.iters_per_sample,
+    );
+}
+
+/// Build a `Criterion` configured from `cargo bench` CLI arguments.
+/// Flags criterion would consume (`--bench`, `--save-baseline x`, …) are
+/// tolerated and ignored; the first bare word becomes a name filter.
+pub fn criterion_from_args() -> Criterion {
+    let mut filter = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--save-baseline" || a == "--baseline" || a == "--measurement-time" {
+            let _ = args.next();
+        } else if !a.starts_with('-') && filter.is_none() {
+            filter = Some(a);
+        }
+    }
+    Criterion { filter }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::criterion_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut ran = 0usize;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| {
+            ran += 1;
+            b.iter(|| x * 2);
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("zzz".into()) };
+        let mut ran = false;
+        c.bench_function("abc", |_b| {
+            ran = true;
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,502 @@
+//! The `Strategy` trait and the built-in strategies: primitives via
+//! `any`, ranges, tuples, `Just`, unions, mapping/filtering, bounded
+//! recursion, and a regex-subset string generator.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason: reason.into(), f }
+    }
+
+    /// Build a recursive strategy: `recurse` receives a strategy for the
+    /// shallower levels and returns one that may nest it.  `depth`
+    /// bounds nesting; `_desired_size` / `_expected_branch` are accepted
+    /// for API compatibility but unused (generation cost is already
+    /// bounded by `depth`).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            let deeper = recurse(cur.clone()).boxed();
+            cur = Union::new(vec![cur, deeper]).boxed();
+        }
+        cur
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1000 candidates in a row", self.reason);
+    }
+}
+
+/// Uniform choice between same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                // Full-width random bits, biased occasionally toward the
+                // boundary values that break naive arithmetic.
+                match rng.gen_range(0u32..16) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0,
+                    3 => 1,
+                    _ => rng.gen::<u64>() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Mix special values, moderate-range uniforms, and raw bit
+        // patterns (which skew to extreme exponents, NaN, infinities).
+        match rng.gen_range(0u32..8) {
+            0 => {
+                const SPECIAL: [f64; 8] = [
+                    0.0,
+                    -0.0,
+                    1.0,
+                    -1.0,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    f64::NAN,
+                    f64::MIN_POSITIVE,
+                ];
+                SPECIAL[rng.gen_range(0..SPECIAL.len())]
+            }
+            1..=3 => rng.gen_range(-1e9..1e9),
+            _ => f64::from_bits(rng.gen()),
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> char {
+        random_char(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategies: `"[a-z][a-z0-9_]{0,6}"` etc.
+// ---------------------------------------------------------------------
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    Literal(char),
+    /// `.` — any character.
+    Dot,
+    /// `[a-z0-9_]` — inclusive ranges (singles are `(c, c)`).
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the supported regex subset: literals, `.`, `[...]` classes with
+/// ranges, and the quantifiers `*`, `+`, `?`, `{n}`, `{m,n}`.
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Dot,
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let item = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern `{pattern}`")
+                    });
+                    if item == ']' {
+                        break;
+                    }
+                    let lo = if item == '\\' { chars.next().unwrap_or(item) } else { item };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.next() {
+                            Some(']') | None => {
+                                // Trailing `-` is a literal.
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                                break;
+                            }
+                            Some(hi) => ranges.push((lo, hi)),
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class in pattern `{pattern}`");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => {
+                        let m: usize = m.trim().parse().unwrap_or(0);
+                        let n: usize = n.trim().parse().unwrap_or(m + 8);
+                        (m, n.max(m))
+                    }
+                    None => {
+                        let n: usize = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// A character for `.`: mostly printable ASCII, with quotes, backslashes,
+/// whitespace, and the odd multibyte character to exercise escaping.
+fn random_char(rng: &mut StdRng) -> char {
+    match rng.gen_range(0u32..16) {
+        0 => ['"', '\'', '\\', '\n', '\t', ' '][rng.gen_range(0usize..6)],
+        1 => ['é', 'λ', '→', '☃', '中', '\u{7f}'][rng.gen_range(0usize..6)],
+        _ => char::from(rng.gen_range(0x20u8..0x7f)),
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let pieces = parse_pattern(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Dot => out.push(random_char(rng)),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                    let (lo, hi) = (lo as u32, (hi as u32).max(lo as u32));
+                    out.push(char::from_u32(rng.gen_range(lo..=hi)).unwrap_or(lo as u8 as char));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xfeed)
+    }
+
+    #[test]
+    fn ident_pattern_shape() {
+        let r = &mut rng();
+        for _ in 0..500 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(r);
+            assert!((1..=7).contains(&s.len()), "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn star_and_bounded_repeats() {
+        let r = &mut rng();
+        for _ in 0..200 {
+            let s = "[a-z]{0,4}".generate(r);
+            assert!(s.len() <= 4);
+            let t = "x*".generate(r);
+            assert!(t.chars().all(|c| c == 'x') && t.len() <= 8);
+            let u = "ab{2}c?".generate(r);
+            assert!(u == "abbc" || u == "abb");
+        }
+    }
+
+    #[test]
+    fn dot_star_varies() {
+        let r = &mut rng();
+        let distinct: std::collections::HashSet<String> =
+            (0..100).map(|_| ".*".generate(r)).collect();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn map_filter_union() {
+        let r = &mut rng();
+        let s = (0i64..10).prop_map(|x| x * 2).prop_filter("nonzero", |x| *x != 0);
+        for _ in 0..100 {
+            let v = s.generate(r);
+            assert!(v % 2 == 0 && v != 0 && v < 20);
+        }
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let seen: std::collections::HashSet<u8> = (0..100).map(|_| u.generate(r)).collect();
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn recursive_is_bounded_and_varied() {
+        #[derive(Debug)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..100).prop_map(Tree::Leaf).prop_recursive(4, 24, 3, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let r = &mut rng();
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            let t = strat.generate(r);
+            max_depth = max_depth.max(depth(&t));
+        }
+        assert!(max_depth > 1, "recursion never fired");
+        assert!(max_depth <= 5, "depth bound violated: {max_depth}");
+    }
+}

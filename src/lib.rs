@@ -13,6 +13,7 @@ pub use tioga2_dataflow as dataflow;
 pub use tioga2_datagen as datagen;
 pub use tioga2_display as display;
 pub use tioga2_expr as expr;
+pub use tioga2_obs as obs;
 pub use tioga2_relational as relational;
 pub use tioga2_render as render;
 pub use tioga2_viewer as viewer;

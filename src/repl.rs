@@ -118,6 +118,10 @@ Tioga-2 REPL — every command is one paper operation.
   back                                 rear-view 'go home'
   undo | redo
   save <name> | load <name> | new
+  :stats                               engine counters + trace summary
+  :trace on|off                        collect spans/histograms
+  :trace export <path>                 Chrome trace JSON (Perfetto)
+  :trace prom <path>                   Prometheus text exposition
   quit";
 
 /// Execute one line against the session.
@@ -569,6 +573,56 @@ pub fn run_line(session: &mut Session, line: &str) -> ReplResult {
             session.new_program();
             msg("new program".to_string())
         }
+        ":stats" | "stats" => {
+            let st = session.engine_stats();
+            let mut out = format!(
+                "engine: box_evals={} cache_hits={} rows_in={} rows_out={}",
+                st.box_evals, st.cache_hits, st.rows_in, st.rows_out
+            );
+            match session.recorder().summary_table() {
+                Some(table) => {
+                    out.push('\n');
+                    out.push_str(table.trim_end());
+                }
+                None => out.push_str("\ntracing off — ':trace on' collects spans and histograms"),
+            }
+            msg(out)
+        }
+        ":trace" | "trace" => {
+            need(1)?;
+            match args[0] {
+                "on" => {
+                    session
+                        .set_recorder(std::sync::Arc::new(crate::obs::InMemoryRecorder::new()));
+                    msg("tracing on".to_string())
+                }
+                "off" => {
+                    session.set_recorder(crate::obs::noop());
+                    msg("tracing off".to_string())
+                }
+                "export" => {
+                    need(2)?;
+                    let json = session
+                        .recorder()
+                        .chrome_trace_json()
+                        .ok_or_else(|| "tracing is off; ':trace on' first".to_string())?;
+                    std::fs::write(args[1], json).map_err(|e| e.to_string())?;
+                    msg(format!("{} written — open in Perfetto (ui.perfetto.dev)", args[1]))
+                }
+                "prom" => {
+                    need(2)?;
+                    let text = session
+                        .recorder()
+                        .prometheus_text()
+                        .ok_or_else(|| "tracing is off; ':trace on' first".to_string())?;
+                    std::fs::write(args[1], text).map_err(|e| e.to_string())?;
+                    msg(format!("{} written", args[1]))
+                }
+                other => Err(format!(
+                    "':trace {other}' is not a trace command (on, off, export <path>, prom <path>)"
+                )),
+            }
+        }
         other => Err(format!("unknown command '{other}'; try 'help'")),
     }
 }
@@ -694,6 +748,31 @@ mod tests {
         assert!(run_line(&mut s, "usebox NoSuchBox 0").is_err());
         // A parameterized primitive template cannot be used directly.
         assert!(run_line(&mut s, "usebox Restrict 0").is_err());
+    }
+
+    #[test]
+    fn stats_and_trace_via_repl() {
+        let mut s = session();
+        assert!(ok(&mut s, ":stats").contains("tracing off"));
+        ok(&mut s, ":trace on");
+        ok(&mut s, "table Stations");
+        ok(&mut s, "viewer 0 main");
+        ok(&mut s, "render main trace_smoke");
+        let stats = ok(&mut s, ":stats");
+        assert!(stats.contains("box_evals"), "{stats}");
+        assert!(stats.contains("session.render"), "{stats}");
+        let m = ok(&mut s, ":trace export out/trace_smoke.json");
+        assert!(m.contains("Perfetto"));
+        let json = std::fs::read_to_string("out/trace_smoke.json").unwrap();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("session.render"));
+        ok(&mut s, ":trace prom out/trace_smoke.prom");
+        assert!(std::fs::read_to_string("out/trace_smoke.prom")
+            .unwrap()
+            .contains("tioga2_engine_box_evals"));
+        ok(&mut s, ":trace off");
+        assert!(run_line(&mut s, ":trace export out/x.json").is_err());
+        assert!(run_line(&mut s, ":trace sideways").is_err());
     }
 
     #[test]
