@@ -5,6 +5,11 @@
 //! * A2 — elevation-range culling on vs off (§6.1's machinery).
 //! * A3 — Sample as an interactive-response optimization (§4.2: "Sample
 //!   is useful for improving interactive response").
+//! * A4 — visible-region filtering by full scan vs the uniform-grid
+//!   spatial index at deep zoom ([Che95]).
+//! * A5 — the plan-and-stream layer: box chains lowered to a rewritten
+//!   streaming plan (restrict fusion, window pushdown) vs naive
+//!   box-at-a-time demand.
 //! * U1 — §8 update machinery: click-to-tuple hit testing and the update
 //!   round trip.
 
@@ -227,5 +232,102 @@ fn u1_update(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, a1_lazy_vs_eager, a2_culling, a3_sample, a4_spatial_index, u1_update);
+/// A5: the plan-and-stream layer vs naive box-at-a-time demand.
+///
+/// * `f1_*` — the Figure 1 chain (Restrict → Project) over 100k
+///   stations: streaming fuses the chain into one pass with no
+///   intermediate materialization.
+/// * `window_*` — a zoomed viewer over 100k stored-position points: the
+///   synthesized window predicate is pushed into the plan, so off-screen
+///   tuples are never materialized before compose culls them.
+fn a5_plan_pushdown(c: &mut Criterion) {
+    use tioga2_bench::points_catalog;
+    use tioga2_display::{Composite, Displayable};
+    use tioga2_viewer::window_predicate;
+
+    let dr_of = |d: tioga2_dataflow::Data| match d.into_displayable().unwrap() {
+        Displayable::R(dr) => dr,
+        other => panic!("expected R, got {}", other.type_tag()),
+    };
+
+    let mut g = c.benchmark_group("a5_plan_pushdown");
+    g.sample_size(10);
+
+    // Figure 1 chain, engine-level, fresh engine per iteration.
+    let cat = stations_only_catalog(100_000);
+    let mut fg = Graph::new();
+    let t = fg.add(BoxKind::Table("Stations".into()));
+    let r = fg.add(BoxKind::rel(RelOpKind::Restrict(parse("state = 'LA'").unwrap())));
+    let p = fg.add(BoxKind::rel(RelOpKind::Project(
+        ["name", "longitude", "latitude", "altitude"].iter().map(|s| s.to_string()).collect(),
+    )));
+    fg.connect(t, 0, r, 0).unwrap();
+    fg.connect(r, 0, p, 0).unwrap();
+    g.bench_function("f1_naive_100k", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(cat.clone());
+            black_box(e.demand(&fg, p, 0).unwrap())
+        });
+    });
+    g.bench_function("f1_planned_100k", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(cat.clone());
+            black_box(e.demand_planned(&fg, p, 0).unwrap())
+        });
+    });
+
+    // A zoomed viewer over stored-position points: window pushdown.
+    let pcat = points_catalog(100_000);
+    let mut wg = Graph::new();
+    let t = wg.add(BoxKind::Table("Points".into()));
+    let r = wg.add(BoxKind::rel(RelOpKind::Restrict(parse("mass >= 0.0").unwrap())));
+    let srt = wg.add(BoxKind::rel(RelOpKind::Sort(vec![("name".to_string(), true)])));
+    wg.connect(t, 0, r, 0).unwrap();
+    wg.connect(r, 0, srt, 0).unwrap();
+    let r = srt;
+    let mut seed_engine = Engine::new(pcat.clone());
+    let dr = dr_of(seed_engine.demand(&wg, r, 0).unwrap());
+    let mut viewer = Viewer::new("main", 640, 480);
+    viewer.fit(&Composite::new(vec![dr.clone()]).unwrap()).unwrap();
+    viewer.zoom(0.05);
+    let hdr = seed_engine.plan_root_header(&wg, r, 0).unwrap().unwrap();
+    let pred = window_predicate(&viewer, &hdr).expect("stored x/y is filterable");
+    let bounds = viewer.viewport().world_bounds();
+    let elevation = viewer.position.elevation;
+    g.bench_function("window_naive_100k", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(pcat.clone());
+            let dr = dr_of(e.demand(&wg, r, 0).unwrap());
+            let composite = Composite::new(vec![dr]).unwrap();
+            black_box(
+                compose_scene(&composite, elevation, &[], bounds, CullOptions::default())
+                    .unwrap()
+                    .len(),
+            )
+        });
+    });
+    g.bench_function("window_pushdown_100k", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(pcat.clone());
+            let dr = dr_of(e.demand_planned_opts(&wg, r, 0, true, Some(&pred)).unwrap());
+            let composite = Composite::new(vec![dr]).unwrap();
+            black_box(
+                compose_scene(&composite, elevation, &[], bounds, CullOptions::default())
+                    .unwrap()
+                    .len(),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    a1_lazy_vs_eager,
+    a2_culling,
+    a3_sample,
+    a4_spatial_index,
+    u1_update,
+    a5_plan_pushdown
+);
 criterion_main!(benches);

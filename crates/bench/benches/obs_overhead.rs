@@ -99,8 +99,7 @@ fn disabled_budget(_c: &mut Criterion) {
     let rec = Arc::new(InMemoryRecorder::new());
     s.set_recorder(rec.clone());
     s.render("atlas").expect("counted render");
-    let probes: u64 =
-        rec.node_cache_tallies().values().map(|t| t.hits + t.misses).sum();
+    let probes: u64 = rec.node_cache_tallies().values().map(|t| t.hits + t.misses).sum();
     let touches = 2 * rec.completed_spans().len() as u64 + probes + 8;
 
     // 3. Wall time of one warm render under the noop recorder.
@@ -119,10 +118,7 @@ fn disabled_budget(_c: &mut Criterion) {
          touches vs {:.0} ns/render = {overhead_pct:.4}% (budget 2%)",
         render_ns
     );
-    assert!(
-        overhead_pct < 2.0,
-        "disabled recorder path exceeds the 2% budget: {overhead_pct:.4}%"
-    );
+    assert!(overhead_pct < 2.0, "disabled recorder path exceeds the 2% budget: {overhead_pct:.4}%");
 }
 
 criterion_group!(benches, warm_render, cold_demand, disabled_budget);

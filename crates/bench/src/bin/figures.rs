@@ -22,7 +22,12 @@ use tioga2_viewer::magnifier::Magnifier;
 fn save(s: &mut Session, canvas: &str, file: &str) -> Result<usize, Box<dyn std::error::Error>> {
     let frame = s.render(canvas)?;
     std::fs::create_dir_all("out")?;
-    tioga2_render::ppm::write_ppm(&frame.fb, format!("out/{file}.ppm"))?;
+    let path = format!("out/{file}.ppm");
+    tioga2_render::ppm::write_ppm(&frame.fb, &path)?;
+    // A canvas that silently failed to regenerate must fail the run.
+    if std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) == 0 {
+        return Err(format!("canvas '{canvas}' regenerated an empty {path}").into());
+    }
     if !frame.scene.is_empty() {
         let vp = s.viewers.get(canvas)?.viewport();
         tioga2_render::svg::write_svg(&frame.scene, &vp, format!("out/{file}.svg"))?;
@@ -388,6 +393,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             before + 1
         );
         report.finish("u1_update", &s, &rec);
+    }
+
+    // ------------------------------------------- A5: plan pushdown
+    {
+        use tioga2_bench::points_catalog;
+        let mut s = session(points_catalog(100_000));
+        let rec = report.begin(&mut s);
+        let t = s.add_table("Points")?;
+        let r = s.restrict(t, "mass >= 0.0")?;
+        let srt = s.sort(r, &[("name", true)])?;
+        s.add_viewer(srt, "a5")?;
+        // First render fits (full naive demand) ...
+        let t0 = Instant::now();
+        save(&mut s, "a5", "a5_points_full")?;
+        let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // ... then a deep zoom re-renders through the plan layer with the
+        // viewer's window pushed below the sort as a fused restrict.
+        s.zoom("a5", 0.05)?;
+        let t0 = Instant::now();
+        save(&mut s, "a5", "a5_points_zoomed")?;
+        let zoom_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let counters = rec.counters();
+        let pushed: u64 =
+            counters.iter().filter(|(k, _)| k.starts_with("plan.rewrite.")).map(|(_, v)| *v).sum();
+        println!(
+            "[A5] 100k points: full render {full_ms:.1} ms, zoomed windowed render \
+             {zoom_ms:.1} ms ({pushed} plan rewrites; see :explain / EXPERIMENTS.md)\n"
+        );
+        if pushed == 0 {
+            return Err("A5: window pushdown never fired".into());
+        }
+        report.finish("a5_plan_pushdown", &s, &rec);
     }
 
     std::fs::write("BENCH_figures.json", report.to_json())?;

@@ -28,6 +28,35 @@ pub fn stations_only_catalog(n: usize) -> Catalog {
     c
 }
 
+/// A catalog holding a "Points" table with *stored* numeric `x`/`y` plus
+/// payload columns.  Positions are data, not `__seq`-derived, so the
+/// viewer's window is expressible as a plan predicate (experiment A5).
+pub fn points_catalog(n: usize) -> Catalog {
+    use tioga2_expr::Value;
+    use tioga2_relational::relation::RelationBuilder;
+    let mut b = RelationBuilder::new()
+        .field("name", T::Text)
+        .field("x", T::Float)
+        .field("y", T::Float)
+        .field("mass", T::Float);
+    // Deterministic quasi-random scatter (Weyl sequence).
+    let mut u = 0.5f64;
+    let mut v = 0.25f64;
+    for i in 0..n {
+        u = (u + 0.754877666).fract();
+        v = (v + 0.569840296).fract();
+        b = b.row(vec![
+            Value::Text(format!("p{i}")),
+            Value::Float(u * 1000.0),
+            Value::Float(v * 1000.0),
+            Value::Float((i % 97) as f64),
+        ]);
+    }
+    let c = Catalog::new();
+    c.register("Points", b.build().unwrap());
+    c
+}
+
 pub fn session(cat: Catalog) -> Session {
     let mut s = Session::new(Environment::new(cat));
     s.set_canvas_size(640, 480);

@@ -23,18 +23,12 @@ fn figure7_under_recorder_traces_every_fire_then_caches() {
     // Every fired box produced exactly one `fire:` span.
     let spans = rec.completed_spans();
     let fire_spans: Vec<_> = spans.iter().filter(|sp| sp.name.starts_with("fire:")).collect();
-    assert_eq!(
-        fire_spans.len() as u64,
-        cold_stats.box_evals,
-        "one fire span per box evaluation"
-    );
+    assert_eq!(fire_spans.len() as u64, cold_stats.box_evals, "one fire span per box evaluation");
     // Fire spans nest under the demand that triggered them.
     assert!(fire_spans.iter().all(|sp| sp.depth >= 1), "fires nest inside engine.demand");
     // rows_in/rows_out fields ride on every fire span.
-    assert!(fire_spans
-        .iter()
-        .all(|sp| sp.fields.iter().any(|(k, _)| *k == "rows_in")
-            && sp.fields.iter().any(|(k, _)| *k == "rows_out")));
+    assert!(fire_spans.iter().all(|sp| sp.fields.iter().any(|(k, _)| *k == "rows_in")
+        && sp.fields.iter().any(|(k, _)| *k == "rows_out")));
     // The session-level render span is present and encloses depth 0.
     assert!(spans.iter().any(|sp| sp.name == "session.render" && sp.depth == 0));
     // The render passes were traced too.
@@ -47,10 +41,7 @@ fn figure7_under_recorder_traces_every_fire_then_caches() {
     rec.reset();
     s.render("atlas").expect("warm render");
     let warm_stats = s.engine_stats();
-    assert_eq!(
-        warm_stats.box_evals, cold_stats.box_evals,
-        "warm render fires nothing new"
-    );
+    assert_eq!(warm_stats.box_evals, cold_stats.box_evals, "warm render fires nothing new");
     assert!(warm_stats.cache_hits > cold_stats.cache_hits, "warm render hits the cache");
 
     let warm_spans = rec.completed_spans();

@@ -802,6 +802,12 @@ impl Session {
         Ok(self.engine.demand_displayable(&self.graph, node, port)?)
     }
 
+    /// Explain the streaming plan for a node's output: the lowered chain,
+    /// the rewrite rules that fire, and the optimized form.
+    pub fn explain(&mut self, node: NodeId, port: usize) -> Result<String, CoreError> {
+        Ok(self.engine.explain(&self.graph, node, port)?)
+    }
+
     /// Render a canvas window.
     pub fn render(&mut self, canvas: &str) -> Result<CanvasFrame, CoreError> {
         let span = self.op_span("session.render", canvas);
@@ -811,12 +817,40 @@ impl Session {
     }
 
     fn render_inner(&mut self, canvas: &str) -> Result<CanvasFrame, CoreError> {
-        let content = self.displayable(canvas)?;
+        let content = self.windowed_displayable(canvas)?;
         let c = self
             .canvases
             .get_mut(canvas)
             .ok_or_else(|| CoreError::Session(format!("no canvas '{canvas}'")))?;
         c.render_recorded(canvas, &content, &mut self.viewers, self.recorder.as_ref())
+    }
+
+    /// The canvas content with the viewer's window (visible bounds +
+    /// slider ranges) pushed into the demanded plan, when that is sound:
+    /// lazy mode, an already-fitted canvas, a planned relational chain,
+    /// and a position-independent layout.  Falls back to the ordinary
+    /// memoized demand otherwise — the composed scene is identical either
+    /// way, the pushdown only avoids materializing off-screen tuples.
+    fn windowed_displayable(&mut self, canvas: &str) -> Result<Displayable, CoreError> {
+        let node = self.canvas_node(canvas)?;
+        let fitted = self.canvases.get(canvas).is_some_and(|c| c.fitted);
+        if self.mode == EvalMode::Lazy && fitted {
+            if let Some(hdr) = self.engine.plan_root_header(&self.graph, node, 0)? {
+                let pred = self
+                    .viewers
+                    .get(canvas)
+                    .ok()
+                    .and_then(|v| tioga2_viewer::window_predicate(v, &hdr));
+                if let Some(pred) = pred {
+                    return Ok(self
+                        .engine
+                        .demand_planned_opts(&self.graph, node, 0, true, Some(&pred))?
+                        .into_displayable()
+                        .map_err(FlowError::from)?);
+                }
+            }
+        }
+        self.displayable(canvas)
     }
 
     fn ensure_fitted(&mut self, canvas: &str) -> Result<(), CoreError> {
@@ -851,10 +885,7 @@ impl Session {
         let result = self.zoom_inner(canvas, factor);
         self.recorder.span_end(
             span,
-            &[
-                ("ok", result.is_ok() as i64),
-                ("traversed", matches!(result, Ok(Some(_))) as i64),
-            ],
+            &[("ok", result.is_ok() as i64), ("traversed", matches!(result, Ok(Some(_))) as i64)],
         );
         result
     }

@@ -725,3 +725,61 @@ fn update_through_group_member_canvas() {
     assert_eq!(updated.values()[idx], tioga2_expr::Value::Int(7777));
     assert!(s.click_member("byteam", 99, 0, 0).is_err());
 }
+
+#[test]
+fn zoomed_render_pushes_window_into_plan() {
+    // A table with *stored* numeric x/y: positions do not depend on
+    // __seq, so the viewer's window is expressible as a predicate and
+    // the render path may demand through the plan layer.
+    let catalog = Catalog::new();
+    let mut b = tioga2_relational::relation::RelationBuilder::new()
+        .field("name", T::Text)
+        .field("x", T::Float)
+        .field("y", T::Float);
+    for i in 0..100 {
+        b = b.row(vec![
+            tioga2_expr::Value::Text(format!("p{i}")),
+            tioga2_expr::Value::Float(i as f64),
+            tioga2_expr::Value::Float(i as f64),
+        ]);
+    }
+    catalog.register("Pts", b.build().unwrap());
+    let mut s = Session::new(Environment::new(catalog));
+    let rec = std::sync::Arc::new(tioga2_obs::InMemoryRecorder::new());
+    s.set_recorder(rec.clone());
+
+    let t = s.add_table("Pts").unwrap();
+    let r = s.restrict(t, "x >= 0.0").unwrap();
+    s.add_viewer(r, "main").unwrap();
+
+    // First render fits the canvas (full demand, no window yet).
+    let full = s.render("main").unwrap();
+    assert_eq!(
+        full.scene
+            .items
+            .iter()
+            .map(|i| i.provenance.row_id)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+        100
+    );
+
+    // Zoom in hard: most tuples fall outside the window + margin.
+    s.zoom("main", 0.05).unwrap();
+    let zoomed = s.render("main").unwrap();
+    let zoomed_rows: std::collections::BTreeSet<u64> =
+        zoomed.scene.items.iter().map(|i| i.provenance.row_id).collect();
+    assert!(!zoomed_rows.is_empty());
+    assert!(zoomed_rows.len() < 100, "zoomed window must cull most rows");
+
+    // The plan layer actually carried the demand: its executor span ran
+    // and the synthesized window restrict fused with the box's own.
+    assert!(rec.completed_spans().iter().any(|sp| sp.name == "plan.execute"));
+    assert!(rec.counters().get("plan.rewrite.fuse_restricts").copied().unwrap_or(0) >= 1);
+
+    // Equivalence: the windowed render shows exactly what an unwindowed
+    // compose of the full relation shows.
+    let full_rows: std::collections::BTreeSet<u64> =
+        full.scene.items.iter().map(|i| i.provenance.row_id).collect();
+    assert!(zoomed_rows.is_subset(&full_rows));
+}

@@ -16,10 +16,10 @@
 use crate::boxes::{BoxKind, CompOpKind, RelOpKind};
 use crate::error::FlowError;
 use crate::graph::{Graph, NodeId};
+use crate::plan;
 use crate::port::Data;
 use std::collections::HashMap;
 use std::sync::Arc;
-use tioga2_obs::{Recorder, SpanId};
 use tioga2_display::attr_ops;
 use tioga2_display::compose::{replicate_within, stitch};
 use tioga2_display::defaults::{make_display_relation, redefault};
@@ -29,6 +29,7 @@ use tioga2_display::drilldown::{
 use tioga2_display::lift::{apply_to_composite, apply_to_relation};
 use tioga2_display::{DisplayRelation, Displayable};
 use tioga2_expr::{Expr, UnaryOp};
+use tioga2_obs::{Recorder, SpanId};
 use tioga2_relational::ops;
 use tioga2_relational::Catalog;
 
@@ -55,11 +56,20 @@ struct CacheEntry {
     outputs: Vec<Data>,
 }
 
+/// Memoized result of one planned demand, keyed by the plan fingerprint
+/// (canonical plan text + boundary structural signatures), so any edit
+/// that changes the chain or anything upstream of it misses naturally.
+struct PlanCacheEntry {
+    fp: u64,
+    output: Data,
+}
+
 /// The lazy engine.  One engine is attached to one top-level graph; inner
 /// (encapsulated) graphs get transient sub-engines.
 pub struct Engine {
     catalog: Catalog,
     cache: HashMap<NodeId, CacheEntry>,
+    plan_cache: HashMap<(NodeId, usize), PlanCacheEntry>,
     pub stats: EvalStats,
     recorder: Arc<dyn Recorder>,
 }
@@ -80,6 +90,7 @@ impl Engine {
         Engine {
             catalog,
             cache: HashMap::new(),
+            plan_cache: HashMap::new(),
             stats: EvalStats::default(),
             recorder: tioga2_obs::noop(),
         }
@@ -106,6 +117,8 @@ impl Engine {
     pub fn invalidate_all(&mut self) {
         let evicted = self.cache.len() as u64;
         self.cache.clear();
+        // Plan results embed base-table contents too: same lifetime.
+        self.plan_cache.clear();
         self.recorder.add("cache.invalidations", 1);
         self.recorder.add("cache.invalidated_entries", evicted);
     }
@@ -136,6 +149,185 @@ impl Engine {
         port: usize,
     ) -> Result<Displayable, FlowError> {
         Ok(self.demand(graph, node, port)?.into_displayable()?)
+    }
+
+    /// Demand `(node, out_port)` through the plan layer: lower the
+    /// maximal relational chain feeding it to a [`Plan`], rewrite it
+    /// (fusion / pushdown / pruning), and run it as one streaming
+    /// pipeline.  Falls back to [`Engine::demand`] when there is no chain
+    /// to plan.  Results are memoized in a separate plan cache keyed on
+    /// the plan fingerprint, so box edits invalidate exactly as the
+    /// box-at-a-time path does.
+    pub fn demand_planned(
+        &mut self,
+        graph: &Graph,
+        node: NodeId,
+        port: usize,
+    ) -> Result<Data, FlowError> {
+        self.demand_planned_opts(graph, node, port, true, None)
+    }
+
+    /// [`Engine::demand_planned`] with knobs: `rewrite` toggles the
+    /// optimizer (the A5 ablation runs with it off), and `window` is an
+    /// extra synthesized Restrict applied at the top of the plan — the
+    /// viewer pushes its visible-region and slider-range predicate here.
+    pub fn demand_planned_opts(
+        &mut self,
+        graph: &Graph,
+        node: NodeId,
+        port: usize,
+        rewrite: bool,
+        window: Option<&Expr>,
+    ) -> Result<Data, FlowError> {
+        let plan = crate::lower::lower(graph, node, port);
+        if plan.is_source() && window.is_none() {
+            return self.demand(graph, node, port);
+        }
+        let plan = match window {
+            Some(w) => plan::Plan::Restrict { input: Box::new(plan), pred: w.clone() },
+            None => plan,
+        };
+
+        // Fingerprint before evaluating anything: canonical plan text
+        // plus the structural signature of every boundary.  Base-table
+        // contents are outside it, exactly like the box memo cache —
+        // `invalidate_all` clears both.
+        let mut sigs = HashMap::new();
+        let mut words = vec![plan::hash_str(&plan.canon()), rewrite as u64];
+        for (n, p) in plan.sources() {
+            words.push(self.signature(graph, n, 0, &mut sigs)?);
+            words.push(p as u64);
+        }
+        let fp = fnv1a(words);
+        if let Some(entry) = self.plan_cache.get(&(node, port)) {
+            if entry.fp == fp {
+                self.recorder.add("plan.cache_hits", 1);
+                return Ok(entry.output.clone());
+            }
+        }
+
+        // Evaluate the boundaries through the normal memoized path.  A
+        // non-relational boundary means the chain is not actually R
+        // shaped; fall back to box-at-a-time.
+        let mut srcs = plan::SourceMap::new();
+        for (n, p) in plan.sources() {
+            match self.demand(graph, n, p)? {
+                Data::D(Displayable::R(dr)) => {
+                    srcs.insert((n, p), dr);
+                }
+                _ => return self.demand(graph, node, port),
+            }
+        }
+
+        // Display metadata is replayed from the *original* plan; the
+        // rewriter only has to preserve stored tuple contents.
+        let final_header = plan::header_of(&plan, &srcs)?;
+        let (exec_plan, rw) = if rewrite {
+            plan::rewrite(plan.clone(), &srcs)
+        } else {
+            (plan.clone(), plan::RewriteStats::default())
+        };
+        let span = if self.recorder.is_enabled() {
+            for (rule, n) in &rw.counts {
+                self.recorder.add(&format!("plan.rewrite.{rule}"), *n);
+            }
+            self.recorder.span_begin("plan.execute", &format!("{node}:{port}"))
+        } else {
+            SpanId::NONE
+        };
+        let result = plan::execute(&exec_plan, &final_header, &srcs);
+        if !span.is_none() {
+            let rows = result.as_ref().map_or(-1, |dr| dr.rel.len() as i64);
+            self.recorder.span_end(
+                span,
+                &[
+                    ("plan_ops", exec_plan.op_count() as i64),
+                    ("rewrites", rw.total() as i64),
+                    ("rows_out", rows),
+                ],
+            );
+        }
+        let data = Data::D(Displayable::R(result?));
+        self.plan_cache.insert((node, port), PlanCacheEntry { fp, output: data.clone() });
+        Ok(data)
+    }
+
+    /// [`Engine::demand_planned`], unwrapped to a displayable.
+    pub fn demand_displayable_planned(
+        &mut self,
+        graph: &Graph,
+        node: NodeId,
+        port: usize,
+    ) -> Result<Displayable, FlowError> {
+        Ok(self.demand_planned(graph, node, port)?.into_displayable()?)
+    }
+
+    /// The display-relation *header* (schema + methods + metadata, no
+    /// tuples) the planned demand of `(node, port)` would produce, or
+    /// `None` when the output is not a planned relational chain.  Cheap:
+    /// boundaries are demanded through the memo cache, the chain itself
+    /// is replayed on empty relations.  The viewer uses this to build its
+    /// window predicate before demanding any tuples.
+    pub fn plan_root_header(
+        &mut self,
+        graph: &Graph,
+        node: NodeId,
+        port: usize,
+    ) -> Result<Option<DisplayRelation>, FlowError> {
+        let plan = crate::lower::lower(graph, node, port);
+        if plan.is_source() {
+            return Ok(None);
+        }
+        let mut srcs = plan::SourceMap::new();
+        for (n, p) in plan.sources() {
+            match self.demand(graph, n, p)? {
+                Data::D(Displayable::R(dr)) => {
+                    srcs.insert((n, p), dr);
+                }
+                _ => return Ok(None),
+            }
+        }
+        Ok(Some(plan::header_of(&plan, &srcs)?))
+    }
+
+    /// Render the plan for `(node, port)`: the lowered chain, the rules
+    /// that fired, and the optimized form.  Backs the REPL's `:explain`.
+    pub fn explain(
+        &mut self,
+        graph: &Graph,
+        node: NodeId,
+        port: usize,
+    ) -> Result<String, FlowError> {
+        let plan = crate::lower::lower(graph, node, port);
+        if plan.is_source() {
+            return Ok(format!("{node}.{port}: single box, no relational chain to plan\n"));
+        }
+        let mut srcs = plan::SourceMap::new();
+        for (n, p) in plan.sources() {
+            match self.demand(graph, n, p)? {
+                Data::D(Displayable::R(dr)) => {
+                    srcs.insert((n, p), dr);
+                }
+                _ => {
+                    return Ok(format!(
+                        "{node}.{port}: chain feeds non-relational data; planned \
+                         execution does not apply\n"
+                    ))
+                }
+            }
+        }
+        let (opt, rw) = plan::rewrite(plan.clone(), &srcs);
+        let mut out = format!("plan for {node}.{port}:\n{}", plan.pretty(graph));
+        if rw.counts.is_empty() {
+            out.push_str("no rewrites apply\n");
+        } else {
+            out.push_str("rewrites:\n");
+            for (rule, n) in &rw.counts {
+                out.push_str(&format!("  {rule} x{n}\n"));
+            }
+            out.push_str(&format!("optimized:\n{}", opt.pretty(graph)));
+        }
+        Ok(out)
     }
 
     fn signature(
@@ -212,7 +404,8 @@ impl Engine {
         let span = if self.recorder.is_enabled() {
             self.recorder.add("engine.box_evals", 1);
             self.recorder.cache_access(&format!("{}#{id}", node.name()), false);
-            self.recorder.span_begin(&format!("fire:{}", node.name()), &format!("{}#{id}", node.name()))
+            self.recorder
+                .span_begin(&format!("fire:{}", node.name()), &format!("{}#{id}", node.name()))
         } else {
             SpanId::NONE
         };
@@ -221,10 +414,7 @@ impl Engine {
             let rows_out = result.as_ref().map(|outs| outs.iter().map(data_rows).sum::<u64>());
             self.recorder.span_end(
                 span,
-                &[
-                    ("rows_in", rows_in as i64),
-                    ("rows_out", rows_out.map_or(-1, |r| r as i64)),
-                ],
+                &[("rows_in", rows_in as i64), ("rows_out", rows_out.map_or(-1, |r| r as i64))],
             );
         }
         let outputs = result?;
@@ -264,9 +454,8 @@ impl Engine {
             BoxKind::RelOp { op, sel, .. } => {
                 let d = input_displayable(inputs.pop(), op.name())?;
                 let rec = &self.recorder;
-                let out = apply_to_relation(&d, *sel, |dr| {
-                    apply_rel_op_recorded(op, dr, rec.as_ref())
-                })?;
+                let out =
+                    apply_to_relation(&d, *sel, |dr| apply_rel_op_recorded(op, dr, rec.as_ref()))?;
                 Ok(vec![Data::D(out)])
             }
             BoxKind::CompOp { op, sel, .. } => {

@@ -30,7 +30,9 @@ pub mod encapsulate;
 pub mod engine;
 pub mod error;
 pub mod graph;
+pub mod lower;
 pub mod persist;
+pub mod plan;
 pub mod port;
 
 pub use boxes::{BoxKind, BoxRegistry, BoxTemplate, CustomBox};
@@ -39,4 +41,6 @@ pub use encapsulate::EncapsulatedDef;
 pub use engine::{Engine, EvalStats};
 pub use error::FlowError;
 pub use graph::{Graph, Node, NodeId};
+pub use lower::lower;
+pub use plan::{Plan, RewriteStats};
 pub use port::{Data, PortType};

@@ -1,0 +1,92 @@
+//! Lowering box chains to [`Plan`]s.
+//!
+//! Starting from a demanded output, walk upstream absorbing the maximal
+//! chain of R-shaped relational operators into the plan.  Everything
+//! else — base tables, aggregates, attribute ops, T (Tee) boxes,
+//! composite/group-shaped data, boxes with more than one consumer —
+//! becomes a [`Plan::Source`] boundary evaluated through the normal
+//! memoized engine path, so memo sharing and edit-time invalidation
+//! semantics are untouched.
+
+use crate::boxes::{BoxKind, RelOpKind};
+use crate::graph::{Graph, NodeId};
+use crate::plan::Plan;
+use crate::port::PortType;
+use tioga2_display::Selection;
+
+/// Lower the demanded `(node, port)` into a plan.  A demanded Viewer box
+/// is transparent (it passes its input through), so planning starts at
+/// whatever feeds it.
+pub fn lower(graph: &Graph, node: NodeId, port: usize) -> Plan {
+    let mut id = node;
+    let mut p = port;
+    // Step through the demanded Viewer (pass-through).  A chain of
+    // viewers is technically expressible; keep walking.
+    while let Ok(n) = graph.node(id) {
+        if !matches!(n.kind, BoxKind::Viewer { .. }) {
+            break;
+        }
+        match n.inputs.first().copied().flatten() {
+            Some((src, sp)) => {
+                id = src;
+                p = sp;
+            }
+            None => break,
+        }
+    }
+    lower_rec(graph, id, p, true)
+}
+
+fn lower_rec(graph: &Graph, id: NodeId, port: usize, is_root: bool) -> Plan {
+    let source = Plan::Source { node: id, port };
+    // Unknown nodes and dangling inputs stay boundaries: demanding them
+    // later reports the same error the naive path would.
+    let Ok(n) = graph.node(id) else { return source };
+    if port != 0 {
+        return source;
+    }
+    // A box with several consumers is a sharing point; keep it in the
+    // memo cache rather than re-running it inside every downstream plan.
+    if !is_root && graph.consumers(id).len() > 1 {
+        return source;
+    }
+    match &n.kind {
+        BoxKind::RelOp { op, shape: PortType::R, sel } if *sel == Selection::default() => {
+            let Some((src, sp)) = n.inputs.first().copied().flatten() else {
+                return source;
+            };
+            let input = || Box::new(lower_rec(graph, src, sp, false));
+            match op {
+                RelOpKind::Restrict(pred) => Plan::Restrict { input: input(), pred: pred.clone() },
+                RelOpKind::Project(cols) => Plan::Project { input: input(), cols: cols.clone() },
+                RelOpKind::Sample { p, seed } => {
+                    Plan::Sample { input: input(), p: *p, seed: *seed }
+                }
+                RelOpKind::Sort(keys) => Plan::Sort { input: input(), keys: keys.clone() },
+                RelOpKind::Distinct(cols) => Plan::Distinct { input: input(), cols: cols.clone() },
+                RelOpKind::Limit { offset, count } => {
+                    Plan::Limit { input: input(), offset: *offset, count: *count }
+                }
+                RelOpKind::Rename { from, to } => {
+                    Plan::Rename { input: input(), from: from.clone(), to: to.clone() }
+                }
+                // Aggregate is many-to-one and the attribute ops rewrite
+                // display metadata: both stay box-at-a-time boundaries.
+                _ => source,
+            }
+        }
+        BoxKind::Join(pred) => {
+            let (Some((ls, lp)), Some((rs, rp))) =
+                (n.inputs.first().copied().flatten(), n.inputs.get(1).copied().flatten())
+            else {
+                return source;
+            };
+            Plan::Join {
+                left: Box::new(lower_rec(graph, ls, lp, false)),
+                right: Box::new(lower_rec(graph, rs, rp, false)),
+                pred: pred.clone(),
+            }
+        }
+        _ => source,
+    }
+}

@@ -1,0 +1,1246 @@
+//! The logical query plan lowered from maximal relational box chains.
+//!
+//! The box graph is the *program*; this module is the *plan* the engine
+//! actually runs for a demanded visualization.  [`crate::lower::lower`]
+//! extracts a chain of relational operators (Restrict / Project / Sample /
+//! Sort / Distinct / Limit / Rename / Join) into a [`Plan`] tree whose
+//! leaves are [`Plan::Source`] boundaries evaluated through the normal
+//! memoized engine path.  A rule-based [`rewrite`] pass then fuses and
+//! pushes operators (classic relational rewrites, guarded for Tioga-2's
+//! position-dependent `__seq` semantics), and [`execute`] runs the result
+//! as a pull-based [`TupleStream`] pipeline with early exit.
+//!
+//! Display metadata (location/display attributes, offsets, default
+//! methods added by `redefault`) is *replayed* from the **original**
+//! plan via [`header_of`], so rewrites only ever have to preserve the
+//! stored-tuple contents, never the per-stage metadata bookkeeping.
+
+use crate::engine::apply_rel_op;
+use crate::error::FlowError;
+use crate::graph::{Graph, NodeId};
+use std::collections::{BTreeMap, HashMap};
+use tioga2_display::defaults::redefault;
+use tioga2_display::DisplayRelation;
+use tioga2_expr::{BinOp, Expr};
+use tioga2_relational::ops::{self, join_renames};
+use tioga2_relational::{Relation, TupleStream, SEQ_ATTR};
+
+use crate::boxes::RelOpKind;
+
+/// Boundary values the plan executor reads: the fully evaluated display
+/// relation on each `(node, out_port)` source of the plan.
+pub type SourceMap = HashMap<(NodeId, usize), DisplayRelation>;
+
+/// A logical plan over one demanded output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// A boundary: anything the lowering pass does not absorb (base
+    /// tables, aggregates, attribute ops, multi-consumer boxes, C/G
+    /// shaped data).  Evaluated through `Engine::demand`, keeping the
+    /// per-box memo cache semantics intact.
+    Source {
+        node: NodeId,
+        port: usize,
+    },
+    Restrict {
+        input: Box<Plan>,
+        pred: Expr,
+    },
+    Project {
+        input: Box<Plan>,
+        cols: Vec<String>,
+    },
+    Sample {
+        input: Box<Plan>,
+        p: f64,
+        seed: u64,
+    },
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<(String, bool)>,
+    },
+    Distinct {
+        input: Box<Plan>,
+        cols: Vec<String>,
+    },
+    Limit {
+        input: Box<Plan>,
+        offset: usize,
+        count: usize,
+    },
+    Rename {
+        input: Box<Plan>,
+        from: String,
+        to: String,
+    },
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        pred: Expr,
+    },
+}
+
+impl Plan {
+    pub fn is_source(&self) -> bool {
+        matches!(self, Plan::Source { .. })
+    }
+
+    /// All boundary `(node, port)` pairs, in deterministic traversal
+    /// order (left-to-right, leaves of the tree).
+    pub fn sources(&self) -> Vec<(NodeId, usize)> {
+        let mut out = Vec::new();
+        self.collect_sources(&mut out);
+        out
+    }
+
+    fn collect_sources(&self, out: &mut Vec<(NodeId, usize)>) {
+        match self {
+            Plan::Source { node, port } => {
+                if !out.contains(&(*node, *port)) {
+                    out.push((*node, *port));
+                }
+            }
+            Plan::Restrict { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Sample { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Distinct { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Rename { input, .. } => input.collect_sources(out),
+            Plan::Join { left, right, .. } => {
+                left.collect_sources(out);
+                right.collect_sources(out);
+            }
+        }
+    }
+
+    /// Number of operator nodes (sources excluded).
+    pub fn op_count(&self) -> usize {
+        match self {
+            Plan::Source { .. } => 0,
+            Plan::Restrict { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Sample { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Distinct { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Rename { input, .. } => 1 + input.op_count(),
+            Plan::Join { left, right, .. } => 1 + left.op_count() + right.op_count(),
+        }
+    }
+
+    /// Canonical one-line form; two plans are the same iff their canon
+    /// strings are equal.  The engine fingerprints this.
+    pub fn canon(&self) -> String {
+        let mut s = String::new();
+        self.fmt_canon(&mut s);
+        s
+    }
+
+    fn fmt_canon(&self, s: &mut String) {
+        match self {
+            Plan::Source { node, port } => {
+                s.push_str(&format!("src({node}.{port})"));
+            }
+            Plan::Restrict { input, pred } => {
+                s.push_str(&format!("restrict[{pred}]("));
+                input.fmt_canon(s);
+                s.push(')');
+            }
+            Plan::Project { input, cols } => {
+                s.push_str(&format!("project[{}](", cols.join(",")));
+                input.fmt_canon(s);
+                s.push(')');
+            }
+            Plan::Sample { input, p, seed } => {
+                s.push_str(&format!("sample[{p:?},{seed}]("));
+                input.fmt_canon(s);
+                s.push(')');
+            }
+            Plan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(k, asc)| format!("{k}{}", if *asc { "+" } else { "-" }))
+                    .collect();
+                s.push_str(&format!("sort[{}](", ks.join(",")));
+                input.fmt_canon(s);
+                s.push(')');
+            }
+            Plan::Distinct { input, cols } => {
+                s.push_str(&format!("distinct[{}](", cols.join(",")));
+                input.fmt_canon(s);
+                s.push(')');
+            }
+            Plan::Limit { input, offset, count } => {
+                s.push_str(&format!("limit[{offset},{count}]("));
+                input.fmt_canon(s);
+                s.push(')');
+            }
+            Plan::Rename { input, from, to } => {
+                s.push_str(&format!("rename[{from}->{to}]("));
+                input.fmt_canon(s);
+                s.push(')');
+            }
+            Plan::Join { left, right, pred } => {
+                s.push_str(&format!("join[{pred}]("));
+                left.fmt_canon(s);
+                s.push(',');
+                right.fmt_canon(s);
+                s.push(')');
+            }
+        }
+    }
+
+    /// Multi-line indented rendering for `:explain`.  Box names are
+    /// looked up in `graph` when available.
+    pub fn pretty(&self, graph: &Graph) -> String {
+        let mut s = String::new();
+        self.fmt_pretty(graph, 0, &mut s);
+        s
+    }
+
+    fn fmt_pretty(&self, graph: &Graph, depth: usize, s: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Source { node, port } => {
+                let name = graph.node(*node).map(|n| n.name()).unwrap_or_else(|_| "?".to_string());
+                s.push_str(&format!("{pad}Source {node}.{port} ({name})\n"));
+            }
+            Plan::Restrict { input, pred } => {
+                s.push_str(&format!("{pad}Restrict {pred}\n"));
+                input.fmt_pretty(graph, depth + 1, s);
+            }
+            Plan::Project { input, cols } => {
+                s.push_str(&format!("{pad}Project [{}]\n", cols.join(", ")));
+                input.fmt_pretty(graph, depth + 1, s);
+            }
+            Plan::Sample { input, p, seed } => {
+                s.push_str(&format!("{pad}Sample p={p} seed={seed}\n"));
+                input.fmt_pretty(graph, depth + 1, s);
+            }
+            Plan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(k, asc)| format!("{k} {}", if *asc { "asc" } else { "desc" }))
+                    .collect();
+                s.push_str(&format!("{pad}Sort [{}]\n", ks.join(", ")));
+                input.fmt_pretty(graph, depth + 1, s);
+            }
+            Plan::Distinct { input, cols } => {
+                s.push_str(&format!("{pad}Distinct [{}]\n", cols.join(", ")));
+                input.fmt_pretty(graph, depth + 1, s);
+            }
+            Plan::Limit { input, offset, count } => {
+                s.push_str(&format!("{pad}Limit offset={offset} count={count}\n"));
+                input.fmt_pretty(graph, depth + 1, s);
+            }
+            Plan::Rename { input, from, to } => {
+                s.push_str(&format!("{pad}Rename {from} -> {to}\n"));
+                input.fmt_pretty(graph, depth + 1, s);
+            }
+            Plan::Join { left, right, pred } => {
+                s.push_str(&format!("{pad}Join on {pred}\n"));
+                left.fmt_pretty(graph, depth + 1, s);
+                right.fmt_pretty(graph, depth + 1, s);
+            }
+        }
+    }
+}
+
+/// FNV-1a over a byte string (same constants as the engine's signature
+/// hash, applied to the plan's canonical form).
+pub(crate) fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn missing_source(node: NodeId, port: usize) -> FlowError {
+    FlowError::Eval(format!("plan source {node}.{port} was not evaluated"))
+}
+
+/// Replay the display-relation *header* (schema, methods — including
+/// `redefault`-added ones — and display metadata) a plan node produces,
+/// without touching any tuples.  This is exactly the engine's per-box
+/// metadata path ([`apply_rel_op`] / join + `redefault`) applied to
+/// emptied relations.
+pub fn header_of(plan: &Plan, srcs: &SourceMap) -> Result<DisplayRelation, FlowError> {
+    match plan {
+        Plan::Source { node, port } => {
+            let dr = srcs.get(&(*node, *port)).ok_or_else(|| missing_source(*node, *port))?;
+            let mut h = dr.clone();
+            h.rel = h.rel.with_tuples(Vec::new());
+            Ok(h)
+        }
+        Plan::Restrict { input, pred } => {
+            Ok(apply_rel_op(&RelOpKind::Restrict(pred.clone()), &header_of(input, srcs)?)?)
+        }
+        Plan::Project { input, cols } => {
+            Ok(apply_rel_op(&RelOpKind::Project(cols.clone()), &header_of(input, srcs)?)?)
+        }
+        Plan::Sample { input, p, seed } => {
+            Ok(apply_rel_op(&RelOpKind::Sample { p: *p, seed: *seed }, &header_of(input, srcs)?)?)
+        }
+        Plan::Sort { input, keys } => {
+            Ok(apply_rel_op(&RelOpKind::Sort(keys.clone()), &header_of(input, srcs)?)?)
+        }
+        Plan::Distinct { input, cols } => {
+            Ok(apply_rel_op(&RelOpKind::Distinct(cols.clone()), &header_of(input, srcs)?)?)
+        }
+        Plan::Limit { input, offset, count } => Ok(apply_rel_op(
+            &RelOpKind::Limit { offset: *offset, count: *count },
+            &header_of(input, srcs)?,
+        )?),
+        Plan::Rename { input, from, to } => Ok(apply_rel_op(
+            &RelOpKind::Rename { from: from.clone(), to: to.clone() },
+            &header_of(input, srcs)?,
+        )?),
+        Plan::Join { left, right, pred } => {
+            let lh = header_of(left, srcs)?;
+            let rh = header_of(right, srcs)?;
+            let joined = ops::join(&lh.rel, &rh.rel, pred)?;
+            Ok(redefault(joined, &lh)?)
+        }
+    }
+}
+
+/// Per-rule application counts from one [`rewrite`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    pub counts: BTreeMap<&'static str, u64>,
+}
+
+impl RewriteStats {
+    fn bump(&mut self, rule: &'static str) {
+        *self.counts.entry(rule).or_insert(0) += 1;
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+/// Transitive attribute closure of `pred` against `header`: directly
+/// referenced attributes plus everything their method definitions pull
+/// in.  Position-dependence shows up as [`SEQ_ATTR`] in this set.
+fn closure(pred: &Expr, header: &Relation) -> Vec<String> {
+    pred.referenced_attrs_closure(|name| header.method(name).map(|m| m.def.clone()))
+}
+
+fn closure_uses_seq(pred: &Expr, header: &Relation) -> bool {
+    closure(pred, header).iter().any(|a| a == SEQ_ATTR)
+}
+
+/// Can `pred`, currently evaluated against `outer` (the output of a 1:1
+/// order-preserving operator over `inner`), be evaluated against `inner`
+/// with identical results?  True when every attribute in its transitive
+/// closure is either `__seq`, a stored field of `inner`, or a method
+/// defined identically in both.
+fn pred_transfers(pred: &Expr, outer: &Relation, inner: &Relation) -> bool {
+    for name in closure(pred, outer) {
+        if name == SEQ_ATTR {
+            continue;
+        }
+        if outer.schema().names().any(|n| n == name) {
+            // Stored in the outer relation: must be stored (same column)
+            // in the inner one too.
+            if inner.schema().names().any(|n| n == name) {
+                continue;
+            }
+            return false;
+        }
+        match (outer.method(&name), inner.method(&name)) {
+            (Some(o), Some(i)) if o.def == i.def && o.ty == i.ty => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Flatten an `And` tree into its conjuncts, left to right.
+fn conjuncts(pred: &Expr) -> Vec<Expr> {
+    match pred {
+        Expr::Binary(BinOp::And, l, r) => {
+            let mut out = conjuncts(l);
+            out.extend(conjuncts(r));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+fn and_all(mut preds: Vec<Expr>) -> Option<Expr> {
+    preds.reverse();
+    let first = preds.pop()?;
+    Some(
+        preds
+            .into_iter()
+            .rev()
+            .fold(first, |acc, p| Expr::Binary(BinOp::And, Box::new(acc), Box::new(p))),
+    )
+}
+
+/// Rewrite `plan` to a cheaper equivalent.  Every rule preserves the
+/// stored tuple contents and order exactly (display metadata comes from
+/// replaying the *original* plan, so it is outside the rules' proof
+/// obligation); the only observable difference permitted is the synthetic
+/// `row_id` numbering of join outputs, which carry no provenance
+/// (`source = None`) and are not update-traceable.
+pub fn rewrite(plan: Plan, srcs: &SourceMap) -> (Plan, RewriteStats) {
+    let mut stats = RewriteStats::default();
+    let mut current = plan;
+    // Fixpoint: each pass applies rules bottom-up; chains are tiny so a
+    // generous iteration cap guards against rule ping-pong.
+    for _ in 0..32 {
+        let (next, changed) = rewrite_pass(current, srcs, &mut stats);
+        current = next;
+        if !changed {
+            break;
+        }
+    }
+    (current, stats)
+}
+
+fn rewrite_pass(plan: Plan, srcs: &SourceMap, stats: &mut RewriteStats) -> (Plan, bool) {
+    // Rewrite children first.
+    let (plan, mut changed) = match plan {
+        Plan::Source { .. } => (plan, false),
+        Plan::Restrict { input, pred } => {
+            let (i, c) = rewrite_pass(*input, srcs, stats);
+            (Plan::Restrict { input: Box::new(i), pred }, c)
+        }
+        Plan::Project { input, cols } => {
+            let (i, c) = rewrite_pass(*input, srcs, stats);
+            (Plan::Project { input: Box::new(i), cols }, c)
+        }
+        Plan::Sample { input, p, seed } => {
+            let (i, c) = rewrite_pass(*input, srcs, stats);
+            (Plan::Sample { input: Box::new(i), p, seed }, c)
+        }
+        Plan::Sort { input, keys } => {
+            let (i, c) = rewrite_pass(*input, srcs, stats);
+            (Plan::Sort { input: Box::new(i), keys }, c)
+        }
+        Plan::Distinct { input, cols } => {
+            let (i, c) = rewrite_pass(*input, srcs, stats);
+            (Plan::Distinct { input: Box::new(i), cols }, c)
+        }
+        Plan::Limit { input, offset, count } => {
+            let (i, c) = rewrite_pass(*input, srcs, stats);
+            (Plan::Limit { input: Box::new(i), offset, count }, c)
+        }
+        Plan::Rename { input, from, to } => {
+            let (i, c) = rewrite_pass(*input, srcs, stats);
+            (Plan::Rename { input: Box::new(i), from, to }, c)
+        }
+        Plan::Join { left, right, pred } => {
+            let (l, cl) = rewrite_pass(*left, srcs, stats);
+            let (r, cr) = rewrite_pass(*right, srcs, stats);
+            (Plan::Join { left: Box::new(l), right: Box::new(r), pred }, cl || cr)
+        }
+    };
+    match rewrite_node(plan, srcs, stats) {
+        (p, true) => {
+            changed = true;
+            (p, changed)
+        }
+        (p, false) => (p, changed),
+    }
+}
+
+/// Try each rule at this node; returns the (possibly) rewritten node and
+/// whether anything fired.
+fn rewrite_node(plan: Plan, srcs: &SourceMap, stats: &mut RewriteStats) -> (Plan, bool) {
+    // Headers are only needed inside guards; a replay failure simply
+    // vetoes the rule (execution of the unrewritten plan will surface the
+    // same error the naive path would).
+    let hdr = |p: &Plan| header_of(p, srcs).ok();
+
+    match plan {
+        Plan::Restrict { input, pred: q } => match *input {
+            // ---- restrict fusion: σq(σp(x)) → σ(p ∧ q)(x) --------------
+            // q must not be position-dependent: fusing evaluates it at
+            // x's pre-filter `__seq` positions.  p keeps its positions
+            // either way, and `And` short-circuits left-to-right, so rows
+            // that fail p never evaluate q — error semantics match the
+            // unfused form.
+            Plan::Restrict { input: x, pred: p } => {
+                let ok = hdr(&x).map(|h| !closure_uses_seq(&q, &h.rel)).unwrap_or(false);
+                if ok {
+                    stats.bump("fuse_restricts");
+                    (
+                        Plan::Restrict {
+                            input: x,
+                            pred: Expr::Binary(BinOp::And, Box::new(p), Box::new(q)),
+                        },
+                        true,
+                    )
+                } else {
+                    (
+                        Plan::Restrict {
+                            input: Box::new(Plan::Restrict { input: x, pred: p }),
+                            pred: q,
+                        },
+                        false,
+                    )
+                }
+            }
+
+            // ---- predicate pushdown below Project ----------------------
+            // Project is 1:1 and order-preserving (`__seq` is unchanged),
+            // so the predicate transfers whenever everything it reads is
+            // visible below with the same meaning.
+            Plan::Project { input: x, cols } => {
+                let outer = Plan::Project { input: x, cols };
+                let ok = match (hdr(&outer), {
+                    let Plan::Project { input, .. } = &outer else { unreachable!() };
+                    hdr(input)
+                }) {
+                    (Some(o), Some(i)) => pred_transfers(&q, &o.rel, &i.rel),
+                    _ => false,
+                };
+                let Plan::Project { input: x, cols } = outer else { unreachable!() };
+                if ok {
+                    stats.bump("push_restrict_below_project");
+                    (
+                        Plan::Project {
+                            input: Box::new(Plan::Restrict { input: x, pred: q }),
+                            cols,
+                        },
+                        true,
+                    )
+                } else {
+                    (
+                        Plan::Restrict {
+                            input: Box::new(Plan::Project { input: x, cols }),
+                            pred: q,
+                        },
+                        false,
+                    )
+                }
+            }
+
+            // ---- predicate pushdown below Rename -----------------------
+            // Rewrite references to the new name back to the old one; the
+            // operator is 1:1 so `__seq` is unaffected.  Blocked only if
+            // the predicate already mentions the old name (rewriting
+            // would conflate the two).
+            Plan::Rename { input: x, from, to } => {
+                if !q.referenced_attrs().contains(&from) {
+                    let mut q2 = q.clone();
+                    q2.rename_attr(&to, &from);
+                    stats.bump("push_restrict_below_rename");
+                    (
+                        Plan::Rename {
+                            input: Box::new(Plan::Restrict { input: x, pred: q2 }),
+                            from,
+                            to,
+                        },
+                        true,
+                    )
+                } else {
+                    (
+                        Plan::Restrict {
+                            input: Box::new(Plan::Rename { input: x, from, to }),
+                            pred: q,
+                        },
+                        false,
+                    )
+                }
+            }
+
+            // ---- predicate pushdown below Sort -------------------------
+            // Sort is stable and schema-preserving; filtering first keeps
+            // the surviving rows in the same relative order.  Blocked for
+            // position-dependent predicates (sorting renumbers `__seq`).
+            Plan::Sort { input: x, keys } => {
+                let ok = hdr(&x).map(|h| !closure_uses_seq(&q, &h.rel)).unwrap_or(false);
+                if ok {
+                    stats.bump("push_restrict_below_sort");
+                    (
+                        Plan::Sort { input: Box::new(Plan::Restrict { input: x, pred: q }), keys },
+                        true,
+                    )
+                } else {
+                    (
+                        Plan::Restrict { input: Box::new(Plan::Sort { input: x, keys }), pred: q },
+                        false,
+                    )
+                }
+            }
+
+            // ---- predicate pushdown below Join -------------------------
+            // Split the predicate into conjuncts and push each one that
+            // reads stored fields of exactly one side.  Sound only when
+            // the join predicate itself is position-independent (pushing
+            // a filter renumbers the inputs' `__seq`).  Join output
+            // `row_id`s are renumbered; they are synthetic (source=None).
+            Plan::Join { left, right, pred: jp } => {
+                try_push_below_join(q, left, right, jp, srcs, stats)
+            }
+
+            other => (Plan::Restrict { input: Box::new(other), pred: q }, false),
+        },
+
+        // ---- Sample pushdown below Project / Rename --------------------
+        // Both are 1:1 and order-preserving, so the same Bernoulli draws
+        // hit the same rows; sampling first avoids projecting rows that
+        // are about to be dropped.  Sample must NOT move below Sort,
+        // Restrict, Distinct or Limit (the draw sequence is positional).
+        Plan::Sample { input, p, seed } => match *input {
+            Plan::Project { input: x, cols } => {
+                stats.bump("push_sample_below_project");
+                (Plan::Project { input: Box::new(Plan::Sample { input: x, p, seed }), cols }, true)
+            }
+            Plan::Rename { input: x, from, to } => {
+                stats.bump("push_sample_below_rename");
+                (
+                    Plan::Rename { input: Box::new(Plan::Sample { input: x, p, seed }), from, to },
+                    true,
+                )
+            }
+            other => (Plan::Sample { input: Box::new(other), p, seed }, false),
+        },
+
+        // ---- Limit pushdown below Project / Rename ---------------------
+        Plan::Limit { input, offset, count } => match *input {
+            Plan::Project { input: x, cols } => {
+                stats.bump("push_limit_below_project");
+                (
+                    Plan::Project {
+                        input: Box::new(Plan::Limit { input: x, offset, count }),
+                        cols,
+                    },
+                    true,
+                )
+            }
+            Plan::Rename { input: x, from, to } => {
+                stats.bump("push_limit_below_rename");
+                (
+                    Plan::Rename {
+                        input: Box::new(Plan::Limit { input: x, offset, count }),
+                        from,
+                        to,
+                    },
+                    true,
+                )
+            }
+            other => (Plan::Limit { input: Box::new(other), offset, count }, false),
+        },
+
+        // ---- projection pruning ----------------------------------------
+        Plan::Project { input, cols } => match *input {
+            // π_c1(π_c2(x)) → π_c1(x), legal when c1 ⊆ c2 (otherwise the
+            // original plan errors on a missing column and the collapsed
+            // one might not).  All of c2 are stored fields of x, so c1
+            // resolves below.  Method retention and redefault compose to
+            // the same header either way — and the final display metadata
+            // is replayed from the original plan regardless.
+            Plan::Project { input: x, cols: inner } if cols.iter().all(|c| inner.contains(c)) => {
+                stats.bump("collapse_projects");
+                (Plan::Project { input: x, cols }, true)
+            }
+            other => {
+                // π_all(x) → x when the replayed headers are identical,
+                // i.e. the projection neither drops columns nor perturbs
+                // methods or display metadata.
+                let candidate = Plan::Project { input: Box::new(other), cols };
+                let identical = {
+                    let Plan::Project { input, .. } = &candidate else { unreachable!() };
+                    matches!((hdr(&candidate), hdr(input)), (Some(a), Some(b)) if a == b)
+                };
+                if identical {
+                    let Plan::Project { input, .. } = candidate else { unreachable!() };
+                    stats.bump("drop_noop_project");
+                    (*input, true)
+                } else {
+                    (candidate, false)
+                }
+            }
+        },
+
+        other => (other, false),
+    }
+}
+
+/// Pushdown of restrict conjuncts below a join (see `rewrite_node`).
+fn try_push_below_join(
+    q: Expr,
+    left: Box<Plan>,
+    right: Box<Plan>,
+    jp: Expr,
+    srcs: &SourceMap,
+    stats: &mut RewriteStats,
+) -> (Plan, bool) {
+    let rebuilt = |l: Box<Plan>, r: Box<Plan>, q: Expr, jp: Expr| Plan::Restrict {
+        input: Box::new(Plan::Join { left: l, right: r, pred: jp }),
+        pred: q,
+    };
+
+    let (Some(lh), Some(rh)) = (header_of(&left, srcs).ok(), header_of(&right, srcs).ok()) else {
+        return (rebuilt(left, right, q, jp), false);
+    };
+    // The join predicate sees per-side `__seq`; filtering an input would
+    // renumber it.
+    let jp_uses_seq = jp
+        .referenced_attrs_closure(|name| {
+            lh.rel.method(name).or_else(|| rh.rel.method(name)).map(|m| m.def.clone())
+        })
+        .iter()
+        .any(|a| a == SEQ_ATTR);
+    if jp_uses_seq {
+        return (rebuilt(left, right, q, jp), false);
+    }
+    let Ok((_, right_renames)) = join_renames(&lh.rel, &rh.rel) else {
+        return (rebuilt(left, right, q, jp), false);
+    };
+    let left_fields: Vec<String> = lh.rel.schema().names().map(str::to_string).collect();
+
+    let mut push_left = Vec::new();
+    let mut push_right = Vec::new();
+    let mut residual = Vec::new();
+    for c in conjuncts(&q) {
+        let refs = c.referenced_attrs();
+        // Only stored-field conjuncts move: their values are identical
+        // before and after the join, independent of `__seq` and methods.
+        let all_left = !refs.is_empty() && refs.iter().all(|a| left_fields.contains(a));
+        let all_right = !refs.is_empty()
+            && refs.iter().all(|a| {
+                right_renames.contains_key(a)
+                    || (!left_fields.contains(a) && rh.rel.schema().names().any(|n| n == *a))
+            });
+        if all_left {
+            push_left.push(c);
+        } else if all_right {
+            let mut c2 = c;
+            for (new, old) in &right_renames {
+                c2.rename_attr(new, old);
+            }
+            push_right.push(c2);
+        } else {
+            residual.push(c);
+        }
+    }
+    if push_left.is_empty() && push_right.is_empty() {
+        return (rebuilt(left, right, q, jp), false);
+    }
+    stats.bump("push_restrict_below_join");
+    let left = match and_all(push_left) {
+        Some(p) => Box::new(Plan::Restrict { input: left, pred: p }),
+        None => left,
+    };
+    let right = match and_all(push_right) {
+        Some(p) => Box::new(Plan::Restrict { input: right, pred: p }),
+        None => right,
+    };
+    let join = Plan::Join { left, right, pred: jp };
+    match and_all(residual) {
+        Some(p) => (Plan::Restrict { input: Box::new(join), pred: p }, true),
+        None => (join, true),
+    }
+}
+
+/// Run `exec_plan` as a streaming pipeline and dress the collected tuples
+/// in the display header replayed from `final_header` (the *original*
+/// plan's root header, so rewrites cannot perturb display metadata).
+pub fn execute(
+    exec_plan: &Plan,
+    final_header: &DisplayRelation,
+    srcs: &SourceMap,
+) -> Result<DisplayRelation, FlowError> {
+    let (stream, _hdr) = exec(exec_plan, srcs)?;
+    let rel = stream.with_header(&final_header.rel)?.collect()?;
+    let mut out = final_header.clone();
+    out.rel = rel;
+    out.validate()?;
+    Ok(out)
+}
+
+/// Build the pull pipeline for `plan`.  Alongside the stream we thread
+/// the replayed header of each stage and install it via
+/// [`TupleStream::with_header`], so predicates evaluated mid-stream see
+/// the same methods (including `redefault`-added ones) the box-at-a-time
+/// path would give them.
+fn exec(plan: &Plan, srcs: &SourceMap) -> Result<(TupleStream, DisplayRelation), FlowError> {
+    match plan {
+        Plan::Source { node, port } => {
+            let dr = srcs.get(&(*node, *port)).ok_or_else(|| missing_source(*node, *port))?;
+            let stream = TupleStream::scan(&dr.rel);
+            let mut hdr = dr.clone();
+            hdr.rel = hdr.rel.with_tuples(Vec::new());
+            Ok((stream, hdr))
+        }
+        Plan::Restrict { input, pred } => {
+            let (s, h) = exec(input, srcs)?;
+            let s = s.with_header(&h.rel)?.restrict(pred)?;
+            let h2 = apply_rel_op(&RelOpKind::Restrict(pred.clone()), &h)?;
+            Ok((s, h2))
+        }
+        Plan::Project { input, cols } => {
+            let (s, h) = exec(input, srcs)?;
+            let fields: Vec<&str> = cols.iter().map(String::as_str).collect();
+            let s = s.with_header(&h.rel)?.project(&fields)?;
+            let h2 = apply_rel_op(&RelOpKind::Project(cols.clone()), &h)?;
+            Ok((s, h2))
+        }
+        Plan::Sample { input, p, seed } => {
+            let (s, h) = exec(input, srcs)?;
+            let s = s.with_header(&h.rel)?.sample(*p, *seed)?;
+            let h2 = apply_rel_op(&RelOpKind::Sample { p: *p, seed: *seed }, &h)?;
+            Ok((s, h2))
+        }
+        Plan::Sort { input, keys } => {
+            let (s, h) = exec(input, srcs)?;
+            let ks: Vec<(&str, bool)> = keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
+            let s = s.with_header(&h.rel)?.sort(&ks)?;
+            let h2 = apply_rel_op(&RelOpKind::Sort(keys.clone()), &h)?;
+            Ok((s, h2))
+        }
+        Plan::Distinct { input, cols } => {
+            let (s, h) = exec(input, srcs)?;
+            let attrs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            let s = s.with_header(&h.rel)?.distinct(&attrs)?;
+            let h2 = apply_rel_op(&RelOpKind::Distinct(cols.clone()), &h)?;
+            Ok((s, h2))
+        }
+        Plan::Limit { input, offset, count } => {
+            let (s, h) = exec(input, srcs)?;
+            let s = s.with_header(&h.rel)?.limit(*offset, *count);
+            let h2 = apply_rel_op(&RelOpKind::Limit { offset: *offset, count: *count }, &h)?;
+            Ok((s, h2))
+        }
+        Plan::Rename { input, from, to } => {
+            let (s, h) = exec(input, srcs)?;
+            let s = s.with_header(&h.rel)?.rename(from, to)?;
+            let h2 = apply_rel_op(&RelOpKind::Rename { from: from.clone(), to: to.clone() }, &h)?;
+            Ok((s, h2))
+        }
+        Plan::Join { left, right, pred } => {
+            // Joins are pipeline breakers: collect both sides, join with
+            // the engine's operator (hash join on equi-keys), re-scan.
+            let (ls, lh) = exec(left, srcs)?;
+            let (rs, rh) = exec(right, srcs)?;
+            let lrel = ls.with_header(&lh.rel)?.collect()?;
+            let rrel = rs.with_header(&rh.rel)?.collect()?;
+            let joined = ops::join(&lrel, &rrel, pred)?;
+            let out = redefault(joined, &lh)?;
+            let stream = TupleStream::scan(&out.rel);
+            let mut hdr = out;
+            hdr.rel = hdr.rel.with_tuples(Vec::new());
+            Ok((stream, hdr))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::BoxKind;
+    use crate::engine::Engine;
+    use crate::lower::lower;
+    use crate::port::{Data, PortType};
+    use tioga2_display::Displayable;
+    use tioga2_expr::{parse, ScalarType as T, Value};
+    use tioga2_relational::relation::RelationBuilder;
+    use tioga2_relational::{AggSpec, Catalog};
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        let mut b = RelationBuilder::new()
+            .field("name", T::Text)
+            .field("state", T::Text)
+            .field("altitude", T::Float);
+        for (n, s, a) in [
+            ("Baton Rouge", "LA", 17.0),
+            ("New Orleans", "LA", 2.0),
+            ("Shreveport", "LA", 55.0),
+            ("Austin", "TX", 149.0),
+            ("Houston", "TX", 13.0),
+        ] {
+            b = b.row(vec![Value::Text(n.into()), Value::Text(s.into()), Value::Float(a)]);
+        }
+        c.register("Stations", b.build().unwrap());
+        let mut s = RelationBuilder::new().field("st", T::Text).field("pop", T::Float);
+        for (st, p) in [("LA", 4.6), ("TX", 29.5), ("NY", 19.6)] {
+            s = s.row(vec![Value::Text(st.into()), Value::Float(p)]);
+        }
+        c.register("States", s.build().unwrap());
+        c
+    }
+
+    fn restrict(src: &str) -> BoxKind {
+        BoxKind::rel(RelOpKind::Restrict(parse(src).unwrap()))
+    }
+
+    fn project(cols: &[&str]) -> BoxKind {
+        BoxKind::rel(RelOpKind::Project(cols.iter().map(|c| c.to_string()).collect()))
+    }
+
+    fn dr_of(d: Data) -> DisplayRelation {
+        match d.into_displayable().unwrap() {
+            Displayable::R(dr) => dr,
+            other => panic!("expected R, got {}", other.type_tag()),
+        }
+    }
+
+    /// Lower + evaluate boundaries, for driving the rewriter directly.
+    fn lowered(g: &Graph, e: &mut Engine, node: NodeId) -> (Plan, SourceMap) {
+        let plan = lower(g, node, 0);
+        let mut srcs = SourceMap::new();
+        for (n, p) in plan.sources() {
+            srcs.insert((n, p), dr_of(e.demand(g, n, p).unwrap()));
+        }
+        (plan, srcs)
+    }
+
+    /// The planned result must equal the box-at-a-time result *exactly* —
+    /// schema, methods, metadata, tuples, row ids.
+    fn assert_planned_equals_naive(g: &Graph, node: NodeId) {
+        let mut e = Engine::new(catalog());
+        let naive = dr_of(e.demand(g, node, 0).unwrap());
+        let mut e2 = Engine::new(catalog());
+        let planned = dr_of(e2.demand_planned(g, node, 0).unwrap());
+        assert_eq!(naive, planned);
+    }
+
+    /// Row-id-blind comparison for join outputs (join row ids are
+    /// synthetic: `source = None`, not update-traceable).
+    fn assert_same_values(a: &DisplayRelation, b: &DisplayRelation) {
+        assert_eq!(a.rel.schema(), b.rel.schema());
+        assert_eq!(a.rel.len(), b.rel.len());
+        for (x, y) in a.rel.tuples().iter().zip(b.rel.tuples()) {
+            assert_eq!(x.values(), y.values());
+        }
+    }
+
+    #[test]
+    fn lowering_extracts_chain_and_viewer_is_transparent() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict("state = 'LA'"));
+        let p = g.add(project(&["name", "altitude"]));
+        let v = g.add(BoxKind::Viewer { canvas: "main".into(), ty: PortType::R });
+        g.connect(t, 0, r, 0).unwrap();
+        g.connect(r, 0, p, 0).unwrap();
+        g.connect(p, 0, v, 0).unwrap();
+        let plan = lower(&g, v, 0);
+        assert_eq!(
+            plan.canon(),
+            format!("project[name,altitude](restrict[state = 'LA'](src({t}.0)))")
+        );
+        assert_eq!(plan.op_count(), 2);
+        assert_planned_equals_naive(&g, v);
+    }
+
+    #[test]
+    fn fuse_restricts_fires_and_is_equivalent() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let r2 = g.add(restrict("altitude > 10.0"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(r1, 0, r2, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (plan, srcs) = lowered(&g, &mut e, r2);
+        let (opt, stats) = rewrite(plan, &srcs);
+        assert_eq!(stats.counts.get("fuse_restricts"), Some(&1));
+        assert_eq!(opt.op_count(), 1, "two restricts fused into one");
+        assert_planned_equals_naive(&g, r2);
+    }
+
+    #[test]
+    fn position_dependent_predicate_blocks_fusion_and_sort_pushdown() {
+        // The default `y` method is -__seq * 12: filtering first would
+        // renumber it.  Both fusion and the sort pushdown must refuse.
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let r2 = g.add(restrict("y > -30.0"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(r1, 0, r2, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (plan, srcs) = lowered(&g, &mut e, r2);
+        let (opt, stats) = rewrite(plan.clone(), &srcs);
+        assert_eq!(stats.total(), 0, "no rewrite may fire: {stats:?}");
+        assert_eq!(opt, plan);
+        assert_planned_equals_naive(&g, r2);
+
+        let mut g2 = Graph::new();
+        let t = g2.add(BoxKind::Table("Stations".into()));
+        let s = g2.add(BoxKind::rel(RelOpKind::Sort(vec![("altitude".into(), true)])));
+        let r = g2.add(restrict("y > -30.0"));
+        g2.connect(t, 0, s, 0).unwrap();
+        g2.connect(s, 0, r, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (plan, srcs) = lowered(&g2, &mut e, r);
+        let (_, stats) = rewrite(plan, &srcs);
+        assert_eq!(stats.total(), 0);
+        assert_planned_equals_naive(&g2, r);
+    }
+
+    #[test]
+    fn restrict_pushes_below_project_and_sort() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let p = g.add(project(&["name", "altitude"]));
+        let s = g.add(BoxKind::rel(RelOpKind::Sort(vec![("altitude".into(), false)])));
+        let r = g.add(restrict("altitude > 10.0"));
+        g.connect(t, 0, p, 0).unwrap();
+        g.connect(p, 0, s, 0).unwrap();
+        g.connect(s, 0, r, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (plan, srcs) = lowered(&g, &mut e, r);
+        let (opt, stats) = rewrite(plan, &srcs);
+        assert_eq!(stats.counts.get("push_restrict_below_sort"), Some(&1));
+        assert_eq!(stats.counts.get("push_restrict_below_project"), Some(&1));
+        // Fully pushed: sort(project(restrict(src))).
+        assert_eq!(
+            opt.canon(),
+            format!(
+                "sort[altitude-](project[name,altitude](restrict[altitude > 10.0](src({t}.0))))"
+            )
+        );
+        assert_planned_equals_naive(&g, r);
+    }
+
+    #[test]
+    fn restrict_pushes_below_rename_with_attr_rewrite() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let rn =
+            g.add(BoxKind::rel(RelOpKind::Rename { from: "altitude".into(), to: "elev".into() }));
+        let r = g.add(restrict("elev > 10.0"));
+        g.connect(t, 0, rn, 0).unwrap();
+        g.connect(rn, 0, r, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (plan, srcs) = lowered(&g, &mut e, r);
+        let (opt, stats) = rewrite(plan, &srcs);
+        assert_eq!(stats.counts.get("push_restrict_below_rename"), Some(&1));
+        assert!(opt.canon().contains("restrict[altitude > 10.0]"), "got {}", opt.canon());
+        assert_planned_equals_naive(&g, r);
+    }
+
+    #[test]
+    fn no_pushdown_past_aggregate() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let a = g.add(BoxKind::rel(RelOpKind::Aggregate {
+            keys: vec!["state".into()],
+            aggs: vec![AggSpec::count("n")],
+        }));
+        let r = g.add(restrict("n > 1"));
+        g.connect(t, 0, a, 0).unwrap();
+        g.connect(a, 0, r, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (plan, srcs) = lowered(&g, &mut e, r);
+        // The aggregate is a boundary: the chain is just σ(src).
+        assert_eq!(plan.op_count(), 1);
+        let (_, stats) = rewrite(plan, &srcs);
+        assert_eq!(stats.total(), 0);
+        assert_planned_equals_naive(&g, r);
+    }
+
+    #[test]
+    fn multi_consumer_box_stays_a_memo_boundary() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let r2a = g.add(restrict("altitude > 10.0"));
+        let r2b = g.add(restrict("altitude < 10.0"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(r1, 0, r2a, 0).unwrap();
+        g.connect(r1, 0, r2b, 0).unwrap();
+        // r1 feeds two consumers: it must stay in the box memo cache, not
+        // be re-run inside both plans.
+        let plan = lower(&g, r2a, 0);
+        assert_eq!(plan.canon(), format!("restrict[altitude > 10.0](src({r1}.0))"));
+        assert_planned_equals_naive(&g, r2a);
+    }
+
+    #[test]
+    fn sample_pushes_below_project_but_stays_above_sort() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let p = g.add(project(&["name", "altitude"]));
+        let sm = g.add(BoxKind::rel(RelOpKind::Sample { p: 0.5, seed: 7 }));
+        g.connect(t, 0, p, 0).unwrap();
+        g.connect(p, 0, sm, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (plan, srcs) = lowered(&g, &mut e, sm);
+        let (opt, stats) = rewrite(plan, &srcs);
+        assert_eq!(stats.counts.get("push_sample_below_project"), Some(&1));
+        assert!(opt.canon().starts_with("project["));
+        assert_planned_equals_naive(&g, sm);
+
+        // Sample over Sort: the draw sequence is positional, moving it
+        // below the sort would sample different rows.
+        let mut g2 = Graph::new();
+        let t = g2.add(BoxKind::Table("Stations".into()));
+        let s = g2.add(BoxKind::rel(RelOpKind::Sort(vec![("altitude".into(), true)])));
+        let sm = g2.add(BoxKind::rel(RelOpKind::Sample { p: 0.5, seed: 7 }));
+        g2.connect(t, 0, s, 0).unwrap();
+        g2.connect(s, 0, sm, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (plan, srcs) = lowered(&g2, &mut e, sm);
+        let (_, stats) = rewrite(plan, &srcs);
+        assert_eq!(stats.total(), 0);
+        assert_planned_equals_naive(&g2, sm);
+    }
+
+    #[test]
+    fn restrict_does_not_move_below_sample_or_limit() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let sm = g.add(BoxKind::rel(RelOpKind::Sample { p: 0.8, seed: 3 }));
+        let lim = g.add(BoxKind::rel(RelOpKind::Limit { offset: 0, count: 2 }));
+        let r = g.add(restrict("altitude > 1.0"));
+        g.connect(t, 0, sm, 0).unwrap();
+        g.connect(sm, 0, lim, 0).unwrap();
+        g.connect(lim, 0, r, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (plan, srcs) = lowered(&g, &mut e, r);
+        let (_, stats) = rewrite(plan, &srcs);
+        assert_eq!(stats.total(), 0, "filtering before sample/limit changes the result");
+        assert_planned_equals_naive(&g, r);
+    }
+
+    #[test]
+    fn limit_pushes_below_project() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let p = g.add(project(&["name"]));
+        let lim = g.add(BoxKind::rel(RelOpKind::Limit { offset: 1, count: 2 }));
+        g.connect(t, 0, p, 0).unwrap();
+        g.connect(p, 0, lim, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (plan, srcs) = lowered(&g, &mut e, lim);
+        let (_, stats) = rewrite(plan, &srcs);
+        assert_eq!(stats.counts.get("push_limit_below_project"), Some(&1));
+        assert_planned_equals_naive(&g, lim);
+    }
+
+    #[test]
+    fn projects_collapse_and_noop_projects_drop() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let p1 = g.add(project(&["name", "state"]));
+        let p2 = g.add(project(&["name"]));
+        g.connect(t, 0, p1, 0).unwrap();
+        g.connect(p1, 0, p2, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (plan, srcs) = lowered(&g, &mut e, p2);
+        let (_, stats) = rewrite(plan, &srcs);
+        assert_eq!(stats.counts.get("collapse_projects"), Some(&1));
+        assert_planned_equals_naive(&g, p2);
+
+        // A projection of all columns in order is a no-op and vanishes.
+        let mut g2 = Graph::new();
+        let t = g2.add(BoxKind::Table("Stations".into()));
+        let p = g2.add(project(&["name", "state", "altitude"]));
+        g2.connect(t, 0, p, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (plan, srcs) = lowered(&g2, &mut e, p);
+        let (opt, stats) = rewrite(plan, &srcs);
+        assert_eq!(stats.counts.get("drop_noop_project"), Some(&1));
+        assert!(opt.is_source());
+        assert_planned_equals_naive(&g2, p);
+    }
+
+    #[test]
+    fn join_conjunct_pushdown_splits_by_side() {
+        let mut g = Graph::new();
+        let t1 = g.add(BoxKind::Table("Stations".into()));
+        let t2 = g.add(BoxKind::Table("States".into()));
+        let j = g.add(BoxKind::Join(parse("state = st").unwrap()));
+        let r = g.add(restrict("pop > 5.0 and altitude > 10.0"));
+        g.connect(t1, 0, j, 0).unwrap();
+        g.connect(t2, 0, j, 1).unwrap();
+        g.connect(j, 0, r, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (plan, srcs) = lowered(&g, &mut e, r);
+        let (opt, stats) = rewrite(plan, &srcs);
+        assert_eq!(stats.counts.get("push_restrict_below_join"), Some(&1));
+        // Both conjuncts moved: the root is the join itself.
+        assert!(opt.canon().starts_with("join["), "got {}", opt.canon());
+
+        // Join row ids are synthetic; compare values, schema and order.
+        let mut e1 = Engine::new(catalog());
+        let naive = dr_of(e1.demand(&g, r, 0).unwrap());
+        let mut e2 = Engine::new(catalog());
+        let planned = dr_of(e2.demand_planned(&g, r, 0).unwrap());
+        assert_same_values(&naive, &planned);
+        assert_eq!(naive.rel.len(), 2, "TX stations with pop > 5 and altitude > 10");
+    }
+
+    #[test]
+    fn plan_cache_hits_and_is_invalidated() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let r2 = g.add(restrict("altitude > 10.0"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(r1, 0, r2, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let first = dr_of(e.demand_planned(&g, r2, 0).unwrap());
+        let evals = e.stats.box_evals;
+        // Second demand: plan cache hit, no boundary re-demand.
+        let second = dr_of(e.demand_planned(&g, r2, 0).unwrap());
+        assert_eq!(e.stats.box_evals, evals);
+        assert_eq!(first, second);
+        // Editing a chain box changes the fingerprint.
+        g.update_kind(r2, restrict("altitude > 20.0")).unwrap();
+        let third = dr_of(e.demand_planned(&g, r2, 0).unwrap());
+        assert_eq!(third.rel.len(), 1);
+        // Catalog updates flow through invalidate_all, like the box cache.
+        e.catalog().register(
+            "Stations",
+            RelationBuilder::new()
+                .field("name", T::Text)
+                .field("state", T::Text)
+                .field("altitude", T::Float)
+                .build()
+                .unwrap(),
+        );
+        e.invalidate_all();
+        let fourth = dr_of(e.demand_planned(&g, r2, 0).unwrap());
+        assert_eq!(fourth.rel.len(), 0);
+    }
+
+    #[test]
+    fn window_restrict_is_applied_on_top() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict("state = 'LA'"));
+        g.connect(t, 0, r, 0).unwrap();
+        let w = parse("altitude > 10.0").unwrap();
+        let mut e = Engine::new(catalog());
+        let dr = dr_of(e.demand_planned_opts(&g, r, 0, true, Some(&w)).unwrap());
+        assert_eq!(dr.rel.len(), 2, "LA stations above 10m");
+        // Schema and metadata are those of the unwindowed chain.
+        let mut e2 = Engine::new(catalog());
+        let full = dr_of(e2.demand(&g, r, 0).unwrap());
+        assert_eq!(full.rel.schema(), dr.rel.schema());
+        assert_eq!(full.location_attrs(), dr.location_attrs());
+    }
+
+    #[test]
+    fn explain_reports_rules() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let r2 = g.add(restrict("altitude > 10.0"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(r1, 0, r2, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let text = e.explain(&g, r2, 0).unwrap();
+        assert!(text.contains("Restrict"), "{text}");
+        assert!(text.contains("fuse_restricts"), "{text}");
+        assert!(text.contains("optimized:"), "{text}");
+        // A bare table has no chain.
+        let text = e.explain(&g, t, 0).unwrap();
+        assert!(text.contains("no relational chain"), "{text}");
+    }
+}

@@ -135,6 +135,36 @@ impl Expr {
         }
     }
 
+    /// Transitive column-reference closure: every attribute name this
+    /// expression depends on, directly or through computed-attribute
+    /// (method) definitions, in breadth-first discovery order without
+    /// duplicates.  `resolve` maps an attribute name to its defining
+    /// expression (`None` for stored fields and unknown names, which are
+    /// leaves).  Method names themselves are included in the result, so
+    /// callers can test membership of both fields and methods — the plan
+    /// rewriter uses this to decide whether a predicate is safe to push
+    /// below an operator (e.g. any closure touching the `__seq`
+    /// pseudo-attribute is position-dependent and must stay put).
+    pub fn referenced_attrs_closure<F>(&self, mut resolve: F) -> Vec<String>
+    where
+        F: FnMut(&str) -> Option<Expr>,
+    {
+        let mut out = self.referenced_attrs();
+        let mut i = 0;
+        while i < out.len() {
+            let name = out[i].clone();
+            if let Some(def) = resolve(&name) {
+                for dep in def.referenced_attrs() {
+                    if !out.contains(&dep) {
+                        out.push(dep);
+                    }
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
     /// Rewrite every reference to attribute `from` into `to`.  Used by
     /// Swap Attributes and by attribute removal safety analysis.
     pub fn rename_attr(&mut self, from: &str, to: &str) {
@@ -307,5 +337,33 @@ mod tests {
     #[test]
     fn print_string_escaping() {
         assert_eq!(Expr::lit_text("it's").to_string(), "'it''s'");
+    }
+
+    #[test]
+    fn attrs_closure_expands_through_definitions() {
+        // y is defined as -__seq * 12, area as w * h; w and h are stored.
+        let defs = |name: &str| match name {
+            "y" => Some(Expr::bin(BinOp::Mul, Expr::attr("__seq"), Expr::lit_float(-12.0))),
+            "area" => Some(Expr::bin(BinOp::Mul, Expr::attr("w"), Expr::attr("h"))),
+            _ => None,
+        };
+        let e = Expr::bin(BinOp::Lt, Expr::attr("area"), Expr::attr("y"));
+        let c = e.referenced_attrs_closure(defs);
+        assert_eq!(c, vec!["area", "y", "w", "h", "__seq"]);
+        // Stored-field-only expressions stay flat.
+        let e2 = Expr::bin(BinOp::Lt, Expr::attr("w"), Expr::attr("h"));
+        assert_eq!(e2.referenced_attrs_closure(defs), vec!["w", "h"]);
+    }
+
+    #[test]
+    fn attrs_closure_handles_cycles() {
+        // a -> b -> a must terminate and report both names once.
+        let defs = |name: &str| match name {
+            "a" => Some(Expr::attr("b")),
+            "b" => Some(Expr::attr("a")),
+            _ => None,
+        };
+        let c = Expr::attr("a").referenced_attrs_closure(defs);
+        assert_eq!(c, vec!["a", "b"]);
     }
 }

@@ -50,7 +50,12 @@ impl<'a> Json<'a> {
     fn expect(&mut self, b: u8) -> Result<(), String> {
         let got = self.bump()?;
         if got != b {
-            return Err(format!("expected {:?} at byte {}, got {:?}", b as char, self.pos - 1, got as char));
+            return Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char,
+                self.pos - 1,
+                got as char
+            ));
         }
         Ok(())
     }

@@ -9,7 +9,7 @@
 use crate::error::RelError;
 use crate::relation::Relation;
 use crate::schema::{Field, Schema};
-use crate::tuple::{Tuple, TupleContext};
+use crate::tuple::TupleContext;
 use std::collections::HashMap;
 use tioga2_expr::{Context, ScalarType, Value};
 
@@ -153,7 +153,7 @@ impl Accumulator {
 
 /// Grouping key: canonical encoding mirroring the join key rules
 /// (numeric family normalized; Nulls group together, unlike join).
-fn group_key(vals: &[Value]) -> String {
+pub(crate) fn group_key(vals: &[Value]) -> String {
     let mut s = String::new();
     for v in vals {
         match v {
@@ -253,42 +253,15 @@ pub fn aggregate(rel: &Relation, keys: &[&str], aggs: &[AggSpec]) -> Result<Rela
 /// DISTINCT on the given attributes (all stored fields if empty),
 /// keeping the first tuple of each duplicate class.
 pub fn distinct(rel: &Relation, attrs: &[&str]) -> Result<Relation, RelError> {
-    let names: Vec<String> = if attrs.is_empty() {
-        rel.schema().names().map(str::to_string).collect()
-    } else {
-        for a in attrs {
-            if !rel.has_attr(a) {
-                return Err(RelError::UnknownAttribute(a.to_string()));
-            }
-        }
-        attrs.iter().map(|s| s.to_string()).collect()
-    };
-    let mut seen = std::collections::HashSet::new();
-    let mut kept = Vec::new();
-    for (seq, t) in rel.tuples().iter().enumerate() {
-        let ctx = TupleContext::new(rel, t, seq);
-        let vals: Vec<Value> = names.iter().map(|n| ctx.get(n).unwrap_or(Value::Null)).collect();
-        if seen.insert(group_key(&vals)) {
-            kept.push(t.clone());
-        }
-    }
-    Ok(Relation::from_parts(
-        rel.schema().clone(),
-        rel.methods().to_vec(),
-        kept,
-        rel.source().map(str::to_string),
-    ))
+    crate::stream::TupleStream::scan(rel).distinct(attrs)?.collect()
 }
 
 /// LIMIT/OFFSET in current tuple order.
 pub fn limit(rel: &Relation, offset: usize, count: usize) -> Relation {
-    let kept: Vec<Tuple> = rel.tuples().iter().skip(offset).take(count).cloned().collect();
-    Relation::from_parts(
-        rel.schema().clone(),
-        rel.methods().to_vec(),
-        kept,
-        rel.source().map(str::to_string),
-    )
+    crate::stream::TupleStream::scan(rel)
+        .limit(offset, count)
+        .collect()
+        .expect("scan + limit is infallible")
 }
 
 /// Rename a stored field (methods referencing it are rewritten).
@@ -306,10 +279,11 @@ pub fn rename(rel: &Relation, from: &str, to: &str) -> Result<Relation, RelError
         .map(|f| if f.name == from { Field::new(to, f.ty.clone()) } else { f.clone() })
         .collect();
     let schema = Schema::new(fields)?;
-    let mut out = Relation::from_parts(
+    // Schema-only change: re-share the tuple store instead of copying it.
+    let mut out = Relation::from_shared(
         schema,
         rel.methods().to_vec(),
-        rel.tuples().to_vec(),
+        rel.tuples_arc(),
         rel.source().map(str::to_string),
     );
     out.rename_in_methods(from, to);

@@ -23,6 +23,7 @@ pub mod ops;
 pub mod persist;
 pub mod relation;
 pub mod schema;
+pub mod stream;
 pub mod tuple;
 pub mod update;
 
@@ -31,6 +32,7 @@ pub use catalog::Catalog;
 pub use error::RelError;
 pub use relation::{Method, Relation};
 pub use schema::{Field, Schema};
+pub use stream::TupleStream;
 pub use tuple::{Tuple, TupleContext};
 
 /// The pseudo-attribute holding the 0-based tuple sequence number.

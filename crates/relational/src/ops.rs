@@ -9,32 +9,18 @@
 use crate::error::RelError;
 use crate::relation::{Method, Relation};
 use crate::schema::{Field, Schema};
+use crate::stream::TupleStream;
 use crate::tuple::{Tuple, TupleContext};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use tioga2_expr::{eval, eval_predicate, typecheck, BinOp, Context, Expr, ScalarType, Value};
 
 /// **Restrict** (Figure 3): filter a relation to tuples satisfying a
 /// predicate.  The predicate may reference stored and computed attributes.
+///
+/// Thin wrapper over the streaming form ([`TupleStream::restrict`]): kept
+/// tuples re-share their `Arc` value storage, never deep-copying rows.
 pub fn restrict(rel: &Relation, predicate: &Expr) -> Result<Relation, RelError> {
-    let ty = typecheck(predicate, &rel.type_env())?;
-    if ty != ScalarType::Bool {
-        return Err(RelError::Schema(format!("restrict predicate has type {ty}, not bool")));
-    }
-    let mut kept = Vec::new();
-    for (seq, t) in rel.tuples().iter().enumerate() {
-        let ctx = TupleContext::new(rel, t, seq);
-        if eval_predicate(predicate, &ctx)? {
-            kept.push(t.clone());
-        }
-    }
-    Ok(Relation::from_parts(
-        rel.schema().clone(),
-        rel.methods().to_vec(),
-        kept,
-        rel.source().map(str::to_string),
-    ))
+    TupleStream::scan(rel).restrict(predicate)?.collect()
 }
 
 /// Context overlaying named scalar parameters on a tuple context — how
@@ -90,61 +76,14 @@ pub fn restrict_with_params(
 /// mirrors the paper's incremental style — a projection that breaks a
 /// display function simply falls back to the default display upstream.
 pub fn project(rel: &Relation, fields: &[&str]) -> Result<Relation, RelError> {
-    let mut idxs = Vec::with_capacity(fields.len());
-    let mut new_fields = Vec::with_capacity(fields.len());
-    for &f in fields {
-        let i =
-            rel.schema().index_of(f).ok_or_else(|| RelError::UnknownAttribute(f.to_string()))?;
-        idxs.push(i);
-        new_fields.push(rel.schema().fields()[i].clone());
-    }
-    let schema = Schema::new(new_fields)?;
-
-    // Iteratively keep methods whose deps all resolve.
-    let mut keep: Vec<Method> = Vec::new();
-    let mut changed = true;
-    let mut remaining: Vec<&Method> = rel.methods().iter().collect();
-    while changed {
-        changed = false;
-        remaining.retain(|m| {
-            let ok = m.def.referenced_attrs().iter().all(|a| {
-                a == crate::SEQ_ATTR
-                    || schema.index_of(a).is_some()
-                    || keep.iter().any(|k| &k.name == a)
-            });
-            if ok {
-                keep.push((*m).clone());
-                changed = true;
-                false
-            } else {
-                true
-            }
-        });
-    }
-
-    let tuples: Vec<Tuple> = rel
-        .tuples()
-        .iter()
-        .map(|t| Tuple::new(t.row_id, idxs.iter().map(|&i| t.values()[i].clone()).collect()))
-        .collect();
-    Ok(Relation::from_parts(schema, keep, tuples, rel.source().map(str::to_string)))
+    TupleStream::scan(rel).project(fields)?.collect()
 }
 
 /// **Sample** (Figure 3): retain each tuple independently with probability
 /// `p`.  "Sample is useful for improving interactive response by reducing
 /// the size of data sets to be processed."  Deterministic given `seed`.
 pub fn sample(rel: &Relation, p: f64, seed: u64) -> Result<Relation, RelError> {
-    if !(0.0..=1.0).contains(&p) {
-        return Err(RelError::Schema(format!("sample probability {p} outside [0, 1]")));
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let kept: Vec<Tuple> = rel.tuples().iter().filter(|_| rng.gen::<f64>() < p).cloned().collect();
-    Ok(Relation::from_parts(
-        rel.schema().clone(),
-        rel.methods().to_vec(),
-        kept,
-        rel.source().map(str::to_string),
-    ))
+    TupleStream::scan(rel).sample(p, seed)?.collect()
 }
 
 /// Disambiguate colliding field names by suffixing `_2` (then `_3`, ...).
@@ -253,6 +192,24 @@ fn key_of(vals: &[Value]) -> Option<String> {
     Some(s)
 }
 
+/// The combined output schema of [`join`] and its right-field renaming
+/// map (output name → original right name).  Exposed so the plan
+/// rewriter can classify which side of a join a pushed predicate's
+/// attributes belong to using exactly the executor's naming rules.
+pub fn join_renames(
+    left: &Relation,
+    right: &Relation,
+) -> Result<(Schema, HashMap<String, String>), RelError> {
+    let mut fields: Vec<Field> = left.schema().fields().to_vec();
+    let mut right_renames: HashMap<String, String> = HashMap::new();
+    for f in right.schema().fields() {
+        let new_name = disambiguate(left.schema(), &f.name, &fields[left.schema().len()..]);
+        right_renames.insert(new_name.clone(), f.name.clone());
+        fields.push(Field::new(new_name, f.ty.clone()));
+    }
+    Ok((Schema::new(fields)?, right_renames))
+}
+
 /// **Join** (Figure 3): θ-join of two relations on an arbitrary predicate.
 ///
 /// The output schema is the left stored fields followed by the right
@@ -261,15 +218,7 @@ fn key_of(vals: &[Value]) -> Option<String> {
 /// equality conditions between a left and a right attribute are executed
 /// as a hash join; any residual predicate is applied per candidate pair.
 pub fn join(left: &Relation, right: &Relation, predicate: &Expr) -> Result<Relation, RelError> {
-    // Build the combined schema and the renaming map.
-    let mut fields: Vec<Field> = left.schema().fields().to_vec();
-    let mut right_renames: HashMap<String, String> = HashMap::new();
-    for f in right.schema().fields() {
-        let new_name = disambiguate(left.schema(), &f.name, &fields[left.schema().len()..]);
-        right_renames.insert(new_name.clone(), f.name.clone());
-        fields.push(Field::new(new_name, f.ty.clone()));
-    }
-    let schema = Schema::new(fields)?;
+    let (schema, right_renames) = join_renames(left, right)?;
 
     // Type-check the predicate against the combined environment.
     let mut env = left.type_env();

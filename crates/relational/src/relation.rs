@@ -55,6 +55,32 @@ impl Relation {
         Relation { schema, methods, tuples: Arc::new(tuples), source, next_row_id }
     }
 
+    /// Internal constructor that adopts an already-shared tuple store
+    /// without copying it — the zero-cost path for operators that change
+    /// only schema-level state (rename) or keep everything (identity
+    /// stream collects).
+    pub(crate) fn from_shared(
+        schema: Schema,
+        methods: Vec<Method>,
+        tuples: Arc<Vec<Tuple>>,
+        source: Option<String>,
+    ) -> Self {
+        let next_row_id = tuples.iter().map(|t| t.row_id + 1).max().unwrap_or(0);
+        Relation { schema, methods, tuples, source, next_row_id }
+    }
+
+    /// The shared tuple store itself (O(1) clone).
+    pub(crate) fn tuples_arc(&self) -> Arc<Vec<Tuple>> {
+        Arc::clone(&self.tuples)
+    }
+
+    /// A relation with this one's schema, methods and provenance but the
+    /// given tuples.  Used by the plan executor to install streamed
+    /// results under a schema-replayed header.
+    pub fn with_tuples(&self, tuples: Vec<Tuple>) -> Relation {
+        Relation::from_parts(self.schema.clone(), self.methods.clone(), tuples, self.source.clone())
+    }
+
     pub fn schema(&self) -> &Schema {
         &self.schema
     }

@@ -1,0 +1,403 @@
+//! Pull-based streaming forms of the relational operators.
+//!
+//! A [`TupleStream`] is a Volcano-style iterator pipeline over one
+//! relation's tuples: each adapter (`restrict`, `project`, `sample`,
+//! `limit`, `distinct`, `rename`, `sort`) consumes the stream below it
+//! and yields tuples on demand, so a chain of operators makes a single
+//! pass with no intermediate `Vec<Tuple>` materializations, and an
+//! early-exiting consumer (`limit`) stops pulling as soon as it is
+//! satisfied.  The batch operators in [`crate::ops`] and
+//! [`crate::aggregate`] are thin wrappers that scan + adapt + collect.
+//!
+//! Semantics are tuple-for-tuple identical to the batch forms: every
+//! adapter enumerates its own input, so the `__seq` pseudo-attribute seen
+//! by predicates and methods at each stage equals the position the tuple
+//! would have had in that stage's materialized input relation.
+//!
+//! A stream that reaches `collect()` without any tuple-level adapter
+//! (plain scan, or scan + rename, which is schema-only) re-shares the
+//! input's `Arc` tuple store instead of copying it.
+
+use crate::aggregate::group_key;
+use crate::error::RelError;
+use crate::ops;
+use crate::relation::{Method, Relation};
+use crate::schema::Schema;
+use crate::tuple::{Tuple, TupleContext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::Arc;
+use tioga2_expr::{eval_predicate, typecheck, Context, Expr, ScalarType, Value};
+
+type TupleIter = Box<dyn Iterator<Item = Result<Tuple, RelError>>>;
+
+enum Inner {
+    /// The untouched tuple store of the scanned relation: collecting this
+    /// shares the `Arc` instead of copying.
+    Whole(Arc<Vec<Tuple>>),
+    Iter(TupleIter),
+}
+
+/// A streaming relational pipeline: a schema-level header (schema,
+/// methods, provenance — with an empty tuple store) plus a lazy tuple
+/// iterator.
+pub struct TupleStream {
+    header: Arc<Relation>,
+    inner: Inner,
+}
+
+fn empty_header(rel: &Relation) -> Relation {
+    rel.with_tuples(Vec::new())
+}
+
+impl TupleStream {
+    /// Start a pipeline over `rel`'s tuples.
+    pub fn scan(rel: &Relation) -> TupleStream {
+        TupleStream { header: Arc::new(empty_header(rel)), inner: Inner::Whole(rel.tuples_arc()) }
+    }
+
+    /// The schema-level shape of the stream at this point (empty tuples).
+    pub fn header(&self) -> &Relation {
+        &self.header
+    }
+
+    fn into_iter_inner(self) -> (Arc<Relation>, TupleIter) {
+        let iter: TupleIter = match self.inner {
+            Inner::Whole(tuples) => {
+                let n = tuples.len();
+                Box::new((0..n).map(move |i| Ok(tuples[i].clone())))
+            }
+            Inner::Iter(it) => it,
+        };
+        (self.header, iter)
+    }
+
+    /// Filter to tuples satisfying `pred` (streaming σ).
+    pub fn restrict(self, pred: &Expr) -> Result<TupleStream, RelError> {
+        let ty = typecheck(pred, &self.header.type_env())?;
+        if ty != ScalarType::Bool {
+            return Err(RelError::Schema(format!("restrict predicate has type {ty}, not bool")));
+        }
+        let (header, input) = self.into_iter_inner();
+        let ctx_rel = Arc::clone(&header);
+        let pred = pred.clone();
+        let mut input = input.enumerate();
+        let iter = std::iter::from_fn(move || {
+            for (seq, item) in input.by_ref() {
+                let t = match item {
+                    Ok(t) => t,
+                    Err(e) => return Some(Err(e)),
+                };
+                let ctx = TupleContext::new(&ctx_rel, &t, seq);
+                match eval_predicate(&pred, &ctx) {
+                    Ok(true) => return Some(Ok(t)),
+                    Ok(false) => continue,
+                    Err(e) => return Some(Err(e.into())),
+                }
+            }
+            None
+        });
+        Ok(TupleStream { header, inner: Inner::Iter(Box::new(iter)) })
+    }
+
+    /// Keep only the named stored fields (streaming π); methods survive
+    /// iff their transitive dependencies do, exactly as in batch project.
+    pub fn project(self, fields: &[&str]) -> Result<TupleStream, RelError> {
+        let (idxs, schema, keep) = project_shape(&self.header, fields)?;
+        let (header, input) = self.into_iter_inner();
+        let new_header =
+            Relation::from_parts(schema, keep, Vec::new(), header.source().map(str::to_string));
+        let iter = input.map(move |item| {
+            item.map(|t| {
+                Tuple::new(t.row_id, idxs.iter().map(|&i| t.values()[i].clone()).collect())
+            })
+        });
+        Ok(TupleStream { header: Arc::new(new_header), inner: Inner::Iter(Box::new(iter)) })
+    }
+
+    /// Keep each tuple independently with probability `p` (streaming
+    /// Sample).  One RNG draw per input tuple, in order, so the kept set
+    /// matches the batch operator for the same seed.
+    pub fn sample(self, p: f64, seed: u64) -> Result<TupleStream, RelError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(RelError::Schema(format!("sample probability {p} outside [0, 1]")));
+        }
+        let (header, input) = self.into_iter_inner();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut input = input;
+        let iter = std::iter::from_fn(move || {
+            for item in input.by_ref() {
+                let t = match item {
+                    Ok(t) => t,
+                    Err(e) => return Some(Err(e)),
+                };
+                if rng.gen::<f64>() < p {
+                    return Some(Ok(t));
+                }
+            }
+            None
+        });
+        Ok(TupleStream { header, inner: Inner::Iter(Box::new(iter)) })
+    }
+
+    /// LIMIT/OFFSET in stream order, with early exit: once `count` tuples
+    /// have been yielded, upstream operators are never pulled again.
+    pub fn limit(self, offset: usize, count: usize) -> TupleStream {
+        let (header, mut input) = self.into_iter_inner();
+        let mut skipped = 0usize;
+        let mut taken = 0usize;
+        let iter = std::iter::from_fn(move || {
+            if taken >= count {
+                return None;
+            }
+            for item in input.by_ref() {
+                let t = match item {
+                    Ok(t) => t,
+                    Err(e) => return Some(Err(e)),
+                };
+                if skipped < offset {
+                    skipped += 1;
+                    continue;
+                }
+                taken += 1;
+                return Some(Ok(t));
+            }
+            None
+        });
+        TupleStream { header, inner: Inner::Iter(Box::new(iter)) }
+    }
+
+    /// First tuple of each distinct key (streaming Distinct; empty
+    /// `attrs` keys on every stored field).
+    pub fn distinct(self, attrs: &[&str]) -> Result<TupleStream, RelError> {
+        let names: Vec<String> = if attrs.is_empty() {
+            self.header.schema().names().map(str::to_string).collect()
+        } else {
+            for a in attrs {
+                if !self.header.has_attr(a) {
+                    return Err(RelError::UnknownAttribute(a.to_string()));
+                }
+            }
+            attrs.iter().map(|s| s.to_string()).collect()
+        };
+        let (header, input) = self.into_iter_inner();
+        let ctx_rel = Arc::clone(&header);
+        let mut seen = HashSet::new();
+        let mut input = input.enumerate();
+        let iter = std::iter::from_fn(move || {
+            for (seq, item) in input.by_ref() {
+                let t = match item {
+                    Ok(t) => t,
+                    Err(e) => return Some(Err(e)),
+                };
+                let ctx = TupleContext::new(&ctx_rel, &t, seq);
+                let vals: Vec<Value> =
+                    names.iter().map(|n| ctx.get(n).unwrap_or(Value::Null)).collect();
+                if seen.insert(group_key(&vals)) {
+                    return Some(Ok(t));
+                }
+            }
+            None
+        });
+        Ok(TupleStream { header, inner: Inner::Iter(Box::new(iter)) })
+    }
+
+    /// Rename a stored field.  Schema-only: tuples pass through untouched,
+    /// so a pristine scan stays pristine (the `Arc` store is re-shared on
+    /// collect).
+    pub fn rename(self, from: &str, to: &str) -> Result<TupleStream, RelError> {
+        let new_header = crate::aggregate::rename(&self.header, from, to)?;
+        Ok(TupleStream { header: Arc::new(new_header), inner: self.inner })
+    }
+
+    /// Sort by the given keys (pipeline breaker: drains the stream,
+    /// delegates to the batch sort, and re-streams the result).
+    pub fn sort(self, keys: &[(&str, bool)]) -> Result<TupleStream, RelError> {
+        let rel = self.collect()?;
+        Ok(TupleStream::scan(&ops::sort(&rel, keys)?))
+    }
+
+    /// Replace the stream's schema-level header with `rel`'s (empty-tuple)
+    /// shape.  The stored fields must match by name and type in order;
+    /// methods and provenance may differ — this is how the plan executor
+    /// installs display-layer headers (whose re-defaulted methods the bare
+    /// relational operators do not know about) so that downstream
+    /// predicates can reference them.
+    pub fn with_header(self, rel: &Relation) -> Result<TupleStream, RelError> {
+        if rel.schema() != self.header.schema() {
+            return Err(RelError::Schema(format!(
+                "stream header mismatch: stream has {:?}, replacement has {:?}",
+                self.header.schema().names().collect::<Vec<_>>(),
+                rel.schema().names().collect::<Vec<_>>()
+            )));
+        }
+        Ok(TupleStream { header: Arc::new(empty_header(rel)), inner: self.inner })
+    }
+
+    /// Drain the stream into a relation under the current header.
+    pub fn collect(self) -> Result<Relation, RelError> {
+        let schema = self.header.schema().clone();
+        let methods = self.header.methods().to_vec();
+        let source = self.header.source().map(str::to_string);
+        match self.inner {
+            Inner::Whole(tuples) => Ok(Relation::from_shared(schema, methods, tuples, source)),
+            Inner::Iter(iter) => {
+                let tuples = iter.collect::<Result<Vec<Tuple>, RelError>>()?;
+                Ok(Relation::from_parts(schema, methods, tuples, source))
+            }
+        }
+    }
+}
+
+/// The schema-level shape of a projection: stored-field indices to keep,
+/// the projected schema, and the surviving methods (fixpoint over
+/// transitive dependencies).  Shared by the batch and streaming forms.
+pub(crate) fn project_shape(
+    rel: &Relation,
+    fields: &[&str],
+) -> Result<(Vec<usize>, Schema, Vec<Method>), RelError> {
+    let mut idxs = Vec::with_capacity(fields.len());
+    let mut new_fields = Vec::with_capacity(fields.len());
+    for &f in fields {
+        let i =
+            rel.schema().index_of(f).ok_or_else(|| RelError::UnknownAttribute(f.to_string()))?;
+        idxs.push(i);
+        new_fields.push(rel.schema().fields()[i].clone());
+    }
+    let schema = Schema::new(new_fields)?;
+
+    // Iteratively keep methods whose deps all resolve.
+    let mut keep: Vec<Method> = Vec::new();
+    let mut changed = true;
+    let mut remaining: Vec<&Method> = rel.methods().iter().collect();
+    while changed {
+        changed = false;
+        remaining.retain(|m| {
+            let ok = m.def.referenced_attrs().iter().all(|a| {
+                a == crate::SEQ_ATTR
+                    || schema.index_of(a).is_some()
+                    || keep.iter().any(|k| &k.name == a)
+            });
+            if ok {
+                keep.push((*m).clone());
+                changed = true;
+                false
+            } else {
+                true
+            }
+        });
+    }
+    Ok((idxs, schema, keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use tioga2_expr::{parse, ScalarType as T, Value};
+
+    fn nums(n: i64) -> Relation {
+        let mut b = RelationBuilder::new().field("v", T::Int).field("w", T::Int);
+        for i in 0..n {
+            b = b.row(vec![Value::Int(i), Value::Int(i * 10)]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn scan_collect_shares_storage() {
+        let r = nums(5);
+        let out = TupleStream::scan(&r).collect().unwrap();
+        assert_eq!(out, r);
+        assert!(std::ptr::eq(r.tuples().as_ptr(), out.tuples().as_ptr()), "no copy");
+    }
+
+    #[test]
+    fn rename_keeps_shared_storage() {
+        let r = nums(5);
+        let out = TupleStream::scan(&r).rename("v", "x").unwrap().collect().unwrap();
+        assert!(out.has_attr("x") && !out.has_attr("v"));
+        assert!(std::ptr::eq(r.tuples().as_ptr(), out.tuples().as_ptr()), "schema-only change");
+    }
+
+    #[test]
+    fn chained_stream_matches_batch() {
+        let r = nums(100);
+        let pred = parse("v % 3 = 0").unwrap();
+        let streamed = TupleStream::scan(&r)
+            .restrict(&pred)
+            .unwrap()
+            .project(&["w"])
+            .unwrap()
+            .limit(2, 5)
+            .collect()
+            .unwrap();
+        let batch =
+            crate::limit(&ops::project(&ops::restrict(&r, &pred).unwrap(), &["w"]).unwrap(), 2, 5);
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn limit_exits_early() {
+        let r = nums(1_000);
+        let count = std::rc::Rc::new(std::cell::Cell::new(0usize));
+        let c2 = count.clone();
+        let (header, input) = TupleStream::scan(&r).into_iter_inner();
+        let counted = input.inspect(move |_| c2.set(c2.get() + 1));
+        let s = TupleStream { header, inner: Inner::Iter(Box::new(counted)) };
+        assert_eq!(s.limit(1, 4).collect().unwrap().len(), 4);
+        assert_eq!(count.get(), 5, "limit pulled exactly offset + count tuples");
+    }
+
+    #[test]
+    fn sample_matches_batch_for_same_seed() {
+        let r = nums(200);
+        let streamed = TupleStream::scan(&r).sample(0.3, 42).unwrap().collect().unwrap();
+        let batch = ops::sample(&r, 0.3, 42).unwrap();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn distinct_streams_first_occurrences() {
+        let mut b = RelationBuilder::new().field("k", T::Int).field("v", T::Int);
+        for (k, v) in [(1, 10), (2, 20), (1, 30), (2, 40), (3, 50)] {
+            b = b.row(vec![Value::Int(k), Value::Int(v)]);
+        }
+        let r = b.build().unwrap();
+        let streamed = TupleStream::scan(&r).distinct(&["k"]).unwrap().collect().unwrap();
+        let batch = crate::distinct(&r, &["k"]).unwrap();
+        assert_eq!(streamed, batch);
+        assert_eq!(streamed.len(), 3);
+    }
+
+    #[test]
+    fn restrict_sees_stage_local_seq() {
+        // After a restrict, a downstream __seq predicate must see the
+        // *compacted* positions, exactly as in batch evaluation.
+        let r = nums(10);
+        let streamed = TupleStream::scan(&r)
+            .restrict(&parse("v >= 5").unwrap())
+            .unwrap()
+            .restrict(&parse("__seq < 2").unwrap())
+            .unwrap()
+            .collect()
+            .unwrap();
+        let batch = ops::restrict(
+            &ops::restrict(&r, &parse("v >= 5").unwrap()).unwrap(),
+            &parse("__seq < 2").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(streamed, batch);
+        assert_eq!(streamed.len(), 2);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let r = nums(3);
+        assert!(TupleStream::scan(&r).restrict(&parse("v").unwrap()).is_err(), "non-bool");
+        assert!(TupleStream::scan(&r).project(&["nope"]).is_err());
+        assert!(TupleStream::scan(&r).sample(1.5, 0).is_err());
+        assert!(TupleStream::scan(&r).distinct(&["nope"]).is_err());
+    }
+}

@@ -31,9 +31,11 @@ pub mod render_pass;
 pub mod slaving;
 pub mod viewer;
 pub mod widgets;
+pub mod window;
 
 pub use error::ViewError;
 pub use index::{compose_scene_indexed, SpatialIndex};
 pub use navigator::{Navigator, TravelRecord};
 pub use render_pass::{compose_scene, data_bounds, CullOptions, Slider};
 pub use viewer::{Viewer, ViewerPosition};
+pub use window::window_predicate;

@@ -145,10 +145,7 @@ impl Navigator {
         let result = self.zoom_inner(factor);
         self.recorder.span_end(
             span,
-            &[
-                ("ok", result.is_ok() as i64),
-                ("traversed", matches!(result, Ok(Some(_))) as i64),
-            ],
+            &[("ok", result.is_ok() as i64), ("traversed", matches!(result, Ok(Some(_))) as i64)],
         );
         result
     }

@@ -44,7 +44,7 @@ impl Default for CullOptions {
 
 /// Margin factor applied to the visible rectangle so shapes whose anchor
 /// sits just off-screen still draw their on-screen parts.
-const BOUNDS_MARGIN: f64 = 0.25;
+pub(crate) const BOUNDS_MARGIN: f64 = 0.25;
 
 /// Build the scene for `composite` as seen from `elevation` within the
 /// world rectangle `bounds = (min_x, min_y, max_x, max_y)`.

@@ -1,0 +1,228 @@
+//! Synthesizing the viewer's window as a relational predicate.
+//!
+//! Paper §2: the viewer "filters tuples to the ranges specified by the
+//! sliders ... and filters tuples to the visible real estate on the
+//! screen".  [`compose_scene`](crate::render_pass::compose_scene) does
+//! that filtering tuple-by-tuple at render time; [`window_predicate`]
+//! expresses the *same* filter as an [`Expr`] so the engine's plan layer
+//! can push it into the demanded chain and never materialize the
+//! off-screen tuples at all.
+//!
+//! The predicate is built to be **conservative**: it only ever drops a
+//! tuple `compose_scene` would also drop (the compose pass still runs on
+//! the filtered relation, so partial coverage is always safe).  Each
+//! conjunct replicates the compose-time arithmetic exactly — `attr +
+//! offset` compared against the same precomputed bound, so floating
+//! point rounds identically — and three-valued logic matches the NaN /
+//! Null skip rules (a Null attribute makes the conjunct Null, dropping
+//! the tuple, just as compose skips NaN positions).
+
+use crate::render_pass::BOUNDS_MARGIN;
+use crate::viewer::Viewer;
+use tioga2_display::DisplayRelation;
+use tioga2_expr::{BinOp, Expr, Value};
+use tioga2_relational::{ops, SEQ_ATTR};
+
+/// The window filter of `viewer` over `dr`'s tuples, as a predicate on
+/// `dr`'s attributes — or `None` when filtering early would be unsound
+/// or useless:
+///
+/// * a location attribute or the active display attribute depends
+///   (transitively, through method definitions) on `__seq` — dropping a
+///   tuple renumbers the rest, changing what the survivors look like
+///   (the default table layout `y = -__seq * 12` is the canonical case);
+/// * bounds culling is disabled and there are no sliders;
+/// * the viewer is unfitted (non-finite bounds);
+/// * the predicate does not type-check against the relation (e.g. a
+///   text-typed location attribute, which compose renders as NaN).
+pub fn window_predicate(viewer: &Viewer, dr: &DisplayRelation) -> Option<Expr> {
+    let loc = dr.location_attrs();
+    if loc.len() < 2 || dr.display_attrs().is_empty() {
+        return None;
+    }
+    // Position-dependence check: the closure of every attribute the
+    // renderer reads per tuple must avoid __seq.
+    let mut watched: Vec<&str> = loc.iter().map(String::as_str).collect();
+    watched.push(dr.active_display());
+    for attr in watched {
+        let closure = Expr::Attr(attr.to_string())
+            .referenced_attrs_closure(|name| dr.rel.method(name).map(|m| m.def.clone()));
+        if closure.iter().any(|n| n == SEQ_ATTR) {
+            return None;
+        }
+    }
+
+    let mut conjs: Vec<Expr> = Vec::new();
+    if viewer.cull.bounds {
+        let (min_x, min_y, max_x, max_y) = viewer.viewport().world_bounds();
+        let mx = (max_x - min_x).abs() * BOUNDS_MARGIN;
+        let my = (max_y - min_y).abs() * BOUNDS_MARGIN;
+        conjs.extend(range_conj(&loc[0], dr.offset[0], min_x - mx, max_x + mx));
+        conjs.extend(range_conj(&loc[1], dr.offset[1], min_y - my, max_y + my));
+    }
+    // Sliders are matched to location attributes by dimension name,
+    // exactly as compose_scene maps them; ranges are inclusive.
+    for s in &viewer.position.sliders {
+        if let Some(i) = loc.iter().position(|a| *a == s.dim) {
+            conjs.extend(range_conj(&loc[i], dr.offset[i], s.range.0, s.range.1));
+        }
+    }
+    if conjs.is_empty() {
+        return None;
+    }
+    let pred = conjs
+        .into_iter()
+        .reduce(|a, b| Expr::Binary(BinOp::And, Box::new(a), Box::new(b)))
+        .expect("non-empty");
+
+    // Dry-run type check against an emptied copy of the relation: if the
+    // restrict would not accept the predicate (say, a text location
+    // attribute), fall back to unfiltered demand.
+    let probe = dr.rel.with_tuples(Vec::new());
+    if ops::restrict(&probe, &pred).is_err() {
+        return None;
+    }
+    Some(pred)
+}
+
+/// `lo <= attr + off && attr + off <= hi`, with the same f64 arithmetic
+/// compose uses (`off` elided when zero).  Non-finite bounds (unfitted
+/// viewer, infinite slider range) produce no conjunct.
+fn range_conj(attr: &str, off: f64, lo: f64, hi: f64) -> Vec<Expr> {
+    if !lo.is_finite() || !hi.is_finite() {
+        return Vec::new();
+    }
+    let v = || {
+        let a = Expr::Attr(attr.to_string());
+        if off == 0.0 {
+            a
+        } else {
+            Expr::Binary(BinOp::Add, Box::new(a), Box::new(Expr::Literal(Value::Float(off))))
+        }
+    };
+    vec![Expr::Binary(
+        BinOp::And,
+        Box::new(Expr::Binary(BinOp::Ge, Box::new(v()), Box::new(Expr::Literal(Value::Float(lo))))),
+        Box::new(Expr::Binary(BinOp::Le, Box::new(v()), Box::new(Expr::Literal(Value::Float(hi))))),
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render_pass::{compose_scene, CullOptions};
+    use tioga2_display::defaults::make_display_relation;
+    use tioga2_display::Composite;
+    use tioga2_expr::ScalarType as T;
+    use tioga2_relational::relation::RelationBuilder;
+
+    /// A relation whose x/y are stored fields, so positions do not
+    /// depend on `__seq`.
+    fn scatter() -> DisplayRelation {
+        let mut b =
+            RelationBuilder::new().field("name", T::Text).field("x", T::Float).field("y", T::Float);
+        for (n, x, y) in
+            [("a", 0.0, 0.0), ("b", 50.0, 50.0), ("c", 200.0, 200.0), ("d", -300.0, 10.0)]
+        {
+            b = b.row(vec![
+                tioga2_expr::Value::Text(n.into()),
+                tioga2_expr::Value::Float(x),
+                tioga2_expr::Value::Float(y),
+            ]);
+        }
+        make_display_relation(b.build().unwrap(), "pts").unwrap()
+    }
+
+    fn fitted_viewer(dr: &DisplayRelation) -> Viewer {
+        let mut v = Viewer::new("main", 100, 100);
+        let composite = Composite::new(vec![dr.clone()]).unwrap();
+        v.fit(&composite).unwrap();
+        v
+    }
+
+    #[test]
+    fn predicate_keeps_exactly_what_compose_keeps() {
+        let dr = scatter();
+        let mut v = fitted_viewer(&dr);
+        // Zoom in so some points fall outside the window + margin.
+        v.zoom(0.2);
+        let pred = window_predicate(&v, &dr).expect("stored x/y is filterable");
+
+        let full = Composite::new(vec![dr.clone()]).unwrap();
+        let scene_full = v.scene(&full).unwrap();
+
+        let filtered_rel = ops::restrict(&dr.rel, &pred).unwrap();
+        assert!(filtered_rel.len() < dr.rel.len(), "zoomed window must cull");
+        let mut fdr = dr.clone();
+        fdr.rel = filtered_rel;
+        let scene_filtered = v.scene(&Composite::new(vec![fdr]).unwrap()).unwrap();
+
+        let ids = |s: &tioga2_render::Scene| {
+            let mut v: Vec<u64> = s.items.iter().map(|i| i.provenance.row_id).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids(&scene_full), ids(&scene_filtered));
+    }
+
+    #[test]
+    fn position_dependent_layout_refuses_predicate() {
+        // Default layout: y = -__seq * 12 — filtering would re-stack the
+        // survivors, so no predicate may be synthesized.
+        let b = RelationBuilder::new()
+            .field("name", T::Text)
+            .row(vec![tioga2_expr::Value::Text("a".into())])
+            .row(vec![tioga2_expr::Value::Text("b".into())]);
+        let dr = make_display_relation(b.build().unwrap(), "list").unwrap();
+        let v = fitted_viewer(&dr);
+        assert!(window_predicate(&v, &dr).is_none());
+    }
+
+    #[test]
+    fn slider_ranges_become_conjuncts() {
+        let mut dr = scatter();
+        // Add a slider dimension: a third location attribute.
+        dr.rel = {
+            let mut b = RelationBuilder::new()
+                .field("x", T::Float)
+                .field("y", T::Float)
+                .field("depth", T::Float);
+            for (x, y, d) in [(0.0, 0.0, 1.0), (10.0, 10.0, 5.0), (20.0, 20.0, 9.0)] {
+                b = b.row(vec![
+                    tioga2_expr::Value::Float(x),
+                    tioga2_expr::Value::Float(y),
+                    tioga2_expr::Value::Float(d),
+                ]);
+            }
+            b.build().unwrap()
+        };
+        let mut dr = make_display_relation(dr.rel, "cube").unwrap();
+        dr.push_location_attr("depth").unwrap();
+        let mut v = fitted_viewer(&dr);
+        v.set_slider("depth", 2.0, 8.0).unwrap();
+        let pred = window_predicate(&v, &dr).expect("slider over stored field");
+        let filtered = ops::restrict(&dr.rel, &pred).unwrap();
+        assert_eq!(filtered.len(), 1, "only depth=5 survives the slider");
+
+        // Equivalence with compose on the full relation.
+        let scene = compose_scene(
+            &Composite::new(vec![dr.clone()]).unwrap(),
+            v.position.elevation,
+            &v.position.sliders,
+            v.viewport().world_bounds(),
+            CullOptions::default(),
+        )
+        .unwrap();
+        // One tuple survives (its display may emit several drawables).
+        assert!(!scene.items.is_empty());
+        assert!(scene.items.iter().all(|i| i.provenance.seq == 1));
+    }
+
+    #[test]
+    fn disabled_bounds_cull_without_sliders_yields_none() {
+        let dr = scatter();
+        let mut v = fitted_viewer(&dr);
+        v.cull.bounds = false;
+        assert!(window_predicate(&v, &dr).is_none());
+    }
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus lint: what every PR must keep green.
 #
-#   cargo build --release   — workspace builds clean
+#   cargo fmt --check       — formatting is canonical
+#   cargo fmt --all -- --check
+cargo build --release   — workspace builds clean
 #   cargo test -q           — root-package tests (tier-1 contract)
 #   cargo clippy -D warnings — workspace-wide lint, warnings are errors
 #
@@ -13,4 +15,4 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 
-echo "ci: build + tests + clippy all green"
+echo "ci: fmt + build + tests + clippy all green"

@@ -116,8 +116,7 @@ impl Bencher {
         black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
         let target = Duration::from_millis(20);
-        self.iters_per_sample =
-            (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
 
         for _ in 0..self.sample_size {
             let start = Instant::now();

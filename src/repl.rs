@@ -118,6 +118,7 @@ Tioga-2 REPL — every command is one paper operation.
   back                                 rear-view 'go home'
   undo | redo
   save <name> | load <name> | new
+  :explain <node>                      the streaming plan + rewrites for a box
   :stats                               engine counters + trace summary
   :trace on|off                        collect spans/histograms
   :trace export <path>                 Chrome trace JSON (Perfetto)
@@ -573,6 +574,11 @@ pub fn run_line(session: &mut Session, line: &str) -> ReplResult {
             session.new_program();
             msg("new program".to_string())
         }
+        ":explain" | "explain" => {
+            need(1)?;
+            let id = node(args[0])?;
+            msg(session.explain(id, 0).map_err(err)?.trim_end().to_string())
+        }
         ":stats" | "stats" => {
             let st = session.engine_stats();
             let mut out = format!(
@@ -592,8 +598,7 @@ pub fn run_line(session: &mut Session, line: &str) -> ReplResult {
             need(1)?;
             match args[0] {
                 "on" => {
-                    session
-                        .set_recorder(std::sync::Arc::new(crate::obs::InMemoryRecorder::new()));
+                    session.set_recorder(std::sync::Arc::new(crate::obs::InMemoryRecorder::new()));
                     msg("tracing on".to_string())
                 }
                 "off" => {
@@ -660,6 +665,24 @@ mod tests {
         let rendered = ok(&mut s, "render main fig1_repl");
         assert!(rendered.contains("out/fig1_repl.ppm"));
         assert!(ok(&mut s, "program").contains("Viewer[main]"));
+    }
+
+    #[test]
+    fn explain_shows_plan_and_rewrites() {
+        let mut s = session();
+        ok(&mut s, "table Stations");
+        ok(&mut s, "restrict 0 state = 'LA'");
+        ok(&mut s, "project 1 name,altitude");
+        ok(&mut s, "restrict 2 altitude > 10");
+        let m = ok(&mut s, ":explain 3");
+        assert!(m.contains("plan for #3.0:"), "{m}");
+        assert!(m.contains("rewrites:"), "{m}");
+        assert!(m.contains("fuse_restricts") || m.contains("push_restrict_below_project"), "{m}");
+        assert!(m.contains("optimized:"), "{m}");
+        // A lone table has nothing to plan.
+        let m = ok(&mut s, "explain 0");
+        assert!(m.contains("no relational chain"), "{m}");
+        assert!(run_line(&mut s, ":explain zebra").is_err());
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Property test: planned, streamed, *rewritten* execution of a random
+//! relational box chain is indistinguishable from the naive
+//! box-at-a-time demand — schema, methods, display metadata, tuple
+//! contents, tuple order and row ids all equal.  See DESIGN.md "Plan
+//! layer".
+
+use proptest::prelude::*;
+use tioga2::dataflow::boxes::{BoxKind, RelOpKind};
+use tioga2::dataflow::{Engine, Graph};
+use tioga2::display::{DisplayRelation, Displayable};
+use tioga2::expr::{parse, ScalarType, Value};
+use tioga2::relational::relation::RelationBuilder;
+use tioga2::relational::{Catalog, Relation};
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((any::<i64>(), -1e6f64..1e6, "[a-z]{0,4}"), 0..40).prop_map(|rows| {
+        let mut b = RelationBuilder::new()
+            .field("k", ScalarType::Int)
+            .field("v", ScalarType::Float)
+            .field("s", ScalarType::Text);
+        for (k, v, s) in rows {
+            b = b.row(vec![Value::Int(k), Value::Float(v), Value::Text(s)]);
+        }
+        b.build().unwrap()
+    })
+}
+
+/// One op per seed triple, decoded against the columns still present at
+/// that point in the chain so every generated program is total (no
+/// dangling attribute references, no name collisions).
+fn decode_ops(seeds: &[(u8, u64, u64)]) -> Vec<RelOpKind> {
+    let mut cols: Vec<(String, ScalarType)> = vec![
+        ("k".into(), ScalarType::Int),
+        ("v".into(), ScalarType::Float),
+        ("s".into(), ScalarType::Text),
+    ];
+    let mut kinds = Vec::new();
+    for (i, &(tag, a, b)) in seeds.iter().enumerate() {
+        let pick = |x: u64| cols[(x as usize) % cols.len()].clone();
+        match tag % 7 {
+            0 => {
+                let (c, t) = pick(a);
+                let p = match t {
+                    ScalarType::Int => format!("{c} > {}", (a % 100) as i64 - 50),
+                    ScalarType::Float => {
+                        format!("{c} <= {:.1}", (b % 2000) as f64 / 10.0 - 100.0)
+                    }
+                    _ => format!("{c} <> 'q'"),
+                };
+                kinds.push(RelOpKind::Restrict(parse(&p).unwrap()));
+            }
+            1 => {
+                let mut keep: Vec<(String, ScalarType)> = cols
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| (a >> j) & 1 == 1)
+                    .map(|(_, c)| c.clone())
+                    .collect();
+                if keep.is_empty() {
+                    keep = cols.clone();
+                }
+                kinds.push(RelOpKind::Project(keep.iter().map(|c| c.0.clone()).collect()));
+                cols = keep;
+            }
+            2 => kinds.push(RelOpKind::Sample { p: (a % 101) as f64 / 100.0, seed: b }),
+            3 => {
+                let mut keys = vec![(pick(a).0, a & 1 == 0)];
+                if b & 1 == 1 {
+                    let k2 = pick(b).0;
+                    if k2 != keys[0].0 {
+                        keys.push((k2, b & 2 == 0));
+                    }
+                }
+                kinds.push(RelOpKind::Sort(keys));
+            }
+            4 => {
+                let cs = if a % 2 == 0 { Vec::new() } else { vec![pick(b).0] };
+                kinds.push(RelOpKind::Distinct(cs));
+            }
+            5 => {
+                kinds.push(RelOpKind::Limit { offset: (a % 10) as usize, count: (b % 20) as usize })
+            }
+            6 => {
+                let (from, t) = pick(a);
+                let to = format!("r{i}");
+                let idx = cols.iter().position(|c| c.0 == from).unwrap();
+                cols[idx] = (to.clone(), t);
+                kinds.push(RelOpKind::Rename { from, to });
+            }
+            _ => unreachable!(),
+        }
+    }
+    kinds
+}
+
+fn dr_of(d: Displayable) -> DisplayRelation {
+    match d {
+        Displayable::R(dr) => dr,
+        other => panic!("expected R, got {}", other.type_tag()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// demand == demand_planned (rewrites off) == demand_planned
+    /// (rewrites on), for any total chain of the seven plannable ops.
+    #[test]
+    fn planned_equals_naive(
+        rel in arb_relation(),
+        seeds in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..6),
+    ) {
+        let kinds = decode_ops(&seeds);
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("T".into()));
+        let mut prev = t;
+        for kind in kinds {
+            let n = g.add(BoxKind::rel(kind));
+            g.connect(prev, 0, n, 0).unwrap();
+            prev = n;
+        }
+        let mk = || {
+            let c = Catalog::new();
+            c.register("T", rel.clone());
+            Engine::new(c)
+        };
+        let naive =
+            dr_of(mk().demand(&g, prev, 0).unwrap().into_displayable().unwrap());
+        let raw = dr_of(
+            mk().demand_planned_opts(&g, prev, 0, false, None)
+                .unwrap().into_displayable().unwrap(),
+        );
+        let opt = dr_of(
+            mk().demand_planned_opts(&g, prev, 0, true, None)
+                .unwrap().into_displayable().unwrap(),
+        );
+        prop_assert_eq!(&naive, &raw);
+        prop_assert_eq!(&naive, &opt);
+    }
+}
