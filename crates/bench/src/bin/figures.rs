@@ -16,7 +16,7 @@ use tioga2_core::Session;
 use tioga2_display::compose::PartitionSpec;
 use tioga2_display::{Displayable, Layout, Selection};
 use tioga2_expr::{parse, ScalarType as T};
-use tioga2_obs::{Histogram, InMemoryRecorder};
+use tioga2_obs::{Histogram, InMemoryRecorder, Recorder};
 use tioga2_viewer::magnifier::Magnifier;
 
 fn save(s: &mut Session, canvas: &str, file: &str) -> Result<usize, Box<dyn std::error::Error>> {
@@ -39,12 +39,20 @@ fn save(s: &mut Session, canvas: &str, file: &str) -> Result<usize, Box<dyn std:
 struct FigureStats {
     name: String,
     wall_ms: f64,
+    threads: usize,
     box_evals: u64,
     cache_hits: u64,
     rows_in: u64,
     rows_out: u64,
     spans: usize,
     histograms: Vec<(String, Histogram)>,
+}
+
+/// Hardware parallelism of the machine the figures ran on; recorded in
+/// the JSON so the A6 scaling numbers can be judged in context (a 1-core
+/// container cannot show a speedup no matter how many workers run).
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Collects per-figure stats and serializes them to `BENCH_figures.json`.
@@ -70,6 +78,7 @@ impl Report {
         self.figures.push(FigureStats {
             name: name.to_string(),
             wall_ms,
+            threads: s.threads(),
             box_evals: st.box_evals,
             cache_hits: st.cache_hits,
             rows_in: st.rows_in,
@@ -82,11 +91,13 @@ impl Report {
     fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"seed\": \"{:#x}\",\n", tioga2_bench::SEED));
+        out.push_str(&format!("  \"cores\": {},\n", cores()));
         out.push_str("  \"figures\": [\n");
         for (i, f) in self.figures.iter().enumerate() {
             out.push_str("    {\n");
             out.push_str(&format!("      \"name\": \"{}\",\n", f.name));
             out.push_str(&format!("      \"wall_ms\": {:.3},\n", f.wall_ms));
+            out.push_str(&format!("      \"threads\": {},\n", f.threads));
             out.push_str(&format!("      \"box_evals\": {},\n", f.box_evals));
             out.push_str(&format!("      \"cache_hits\": {},\n", f.cache_hits));
             out.push_str(&format!("      \"rows_in\": {},\n", f.rows_in));
@@ -425,6 +436,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             return Err("A5: window pushdown never fired".into());
         }
         report.finish("a5_plan_pushdown", &s, &rec);
+    }
+
+    // --------------------------------------- A6: parallel plan scaling
+    {
+        use tioga2_bench::points_catalog;
+        // The same windowed 100k-point restrict as A5 (minus the sort, so
+        // the whole chain partitions), re-demanded with a slightly
+        // different window each iteration: the Table memo stays warm, the
+        // plan cache misses, and every render re-runs the scan + restrict
+        // — the part the worker pool is supposed to speed up.
+        const ITERS: usize = 6;
+        let mut wall = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut s = session(points_catalog(100_000));
+            s.set_threads(threads);
+            let rec = report.begin(&mut s);
+            let t = s.add_table("Points")?;
+            let r = s.restrict(t, "mass >= 0.0")?;
+            s.add_viewer(r, "a6")?;
+            s.render("a6")?; // fit: one full naive demand, memoized
+            s.zoom("a6", 0.04)?;
+            let t0 = Instant::now();
+            for i in 0..ITERS {
+                s.zoom("a6", 1.0 + (i as f64 + 1.0) * 1e-9)?;
+                s.render("a6")?;
+            }
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let segments = rec.counter("plan.parallel.segments").unwrap_or(0);
+            if threads > 1 && segments == 0 {
+                return Err(format!("A6: no parallel segments at {threads} threads").into());
+            }
+            println!(
+                "[A6] {ITERS} windowed renders of 100k points at {threads} worker(s): \
+                 {ms:.1} ms ({segments} parallel segments)"
+            );
+            wall.push(ms);
+            report.finish(&format!("a6_parallel_scaling_t{threads}"), &s, &rec);
+        }
+        let speedup = wall[0] / wall[2];
+        let cores = cores();
+        println!("[A6] 4-worker speedup {speedup:.2}x on {cores} core(s)\n");
+        // The acceptance bar only means something when the hardware can
+        // actually run 4 workers at once.
+        if cores >= 4 && speedup < 1.8 {
+            return Err(format!("A6: speedup {speedup:.2}x < 1.8x on {cores} cores").into());
+        }
     }
 
     std::fs::write("BENCH_figures.json", report.to_json())?;

@@ -147,6 +147,19 @@ impl Session {
         self.engine.stats
     }
 
+    /// Worker count for partition-parallel plan execution.
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
+    }
+
+    /// Set the worker count for this session's engine and the
+    /// process-wide default (so future engines inherit it).  Purely an
+    /// execution strategy — results are identical at any setting.
+    pub fn set_threads(&mut self, n: usize) {
+        self.engine.set_threads(n);
+        tioga2_relational::par::set_threads(n);
+    }
+
     // ------------------------------------------------------------ edits
 
     /// Run one journaled edit.  On failure the program is rolled back, so

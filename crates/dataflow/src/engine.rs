@@ -72,6 +72,9 @@ pub struct Engine {
     plan_cache: HashMap<(NodeId, usize), PlanCacheEntry>,
     pub stats: EvalStats,
     recorder: Arc<dyn Recorder>,
+    /// Worker count for partition-parallel plan execution; copied from
+    /// [`tioga2_relational::par::threads`] at construction.
+    threads: usize,
 }
 
 fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
@@ -93,11 +96,29 @@ impl Engine {
             plan_cache: HashMap::new(),
             stats: EvalStats::default(),
             recorder: tioga2_obs::noop(),
+            threads: tioga2_relational::par::threads(),
         }
     }
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Worker count used by partition-parallel plan execution.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Override this engine's worker count (clamped to >= 1).  Purely an
+    /// execution strategy: results are identical at any setting, so the
+    /// plan cache is *not* invalidated.
+    pub fn set_threads(&mut self, n: usize) {
+        self.threads = n.max(1);
+    }
+
+    /// Number of live plan-cache entries (tests & diagnostics).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
     }
 
     /// Install an instrumentation sink.  Sub-engines spawned for
@@ -115,9 +136,10 @@ impl Engine {
     /// `cache.invalidations` counter event with the number of entries
     /// evicted journaled alongside.
     pub fn invalidate_all(&mut self) {
-        let evicted = self.cache.len() as u64;
+        // Plan results embed base-table contents too: same lifetime, and
+        // the counter reports both kinds of evicted entries.
+        let evicted = (self.cache.len() + self.plan_cache.len()) as u64;
         self.cache.clear();
-        // Plan results embed base-table contents too: same lifetime.
         self.plan_cache.clear();
         self.recorder.add("cache.invalidations", 1);
         self.recorder.add("cache.invalidated_entries", evicted);
@@ -199,6 +221,10 @@ impl Engine {
             words.push(p as u64);
         }
         let fp = fnv1a(words);
+        // Sweep entries whose root box no longer exists: fingerprints are
+        // keyed by `(node, port)`, so a deleted box's entry would
+        // otherwise linger for the whole session.
+        self.plan_cache.retain(|(n, _), _| graph.node(*n).is_ok());
         if let Some(entry) = self.plan_cache.get(&(node, port)) {
             if entry.fp == fp {
                 self.recorder.add("plan.cache_hits", 1);
@@ -235,19 +261,28 @@ impl Engine {
         } else {
             SpanId::NONE
         };
-        let result = plan::execute(&exec_plan, &final_header, &srcs);
+        let result = plan::execute_opts(&exec_plan, &final_header, &srcs, self.threads);
+        if let Ok((_, es)) = &result {
+            if es.par_segments > 0 {
+                self.recorder.add("plan.parallel.segments", es.par_segments);
+                self.recorder.add("plan.parallel.rows", es.par_rows);
+            }
+        }
         if !span.is_none() {
-            let rows = result.as_ref().map_or(-1, |dr| dr.rel.len() as i64);
+            let rows = result.as_ref().map_or(-1, |(dr, _)| dr.rel.len() as i64);
+            let segs = result.as_ref().map_or(0, |(_, es)| es.par_segments as i64);
             self.recorder.span_end(
                 span,
                 &[
                     ("plan_ops", exec_plan.op_count() as i64),
                     ("rewrites", rw.total() as i64),
                     ("rows_out", rows),
+                    ("threads", self.threads as i64),
+                    ("par_segments", segs),
                 ],
             );
         }
-        let data = Data::D(Displayable::R(result?));
+        let data = Data::D(Displayable::R(result?.0));
         self.plan_cache.insert((node, port), PlanCacheEntry { fp, output: data.clone() });
         Ok(data)
     }

@@ -23,7 +23,7 @@ use tioga2_display::defaults::redefault;
 use tioga2_display::DisplayRelation;
 use tioga2_expr::{BinOp, Expr};
 use tioga2_relational::ops::{self, join_renames};
-use tioga2_relational::{Relation, TupleStream, SEQ_ATTR};
+use tioga2_relational::{ParPipeline, Relation, TupleStream, SEQ_ATTR};
 
 use crate::boxes::RelOpKind;
 
@@ -743,6 +743,17 @@ fn try_push_below_join(
     }
 }
 
+/// Per-execution observability: how much of the plan ran on the
+/// partition-parallel path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Scan-to-top chains executed as a [`ParPipeline`].
+    pub par_segments: u64,
+    /// Input tuples those segments scanned (across all segments, before
+    /// filtering).
+    pub par_rows: u64,
+}
+
 /// Run `exec_plan` as a streaming pipeline and dress the collected tuples
 /// in the display header replayed from `final_header` (the *original*
 /// plan's root header, so rewrites cannot perturb display metadata).
@@ -751,20 +762,44 @@ pub fn execute(
     final_header: &DisplayRelation,
     srcs: &SourceMap,
 ) -> Result<DisplayRelation, FlowError> {
-    let (stream, _hdr) = exec(exec_plan, srcs)?;
+    execute_opts(exec_plan, final_header, srcs, 1).map(|(out, _)| out)
+}
+
+/// [`execute`] with an explicit worker count: eligible scan-to-top
+/// segments run partition-parallel when `threads > 1`, with output
+/// tuple-for-tuple identical to the serial pipeline.
+pub fn execute_opts(
+    exec_plan: &Plan,
+    final_header: &DisplayRelation,
+    srcs: &SourceMap,
+    threads: usize,
+) -> Result<(DisplayRelation, ExecStats), FlowError> {
+    let mut stats = ExecStats::default();
+    let (stream, _hdr) = exec(exec_plan, srcs, threads, &mut stats)?;
     let rel = stream.with_header(&final_header.rel)?.collect()?;
     let mut out = final_header.clone();
     out.rel = rel;
     out.validate()?;
-    Ok(out)
+    Ok((out, stats))
 }
 
 /// Build the pull pipeline for `plan`.  Alongside the stream we thread
 /// the replayed header of each stage and install it via
 /// [`TupleStream::with_header`], so predicates evaluated mid-stream see
 /// the same methods (including `redefault`-added ones) the box-at-a-time
-/// path would give them.
-fn exec(plan: &Plan, srcs: &SourceMap) -> Result<(TupleStream, DisplayRelation), FlowError> {
+/// path would give them.  With `threads > 1`, any eligible chain of
+/// per-tuple operators ending at a source is executed partition-parallel
+/// first (see [`try_exec_parallel`]); the remaining operators above it
+/// stream serially as usual.
+fn exec(
+    plan: &Plan,
+    srcs: &SourceMap,
+    threads: usize,
+    stats: &mut ExecStats,
+) -> Result<(TupleStream, DisplayRelation), FlowError> {
+    if let Some(done) = try_exec_parallel(plan, srcs, threads, stats)? {
+        return Ok(done);
+    }
     match plan {
         Plan::Source { node, port } => {
             let dr = srcs.get(&(*node, *port)).ok_or_else(|| missing_source(*node, *port))?;
@@ -774,46 +809,46 @@ fn exec(plan: &Plan, srcs: &SourceMap) -> Result<(TupleStream, DisplayRelation),
             Ok((stream, hdr))
         }
         Plan::Restrict { input, pred } => {
-            let (s, h) = exec(input, srcs)?;
+            let (s, h) = exec(input, srcs, threads, stats)?;
             let s = s.with_header(&h.rel)?.restrict(pred)?;
             let h2 = apply_rel_op(&RelOpKind::Restrict(pred.clone()), &h)?;
             Ok((s, h2))
         }
         Plan::Project { input, cols } => {
-            let (s, h) = exec(input, srcs)?;
+            let (s, h) = exec(input, srcs, threads, stats)?;
             let fields: Vec<&str> = cols.iter().map(String::as_str).collect();
             let s = s.with_header(&h.rel)?.project(&fields)?;
             let h2 = apply_rel_op(&RelOpKind::Project(cols.clone()), &h)?;
             Ok((s, h2))
         }
         Plan::Sample { input, p, seed } => {
-            let (s, h) = exec(input, srcs)?;
+            let (s, h) = exec(input, srcs, threads, stats)?;
             let s = s.with_header(&h.rel)?.sample(*p, *seed)?;
             let h2 = apply_rel_op(&RelOpKind::Sample { p: *p, seed: *seed }, &h)?;
             Ok((s, h2))
         }
         Plan::Sort { input, keys } => {
-            let (s, h) = exec(input, srcs)?;
+            let (s, h) = exec(input, srcs, threads, stats)?;
             let ks: Vec<(&str, bool)> = keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
             let s = s.with_header(&h.rel)?.sort(&ks)?;
             let h2 = apply_rel_op(&RelOpKind::Sort(keys.clone()), &h)?;
             Ok((s, h2))
         }
         Plan::Distinct { input, cols } => {
-            let (s, h) = exec(input, srcs)?;
+            let (s, h) = exec(input, srcs, threads, stats)?;
             let attrs: Vec<&str> = cols.iter().map(String::as_str).collect();
             let s = s.with_header(&h.rel)?.distinct(&attrs)?;
             let h2 = apply_rel_op(&RelOpKind::Distinct(cols.clone()), &h)?;
             Ok((s, h2))
         }
         Plan::Limit { input, offset, count } => {
-            let (s, h) = exec(input, srcs)?;
+            let (s, h) = exec(input, srcs, threads, stats)?;
             let s = s.with_header(&h.rel)?.limit(*offset, *count);
             let h2 = apply_rel_op(&RelOpKind::Limit { offset: *offset, count: *count }, &h)?;
             Ok((s, h2))
         }
         Plan::Rename { input, from, to } => {
-            let (s, h) = exec(input, srcs)?;
+            let (s, h) = exec(input, srcs, threads, stats)?;
             let s = s.with_header(&h.rel)?.rename(from, to)?;
             let h2 = apply_rel_op(&RelOpKind::Rename { from: from.clone(), to: to.clone() }, &h)?;
             Ok((s, h2))
@@ -821,8 +856,8 @@ fn exec(plan: &Plan, srcs: &SourceMap) -> Result<(TupleStream, DisplayRelation),
         Plan::Join { left, right, pred } => {
             // Joins are pipeline breakers: collect both sides, join with
             // the engine's operator (hash join on equi-keys), re-scan.
-            let (ls, lh) = exec(left, srcs)?;
-            let (rs, rh) = exec(right, srcs)?;
+            let (ls, lh) = exec(left, srcs, threads, stats)?;
+            let (rs, rh) = exec(right, srcs, threads, stats)?;
             let lrel = ls.with_header(&lh.rel)?.collect()?;
             let rrel = rs.with_header(&rh.rel)?.collect()?;
             let joined = ops::join(&lrel, &rrel, pred)?;
@@ -835,6 +870,132 @@ fn exec(plan: &Plan, srcs: &SourceMap) -> Result<(TupleStream, DisplayRelation),
     }
 }
 
+/// Execute `plan` as one partition-parallel segment if it is a chain of
+/// per-tuple operators (Restrict / Project / Rename / Sample / Distinct)
+/// ending at a [`Plan::Source`] and every stage is position-independent.
+/// Returns `Ok(None)` whenever the plan is ineligible **or** any
+/// build-time validation fails — the serial path then raises the
+/// identical error the batch semantics define, so parallelism never
+/// changes what the user observes.
+///
+/// Eligibility per stage (checked bottom-up while replaying headers):
+///
+/// * `Restrict` — predicate closure must not touch [`SEQ_ATTR`]
+///   (workers number tuples partition-locally);
+/// * `Project` / `Rename` — always (1:1, schema-level);
+/// * `Sample` — only 1:1 stages below it, enforced by
+///   [`ParPipeline::sample`], so the per-worker RNG skip-ahead stays
+///   positionally aligned with the scan;
+/// * `Distinct` — topmost stage of the segment (a later filter would
+///   observe partition-local dedup choices before the global merge) with
+///   `__seq`-free key closures.
+fn try_exec_parallel(
+    plan: &Plan,
+    srcs: &SourceMap,
+    threads: usize,
+    stats: &mut ExecStats,
+) -> Result<Option<(TupleStream, DisplayRelation)>, FlowError> {
+    if threads < 2 {
+        return Ok(None);
+    }
+    // Top-down: collect the maximal per-tuple chain ending at a source.
+    let mut chain: Vec<&Plan> = Vec::new();
+    let mut cur = plan;
+    let (node, port) = loop {
+        match cur {
+            Plan::Source { node, port } => break (*node, *port),
+            Plan::Restrict { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Sample { input, .. }
+            | Plan::Distinct { input, .. }
+            | Plan::Rename { input, .. } => {
+                chain.push(cur);
+                cur = input;
+            }
+            _ => return Ok(None),
+        }
+    };
+    if chain.is_empty() {
+        return Ok(None);
+    }
+    let dr = srcs.get(&(node, port)).ok_or_else(|| missing_source(node, port))?;
+    let rows = dr.rel.len();
+    if rows < 2 {
+        return Ok(None);
+    }
+
+    let mut pipe = ParPipeline::new(&dr.rel);
+    let mut hdr = dr.clone();
+    hdr.rel = hdr.rel.with_tuples(Vec::new());
+    for (pos, op) in chain.iter().rev().enumerate() {
+        let topmost = pos + 1 == chain.len();
+        let kind = match op {
+            Plan::Restrict { pred, .. } => {
+                if closure_uses_seq(pred, &hdr.rel) {
+                    return Ok(None);
+                }
+                if pipe.restrict(&hdr.rel, pred).is_err() {
+                    return Ok(None);
+                }
+                RelOpKind::Restrict(pred.clone())
+            }
+            Plan::Project { cols, .. } => {
+                let fields: Vec<&str> = cols.iter().map(String::as_str).collect();
+                if pipe.project(&hdr.rel, &fields).is_err() {
+                    return Ok(None);
+                }
+                RelOpKind::Project(cols.clone())
+            }
+            Plan::Rename { from, to, .. } => {
+                RelOpKind::Rename { from: from.clone(), to: to.clone() }
+            }
+            Plan::Sample { p, seed, .. } => {
+                // `ParPipeline::sample` also refuses non-1:1 stages below.
+                if pipe.sample(*p, *seed).is_err() {
+                    return Ok(None);
+                }
+                RelOpKind::Sample { p: *p, seed: *seed }
+            }
+            Plan::Distinct { cols, .. } => {
+                if !topmost {
+                    return Ok(None);
+                }
+                let keys: Vec<String> = if cols.is_empty() {
+                    hdr.rel.schema().names().map(str::to_string).collect()
+                } else {
+                    cols.clone()
+                };
+                for k in &keys {
+                    if closure_uses_seq(&Expr::Attr(k.clone()), &hdr.rel) {
+                        return Ok(None);
+                    }
+                }
+                let attrs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                if pipe.distinct(&hdr.rel, &attrs).is_err() {
+                    return Ok(None);
+                }
+                RelOpKind::Distinct(cols.clone())
+            }
+            _ => unreachable!("chain collects only per-tuple operators"),
+        };
+        hdr = match apply_rel_op(&kind, &hdr) {
+            Ok(h) => h,
+            // Serial replay would fail identically; let it own the error.
+            Err(_) => return Ok(None),
+        };
+    }
+    if pipe.stage_count() == 0 {
+        // Pure rename chains: the serial path re-shares the Arc store
+        // without copying — strictly better than a parallel pass.
+        return Ok(None);
+    }
+    let tuples = pipe.run(threads.min(rows))?;
+    stats.par_segments += 1;
+    stats.par_rows += rows as u64;
+    let stream = TupleStream::scan(&hdr.rel.with_tuples(tuples));
+    Ok(Some((stream, hdr)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -844,6 +1005,7 @@ mod tests {
     use crate::port::{Data, PortType};
     use tioga2_display::Displayable;
     use tioga2_expr::{parse, ScalarType as T, Value};
+    use tioga2_obs::Recorder;
     use tioga2_relational::relation::RelationBuilder;
     use tioga2_relational::{AggSpec, Catalog};
 
@@ -1224,6 +1386,116 @@ mod tests {
         let full = dr_of(e2.demand(&g, r, 0).unwrap());
         assert_eq!(full.rel.schema(), dr.rel.schema());
         assert_eq!(full.location_attrs(), dr.location_attrs());
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_and_counts_segments() {
+        use tioga2_obs::InMemoryRecorder;
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict("altitude > 5.0"));
+        let p = g.add(project(&["name", "altitude"]));
+        g.connect(t, 0, r, 0).unwrap();
+        g.connect(r, 0, p, 0).unwrap();
+        let mut naive_engine = Engine::new(catalog());
+        let naive = dr_of(naive_engine.demand(&g, p, 0).unwrap());
+        for threads in [1usize, 2, 8] {
+            let rec = std::sync::Arc::new(InMemoryRecorder::new());
+            let mut e = Engine::new(catalog());
+            e.set_threads(threads);
+            e.set_recorder(rec.clone());
+            let planned = dr_of(e.demand_planned(&g, p, 0).unwrap());
+            assert_eq!(naive, planned, "threads={threads}");
+            if threads > 1 {
+                assert_eq!(rec.counter("plan.parallel.segments"), Some(1));
+                assert_eq!(rec.counter("plan.parallel.rows"), Some(5));
+            } else {
+                assert_eq!(rec.counter("plan.parallel.segments"), None);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_refuses_position_dependent_predicates() {
+        use tioga2_obs::InMemoryRecorder;
+        // The default layout's `y` method is __seq-derived, so a
+        // predicate over it must run serially at any thread count — and
+        // still produce identical results.
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict("y < 0.0 - 20.0"));
+        g.connect(t, 0, r, 0).unwrap();
+        let mut naive_engine = Engine::new(catalog());
+        let naive = dr_of(naive_engine.demand(&g, r, 0).unwrap());
+        let rec = std::sync::Arc::new(InMemoryRecorder::new());
+        let mut e = Engine::new(catalog());
+        e.set_threads(8);
+        e.set_recorder(rec.clone());
+        let planned = dr_of(e.demand_planned(&g, r, 0).unwrap());
+        assert_eq!(naive, planned);
+        assert_eq!(rec.counter("plan.parallel.segments"), None, "must refuse parallelism");
+    }
+
+    #[test]
+    fn parallel_segment_below_a_seq_dependent_top_stage() {
+        // Mixed chain: the lower __seq-free restrict parallelizes, the
+        // __seq-dependent one above it streams serially over the merged
+        // result.  (Rewrites off so the two restricts are not fused.)
+        use tioga2_obs::InMemoryRecorder;
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("altitude > 5.0"));
+        let r2 = g.add(restrict("y < 0.0 - 20.0"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(r1, 0, r2, 0).unwrap();
+        let mut naive_engine = Engine::new(catalog());
+        let naive = dr_of(naive_engine.demand(&g, r2, 0).unwrap());
+        let rec = std::sync::Arc::new(InMemoryRecorder::new());
+        let mut e = Engine::new(catalog());
+        e.set_threads(4);
+        e.set_recorder(rec.clone());
+        let planned = dr_of(e.demand_planned_opts(&g, r2, 0, false, None).unwrap());
+        assert_eq!(naive, planned);
+        assert_eq!(rec.counter("plan.parallel.segments"), Some(1));
+    }
+
+    #[test]
+    fn plan_cache_evicts_entries_for_deleted_boxes() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let r2 = g.add(restrict("altitude > 10.0"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(t, 0, r2, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        e.demand_planned(&g, r1, 0).unwrap();
+        e.demand_planned(&g, r2, 0).unwrap();
+        assert_eq!(e.plan_cache_len(), 2);
+        crate::edit::delete_box(&mut g, r2).unwrap();
+        // The next planned demand sweeps keys whose box is gone.
+        e.demand_planned(&g, r1, 0).unwrap();
+        assert_eq!(e.plan_cache_len(), 1, "deleted box's entry swept");
+    }
+
+    #[test]
+    fn invalidate_all_counts_plan_cache_entries() {
+        use tioga2_obs::InMemoryRecorder;
+        let rec = std::sync::Arc::new(InMemoryRecorder::new());
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict("state = 'LA'"));
+        g.connect(t, 0, r, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        e.set_recorder(rec.clone());
+        e.demand(&g, r, 0).unwrap(); // memo entries: t, r
+        e.demand_planned(&g, r, 0).unwrap(); // plan entry: (r, 0)
+        assert_eq!(e.plan_cache_len(), 1);
+        e.invalidate_all();
+        assert_eq!(
+            rec.counter("cache.invalidated_entries"),
+            Some(3),
+            "2 memo entries + 1 plan-cache entry"
+        );
     }
 
     #[test]

@@ -11,7 +11,13 @@ use crate::relation::Relation;
 use crate::schema::{Field, Schema};
 use crate::tuple::TupleContext;
 use std::collections::HashMap;
-use tioga2_expr::{Context, ScalarType, Value};
+use tioga2_expr::{Context, Expr, ScalarType, Value};
+
+/// Inputs below this size always aggregate serially even when the
+/// worker knob is > 1: the per-thread setup costs more than the scan,
+/// and serial grouping keeps float sums bit-identical for the small
+/// relations the unit tests and interactive sessions mostly see.
+pub const PAR_AGG_MIN_ROWS: usize = 4096;
 
 /// An aggregate function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +132,30 @@ impl Accumulator {
         }
     }
 
+    /// Fold another partition's accumulator for the same group into this
+    /// one; `other` must cover tuples strictly *after* ours in scan
+    /// order.  Count/int-sum merge exactly; float sums reassociate
+    /// (partition subtotals are added, not the serial left-to-right
+    /// order) — why [`PAR_AGG_MIN_ROWS`] keeps small inputs serial.
+    /// Min/max use the same strict comparisons as [`Accumulator::push`],
+    /// so on ties the earlier partition's value wins, as in serial.
+    fn merge(&mut self, other: Accumulator) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.int_sum = self.int_sum.wrapping_add(other.int_sum);
+        self.int_exact &= other.int_exact;
+        if let Some(v) = other.min {
+            if self.min.as_ref().is_none_or(|m| v.total_cmp(m).is_lt()) {
+                self.min = Some(v);
+            }
+        }
+        if let Some(v) = other.max {
+            if self.max.as_ref().is_none_or(|m| v.total_cmp(m).is_gt()) {
+                self.max = Some(v);
+            }
+        }
+    }
+
     fn finish(self, ty: &ScalarType) -> Value {
         match self.func {
             AggFunc::Count => Value::Int(self.count),
@@ -171,6 +201,50 @@ pub(crate) fn group_key(vals: &[Value]) -> String {
     s
 }
 
+/// Does evaluating `attr` on `rel` (transitively, through method
+/// definitions) observe the tuple's position?  Position-dependent keys
+/// or inputs force serial grouping: partition workers see local
+/// sequence numbers.
+fn attr_uses_seq(rel: &Relation, attr: &str) -> bool {
+    Expr::Attr(attr.to_string())
+        .referenced_attrs_closure(|name| rel.method(name).map(|m| m.def.clone()))
+        .iter()
+        .any(|a| a == crate::SEQ_ATTR)
+}
+
+/// One partition's grouping state: group keys in first-seen order plus
+/// the per-group key values and accumulators.
+type GroupState = (Vec<String>, HashMap<String, (Vec<Value>, Vec<Accumulator>)>);
+
+/// Scan `rel[range]` into a fresh grouping state.  `seq` values are the
+/// scan positions within the slice — callers must ensure no key or
+/// aggregate input observes `__seq` when the slice is a partition.
+fn group_slice(
+    rel: &Relation,
+    keys: &[&str],
+    aggs: &[AggSpec],
+    range: std::ops::Range<usize>,
+) -> Result<GroupState, RelError> {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, (Vec<Value>, Vec<Accumulator>)> = HashMap::new();
+    for (seq, t) in rel.tuples()[range].iter().enumerate() {
+        let ctx = TupleContext::new(rel, t, seq);
+        let key_vals: Vec<Value> = keys.iter().map(|k| ctx.get(k).unwrap_or(Value::Null)).collect();
+        let key = group_key(&key_vals);
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (key_vals, aggs.iter().map(|a| Accumulator::new(a.func)).collect())
+        });
+        for (a, acc) in aggs.iter().zip(entry.1.iter_mut()) {
+            match &a.attr {
+                Some(attr) => acc.push(&ctx.get(attr).unwrap_or(Value::Null)),
+                None => acc.push(&Value::Int(1)),
+            }
+        }
+    }
+    Ok((order, groups))
+}
+
 /// GROUP BY `keys`, computing `aggs` per group.
 ///
 /// Keys and aggregate inputs may be stored fields or computed
@@ -178,7 +252,27 @@ pub(crate) fn group_key(vals: &[Value]) -> String {
 /// type) followed by one per aggregate; groups appear in first-seen
 /// order.  With empty `keys` the whole relation is one group (a single
 /// output row, even for empty input — SQL semantics).
+///
+/// Inputs of at least [`PAR_AGG_MIN_ROWS`] tuples group on
+/// [`crate::par::threads`] partition workers (per-worker hash tables
+/// merged in partition order, preserving first-seen group order); see
+/// [`aggregate_threaded`] for an explicit worker count.
 pub fn aggregate(rel: &Relation, keys: &[&str], aggs: &[AggSpec]) -> Result<Relation, RelError> {
+    let threads = if rel.len() >= PAR_AGG_MIN_ROWS { crate::par::threads() } else { 1 };
+    aggregate_threaded(rel, keys, aggs, threads)
+}
+
+/// [`aggregate`] with an explicit worker count.  Falls back to serial
+/// grouping when `threads <= 1`, the input is trivially small, or any
+/// key / aggregate input is position-dependent (observes `__seq`).
+/// Results are identical to serial up to float-sum reassociation across
+/// partition boundaries.
+pub fn aggregate_threaded(
+    rel: &Relation,
+    keys: &[&str],
+    aggs: &[AggSpec],
+    threads: usize,
+) -> Result<Relation, RelError> {
     if aggs.is_empty() {
         return Err(RelError::Schema("aggregate needs at least one aggregate column".into()));
     }
@@ -213,24 +307,45 @@ pub fn aggregate(rel: &Relation, keys: &[&str], aggs: &[AggSpec]) -> Result<Rela
     }
     let schema = Schema::new(fields)?;
 
-    // Group.
-    let mut order: Vec<String> = Vec::new();
-    let mut groups: HashMap<String, (Vec<Value>, Vec<Accumulator>)> = HashMap::new();
-    for (seq, t) in rel.tuples().iter().enumerate() {
-        let ctx = TupleContext::new(rel, t, seq);
-        let key_vals: Vec<Value> = keys.iter().map(|k| ctx.get(k).unwrap_or(Value::Null)).collect();
-        let key = group_key(&key_vals);
-        let entry = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key);
-            (key_vals, aggs.iter().map(|a| Accumulator::new(a.func)).collect())
+    // Group — on partition workers when safe, serially otherwise.
+    let par_ok = threads > 1
+        && rel.len() >= 2
+        && !keys.iter().any(|k| attr_uses_seq(rel, k))
+        && !aggs.iter().any(|a| a.attr.as_deref().is_some_and(|at| attr_uses_seq(rel, at)));
+    let (mut order, mut groups) = if par_ok {
+        let ranges = crate::par::partition_ranges(rel.len(), threads);
+        let parts: Vec<Result<GroupState, RelError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| scope.spawn(move || group_slice(rel, keys, aggs, r)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("aggregate worker panicked")).collect()
         });
-        for (a, acc) in aggs.iter().zip(entry.1.iter_mut()) {
-            match &a.attr {
-                Some(attr) => acc.push(&ctx.get(attr).unwrap_or(Value::Null)),
-                None => acc.push(&Value::Int(1)),
+        // Merge in partition order: first-seen group order across
+        // contiguous partitions equals the serial first-seen order.
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, (Vec<Value>, Vec<Accumulator>)> = HashMap::new();
+        for part in parts {
+            let (part_order, mut part_groups) = part?;
+            for key in part_order {
+                let (key_vals, accs) = part_groups.remove(&key).expect("group recorded");
+                match groups.entry(key.clone()) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        for (acc, other) in e.get_mut().1.iter_mut().zip(accs) {
+                            acc.merge(other);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        order.push(key);
+                        e.insert((key_vals, accs));
+                    }
+                }
             }
         }
-    }
+        (order, groups)
+    } else {
+        group_slice(rel, keys, aggs, 0..rel.len())?
+    };
     // Empty input with no keys: one all-default group.
     if groups.is_empty() && keys.is_empty() {
         let key = group_key(&[]);
@@ -454,6 +569,66 @@ mod tests {
         assert_eq!(out.attr_value(0, "double").unwrap(), Value::Int(20));
         assert!(rename(&rel, "nope", "x").is_err());
         assert!(rename(&rel, "amount", "dept").is_err());
+    }
+
+    #[test]
+    fn threaded_aggregate_matches_serial() {
+        // Exactly-representable values so float sums are insensitive to
+        // the partition-boundary reassociation.
+        let mut b = RelationBuilder::new().field("g", T::Int).field("v", T::Float);
+        for i in 0..1000i64 {
+            b = b.row(vec![Value::Int(i % 13), Value::Float((i % 8) as f64 * 0.25)]);
+        }
+        let rel = b.build().unwrap();
+        let aggs = [
+            AggSpec::count("n"),
+            AggSpec::of(AggFunc::Sum, "v", "s"),
+            AggSpec::of(AggFunc::Avg, "v", "m"),
+            AggSpec::of(AggFunc::Min, "v", "lo"),
+            AggSpec::of(AggFunc::Max, "v", "hi"),
+        ];
+        let serial = aggregate_threaded(&rel, &["g"], &aggs, 1).unwrap();
+        for threads in [2usize, 3, 8] {
+            let par = aggregate_threaded(&rel, &["g"], &aggs, threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        // Global (no keys) aggregation also parallelizes.
+        let serial = aggregate_threaded(&rel, &[], &aggs, 1).unwrap();
+        assert_eq!(aggregate_threaded(&rel, &[], &aggs, 4).unwrap(), serial);
+    }
+
+    #[test]
+    fn threaded_aggregate_refuses_position_dependent_inputs() {
+        // A __seq-derived key must group identically at any thread count
+        // (the parallel path detects it and stays serial).
+        let mut b = RelationBuilder::new().field("v", T::Int);
+        for i in 0..100i64 {
+            b = b.row(vec![Value::Int(i)]);
+        }
+        let mut rel = b.build().unwrap();
+        rel.add_method("bucket", T::Int, parse("__seq / 10").unwrap()).unwrap();
+        let serial = aggregate_threaded(&rel, &["bucket"], &[AggSpec::count("n")], 1).unwrap();
+        for threads in [2usize, 8] {
+            let par =
+                aggregate_threaded(&rel, &["bucket"], &[AggSpec::count("n")], threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(par.len(), 10, "global __seq buckets, not partition-local ones");
+        }
+    }
+
+    #[test]
+    fn accumulator_merge_ties_keep_earlier_partition() {
+        // min/max ties across partitions must keep the first partition's
+        // value, mirroring the serial strict comparisons.
+        let mut b = RelationBuilder::new().field("g", T::Int).field("s", T::Text);
+        b = b
+            .row(vec![Value::Int(0), Value::Text("a".into())])
+            .row(vec![Value::Int(0), Value::Text("a".into())]);
+        let rel = b.build().unwrap();
+        let aggs = [AggSpec::of(AggFunc::Min, "s", "lo"), AggSpec::of(AggFunc::Max, "s", "hi")];
+        let serial = aggregate_threaded(&rel, &["g"], &aggs, 1).unwrap();
+        let par = aggregate_threaded(&rel, &["g"], &aggs, 2).unwrap();
+        assert_eq!(par, serial);
     }
 
     #[test]

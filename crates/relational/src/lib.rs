@@ -20,6 +20,7 @@ pub mod aggregate;
 pub mod catalog;
 pub mod error;
 pub mod ops;
+pub mod par;
 pub mod persist;
 pub mod relation;
 pub mod schema;
@@ -32,7 +33,7 @@ pub use catalog::Catalog;
 pub use error::RelError;
 pub use relation::{Method, Relation};
 pub use schema::{Field, Schema};
-pub use stream::TupleStream;
+pub use stream::{ParPipeline, TupleStream};
 pub use tuple::{Tuple, TupleContext};
 
 /// The pseudo-attribute holding the 0-based tuple sequence number.

@@ -1,0 +1,105 @@
+//! Partitioning helpers and the process-wide worker-count knob for the
+//! partition-parallel operators.
+//!
+//! Tioga-2's interactivity budget is one demand per direct-manipulation
+//! gesture (pan, zoom, slider drag), so the scan-shaped operators split
+//! their input tuple store into contiguous partitions and run the
+//! per-tuple work on `std::thread::scope` workers — no runtime
+//! dependency, consistent with the offline `shims/` policy.  This module
+//! owns the *default* worker count (the `TIOGA2_THREADS` environment
+//! variable, falling back to the machine's available parallelism) and the
+//! contiguous range-splitting both the streaming pipeline and the grouped
+//! aggregation use, so every parallel operator partitions identically.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = "not yet resolved": the first read resolves `TIOGA2_THREADS`, or
+/// the machine's available parallelism when the variable is unset.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn resolve_default() -> usize {
+    std::env::var("TIOGA2_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// The default worker count (always >= 1).  Engines copy this at
+/// construction; the batch operators read it per call.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = resolve_default();
+            THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Override the default worker count (the REPL's `:threads N`).  Clamped
+/// to >= 1; existing engines keep the count they copied at construction
+/// unless they are told otherwise.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Split `0..n` into at most `k` contiguous non-empty ranges that cover
+/// every index in order.  Fewer than `k` ranges come back when `n < k`.
+pub fn partition_ranges(n: usize, k: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.max(1).min(n);
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_in_order() {
+        for n in [0usize, 1, 2, 7, 100, 101] {
+            for k in [1usize, 2, 3, 8, 200] {
+                let rs = partition_ranges(n, k);
+                let mut next = 0;
+                for r in &rs {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(r.end > r.start, "non-empty");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "covers 0..{n} with k={k}");
+                assert!(rs.len() <= k.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_balanced() {
+        let rs = partition_ranges(10, 4);
+        let lens: Vec<usize> = rs.iter().map(|r| r.len()).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn knob_clamps_to_one() {
+        // Don't disturb other tests' reads more than necessary: restore.
+        let before = threads();
+        set_threads(0);
+        assert_eq!(threads(), 1);
+        set_threads(before);
+        assert_eq!(threads(), before);
+    }
+}

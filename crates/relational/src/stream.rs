@@ -17,6 +17,13 @@
 //! A stream that reaches `collect()` without any tuple-level adapter
 //! (plain scan, or scan + rename, which is schema-only) re-shares the
 //! input's `Arc` tuple store instead of copying it.
+//!
+//! [`ParPipeline`] is the partition-parallel sibling: a pre-compiled
+//! chain of the per-tuple adapters (restrict / project / sample /
+//! distinct) run over contiguous partitions of the scanned tuple store on
+//! scoped worker threads, merged order-preservingly so the output is
+//! tuple-for-tuple identical to the serial stream.  All iterators here
+//! are `Send`, so partitioned pipelines and streamed ones compose.
 
 use crate::aggregate::group_key;
 use crate::error::RelError;
@@ -30,7 +37,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use tioga2_expr::{eval_predicate, typecheck, Context, Expr, ScalarType, Value};
 
-type TupleIter = Box<dyn Iterator<Item = Result<Tuple, RelError>>>;
+type TupleIter = Box<dyn Iterator<Item = Result<Tuple, RelError>> + Send>;
 
 enum Inner {
     /// The untouched tuple store of the scanned relation: collecting this
@@ -291,6 +298,251 @@ pub(crate) fn project_shape(
     Ok((idxs, schema, keep))
 }
 
+/// One pre-compiled per-tuple stage of a [`ParPipeline`].  Each stage
+/// carries the (empty-tuple) header its expressions evaluate against, so
+/// workers see exactly the methods the serial stream would install via
+/// [`TupleStream::with_header`].
+enum ParStage {
+    Restrict { header: Relation, pred: Expr },
+    Project { idxs: Vec<usize> },
+    Sample { p: f64, seed: u64 },
+    Distinct { header: Relation, names: Vec<String> },
+}
+
+/// Per-partition worker output: surviving tuples in partition order,
+/// plus their distinct keys when the pipeline ends in a Distinct stage
+/// (the merge deduplicates globally across partitions).
+struct PartOut {
+    tuples: Vec<Tuple>,
+    keys: Vec<String>,
+}
+
+/// A partition-parallel pipeline over one relation's tuple store.
+///
+/// The caller pushes stages bottom-up (the same order the serial stream
+/// chains its adapters) and then [`ParPipeline::run`]s them over `k`
+/// contiguous partitions on `std::thread::scope` workers.  The merged
+/// output is tuple-for-tuple identical to the serial [`TupleStream`]
+/// chain — same tuples, same order, and on failure the same (earliest)
+/// error — provided the caller upholds two invariants this type cannot
+/// check itself:
+///
+/// * **Position independence**: no restrict predicate or distinct key
+///   may (transitively, through methods) observe `__seq`.  Workers
+///   evaluate with partition-local sequence numbers; a position-dependent
+///   expression would see different numbers than the serial stream.  The
+///   plan layer guards this with its `__seq` closure analysis.
+/// * **Positional sampling**: a Sample stage's input positions must equal
+///   the scan positions (only 1:1 stages below it), because each worker
+///   fast-forwards the seeded RNG by its partition's start offset to
+///   reproduce the serial draw sequence exactly.
+pub struct ParPipeline {
+    src: Arc<Vec<Tuple>>,
+    stages: Vec<ParStage>,
+    /// Every stage so far passes each input tuple through exactly once
+    /// (only projections/renames below): required for a Sample stage's
+    /// RNG skip-ahead to be positionally aligned with the scan.
+    one_to_one: bool,
+}
+
+impl ParPipeline {
+    /// Start a pipeline over `rel`'s tuples (shares the `Arc` store).
+    pub fn new(rel: &Relation) -> ParPipeline {
+        ParPipeline { src: rel.tuples_arc(), stages: Vec::new(), one_to_one: true }
+    }
+
+    /// Number of compiled stages (renames are schema-only and add none).
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    fn check_open(&self) -> Result<(), RelError> {
+        if matches!(self.stages.last(), Some(ParStage::Distinct { .. })) {
+            // Stages above a distinct may not run before the *global*
+            // dedup: a partition-local survivor dropped by a later filter
+            // would wrongly let another partition's duplicate through.
+            return Err(RelError::Schema(
+                "parallel pipeline: Distinct must be the final stage".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Append a filter stage; `header` is the stage's input shape (the
+    /// serial stream's `with_header` relation).  Typechecks exactly as
+    /// [`TupleStream::restrict`] does.
+    pub fn restrict(&mut self, header: &Relation, pred: &Expr) -> Result<(), RelError> {
+        self.check_open()?;
+        let ty = typecheck(pred, &header.type_env())?;
+        if ty != ScalarType::Bool {
+            return Err(RelError::Schema(format!("restrict predicate has type {ty}, not bool")));
+        }
+        self.stages.push(ParStage::Restrict {
+            header: header.with_tuples(Vec::new()),
+            pred: pred.clone(),
+        });
+        self.one_to_one = false;
+        Ok(())
+    }
+
+    /// Append a projection stage over `header`'s stored fields.
+    pub fn project(&mut self, header: &Relation, fields: &[&str]) -> Result<(), RelError> {
+        self.check_open()?;
+        let (idxs, _, _) = project_shape(header, fields)?;
+        self.stages.push(ParStage::Project { idxs });
+        Ok(())
+    }
+
+    /// Append a Bernoulli sample stage.  Refused unless every stage below
+    /// is 1:1, because the worker-side RNG skip-ahead assumes the stage's
+    /// input positions equal the scan positions.
+    pub fn sample(&mut self, p: f64, seed: u64) -> Result<(), RelError> {
+        self.check_open()?;
+        if !self.one_to_one {
+            return Err(RelError::Schema(
+                "parallel pipeline: Sample requires only 1:1 stages below it".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&p) {
+            return Err(RelError::Schema(format!("sample probability {p} outside [0, 1]")));
+        }
+        self.stages.push(ParStage::Sample { p, seed });
+        self.one_to_one = false;
+        Ok(())
+    }
+
+    /// Append the terminal first-occurrence Distinct stage (empty `attrs`
+    /// keys on every stored field of `header`).  No further stage may be
+    /// pushed after it.
+    pub fn distinct(&mut self, header: &Relation, attrs: &[&str]) -> Result<(), RelError> {
+        self.check_open()?;
+        let names: Vec<String> = if attrs.is_empty() {
+            header.schema().names().map(str::to_string).collect()
+        } else {
+            for a in attrs {
+                if !header.has_attr(a) {
+                    return Err(RelError::UnknownAttribute(a.to_string()));
+                }
+            }
+            attrs.iter().map(|s| s.to_string()).collect()
+        };
+        self.stages.push(ParStage::Distinct { header: header.with_tuples(Vec::new()), names });
+        Ok(())
+    }
+
+    /// Run the pipeline over at most `threads` contiguous partitions and
+    /// merge in partition order.
+    pub fn run(self, threads: usize) -> Result<Vec<Tuple>, RelError> {
+        let ranges = crate::par::partition_ranges(self.src.len(), threads);
+        let stages = &self.stages;
+        let src = &self.src;
+        let parts: Vec<Result<PartOut, RelError>> = if ranges.len() <= 1 {
+            ranges.into_iter().map(|r| run_partition(stages, &src[r], 0)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|r| {
+                        let start = r.start;
+                        scope.spawn(move || run_partition(stages, &src[r], start))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("partition worker panicked")).collect()
+            })
+        };
+        // Merge in partition order: partitions are contiguous scan
+        // ranges, so concatenation reproduces the serial output order and
+        // the first failing partition holds the globally earliest error.
+        let dedup = matches!(self.stages.last(), Some(ParStage::Distinct { .. }));
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for part in parts {
+            let part = part?;
+            if dedup {
+                for (k, t) in part.keys.into_iter().zip(part.tuples) {
+                    if seen.insert(k) {
+                        out.push(t);
+                    }
+                }
+            } else {
+                out.extend(part.tuples);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Apply every stage to one partition's tuples.  Sequence numbers are
+/// partition-local (sound only under the position-independence invariant
+/// on [`ParPipeline`]); sample RNGs are fast-forwarded by `scan_start`
+/// draws to land on the partition's slice of the serial draw sequence.
+fn run_partition(
+    stages: &[ParStage],
+    tuples: &[Tuple],
+    scan_start: usize,
+) -> Result<PartOut, RelError> {
+    let mut rngs: Vec<Option<StdRng>> = stages
+        .iter()
+        .map(|s| match s {
+            ParStage::Sample { seed, .. } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                for _ in 0..scan_start {
+                    rng.gen::<f64>();
+                }
+                Some(rng)
+            }
+            _ => None,
+        })
+        .collect();
+    let mut seqs = vec![0usize; stages.len()];
+    let mut local_seen = HashSet::new();
+    let mut out = PartOut { tuples: Vec::new(), keys: Vec::new() };
+    'tuples: for t in tuples {
+        let mut t = t.clone();
+        let mut key = None;
+        for (i, stage) in stages.iter().enumerate() {
+            match stage {
+                ParStage::Restrict { header, pred } => {
+                    let seq = seqs[i];
+                    seqs[i] += 1;
+                    let ctx = TupleContext::new(header, &t, seq);
+                    match eval_predicate(pred, &ctx) {
+                        Ok(true) => {}
+                        Ok(false) => continue 'tuples,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                ParStage::Project { idxs } => {
+                    t = Tuple::new(t.row_id, idxs.iter().map(|&j| t.values()[j].clone()).collect());
+                }
+                ParStage::Sample { p, .. } => {
+                    let rng = rngs[i].as_mut().expect("sample stage has an rng");
+                    if rng.gen::<f64>() >= *p {
+                        continue 'tuples;
+                    }
+                }
+                ParStage::Distinct { header, names } => {
+                    let seq = seqs[i];
+                    seqs[i] += 1;
+                    let ctx = TupleContext::new(header, &t, seq);
+                    let vals: Vec<Value> =
+                        names.iter().map(|n| ctx.get(n).unwrap_or(Value::Null)).collect();
+                    let k = group_key(&vals);
+                    if !local_seen.insert(k.clone()) {
+                        continue 'tuples;
+                    }
+                    key = Some(k);
+                }
+            }
+        }
+        if let Some(k) = key {
+            out.keys.push(k);
+        }
+        out.tuples.push(t);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,14 +592,17 @@ mod tests {
 
     #[test]
     fn limit_exits_early() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let r = nums(1_000);
-        let count = std::rc::Rc::new(std::cell::Cell::new(0usize));
+        let count = Arc::new(AtomicUsize::new(0));
         let c2 = count.clone();
         let (header, input) = TupleStream::scan(&r).into_iter_inner();
-        let counted = input.inspect(move |_| c2.set(c2.get() + 1));
+        let counted = input.inspect(move |_| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
         let s = TupleStream { header, inner: Inner::Iter(Box::new(counted)) };
         assert_eq!(s.limit(1, 4).collect().unwrap().len(), 4);
-        assert_eq!(count.get(), 5, "limit pulled exactly offset + count tuples");
+        assert_eq!(count.load(Ordering::Relaxed), 5, "limit pulled exactly offset + count tuples");
     }
 
     #[test]
@@ -399,5 +654,119 @@ mod tests {
         assert!(TupleStream::scan(&r).project(&["nope"]).is_err());
         assert!(TupleStream::scan(&r).sample(1.5, 0).is_err());
         assert!(TupleStream::scan(&r).distinct(&["nope"]).is_err());
+    }
+
+    /// Serial reference for the parallel tests: the same chain through
+    /// the streaming adapters (sample at the bottom, where it is
+    /// positionally aligned with the scan).
+    fn serial_chain(r: &Relation) -> Vec<Tuple> {
+        TupleStream::scan(r)
+            .sample(0.7, 99)
+            .unwrap()
+            .restrict(&parse("v % 3 <> 1").unwrap())
+            .unwrap()
+            .project(&["w"])
+            .unwrap()
+            .collect()
+            .unwrap()
+            .tuples()
+            .to_vec()
+    }
+
+    #[test]
+    fn parallel_chain_matches_serial_at_every_thread_count() {
+        for n in [0i64, 1, 2, 37, 500] {
+            let r = nums(n);
+            let expected = serial_chain(&r);
+            for threads in [1usize, 2, 3, 8, 64] {
+                let mut p = ParPipeline::new(&r);
+                p.sample(0.7, 99).unwrap();
+                p.restrict(&r, &parse("v % 3 <> 1").unwrap()).unwrap();
+                p.project(&r, &["w"]).unwrap();
+                assert_eq!(p.stage_count(), 3);
+                let got = p.run(threads).unwrap();
+                assert_eq!(got, expected, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sample_refused_above_a_filter() {
+        let r = nums(10);
+        let mut p = ParPipeline::new(&r);
+        p.restrict(&r, &parse("v > 2").unwrap()).unwrap();
+        assert!(p.sample(0.5, 1).is_err(), "sample above restrict is positionally misaligned");
+    }
+
+    #[test]
+    fn parallel_sample_skips_ahead_correctly() {
+        // Sample below nothing 1:1-breaking: each worker must reproduce
+        // exactly its slice of the serial draw sequence.
+        let r = nums(301);
+        let serial = TupleStream::scan(&r).sample(0.42, 7).unwrap().collect().unwrap();
+        for threads in [2usize, 5, 16] {
+            let mut p = ParPipeline::new(&r);
+            p.sample(0.42, 7).unwrap();
+            assert_eq!(p.run(threads).unwrap(), serial.tuples().to_vec());
+        }
+    }
+
+    #[test]
+    fn parallel_distinct_dedups_across_partitions() {
+        let mut b = RelationBuilder::new().field("k", T::Int).field("v", T::Int);
+        for i in 0..200i64 {
+            b = b.row(vec![Value::Int(i % 7), Value::Int(i)]);
+        }
+        let r = b.build().unwrap();
+        let serial = TupleStream::scan(&r).distinct(&["k"]).unwrap().collect().unwrap();
+        for threads in [1usize, 2, 8] {
+            let mut p = ParPipeline::new(&r);
+            p.distinct(&r, &["k"]).unwrap();
+            assert_eq!(p.run(threads).unwrap(), serial.tuples().to_vec(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_pipeline_is_sealed_after_distinct() {
+        let r = nums(10);
+        let mut p = ParPipeline::new(&r);
+        p.distinct(&r, &[]).unwrap();
+        assert!(p.restrict(&r, &parse("v > 2").unwrap()).is_err());
+        assert!(p.sample(0.5, 1).is_err());
+    }
+
+    #[test]
+    fn parallel_build_errors_match_serial() {
+        let r = nums(3);
+        let mut p = ParPipeline::new(&r);
+        assert!(p.restrict(&r, &parse("v").unwrap()).is_err(), "non-bool");
+        assert!(p.project(&r, &["nope"]).is_err());
+        assert!(p.sample(1.5, 0).is_err());
+        assert!(p.distinct(&r, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn parallel_eval_error_is_the_earliest_in_scan_order() {
+        // A predicate that errors on a specific row: the parallel run must
+        // surface the same error the serial stream would hit first.
+        let mut b = RelationBuilder::new().field("v", T::Int).field("s", T::Text);
+        for i in 0..40i64 {
+            let s = if i == 11 || i == 33 { "x" } else { "3" };
+            b = b.row(vec![Value::Int(i), Value::Text(s.into())]);
+        }
+        let r = b.build().unwrap();
+        let pred = parse("to_float(s) > 1.0").unwrap();
+        let serial_err = TupleStream::scan(&r)
+            .restrict(&pred)
+            .unwrap()
+            .collect()
+            .expect_err("to_float('x') must fail")
+            .to_string();
+        for threads in [2usize, 4, 8] {
+            let mut p = ParPipeline::new(&r);
+            p.restrict(&r, &pred).unwrap();
+            let got = p.run(threads).expect_err("parallel must fail too").to_string();
+            assert_eq!(got, serial_err, "threads={threads}");
+        }
     }
 }

@@ -32,7 +32,11 @@ use tioga2_relational::{ops, SEQ_ATTR};
 ///   tuple renumbers the rest, changing what the survivors look like
 ///   (the default table layout `y = -__seq * 12` is the canonical case);
 /// * bounds culling is disabled and there are no sliders;
-/// * the viewer is unfitted (non-finite bounds);
+/// * any bound or offset in play is non-finite (unfitted viewer,
+///   infinite slider range, NaN overlay offset) — comparing against a
+///   NaN or infinite literal would not replicate compose's arithmetic,
+///   so the whole predicate is withdrawn rather than silently filtering
+///   with a broken conjunct;
 /// * the predicate does not type-check against the relation (e.g. a
 ///   text-typed location attribute, which compose renders as NaN).
 pub fn window_predicate(viewer: &Viewer, dr: &DisplayRelation) -> Option<Expr> {
@@ -57,14 +61,14 @@ pub fn window_predicate(viewer: &Viewer, dr: &DisplayRelation) -> Option<Expr> {
         let (min_x, min_y, max_x, max_y) = viewer.viewport().world_bounds();
         let mx = (max_x - min_x).abs() * BOUNDS_MARGIN;
         let my = (max_y - min_y).abs() * BOUNDS_MARGIN;
-        conjs.extend(range_conj(&loc[0], dr.offset[0], min_x - mx, max_x + mx));
-        conjs.extend(range_conj(&loc[1], dr.offset[1], min_y - my, max_y + my));
+        conjs.push(range_conj(&loc[0], dr.offset[0], min_x - mx, max_x + mx)?);
+        conjs.push(range_conj(&loc[1], dr.offset[1], min_y - my, max_y + my)?);
     }
     // Sliders are matched to location attributes by dimension name,
     // exactly as compose_scene maps them; ranges are inclusive.
     for s in &viewer.position.sliders {
         if let Some(i) = loc.iter().position(|a| *a == s.dim) {
-            conjs.extend(range_conj(&loc[i], dr.offset[i], s.range.0, s.range.1));
+            conjs.push(range_conj(&loc[i], dr.offset[i], s.range.0, s.range.1)?);
         }
     }
     if conjs.is_empty() {
@@ -86,11 +90,14 @@ pub fn window_predicate(viewer: &Viewer, dr: &DisplayRelation) -> Option<Expr> {
 }
 
 /// `lo <= attr + off && attr + off <= hi`, with the same f64 arithmetic
-/// compose uses (`off` elided when zero).  Non-finite bounds (unfitted
-/// viewer, infinite slider range) produce no conjunct.
-fn range_conj(attr: &str, off: f64, lo: f64, hi: f64) -> Vec<Expr> {
-    if !lo.is_finite() || !hi.is_finite() {
-        return Vec::new();
+/// compose uses (`off` elided when zero).  `None` when any of the three
+/// numbers is non-finite (unfitted viewer, infinite slider range, NaN
+/// offset): a conjunct built from them would compare against a literal
+/// compose never sees, so the caller must abandon the whole predicate
+/// and fall back to unfiltered rendering.
+fn range_conj(attr: &str, off: f64, lo: f64, hi: f64) -> Option<Expr> {
+    if !off.is_finite() || !lo.is_finite() || !hi.is_finite() {
+        return None;
     }
     let v = || {
         let a = Expr::Attr(attr.to_string());
@@ -100,11 +107,11 @@ fn range_conj(attr: &str, off: f64, lo: f64, hi: f64) -> Vec<Expr> {
             Expr::Binary(BinOp::Add, Box::new(a), Box::new(Expr::Literal(Value::Float(off))))
         }
     };
-    vec![Expr::Binary(
+    Some(Expr::Binary(
         BinOp::And,
         Box::new(Expr::Binary(BinOp::Ge, Box::new(v()), Box::new(Expr::Literal(Value::Float(lo))))),
         Box::new(Expr::Binary(BinOp::Le, Box::new(v()), Box::new(Expr::Literal(Value::Float(hi))))),
-    )]
+    ))
 }
 
 #[cfg(test)]
@@ -223,6 +230,61 @@ mod tests {
         let dr = scatter();
         let mut v = fitted_viewer(&dr);
         v.cull.bounds = false;
+        assert!(window_predicate(&v, &dr).is_none());
+    }
+
+    /// A relation with a slider-bound `depth` dimension.
+    fn cube() -> DisplayRelation {
+        let mut b = RelationBuilder::new()
+            .field("x", T::Float)
+            .field("y", T::Float)
+            .field("depth", T::Float);
+        for (x, y, d) in [(0.0, 0.0, 1.0), (10.0, 10.0, 5.0), (20.0, 20.0, 9.0)] {
+            b = b.row(vec![
+                tioga2_expr::Value::Float(x),
+                tioga2_expr::Value::Float(y),
+                tioga2_expr::Value::Float(d),
+            ]);
+        }
+        let mut dr = make_display_relation(b.build().unwrap(), "cube").unwrap();
+        dr.push_location_attr("depth").unwrap();
+        dr
+    }
+
+    #[test]
+    fn infinite_slider_range_yields_none() {
+        let dr = cube();
+        let mut v = fitted_viewer(&dr);
+        v.set_slider("depth", f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        assert!(
+            window_predicate(&v, &dr).is_none(),
+            "an infinite slider bound must withdraw the whole predicate"
+        );
+    }
+
+    #[test]
+    fn non_finite_offset_yields_none() {
+        let dr = cube();
+        let v = fitted_viewer(&dr);
+        assert!(window_predicate(&v, &dr).is_some(), "finite offsets are filterable");
+        let mut broken = dr.clone();
+        broken.offset[0] = f64::NAN;
+        assert!(
+            window_predicate(&v, &broken).is_none(),
+            "attr + NaN compares false against every bound, dropping all tuples"
+        );
+    }
+
+    #[test]
+    fn non_finite_viewport_yields_none_even_with_sliders() {
+        // Regression: a blown-up viewport used to drop only the bounds
+        // conjuncts, leaving a slider-only predicate that no longer
+        // mirrored compose's (vacuous) bounds test.
+        let dr = cube();
+        let mut v = fitted_viewer(&dr);
+        v.set_slider("depth", 2.0, 8.0).unwrap();
+        assert!(window_predicate(&v, &dr).is_some());
+        v.position.elevation = f64::INFINITY;
         assert!(window_predicate(&v, &dr).is_none());
     }
 }

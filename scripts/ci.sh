@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus lint: what every PR must keep green.
 #
-#   cargo fmt --check       — formatting is canonical
-#   cargo fmt --all -- --check
-cargo build --release   — workspace builds clean
-#   cargo test -q           — root-package tests (tier-1 contract)
-#   cargo clippy -D warnings — workspace-wide lint, warnings are errors
+#   cargo fmt --all -- --check      — formatting is canonical
+#   cargo build --release           — workspace builds clean
+#   cargo test -q (threads 1 and 4) — root-package tests (tier-1
+#       contract), exercised serial and with the partition-parallel
+#       executor enabled so both code paths stay equivalent
+#   cargo clippy -D warnings        — workspace-wide lint, warnings are
+#       errors
 #
 # Run from the repository root:  ./scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+TIOGA2_THREADS=1 cargo test -q
+TIOGA2_THREADS=4 cargo test -q
 cargo clippy --workspace -- -D warnings
 
-echo "ci: fmt + build + tests + clippy all green"
+echo "ci: build + tests (1 and 4 workers) + clippy all green"

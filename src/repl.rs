@@ -120,6 +120,7 @@ Tioga-2 REPL — every command is one paper operation.
   save <name> | load <name> | new
   :explain <node>                      the streaming plan + rewrites for a box
   :stats                               engine counters + trace summary
+  :threads [n]                         show/set parallel plan workers
   :trace on|off                        collect spans/histograms
   :trace export <path>                 Chrome trace JSON (Perfetto)
   :trace prom <path>                   Prometheus text exposition
@@ -594,6 +595,19 @@ pub fn run_line(session: &mut Session, line: &str) -> ReplResult {
             }
             msg(out)
         }
+        ":threads" | "threads" => {
+            if args.is_empty() {
+                msg(format!("threads={}", session.threads()))
+            } else {
+                let n: usize = args[0]
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("'{}' is not a thread count (>= 1)", args[0]))?;
+                session.set_threads(n);
+                msg(format!("threads={n}"))
+            }
+        }
         ":trace" | "trace" => {
             need(1)?;
             match args[0] {
@@ -796,6 +810,22 @@ mod tests {
         ok(&mut s, ":trace off");
         assert!(run_line(&mut s, ":trace export out/x.json").is_err());
         assert!(run_line(&mut s, ":trace sideways").is_err());
+    }
+
+    #[test]
+    fn threads_knob_via_repl() {
+        let mut s = session();
+        ok(&mut s, ":threads 3");
+        assert_eq!(s.threads(), 3);
+        assert_eq!(ok(&mut s, ":threads"), "threads=3");
+        assert!(run_line(&mut s, ":threads 0").is_err());
+        assert!(run_line(&mut s, ":threads many").is_err());
+        // Results are identical at any worker count.
+        ok(&mut s, "table Stations");
+        ok(&mut s, "restrict 0 altitude > 1.0");
+        let at3 = ok(&mut s, "show 1 50");
+        ok(&mut s, ":threads 1");
+        assert_eq!(ok(&mut s, "show 1 50"), at3);
     }
 
     #[test]

@@ -126,15 +126,78 @@ proptest! {
         };
         let naive =
             dr_of(mk().demand(&g, prev, 0).unwrap().into_displayable().unwrap());
-        let raw = dr_of(
-            mk().demand_planned_opts(&g, prev, 0, false, None)
-                .unwrap().into_displayable().unwrap(),
-        );
-        let opt = dr_of(
-            mk().demand_planned_opts(&g, prev, 0, true, None)
-                .unwrap().into_displayable().unwrap(),
-        );
-        prop_assert_eq!(&naive, &raw);
-        prop_assert_eq!(&naive, &opt);
+        // Planned execution must match at every worker count, with and
+        // without rewrites: partitioned execution merges back into the
+        // exact serial tuple order, and __seq-dependent chains fall back
+        // to serial of their own accord.
+        for threads in [1usize, 2, 8] {
+            let mut raw_engine = mk();
+            raw_engine.set_threads(threads);
+            let raw = dr_of(
+                raw_engine.demand_planned_opts(&g, prev, 0, false, None)
+                    .unwrap().into_displayable().unwrap(),
+            );
+            let mut opt_engine = mk();
+            opt_engine.set_threads(threads);
+            let opt = dr_of(
+                opt_engine.demand_planned_opts(&g, prev, 0, true, None)
+                    .unwrap().into_displayable().unwrap(),
+            );
+            prop_assert_eq!(&naive, &raw);
+            prop_assert_eq!(&naive, &opt);
+        }
+    }
+}
+
+mod parallel_observability {
+    use super::*;
+    use std::sync::Arc;
+    use tioga2::obs::{InMemoryRecorder, Recorder};
+
+    fn rows() -> Relation {
+        let mut b =
+            RelationBuilder::new().field("k", ScalarType::Int).field("v", ScalarType::Float);
+        for i in 0..64 {
+            b = b.row(vec![Value::Int(i), Value::Float(i as f64 * 0.5)]);
+        }
+        b.build().unwrap()
+    }
+
+    fn demand_with_recorder(pred: &str, threads: usize) -> Arc<InMemoryRecorder> {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("T".into()));
+        let r = g.add(BoxKind::rel(RelOpKind::Restrict(parse(pred).unwrap())));
+        g.connect(t, 0, r, 0).unwrap();
+        let c = Catalog::new();
+        c.register("T", rows());
+        let mut e = Engine::new(c);
+        e.set_threads(threads);
+        let rec = Arc::new(InMemoryRecorder::new());
+        e.set_recorder(rec.clone());
+        e.demand_planned(&g, r, 0).unwrap();
+        rec
+    }
+
+    /// A restrict over stored fields parallelizes and says so.
+    #[test]
+    fn seq_free_restrict_reports_parallel_segments() {
+        let rec = demand_with_recorder("v > 3.0", 4);
+        assert_eq!(rec.counter("plan.parallel.segments"), Some(1));
+        assert_eq!(rec.counter("plan.parallel.rows"), Some(64));
+    }
+
+    /// `y` is the default layout method `-__seq * 12`: filtering on it is
+    /// position-dependent, so the plan must stay serial.
+    #[test]
+    fn seq_dependent_restrict_stays_serial() {
+        let rec = demand_with_recorder("y < 0.0 - 24.0", 4);
+        assert_eq!(rec.counter("plan.parallel.segments"), None);
+    }
+
+    /// One worker means no partitioned segment is ever built.
+    #[test]
+    fn single_thread_reports_no_parallel_segments() {
+        let rec = demand_with_recorder("v > 3.0", 1);
+        assert_eq!(rec.counter("plan.parallel.segments"), None);
     }
 }
