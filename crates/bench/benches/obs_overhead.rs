@@ -9,6 +9,10 @@
 //!   per-call cost of a noop span pair, counts how many recorder touch
 //!   points one warm render performs, and checks the product stays under
 //!   2% of the render's wall time (the budget DESIGN.md promises).
+//! * `attribution_budget` — the analyze-path budget: a cold Figure 1
+//!   demand with recording *and* per-operator attribution
+//!   (`demand_analyzed` under an `InMemoryRecorder`) must stay within
+//!   5% of the same cold demand with everything off (DESIGN.md §9).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -121,5 +125,61 @@ fn disabled_budget(_c: &mut Criterion) {
     assert!(overhead_pct < 2.0, "disabled recorder path exceeds the 2% budget: {overhead_pct:.4}%");
 }
 
-criterion_group!(benches, warm_render, cold_demand, disabled_budget);
+fn attribution_budget(_c: &mut Criterion) {
+    // The Figure 1 relational chain over a catalog large enough that
+    // per-tuple work dominates fixed demand overhead.
+    let mut graph = Graph::new();
+    let t = graph.add(BoxKind::Table("Stations".into()));
+    let r = graph.add(BoxKind::rel(RelOpKind::Restrict(parse("altitude > 2.0").unwrap())));
+    let p = graph.add(BoxKind::rel(RelOpKind::Project(vec![
+        "name".into(),
+        "longitude".into(),
+        "latitude".into(),
+        "altitude".into(),
+    ])));
+    graph.connect(t, 0, r, 0).unwrap();
+    graph.connect(r, 0, p, 0).unwrap();
+
+    let mut engine = Engine::new(stations_only_catalog(20_000));
+    engine.set_threads(1); // serial for a stable measurement
+
+    // Min-of-reps damps scheduler noise; both paths re-execute the full
+    // chain cold (memo + plan caches invalidated each rep).
+    let reps = 15;
+    let best = |f: &mut dyn FnMut()| {
+        (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_nanos() as f64
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    engine.demand(&graph, p, 0).expect("warm-up");
+    let plain_ns = best(&mut || {
+        engine.invalidate_all();
+        black_box(engine.demand(&graph, p, 0).expect("plain demand"));
+    });
+
+    engine.set_recorder(Arc::new(InMemoryRecorder::new()));
+    engine.invalidate_all();
+    engine.demand_analyzed(&graph, p, 0, true, None).expect("warm-up");
+    let analyzed_ns = best(&mut || {
+        engine.invalidate_all();
+        black_box(engine.demand_analyzed(&graph, p, 0, true, None).expect("analyzed demand"));
+    });
+
+    let overhead_pct = 100.0 * (analyzed_ns - plain_ns).max(0.0) / plain_ns;
+    println!(
+        "obs_overhead/attribution_budget: plain {plain_ns:.0} ns vs analyzed \
+         {analyzed_ns:.0} ns = {overhead_pct:.2}% (budget 5%)"
+    );
+    assert!(
+        overhead_pct < 5.0,
+        "recording + attribution exceeds the 5% budget: {overhead_pct:.2}%"
+    );
+}
+
+criterion_group!(benches, warm_render, cold_demand, disabled_budget, attribution_budget);
 criterion_main!(benches);

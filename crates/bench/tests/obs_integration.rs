@@ -62,3 +62,113 @@ fn figure7_under_recorder_traces_every_fire_then_caches() {
     let table = rec.summary_table().expect("summary");
     assert!(table.contains("engine.cache_hits"));
 }
+
+/// Satellite audit: the counter and span names the engine, plan layer,
+/// viewer, and session actually emit are *exactly* the set DESIGN.md §9
+/// documents (modulo the two documented dynamic prefixes).  A new
+/// emission site must update the doc; a renamed counter fails here.
+const DOCUMENTED_COUNTERS: &[&str] = &[
+    "engine.box_evals",
+    "engine.cache_hits",
+    "cache.invalidations",
+    "cache.invalidated_entries",
+    "plan.cache_hits",
+    "plan.parallel.segments",
+    "plan.parallel.rows",
+];
+/// `plan.rewrite.<rule>` counters are dynamic per rewrite rule.
+const DOCUMENTED_COUNTER_PREFIXES: &[&str] = &["plan.rewrite."];
+const DOCUMENTED_SPANS: &[&str] = &[
+    "engine.demand",
+    "plan.execute",
+    "session.edit",
+    "session.undo",
+    "session.redo",
+    "session.render",
+    "session.pan",
+    "session.zoom",
+    "render.compose",
+    "render.draw",
+    "nav.render",
+    "nav.pan",
+    "nav.zoom",
+    "nav.traverse",
+];
+/// `fire:<Box>` / `relop:<Op>` spans are dynamic per box kind.
+const DOCUMENTED_SPAN_PREFIXES: &[&str] = &["fire:", "relop:"];
+
+#[test]
+fn counter_and_span_names_match_design_doc() {
+    let mut s = session(catalog(60, 4));
+    s.set_threads(4);
+    let rec = Arc::new(InMemoryRecorder::new());
+    s.set_recorder(rec.clone());
+
+    // A figure-7 run exercising every instrumented layer: edits,
+    // renders, gestures, the plan layer with a firing rewrite, demand
+    // attribution, undo/redo, and cache invalidation.
+    build_figure7(&mut s);
+    s.render("atlas").expect("cold render");
+    s.zoom("atlas", 0.5).expect("zoom");
+    s.pan("atlas", 5, 5).expect("pan");
+    s.render("atlas").expect("warm render");
+    let t = s.add_table("Stations").expect("table");
+    let r1 = s.restrict(t, "state = 'LA'").expect("restrict");
+    let r2 = s.restrict(r1, "altitude > 10").expect("restrict");
+    s.explain_analyze(r2, 0).expect("analyze");
+    s.explain_analyze(r2, 0).expect("re-analyze hits the plan cache");
+    assert!(s.undo());
+    assert!(s.redo());
+    s.refresh_sys_tables().expect("sys refresh invalidates caches");
+
+    // Every emitted counter is documented.
+    let counters = rec.counters();
+    for name in counters.keys() {
+        assert!(
+            DOCUMENTED_COUNTERS.contains(&name.as_str())
+                || DOCUMENTED_COUNTER_PREFIXES.iter().any(|p| name.starts_with(p)),
+            "counter '{name}' is emitted but not documented in DESIGN.md §9"
+        );
+    }
+    // ... and every documented counter was emitted by this run.
+    for name in DOCUMENTED_COUNTERS {
+        assert!(counters.contains_key(*name), "documented counter '{name}' never emitted");
+    }
+    // The dynamic prefix is live too (two restricts fuse).
+    assert!(
+        counters.keys().any(|n| n.starts_with("plan.rewrite.")),
+        "no plan.rewrite.<rule> counter fired: {counters:?}"
+    );
+
+    // Every emitted span name is documented.
+    let spans = rec.completed_spans();
+    for sp in spans.iter() {
+        assert!(
+            DOCUMENTED_SPANS.contains(&sp.name.as_str())
+                || DOCUMENTED_SPAN_PREFIXES.iter().any(|p| sp.name.starts_with(p)),
+            "span '{}' is emitted but not documented in DESIGN.md §9",
+            sp.name
+        );
+    }
+    // The session-driven subset of documented spans all appeared (the
+    // nav.* spans belong to the standalone navigator driver).
+    for name in [
+        "engine.demand",
+        "plan.execute",
+        "session.edit",
+        "session.undo",
+        "session.redo",
+        "session.render",
+        "session.pan",
+        "session.zoom",
+        "render.compose",
+        "render.draw",
+    ] {
+        assert!(
+            spans.iter().any(|sp| sp.name == name),
+            "documented span '{name}' never emitted by the figure-7 run"
+        );
+    }
+    assert!(spans.iter().any(|sp| sp.name.starts_with("fire:")));
+    assert!(spans.iter().any(|sp| sp.name.starts_with("relop:")));
+}

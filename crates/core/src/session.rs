@@ -821,6 +821,141 @@ impl Session {
         Ok(self.engine.explain(&self.graph, node, port)?)
     }
 
+    // --------------------------------------------- observability (§9)
+
+    /// `EXPLAIN ANALYZE`: execute the demand with per-operator
+    /// attribution forced on and render the annotated trace tree.  When
+    /// the node is a fitted canvas viewer, the same window predicate the
+    /// renderer pushes down is applied, so the trace shows exactly what a
+    /// render of that canvas executes.
+    pub fn explain_analyze(&mut self, node: NodeId, port: usize) -> Result<String, CoreError> {
+        let window = self.window_pred_for(node, port)?;
+        let (_, trace) =
+            self.engine.demand_analyzed(&self.graph, node, port, true, window.as_ref())?;
+        match trace {
+            Some(t) => Ok(t.render()),
+            None => Ok(format!("{node}.{port}: single box, no relational chain to attribute\n")),
+        }
+    }
+
+    /// The window predicate a render of this output would push down, if
+    /// the node is a fitted canvas viewer in lazy mode.
+    fn window_pred_for(
+        &mut self,
+        node: NodeId,
+        port: usize,
+    ) -> Result<Option<tioga2_expr::Expr>, CoreError> {
+        if port != 0 || self.mode != EvalMode::Lazy {
+            return Ok(None);
+        }
+        let canvas = self
+            .canvases
+            .iter()
+            .find(|(_, c)| c.node == node && c.fitted)
+            .map(|(name, _)| name.clone());
+        let Some(canvas) = canvas else { return Ok(None) };
+        let Some(hdr) = self.engine.plan_root_header(&self.graph, node, 0)? else {
+            return Ok(None);
+        };
+        Ok(self.viewers.get(&canvas).ok().and_then(|v| tioga2_viewer::window_predicate(v, &hdr)))
+    }
+
+    /// The engine's ring of recently traced demands (newest last).
+    pub fn demand_traces(&self) -> &std::collections::VecDeque<tioga2_obs::DemandTrace> {
+        self.engine.demand_traces()
+    }
+
+    /// Names of the self-hosted introspection tables maintained by
+    /// [`Session::refresh_sys_tables`].
+    pub const SYS_TABLES: [&'static str; 3] = ["sys.counters", "sys.histograms", "sys.demands"];
+
+    /// Publish the session's own instrumentation as ordinary catalog
+    /// tables — the engine monitoring itself with its own machinery.
+    ///
+    /// * `sys.counters(name, value)` — every recorder counter.
+    /// * `sys.histograms(name, count, p50_ns, p95_ns, p99_ns, mean_ns,
+    ///   max_ns)` — every recorder histogram.
+    /// * `sys.demands(demand_id, node, depth, rows_in, rows_out, ns,
+    ///   cache, provenance, par_workers)` — one tuple per operator of
+    ///   every trace in the demand ring, in preorder.
+    ///
+    /// The tables are snapshots: re-run to refresh.  Because base-table
+    /// contents changed outside the structural signature, all memoized
+    /// results are invalidated, exactly as a §8 update would.
+    pub fn refresh_sys_tables(&mut self) -> Result<Vec<String>, CoreError> {
+        use tioga2_expr::{ScalarType as T, Value};
+        use tioga2_relational::relation::RelationBuilder;
+
+        let mut counters = RelationBuilder::new().field("name", T::Text).field("value", T::Int);
+        for (name, v) in self.recorder.counters_snapshot() {
+            counters = counters.row(vec![Value::Text(name), Value::Int(v as i64)]);
+        }
+        self.env.catalog.register("sys.counters", counters.build()?);
+
+        let mut hists = RelationBuilder::new()
+            .field("name", T::Text)
+            .field("count", T::Int)
+            .field("p50_ns", T::Int)
+            .field("p95_ns", T::Int)
+            .field("p99_ns", T::Int)
+            .field("mean_ns", T::Float)
+            .field("max_ns", T::Int);
+        for (name, h) in self.recorder.histograms_snapshot() {
+            hists = hists.row(vec![
+                Value::Text(name),
+                Value::Int(h.count() as i64),
+                Value::Int(h.p50() as i64),
+                Value::Int(h.p95() as i64),
+                Value::Int(h.p99() as i64),
+                Value::Float(h.mean()),
+                Value::Int(h.max() as i64),
+            ]);
+        }
+        self.env.catalog.register("sys.histograms", hists.build()?);
+
+        let mut demands = RelationBuilder::new()
+            .field("demand_id", T::Int)
+            .field("node", T::Text)
+            .field("depth", T::Int)
+            .field("rows_in", T::Int)
+            .field("rows_out", T::Int)
+            .field("ns", T::Int)
+            .field("cache", T::Text)
+            .field("provenance", T::Text)
+            .field("par_workers", T::Int);
+        fn walk(
+            b: tioga2_relational::relation::RelationBuilder,
+            id: u64,
+            depth: i64,
+            n: &tioga2_obs::OpNode,
+        ) -> tioga2_relational::relation::RelationBuilder {
+            use tioga2_expr::Value;
+            let mut b = b.row(vec![
+                Value::Int(id as i64),
+                Value::Text(n.op.clone()),
+                Value::Int(depth),
+                Value::Int(n.rows_in as i64),
+                Value::Int(n.rows_out as i64),
+                Value::Int(n.effective_ns() as i64),
+                Value::Text(n.cache.label().to_string()),
+                Value::Text(n.provenance.clone()),
+                Value::Int(n.par_workers as i64),
+            ]);
+            for child in &n.children {
+                b = walk(b, id, depth + 1, child);
+            }
+            b
+        }
+        for t in self.engine.demand_traces() {
+            demands = walk(demands, t.demand_id, 0, &t.root);
+        }
+        self.env.catalog.register("sys.demands", demands.build()?);
+
+        // Catalog contents changed outside the structural signature.
+        self.engine.invalidate_all();
+        Ok(Self::SYS_TABLES.iter().map(|s| s.to_string()).collect())
+    }
+
     /// Render a canvas window.
     pub fn render(&mut self, canvas: &str) -> Result<CanvasFrame, CoreError> {
         let span = self.op_span("session.render", canvas);

@@ -783,3 +783,87 @@ fn zoomed_render_pushes_window_into_plan() {
         full.scene.items.iter().map(|i| i.provenance.row_id).collect();
     assert!(zoomed_rows.is_subset(&full_rows));
 }
+
+#[test]
+fn explain_analyze_renders_attributed_tree() {
+    let mut s = session();
+    let (p, _) = figure1(&mut s);
+    let report = s.explain_analyze(p, 0).unwrap();
+    assert!(report.contains("demand #"), "{report}");
+    assert!(report.contains("Restrict"), "{report}");
+    assert!(report.contains("Source"), "{report}");
+    assert!(report.contains("rows"), "{report}");
+    assert!(report.contains('%'), "{report}");
+    assert!(report.contains("plan cache"), "{report}");
+    // The analyzed demand landed in the trace ring.
+    assert_eq!(s.demand_traces().len(), 1);
+
+    // A bare table box has no relational chain to attribute.
+    let t = s.add_table("Stations").unwrap();
+    let report = s.explain_analyze(t, 0).unwrap();
+    assert!(report.contains("no relational chain"), "{report}");
+}
+
+#[test]
+fn explain_analyze_on_fitted_canvas_shows_the_window_restrict() {
+    // Same setup as zoomed_render_pushes_window_into_plan: stored x/y so
+    // the viewer window is expressible as a predicate.
+    let catalog = Catalog::new();
+    let mut b = tioga2_relational::relation::RelationBuilder::new()
+        .field("name", T::Text)
+        .field("x", T::Float)
+        .field("y", T::Float);
+    for i in 0..100 {
+        b = b.row(vec![
+            tioga2_expr::Value::Text(format!("p{i}")),
+            tioga2_expr::Value::Float(i as f64),
+            tioga2_expr::Value::Float(i as f64),
+        ]);
+    }
+    catalog.register("Pts", b.build().unwrap());
+    let mut s = Session::new(Environment::new(catalog));
+    let t = s.add_table("Pts").unwrap();
+    let r = s.restrict(t, "x >= 0.0").unwrap();
+    let v = s.add_viewer(r, "main").unwrap();
+    s.render("main").unwrap();
+    s.zoom("main", 0.05).unwrap();
+    // Analyzing the viewer's output uses the render's window pushdown;
+    // the fused restrict is visible with rewritten provenance.
+    let report = s.explain_analyze(v, 0).unwrap();
+    assert!(report.contains("[rewritten]") || report.contains("[window]"), "{report}");
+}
+
+#[test]
+fn sys_tables_are_ordinary_demandable_relations() {
+    let mut s = session();
+    s.set_recorder(std::sync::Arc::new(tioga2_obs::InMemoryRecorder::new()));
+    let (p, _) = figure1(&mut s);
+    s.render("main").unwrap();
+    s.explain_analyze(p, 0).unwrap();
+
+    let registered = s.refresh_sys_tables().unwrap();
+    assert_eq!(registered, Session::SYS_TABLES.to_vec());
+    for name in Session::SYS_TABLES {
+        assert!(s.env.catalog.contains(name), "missing {name}");
+    }
+
+    // sys.counters carries the engine's own counters.
+    let counters = s.env.catalog.snapshot("sys.counters").unwrap();
+    let names: Vec<String> = (0..counters.len())
+        .map(|i| match counters.attr_value(i, "name").unwrap() {
+            tioga2_expr::Value::Text(t) => t,
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    assert!(names.iter().any(|n| n == "engine.box_evals"), "{names:?}");
+
+    // sys.demands is demandable and restrictable like any relation:
+    // exactly one depth-0 tuple per recorded trace.
+    let traces = s.demand_traces().len() as usize;
+    assert!(traces >= 1);
+    let t = s.add_table("sys.demands").unwrap();
+    let roots = s.restrict(t, "depth = 0").unwrap();
+    assert_eq!(s.demand(roots, 0).unwrap().tuple_count(), traces);
+    let all = s.demand(t, 0).unwrap().tuple_count();
+    assert!(all > traces, "per-operator tuples present");
+}

@@ -18,8 +18,10 @@ use crate::error::FlowError;
 use crate::graph::{Graph, NodeId};
 use crate::plan;
 use crate::port::Data;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 use tioga2_display::attr_ops;
 use tioga2_display::compose::{replicate_within, stitch};
 use tioga2_display::defaults::{make_display_relation, redefault};
@@ -29,7 +31,7 @@ use tioga2_display::drilldown::{
 use tioga2_display::lift::{apply_to_composite, apply_to_relation};
 use tioga2_display::{DisplayRelation, Displayable};
 use tioga2_expr::{Expr, UnaryOp};
-use tioga2_obs::{Recorder, SpanId};
+use tioga2_obs::{CacheStatus, DemandTrace, OpNode, Recorder, SpanId};
 use tioga2_relational::ops;
 use tioga2_relational::Catalog;
 
@@ -64,6 +66,11 @@ struct PlanCacheEntry {
     output: Data,
 }
 
+/// How many finished [`DemandTrace`]s the engine keeps (oldest evicted
+/// first).  Small and fixed: traces exist for `:explain analyze`,
+/// `sys.demands`, and flamegraph export, not as a durable log.
+pub const DEMAND_TRACE_RING: usize = 32;
+
 /// The lazy engine.  One engine is attached to one top-level graph; inner
 /// (encapsulated) graphs get transient sub-engines.
 pub struct Engine {
@@ -75,6 +82,11 @@ pub struct Engine {
     /// Worker count for partition-parallel plan execution; copied from
     /// [`tioga2_relational::par::threads`] at construction.
     threads: usize,
+    /// Ring of the last [`DEMAND_TRACE_RING`] per-demand trace trees.
+    /// Populated by every planned demand while an enabled recorder is
+    /// installed, and by [`Engine::demand_analyzed`] unconditionally.
+    demand_traces: VecDeque<DemandTrace>,
+    next_demand_id: u64,
 }
 
 fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
@@ -97,7 +109,21 @@ impl Engine {
             stats: EvalStats::default(),
             recorder: tioga2_obs::noop(),
             threads: tioga2_relational::par::threads(),
+            demand_traces: VecDeque::new(),
+            next_demand_id: 0,
         }
+    }
+
+    /// The retained per-demand trace trees, oldest first.
+    pub fn demand_traces(&self) -> &VecDeque<DemandTrace> {
+        &self.demand_traces
+    }
+
+    /// The most recent trace for a given demanded `(node, port)`, if one
+    /// is still in the ring.
+    pub fn last_trace_for(&self, node: NodeId, port: usize) -> Option<&DemandTrace> {
+        let label_prefix = format!("{node}.{port} ");
+        self.demand_traces.iter().rev().find(|t| t.label.starts_with(&label_prefix))
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -201,13 +227,57 @@ impl Engine {
         rewrite: bool,
         window: Option<&Expr>,
     ) -> Result<Data, FlowError> {
-        let plan = crate::lower::lower(graph, node, port);
-        if plan.is_source() && window.is_none() {
-            return self.demand(graph, node, port);
+        self.demand_planned_impl(graph, node, port, rewrite, window, false).map(|(d, _)| d)
+    }
+
+    /// `:explain analyze`: execute the planned demand *with attribution
+    /// forced on* (even under a disabled recorder) and return both the
+    /// result and its [`DemandTrace`].  Unlike the passive path, a plan
+    /// cache hit does not short-circuit — the demand is re-executed so
+    /// per-operator rows and times are real, while the trace still
+    /// reports that the cache *would* have answered.  `None` when the
+    /// demand has no relational chain to plan (single box / non-R data).
+    pub fn demand_analyzed(
+        &mut self,
+        graph: &Graph,
+        node: NodeId,
+        port: usize,
+        rewrite: bool,
+        window: Option<&Expr>,
+    ) -> Result<(Data, Option<DemandTrace>), FlowError> {
+        self.demand_planned_impl(graph, node, port, rewrite, window, true)
+    }
+
+    fn demand_planned_impl(
+        &mut self,
+        graph: &Graph,
+        node: NodeId,
+        port: usize,
+        rewrite: bool,
+        window: Option<&Expr>,
+        force_trace: bool,
+    ) -> Result<(Data, Option<DemandTrace>), FlowError> {
+        let t0 = Instant::now();
+        let orig = crate::lower::lower(graph, node, port);
+        if orig.is_source() && window.is_none() {
+            return Ok((self.demand(graph, node, port)?, None));
         }
+        // Attribution runs for every planned demand while a recorder is
+        // enabled (that is what fills `sys.demands` from ordinary
+        // renders) and whenever an analyze was asked for explicitly.
+        let record = force_trace || self.recorder.is_enabled();
+        // Canon strings of every subtree present in the user's program:
+        // executed nodes outside this set were synthesized by the window
+        // wrap or moved/produced by the optimizer (trace provenance).
+        let orig_canons = record.then(|| {
+            let mut set = HashSet::new();
+            collect_canons(&orig, &mut set);
+            set
+        });
+        let window_str = window.map(|w| format!("{w}"));
         let plan = match window {
-            Some(w) => plan::Plan::Restrict { input: Box::new(plan), pred: w.clone() },
-            None => plan,
+            Some(w) => plan::Plan::Restrict { input: Box::new(orig), pred: w.clone() },
+            None => orig,
         };
 
         // Fingerprint before evaluating anything: canonical plan text
@@ -225,10 +295,14 @@ impl Engine {
         // keyed by `(node, port)`, so a deleted box's entry would
         // otherwise linger for the whole session.
         self.plan_cache.retain(|(n, _), _| graph.node(*n).is_ok());
+        let mut would_hit = false;
         if let Some(entry) = self.plan_cache.get(&(node, port)) {
             if entry.fp == fp {
                 self.recorder.add("plan.cache_hits", 1);
-                return Ok(entry.output.clone());
+                if !force_trace {
+                    return Ok((entry.output.clone(), None));
+                }
+                would_hit = true;
             }
         }
 
@@ -236,12 +310,24 @@ impl Engine {
         // non-relational boundary means the chain is not actually R
         // shaped; fall back to box-at-a-time.
         let mut srcs = plan::SourceMap::new();
+        let mut src_memo: HashMap<(NodeId, usize), CacheStatus> = HashMap::new();
         for (n, p) in plan.sources() {
+            let evals_before = self.stats.box_evals;
             match self.demand(graph, n, p)? {
                 Data::D(Displayable::R(dr)) => {
+                    if record {
+                        // Nothing fired => the boundary cone was fully
+                        // memoized.
+                        let status = if self.stats.box_evals == evals_before {
+                            CacheStatus::Hit
+                        } else {
+                            CacheStatus::Miss
+                        };
+                        src_memo.insert((n, p), status);
+                    }
                     srcs.insert((n, p), dr);
                 }
-                _ => return self.demand(graph, node, port),
+                _ => return Ok((self.demand(graph, node, port)?, None)),
             }
         }
 
@@ -261,7 +347,9 @@ impl Engine {
         } else {
             SpanId::NONE
         };
-        let result = plan::execute_opts(&exec_plan, &final_header, &srcs, self.threads);
+        let attr = record.then(|| plan::AttrNode::build(&exec_plan, graph));
+        let result =
+            plan::execute_attr(&exec_plan, &final_header, &srcs, self.threads, attr.as_ref());
         if let Ok((_, es)) = &result {
             if es.par_segments > 0 {
                 self.recorder.add("plan.parallel.segments", es.par_segments);
@@ -282,9 +370,32 @@ impl Engine {
                 ],
             );
         }
-        let data = Data::D(Displayable::R(result?.0));
+        let (out_dr, es) = result?;
+        let data = Data::D(Displayable::R(out_dr));
         self.plan_cache.insert((node, port), PlanCacheEntry { fp, output: data.clone() });
-        Ok(data)
+        let trace = attr.map(|attr| {
+            let orig_canons = orig_canons.expect("canon set collected whenever attr is");
+            let root =
+                build_op_node(&exec_plan, &attr, &src_memo, &orig_canons, window_str.as_deref());
+            let name = graph.node(node).map(|n| n.name()).unwrap_or_else(|_| "?".to_string());
+            let t = DemandTrace {
+                demand_id: self.next_demand_id,
+                label: format!("{node}.{port} ({name})"),
+                total_ns: t0.elapsed().as_nanos() as u64,
+                threads: self.threads,
+                par_segments: es.par_segments,
+                plan_cache: if would_hit { CacheStatus::Hit } else { CacheStatus::Miss },
+                rewrites: rw.counts.iter().map(|(r, n)| (r.to_string(), *n)).collect(),
+                root,
+            };
+            self.next_demand_id += 1;
+            if self.demand_traces.len() >= DEMAND_TRACE_RING {
+                self.demand_traces.pop_front();
+            }
+            self.demand_traces.push_back(t.clone());
+            t
+        });
+        Ok((data, trace))
     }
 
     /// [`Engine::demand_planned`], unwrapped to a displayable.
@@ -600,6 +711,64 @@ impl Engine {
             }
             BoxKind::Custom(c) => (c.f)(&inputs),
         }
+    }
+}
+
+/// All subtree canon strings of `plan`.  Used for trace provenance: an
+/// executed node whose canon is absent from the user's original plan was
+/// synthesized (window wrap) or produced/moved by the optimizer.
+fn collect_canons(plan: &plan::Plan, out: &mut HashSet<String>) {
+    out.insert(plan.canon());
+    for child in plan.children() {
+        collect_canons(child, out);
+    }
+}
+
+/// Roll one executed plan node plus its fed attribution mirror into a
+/// trace-tree node.  `rows_in` is derived, never measured twice: the sum
+/// of the children's outputs (a source's input is its own scan count).
+fn build_op_node(
+    plan_node: &plan::Plan,
+    attr: &plan::AttrNode,
+    src_memo: &HashMap<(NodeId, usize), CacheStatus>,
+    orig_canons: &HashSet<String>,
+    window_pred: Option<&str>,
+) -> OpNode {
+    let children: Vec<OpNode> = plan_node
+        .children()
+        .into_iter()
+        .zip(&attr.children)
+        .map(|(p, a)| build_op_node(p, a, src_memo, orig_canons, window_pred))
+        .collect();
+    let rows_out = attr.cell.rows_out();
+    let rows_in = match plan_node {
+        plan::Plan::Source { .. } => rows_out,
+        _ => children.iter().map(|c| c.rows_out).sum(),
+    };
+    let cache = match plan_node {
+        plan::Plan::Source { node, port } => {
+            src_memo.get(&(*node, *port)).copied().unwrap_or(CacheStatus::NotCached)
+        }
+        _ => CacheStatus::NotCached,
+    };
+    let provenance = if orig_canons.contains(&plan_node.canon()) {
+        String::new()
+    } else if matches!(plan_node, plan::Plan::Restrict { pred, .. }
+        if window_pred == Some(format!("{pred}").as_str()))
+    {
+        "window".to_string()
+    } else {
+        "rewritten".to_string()
+    };
+    OpNode {
+        op: attr.label.clone(),
+        rows_in,
+        rows_out,
+        ns: attr.cell.est_ns(),
+        cache,
+        provenance,
+        par_workers: attr.par_workers.load(Ordering::Relaxed),
+        children,
     }
 }
 
@@ -1082,6 +1251,88 @@ mod tests {
         e.invalidate_all();
         assert_eq!(rec.counter("cache.invalidations"), Some(1));
         assert_eq!(rec.counter("cache.invalidated_entries"), Some(2));
+    }
+
+    #[test]
+    fn demand_analyzed_builds_a_trace_tree() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r1 = g.add(restrict("state = 'LA'"));
+        let r2 = g.add(restrict("altitude > 10.0"));
+        g.connect(t, 0, r1, 0).unwrap();
+        g.connect(r1, 0, r2, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        let (_, trace) = e.demand_analyzed(&g, r2, 0, true, None).unwrap();
+        let trace = trace.unwrap();
+        assert_eq!(trace.plan_cache, CacheStatus::Miss);
+        // The two restricts fused: the root is optimizer-made.
+        assert!(trace.rewrites.iter().any(|(r, _)| r == "fuse_restricts"), "{:?}", trace.rewrites);
+        assert_eq!(trace.root.provenance, "rewritten");
+        assert_eq!(trace.root.rows_in, 4);
+        assert_eq!(trace.root.rows_out, 2, "LA stations above 10m");
+        let src = &trace.root.children[0];
+        assert_eq!(src.rows_out, 4);
+        assert_eq!(src.cache, CacheStatus::Miss, "first demand fires the table box");
+        assert_eq!(src.provenance, "");
+
+        // Analyze again: the plan cache would have answered, and the
+        // boundary cone is memoized now — but rows are still real.
+        let (_, trace2) = e.demand_analyzed(&g, r2, 0, true, None).unwrap();
+        let trace2 = trace2.unwrap();
+        assert_eq!(trace2.plan_cache, CacheStatus::Hit);
+        assert_eq!(trace2.root.children[0].cache, CacheStatus::Hit);
+        assert_eq!(trace2.root.rows_out, 2);
+        assert_eq!(e.demand_traces().len(), 2);
+        assert!(e.last_trace_for(r2, 0).is_some());
+    }
+
+    #[test]
+    fn analyzed_window_restrict_is_marked() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict("state = 'LA'"));
+        g.connect(t, 0, r, 0).unwrap();
+        let w = parse("altitude > 10.0").unwrap();
+        let mut e = Engine::new(catalog());
+        // Rewrites off so the synthesized window restrict stays on top.
+        let (_, trace) = e.demand_analyzed(&g, r, 0, false, Some(&w)).unwrap();
+        let root = trace.unwrap().root;
+        assert_eq!(root.provenance, "window");
+        assert_eq!(root.children[0].provenance, "", "the user's own restrict");
+    }
+
+    #[test]
+    fn passive_planned_demands_fill_the_trace_ring_only_when_recording() {
+        use tioga2_obs::InMemoryRecorder;
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict("state = 'LA'"));
+        g.connect(t, 0, r, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        e.demand_planned(&g, r, 0).unwrap();
+        assert!(e.demand_traces().is_empty(), "noop recorder: no attribution");
+        e.set_recorder(std::sync::Arc::new(InMemoryRecorder::new()));
+        e.invalidate_all();
+        e.demand_planned(&g, r, 0).unwrap();
+        assert_eq!(e.demand_traces().len(), 1);
+        let trace = &e.demand_traces()[0];
+        assert_eq!(trace.root.rows_out, 3);
+        assert_eq!(trace.threads, e.threads());
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("Stations".into()));
+        let r = g.add(restrict("state = 'LA'"));
+        g.connect(t, 0, r, 0).unwrap();
+        let mut e = Engine::new(catalog());
+        for _ in 0..(DEMAND_TRACE_RING + 5) {
+            e.demand_analyzed(&g, r, 0, true, None).unwrap();
+        }
+        assert_eq!(e.demand_traces().len(), DEMAND_TRACE_RING);
+        let first = e.demand_traces()[0].demand_id;
+        assert_eq!(first, 5, "oldest traces evicted");
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub use engine::{Engine, EvalStats};
 pub use error::FlowError;
 pub use graph::{Graph, Node, NodeId};
 pub use lower::lower;
-pub use plan::{Plan, RewriteStats};
+pub use plan::{AttrNode, Plan, RewriteStats};
 pub use port::{Data, PortType};

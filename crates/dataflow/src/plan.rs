@@ -19,11 +19,14 @@ use crate::engine::apply_rel_op;
 use crate::error::FlowError;
 use crate::graph::{Graph, NodeId};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 use tioga2_display::defaults::redefault;
 use tioga2_display::DisplayRelation;
 use tioga2_expr::{BinOp, Expr};
 use tioga2_relational::ops::{self, join_renames};
-use tioga2_relational::{ParPipeline, Relation, TupleStream, SEQ_ATTR};
+use tioga2_relational::{OpCell, ParPipeline, Relation, TupleStream, SEQ_ATTR};
 
 use crate::boxes::RelOpKind;
 
@@ -114,6 +117,22 @@ impl Plan {
         }
     }
 
+    /// Direct children, in execution order (unary input; Join: left then
+    /// right).  [`AttrNode`] trees and trace trees mirror this order.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Source { .. } => Vec::new(),
+            Plan::Restrict { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Sample { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Distinct { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Rename { input, .. } => vec![input],
+            Plan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
     /// Number of operator nodes (sources excluded).
     pub fn op_count(&self) -> usize {
         match self {
@@ -199,50 +218,38 @@ impl Plan {
         s
     }
 
-    fn fmt_pretty(&self, graph: &Graph, depth: usize, s: &mut String) {
-        let pad = "  ".repeat(depth);
+    /// The one-line label of this node alone, exactly as [`pretty`]
+    /// prints it (and as trace trees report it).
+    ///
+    /// [`pretty`]: Plan::pretty
+    pub fn node_label(&self, graph: &Graph) -> String {
         match self {
             Plan::Source { node, port } => {
                 let name = graph.node(*node).map(|n| n.name()).unwrap_or_else(|_| "?".to_string());
-                s.push_str(&format!("{pad}Source {node}.{port} ({name})\n"));
+                format!("Source {node}.{port} ({name})")
             }
-            Plan::Restrict { input, pred } => {
-                s.push_str(&format!("{pad}Restrict {pred}\n"));
-                input.fmt_pretty(graph, depth + 1, s);
-            }
-            Plan::Project { input, cols } => {
-                s.push_str(&format!("{pad}Project [{}]\n", cols.join(", ")));
-                input.fmt_pretty(graph, depth + 1, s);
-            }
-            Plan::Sample { input, p, seed } => {
-                s.push_str(&format!("{pad}Sample p={p} seed={seed}\n"));
-                input.fmt_pretty(graph, depth + 1, s);
-            }
-            Plan::Sort { input, keys } => {
+            Plan::Restrict { pred, .. } => format!("Restrict {pred}"),
+            Plan::Project { cols, .. } => format!("Project [{}]", cols.join(", ")),
+            Plan::Sample { p, seed, .. } => format!("Sample p={p} seed={seed}"),
+            Plan::Sort { keys, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
                     .map(|(k, asc)| format!("{k} {}", if *asc { "asc" } else { "desc" }))
                     .collect();
-                s.push_str(&format!("{pad}Sort [{}]\n", ks.join(", ")));
-                input.fmt_pretty(graph, depth + 1, s);
+                format!("Sort [{}]", ks.join(", "))
             }
-            Plan::Distinct { input, cols } => {
-                s.push_str(&format!("{pad}Distinct [{}]\n", cols.join(", ")));
-                input.fmt_pretty(graph, depth + 1, s);
-            }
-            Plan::Limit { input, offset, count } => {
-                s.push_str(&format!("{pad}Limit offset={offset} count={count}\n"));
-                input.fmt_pretty(graph, depth + 1, s);
-            }
-            Plan::Rename { input, from, to } => {
-                s.push_str(&format!("{pad}Rename {from} -> {to}\n"));
-                input.fmt_pretty(graph, depth + 1, s);
-            }
-            Plan::Join { left, right, pred } => {
-                s.push_str(&format!("{pad}Join on {pred}\n"));
-                left.fmt_pretty(graph, depth + 1, s);
-                right.fmt_pretty(graph, depth + 1, s);
-            }
+            Plan::Distinct { cols, .. } => format!("Distinct [{}]", cols.join(", ")),
+            Plan::Limit { offset, count, .. } => format!("Limit offset={offset} count={count}"),
+            Plan::Rename { from, to, .. } => format!("Rename {from} -> {to}"),
+            Plan::Join { pred, .. } => format!("Join on {pred}"),
+        }
+    }
+
+    fn fmt_pretty(&self, graph: &Graph, depth: usize, s: &mut String) {
+        let pad = "  ".repeat(depth);
+        s.push_str(&format!("{pad}{}\n", self.node_label(graph)));
+        for child in self.children() {
+            child.fmt_pretty(graph, depth + 1, s);
         }
     }
 }
@@ -743,6 +750,41 @@ fn try_push_below_join(
     }
 }
 
+/// One node of the per-demand attribution tree, mirroring the executed
+/// [`Plan`]'s shape exactly (same traversal order as
+/// [`Plan::children`]).  The executor feeds each node's [`OpCell`] while
+/// streaming — exact row counts, sampled pull times — and the engine
+/// rolls a finished tree into a `DemandTrace` afterwards.
+#[derive(Debug)]
+pub struct AttrNode {
+    /// The mirrored plan node's [`Plan::node_label`].
+    pub label: String,
+    /// Row/time cell the streaming executor feeds.
+    pub cell: Arc<OpCell>,
+    /// Workers used by the partition-parallel segment rooted here
+    /// (0 = ran serially).
+    pub par_workers: AtomicU64,
+    /// Set on `Source` leaves: the memo boundary this leaf demands.
+    pub source: Option<(NodeId, usize)>,
+    pub children: Vec<AttrNode>,
+}
+
+impl AttrNode {
+    /// Build a fresh (all-zero) cell tree mirroring `plan`.
+    pub fn build(plan: &Plan, graph: &Graph) -> AttrNode {
+        AttrNode {
+            label: plan.node_label(graph),
+            cell: OpCell::new(),
+            par_workers: AtomicU64::new(0),
+            source: match plan {
+                Plan::Source { node, port } => Some((*node, *port)),
+                _ => None,
+            },
+            children: plan.children().into_iter().map(|c| Self::build(c, graph)).collect(),
+        }
+    }
+}
+
 /// Per-execution observability: how much of the plan ran on the
 /// partition-parallel path.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -774,8 +816,24 @@ pub fn execute_opts(
     srcs: &SourceMap,
     threads: usize,
 ) -> Result<(DisplayRelation, ExecStats), FlowError> {
+    execute_attr(exec_plan, final_header, srcs, threads, None)
+}
+
+/// [`execute_opts`] feeding an attribution tree.  With `attr` set, every
+/// operator's output stream is routed through its mirror node's cell
+/// (exact rows; pull time sampled every Nth tuple), eager operators
+/// (Sort, Join) charge their wall time directly, and parallel segments
+/// flush thread-invariant merged counts plus the slowest worker's wall
+/// time into the chain's cells.
+pub fn execute_attr(
+    exec_plan: &Plan,
+    final_header: &DisplayRelation,
+    srcs: &SourceMap,
+    threads: usize,
+    attr: Option<&AttrNode>,
+) -> Result<(DisplayRelation, ExecStats), FlowError> {
     let mut stats = ExecStats::default();
-    let (stream, _hdr) = exec(exec_plan, srcs, threads, &mut stats)?;
+    let (stream, _hdr) = exec(exec_plan, srcs, threads, &mut stats, attr)?;
     let rel = stream.with_header(&final_header.rel)?.collect()?;
     let mut out = final_header.clone();
     out.rel = rel;
@@ -796,73 +854,93 @@ fn exec(
     srcs: &SourceMap,
     threads: usize,
     stats: &mut ExecStats,
+    attr: Option<&AttrNode>,
 ) -> Result<(TupleStream, DisplayRelation), FlowError> {
-    if let Some(done) = try_exec_parallel(plan, srcs, threads, stats)? {
+    if let Some(done) = try_exec_parallel(plan, srcs, threads, stats, attr)? {
         return Ok(done);
     }
+    // Route this node's output through its attribution cell (a no-op
+    // identity when nobody is watching).
+    let tag = |s: TupleStream| match attr {
+        Some(a) => s.attributed(Arc::clone(&a.cell)),
+        None => s,
+    };
+    // Eager operators (Sort, Join) drain their inputs inside one call,
+    // invisible to per-pull sampling: charge their wall time directly.
+    let charge = |t0: Instant| {
+        if let Some(a) = attr {
+            a.cell.add_direct_ns(t0.elapsed().as_nanos() as u64);
+        }
+    };
+    let child = |i: usize| attr.map(|a| &a.children[i]);
     match plan {
         Plan::Source { node, port } => {
             let dr = srcs.get(&(*node, *port)).ok_or_else(|| missing_source(*node, *port))?;
-            let stream = TupleStream::scan(&dr.rel);
+            let stream = tag(TupleStream::scan(&dr.rel));
             let mut hdr = dr.clone();
             hdr.rel = hdr.rel.with_tuples(Vec::new());
             Ok((stream, hdr))
         }
         Plan::Restrict { input, pred } => {
-            let (s, h) = exec(input, srcs, threads, stats)?;
-            let s = s.with_header(&h.rel)?.restrict(pred)?;
+            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
+            let s = tag(s.with_header(&h.rel)?.restrict(pred)?);
             let h2 = apply_rel_op(&RelOpKind::Restrict(pred.clone()), &h)?;
             Ok((s, h2))
         }
         Plan::Project { input, cols } => {
-            let (s, h) = exec(input, srcs, threads, stats)?;
+            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
             let fields: Vec<&str> = cols.iter().map(String::as_str).collect();
-            let s = s.with_header(&h.rel)?.project(&fields)?;
+            let s = tag(s.with_header(&h.rel)?.project(&fields)?);
             let h2 = apply_rel_op(&RelOpKind::Project(cols.clone()), &h)?;
             Ok((s, h2))
         }
         Plan::Sample { input, p, seed } => {
-            let (s, h) = exec(input, srcs, threads, stats)?;
-            let s = s.with_header(&h.rel)?.sample(*p, *seed)?;
+            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
+            let s = tag(s.with_header(&h.rel)?.sample(*p, *seed)?);
             let h2 = apply_rel_op(&RelOpKind::Sample { p: *p, seed: *seed }, &h)?;
             Ok((s, h2))
         }
         Plan::Sort { input, keys } => {
-            let (s, h) = exec(input, srcs, threads, stats)?;
+            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
             let ks: Vec<(&str, bool)> = keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
+            let t0 = Instant::now();
             let s = s.with_header(&h.rel)?.sort(&ks)?;
+            charge(t0);
+            let s = tag(s);
             let h2 = apply_rel_op(&RelOpKind::Sort(keys.clone()), &h)?;
             Ok((s, h2))
         }
         Plan::Distinct { input, cols } => {
-            let (s, h) = exec(input, srcs, threads, stats)?;
+            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
             let attrs: Vec<&str> = cols.iter().map(String::as_str).collect();
-            let s = s.with_header(&h.rel)?.distinct(&attrs)?;
+            let s = tag(s.with_header(&h.rel)?.distinct(&attrs)?);
             let h2 = apply_rel_op(&RelOpKind::Distinct(cols.clone()), &h)?;
             Ok((s, h2))
         }
         Plan::Limit { input, offset, count } => {
-            let (s, h) = exec(input, srcs, threads, stats)?;
-            let s = s.with_header(&h.rel)?.limit(*offset, *count);
+            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
+            let s = tag(s.with_header(&h.rel)?.limit(*offset, *count));
             let h2 = apply_rel_op(&RelOpKind::Limit { offset: *offset, count: *count }, &h)?;
             Ok((s, h2))
         }
         Plan::Rename { input, from, to } => {
-            let (s, h) = exec(input, srcs, threads, stats)?;
-            let s = s.with_header(&h.rel)?.rename(from, to)?;
+            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
+            let s = tag(s.with_header(&h.rel)?.rename(from, to)?);
             let h2 = apply_rel_op(&RelOpKind::Rename { from: from.clone(), to: to.clone() }, &h)?;
             Ok((s, h2))
         }
         Plan::Join { left, right, pred } => {
             // Joins are pipeline breakers: collect both sides, join with
             // the engine's operator (hash join on equi-keys), re-scan.
-            let (ls, lh) = exec(left, srcs, threads, stats)?;
-            let (rs, rh) = exec(right, srcs, threads, stats)?;
+            let (ls, lh) = exec(left, srcs, threads, stats, child(0))?;
+            let (rs, rh) = exec(right, srcs, threads, stats, child(1))?;
+            let t0 = Instant::now();
             let lrel = ls.with_header(&lh.rel)?.collect()?;
             let rrel = rs.with_header(&rh.rel)?.collect()?;
             let joined = ops::join(&lrel, &rrel, pred)?;
+            charge(t0);
             let out = redefault(joined, &lh)?;
-            let stream = TupleStream::scan(&out.rel);
+            let stream = tag(TupleStream::scan(&out.rel));
             let mut hdr = out;
             hdr.rel = hdr.rel.with_tuples(Vec::new());
             Ok((stream, hdr))
@@ -894,13 +972,17 @@ fn try_exec_parallel(
     srcs: &SourceMap,
     threads: usize,
     stats: &mut ExecStats,
+    attr: Option<&AttrNode>,
 ) -> Result<Option<(TupleStream, DisplayRelation)>, FlowError> {
     if threads < 2 {
         return Ok(None);
     }
-    // Top-down: collect the maximal per-tuple chain ending at a source.
+    // Top-down: collect the maximal per-tuple chain ending at a source,
+    // walking the mirrored attribution tree in lockstep.
     let mut chain: Vec<&Plan> = Vec::new();
+    let mut chain_attrs: Vec<Option<&AttrNode>> = Vec::new();
     let mut cur = plan;
+    let mut cur_attr = attr;
     let (node, port) = loop {
         match cur {
             Plan::Source { node, port } => break (*node, *port),
@@ -910,11 +992,14 @@ fn try_exec_parallel(
             | Plan::Distinct { input, .. }
             | Plan::Rename { input, .. } => {
                 chain.push(cur);
+                chain_attrs.push(cur_attr);
                 cur = input;
+                cur_attr = cur_attr.map(|a| &a.children[0]);
             }
             _ => return Ok(None),
         }
     };
+    let source_attr = cur_attr;
     if chain.is_empty() {
         return Ok(None);
     }
@@ -927,7 +1012,8 @@ fn try_exec_parallel(
     let mut pipe = ParPipeline::new(&dr.rel);
     let mut hdr = dr.clone();
     hdr.rel = hdr.rel.with_tuples(Vec::new());
-    for (pos, op) in chain.iter().rev().enumerate() {
+    let mut stage_cells: Vec<Option<Arc<OpCell>>> = Vec::new();
+    for (pos, (op, op_attr)) in chain.iter().rev().zip(chain_attrs.iter().rev()).enumerate() {
         let topmost = pos + 1 == chain.len();
         let kind = match op {
             Plan::Restrict { pred, .. } => {
@@ -978,6 +1064,11 @@ fn try_exec_parallel(
             }
             _ => unreachable!("chain collects only per-tuple operators"),
         };
+        // Renames compile to no pipeline stage; every other operator
+        // just appended exactly one, so its watcher (if any) aligns.
+        if !matches!(kind, RelOpKind::Rename { .. }) {
+            stage_cells.push(op_attr.map(|a| Arc::clone(&a.cell)));
+        }
         hdr = match apply_rel_op(&kind, &hdr) {
             Ok(h) => h,
             // Serial replay would fail identically; let it own the error.
@@ -989,9 +1080,29 @@ fn try_exec_parallel(
         // without copying — strictly better than a parallel pass.
         return Ok(None);
     }
+    pipe.set_cells(source_attr.map(|a| Arc::clone(&a.cell)), stage_cells)?;
+    let workers = pipe.planned_workers(threads.min(rows)) as u64;
     let tuples = pipe.run(threads.min(rows))?;
     stats.par_segments += 1;
     stats.par_rows += rows as u64;
+    if attr.is_some() {
+        // Stage cells carry the merged (thread-invariant) survivor
+        // counts now; credit each stage-less Rename the row count of
+        // whatever feeds it (it is 1:1), bottom-up from the scan.
+        let mut prev = rows as u64;
+        for (op, op_attr) in chain.iter().rev().zip(chain_attrs.iter().rev()) {
+            if let Some(a) = op_attr {
+                if matches!(op, Plan::Rename { .. }) {
+                    a.cell.add_rows(prev);
+                } else {
+                    prev = a.cell.rows_out();
+                }
+            }
+        }
+        if let Some(a) = chain_attrs[0] {
+            a.par_workers.store(workers, Ordering::Relaxed);
+        }
+    }
     let stream = TupleStream::scan(&hdr.rel.with_tuples(tuples));
     Ok(Some((stream, hdr)))
 }

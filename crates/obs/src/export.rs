@@ -1,10 +1,12 @@
 //! Artifact exporters: Chrome trace-event JSON, plaintext summary
-//! table, Prometheus-style text exposition.
+//! table, Prometheus-style text exposition, and folded stacks
+//! (flamegraph collapsed format) from demand trace trees.
 //!
-//! All three are hand-rolled (this crate is dependency-free by design);
-//! the JSON writer escapes strings per RFC 8259.
+//! All are hand-rolled (this crate is dependency-free by design); the
+//! JSON writer escapes strings per RFC 8259.
 
 use crate::memory::{Event, InMemoryRecorder};
+use crate::tree::DemandTrace;
 
 /// Escape a string for inclusion in a JSON string literal.
 pub fn escape_json(s: &str) -> String {
@@ -175,7 +177,20 @@ pub fn summary_table(rec: &InMemoryRecorder) -> String {
     if dropped > 0 {
         out.push_str(&format!("\n(journal ring evicted {dropped} events)\n"));
     }
+    let mismatched = rec.mismatched_span_ends();
+    if mismatched > 0 {
+        out.push_str(&format!("\n({mismatched} mismatched span ends dropped)\n"));
+    }
     out
+}
+
+/// Folded-stacks (flamegraph collapsed) text for a set of demand
+/// traces, one stack line per trace-tree node carrying its *self* time.
+/// Feed the output to `flamegraph.pl` / `inferno-flamegraph`.  Within
+/// one demand the counts sum exactly to
+/// [`DemandTrace::total_effective_ns`].
+pub fn folded_stacks(traces: &[DemandTrace]) -> String {
+    traces.iter().map(DemandTrace::folded).collect()
 }
 
 /// Sanitize a name into a Prometheus metric/label token.
@@ -315,5 +330,193 @@ mod tests {
         assert!(json.contains("traceEvents"));
         assert!(summary_table(&rec).contains("(none)"));
         assert_eq!(prometheus_text(&rec), "");
+    }
+
+    /// Minimal recursive-descent JSON validator (no dependencies): just
+    /// enough to prove the exporter emits well-formed documents.
+    fn json_parses(s: &str) -> bool {
+        fn skip_ws(b: &[u8], mut i: usize) -> usize {
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            i
+        }
+        fn value(b: &[u8], i: usize) -> Option<usize> {
+            let i = skip_ws(b, i);
+            match b.get(i)? {
+                b'{' => {
+                    let mut i = skip_ws(b, i + 1);
+                    if b.get(i) == Some(&b'}') {
+                        return Some(i + 1);
+                    }
+                    loop {
+                        i = string(b, skip_ws(b, i))?;
+                        i = skip_ws(b, i);
+                        if b.get(i) != Some(&b':') {
+                            return None;
+                        }
+                        i = value(b, i + 1)?;
+                        i = skip_ws(b, i);
+                        match b.get(i)? {
+                            b',' => i += 1,
+                            b'}' => return Some(i + 1),
+                            _ => return None,
+                        }
+                    }
+                }
+                b'[' => {
+                    let mut i = skip_ws(b, i + 1);
+                    if b.get(i) == Some(&b']') {
+                        return Some(i + 1);
+                    }
+                    loop {
+                        i = value(b, i)?;
+                        i = skip_ws(b, i);
+                        match b.get(i)? {
+                            b',' => i += 1,
+                            b']' => return Some(i + 1),
+                            _ => return None,
+                        }
+                    }
+                }
+                b'"' => string(b, i),
+                b't' => b[i..].starts_with(b"true").then_some(i + 4),
+                b'f' => b[i..].starts_with(b"false").then_some(i + 5),
+                b'n' => b[i..].starts_with(b"null").then_some(i + 4),
+                _ => {
+                    let start = i;
+                    let mut j = i;
+                    while j < b.len()
+                        && (b[j].is_ascii_digit()
+                            || matches!(b[j], b'-' | b'+' | b'.' | b'e' | b'E'))
+                    {
+                        j += 1;
+                    }
+                    (j > start).then_some(j)
+                }
+            }
+        }
+        fn string(b: &[u8], i: usize) -> Option<usize> {
+            if b.get(i) != Some(&b'"') {
+                return None;
+            }
+            let mut i = i + 1;
+            while let Some(&c) = b.get(i) {
+                match c {
+                    b'"' => return Some(i + 1),
+                    b'\\' => i += 2,
+                    c if c < 0x20 => return None,
+                    _ => i += 1,
+                }
+            }
+            None
+        }
+        let b = s.as_bytes();
+        value(b, 0).map(|end| skip_ws(b, end) == b.len()).unwrap_or(false)
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_events_nest() {
+        let rec = sample_recorder();
+        // Add awkward names/details the escaper must neutralize.
+        let s = rec.span_begin("weird \"name\"\n", "back\\slash\ttab");
+        rec.span_end(s, &[]);
+        let json = chrome_trace_json(&rec);
+        assert!(json_parses(&json), "chrome trace is not valid JSON:\n{json}");
+
+        // B/E events observe stack (LIFO) discipline in emitted order.
+        let mut stack: Vec<&str> = Vec::new();
+        for line in json.lines() {
+            let name = line.split("\"name\":\"").nth(1).and_then(|r| r.split('"').next());
+            let (Some(name), Some(ph)) =
+                (name, line.split("\"ph\":\"").nth(1).and_then(|r| r.split('"').next()))
+            else {
+                continue;
+            };
+            match ph {
+                "B" => stack.push(name),
+                "E" => assert_eq!(stack.pop(), Some(name), "unbalanced E in:\n{json}"),
+                _ => {}
+            }
+        }
+        assert!(stack.is_empty(), "unclosed B events: {stack:?}");
+    }
+
+    #[test]
+    fn prometheus_names_and_labels_escape() {
+        let rec = InMemoryRecorder::new();
+        rec.add("9starts.with-digit", 1);
+        rec.cache_access("node \"q\" \\ back", true);
+        let h = rec.span_begin("span \"x\"", "");
+        rec.span_end(h, &[]);
+        let text = prometheus_text(&rec);
+        // Leading digit gets a sanitizing prefix; dots/dashes become _.
+        assert!(text.contains("tioga2__9starts_with_digit 1"), "{text}");
+        // Label values carry escaped quotes and backslashes.
+        assert!(text.contains("node=\"node \\\"q\\\" \\\\ back\""), "{text}");
+        assert!(text.contains("span=\"span \\\"x\\\"\""), "{text}");
+        // Every metric token is a legal Prometheus name.
+        for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let metric = line.split(&['{', ' '][..]).next().unwrap();
+            assert!(
+                metric.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "illegal metric name: {metric}"
+            );
+            assert!(!metric.chars().next().unwrap().is_ascii_digit(), "{metric}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles_are_monotone() {
+        let mut h = crate::Histogram::default();
+        for v in [0u64, 1, 3, 17, 17, 900, 4096, 70_000, 70_001, 1 << 40] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert!(!buckets.is_empty());
+        for w in buckets.windows(2) {
+            assert!(w[0].1 <= w[1].0, "bucket ranges overlap: {w:?}");
+            assert!(w[0].0 < w[1].0, "bucket bounds not increasing: {w:?}");
+        }
+        assert_eq!(buckets.iter().map(|b| b.2).sum::<u64>(), h.count());
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+        assert!(h.min() <= h.p50() && h.p99() <= h.max());
+    }
+
+    #[test]
+    fn folded_stacks_concatenates_per_demand_sums() {
+        use crate::tree::{CacheStatus, DemandTrace, OpNode};
+        let node = |op: &str, ns: u64, children: Vec<OpNode>| OpNode {
+            op: op.to_string(),
+            rows_in: 10,
+            rows_out: 10,
+            ns,
+            cache: CacheStatus::NotCached,
+            provenance: String::new(),
+            par_workers: 0,
+            children,
+        };
+        let mk = |id: u64, total: u64| DemandTrace {
+            demand_id: id,
+            label: format!("#{id}.0"),
+            total_ns: total,
+            threads: 1,
+            par_segments: 0,
+            plan_cache: CacheStatus::Miss,
+            rewrites: vec![],
+            root: node("Project [a]", 800, vec![node("Source #0.0", 500, vec![])]),
+        };
+        let traces = vec![mk(1, 1000), mk(2, 900)];
+        let folded = folded_stacks(&traces);
+        let sum_for = |id: u64| -> u64 {
+            folded
+                .lines()
+                .filter(|l| l.starts_with(&format!("demand#{id}_")))
+                .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+                .sum()
+        };
+        assert_eq!(sum_for(1), traces[0].total_effective_ns());
+        assert_eq!(sum_for(2), traces[1].total_effective_ns());
+        assert!(folded.contains(";Project_[a];Source_#0.0 "), "{folded}");
     }
 }

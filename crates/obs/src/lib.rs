@@ -37,9 +37,11 @@
 pub mod export;
 pub mod hist;
 pub mod memory;
+pub mod tree;
 
 pub use hist::Histogram;
 pub use memory::{CompletedSpan, Event, InMemoryRecorder};
+pub use tree::{CacheStatus, DemandTrace, OpNode};
 
 use std::sync::Arc;
 
@@ -91,6 +93,20 @@ pub trait Recorder: Send + Sync {
     /// Current value of a counter, if this recorder keeps any.
     fn counter(&self, _name: &str) -> Option<u64> {
         None
+    }
+
+    /// Every counter as `(name, value)`, sorted by name; empty when the
+    /// recorder keeps none.  [`counter`](Recorder::counter) can only
+    /// answer point lookups — the `sys.counters` relation needs to
+    /// enumerate through `Arc<dyn Recorder>` without downcasting.
+    fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
+    /// Every latency histogram, sorted by name; empty when the recorder
+    /// keeps none.  Feeds the `sys.histograms` relation.
+    fn histograms_snapshot(&self) -> Vec<(String, Histogram)> {
+        Vec::new()
     }
 
     /// Chrome trace-event JSON of the journal, if this recorder keeps
@@ -166,6 +182,8 @@ mod tests {
         rec.observe_ns("h", 10);
         rec.cache_access("n", true);
         assert!(rec.counter("c").is_none());
+        assert!(rec.counters_snapshot().is_empty());
+        assert!(rec.histograms_snapshot().is_empty());
         assert!(rec.chrome_trace_json().is_none());
         assert!(rec.summary_table().is_none());
         assert!(rec.prometheus_text().is_none());

@@ -71,7 +71,10 @@ struct Inner {
     /// Spans begun but not yet ended, keyed by span id.
     open: HashMap<u64, OpenSpan>,
     next_id: u64,
-    depth: u32,
+    /// `span_end` calls whose id was unknown (already ended, never
+    /// begun, or begun on another recorder).  Counted explicitly so a
+    /// mismatched pair is visible instead of silently ignored.
+    mismatched_ends: u64,
 }
 
 struct OpenSpan {
@@ -131,6 +134,13 @@ impl InMemoryRecorder {
         self.inner.lock().dropped
     }
 
+    /// How many `span_end` calls arrived with an unknown span id (double
+    /// end, never-begun id, or an id from another recorder).  Such calls
+    /// are dropped without touching depth, histograms, or the journal.
+    pub fn mismatched_span_ends(&self) -> u64 {
+        self.inner.lock().mismatched_ends
+    }
+
     /// All counters, sorted by name.
     pub fn counters(&self) -> BTreeMap<String, u64> {
         self.inner.lock().counters.clone()
@@ -171,7 +181,7 @@ impl InMemoryRecorder {
                         id: *id,
                         name: name.clone(),
                         detail: detail.clone(),
-                        begin_ns: ts_ns - dur_ns,
+                        begin_ns: ts_ns.saturating_sub(*dur_ns),
                         dur_ns: *dur_ns,
                         depth: *depth,
                         fields: fields.clone(),
@@ -195,8 +205,11 @@ impl Recorder for InMemoryRecorder {
         let mut inner = self.inner.lock();
         let id = inner.next_id;
         inner.next_id += 1;
-        let depth = inner.depth;
-        inner.depth += 1;
+        // Depth is the number of spans currently open, not a running
+        // counter: a counter desynchronizes permanently after one
+        // out-of-order or mismatched `span_end`, while the open-set size
+        // self-corrects as soon as the strays close.
+        let depth = inner.open.len() as u32;
         inner.open.insert(
             id,
             OpenSpan { name: name.to_string(), detail: detail.to_string(), begin_ns: ts_ns, depth },
@@ -215,8 +228,10 @@ impl Recorder for InMemoryRecorder {
         }
         let ts_ns = self.now_ns();
         let mut inner = self.inner.lock();
-        let Some(open) = inner.open.remove(&id.0) else { return };
-        inner.depth = inner.depth.saturating_sub(1);
+        let Some(open) = inner.open.remove(&id.0) else {
+            inner.mismatched_ends += 1;
+            return;
+        };
         let dur_ns = ts_ns.saturating_sub(open.begin_ns);
         inner.histograms.entry(open.name.clone()).or_default().record(dur_ns);
         Self::push_event(
@@ -267,6 +282,14 @@ impl Recorder for InMemoryRecorder {
 
     fn counter(&self, name: &str) -> Option<u64> {
         self.inner.lock().counters.get(name).copied()
+    }
+
+    fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters().into_iter().collect()
+    }
+
+    fn histograms_snapshot(&self) -> Vec<(String, Histogram)> {
+        self.histograms().into_iter().collect()
     }
 
     fn chrome_trace_json(&self) -> Option<String> {
@@ -384,5 +407,88 @@ mod tests {
         rec.span_end(SpanId(42), &[]);
         rec.span_end(SpanId::NONE, &[]);
         assert!(rec.events().is_empty());
+        // The unknown id is counted; the noop id is not even a call.
+        assert_eq!(rec.mismatched_span_ends(), 1);
+    }
+
+    #[test]
+    fn out_of_order_end_keeps_depth_sane() {
+        let rec = InMemoryRecorder::new();
+        let outer = rec.span_begin("outer", "");
+        let inner = rec.span_begin("inner", "");
+        // End the *outer* span first — before the fix this decremented a
+        // global depth counter while `inner` was still open, so the next
+        // begin reused depth 1 and exports nested it under `inner`.
+        rec.span_end(outer, &[]);
+        let next = rec.span_begin("next", "");
+        rec.span_end(next, &[]);
+        rec.span_end(inner, &[]);
+        assert_eq!(rec.mismatched_span_ends(), 0);
+        let spans = rec.completed_spans();
+        let depth_of = |n: &str| spans.iter().find(|s| s.name == n).unwrap().depth;
+        assert_eq!(depth_of("outer"), 0);
+        assert_eq!(depth_of("inner"), 1);
+        // `inner` is still open when `next` begins, so depth 1 — and once
+        // everything closes, a fresh span is back at depth 0.
+        assert_eq!(depth_of("next"), 1);
+        let fresh = rec.span_begin("fresh", "");
+        rec.span_end(fresh, &[]);
+        assert_eq!(rec.completed_spans().iter().find(|s| s.name == "fresh").unwrap().depth, 0);
+    }
+
+    #[test]
+    fn double_end_is_counted_not_corrupting() {
+        let rec = InMemoryRecorder::new();
+        let a = rec.span_begin("a", "");
+        rec.span_end(a, &[]);
+        rec.span_end(a, &[]); // double end: dropped, counted
+        assert_eq!(rec.mismatched_span_ends(), 1);
+        assert_eq!(rec.completed_spans().len(), 1);
+        assert_eq!(rec.histogram("a").unwrap().count(), 1);
+        // Depth accounting is untouched by the stray end.
+        let b = rec.span_begin("b", "");
+        rec.span_end(b, &[]);
+        assert_eq!(rec.completed_spans().iter().find(|s| s.name == "b").unwrap().depth, 0);
+    }
+
+    #[test]
+    fn begin_eviction_cannot_corrupt_nesting_or_durations() {
+        // Tiny ring: every Begin is evicted long before its End arrives.
+        let rec = InMemoryRecorder::with_capacity(2);
+        let outer = rec.span_begin("outer", "");
+        let inner = rec.span_begin("inner", "");
+        for _ in 0..16 {
+            rec.add("noise", 1);
+        }
+        rec.span_end(inner, &[]);
+        rec.span_end(outer, &[]);
+        assert_eq!(rec.mismatched_span_ends(), 0);
+        let spans = rec.completed_spans();
+        // Both Begins were evicted, yet both spans reconstruct from their
+        // self-contained Ends: correct depths, non-garbage durations, and
+        // each histogram saw its span exactly once.
+        assert_eq!(spans.len(), 2);
+        let outer_span = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner_span = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer_span.depth, 0);
+        assert_eq!(inner_span.depth, 1);
+        assert!(inner_span.dur_ns <= outer_span.dur_ns);
+        assert!(outer_span.begin_ns + outer_span.dur_ns <= rec.now_ns());
+        assert_eq!(rec.histogram("outer").unwrap().count(), 1);
+        assert_eq!(rec.histogram("inner").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn snapshots_enumerate_counters_and_histograms() {
+        let rec = InMemoryRecorder::new();
+        rec.add("b.two", 2);
+        rec.add("a.one", 1);
+        rec.observe_ns("lat", 500);
+        let counters = rec.counters_snapshot();
+        assert_eq!(counters, vec![("a.one".to_string(), 1), ("b.two".to_string(), 2)]);
+        let hists = rec.histograms_snapshot();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].0, "lat");
+        assert_eq!(hists[0].1.count(), 1);
     }
 }

@@ -33,7 +33,7 @@ pub use catalog::Catalog;
 pub use error::RelError;
 pub use relation::{Method, Relation};
 pub use schema::{Field, Schema};
-pub use stream::{ParPipeline, TupleStream};
+pub use stream::{OpCell, ParPipeline, TupleStream};
 pub use tuple::{Tuple, TupleContext};
 
 /// The pseudo-attribute holding the 0-based tuple sequence number.

@@ -34,10 +34,66 @@ use crate::tuple::{Tuple, TupleContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use tioga2_expr::{eval_predicate, typecheck, Context, Expr, ScalarType, Value};
 
 type TupleIter = Box<dyn Iterator<Item = Result<Tuple, RelError>> + Send>;
+
+/// One in every `ATTR_SAMPLE_PERIOD` pulls through an
+/// [`attributed`](TupleStream::attributed) stream is timed; the rest pay
+/// only two relaxed atomic increments.  The estimate scales the sampled
+/// time by the pull count, keeping attribution overhead far below the 5%
+/// budget while rows stay exact.
+pub const ATTR_SAMPLE_PERIOD: u64 = 64;
+
+/// A shared attribution cell: one per plan operator, written by the
+/// executing stream (or parallel pipeline) and read back when the engine
+/// assembles the demand's trace tree.  Row counts are exact; times are
+/// coarse samples (see [`ATTR_SAMPLE_PERIOD`]).
+#[derive(Debug, Default)]
+pub struct OpCell {
+    rows_out: AtomicU64,
+    calls: AtomicU64,
+    sampled_calls: AtomicU64,
+    sampled_ns: AtomicU64,
+    direct_ns: AtomicU64,
+}
+
+impl OpCell {
+    pub fn new() -> Arc<OpCell> {
+        Arc::new(OpCell::default())
+    }
+
+    /// Exact tuples observed leaving the operator.
+    pub fn rows_out(&self) -> u64 {
+        self.rows_out.load(Ordering::Relaxed)
+    }
+
+    pub fn add_rows(&self, n: u64) {
+        self.rows_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charge wall time measured outside the per-pull sampler (pipeline
+    /// breakers like sort/join, parallel segment walls).
+    pub fn add_direct_ns(&self, ns: u64) {
+        self.direct_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Estimated cumulative nanoseconds: directly-charged time plus the
+    /// sampled pull time scaled up to the full pull count.
+    pub fn est_ns(&self) -> u64 {
+        let direct = self.direct_ns.load(Ordering::Relaxed);
+        let sampled_calls = self.sampled_calls.load(Ordering::Relaxed);
+        if sampled_calls == 0 {
+            return direct;
+        }
+        let calls = self.calls.load(Ordering::Relaxed).max(sampled_calls);
+        let sampled_ns = self.sampled_ns.load(Ordering::Relaxed) as u128;
+        direct + (sampled_ns * calls as u128 / sampled_calls as u128) as u64
+    }
+}
 
 enum Inner {
     /// The untouched tuple store of the scanned relation: collecting this
@@ -242,6 +298,42 @@ impl TupleStream {
         Ok(TupleStream { header: Arc::new(empty_header(rel)), inner: self.inner })
     }
 
+    /// Route the stream through an attribution cell: `cell` counts every
+    /// tuple that passes this point (exact) and samples the pull time
+    /// (every [`ATTR_SAMPLE_PERIOD`]-th `next()` is timed and scaled).
+    ///
+    /// A pristine `Whole` stream stays zero-copy: its rows are known up
+    /// front and `collect` re-shares the `Arc` without per-tuple pulls,
+    /// so the cell is credited the full store size and no time.
+    pub fn attributed(self, cell: Arc<OpCell>) -> TupleStream {
+        match self.inner {
+            Inner::Whole(tuples) => {
+                cell.add_rows(tuples.len() as u64);
+                TupleStream { header: self.header, inner: Inner::Whole(tuples) }
+            }
+            Inner::Iter(mut it) => {
+                let iter = std::iter::from_fn(move || {
+                    let n = cell.calls.fetch_add(1, Ordering::Relaxed);
+                    let item = if n.is_multiple_of(ATTR_SAMPLE_PERIOD) {
+                        let t0 = Instant::now();
+                        let item = it.next();
+                        cell.sampled_ns
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        cell.sampled_calls.fetch_add(1, Ordering::Relaxed);
+                        item
+                    } else {
+                        it.next()
+                    };
+                    if matches!(item, Some(Ok(_))) {
+                        cell.rows_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                    item
+                });
+                TupleStream { header: self.header, inner: Inner::Iter(Box::new(iter)) }
+            }
+        }
+    }
+
     /// Drain the stream into a relation under the current header.
     pub fn collect(self) -> Result<Relation, RelError> {
         let schema = self.header.schema().clone();
@@ -311,10 +403,15 @@ enum ParStage {
 
 /// Per-partition worker output: surviving tuples in partition order,
 /// plus their distinct keys when the pipeline ends in a Distinct stage
-/// (the merge deduplicates globally across partitions).
+/// (the merge deduplicates globally across partitions), plus the
+/// attribution facts the merge rolls up — per-stage survivor counts
+/// (partition-local, summed at merge so the totals are identical to a
+/// serial run) and the worker's wall time.
 struct PartOut {
     tuples: Vec<Tuple>,
     keys: Vec<String>,
+    stage_rows: Vec<u64>,
+    wall_ns: u64,
 }
 
 /// A partition-parallel pipeline over one relation's tuple store.
@@ -343,17 +440,57 @@ pub struct ParPipeline {
     /// (only projections/renames below): required for a Sample stage's
     /// RNG skip-ahead to be positionally aligned with the scan.
     one_to_one: bool,
+    /// Attribution: `stage_cells[i]` receives stage `i`'s merged output
+    /// row count; `source_cell` the scanned store size.  A terminal
+    /// Distinct stage is credited the *globally* deduplicated count (at
+    /// merge), never partition-local ones, so rows stay identical across
+    /// thread counts.  The topmost stage cell is also charged the
+    /// slowest worker's wall time.
+    source_cell: Option<Arc<OpCell>>,
+    stage_cells: Vec<Option<Arc<OpCell>>>,
 }
 
 impl ParPipeline {
     /// Start a pipeline over `rel`'s tuples (shares the `Arc` store).
     pub fn new(rel: &Relation) -> ParPipeline {
-        ParPipeline { src: rel.tuples_arc(), stages: Vec::new(), one_to_one: true }
+        ParPipeline {
+            src: rel.tuples_arc(),
+            stages: Vec::new(),
+            one_to_one: true,
+            source_cell: None,
+            stage_cells: Vec::new(),
+        }
     }
 
     /// Number of compiled stages (renames are schema-only and add none).
     pub fn stage_count(&self) -> usize {
         self.stages.len()
+    }
+
+    /// How many workers [`run`](Self::run) would actually use for a
+    /// given budget (partitioning never splits below one row per
+    /// worker).
+    pub fn planned_workers(&self, threads: usize) -> usize {
+        crate::par::partition_ranges(self.src.len(), threads).len()
+    }
+
+    /// Attach attribution cells; `stage_cells` must align 1:1 with the
+    /// compiled stages (pass `None` for stages nobody is watching).
+    pub fn set_cells(
+        &mut self,
+        source_cell: Option<Arc<OpCell>>,
+        stage_cells: Vec<Option<Arc<OpCell>>>,
+    ) -> Result<(), RelError> {
+        if stage_cells.len() != self.stages.len() {
+            return Err(RelError::Schema(format!(
+                "attribution cells misaligned: {} cells for {} stages",
+                stage_cells.len(),
+                self.stages.len()
+            )));
+        }
+        self.source_cell = source_cell;
+        self.stage_cells = stage_cells;
+        Ok(())
     }
 
     fn check_open(&self) -> Result<(), RelError> {
@@ -456,17 +593,46 @@ impl ParPipeline {
         let dedup = matches!(self.stages.last(), Some(ParStage::Distinct { .. }));
         let mut seen = HashSet::new();
         let mut out = Vec::new();
+        let mut max_wall = 0u64;
+        let mut kept_by_dedup = 0u64;
         for part in parts {
             let part = part?;
+            max_wall = max_wall.max(part.wall_ns);
+            for (i, n) in part.stage_rows.iter().enumerate() {
+                // A terminal Distinct's partition-local survivor count
+                // depends on the partitioning; only the global count
+                // below is meaningful.
+                if dedup && i + 1 == self.stages.len() {
+                    continue;
+                }
+                if let Some(cell) = self.stage_cells.get(i).and_then(Option::as_ref) {
+                    cell.add_rows(*n);
+                }
+            }
             if dedup {
                 for (k, t) in part.keys.into_iter().zip(part.tuples) {
                     if seen.insert(k) {
+                        kept_by_dedup += 1;
                         out.push(t);
                     }
                 }
             } else {
                 out.extend(part.tuples);
             }
+        }
+        if let Some(cell) = &self.source_cell {
+            cell.add_rows(self.src.len() as u64);
+        }
+        if dedup {
+            if let Some(cell) = self.stage_cells.last().and_then(Option::as_ref) {
+                cell.add_rows(kept_by_dedup);
+            }
+        }
+        // Segment time: the slowest worker's wall, charged to the top of
+        // the fused chain (per-stage time is inseparable inside the
+        // fused loop).
+        if let Some(cell) = self.stage_cells.last().and_then(Option::as_ref) {
+            cell.add_direct_ns(max_wall);
         }
         Ok(out)
     }
@@ -494,9 +660,15 @@ fn run_partition(
             _ => None,
         })
         .collect();
+    let t0 = Instant::now();
     let mut seqs = vec![0usize; stages.len()];
     let mut local_seen = HashSet::new();
-    let mut out = PartOut { tuples: Vec::new(), keys: Vec::new() };
+    let mut out = PartOut {
+        tuples: Vec::new(),
+        keys: Vec::new(),
+        stage_rows: vec![0; stages.len()],
+        wall_ns: 0,
+    };
     'tuples: for t in tuples {
         let mut t = t.clone();
         let mut key = None;
@@ -534,12 +706,14 @@ fn run_partition(
                     key = Some(k);
                 }
             }
+            out.stage_rows[i] += 1;
         }
         if let Some(k) = key {
             out.keys.push(k);
         }
         out.tuples.push(t);
     }
+    out.wall_ns = t0.elapsed().as_nanos() as u64;
     Ok(out)
 }
 
@@ -743,6 +917,76 @@ mod tests {
         assert!(p.project(&r, &["nope"]).is_err());
         assert!(p.sample(1.5, 0).is_err());
         assert!(p.distinct(&r, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn attributed_counts_exact_rows_and_keeps_zero_copy() {
+        let r = nums(500);
+        let source = OpCell::new();
+        let after = OpCell::new();
+        let out = TupleStream::scan(&r)
+            .attributed(source.clone())
+            .restrict(&parse("v % 2 = 0").unwrap())
+            .unwrap()
+            .attributed(after.clone())
+            .collect()
+            .unwrap();
+        assert_eq!(source.rows_out(), 500);
+        assert_eq!(after.rows_out(), 250);
+        assert_eq!(out.len(), 250);
+
+        // Attribution on a pristine scan must not break Arc sharing.
+        let cell = OpCell::new();
+        let shared = TupleStream::scan(&r).attributed(cell.clone()).collect().unwrap();
+        assert!(std::ptr::eq(r.tuples().as_ptr(), shared.tuples().as_ptr()), "no copy");
+        assert_eq!(cell.rows_out(), 500);
+        assert_eq!(cell.est_ns(), 0, "a Whole pass-through costs no pull time");
+
+        // Directly-charged time feeds the estimate.
+        cell.add_direct_ns(1234);
+        assert!(cell.est_ns() >= 1234);
+    }
+
+    #[test]
+    fn parallel_cells_report_thread_invariant_rows() {
+        let mut b = RelationBuilder::new().field("k", T::Int).field("v", T::Int);
+        for i in 0..200i64 {
+            b = b.row(vec![Value::Int(i % 7), Value::Int(i)]);
+        }
+        let r = b.build().unwrap();
+        let pred = parse("v % 3 <> 1").unwrap();
+        let serial_restricted = ops::restrict(&r, &pred).unwrap().len() as u64;
+        let serial_out = crate::distinct(&ops::restrict(&r, &pred).unwrap(), &["k"]).unwrap();
+        for threads in [1usize, 2, 8] {
+            let mut p = ParPipeline::new(&r);
+            p.restrict(&r, &pred).unwrap();
+            p.distinct(&r, &["k"]).unwrap();
+            let src = OpCell::new();
+            let c_restrict = OpCell::new();
+            let c_distinct = OpCell::new();
+            p.set_cells(
+                Some(src.clone()),
+                vec![Some(c_restrict.clone()), Some(c_distinct.clone())],
+            )
+            .unwrap();
+            assert!(p.planned_workers(threads) <= threads);
+            let out = p.run(threads).unwrap();
+            assert_eq!(out, serial_out.tuples().to_vec(), "threads={threads}");
+            assert_eq!(src.rows_out(), 200, "threads={threads}");
+            assert_eq!(c_restrict.rows_out(), serial_restricted, "threads={threads}");
+            // Distinct is credited the *global* count — identical at any
+            // thread count, never the partition-local survivor sums.
+            assert_eq!(c_distinct.rows_out(), out.len() as u64, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn misaligned_cells_are_refused() {
+        let r = nums(10);
+        let mut p = ParPipeline::new(&r);
+        p.project(&r, &["v"]).unwrap();
+        assert!(p.set_cells(None, vec![]).is_err());
+        assert!(p.set_cells(None, vec![None]).is_ok());
     }
 
     #[test]

@@ -8,14 +8,22 @@
 #       executor enabled so both code paths stay equivalent
 #   cargo clippy -D warnings        — workspace-wide lint, warnings are
 #       errors
+#   cargo bench obs_overhead        — observability budgets: disabled
+#       recorder path < 2% of a warm render, recording + per-operator
+#       attribution < 5% of a cold Figure 1 demand (asserts inside)
+#   example self_monitor            — the self-hosted sys.* pipeline
+#       headless; exits non-zero if the latency canvas renders empty
 #
 # Run from the repository root:  ./scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all -- --check
 cargo build --release
 TIOGA2_THREADS=1 cargo test -q
 TIOGA2_THREADS=4 cargo test -q
 cargo clippy --workspace -- -D warnings
+cargo bench -p tioga2-bench --bench obs_overhead
+cargo run --release --example self_monitor
 
-echo "ci: build + tests (1 and 4 workers) + clippy all green"
+echo "ci: fmt + build + tests (1 and 4 workers) + clippy + obs budgets + self-monitor all green"

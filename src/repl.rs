@@ -119,11 +119,14 @@ Tioga-2 REPL — every command is one paper operation.
   undo | redo
   save <name> | load <name> | new
   :explain <node>                      the streaming plan + rewrites for a box
+  :explain analyze <node>              execute + per-operator rows/time/cache tree
+  :sys                                 refresh sys.* introspection tables
   :stats                               engine counters + trace summary
   :threads [n]                         show/set parallel plan workers
   :trace on|off                        collect spans/histograms
   :trace export <path>                 Chrome trace JSON (Perfetto)
   :trace prom <path>                   Prometheus text exposition
+  :trace folded <path>                 folded stacks from the demand-trace ring
   quit";
 
 /// Execute one line against the session.
@@ -577,8 +580,23 @@ pub fn run_line(session: &mut Session, line: &str) -> ReplResult {
         }
         ":explain" | "explain" => {
             need(1)?;
+            if args[0] == "analyze" {
+                need(2)?;
+                let id = node(args[1])?;
+                return msg(session.explain_analyze(id, 0).map_err(err)?.trim_end().to_string());
+            }
             let id = node(args[0])?;
             msg(session.explain(id, 0).map_err(err)?.trim_end().to_string())
+        }
+        ":sys" | "sys" => {
+            let names = session.refresh_sys_tables().map_err(err)?;
+            let mut out = Vec::new();
+            for name in names {
+                let rows = session.env.catalog.snapshot(&name).map(|r| r.len()).unwrap_or(0);
+                out.push(format!("{name:16} {rows} tuple(s)"));
+            }
+            out.push("refreshed — demand them like any table ('table sys.demands')".to_string());
+            msg(out.join("\n"))
         }
         ":stats" | "stats" => {
             let st = session.engine_stats();
@@ -637,8 +655,23 @@ pub fn run_line(session: &mut Session, line: &str) -> ReplResult {
                     std::fs::write(args[1], text).map_err(|e| e.to_string())?;
                     msg(format!("{} written", args[1]))
                 }
+                "folded" => {
+                    need(2)?;
+                    let traces: Vec<crate::obs::DemandTrace> =
+                        session.demand_traces().iter().cloned().collect();
+                    if traces.is_empty() {
+                        return Err(
+                            "no demand traces; ':explain analyze <node>' or ':trace on' first"
+                                .to_string(),
+                        );
+                    }
+                    let text = crate::obs::export::folded_stacks(&traces);
+                    std::fs::write(args[1], text).map_err(|e| e.to_string())?;
+                    msg(format!("{} written ({} demand trace(s))", args[1], traces.len()))
+                }
                 other => Err(format!(
-                    "':trace {other}' is not a trace command (on, off, export <path>, prom <path>)"
+                    "':trace {other}' is not a trace command \
+                     (on, off, export <path>, prom <path>, folded <path>)"
                 )),
             }
         }
@@ -810,6 +843,43 @@ mod tests {
         ok(&mut s, ":trace off");
         assert!(run_line(&mut s, ":trace export out/x.json").is_err());
         assert!(run_line(&mut s, ":trace sideways").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_and_sys_tables_via_repl() {
+        let mut s = session();
+        ok(&mut s, "table Stations");
+        ok(&mut s, "restrict 0 state = 'LA'");
+        ok(&mut s, "project 1 name,altitude");
+        let m = ok(&mut s, ":explain analyze 2");
+        assert!(m.contains("demand #"), "{m}");
+        assert!(m.contains("rows"), "{m}");
+        assert!(m.contains('%'), "{m}");
+        assert!(m.contains("plan cache"), "{m}");
+        assert!(run_line(&mut s, ":explain analyze").is_err());
+        assert!(run_line(&mut s, ":explain analyze zebra").is_err());
+
+        // Folded stacks from the ring the analyze filled.
+        let f = ok(&mut s, ":trace folded out/repl_folded.txt");
+        assert!(f.contains("demand trace(s)"), "{f}");
+        let folded = std::fs::read_to_string("out/repl_folded.txt").unwrap();
+        assert!(folded.contains("demand#"), "{folded}");
+
+        // sys.* tables refresh and are demandable through the REPL.
+        let m = ok(&mut s, ":sys");
+        assert!(m.contains("sys.counters"), "{m}");
+        assert!(m.contains("sys.demands"), "{m}");
+        let t = ok(&mut s, "table sys.demands");
+        assert!(t.contains("sys.demands"));
+        let shown = ok(&mut s, "show 3 50");
+        assert!(shown.contains("tuples"), "{shown}");
+        assert!(shown.contains("rows_out"), "{shown}");
+    }
+
+    #[test]
+    fn trace_folded_requires_traces() {
+        let mut s = session();
+        assert!(run_line(&mut s, ":trace folded out/none.txt").is_err());
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Property test: `:explain analyze` attribution invariants.
+//!
+//! Per-operator *row* counts in a demand trace are exact, so they must
+//! be byte-identical whether the plan ran serially or partition-parallel
+//! (TIOGA2_THREADS=1 vs 4), and every parent's rows_in must equal the
+//! sum of its children's rows_out.  Chains exclude Limit: its serial
+//! early-exit legitimately pulls fewer upstream tuples than the
+//! materializing parallel path, so upstream counts are execution-
+//! strategy-dependent by design (DESIGN.md §9).
+
+use proptest::prelude::*;
+use tioga2::dataflow::boxes::{BoxKind, RelOpKind};
+use tioga2::dataflow::{Engine, Graph};
+use tioga2::expr::{parse, ScalarType, Value};
+use tioga2::obs::OpNode;
+use tioga2::relational::relation::RelationBuilder;
+use tioga2::relational::{Catalog, Relation};
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((any::<i64>(), -1e6f64..1e6, "[a-z]{0,4}"), 0..40).prop_map(|rows| {
+        let mut b = RelationBuilder::new()
+            .field("k", ScalarType::Int)
+            .field("v", ScalarType::Float)
+            .field("s", ScalarType::Text);
+        for (k, v, s) in rows {
+            b = b.row(vec![Value::Int(k), Value::Float(v), Value::Text(s)]);
+        }
+        b.build().unwrap()
+    })
+}
+
+/// Like plan_equivalence's decoder, minus Limit (see module doc).
+fn decode_ops(seeds: &[(u8, u64, u64)]) -> Vec<RelOpKind> {
+    let mut cols: Vec<(String, ScalarType)> = vec![
+        ("k".into(), ScalarType::Int),
+        ("v".into(), ScalarType::Float),
+        ("s".into(), ScalarType::Text),
+    ];
+    let mut kinds = Vec::new();
+    for (i, &(tag, a, b)) in seeds.iter().enumerate() {
+        let pick = |x: u64| cols[(x as usize) % cols.len()].clone();
+        match tag % 6 {
+            0 => {
+                let (c, t) = pick(a);
+                let p = match t {
+                    ScalarType::Int => format!("{c} > {}", (a % 100) as i64 - 50),
+                    ScalarType::Float => {
+                        format!("{c} <= {:.1}", (b % 2000) as f64 / 10.0 - 100.0)
+                    }
+                    _ => format!("{c} <> 'q'"),
+                };
+                kinds.push(RelOpKind::Restrict(parse(&p).unwrap()));
+            }
+            1 => {
+                let mut keep: Vec<(String, ScalarType)> = cols
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| (a >> j) & 1 == 1)
+                    .map(|(_, c)| c.clone())
+                    .collect();
+                if keep.is_empty() {
+                    keep = cols.clone();
+                }
+                kinds.push(RelOpKind::Project(keep.iter().map(|c| c.0.clone()).collect()));
+                cols = keep;
+            }
+            2 => kinds.push(RelOpKind::Sample { p: (a % 101) as f64 / 100.0, seed: b }),
+            3 => {
+                let mut keys = vec![(pick(a).0, a & 1 == 0)];
+                if b & 1 == 1 {
+                    let k2 = pick(b).0;
+                    if k2 != keys[0].0 {
+                        keys.push((k2, b & 2 == 0));
+                    }
+                }
+                kinds.push(RelOpKind::Sort(keys));
+            }
+            4 => {
+                let cs = if a % 2 == 0 { Vec::new() } else { vec![pick(b).0] };
+                kinds.push(RelOpKind::Distinct(cs));
+            }
+            5 => {
+                let (from, t) = pick(a);
+                let to = format!("r{i}");
+                let idx = cols.iter().position(|c| c.0 == from).unwrap();
+                cols[idx] = (to.clone(), t);
+                kinds.push(RelOpKind::Rename { from, to });
+            }
+            _ => unreachable!(),
+        }
+    }
+    kinds
+}
+
+/// Preorder (label, rows_in, rows_out) — the thread-invariant part of a
+/// trace (times and worker counts are execution details).
+fn rows_shape(n: &OpNode, out: &mut Vec<(String, u64, u64)>) {
+    out.push((n.op.clone(), n.rows_in, n.rows_out));
+    for c in &n.children {
+        rows_shape(c, out);
+    }
+}
+
+/// Parent/child accounting: rows_in of every non-source node equals the
+/// sum of its children's rows_out.
+fn check_sums(n: &OpNode) {
+    if !n.children.is_empty() {
+        let sum: u64 = n.children.iter().map(|c| c.rows_out).sum();
+        prop_assert!(n.rows_in == sum, "rows_in of '{}' != children rows_out", n.op);
+    } else {
+        prop_assert!(n.rows_in == n.rows_out, "source '{}' scans what it emits", n.op);
+    }
+    for c in &n.children {
+        check_sums(c);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Attribution invariants for any Limit-free chain of plannable ops.
+    #[test]
+    fn analyzed_rows_identical_across_thread_counts(
+        rel in arb_relation(),
+        seeds in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..6),
+    ) {
+        let kinds = decode_ops(&seeds);
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("T".into()));
+        let mut prev = t;
+        for kind in kinds {
+            let n = g.add(BoxKind::rel(kind));
+            g.connect(prev, 0, n, 0).unwrap();
+            prev = n;
+        }
+
+        let mut shapes = Vec::new();
+        for threads in [1usize, 4] {
+            let c = Catalog::new();
+            c.register("T", rel.clone());
+            let mut engine = Engine::new(c);
+            engine.set_threads(threads);
+            let (_, trace) = engine.demand_analyzed(&g, prev, 0, true, None).unwrap();
+            let trace = trace.expect("a chain of >= 1 op always yields a trace");
+            prop_assert_eq!(trace.threads, threads);
+            check_sums(&trace.root);
+            let mut shape = Vec::new();
+            rows_shape(&trace.root, &mut shape);
+            shapes.push(shape);
+        }
+        // Per-node labels and exact row counts are byte-identical at any
+        // worker count.
+        prop_assert_eq!(&shapes[0], &shapes[1]);
+    }
+}
