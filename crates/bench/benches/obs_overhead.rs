@@ -13,6 +13,10 @@
 //!   demand with recording *and* per-operator attribution
 //!   (`demand_analyzed` under an `InMemoryRecorder`) must stay within
 //!   5% of the same cold demand with everything off (DESIGN.md §9).
+//! * `governance_budget` — the budget-check fast path: the same cold
+//!   Figure 1 demand under an armed-but-never-tripping budget (row cap,
+//!   deadline and cancel token all live) must stay within 2% of the
+//!   ungoverned run (DESIGN.md §10).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -23,6 +27,7 @@ use tioga2_dataflow::boxes::RelOpKind;
 use tioga2_dataflow::{BoxKind, Engine, Graph};
 use tioga2_expr::parse;
 use tioga2_obs::InMemoryRecorder;
+use tioga2_relational::{Budget, CancelToken};
 
 fn warm_render(c: &mut Criterion) {
     let mut g = c.benchmark_group("obs_overhead/warm_render");
@@ -181,5 +186,73 @@ fn attribution_budget(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, warm_render, cold_demand, disabled_budget, attribution_budget);
+fn governance_budget(_c: &mut Criterion) {
+    // The governed fast path (DESIGN.md §10): an armed-but-never-tripping
+    // budget on the cold Figure 1 demand must cost <2% over running with
+    // governance off.  The hot cost is one batched `charge` per
+    // GOVERN_CHECK_PERIOD rows plus the preflight probe per demand.
+    let mut graph = Graph::new();
+    let t = graph.add(BoxKind::Table("Stations".into()));
+    let r = graph.add(BoxKind::rel(RelOpKind::Restrict(parse("altitude > 2.0").unwrap())));
+    let p = graph.add(BoxKind::rel(RelOpKind::Project(vec![
+        "name".into(),
+        "longitude".into(),
+        "latitude".into(),
+        "altitude".into(),
+    ])));
+    graph.connect(t, 0, r, 0).unwrap();
+    graph.connect(r, 0, p, 0).unwrap();
+
+    let mut engine = Engine::new(stations_only_catalog(20_000));
+    engine.set_threads(1); // serial for a stable measurement
+
+    let reps = 15;
+    let best = |f: &mut dyn FnMut()| {
+        (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_nanos() as f64
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    engine.set_budget(None);
+    engine.demand(&graph, p, 0).expect("warm-up");
+    let plain_ns = best(&mut || {
+        engine.invalidate_all();
+        black_box(engine.demand(&graph, p, 0).expect("ungoverned demand"));
+    });
+
+    // A budget whose cap and deadline can never trip, with a live token:
+    // every governed checkpoint runs, none aborts.
+    engine.set_budget(Some(
+        Budget::new().rows(u64::MAX / 2).millis(86_400_000).with_token(CancelToken::new()),
+    ));
+    engine.invalidate_all();
+    engine.demand(&graph, p, 0).expect("warm-up");
+    let governed_ns = best(&mut || {
+        engine.invalidate_all();
+        black_box(engine.demand(&graph, p, 0).expect("governed demand"));
+    });
+
+    let overhead_pct = 100.0 * (governed_ns - plain_ns).max(0.0) / plain_ns;
+    println!(
+        "obs_overhead/governance_budget: plain {plain_ns:.0} ns vs governed \
+         {governed_ns:.0} ns = {overhead_pct:.2}% (budget 2%)"
+    );
+    assert!(
+        overhead_pct < 2.0,
+        "armed budget checks exceed the 2% fast-path budget: {overhead_pct:.2}%"
+    );
+}
+
+criterion_group!(
+    benches,
+    warm_render,
+    cold_demand,
+    disabled_budget,
+    attribution_budget,
+    governance_budget
+);
 criterion_main!(benches);

@@ -18,6 +18,7 @@ use tioga2_display::drilldown::{elevation_map, ElevationBar};
 use tioga2_display::{Displayable, Layout, Selection};
 use tioga2_expr::{parse, ScalarType, Shape, ViewerSpec};
 use tioga2_obs::{Recorder, SpanId};
+use tioga2_relational::{Budget, CancelToken};
 use tioga2_render::HitRecord;
 use tioga2_viewer::magnifier::Magnifier;
 use tioga2_viewer::navigator::PASS_THROUGH_ELEVATION;
@@ -82,6 +83,14 @@ pub struct Session {
     /// Instrumentation sink, shared with the engine (defaults to the
     /// zero-overhead no-op recorder).
     recorder: Arc<dyn Recorder>,
+    /// Session-level demand budget (row cap / wall-clock deadline).  When
+    /// set, every demand the session issues runs under it; `None` leaves
+    /// whatever the engine inherited (e.g. from `TIOGA2_BUDGET`).
+    budget: Option<Budget>,
+    /// Cancel token of the most recently armed demand.  Each render arms
+    /// a fresh token and cancels the previous one, so a superseding
+    /// render aborts any still-running predecessor cooperatively.
+    inflight: Option<CancelToken>,
 }
 
 impl Session {
@@ -101,6 +110,8 @@ impl Session {
             eager_evals: 0,
             validate_edits: true,
             recorder: tioga2_obs::noop(),
+            budget: None,
+            inflight: None,
         }
     }
 
@@ -158,6 +169,58 @@ impl Session {
     pub fn set_threads(&mut self, n: usize) {
         self.engine.set_threads(n);
         tioga2_relational::par::set_threads(n);
+    }
+
+    // ------------------------------------------------- governance (§10)
+
+    /// Set (or clear, with `None`) the session-wide demand budget.  Takes
+    /// effect on the next demand; clearing also removes any engine-level
+    /// budget inherited from `TIOGA2_BUDGET`.
+    pub fn set_budget(&mut self, budget: Option<Budget>) {
+        self.budget = budget.clone();
+        self.engine.set_budget(budget);
+    }
+
+    /// The session-wide demand budget, if any.
+    pub fn budget(&self) -> Option<&Budget> {
+        self.budget.as_ref()
+    }
+
+    /// Cancel token of the most recently armed demand.  Another thread
+    /// may hold a clone and `cancel()` it to abort that demand
+    /// cooperatively; the session arms a fresh token per render.
+    pub fn inflight_token(&self) -> Option<CancelToken> {
+        self.inflight.clone()
+    }
+
+    /// Arm a fresh cancel token for a demand about to run, cancelling the
+    /// token of the demand it supersedes (§10: a newer render aborts the
+    /// in-flight one instead of queueing behind it).
+    fn arm_demand(&mut self) -> CancelToken {
+        let token = CancelToken::new();
+        if let Some(prev) = self.inflight.replace(token.clone()) {
+            prev.cancel();
+        }
+        match &self.budget {
+            Some(b) => self.engine.set_budget(Some(b.clone().with_token(token.clone()))),
+            None => self.engine.set_cancel_token(Some(token.clone())),
+        }
+        token
+    }
+
+    /// Demand a node output under a one-shot budget, leaving the
+    /// session's standing budget untouched.
+    pub fn demand_with_budget(
+        &mut self,
+        node: NodeId,
+        port: usize,
+        budget: Budget,
+    ) -> Result<Displayable, CoreError> {
+        let prev = self.engine.budget().cloned();
+        self.engine.set_budget(Some(budget));
+        let result = self.engine.demand_displayable(&self.graph, node, port);
+        self.engine.set_budget(prev);
+        Ok(result?)
     }
 
     // ------------------------------------------------------------ edits
@@ -830,11 +893,21 @@ impl Session {
     /// render of that canvas executes.
     pub fn explain_analyze(&mut self, node: NodeId, port: usize) -> Result<String, CoreError> {
         let window = self.window_pred_for(node, port)?;
-        let (_, trace) =
-            self.engine.demand_analyzed(&self.graph, node, port, true, window.as_ref())?;
-        match trace {
-            Some(t) => Ok(t.render()),
-            None => Ok(format!("{node}.{port}: single box, no relational chain to attribute\n")),
+        match self.engine.demand_analyzed(&self.graph, node, port, true, window.as_ref()) {
+            Ok((_, Some(t))) => Ok(t.render()),
+            Ok((_, None)) => {
+                Ok(format!("{node}.{port}: single box, no relational chain to attribute\n"))
+            }
+            Err(e) => {
+                // An aborted demand still leaves a trace in the ring —
+                // render it so the partial attribution is not lost.
+                if let Some(t) = self.engine.last_trace_for(node, port) {
+                    if t.is_aborted() {
+                        return Ok(format!("{}error: {e}\n", t.render()));
+                    }
+                }
+                Err(e.into())
+            }
         }
     }
 
@@ -876,8 +949,9 @@ impl Session {
     /// * `sys.histograms(name, count, p50_ns, p95_ns, p99_ns, mean_ns,
     ///   max_ns)` — every recorder histogram.
     /// * `sys.demands(demand_id, node, depth, rows_in, rows_out, ns,
-    ///   cache, provenance, par_workers)` — one tuple per operator of
-    ///   every trace in the demand ring, in preorder.
+    ///   cache, provenance, par_workers, status)` — one tuple per
+    ///   operator of every trace in the demand ring, in preorder;
+    ///   `status` is `ok` or the abort class of the whole demand.
     ///
     /// The tables are snapshots: re-run to refresh.  Because base-table
     /// contents changed outside the structural signature, all memoized
@@ -922,11 +996,13 @@ impl Session {
             .field("ns", T::Int)
             .field("cache", T::Text)
             .field("provenance", T::Text)
-            .field("par_workers", T::Int);
+            .field("par_workers", T::Int)
+            .field("status", T::Text);
         fn walk(
             b: tioga2_relational::relation::RelationBuilder,
             id: u64,
             depth: i64,
+            status: &str,
             n: &tioga2_obs::OpNode,
         ) -> tioga2_relational::relation::RelationBuilder {
             use tioga2_expr::Value;
@@ -940,14 +1016,15 @@ impl Session {
                 Value::Text(n.cache.label().to_string()),
                 Value::Text(n.provenance.clone()),
                 Value::Int(n.par_workers as i64),
+                Value::Text(status.to_string()),
             ]);
             for child in &n.children {
-                b = walk(b, id, depth + 1, child);
+                b = walk(b, id, depth + 1, status, child);
             }
             b
         }
         for t in self.engine.demand_traces() {
-            demands = walk(demands, t.demand_id, 0, &t.root);
+            demands = walk(demands, t.demand_id, 0, &t.status, &t.root);
         }
         self.env.catalog.register("sys.demands", demands.build()?);
 
@@ -965,6 +1042,7 @@ impl Session {
     }
 
     fn render_inner(&mut self, canvas: &str) -> Result<CanvasFrame, CoreError> {
+        self.arm_demand();
         let content = self.windowed_displayable(canvas)?;
         let c = self
             .canvases

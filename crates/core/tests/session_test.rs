@@ -859,7 +859,7 @@ fn sys_tables_are_ordinary_demandable_relations() {
 
     // sys.demands is demandable and restrictable like any relation:
     // exactly one depth-0 tuple per recorded trace.
-    let traces = s.demand_traces().len() as usize;
+    let traces = s.demand_traces().len();
     assert!(traces >= 1);
     let t = s.add_table("sys.demands").unwrap();
     let roots = s.restrict(t, "depth = 0").unwrap();

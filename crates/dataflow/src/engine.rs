@@ -33,7 +33,7 @@ use tioga2_display::{DisplayRelation, Displayable};
 use tioga2_expr::{Expr, UnaryOp};
 use tioga2_obs::{CacheStatus, DemandTrace, OpNode, Recorder, SpanId};
 use tioga2_relational::ops;
-use tioga2_relational::Catalog;
+use tioga2_relational::{fault, govern, Budget, BudgetMeter, CancelToken, Catalog, RelError};
 
 /// Evaluation counters, used by tests and the ablation benches.
 ///
@@ -87,6 +87,21 @@ pub struct Engine {
     /// installed, and by [`Engine::demand_analyzed`] unconditionally.
     demand_traces: VecDeque<DemandTrace>,
     next_demand_id: u64,
+    /// Declarative budget applied to every demand (row cap, deadline,
+    /// cancel token).  `None` means ungoverned; seeded from
+    /// `TIOGA2_BUDGET` at construction.
+    budget: Option<Budget>,
+    /// The in-flight demand's started budget meter, shared by every
+    /// governed site of that demand (streams, workers, box fires).  Set
+    /// by the outermost containment frame, inherited by sub-engines.
+    meter: Option<Arc<BudgetMeter>>,
+    /// Per-engine fault-plan override.  `None` falls back to the
+    /// process-global registry (`TIOGA2_FAULTS` / `fault::install`), so
+    /// tests can inject deterministically without cross-engine bleed.
+    faults: Option<Arc<fault::FaultPlan>>,
+    /// Containment nesting depth: demand-outcome counters and panic
+    /// cache-invalidation run only when the outermost frame unwinds.
+    govern_depth: usize,
 }
 
 fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
@@ -111,7 +126,99 @@ impl Engine {
             threads: tioga2_relational::par::threads(),
             demand_traces: VecDeque::new(),
             next_demand_id: 0,
+            budget: govern::env_budget(),
+            meter: None,
+            faults: None,
+            govern_depth: 0,
         }
+    }
+
+    /// Install (or clear) the budget applied to subsequent demands.
+    pub fn set_budget(&mut self, budget: Option<Budget>) {
+        self.budget = budget;
+    }
+
+    pub fn budget(&self) -> Option<&Budget> {
+        self.budget.as_ref()
+    }
+
+    /// Install (or clear) a fault plan scoped to this engine alone; when
+    /// unset, demands consult the process-global registry instead.
+    pub fn set_fault_plan(&mut self, plan: Option<fault::FaultPlan>) {
+        self.faults = plan.map(Arc::new);
+    }
+
+    /// Attach a cancel token to the current budget (creating an otherwise
+    /// empty budget if none is set).  The session uses this so a
+    /// superseding render can cancel the in-flight demand cooperatively.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        match (&mut self.budget, token) {
+            (Some(b), t) => b.token = t,
+            (None, Some(t)) => self.budget = Some(Budget::new().with_token(t)),
+            (None, None) => {}
+        }
+    }
+
+    /// Classify a demand error for counters and trace status.
+    fn error_status(e: &FlowError) -> &'static str {
+        match e {
+            FlowError::Rel(RelError::BudgetExceeded(_)) => "budget_exceeded",
+            FlowError::Rel(RelError::Cancelled) => "cancelled",
+            FlowError::Rel(RelError::FaultInjected(_)) => "fault_injected",
+            FlowError::Rel(RelError::Panic(_)) => "panic",
+            _ => "error",
+        }
+    }
+
+    /// The containment frame wrapped around every public demand entry
+    /// point: starts the budget meter (outermost frame only), catches
+    /// panics from box procedures and operator code into structured
+    /// [`RelError::Panic`] errors, and — when the outermost frame sees a
+    /// failure — bumps the outcome counters and, for panics, drops every
+    /// memo/plan-cache entry so a poisoned partial result is never served.
+    fn contain<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, FlowError>,
+    ) -> Result<T, FlowError> {
+        self.govern_depth += 1;
+        let owns_meter = self.meter.is_none() && self.budget.is_some();
+        if owns_meter {
+            self.meter = Some(self.budget.as_ref().expect("checked above").start());
+        }
+        // An already-cancelled token (or blown deadline) aborts before any
+        // evaluation happens.
+        let preflight = match &self.meter {
+            Some(m) => m.probe().map_err(FlowError::from),
+            None => Ok(()),
+        };
+        let result = match preflight {
+            Ok(()) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self)))
+                .unwrap_or_else(|p| Err(FlowError::Rel(RelError::Panic(govern::panic_message(p))))),
+            Err(e) => Err(e),
+        };
+        if owns_meter {
+            self.meter = None;
+        }
+        self.govern_depth -= 1;
+        if self.govern_depth == 0 {
+            if let Err(e) = &result {
+                let status = Self::error_status(e);
+                match status {
+                    "budget_exceeded" => self.recorder.add("demand.budget_exceeded", 1),
+                    "cancelled" => self.recorder.add("demand.cancelled", 1),
+                    "fault_injected" => self.recorder.add("faults.injected", 1),
+                    "panic" => {
+                        self.recorder.add("demand.panics_contained", 1);
+                        // A panic can strike mid-insert anywhere in the
+                        // demand's cone; discard everything it may have
+                        // touched rather than serve a poisoned partial.
+                        self.invalidate_all();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        result
     }
 
     /// The retained per-demand trace trees, oldest first.
@@ -178,8 +285,10 @@ impl Engine {
         } else {
             SpanId::NONE
         };
-        let mut sigs = HashMap::new();
-        let result = self.eval_node(graph, node, &[], &[], &mut sigs);
+        let result = self.contain(|e| {
+            let mut sigs = HashMap::new();
+            e.eval_node(graph, node, &[], &[], &mut sigs)
+        });
         if !span.is_none() {
             self.recorder.span_end(span, &[("ok", result.is_ok() as i64)]);
         }
@@ -249,6 +358,18 @@ impl Engine {
     }
 
     fn demand_planned_impl(
+        &mut self,
+        graph: &Graph,
+        node: NodeId,
+        port: usize,
+        rewrite: bool,
+        window: Option<&Expr>,
+        force_trace: bool,
+    ) -> Result<(Data, Option<DemandTrace>), FlowError> {
+        self.contain(|e| e.demand_planned_inner(graph, node, port, rewrite, window, force_trace))
+    }
+
+    fn demand_planned_inner(
         &mut self,
         graph: &Graph,
         node: NodeId,
@@ -348,12 +469,25 @@ impl Engine {
             SpanId::NONE
         };
         let attr = record.then(|| plan::AttrNode::build(&exec_plan, graph));
-        let result =
-            plan::execute_attr(&exec_plan, &final_header, &srcs, self.threads, attr.as_ref());
+        let gov = plan::ExecGov {
+            meter: self.meter.clone(),
+            faults: self.faults.clone().or_else(fault::current),
+        };
+        let result = plan::execute_governed(
+            &exec_plan,
+            &final_header,
+            &srcs,
+            self.threads,
+            attr.as_ref(),
+            &gov,
+        );
         if let Ok((_, es)) = &result {
             if es.par_segments > 0 {
                 self.recorder.add("plan.parallel.segments", es.par_segments);
                 self.recorder.add("plan.parallel.rows", es.par_rows);
+            }
+            if es.par_worker_panics > 0 {
+                self.recorder.add("plan.parallel.worker_panics", es.par_worker_panics);
             }
         }
         if !span.is_none() {
@@ -370,31 +504,45 @@ impl Engine {
                 ],
             );
         }
-        let (out_dr, es) = result?;
+        let push_trace = |eng: &mut Self, es: &plan::ExecStats, status: &str| {
+            attr.as_ref().map(|attr| {
+                let orig_canons =
+                    orig_canons.as_ref().expect("canon set collected whenever attr is");
+                let root =
+                    build_op_node(&exec_plan, attr, &src_memo, orig_canons, window_str.as_deref());
+                let name = graph.node(node).map(|n| n.name()).unwrap_or_else(|_| "?".to_string());
+                let t = DemandTrace {
+                    demand_id: eng.next_demand_id,
+                    label: format!("{node}.{port} ({name})"),
+                    total_ns: t0.elapsed().as_nanos() as u64,
+                    threads: eng.threads,
+                    par_segments: es.par_segments,
+                    plan_cache: if would_hit { CacheStatus::Hit } else { CacheStatus::Miss },
+                    rewrites: rw.counts.iter().map(|(r, n)| (r.to_string(), *n)).collect(),
+                    status: status.to_string(),
+                    root,
+                };
+                eng.next_demand_id += 1;
+                if eng.demand_traces.len() >= DEMAND_TRACE_RING {
+                    eng.demand_traces.pop_front();
+                }
+                eng.demand_traces.push_back(t.clone());
+                t
+            })
+        };
+        let (out_dr, es) = match result {
+            Ok(v) => v,
+            Err(e) => {
+                // Keep the failure visible: the partial attribution cells
+                // become an *aborted* trace in the ring (`:explain
+                // analyze` / `sys.demands` show how far the demand got).
+                push_trace(self, &plan::ExecStats::default(), Self::error_status(&e));
+                return Err(e);
+            }
+        };
         let data = Data::D(Displayable::R(out_dr));
         self.plan_cache.insert((node, port), PlanCacheEntry { fp, output: data.clone() });
-        let trace = attr.map(|attr| {
-            let orig_canons = orig_canons.expect("canon set collected whenever attr is");
-            let root =
-                build_op_node(&exec_plan, &attr, &src_memo, &orig_canons, window_str.as_deref());
-            let name = graph.node(node).map(|n| n.name()).unwrap_or_else(|_| "?".to_string());
-            let t = DemandTrace {
-                demand_id: self.next_demand_id,
-                label: format!("{node}.{port} ({name})"),
-                total_ns: t0.elapsed().as_nanos() as u64,
-                threads: self.threads,
-                par_segments: es.par_segments,
-                plan_cache: if would_hit { CacheStatus::Hit } else { CacheStatus::Miss },
-                rewrites: rw.counts.iter().map(|(r, n)| (r.to_string(), *n)).collect(),
-                root,
-            };
-            self.next_demand_id += 1;
-            if self.demand_traces.len() >= DEMAND_TRACE_RING {
-                self.demand_traces.pop_front();
-            }
-            self.demand_traces.push_back(t.clone());
-            t
-        });
+        let trace = push_trace(self, &es, "ok");
         Ok((data, trace))
     }
 
@@ -543,6 +691,11 @@ impl Engine {
             }
         }
         let rows_in: u64 = inputs.iter().map(data_rows).sum();
+        // Box-at-a-time governance point: charge the fire's input rows
+        // and observe cancellation/deadline before evaluating the body.
+        if let Some(m) = &self.meter {
+            m.charge(rows_in)?;
+        }
         self.stats.box_evals += 1;
         self.stats.rows_in += rows_in;
         // Fire span: all string work is gated on an enabled recorder so
@@ -695,6 +848,12 @@ impl Engine {
                 // outer cache by this node's own entry.
                 let mut sub = Engine::new(self.catalog.clone());
                 sub.set_recorder(self.recorder.clone());
+                // The enclosing demand's governance follows the work: the
+                // sub-engine charges the *same* meter, so budgets span
+                // encapsulation boundaries.
+                sub.budget = self.budget.clone();
+                sub.meter = self.meter.clone();
+                sub.faults = self.faults.clone();
                 let mut outs = Vec::with_capacity(def.output_bindings.len());
                 let mut sigs = HashMap::new();
                 for (node, port) in &def.output_bindings {

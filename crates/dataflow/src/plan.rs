@@ -26,7 +26,9 @@ use tioga2_display::defaults::redefault;
 use tioga2_display::DisplayRelation;
 use tioga2_expr::{BinOp, Expr};
 use tioga2_relational::ops::{self, join_renames};
-use tioga2_relational::{OpCell, ParPipeline, Relation, TupleStream, SEQ_ATTR};
+use tioga2_relational::{
+    BudgetMeter, FaultPlan, OpCell, ParPipeline, Relation, TupleStream, SEQ_ATTR,
+};
 
 use crate::boxes::RelOpKind;
 
@@ -794,6 +796,38 @@ pub struct ExecStats {
     /// Input tuples those segments scanned (across all segments, before
     /// filtering).
     pub par_rows: u64,
+    /// Parallel segments abandoned because a partition worker panicked;
+    /// each one was re-run serially (the panic was contained, the demand
+    /// still produced its result or the serial path's own error).
+    pub par_worker_panics: u64,
+}
+
+/// Governance context threaded through plan execution: the demand's
+/// shared budget meter plus the armed fault plan, both captured once per
+/// demand by the engine.  `ExecGov::default()` governs nothing and costs
+/// nothing on the pull path.
+#[derive(Clone, Default)]
+pub struct ExecGov {
+    pub meter: Option<Arc<BudgetMeter>>,
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl ExecGov {
+    fn probe(&self) -> Result<(), FlowError> {
+        if let Some(m) = &self.meter {
+            m.probe()?;
+        }
+        Ok(())
+    }
+
+    /// Trip a coarse (non-pull) fault site: eager operators pass
+    /// coordinate 0 — use a wildcard spec (`sort=err`) to hit them.
+    fn trip(&self, site: &str) -> Result<(), FlowError> {
+        if let Some(p) = &self.faults {
+            p.trip(site, 0)?;
+        }
+        Ok(())
+    }
 }
 
 /// Run `exec_plan` as a streaming pipeline and dress the collected tuples
@@ -832,8 +866,23 @@ pub fn execute_attr(
     threads: usize,
     attr: Option<&AttrNode>,
 ) -> Result<(DisplayRelation, ExecStats), FlowError> {
+    execute_governed(exec_plan, final_header, srcs, threads, attr, &ExecGov::default())
+}
+
+/// [`execute_attr`] under a governance context: streams charge the
+/// demand's budget meter at the scan, parallel workers checkpoint it in
+/// their partition loops, and tagged fault sites consult the armed
+/// [`FaultPlan`].
+pub fn execute_governed(
+    exec_plan: &Plan,
+    final_header: &DisplayRelation,
+    srcs: &SourceMap,
+    threads: usize,
+    attr: Option<&AttrNode>,
+    gov: &ExecGov,
+) -> Result<(DisplayRelation, ExecStats), FlowError> {
     let mut stats = ExecStats::default();
-    let (stream, _hdr) = exec(exec_plan, srcs, threads, &mut stats, attr)?;
+    let (stream, _hdr) = exec(exec_plan, srcs, threads, &mut stats, attr, gov)?;
     let rel = stream.with_header(&final_header.rel)?.collect()?;
     let mut out = final_header.clone();
     out.rel = rel;
@@ -855,8 +904,9 @@ fn exec(
     threads: usize,
     stats: &mut ExecStats,
     attr: Option<&AttrNode>,
+    gov: &ExecGov,
 ) -> Result<(TupleStream, DisplayRelation), FlowError> {
-    if let Some(done) = try_exec_parallel(plan, srcs, threads, stats, attr)? {
+    if let Some(done) = try_exec_parallel(plan, srcs, threads, stats, attr, gov)? {
         return Ok(done);
     }
     // Route this node's output through its attribution cell (a no-op
@@ -876,33 +926,49 @@ fn exec(
     match plan {
         Plan::Source { node, port } => {
             let dr = srcs.get(&(*node, *port)).ok_or_else(|| missing_source(*node, *port))?;
-            let stream = tag(TupleStream::scan(&dr.rel));
+            // The scan is the serial pipeline's governance point: the
+            // `scan` fault site fires per pull at the scan position, and
+            // the budget meter is charged for every scanned row.
+            let stream = tag(TupleStream::scan(&dr.rel)
+                .fault_site(&gov.faults, "scan")
+                .governed(&gov.meter));
             let mut hdr = dr.clone();
             hdr.rel = hdr.rel.with_tuples(Vec::new());
             Ok((stream, hdr))
         }
         Plan::Restrict { input, pred } => {
-            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
-            let s = tag(s.with_header(&h.rel)?.restrict(pred)?);
+            let (s, h) = exec(input, srcs, threads, stats, child(0), gov)?;
+            let s = tag(s
+                .with_header(&h.rel)?
+                .restrict(pred)?
+                .fault_site(&gov.faults, "restrict:pull"));
             let h2 = apply_rel_op(&RelOpKind::Restrict(pred.clone()), &h)?;
             Ok((s, h2))
         }
         Plan::Project { input, cols } => {
-            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
+            let (s, h) = exec(input, srcs, threads, stats, child(0), gov)?;
             let fields: Vec<&str> = cols.iter().map(String::as_str).collect();
-            let s = tag(s.with_header(&h.rel)?.project(&fields)?);
+            let s = tag(s
+                .with_header(&h.rel)?
+                .project(&fields)?
+                .fault_site(&gov.faults, "project:pull"));
             let h2 = apply_rel_op(&RelOpKind::Project(cols.clone()), &h)?;
             Ok((s, h2))
         }
         Plan::Sample { input, p, seed } => {
-            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
-            let s = tag(s.with_header(&h.rel)?.sample(*p, *seed)?);
+            let (s, h) = exec(input, srcs, threads, stats, child(0), gov)?;
+            let s = tag(s
+                .with_header(&h.rel)?
+                .sample(*p, *seed)?
+                .fault_site(&gov.faults, "sample:pull"));
             let h2 = apply_rel_op(&RelOpKind::Sample { p: *p, seed: *seed }, &h)?;
             Ok((s, h2))
         }
         Plan::Sort { input, keys } => {
-            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
+            let (s, h) = exec(input, srcs, threads, stats, child(0), gov)?;
             let ks: Vec<(&str, bool)> = keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
+            gov.probe()?;
+            gov.trip("sort")?;
             let t0 = Instant::now();
             let s = s.with_header(&h.rel)?.sort(&ks)?;
             charge(t0);
@@ -911,20 +977,26 @@ fn exec(
             Ok((s, h2))
         }
         Plan::Distinct { input, cols } => {
-            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
+            let (s, h) = exec(input, srcs, threads, stats, child(0), gov)?;
             let attrs: Vec<&str> = cols.iter().map(String::as_str).collect();
-            let s = tag(s.with_header(&h.rel)?.distinct(&attrs)?);
+            let s = tag(s
+                .with_header(&h.rel)?
+                .distinct(&attrs)?
+                .fault_site(&gov.faults, "distinct:pull"));
             let h2 = apply_rel_op(&RelOpKind::Distinct(cols.clone()), &h)?;
             Ok((s, h2))
         }
         Plan::Limit { input, offset, count } => {
-            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
-            let s = tag(s.with_header(&h.rel)?.limit(*offset, *count));
+            let (s, h) = exec(input, srcs, threads, stats, child(0), gov)?;
+            let s = tag(s
+                .with_header(&h.rel)?
+                .limit(*offset, *count)
+                .fault_site(&gov.faults, "limit:pull"));
             let h2 = apply_rel_op(&RelOpKind::Limit { offset: *offset, count: *count }, &h)?;
             Ok((s, h2))
         }
         Plan::Rename { input, from, to } => {
-            let (s, h) = exec(input, srcs, threads, stats, child(0))?;
+            let (s, h) = exec(input, srcs, threads, stats, child(0), gov)?;
             let s = tag(s.with_header(&h.rel)?.rename(from, to)?);
             let h2 = apply_rel_op(&RelOpKind::Rename { from: from.clone(), to: to.clone() }, &h)?;
             Ok((s, h2))
@@ -932,8 +1004,10 @@ fn exec(
         Plan::Join { left, right, pred } => {
             // Joins are pipeline breakers: collect both sides, join with
             // the engine's operator (hash join on equi-keys), re-scan.
-            let (ls, lh) = exec(left, srcs, threads, stats, child(0))?;
-            let (rs, rh) = exec(right, srcs, threads, stats, child(1))?;
+            let (ls, lh) = exec(left, srcs, threads, stats, child(0), gov)?;
+            let (rs, rh) = exec(right, srcs, threads, stats, child(1), gov)?;
+            gov.probe()?;
+            gov.trip("join")?;
             let t0 = Instant::now();
             let lrel = ls.with_header(&lh.rel)?.collect()?;
             let rrel = rs.with_header(&rh.rel)?.collect()?;
@@ -973,6 +1047,7 @@ fn try_exec_parallel(
     threads: usize,
     stats: &mut ExecStats,
     attr: Option<&AttrNode>,
+    gov: &ExecGov,
 ) -> Result<Option<(TupleStream, DisplayRelation)>, FlowError> {
     if threads < 2 {
         return Ok(None);
@@ -1081,8 +1156,26 @@ fn try_exec_parallel(
         return Ok(None);
     }
     pipe.set_cells(source_attr.map(|a| Arc::clone(&a.cell)), stage_cells)?;
+    pipe.set_govern(gov.meter.clone(), gov.faults.clone());
     let workers = pipe.planned_workers(threads.min(rows)) as u64;
-    let tuples = pipe.run(threads.min(rows))?;
+    let tuples = match pipe.run(threads.min(rows)) {
+        Ok(tuples) => tuples,
+        Err(tioga2_relational::RelError::Panic(_)) => {
+            // A worker panicked (contained in the pipeline).  Fall back
+            // to the serial path for this segment: wipe the aborted
+            // run's partial attribution so the serial re-run's counts
+            // stay exact, and let `exec` stream it.
+            stats.par_worker_panics += 1;
+            if let Some(a) = source_attr {
+                a.cell.reset();
+            }
+            for a in chain_attrs.iter().flatten() {
+                a.cell.reset();
+            }
+            return Ok(None);
+        }
+        Err(e) => return Err(e.into()),
+    };
     stats.par_segments += 1;
     stats.par_rows += rows as u64;
     if attr.is_some() {

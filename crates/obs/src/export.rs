@@ -504,6 +504,7 @@ mod tests {
             par_segments: 0,
             plan_cache: CacheStatus::Miss,
             rewrites: vec![],
+            status: "ok".to_string(),
             root: node("Project [a]", 800, vec![node("Source #0.0", 500, vec![])]),
         };
         let traces = vec![mk(1, 1000), mk(2, 900)];

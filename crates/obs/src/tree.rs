@@ -89,10 +89,20 @@ pub struct DemandTrace {
     pub plan_cache: CacheStatus,
     /// Rewrite rules applied while planning, with counts.
     pub rewrites: Vec<(String, u64)>,
+    /// `"ok"` for a completed demand; otherwise the abort class
+    /// (`"budget_exceeded"`, `"cancelled"`, `"fault_injected"`,
+    /// `"panic"`, `"error"`) — the demand stopped early and the row/time
+    /// figures below cover only the work done before the abort.
+    pub status: String,
     pub root: OpNode,
 }
 
 impl DemandTrace {
+    /// Whether the demand aborted before completing (see [`Self::status`]).
+    pub fn is_aborted(&self) -> bool {
+        !self.status.is_empty() && self.status != "ok"
+    }
+
     /// The demand's total, never smaller than the tree it encloses.
     pub fn total_effective_ns(&self) -> u64 {
         self.total_ns.max(self.root.effective_ns())
@@ -113,6 +123,12 @@ impl DemandTrace {
             let list: Vec<String> =
                 self.rewrites.iter().map(|(r, n)| format!("{r} x{n}")).collect();
             out.push_str(&format!("rewrites: {}\n", list.join(", ")));
+        }
+        if self.is_aborted() {
+            out.push_str(&format!(
+                "ABORTED ({}): partial counts below cover only the work done before the abort\n",
+                self.status
+            ));
         }
         // Two-pass render so the annotation columns line up.
         let mut lines: Vec<(String, String)> = Vec::new();
@@ -237,6 +253,7 @@ mod tests {
             par_segments: 1,
             plan_cache: CacheStatus::Miss,
             rewrites: vec![("fuse_restricts".to_string(), 1)],
+            status: "ok".to_string(),
             root,
         }
     }

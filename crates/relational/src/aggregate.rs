@@ -314,12 +314,28 @@ pub fn aggregate_threaded(
         && !aggs.iter().any(|a| a.attr.as_deref().is_some_and(|at| attr_uses_seq(rel, at)));
     let (mut order, mut groups) = if par_ok {
         let ranges = crate::par::partition_ranges(rel.len(), threads);
+        // Worker bodies are contained (as in `ParPipeline::run`): a panic
+        // in one partition becomes a structured error instead of tearing
+        // down the scope and the process with it.
         let parts: Vec<Result<GroupState, RelError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
-                .map(|r| scope.spawn(move || group_slice(rel, keys, aggs, r)))
+                .map(|r| {
+                    scope.spawn(move || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            group_slice(rel, keys, aggs, r)
+                        }))
+                        .unwrap_or_else(|p| Err(RelError::Panic(crate::govern::panic_message(p))))
+                    })
+                })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("aggregate worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|p| Err(RelError::Panic(crate::govern::panic_message(p))))
+                })
+                .collect()
         });
         // Merge in partition order: first-seen group order across
         // contiguous partitions equals the serial first-seen order.

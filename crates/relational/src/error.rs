@@ -17,6 +17,15 @@ pub enum RelError {
     Update(String),
     /// Malformed persisted data.
     Persist(String),
+    /// A demand exceeded its row or wall-clock budget (see `govern`).
+    BudgetExceeded(String),
+    /// A demand was cooperatively cancelled via its `CancelToken`.
+    Cancelled,
+    /// A fault deliberately injected by the chaos harness (see `fault`).
+    FaultInjected(String),
+    /// A panic caught at a containment boundary and converted to an error.
+    /// Carries the stringified panic payload.
+    Panic(String),
 }
 
 impl From<ExprError> for RelError {
@@ -37,6 +46,10 @@ impl fmt::Display for RelError {
             RelError::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
             RelError::Update(m) => write!(f, "update error: {m}"),
             RelError::Persist(m) => write!(f, "persistence error: {m}"),
+            RelError::BudgetExceeded(m) => write!(f, "budget exceeded: {m}"),
+            RelError::Cancelled => write!(f, "demand cancelled"),
+            RelError::FaultInjected(m) => write!(f, "injected fault: {m}"),
+            RelError::Panic(m) => write!(f, "contained panic: {m}"),
         }
     }
 }

@@ -1,0 +1,237 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] names *sites* in the execution stack (tagged pull loops,
+//! eager operators, parallel workers) and, for each, a coordinate at which
+//! to fire and an action: surface a structured error or panic.  Sites are
+//! deterministic — a pull site passes its own pull counter, a worker passes
+//! its partition index — so the same plan over the same data fires at
+//! exactly the same point on every run, which is what lets `tests/chaos.rs`
+//! assert byte-identical recovery.
+//!
+//! Plan syntax (also accepted from the `TIOGA2_FAULTS` env var):
+//!
+//! ```text
+//! restrict:pull:137=err     # 137th pull through a restrict → error
+//! sort:panic                # any sort boundary → panic
+//! worker:2=panic            # partition worker 2 → panic
+//! scan:pull:9=err,sort:err  # entries are comma separated
+//! ```
+//!
+//! Grammar per entry: `site[:coord][=action]`.  A trailing integer segment
+//! is the coordinate (omitted = wildcard, fires at every hit of the site);
+//! the action is `err` or `panic`, given after `=` or as the final `:`
+//! segment.  Unknown specs are rejected loudly — a chaos run with a typo'd
+//! site silently testing nothing is worse than no chaos run.
+//!
+//! The harness is process-global but near-free when disarmed: a single
+//! relaxed atomic load guards every site, and execution layers capture the
+//! current plan `Arc` once per demand so the per-pull cost when armed is a
+//! branch on an owned pointer.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::error::RelError;
+
+/// What an armed site does when its coordinate matches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Surface `RelError::FaultInjected` from the site.
+    Error,
+    /// Panic with a recognizable payload (exercises containment layers).
+    Panic,
+}
+
+/// One `site[:coord]=action` entry of a plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub site: String,
+    /// `None` = wildcard: fire at every hit of the site.
+    pub at: Option<u64>,
+    pub action: FaultAction,
+}
+
+/// A parsed, installable set of fault specs. Each installed plan counts its
+/// own injections, so reinstalling resets the count.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+    injected: AtomicU64,
+}
+
+impl Clone for FaultPlan {
+    fn clone(&self) -> Self {
+        FaultPlan {
+            specs: self.specs.clone(),
+            injected: AtomicU64::new(self.injected.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parse a comma-separated spec string. `Err` carries a description of
+    /// the first malformed entry.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut specs = Vec::new();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            specs.push(Self::parse_entry(entry)?);
+        }
+        if specs.is_empty() {
+            return Err("empty fault spec".into());
+        }
+        Ok(FaultPlan { specs, injected: AtomicU64::new(0) })
+    }
+
+    fn parse_entry(entry: &str) -> Result<FaultSpec, String> {
+        let (site_part, action_part) = match entry.split_once('=') {
+            Some((s, a)) => (s.trim().to_string(), a.trim().to_string()),
+            None => {
+                // Action given as the final `:` segment, e.g. `sort:panic`.
+                let (s, a) = entry.rsplit_once(':').ok_or_else(|| {
+                    format!("fault entry `{entry}`: expected `site=action` or `site:action`")
+                })?;
+                (s.trim().to_string(), a.trim().to_string())
+            }
+        };
+        let action = match action_part.as_str() {
+            "err" | "error" => FaultAction::Error,
+            "panic" => FaultAction::Panic,
+            other => {
+                return Err(format!(
+                    "fault entry `{entry}`: unknown action `{other}` (want err|panic)"
+                ))
+            }
+        };
+        // A trailing integer segment of the site is the coordinate.
+        let (site, at) = match site_part.rsplit_once(':') {
+            Some((head, tail)) => match tail.trim().parse::<u64>() {
+                Ok(n) => (head.trim().to_string(), Some(n)),
+                Err(_) => (site_part.clone(), None),
+            },
+            None => (site_part.clone(), None),
+        };
+        if site.is_empty() {
+            return Err(format!("fault entry `{entry}`: empty site name"));
+        }
+        Ok(FaultSpec { site, at, action })
+    }
+
+    /// Does any spec match this site at this coordinate?
+    pub fn check(&self, site: &str, coord: u64) -> Option<FaultAction> {
+        self.specs
+            .iter()
+            .find(|s| s.site == site && s.at.map(|a| a == coord).unwrap_or(true))
+            .map(|s| s.action)
+    }
+
+    /// Execute the site: no-op if no spec matches, otherwise record the
+    /// injection and either return the structured error or panic.
+    pub fn trip(&self, site: &str, coord: u64) -> Result<(), RelError> {
+        match self.check(site, coord) {
+            None => Ok(()),
+            Some(action) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                let label = format!("{site}@{coord}");
+                match action {
+                    FaultAction::Error => Err(RelError::FaultInjected(label)),
+                    FaultAction::Panic => panic!("injected fault: {label}"),
+                }
+            }
+        }
+    }
+
+    /// How many times this plan fired (both actions).
+    pub fn injected_count(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static REG: OnceLock<Mutex<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    REG.get_or_init(|| {
+        // First touch resolves `TIOGA2_FAULTS`; a malformed env spec aborts
+        // loudly rather than silently testing nothing.
+        let plan = std::env::var("TIOGA2_FAULTS").ok().map(|spec| {
+            Arc::new(FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("TIOGA2_FAULTS: {e}")))
+        });
+        ARMED.store(plan.is_some(), Ordering::Release);
+        Mutex::new(plan)
+    })
+}
+
+/// Install (or with `None`, disarm) the process-global fault plan.
+/// Returns the previously installed plan, if any.
+pub fn install(plan: Option<FaultPlan>) -> Option<Arc<FaultPlan>> {
+    let mut guard = registry().lock().unwrap_or_else(|p| p.into_inner());
+    let prev = guard.take();
+    *guard = plan.map(Arc::new);
+    ARMED.store(guard.is_some(), Ordering::Release);
+    prev
+}
+
+/// The currently armed plan, if any. One relaxed load when disarmed;
+/// execution layers call this once per demand and capture the `Arc`.
+pub fn current() -> Option<Arc<FaultPlan>> {
+    // Touch the registry once so TIOGA2_FAULTS is resolved even before any
+    // install() call, then use the armed flag as the fast path.
+    let reg = registry();
+    if !ARMED.load(Ordering::Acquire) {
+        return None;
+    }
+    reg.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_issue_examples() {
+        let plan = FaultPlan::parse("restrict:pull:137=err, sort:panic, worker:2=panic").unwrap();
+        assert_eq!(
+            plan.specs(),
+            &[
+                FaultSpec {
+                    site: "restrict:pull".into(),
+                    at: Some(137),
+                    action: FaultAction::Error
+                },
+                FaultSpec { site: "sort".into(), at: None, action: FaultAction::Panic },
+                FaultSpec { site: "worker".into(), at: Some(2), action: FaultAction::Panic },
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        assert!(FaultPlan::parse("").is_err());
+        assert!(FaultPlan::parse("sort").is_err());
+        assert!(FaultPlan::parse("sort=explode").is_err());
+        assert!(FaultPlan::parse(":err").is_err());
+    }
+
+    #[test]
+    fn check_matches_coordinate_and_wildcard() {
+        let plan = FaultPlan::parse("scan:pull:3=err,sort:panic").unwrap();
+        assert_eq!(plan.check("scan:pull", 3), Some(FaultAction::Error));
+        assert_eq!(plan.check("scan:pull", 4), None);
+        assert_eq!(plan.check("sort", 0), Some(FaultAction::Panic));
+        assert_eq!(plan.check("sort", 17), Some(FaultAction::Panic));
+        assert_eq!(plan.check("join", 0), None);
+    }
+
+    #[test]
+    fn trip_counts_and_errors() {
+        let plan = FaultPlan::parse("scan:pull:1=err").unwrap();
+        assert!(plan.trip("scan:pull", 0).is_ok());
+        let err = plan.trip("scan:pull", 1).unwrap_err();
+        assert_eq!(err, RelError::FaultInjected("scan:pull@1".into()));
+        assert_eq!(plan.injected_count(), 1);
+    }
+}

@@ -19,6 +19,8 @@
 pub mod aggregate;
 pub mod catalog;
 pub mod error;
+pub mod fault;
+pub mod govern;
 pub mod ops;
 pub mod par;
 pub mod persist;
@@ -31,6 +33,8 @@ pub mod update;
 pub use aggregate::{aggregate, distinct, limit, rename, AggFunc, AggSpec};
 pub use catalog::Catalog;
 pub use error::RelError;
+pub use fault::{FaultAction, FaultPlan, FaultSpec};
+pub use govern::{Budget, BudgetMeter, CancelToken, GOVERN_CHECK_PERIOD};
 pub use relation::{Method, Relation};
 pub use schema::{Field, Schema};
 pub use stream::{OpCell, ParPipeline, TupleStream};

@@ -27,6 +27,8 @@
 
 use crate::aggregate::group_key;
 use crate::error::RelError;
+use crate::fault::FaultPlan;
+use crate::govern::{BudgetMeter, GOVERN_CHECK_PERIOD};
 use crate::ops;
 use crate::relation::{Method, Relation};
 use crate::schema::Schema;
@@ -79,6 +81,17 @@ impl OpCell {
     /// breakers like sort/join, parallel segment walls).
     pub fn add_direct_ns(&self, ns: u64) {
         self.direct_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Zero every counter.  Used when a partially-run parallel segment is
+    /// abandoned (worker panic) and re-run serially: the aborted run's
+    /// partial credits must not inflate the serial run's exact counts.
+    pub fn reset(&self) {
+        self.rows_out.store(0, Ordering::Relaxed);
+        self.calls.store(0, Ordering::Relaxed);
+        self.sampled_calls.store(0, Ordering::Relaxed);
+        self.sampled_ns.store(0, Ordering::Relaxed);
+        self.direct_ns.store(0, Ordering::Relaxed);
     }
 
     /// Estimated cumulative nanoseconds: directly-charged time plus the
@@ -334,6 +347,85 @@ impl TupleStream {
         }
     }
 
+    /// Route the stream through a budget meter: rows passing this point
+    /// are charged against the demand's shared [`BudgetMeter`], in batches
+    /// of [`GOVERN_CHECK_PERIOD`] so the per-pull fast path is a local
+    /// counter bump.  `None` is a no-op (zero cost when ungoverned).
+    ///
+    /// A pristine `Whole` stream stays zero-copy: its rows are known up
+    /// front, so they are charged in one call and, if the budget rejects
+    /// them, the stream degrades to a single-error iterator.
+    pub fn governed(self, meter: &Option<Arc<BudgetMeter>>) -> TupleStream {
+        let Some(meter) = meter else { return self };
+        let meter = Arc::clone(meter);
+        match self.inner {
+            Inner::Whole(tuples) => match meter.charge(tuples.len() as u64) {
+                Ok(()) => TupleStream { header: self.header, inner: Inner::Whole(tuples) },
+                Err(e) => {
+                    let mut err = Some(e);
+                    let iter = std::iter::from_fn(move || err.take().map(Err));
+                    TupleStream { header: self.header, inner: Inner::Iter(Box::new(iter)) }
+                }
+            },
+            Inner::Iter(mut it) => {
+                let mut pending = 0u64;
+                let mut failed = false;
+                let iter = std::iter::from_fn(move || {
+                    if failed {
+                        return None;
+                    }
+                    pending += 1;
+                    if pending >= GOVERN_CHECK_PERIOD {
+                        if let Err(e) = meter.charge(std::mem::take(&mut pending)) {
+                            failed = true;
+                            return Some(Err(e));
+                        }
+                    }
+                    match it.next() {
+                        Some(item) => Some(item),
+                        None => {
+                            // Flush the tail batch (minus the pull that hit
+                            // exhaustion) so the demand's cumulative row
+                            // account stays exact; the work is already
+                            // done, so a cap trip here is not an error.
+                            pending = pending.saturating_sub(1);
+                            if pending > 0 {
+                                let _ = meter.charge(std::mem::take(&mut pending));
+                            }
+                            None
+                        }
+                    }
+                });
+                TupleStream { header: self.header, inner: Inner::Iter(Box::new(iter)) }
+            }
+        }
+    }
+
+    /// Tag this point of the stream as a named fault-injection site: each
+    /// pull passes its 0-based pull count as the site coordinate to the
+    /// armed [`FaultPlan`].  `None` (the disarmed case) is a no-op that
+    /// preserves the stream untouched, including `Whole` zero-copy.
+    pub fn fault_site(self, plan: &Option<Arc<FaultPlan>>, site: &'static str) -> TupleStream {
+        let Some(plan) = plan else { return self };
+        let plan = Arc::clone(plan);
+        let (header, mut it) = self.into_iter_inner();
+        let mut pulls = 0u64;
+        let mut failed = false;
+        let iter = std::iter::from_fn(move || {
+            if failed {
+                return None;
+            }
+            let coord = pulls;
+            pulls += 1;
+            if let Err(e) = plan.trip(site, coord) {
+                failed = true;
+                return Some(Err(e));
+            }
+            it.next()
+        });
+        TupleStream { header, inner: Inner::Iter(Box::new(iter)) }
+    }
+
     /// Drain the stream into a relation under the current header.
     pub fn collect(self) -> Result<Relation, RelError> {
         let schema = self.header.schema().clone();
@@ -448,6 +540,10 @@ pub struct ParPipeline {
     /// slowest worker's wall time.
     source_cell: Option<Arc<OpCell>>,
     stage_cells: Vec<Option<Arc<OpCell>>>,
+    /// Governance: shared budget meter (rows charged in batches from the
+    /// partition loops) and the armed fault plan (`worker`/`scan` sites).
+    meter: Option<Arc<BudgetMeter>>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ParPipeline {
@@ -459,7 +555,18 @@ impl ParPipeline {
             one_to_one: true,
             source_cell: None,
             stage_cells: Vec::new(),
+            meter: None,
+            faults: None,
         }
+    }
+
+    /// Attach the demand's budget meter and/or the armed fault plan.
+    /// Workers charge the shared meter every [`GOVERN_CHECK_PERIOD`] rows
+    /// and expose the `worker` (coordinate = partition index) and `scan`
+    /// (coordinate = scan position) fault sites.
+    pub fn set_govern(&mut self, meter: Option<Arc<BudgetMeter>>, faults: Option<Arc<FaultPlan>>) {
+        self.meter = meter;
+        self.faults = faults;
     }
 
     /// Number of compiled stages (renames are schema-only and add none).
@@ -573,18 +680,43 @@ impl ParPipeline {
         let ranges = crate::par::partition_ranges(self.src.len(), threads);
         let stages = &self.stages;
         let src = &self.src;
+        let meter = &self.meter;
+        let faults = &self.faults;
+        // Each worker body is contained: a panic anywhere in a partition
+        // (a buggy method, an injected `worker:<i>=panic` fault) becomes a
+        // structured `RelError::Panic` for that partition instead of
+        // poisoning the scope and aborting the process.  The plan layer
+        // uses that signal to fall back to serial execution.
+        let worker = |w: usize, tuples: &[Tuple], start: usize| -> Result<PartOut, RelError> {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(plan) = faults {
+                    plan.trip("worker", w as u64)?;
+                }
+                run_partition(stages, tuples, start, meter.as_deref(), faults.as_deref())
+            }))
+            .unwrap_or_else(|payload| Err(RelError::Panic(crate::govern::panic_message(payload))))
+        };
         let parts: Vec<Result<PartOut, RelError>> = if ranges.len() <= 1 {
-            ranges.into_iter().map(|r| run_partition(stages, &src[r], 0)).collect()
+            ranges.into_iter().map(|r| worker(0, &src[r], 0)).collect()
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = ranges
                     .into_iter()
-                    .map(|r| {
+                    .enumerate()
+                    .map(|(w, r)| {
                         let start = r.start;
-                        scope.spawn(move || run_partition(stages, &src[r], start))
+                        let worker = &worker;
+                        scope.spawn(move || worker(w, &src[r], start))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("partition worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|payload| {
+                            Err(RelError::Panic(crate::govern::panic_message(payload)))
+                        })
+                    })
+                    .collect()
             })
         };
         // Merge in partition order: partitions are contiguous scan
@@ -646,6 +778,8 @@ fn run_partition(
     stages: &[ParStage],
     tuples: &[Tuple],
     scan_start: usize,
+    meter: Option<&BudgetMeter>,
+    faults: Option<&FaultPlan>,
 ) -> Result<PartOut, RelError> {
     let mut rngs: Vec<Option<StdRng>> = stages
         .iter()
@@ -669,7 +803,20 @@ fn run_partition(
         stage_rows: vec![0; stages.len()],
         wall_ns: 0,
     };
-    'tuples: for t in tuples {
+    let mut pending = 0u64;
+    'tuples: for (off, t) in tuples.iter().enumerate() {
+        // Governance checkpoints, amortized per row: the `scan` fault site
+        // fires at the tuple's *global* scan position (identical serial vs
+        // parallel), and budget rows are charged in batches.
+        if let Some(plan) = faults {
+            plan.trip("scan", (scan_start + off) as u64)?;
+        }
+        if let Some(m) = meter {
+            pending += 1;
+            if pending >= GOVERN_CHECK_PERIOD {
+                m.charge(std::mem::take(&mut pending))?;
+            }
+        }
         let mut t = t.clone();
         let mut key = None;
         for (i, stage) in stages.iter().enumerate() {
@@ -712,6 +859,11 @@ fn run_partition(
             out.keys.push(k);
         }
         out.tuples.push(t);
+    }
+    if pending > 0 {
+        if let Some(m) = meter {
+            m.charge(pending)?;
+        }
     }
     out.wall_ns = t0.elapsed().as_nanos() as u64;
     Ok(out)

@@ -8,9 +8,16 @@
 #       executor enabled so both code paths stay equivalent
 #   cargo clippy -D warnings        — workspace-wide lint, warnings are
 #       errors
-#   cargo bench obs_overhead        — observability budgets: disabled
-#       recorder path < 2% of a warm render, recording + per-operator
-#       attribution < 5% of a cold Figure 1 demand (asserts inside)
+#   cargo bench obs_overhead        — observability + governance budgets:
+#       disabled recorder path < 2% of a warm render, recording +
+#       per-operator attribution < 5% and armed budget checks < 2% of a
+#       cold Figure 1 demand (asserts inside)
+#   chaos leg                       — deterministic fault injection
+#       (tests/chaos.rs), once unarmed and once with TIOGA2_FAULTS set so
+#       the env-resolved global fault plan path is exercised too
+#   governed leg                    — the whole root test suite under a
+#       generous TIOGA2_BUDGET: governance checkpoints run everywhere and
+#       must never trip on healthy workloads
 #   example self_monitor            — the self-hosted sys.* pipeline
 #       headless; exits non-zero if the latency canvas renders empty
 #
@@ -24,6 +31,9 @@ TIOGA2_THREADS=1 cargo test -q
 TIOGA2_THREADS=4 cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo bench -p tioga2-bench --bench obs_overhead
+cargo test -q --test chaos
+TIOGA2_FAULTS='scan:0=err' cargo test -q --test chaos env_fault_plan
+TIOGA2_BUDGET='rows=50000000,ms=600000' cargo test -q
 cargo run --release --example self_monitor
 
-echo "ci: fmt + build + tests (1 and 4 workers) + clippy + obs budgets + self-monitor all green"
+echo "ci: fmt + build + tests (1 and 4 workers) + clippy + budgets + chaos + governed suite + self-monitor all green"

@@ -34,6 +34,21 @@ fn node(tok: &str) -> Result<NodeId, String> {
     t.parse::<u32>().map(NodeId).map_err(|_| format!("'{tok}' is not a node id"))
 }
 
+fn describe_budget(b: &crate::relational::Budget) -> String {
+    let mut parts = Vec::new();
+    if let Some(r) = b.row_cap {
+        parts.push(format!("rows={r}"));
+    }
+    if let Some(ms) = b.wall_ms {
+        parts.push(format!("ms={ms}"));
+    }
+    if parts.is_empty() {
+        "unlimited".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
 fn err(e: CoreError) -> String {
     e.to_string()
 }
@@ -123,6 +138,8 @@ Tioga-2 REPL — every command is one paper operation.
   :sys                                 refresh sys.* introspection tables
   :stats                               engine counters + trace summary
   :threads [n]                         show/set parallel plan workers
+  :budget [rows=<n>] [ms=<n>] | off    cap rows/wall-clock per demand
+  :faults <site[:at][=err|panic],...> | off   arm deterministic fault injection
   :trace on|off                        collect spans/histograms
   :trace export <path>                 Chrome trace JSON (Perfetto)
   :trace prom <path>                   Prometheus text exposition
@@ -626,6 +643,49 @@ pub fn run_line(session: &mut Session, line: &str) -> ReplResult {
                 msg(format!("threads={n}"))
             }
         }
+        ":budget" | "budget" => {
+            if args.is_empty() {
+                return match session.budget() {
+                    Some(b) => msg(format!("budget: {}", describe_budget(b))),
+                    None => msg("budget off".to_string()),
+                };
+            }
+            if args[0] == "off" {
+                session.set_budget(None);
+                return msg("budget off".to_string());
+            }
+            let spec = rest(0);
+            let budget = crate::relational::govern::parse_budget_spec(&spec)
+                .filter(|b| !b.is_empty())
+                .ok_or_else(|| {
+                    format!(
+                        "'{spec}' is not a budget; try ':budget rows=<n> ms=<n>' or ':budget off'"
+                    )
+                })?;
+            session.set_budget(Some(budget.clone()));
+            msg(format!("budget: {}", describe_budget(&budget)))
+        }
+        ":faults" | "faults" => {
+            if args.is_empty() {
+                return match crate::relational::fault::current() {
+                    Some(p) => msg(format!(
+                        "faults armed: {} spec(s), {} injected",
+                        p.specs().len(),
+                        p.injected_count()
+                    )),
+                    None => msg("faults off".to_string()),
+                };
+            }
+            if args[0] == "off" {
+                crate::relational::fault::install(None);
+                return msg("faults off".to_string());
+            }
+            let spec = rest(0);
+            let plan = crate::relational::FaultPlan::parse(&spec)?;
+            let n = plan.specs().len();
+            crate::relational::fault::install(Some(plan));
+            msg(format!("faults armed: {n} spec(s)"))
+        }
         ":trace" | "trace" => {
             need(1)?;
             match args[0] {
@@ -896,6 +956,60 @@ mod tests {
         let at3 = ok(&mut s, "show 1 50");
         ok(&mut s, ":threads 1");
         assert_eq!(ok(&mut s, "show 1 50"), at3);
+    }
+
+    #[test]
+    fn budget_knob_via_repl() {
+        let mut s = session();
+        assert_eq!(ok(&mut s, ":budget"), "budget off");
+        ok(&mut s, ":budget rows=3 ms=5000");
+        assert_eq!(ok(&mut s, ":budget"), "budget: rows=3 ms=5000");
+        assert!(run_line(&mut s, ":budget zebras=9").is_err());
+        assert!(run_line(&mut s, ":budget rows=many").is_err());
+        ok(&mut s, ":budget off");
+        assert_eq!(ok(&mut s, ":budget"), "budget off");
+    }
+
+    #[test]
+    fn budget_exceeded_keeps_session_and_canvas_alive() {
+        let mut s = session();
+        ok(&mut s, "table Stations");
+        ok(&mut s, "restrict 0 altitude > 1.0");
+        ok(&mut s, "viewer 1 main");
+        let good = ok(&mut s, "render main govern_keep");
+
+        // A 3-row budget cannot cover the 60-row Stations scan that
+        // validating a fresh restrict performs: the demand aborts with a
+        // structured error and the edit rolls back...
+        ok(&mut s, ":budget rows=3");
+        let e = run_line(&mut s, "restrict 0 longitude < 500.0").unwrap_err();
+        assert!(e.contains("budget exceeded"), "{e}");
+        assert_eq!(s.graph.len(), 3, "failed edit rolled back");
+
+        // ...but the session and canvas survive: lifting the budget lets
+        // the same edit through and renders the identical frame.
+        ok(&mut s, ":budget off");
+        ok(&mut s, "restrict 0 longitude < 500.0");
+        assert_eq!(s.graph.len(), 4);
+        assert_eq!(ok(&mut s, "render main govern_keep"), good);
+    }
+
+    #[test]
+    fn faults_knob_via_repl() {
+        let mut s = session();
+        assert_eq!(ok(&mut s, ":faults"), "faults off");
+        // Arm a site no operator ever reaches: the command plumbing is
+        // exercised without perturbing concurrently running tests (the
+        // registry is process-global); real injection is covered by the
+        // chaos suite.
+        let m = ok(&mut s, ":faults no_such_site:7=err");
+        assert!(m.contains("1 spec(s)"), "{m}");
+        assert!(ok(&mut s, ":faults").contains("armed"));
+        ok(&mut s, "table Stations");
+        ok(&mut s, "show 0 3");
+        assert!(run_line(&mut s, ":faults restrict:pull:=bogus").is_err());
+        assert_eq!(ok(&mut s, ":faults off"), "faults off");
+        assert_eq!(ok(&mut s, ":faults"), "faults off");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use tioga2::dataflow::{Engine, Graph};
 use tioga2::display::{DisplayRelation, Displayable};
 use tioga2::expr::{parse, ScalarType, Value};
 use tioga2::relational::relation::RelationBuilder;
-use tioga2::relational::{Catalog, Relation};
+use tioga2::relational::{Catalog, FaultPlan, Relation};
 
 fn arb_relation() -> impl Strategy<Value = Relation> {
     proptest::collection::vec((any::<i64>(), -1e6f64..1e6, "[a-z]{0,4}"), 0..40).prop_map(|rows| {
@@ -146,6 +146,57 @@ proptest! {
             prop_assert_eq!(&naive, &raw);
             prop_assert_eq!(&naive, &opt);
         }
+    }
+
+    /// Fault equivalence (DESIGN.md §10): a fault injected mid-scan
+    /// surfaces as the *same* structured error from the serial stream
+    /// and from the partitioned pipeline at any worker count — scan
+    /// fault coordinates are global scan positions, and the pipeline
+    /// reports the earliest-partition error first.
+    #[test]
+    fn injected_fault_is_thread_count_invariant(
+        rel in arb_relation(),
+        seeds in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..6),
+        coord_seed in any::<u64>(),
+    ) {
+        // Limit legitimately early-exits the serial scan but not the
+        // parallel one, so its reached-coordinate set differs: remap it
+        // (t%7==5 implies t>=5) onto Restrict.
+        let seeds: Vec<_> = seeds
+            .into_iter()
+            .map(|(t, a, b)| if t % 7 == 5 { (t - 5, a, b) } else { (t, a, b) })
+            .collect();
+        let kinds = decode_ops(&seeds);
+        let mut g = Graph::new();
+        let t = g.add(BoxKind::Table("T".into()));
+        let mut prev = t;
+        for kind in kinds {
+            let n = g.add(BoxKind::rel(kind));
+            g.connect(prev, 0, n, 0).unwrap();
+            prev = n;
+        }
+        let coord = coord_seed % (rel.len() as u64).max(1);
+        let spec = format!("scan:{coord}=err");
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let c = Catalog::new();
+            c.register("T", rel.clone());
+            let mut e = Engine::new(c);
+            e.set_threads(threads);
+            e.set_fault_plan(Some(FaultPlan::parse(&spec).unwrap()));
+            outcomes.push(match e.demand_planned(&g, prev, 0) {
+                Ok(_) => "ok".to_string(),
+                Err(err) => format!("{err}"),
+            });
+        }
+        if !rel.is_empty() && !seeds.is_empty() {
+            // Every planned chain scans its whole input (no Limit), so a
+            // coordinate inside the table always fires.  (An empty chain
+            // is a bare Table box: no plan, no scan site.)
+            prop_assert!(outcomes[0].contains("injected fault"), "{}", &outcomes[0]);
+        }
+        prop_assert_eq!(&outcomes[0], &outcomes[1]);
+        prop_assert_eq!(&outcomes[0], &outcomes[2]);
     }
 }
 
