@@ -541,6 +541,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.finish("a7_self_monitoring", &s, &rec);
     }
 
+    // ----------------- A8: event journal — crash, recover, diff
+    {
+        use tioga2_relational::FaultPlan;
+        // A session doing real work under the journal: Figure 1, a
+        // gesture, a snapshot, then more edits so recovery replays a
+        // genuine tail rather than just restoring the snapshot.
+        use tioga2_bench::points_catalog;
+        // The A5 chain (all-relational, so windowed renders run planned
+        // — fault sites live on the planned path), zoomed deep, with a
+        // snapshot and a post-snapshot tail recovery must replay.
+        let mut s = session(points_catalog(20_000));
+        let rec = report.begin(&mut s);
+        let t = s.add_table("Points")?;
+        let r = s.restrict(t, "mass >= 0.0")?;
+        let srt = s.sort(r, &[("name", true)])?;
+        s.add_viewer(srt, "a8")?;
+        s.render("a8")?; // fit
+        s.zoom("a8", 0.05)?;
+        s.snapshot_now()?;
+        let dense = s.restrict(t, "mass >= 0.5")?;
+        s.add_viewer(dense, "a8_dense")?;
+        save(&mut s, "a8_dense", "a8_pre_crash")?;
+        // The crash: a zoom moves the window (journaled), the next
+        // windowed render re-demands through the plan, and a mid-scan
+        // fault kills it.  All that survives is the journal.
+        s.zoom("a8", 1.2)?;
+        s.set_fault_plan(Some(FaultPlan::parse("scan:500=err")?));
+        if s.render("a8").is_ok() {
+            return Err("A8: the injected crash did not fire".into());
+        }
+        let journal = s.journal_text();
+        s.set_fault_plan(None);
+        // Recovery: rebuild from the journal alone, then diff every
+        // canvas byte-for-byte against the original (post-restart, the
+        // fault is disarmed on both sides).
+        let t0 = Instant::now();
+        let mut back = Session::recover(&journal)?;
+        let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+        for canvas in s.canvas_names() {
+            let want = s.render(&canvas)?;
+            let got = back.render(&canvas)?;
+            if want.fb.pixels() != got.fb.pixels() {
+                return Err(format!("A8: canvas '{canvas}' differs after recovery").into());
+            }
+        }
+        println!(
+            "[A8] crashed mid-render, recovered {} journal event(s) in {recover_ms:.1} ms; \
+             {} canvas(es) byte-identical\n",
+            s.events().len(),
+            s.canvas_names().len()
+        );
+        report.finish("a8_journal_recovery", &s, &rec);
+    }
+
     std::fs::write("BENCH_figures.json", report.to_json())?;
     println!(
         "all figures regenerated into out/; BENCH_figures.json covers {} figures",

@@ -102,6 +102,17 @@ impl Environment {
         self.programs.keys().cloned().collect()
     }
 
+    /// Every saved program as `(name, serialized text)` — session
+    /// snapshots embed the whole library.
+    pub fn programs_snapshot(&self) -> Vec<(String, String)> {
+        self.programs.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Restore one saved program from its serialized text (recovery).
+    pub fn restore_program_text(&mut self, name: impl Into<String>, text: impl Into<String>) {
+        self.programs.insert(name.into(), text.into());
+    }
+
     /// Register a big-programmer box.
     pub fn register_custom(&mut self, custom: Arc<CustomBox>) {
         self.registry.register_custom(custom);

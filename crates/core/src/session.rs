@@ -10,6 +10,7 @@ use tioga2_dataflow::boxes::{CompOpKind, RelOpKind};
 use tioga2_dataflow::edit;
 use tioga2_dataflow::encapsulate::{encapsulate, EncapsulatedDef};
 use tioga2_dataflow::engine::eval_eager;
+use tioga2_dataflow::persist;
 use tioga2_dataflow::{
     BoxKind, BoxTemplate, Engine, EvalStats, FlowError, Graph, Journal, NodeId, PortType,
 };
@@ -17,12 +18,18 @@ use tioga2_display::compose::PartitionSpec;
 use tioga2_display::drilldown::{elevation_map, ElevationBar};
 use tioga2_display::{Displayable, Layout, Selection};
 use tioga2_expr::{parse, ScalarType, Shape, ViewerSpec};
-use tioga2_obs::{Recorder, SpanId};
-use tioga2_relational::{Budget, CancelToken};
+use tioga2_obs::{
+    CanvasView, EventLog, MagnifierView, Recorder, SessionEvent, SessionSnapshot, SpanId,
+    TravelView, ViewState,
+};
+use tioga2_relational::persist as rel_persist;
+use tioga2_relational::{Budget, CancelToken, Catalog};
 use tioga2_render::HitRecord;
 use tioga2_viewer::magnifier::Magnifier;
 use tioga2_viewer::navigator::PASS_THROUGH_ELEVATION;
+use tioga2_viewer::render_pass::Slider;
 use tioga2_viewer::slaving::ViewerSet;
+use tioga2_viewer::Viewer;
 
 /// Evaluation discipline: the lazy Tioga-2 engine, or the eager
 /// whole-program recompute of the original Tioga (the A1 baseline).
@@ -43,6 +50,18 @@ struct Travel {
 
 /// Default canvas window size in pixels.
 pub const DEFAULT_CANVAS_SIZE: (u32, u32) = (640, 480);
+
+/// Default auto-snapshot period (one snapshot marker per this many
+/// journaled edits); override with `TIOGA2_SNAPSHOT_EVERY`.
+pub const DEFAULT_SNAPSHOT_EVERY: usize = 64;
+
+fn env_snapshot_every() -> usize {
+    std::env::var("TIOGA2_SNAPSHOT_EVERY")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|n: &usize| *n > 0)
+        .unwrap_or(DEFAULT_SNAPSHOT_EVERY)
+}
 
 /// One user session.
 ///
@@ -91,11 +110,30 @@ pub struct Session {
     /// a fresh token and cancels the previous one, so a superseding
     /// render aborts any still-running predecessor cooperatively.
     inflight: Option<CancelToken>,
+    /// The session event journal: every edit, gesture, render, update,
+    /// config change and demand outcome, plus periodic snapshot markers.
+    /// Shared with the engine (which appends demand/cache events).
+    events: EventLog,
+    /// Nesting depth of public session ops.  Only the outermost op
+    /// journals itself, so a zoom that passes through a wormhole does not
+    /// also journal the inner traversal (replay would apply it twice).
+    op_depth: u32,
+    /// Edits journaled since the last snapshot marker.
+    edits_since_snapshot: usize,
+    /// Auto-snapshot period in edits (`TIOGA2_SNAPSHOT_EVERY`).
+    snapshot_every: usize,
+    /// `:watch` live-tail filter: `Some("")` tails every kind,
+    /// `Some(kind)` one kind, `None` is off.
+    watch: Option<String>,
+    /// Last journal sequence number already delivered to `:watch`.
+    watch_cursor: u64,
 }
 
 impl Session {
     pub fn new(env: Environment) -> Self {
-        let engine = Engine::new(env.catalog.clone());
+        let mut engine = Engine::new(env.catalog.clone());
+        let events = EventLog::new();
+        engine.set_journal(Some(events.clone()));
         Session {
             env,
             graph: Graph::new(),
@@ -112,6 +150,12 @@ impl Session {
             recorder: tioga2_obs::noop(),
             budget: None,
             inflight: None,
+            events,
+            op_depth: 0,
+            edits_since_snapshot: 0,
+            snapshot_every: env_snapshot_every(),
+            watch: None,
+            watch_cursor: 0,
         }
     }
 
@@ -143,10 +187,19 @@ impl Session {
 
     pub fn set_canvas_size(&mut self, width: u32, height: u32) {
         self.canvas_size = (width.max(8), height.max(8));
+        let (w, h) = self.canvas_size;
+        self.journal_outer(SessionEvent::Config {
+            key: "canvas_size".into(),
+            value: format!("{w}x{h}"),
+        });
     }
 
     pub fn set_mode(&mut self, mode: EvalMode) {
         self.mode = mode;
+        self.journal_outer(SessionEvent::Config {
+            key: "mode".into(),
+            value: if mode == EvalMode::Lazy { "lazy" } else { "eager" }.into(),
+        });
     }
 
     pub fn mode(&self) -> EvalMode {
@@ -169,6 +222,10 @@ impl Session {
     pub fn set_threads(&mut self, n: usize) {
         self.engine.set_threads(n);
         tioga2_relational::par::set_threads(n);
+        self.journal_outer(SessionEvent::Config {
+            key: "threads".into(),
+            value: self.engine.threads().to_string(),
+        });
     }
 
     // ------------------------------------------------- governance (§10)
@@ -208,6 +265,13 @@ impl Session {
         token
     }
 
+    /// Scope a fault-injection plan to this session's engine (the chaos
+    /// suite uses this to keep faults out of the process-global
+    /// registry).  `None` falls back to `TIOGA2_FAULTS`/`fault::install`.
+    pub fn set_fault_plan(&mut self, plan: Option<tioga2_relational::FaultPlan>) {
+        self.engine.set_fault_plan(plan);
+    }
+
     /// Demand a node output under a one-shot budget, leaving the
     /// session's standing budget untouched.
     pub fn demand_with_budget(
@@ -221,6 +285,460 @@ impl Session {
         let result = self.engine.demand_displayable(&self.graph, node, port);
         self.engine.set_budget(prev);
         Ok(result?)
+    }
+
+    // ----------------------------------------- session event journal
+
+    /// The session's event journal.  Shared with the engine, which
+    /// appends demand-lifecycle and cache-invalidation events to it.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Serialize the journal as versioned JSONL (header + one event per
+    /// line) — the input format of [`Session::recover`].
+    pub fn journal_text(&self) -> String {
+        self.events.to_jsonl()
+    }
+
+    /// Attach an append-only JSONL file sink to the journal.
+    pub fn attach_journal_file(&self, path: &str) -> std::io::Result<()> {
+        self.events.attach_file(path)
+    }
+
+    /// Append an event if this is the outermost public op (nested ops —
+    /// e.g. the render inside a pan's first fit — are implied by the
+    /// outer event and must not be replayed twice).
+    fn journal_outer(&self, ev: SessionEvent) {
+        if self.op_depth == 0 {
+            self.events.append(ev);
+        }
+    }
+
+    /// Journal a successful program edit: the op label plus the full
+    /// serialized post-edit program, so replay needs no knowledge of the
+    /// edit itself.  Every `snapshot_every` edits a snapshot marker
+    /// follows, bounding the tail recovery has to replay.
+    fn journal_edit(&mut self, op: &str) {
+        if self.op_depth != 0 {
+            return;
+        }
+        let ev =
+            SessionEvent::Edit { op: op.to_string(), program: persist::save_program(&self.graph) };
+        if self.events.append(ev).is_none() {
+            return; // journal disabled (recovery replay in progress)
+        }
+        self.edits_since_snapshot += 1;
+        if self.edits_since_snapshot >= self.snapshot_every {
+            let _ = self.snapshot_now();
+        }
+    }
+
+    /// Write a snapshot marker embedding the full session state (program,
+    /// catalog, saved-program library, undo stacks, view state).
+    /// Recovery restores the last snapshot and replays the tail after it.
+    pub fn snapshot_now(&mut self) -> Result<u64, CoreError> {
+        let snap = self.build_snapshot()?;
+        let seq = self.events.append(SessionEvent::Snapshot(Box::new(snap)));
+        self.edits_since_snapshot = 0;
+        seq.ok_or_else(|| CoreError::Session("event journal is disabled".into()))
+    }
+
+    fn build_snapshot(&self) -> Result<SessionSnapshot, CoreError> {
+        let mut tables = Vec::new();
+        for name in self.env.catalog.table_names() {
+            if name.starts_with("sys.") {
+                continue; // self-hosted tables are rebuilt on demand
+            }
+            let rel = self.env.catalog.snapshot(&name)?;
+            tables.push((name, rel_persist::save_relation(&rel)?));
+        }
+        let (past, future) = self.journal.stacks();
+        let canvases = self
+            .canvases
+            .iter()
+            .map(|(name, c)| {
+                let (center, elevation, sliders) = match self.viewers.get(name) {
+                    Ok(v) => (
+                        v.position.center,
+                        v.position.elevation,
+                        v.position
+                            .sliders
+                            .iter()
+                            .map(|s| (s.dim.clone(), s.range.0, s.range.1))
+                            .collect(),
+                    ),
+                    Err(_) => ((0.0, 0.0), 0.0, Vec::new()),
+                };
+                CanvasView {
+                    name: name.clone(),
+                    fitted: c.fitted,
+                    size: (c.size.0 as u64, c.size.1 as u64),
+                    center,
+                    elevation,
+                    sliders,
+                    magnifiers: c
+                        .magnifiers
+                        .iter()
+                        .map(|m| MagnifierView {
+                            rect: (
+                                m.rect_px.0 as i64,
+                                m.rect_px.1 as i64,
+                                m.rect_px.2 as u64,
+                                m.rect_px.3 as u64,
+                            ),
+                            zoom: m.zoom,
+                            slaved: m.slaved,
+                            center: m.center,
+                            display_attr: m.display_attr.clone(),
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Ok(SessionSnapshot {
+            program: persist::save_program(&self.graph),
+            tables,
+            programs: self.env.programs_snapshot(),
+            undo_past: past.iter().map(persist::save_program).collect(),
+            undo_future: future.iter().map(persist::save_program).collect(),
+            view: ViewState {
+                focus: self.focus.clone(),
+                canvas_size: (self.canvas_size.0 as u64, self.canvas_size.1 as u64),
+                canvases,
+                slaves: self.viewers.slaved_pairs(),
+                travels: self
+                    .history
+                    .iter()
+                    .map(|t| TravelView {
+                        canvas: t.canvas.clone(),
+                        center: t.center,
+                        elevation: t.elevation,
+                        entry_elevation: t.entry_elevation,
+                    })
+                    .collect(),
+            },
+        })
+    }
+
+    /// Rebuild a session from a serialized journal: restore the last
+    /// snapshot (program, catalog, program library, undo stacks, view
+    /// state), then replay the replayable tail after it.  The recovered
+    /// session's canvases, catalog, and demand results are byte-identical
+    /// to the crashed session's.
+    ///
+    /// Limitations (documented in DESIGN.md §11): big-programmer custom
+    /// boxes must be re-registered before recovery can load programs that
+    /// use them, and a group canvas's member cursor is not journaled.
+    pub fn recover(text: &str) -> Result<Session, CoreError> {
+        let log = EventLog::from_jsonl(text).map_err(CoreError::Session)?;
+        let snap_seq = log
+            .last_snapshot_seq()
+            .ok_or_else(|| CoreError::Session("journal has no snapshot to recover from".into()))?;
+        let snap = log
+            .events()
+            .into_iter()
+            .find_map(|(s, ev)| match ev {
+                SessionEvent::Snapshot(b) if s == snap_seq => Some(*b),
+                _ => None,
+            })
+            .ok_or_else(|| CoreError::Session("snapshot marker missing from journal".into()))?;
+
+        let catalog = Catalog::new();
+        for (name, text) in &snap.tables {
+            catalog.register(name.clone(), rel_persist::load_relation(text)?);
+        }
+        let mut env = Environment::new(catalog);
+        for (name, text) in &snap.programs {
+            env.restore_program_text(name.clone(), text.clone());
+        }
+
+        let mut s = Session::new(env);
+        // Replay must not re-journal: disable the fresh log for the
+        // duration, then adopt the loaded log wholesale.
+        s.events.set_enabled(false);
+        s.graph = persist::load_program(&snap.program, &s.env.registry)?;
+        let past = snap
+            .undo_past
+            .iter()
+            .map(|t| persist::load_program(t, &s.env.registry))
+            .collect::<Result<Vec<_>, _>>()?;
+        let future = snap
+            .undo_future
+            .iter()
+            .map(|t| persist::load_program(t, &s.env.registry))
+            .collect::<Result<Vec<_>, _>>()?;
+        s.journal.restore_stacks(past, future);
+        s.sync_canvases();
+
+        // View state: canvas sizes and flags, then viewer positions, then
+        // slaving (which captures offsets from the restored positions),
+        // then the travel stack and focus.
+        s.canvas_size = (snap.view.canvas_size.0 as u32, snap.view.canvas_size.1 as u32);
+        for cv in &snap.view.canvases {
+            let Some(c) = s.canvases.get_mut(&cv.name) else { continue };
+            c.size = (cv.size.0 as u32, cv.size.1 as u32);
+            c.fitted = cv.fitted;
+            c.magnifiers = cv
+                .magnifiers
+                .iter()
+                .map(|m| Magnifier {
+                    rect_px: (m.rect.0 as i32, m.rect.1 as i32, m.rect.2 as u32, m.rect.3 as u32),
+                    zoom: m.zoom,
+                    slaved: m.slaved,
+                    center: m.center,
+                    display_attr: m.display_attr.clone(),
+                })
+                .collect();
+            if cv.fitted {
+                let mut v = Viewer::new(&cv.name, c.size.0, c.size.1);
+                v.position.center = cv.center;
+                v.position.elevation = cv.elevation;
+                v.position.sliders = cv
+                    .sliders
+                    .iter()
+                    .map(|(d, lo, hi)| Slider { dim: d.clone(), range: (*lo, *hi) })
+                    .collect();
+                s.viewers.insert(v);
+            }
+        }
+        for (a, b) in &snap.view.slaves {
+            s.viewers.slave(a, b)?;
+        }
+        s.history = snap
+            .view
+            .travels
+            .iter()
+            .map(|t| Travel {
+                canvas: t.canvas.clone(),
+                center: t.center,
+                elevation: t.elevation,
+                entry_elevation: t.entry_elevation,
+            })
+            .collect();
+        s.focus = snap.view.focus.clone();
+
+        for (seq, ev) in log.events() {
+            if seq <= snap_seq || !ev.is_replayable() {
+                continue;
+            }
+            s.replay_event(&ev)?;
+        }
+
+        // Adopt the loaded journal: the recovered session continues
+        // appending after the crashed session's last sequence number.
+        s.events = log;
+        s.engine.set_journal(Some(s.events.clone()));
+        s.events.set_enabled(true);
+        Ok(s)
+    }
+
+    /// Re-apply one replayable journal event (recovery tail replay).
+    fn replay_event(&mut self, ev: &SessionEvent) -> Result<(), CoreError> {
+        match ev {
+            SessionEvent::Edit { program, .. } => {
+                self.journal.checkpoint(&self.graph);
+                self.graph = persist::load_program(program, &self.env.registry)?;
+                // A reloaded graph reuses node ids and revisions; stale
+                // memoized results must not leak across the swap.
+                self.engine.invalidate_all();
+                self.after_edit();
+            }
+            SessionEvent::Undo => {
+                self.undo();
+            }
+            SessionEvent::Redo => {
+                self.redo();
+            }
+            SessionEvent::Render { canvas } => {
+                self.render(canvas)?;
+            }
+            SessionEvent::Gesture { gesture, canvas, args } => {
+                self.replay_gesture(gesture, canvas, args)?;
+            }
+            SessionEvent::Update { table, row_id, changes } => {
+                let changes = changes
+                    .iter()
+                    .map(|(f, enc)| {
+                        Ok(tioga2_relational::update::FieldChange {
+                            field: f.clone(),
+                            value: rel_persist::decode_value(enc)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, tioga2_relational::RelError>>()?;
+                self.install_update(table, *row_id, &changes)?;
+            }
+            SessionEvent::Config { key, value } => self.replay_config(key, value),
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn replay_gesture(
+        &mut self,
+        gesture: &str,
+        canvas: &str,
+        args: &[String],
+    ) -> Result<(), CoreError> {
+        let txt = |i: usize| args.get(i).map(|s| s.as_str()).unwrap_or("");
+        let num = |i: usize| txt(i).parse::<f64>().unwrap_or(0.0);
+        let int = |i: usize| txt(i).parse::<i64>().unwrap_or(0);
+        match gesture {
+            "pan" => self.pan(canvas, int(0) as i32, int(1) as i32)?,
+            "zoom" => {
+                self.zoom(canvas, num(0))?;
+            }
+            "set_slider" => self.set_slider(canvas, txt(0), num(1), num(2))?,
+            "slave" => self.slave(canvas, txt(0))?,
+            "unslave" => self.unslave(canvas, txt(0))?,
+            "traverse" => {
+                let spec = ViewerSpec {
+                    destination: txt(0).to_string(),
+                    at: (num(1), num(2)),
+                    elevation: num(3),
+                    size: (num(4), num(5)),
+                };
+                self.traverse(canvas, &spec)?;
+            }
+            "go_back" => {
+                self.go_back()?;
+            }
+            "add_magnifier" => {
+                let mut m = Magnifier::new(
+                    (int(0) as i32, int(1) as i32, int(2) as u32, int(3) as u32),
+                    num(4),
+                )?;
+                m.slaved = int(5) != 0;
+                m.center = (num(6), num(7));
+                m.display_attr = args.get(8).filter(|s| !s.is_empty()).cloned();
+                self.add_magnifier(canvas, m)?;
+            }
+            "remove_magnifier" => self.remove_magnifier(canvas, int(0) as usize)?,
+            "cycle_map" => {
+                self.cycle_elevation_map(canvas)?;
+            }
+            "clone_view" => {
+                // The graph edit was replayed by the preceding Edit
+                // event; this re-applies the viewer-position copy.
+                if let Ok(srcv) = self.viewers.get(txt(0)) {
+                    let pos = srcv.position.clone();
+                    let size = srcv.size;
+                    let mut v = Viewer::new(canvas, size.0, size.1);
+                    v.position = pos;
+                    self.viewers.insert(v);
+                    if let Some(c) = self.canvases.get_mut(canvas) {
+                        c.fitted = true;
+                    }
+                }
+            }
+            other => {
+                return Err(CoreError::Session(format!("unknown journaled gesture '{other}'")))
+            }
+        }
+        Ok(())
+    }
+
+    fn replay_config(&mut self, key: &str, value: &str) {
+        match key {
+            "threads" => self.set_threads(value.parse().unwrap_or(1)),
+            "canvas_size" => {
+                if let Some((w, h)) = value.split_once('x') {
+                    let w = w.parse().unwrap_or(DEFAULT_CANVAS_SIZE.0);
+                    let h = h.parse().unwrap_or(DEFAULT_CANVAS_SIZE.1);
+                    self.set_canvas_size(w, h);
+                }
+            }
+            "mode" => {
+                self.set_mode(if value == "eager" { EvalMode::EagerTioga1 } else { EvalMode::Lazy })
+            }
+            "focus" => {
+                let _ = self.set_focus(value);
+            }
+            "trace_ring" => self.set_trace_ring(value.parse().unwrap_or(32)),
+            "save_program" => self.save_program(value),
+            // Unknown keys from a newer writer are informational only.
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------ time travel (:rewind)
+
+    /// `:rewind N`: step backwards through the undo machinery, journaling
+    /// each step.  Returns how many steps actually applied.
+    pub fn rewind(&mut self, n: usize) -> usize {
+        let mut done = 0;
+        for _ in 0..n {
+            if !self.undo() {
+                break;
+            }
+            done += 1;
+        }
+        done
+    }
+
+    /// `:replay N`: step forwards again (redo). Returns steps applied.
+    pub fn replay_forward(&mut self, n: usize) -> usize {
+        let mut done = 0;
+        for _ in 0..n {
+            if !self.redo() {
+                break;
+            }
+            done += 1;
+        }
+        done
+    }
+
+    // ------------------------------------------------ live tail (:watch)
+
+    /// Arm the `:watch` live tail.  `filter` restricts to one event kind
+    /// (e.g. `"demand"`); `None` tails everything.  The cursor starts at
+    /// the current log head, so only *new* events are delivered.
+    pub fn set_watch(&mut self, filter: Option<&str>) {
+        self.watch = Some(filter.unwrap_or("").to_string());
+        self.watch_cursor = self.events.last_seq().unwrap_or(0);
+    }
+
+    /// Disarm the live tail.
+    pub fn clear_watch(&mut self) {
+        self.watch = None;
+    }
+
+    /// The armed watch filter: `Some("")` = all kinds, `None` = off.
+    pub fn watch_filter(&self) -> Option<&str> {
+        self.watch.as_deref()
+    }
+
+    /// Drain events appended since the watch cursor, advancing it.
+    /// Returns an empty vec when `:watch` is off.
+    pub fn drain_watch(&mut self) -> Vec<(u64, SessionEvent)> {
+        let Some(filter) = self.watch.clone() else { return Vec::new() };
+        let evs = self.events.events_since(self.watch_cursor);
+        if let Some((s, _)) = evs.last() {
+            self.watch_cursor = *s;
+        }
+        evs.into_iter().filter(|(_, e)| filter.is_empty() || e.kind() == filter).collect()
+    }
+
+    // ------------------------------------------- trace ring (satellite)
+
+    /// Resize the engine's demand-trace ring (`TIOGA2_TRACE_RING` sets
+    /// the initial size).
+    pub fn set_trace_ring(&mut self, capacity: usize) {
+        self.engine.set_trace_ring(capacity);
+        self.journal_outer(SessionEvent::Config {
+            key: "trace_ring".into(),
+            value: self.engine.trace_ring().to_string(),
+        });
+    }
+
+    /// Current demand-trace ring capacity.
+    pub fn trace_ring(&self) -> usize {
+        self.engine.trace_ring()
+    }
+
+    /// Demand traces evicted from the ring so far.
+    pub fn traces_dropped(&self) -> u64 {
+        self.engine.traces_dropped()
     }
 
     // ------------------------------------------------------------ edits
@@ -299,6 +817,7 @@ impl Session {
         // from the old graph must not be mistaken for the new one's.
         self.engine.invalidate_all();
         self.after_edit();
+        self.journal_edit("new_program");
     }
 
     /// **Add Program**: add a named (saved) program to the canvas.
@@ -307,6 +826,7 @@ impl Session {
         self.journal.checkpoint(&self.graph);
         self.graph.add_program(&other);
         self.after_edit();
+        self.journal_edit(&format!("add_program:{name}"));
         Ok(())
     }
 
@@ -320,13 +840,20 @@ impl Session {
         self.engine.invalidate_all();
         self.graph.add_program(&other);
         self.after_edit();
+        self.journal_edit(&format!("load_program:{name}"));
         Ok(())
     }
 
-    /// **Save Program** under a name in the environment.
+    /// **Save Program** under a name in the environment.  Journaled as a
+    /// config event: replaying it re-saves the then-current program, so
+    /// the library round-trips through recovery.
     pub fn save_program(&mut self, name: &str) {
         let graph = self.graph.clone();
         self.env.save_program(name, &graph);
+        self.journal_outer(SessionEvent::Config {
+            key: "save_program".into(),
+            value: name.to_string(),
+        });
     }
 
     /// **Apply Box**: boxes whose inputs match the selected output edges.
@@ -342,7 +869,10 @@ impl Session {
 
     /// Add a disconnected box.
     pub fn add_box(&mut self, kind: BoxKind) -> Result<NodeId, CoreError> {
-        self.edit(|g| Ok(g.add(kind)))
+        let op = format!("add_box:{}", kind.name());
+        let id = self.edit(|g| Ok(g.add(kind)))?;
+        self.journal_edit(&op);
+        Ok(id)
     }
 
     /// Connect an output to an input (type-checked).
@@ -353,28 +883,40 @@ impl Session {
         to: NodeId,
         in_port: usize,
     ) -> Result<(), CoreError> {
-        self.edit(|g| g.connect(from, out_port, to, in_port))
+        self.edit(|g| g.connect(from, out_port, to, in_port))?;
+        self.journal_edit("connect");
+        Ok(())
     }
 
     /// **Delete Box** under the paper's legality rules.
     pub fn delete_box(&mut self, id: NodeId) -> Result<(), CoreError> {
-        self.edit(|g| edit::delete_box(g, id))
+        self.edit(|g| edit::delete_box(g, id))?;
+        self.journal_edit("delete_box");
+        Ok(())
     }
 
     /// **Replace Box** by a different box with compatible types.
     pub fn replace_box(&mut self, id: NodeId, kind: BoxKind) -> Result<(), CoreError> {
-        self.edit(|g| g.replace_kind(id, kind))
+        let op = format!("replace_box:{}", kind.name());
+        self.edit(|g| g.replace_kind(id, kind))?;
+        self.journal_edit(&op);
+        Ok(())
     }
 
     /// Re-parameterize a box without changing its signature (editing a
     /// Restrict predicate in place).
     pub fn update_box(&mut self, id: NodeId, kind: BoxKind) -> Result<(), CoreError> {
-        self.edit(|g| g.update_kind(id, kind))
+        let op = format!("update_box:{}", kind.name());
+        self.edit(|g| g.update_kind(id, kind))?;
+        self.journal_edit(&op);
+        Ok(())
     }
 
     /// **T**: insert a T node on the edge into `(to, in_port)`.
     pub fn add_tee(&mut self, to: NodeId, in_port: usize) -> Result<NodeId, CoreError> {
-        self.edit(|g| edit::insert_tee(g, to, in_port))
+        let id = self.edit(|g| edit::insert_tee(g, to, in_port))?;
+        self.journal_edit("add_tee");
+        Ok(id)
     }
 
     /// **Encapsulate** a region (with optional holes) and register the
@@ -396,6 +938,7 @@ impl Session {
         let did = self.journal.undo(&mut self.graph);
         if did {
             self.sync_canvases();
+            self.journal_outer(SessionEvent::Undo);
         }
         self.recorder.span_end(span, &[("did", did as i64)]);
         did
@@ -406,6 +949,7 @@ impl Session {
         let did = self.journal.redo(&mut self.graph);
         if did {
             self.sync_canvases();
+            self.journal_outer(SessionEvent::Redo);
         }
         self.recorder.span_end(span, &[("did", did as i64)]);
         did
@@ -429,12 +973,15 @@ impl Session {
     }
 
     fn append(&mut self, upstream: NodeId, kind: BoxKind) -> Result<NodeId, CoreError> {
+        let op = format!("append:{}", kind.name());
         let id = self.edit(|g| {
             let id = g.add(kind);
             g.connect(upstream, 0, id, 0)?;
             Ok(id)
         })?;
-        self.validate_new(id)
+        let id = self.validate_new(id)?;
+        self.journal_edit(&op);
+        Ok(id)
     }
 
     /// Evaluate every output of a freshly added box so bad parameters
@@ -464,7 +1011,9 @@ impl Session {
         if !self.env.catalog.contains(table) {
             return Err(CoreError::Session(format!("no table '{table}' in the catalog")));
         }
-        self.edit(|g| Ok(g.add(BoxKind::Table(table.into()))))
+        let id = self.edit(|g| Ok(g.add(BoxKind::Table(table.into()))))?;
+        self.journal_edit(&format!("add_table:{table}"));
+        Ok(id)
     }
 
     /// Apply a relation-level op after `upstream`, lifted through the
@@ -559,7 +1108,9 @@ impl Session {
             g.connect(right, 0, id, 1)?;
             Ok(id)
         })?;
-        self.validate_new(id)
+        let id = self.validate_new(id)?;
+        self.journal_edit("join");
+        Ok(id)
     }
 
     /// Add a scalar constant box — a runtime parameter (§2).  Update it
@@ -568,13 +1119,17 @@ impl Session {
         if matches!(value, tioga2_expr::Value::Drawable(_) | tioga2_expr::Value::DrawList(_)) {
             return Err(CoreError::Session("constants must be scalar values".into()));
         }
-        self.edit(|g| Ok(g.add(BoxKind::Const(value))))
+        let id = self.edit(|g| Ok(g.add(BoxKind::Const(value))))?;
+        self.journal_edit("add_const");
+        Ok(id)
     }
 
     /// Change a constant's value in place.  The type must stay the same
     /// (signature-preserving edit); only the consuming cone re-fires.
     pub fn set_const(&mut self, id: NodeId, value: tioga2_expr::Value) -> Result<(), CoreError> {
-        self.edit(|g| g.update_kind(id, BoxKind::Const(value)))
+        self.edit(|g| g.update_kind(id, BoxKind::Const(value)))?;
+        self.journal_edit("set_const");
+        Ok(())
     }
 
     /// **Restrict** with named parameters fed by scalar boxes: the
@@ -611,7 +1166,9 @@ impl Session {
             }
             Ok(id)
         })?;
-        self.validate_new(id)
+        let id = self.validate_new(id)?;
+        self.journal_edit("param_restrict");
+        Ok(id)
     }
 
     /// **Switch**: route tuples satisfying the predicate to output 0 and
@@ -764,7 +1321,9 @@ impl Session {
             g.connect(top, 0, id, 1)?;
             Ok(id)
         })?;
-        self.validate_new(id)
+        let id = self.validate_new(id)?;
+        self.journal_edit("overlay");
+        Ok(id)
     }
 
     /// **Shuffle**: move a layer to the top of the drawing order.
@@ -789,7 +1348,9 @@ impl Session {
             }
             Ok(id)
         })?;
-        self.validate_new(id)
+        let id = self.validate_new(id)?;
+        self.journal_edit("stitch");
+        Ok(id)
     }
 
     /// **Replicate** by partition specs (§7.4), lifted through `sel`.
@@ -819,6 +1380,7 @@ impl Session {
             g.connect(upstream, 0, id, 0)?;
             Ok(id)
         })?;
+        self.journal_edit(&format!("add_viewer:{canvas}"));
         Ok(id)
     }
 
@@ -839,9 +1401,11 @@ impl Session {
         };
         let ty = self.graph.node(src)?.out_types[src_port].clone();
         let canvas_name = canvas.to_string();
-        self.edit(move |g| {
+        let id = self.edit(move |g| {
             edit::insert_on_edge(g, to, in_port, BoxKind::Viewer { canvas: canvas_name, ty })
-        })
+        })?;
+        self.journal_edit(&format!("add_viewer:{canvas}"));
+        Ok(id)
     }
 
     pub fn canvas_names(&self) -> Vec<String> {
@@ -857,6 +1421,7 @@ impl Session {
             return Err(CoreError::Session(format!("no canvas '{canvas}'")));
         }
         self.focus = Some(canvas.to_string());
+        self.journal_outer(SessionEvent::Config { key: "focus".into(), value: canvas.to_string() });
         Ok(())
     }
 
@@ -874,8 +1439,10 @@ impl Session {
     }
 
     /// Demand any node output directly (inspection of partial results).
+    /// Runs through the plan layer, so the demand's outcome (status,
+    /// rows, wall time) lands in the session event journal.
     pub fn demand(&mut self, node: NodeId, port: usize) -> Result<Displayable, CoreError> {
-        Ok(self.engine.demand_displayable(&self.graph, node, port)?)
+        Ok(self.engine.demand_displayable_planned(&self.graph, node, port)?)
     }
 
     /// Explain the streaming plan for a node's output: the lowered chain,
@@ -940,7 +1507,8 @@ impl Session {
 
     /// Names of the self-hosted introspection tables maintained by
     /// [`Session::refresh_sys_tables`].
-    pub const SYS_TABLES: [&'static str; 3] = ["sys.counters", "sys.histograms", "sys.demands"];
+    pub const SYS_TABLES: [&'static str; 4] =
+        ["sys.counters", "sys.histograms", "sys.demands", "sys.events"];
 
     /// Publish the session's own instrumentation as ordinary catalog
     /// tables — the engine monitoring itself with its own machinery.
@@ -963,6 +1531,16 @@ impl Session {
         let mut counters = RelationBuilder::new().field("name", T::Text).field("value", T::Int);
         for (name, v) in self.recorder.counters_snapshot() {
             counters = counters.row(vec![Value::Text(name), Value::Int(v as i64)]);
+        }
+        // Trace-ring and journal gauges, surfaced alongside the recorder
+        // counters even when the no-op recorder is installed.
+        for (name, v) in [
+            ("demand.trace_ring.size".to_string(), self.engine.trace_ring() as i64),
+            ("demand.trace_ring.dropped".to_string(), self.engine.traces_dropped() as i64),
+            ("journal.events".to_string(), self.events.len() as i64),
+            ("journal.dropped".to_string(), self.events.dropped() as i64),
+        ] {
+            counters = counters.row(vec![Value::Text(name), Value::Int(v)]);
         }
         self.env.catalog.register("sys.counters", counters.build()?);
 
@@ -1028,9 +1606,70 @@ impl Session {
         }
         self.env.catalog.register("sys.demands", demands.build()?);
 
-        // Catalog contents changed outside the structural signature.
-        self.engine.invalidate_all();
-        Ok(Self::SYS_TABLES.iter().map(|s| s.to_string()).collect())
+        // sys.events: the session journal as an ordinary relation, so an
+        // ordinary box chain can query the session's own history.
+        let mut events = RelationBuilder::new()
+            .field("seq", T::Int)
+            .field("kind", T::Text)
+            .field("label", T::Text)
+            .field("status", T::Text)
+            .field("rows", T::Int)
+            .field("ns", T::Int)
+            .field("detail", T::Text);
+        for (seq, ev) in self.events.events() {
+            let (label, status, rows, ns, detail) = match &ev {
+                SessionEvent::Edit { op, .. } => (op.clone(), String::new(), 0, 0, String::new()),
+                SessionEvent::Undo | SessionEvent::Redo => {
+                    (ev.kind().to_string(), String::new(), 0, 0, String::new())
+                }
+                SessionEvent::Gesture { gesture, canvas, args } => {
+                    (gesture.clone(), String::new(), 0, 0, format!("{canvas} {}", args.join(" ")))
+                }
+                SessionEvent::Render { canvas } => {
+                    (canvas.clone(), String::new(), 0, 0, String::new())
+                }
+                SessionEvent::Update { table, row_id, changes } => {
+                    (table.clone(), String::new(), changes.len() as i64, 0, format!("row {row_id}"))
+                }
+                SessionEvent::Config { key, value } => {
+                    (key.clone(), String::new(), 0, 0, value.clone())
+                }
+                SessionEvent::Demand { label, status, rows_out, wall_ns, detail, .. } => (
+                    label.clone(),
+                    status.clone(),
+                    *rows_out as i64,
+                    *wall_ns as i64,
+                    detail.clone(),
+                ),
+                SessionEvent::CacheInvalidation { scope, entries } => {
+                    (scope.clone(), String::new(), *entries as i64, 0, String::new())
+                }
+                SessionEvent::Snapshot(s) => (
+                    "snapshot".to_string(),
+                    String::new(),
+                    s.tables.len() as i64,
+                    0,
+                    format!("{} undo levels", s.undo_past.len()),
+                ),
+            };
+            events = events.row(vec![
+                Value::Int(seq as i64),
+                Value::Text(ev.kind().to_string()),
+                Value::Text(label),
+                Value::Text(status),
+                Value::Int(rows),
+                Value::Int(ns),
+                Value::Text(detail),
+            ]);
+        }
+        self.env.catalog.register("sys.events", events.build()?);
+
+        // Catalog contents changed outside the structural signature — but
+        // only for the sys.* relations, so only plans that read them are
+        // evicted; everything else stays memoized across a refresh.
+        let sys: Vec<String> = Self::SYS_TABLES.iter().map(|s| s.to_string()).collect();
+        self.engine.invalidate_reading(&self.graph, &sys);
+        Ok(sys)
     }
 
     /// Render a canvas window.
@@ -1038,6 +1677,11 @@ impl Session {
         let span = self.op_span("session.render", canvas);
         let result = self.render_inner(canvas);
         self.recorder.span_end(span, &[("ok", result.is_ok() as i64)]);
+        if result.is_ok() {
+            // A render fits the viewer on first contact, so replay must
+            // re-render to reproduce view state.
+            self.journal_outer(SessionEvent::Render { canvas: canvas.to_string() });
+        }
         result
     }
 
@@ -1096,11 +1740,20 @@ impl Session {
     /// Pan a canvas by screen pixels (slaved canvases follow).
     pub fn pan(&mut self, canvas: &str, dx: i32, dy: i32) -> Result<(), CoreError> {
         let span = self.op_span("session.pan", canvas);
+        self.op_depth += 1;
         let result = (|| {
             self.ensure_fitted(canvas)?;
             Ok(self.viewers.pan_px(canvas, dx, dy)?)
         })();
+        self.op_depth -= 1;
         self.recorder.span_end(span, &[("ok", result.is_ok() as i64)]);
+        if result.is_ok() {
+            self.journal_outer(SessionEvent::Gesture {
+                gesture: "pan".into(),
+                canvas: canvas.to_string(),
+                args: vec![dx.to_string(), dy.to_string()],
+            });
+        }
         result
     }
 
@@ -1108,11 +1761,20 @@ impl Session {
     /// bottomed out over a wormhole and the user passed through (§6.2).
     pub fn zoom(&mut self, canvas: &str, factor: f64) -> Result<Option<String>, CoreError> {
         let span = self.op_span("session.zoom", canvas);
+        self.op_depth += 1;
         let result = self.zoom_inner(canvas, factor);
+        self.op_depth -= 1;
         self.recorder.span_end(
             span,
             &[("ok", result.is_ok() as i64), ("traversed", matches!(result, Ok(Some(_))) as i64)],
         );
+        if result.is_ok() {
+            self.journal_outer(SessionEvent::Gesture {
+                gesture: "zoom".into(),
+                canvas: canvas.to_string(),
+                args: vec![format!("{factor:?}")],
+            });
+        }
         result
     }
 
@@ -1138,19 +1800,49 @@ impl Session {
         lo: f64,
         hi: f64,
     ) -> Result<(), CoreError> {
-        self.ensure_fitted(canvas)?;
-        Ok(self.viewers.get_mut(canvas)?.set_slider(dim, lo, hi)?)
+        self.op_depth += 1;
+        let result = (|| {
+            self.ensure_fitted(canvas)?;
+            Ok(self.viewers.get_mut(canvas)?.set_slider(dim, lo, hi)?)
+        })();
+        self.op_depth -= 1;
+        if result.is_ok() {
+            self.journal_outer(SessionEvent::Gesture {
+                gesture: "set_slider".into(),
+                canvas: canvas.to_string(),
+                args: vec![dim.to_string(), format!("{lo:?}"), format!("{hi:?}")],
+            });
+        }
+        result
     }
 
     /// Slave two canvases together (§7.1).
     pub fn slave(&mut self, a: &str, b: &str) -> Result<(), CoreError> {
-        self.ensure_fitted(a)?;
-        self.ensure_fitted(b)?;
-        Ok(self.viewers.slave(a, b)?)
+        self.op_depth += 1;
+        let result = (|| {
+            self.ensure_fitted(a)?;
+            self.ensure_fitted(b)?;
+            Ok(self.viewers.slave(a, b)?)
+        })();
+        self.op_depth -= 1;
+        if result.is_ok() {
+            self.journal_outer(SessionEvent::Gesture {
+                gesture: "slave".into(),
+                canvas: a.to_string(),
+                args: vec![b.to_string()],
+            });
+        }
+        result
     }
 
     pub fn unslave(&mut self, a: &str, b: &str) -> Result<(), CoreError> {
-        Ok(self.viewers.unslave(a, b)?)
+        self.viewers.unslave(a, b)?;
+        self.journal_outer(SessionEvent::Gesture {
+            gesture: "unslave".into(),
+            canvas: a.to_string(),
+            args: vec![b.to_string()],
+        });
+        Ok(())
     }
 
     /// Attach a magnifying glass to a canvas (§7.2).
@@ -1159,8 +1851,24 @@ impl Session {
             .canvases
             .get_mut(canvas)
             .ok_or_else(|| CoreError::Session(format!("no canvas '{canvas}'")))?;
-        c.magnifiers.push(m);
-        Ok(c.magnifiers.len() - 1)
+        c.magnifiers.push(m.clone());
+        let idx = c.magnifiers.len() - 1;
+        self.journal_outer(SessionEvent::Gesture {
+            gesture: "add_magnifier".into(),
+            canvas: canvas.to_string(),
+            args: vec![
+                m.rect_px.0.to_string(),
+                m.rect_px.1.to_string(),
+                m.rect_px.2.to_string(),
+                m.rect_px.3.to_string(),
+                format!("{:?}", m.zoom),
+                (m.slaved as u8).to_string(),
+                format!("{:?}", m.center.0),
+                format!("{:?}", m.center.1),
+                m.display_attr.clone().unwrap_or_default(),
+            ],
+        });
+        Ok(idx)
     }
 
     pub fn remove_magnifier(&mut self, canvas: &str, idx: usize) -> Result<(), CoreError> {
@@ -1172,6 +1880,11 @@ impl Session {
             return Err(CoreError::Session(format!("no magnifier {idx} on '{canvas}'")));
         }
         c.magnifiers.remove(idx);
+        self.journal_outer(SessionEvent::Gesture {
+            gesture: "remove_magnifier".into(),
+            canvas: canvas.to_string(),
+            args: vec![idx.to_string()],
+        });
         Ok(())
     }
 
@@ -1222,20 +1935,39 @@ impl Session {
                 spec.destination
             )));
         }
-        self.ensure_fitted(canvas)?;
-        self.ensure_fitted(&spec.destination)?;
-        let from = self.viewers.get(canvas)?.position.clone();
-        self.history.push(Travel {
-            canvas: canvas.to_string(),
-            center: from.center,
-            elevation: from.elevation.max(PASS_THROUGH_ELEVATION),
-            entry_elevation: spec.elevation,
-        });
-        let v = self.viewers.get_mut(&spec.destination)?;
-        v.position.center = spec.at;
-        v.position.elevation = spec.elevation.max(PASS_THROUGH_ELEVATION);
-        self.focus = Some(spec.destination.clone());
-        Ok(())
+        self.op_depth += 1;
+        let result = (|| {
+            self.ensure_fitted(canvas)?;
+            self.ensure_fitted(&spec.destination)?;
+            let from = self.viewers.get(canvas)?.position.clone();
+            self.history.push(Travel {
+                canvas: canvas.to_string(),
+                center: from.center,
+                elevation: from.elevation.max(PASS_THROUGH_ELEVATION),
+                entry_elevation: spec.elevation,
+            });
+            let v = self.viewers.get_mut(&spec.destination)?;
+            v.position.center = spec.at;
+            v.position.elevation = spec.elevation.max(PASS_THROUGH_ELEVATION);
+            self.focus = Some(spec.destination.clone());
+            Ok(())
+        })();
+        self.op_depth -= 1;
+        if result.is_ok() {
+            self.journal_outer(SessionEvent::Gesture {
+                gesture: "traverse".into(),
+                canvas: canvas.to_string(),
+                args: vec![
+                    spec.destination.clone(),
+                    format!("{:?}", spec.at.0),
+                    format!("{:?}", spec.at.1),
+                    format!("{:?}", spec.elevation),
+                    format!("{:?}", spec.size.0),
+                    format!("{:?}", spec.size.1),
+                ],
+            });
+        }
+        result
     }
 
     /// Rear-view elevation for the canvas the user last left (§6.3):
@@ -1279,16 +2011,28 @@ impl Session {
 
     /// "Find your way home" (§6.3): pop the travel stack.
     pub fn go_back(&mut self) -> Result<String, CoreError> {
-        let last = self
-            .history
-            .pop()
-            .ok_or_else(|| CoreError::Session("no canvas to go back to".into()))?;
-        self.ensure_fitted(&last.canvas)?;
-        let v = self.viewers.get_mut(&last.canvas)?;
-        v.position.center = last.center;
-        v.position.elevation = last.elevation;
-        self.focus = Some(last.canvas.clone());
-        Ok(last.canvas)
+        self.op_depth += 1;
+        let result = (|| {
+            let last = self
+                .history
+                .pop()
+                .ok_or_else(|| CoreError::Session("no canvas to go back to".into()))?;
+            self.ensure_fitted(&last.canvas)?;
+            let v = self.viewers.get_mut(&last.canvas)?;
+            v.position.center = last.center;
+            v.position.elevation = last.elevation;
+            self.focus = Some(last.canvas.clone());
+            Ok(last.canvas)
+        })();
+        self.op_depth -= 1;
+        if let Ok(canvas) = &result {
+            self.journal_outer(SessionEvent::Gesture {
+                gesture: "go_back".into(),
+                canvas: canvas.clone(),
+                args: Vec::new(),
+            });
+        }
+        result
     }
 
     pub fn travel_depth(&self) -> usize {
@@ -1315,8 +2059,20 @@ impl Session {
 
     /// Cycle a group canvas's elevation map to its next member.
     pub fn cycle_elevation_map(&mut self, canvas: &str) -> Result<usize, CoreError> {
-        self.render(canvas)?;
-        Ok(self.group_window_mut(canvas)?.cycle_elevation_map())
+        self.op_depth += 1;
+        let result = (|| {
+            self.render(canvas)?;
+            Ok(self.group_window_mut(canvas)?.cycle_elevation_map())
+        })();
+        self.op_depth -= 1;
+        if result.is_ok() {
+            self.journal_outer(SessionEvent::Gesture {
+                gesture: "cycle_map".into(),
+                canvas: canvas.to_string(),
+                args: Vec::new(),
+            });
+        }
+        result
     }
 
     /// Clone a canvas: a second viewer box on the same edge with the same
@@ -1340,6 +2096,7 @@ impl Session {
             g.connect(from, port, v, 0)?;
             Ok(v)
         })?;
+        self.journal_edit(&format!("clone_canvas:{new_name}"));
         // Copy the viewer position if the source has been rendered.
         if let Ok(srcv) = self.viewers.get(src) {
             let pos = srcv.position.clone();
@@ -1350,6 +2107,13 @@ impl Session {
             if let Some(c) = self.canvases.get_mut(new_name) {
                 c.fitted = true;
             }
+            // The position copy is view-layer state the Edit replay does
+            // not reproduce; journal it as its own gesture.
+            self.journal_outer(SessionEvent::Gesture {
+                gesture: "clone_view".into(),
+                canvas: new_name.to_string(),
+                args: vec![src.to_string()],
+            });
         }
         Ok(id)
     }
@@ -1377,7 +2141,9 @@ impl Session {
             shape: src_ty,
             sel: Selection::layer(layer),
         };
-        self.edit(|g| edit::insert_on_edge(g, node, 0, kind))
+        let id = self.edit(|g| edit::insert_on_edge(g, node, 0, kind))?;
+        self.journal_edit("set_range_via_map");
+        Ok(id)
     }
 
     /// Elevation-map drawing-order manipulation: splice a Reorder box
@@ -1402,7 +2168,9 @@ impl Session {
             shape,
             sel: Selection::default(),
         };
-        self.edit(|g| edit::insert_on_edge(g, node, 0, kind))
+        let id = self.edit(|g| edit::insert_on_edge(g, node, 0, kind))?;
+        self.journal_edit("reorder_via_map");
+        Ok(id)
     }
 
     // --------------------------------------------------- update (§8)
@@ -1467,6 +2235,11 @@ impl Session {
         tioga2_relational::update::install_update(&self.env.catalog, table, row_id, changes)?;
         // Base data changed outside the structural signature.
         self.engine.invalidate_all();
+        let mut enc = Vec::with_capacity(changes.len());
+        for c in changes {
+            enc.push((c.field.clone(), rel_persist::encode_value(&c.value)?));
+        }
+        self.journal_outer(SessionEvent::Update { table: table.to_string(), row_id, changes: enc });
         Ok(())
     }
 }

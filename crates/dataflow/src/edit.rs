@@ -177,6 +177,21 @@ impl Journal {
     pub fn forget_future(&mut self) {
         self.future.clear();
     }
+
+    /// Both stacks, oldest first, for session-snapshot export.
+    pub fn stacks(&self) -> (&[Graph], &[Graph]) {
+        (&self.past, &self.future)
+    }
+
+    /// Replace both stacks wholesale (session recovery).
+    pub fn restore_stacks(&mut self, past: Vec<Graph>, future: Vec<Graph>) {
+        self.past = past;
+        self.future = future;
+        let overflow = self.past.len().saturating_sub(self.limit);
+        if overflow > 0 {
+            self.past.drain(..overflow);
+        }
+    }
 }
 
 #[cfg(test)]

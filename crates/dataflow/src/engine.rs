@@ -31,7 +31,7 @@ use tioga2_display::drilldown::{
 use tioga2_display::lift::{apply_to_composite, apply_to_relation};
 use tioga2_display::{DisplayRelation, Displayable};
 use tioga2_expr::{Expr, UnaryOp};
-use tioga2_obs::{CacheStatus, DemandTrace, OpNode, Recorder, SpanId};
+use tioga2_obs::{CacheStatus, DemandTrace, EventLog, OpNode, Recorder, SessionEvent, SpanId};
 use tioga2_relational::ops;
 use tioga2_relational::{fault, govern, Budget, BudgetMeter, CancelToken, Catalog, RelError};
 
@@ -66,10 +66,21 @@ struct PlanCacheEntry {
     output: Data,
 }
 
-/// How many finished [`DemandTrace`]s the engine keeps (oldest evicted
-/// first).  Small and fixed: traces exist for `:explain analyze`,
-/// `sys.demands`, and flamegraph export, not as a durable log.
+/// Default capacity of the finished-[`DemandTrace`] ring (oldest evicted
+/// first).  Small: traces exist for `:explain analyze`, `sys.demands`,
+/// and flamegraph export, not as a durable log.  Override per process
+/// with `TIOGA2_TRACE_RING`, per engine with [`Engine::set_trace_ring`].
 pub const DEMAND_TRACE_RING: usize = 32;
+
+/// Trace-ring capacity from `TIOGA2_TRACE_RING`, clamped to >= 1;
+/// [`DEMAND_TRACE_RING`] when unset or unparsable.
+fn env_trace_ring() -> usize {
+    std::env::var("TIOGA2_TRACE_RING")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(DEMAND_TRACE_RING)
+        .max(1)
+}
 
 /// The lazy engine.  One engine is attached to one top-level graph; inner
 /// (encapsulated) graphs get transient sub-engines.
@@ -82,11 +93,19 @@ pub struct Engine {
     /// Worker count for partition-parallel plan execution; copied from
     /// [`tioga2_relational::par::threads`] at construction.
     threads: usize,
-    /// Ring of the last [`DEMAND_TRACE_RING`] per-demand trace trees.
+    /// Ring of the last [`Engine::trace_ring`] per-demand trace trees.
     /// Populated by every planned demand while an enabled recorder is
     /// installed, and by [`Engine::demand_analyzed`] unconditionally.
     demand_traces: VecDeque<DemandTrace>,
+    /// Capacity of `demand_traces`; `TIOGA2_TRACE_RING` at construction.
+    trace_ring: usize,
+    /// Traces evicted from the ring over this engine's lifetime (also
+    /// surfaced as the `demand.traces_dropped` counter).
+    traces_dropped: u64,
     next_demand_id: u64,
+    /// Session event journal sink; when armed, every planned demand's
+    /// outcome and every cache invalidation is appended as a typed event.
+    journal: Option<EventLog>,
     /// Declarative budget applied to every demand (row cap, deadline,
     /// cancel token).  `None` means ungoverned; seeded from
     /// `TIOGA2_BUDGET` at construction.
@@ -125,7 +144,10 @@ impl Engine {
             recorder: tioga2_obs::noop(),
             threads: tioga2_relational::par::threads(),
             demand_traces: VecDeque::new(),
+            trace_ring: env_trace_ring(),
+            traces_dropped: 0,
             next_demand_id: 0,
+            journal: None,
             budget: govern::env_budget(),
             meter: None,
             faults: None,
@@ -226,6 +248,38 @@ impl Engine {
         &self.demand_traces
     }
 
+    /// Current capacity of the demand-trace ring.
+    pub fn trace_ring(&self) -> usize {
+        self.trace_ring
+    }
+
+    /// Traces evicted from the ring over this engine's lifetime.
+    pub fn traces_dropped(&self) -> u64 {
+        self.traces_dropped
+    }
+
+    /// Resize the demand-trace ring (clamped to >= 1).  Shrinking evicts
+    /// the oldest traces immediately; evictions count as dropped.
+    pub fn set_trace_ring(&mut self, capacity: usize) {
+        self.trace_ring = capacity.max(1);
+        while self.demand_traces.len() > self.trace_ring {
+            self.demand_traces.pop_front();
+            self.traces_dropped += 1;
+            self.recorder.add("demand.traces_dropped", 1);
+        }
+    }
+
+    /// Attach (or detach) the session event journal.  When armed, every
+    /// planned demand appends a [`SessionEvent::Demand`] outcome and
+    /// every invalidation a [`SessionEvent::CacheInvalidation`].
+    pub fn set_journal(&mut self, journal: Option<EventLog>) {
+        self.journal = journal;
+    }
+
+    pub fn journal(&self) -> Option<&EventLog> {
+        self.journal.as_ref()
+    }
+
     /// The most recent trace for a given demanded `(node, port)`, if one
     /// is still in the ring.
     pub fn last_trace_for(&self, node: NodeId, port: usize) -> Option<&DemandTrace> {
@@ -276,6 +330,65 @@ impl Engine {
         self.plan_cache.clear();
         self.recorder.add("cache.invalidations", 1);
         self.recorder.add("cache.invalidated_entries", evicted);
+        if let Some(j) = &self.journal {
+            j.append(SessionEvent::CacheInvalidation { scope: "all".into(), entries: evicted });
+        }
+    }
+
+    /// Does `kind` read any of `tables` from the catalog?  Encapsulated
+    /// boxes are searched recursively (inner graph and plugs).  `Custom`
+    /// boxes are treated as readers conservatively: their closure is
+    /// opaque, so we cannot prove they ignore the catalog.
+    fn kind_reads(kind: &BoxKind, tables: &[String]) -> bool {
+        match kind {
+            BoxKind::Table(t) => tables.iter().any(|x| x == t),
+            BoxKind::Encapsulated { def, plugs } => {
+                def.graph.nodes().any(|n| Self::kind_reads(&n.kind, tables))
+                    || plugs.iter().any(|p| Self::kind_reads(p, tables))
+            }
+            BoxKind::Custom(_) => true,
+            _ => false,
+        }
+    }
+
+    /// Drop only the memoized results whose demand cone reads one of
+    /// `tables` — a node is evicted iff its kind reads a listed table or
+    /// any transitive input does.  Entries keyed by nodes no longer in
+    /// `graph` are evicted too (nothing can be proven about a deleted
+    /// box).  Returns the number of entries evicted.  This is what
+    /// `sys.*` refreshes use so that unrelated cached plans survive.
+    pub fn invalidate_reading(&mut self, graph: &Graph, tables: &[String]) -> u64 {
+        let mut tainted: HashSet<NodeId> =
+            graph.nodes().filter(|n| Self::kind_reads(&n.kind, tables)).map(|n| n.id).collect();
+        // Propagate downstream to a fixpoint (graphs are interactive-UI
+        // sized; quadratic worst case is fine).
+        loop {
+            let mut grew = false;
+            for n in graph.nodes() {
+                if !tainted.contains(&n.id)
+                    && n.inputs.iter().flatten().any(|(src, _)| tainted.contains(src))
+                {
+                    tainted.insert(n.id);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        let before = self.cache.len() + self.plan_cache.len();
+        self.cache.retain(|id, _| graph.node(*id).is_ok() && !tainted.contains(id));
+        self.plan_cache.retain(|(id, _), _| graph.node(*id).is_ok() && !tainted.contains(id));
+        let evicted = (before - self.cache.len() - self.plan_cache.len()) as u64;
+        self.recorder.add("cache.invalidations", 1);
+        self.recorder.add("cache.invalidated_entries", evicted);
+        if let Some(j) = &self.journal {
+            j.append(SessionEvent::CacheInvalidation {
+                scope: "selective".into(),
+                entries: evicted,
+            });
+        }
+        evicted
     }
 
     /// Demand the value on `(node, out_port)` of `graph`.
@@ -366,7 +479,43 @@ impl Engine {
         window: Option<&Expr>,
         force_trace: bool,
     ) -> Result<(Data, Option<DemandTrace>), FlowError> {
-        self.contain(|e| e.demand_planned_inner(graph, node, port, rewrite, window, force_trace))
+        let journal_armed = self.journal.as_ref().is_some_and(|j| j.is_enabled());
+        if !journal_armed {
+            return self.contain(|e| {
+                e.demand_planned_inner(graph, node, port, rewrite, window, force_trace)
+            });
+        }
+        // Journaling armed: record the demand's lifecycle outcome —
+        // including aborts classified by `error_status` — as one event.
+        let t0 = Instant::now();
+        let id_before = self.next_demand_id;
+        let result = self
+            .contain(|e| e.demand_planned_inner(graph, node, port, rewrite, window, force_trace));
+        // A pushed trace consumed `id_before`; otherwise claim it so
+        // journal demand ids stay aligned with trace ids.
+        if self.next_demand_id == id_before {
+            self.next_demand_id += 1;
+        }
+        let name = graph.node(node).map(|n| n.name()).unwrap_or_else(|_| "?".to_string());
+        let (status, rows_out, detail) = match &result {
+            Ok((Data::D(Displayable::R(dr)), _)) => {
+                ("ok".into(), dr.rel.len() as u64, String::new())
+            }
+            Ok(_) => ("ok".into(), 0, String::new()),
+            Err(e) => (Self::error_status(e).to_string(), 0, format!("{e}")),
+        };
+        if let Some(j) = &self.journal {
+            j.append(SessionEvent::Demand {
+                demand_id: id_before,
+                label: format!("{node}.{port} ({name})"),
+                status,
+                rows_out,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+                threads: self.threads as u64,
+                detail,
+            });
+        }
+        result
     }
 
     fn demand_planned_inner(
@@ -523,8 +672,10 @@ impl Engine {
                     root,
                 };
                 eng.next_demand_id += 1;
-                if eng.demand_traces.len() >= DEMAND_TRACE_RING {
+                while eng.demand_traces.len() >= eng.trace_ring {
                     eng.demand_traces.pop_front();
+                    eng.traces_dropped += 1;
+                    eng.recorder.add("demand.traces_dropped", 1);
                 }
                 eng.demand_traces.push_back(t.clone());
                 t

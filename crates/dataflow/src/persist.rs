@@ -192,6 +192,20 @@ fn parse_sexp(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<Sexp, 
 
 // ------------------------------------------------------------- encoding
 
+/// Bounds-checked list indexing: a truncated or malformed S-expr becomes
+/// a structured [`FlowError::Persist`] instead of a slice panic.
+fn nth<'a>(items: &'a [Sexp], i: usize, what: &str) -> Result<&'a Sexp, FlowError> {
+    items.get(i).ok_or_else(|| FlowError::Persist(format!("{what}: missing element {i}")))
+}
+
+/// The elements after a `(tag ...)` head, erroring on an empty list.
+fn tagged_tail<'a>(items: &'a [Sexp], what: &str) -> Result<&'a [Sexp], FlowError> {
+    if items.is_empty() {
+        return Err(FlowError::Persist(format!("{what}: empty list")));
+    }
+    Ok(&items[1..])
+}
+
 fn expr_sexp(e: &Expr) -> Sexp {
     Sexp::Str(e.to_string())
 }
@@ -414,31 +428,35 @@ fn relop_from(s: &Sexp) -> Result<RelOpKind, FlowError> {
     let items = s.as_list()?;
     let head = items.first().ok_or_else(|| FlowError::Persist("empty relop".into()))?.as_atom()?;
     match head {
-        "restrict" => Ok(RelOpKind::Restrict(expr_from(&items[1])?)),
+        "restrict" => Ok(RelOpKind::Restrict(expr_from(nth(items, 1, "restrict")?)?)),
         "project" => Ok(RelOpKind::Project(
             items[1..].iter().map(|c| c.as_str().map(str::to_string)).collect::<Result<_, _>>()?,
         )),
-        "sample" => Ok(RelOpKind::Sample { p: items[1].as_f64()?, seed: items[2].as_u64()? }),
+        "sample" => Ok(RelOpKind::Sample {
+            p: nth(items, 1, "sample")?.as_f64()?,
+            seed: nth(items, 2, "sample")?.as_u64()?,
+        }),
         "aggregate" => {
-            let key_items = items[1].as_list()?;
-            let keys = key_items[1..]
+            let key_items = tagged_tail(nth(items, 1, "aggregate")?.as_list()?, "aggregate keys")?;
+            let keys = key_items
                 .iter()
                 .map(|k| k.as_str().map(str::to_string))
                 .collect::<Result<Vec<_>, _>>()?;
-            let agg_items = items[2].as_list()?;
+            let agg_items = tagged_tail(nth(items, 2, "aggregate")?.as_list()?, "aggregate aggs")?;
             let mut aggs = Vec::new();
-            for a in &agg_items[1..] {
+            for a in agg_items {
                 let triple = a.as_list()?;
-                let func = tioga2_relational::AggFunc::parse(triple[0].as_atom()?)
-                    .ok_or_else(|| FlowError::Persist("bad aggregate function".into()))?;
-                let attr = match &triple[1] {
+                let func =
+                    tioga2_relational::AggFunc::parse(nth(triple, 0, "agg spec")?.as_atom()?)
+                        .ok_or_else(|| FlowError::Persist("bad aggregate function".into()))?;
+                let attr = match nth(triple, 1, "agg spec")? {
                     Sexp::Atom(x) if x == "-" => None,
                     other => Some(other.as_str()?.to_string()),
                 };
                 aggs.push(tioga2_relational::AggSpec {
                     func,
                     attr,
-                    output: triple[2].as_str()?.to_string(),
+                    output: nth(triple, 2, "agg spec")?.as_str()?.to_string(),
                 });
             }
             Ok(RelOpKind::Aggregate { keys, aggs })
@@ -446,53 +464,68 @@ fn relop_from(s: &Sexp) -> Result<RelOpKind, FlowError> {
         "distinct" => Ok(RelOpKind::Distinct(
             items[1..].iter().map(|a| a.as_str().map(str::to_string)).collect::<Result<_, _>>()?,
         )),
-        "limit" => {
-            Ok(RelOpKind::Limit { offset: items[1].as_usize()?, count: items[2].as_usize()? })
-        }
+        "limit" => Ok(RelOpKind::Limit {
+            offset: nth(items, 1, "limit")?.as_usize()?,
+            count: nth(items, 2, "limit")?.as_usize()?,
+        }),
         "rename" => Ok(RelOpKind::Rename {
-            from: items[1].as_str()?.to_string(),
-            to: items[2].as_str()?.to_string(),
+            from: nth(items, 1, "rename")?.as_str()?.to_string(),
+            to: nth(items, 2, "rename")?.as_str()?.to_string(),
         }),
         "sort" => {
             let mut keys = Vec::new();
             for k in &items[1..] {
                 let pair = k.as_list()?;
-                keys.push((pair[0].as_str()?.to_string(), pair[1].as_atom()? == "asc"));
+                keys.push((
+                    nth(pair, 0, "sort key")?.as_str()?.to_string(),
+                    nth(pair, 1, "sort key")?.as_atom()? == "asc",
+                ));
             }
             Ok(RelOpKind::Sort(keys))
         }
         "add-attr" => Ok(RelOpKind::AddAttribute {
-            name: items[1].as_str()?.to_string(),
-            ty: ty_from(&items[2])?,
-            def: expr_from(&items[3])?,
-            role: role_from(&items[4])?,
+            name: nth(items, 1, "add-attr")?.as_str()?.to_string(),
+            ty: ty_from(nth(items, 2, "add-attr")?)?,
+            def: expr_from(nth(items, 3, "add-attr")?)?,
+            role: role_from(nth(items, 4, "add-attr")?)?,
         }),
-        "remove-attr" => Ok(RelOpKind::RemoveAttribute(items[1].as_str()?.to_string())),
+        "remove-attr" => {
+            Ok(RelOpKind::RemoveAttribute(nth(items, 1, "remove-attr")?.as_str()?.to_string()))
+        }
         "set-attr" => Ok(RelOpKind::SetAttribute {
-            name: items[1].as_str()?.to_string(),
-            ty: ty_from(&items[2])?,
-            def: expr_from(&items[3])?,
+            name: nth(items, 1, "set-attr")?.as_str()?.to_string(),
+            ty: ty_from(nth(items, 2, "set-attr")?)?,
+            def: expr_from(nth(items, 3, "set-attr")?)?,
         }),
         "swap-attr" => Ok(RelOpKind::SwapAttributes(
-            items[1].as_str()?.to_string(),
-            items[2].as_str()?.to_string(),
+            nth(items, 1, "swap-attr")?.as_str()?.to_string(),
+            nth(items, 2, "swap-attr")?.as_str()?.to_string(),
         )),
-        "scale-attr" => {
-            Ok(RelOpKind::ScaleAttribute(items[1].as_str()?.to_string(), items[2].as_f64()?))
-        }
-        "translate-attr" => {
-            Ok(RelOpKind::TranslateAttribute(items[1].as_str()?.to_string(), items[2].as_f64()?))
-        }
+        "scale-attr" => Ok(RelOpKind::ScaleAttribute(
+            nth(items, 1, "scale-attr")?.as_str()?.to_string(),
+            nth(items, 2, "scale-attr")?.as_f64()?,
+        )),
+        "translate-attr" => Ok(RelOpKind::TranslateAttribute(
+            nth(items, 1, "translate-attr")?.as_str()?.to_string(),
+            nth(items, 2, "translate-attr")?.as_f64()?,
+        )),
         "combine-displays" => Ok(RelOpKind::CombineDisplays {
-            first: items[1].as_str()?.to_string(),
-            second: items[2].as_str()?.to_string(),
-            dx: items[3].as_f64()?,
-            dy: items[4].as_f64()?,
-            new_name: items[5].as_str()?.to_string(),
+            first: nth(items, 1, "combine-displays")?.as_str()?.to_string(),
+            second: nth(items, 2, "combine-displays")?.as_str()?.to_string(),
+            dx: nth(items, 3, "combine-displays")?.as_f64()?,
+            dy: nth(items, 4, "combine-displays")?.as_f64()?,
+            new_name: nth(items, 5, "combine-displays")?.as_str()?.to_string(),
         }),
-        "set-active-display" => Ok(RelOpKind::SetActiveDisplay(items[1].as_str()?.to_string())),
-        "set-range" => Ok(RelOpKind::SetRange { min: items[1].as_f64()?, max: items[2].as_f64()? }),
-        "set-layer-name" => Ok(RelOpKind::SetLayerName(items[1].as_str()?.to_string())),
+        "set-active-display" => Ok(RelOpKind::SetActiveDisplay(
+            nth(items, 1, "set-active-display")?.as_str()?.to_string(),
+        )),
+        "set-range" => Ok(RelOpKind::SetRange {
+            min: nth(items, 1, "set-range")?.as_f64()?,
+            max: nth(items, 2, "set-range")?.as_f64()?,
+        }),
+        "set-layer-name" => {
+            Ok(RelOpKind::SetLayerName(nth(items, 1, "set-layer-name")?.as_str()?.to_string()))
+        }
         other => Err(FlowError::Persist(format!("unknown relop '{other}'"))),
     }
 }
@@ -596,61 +629,65 @@ fn kind_from(s: &Sexp, registry: &BoxRegistry) -> Result<BoxKind, FlowError> {
     let head =
         items.first().ok_or_else(|| FlowError::Persist("empty box kind".into()))?.as_atom()?;
     match head {
-        "table" => Ok(BoxKind::Table(items[1].as_str()?.to_string())),
-        "join" => Ok(BoxKind::Join(expr_from(&items[1])?)),
+        "table" => Ok(BoxKind::Table(nth(items, 1, "table")?.as_str()?.to_string())),
+        "join" => Ok(BoxKind::Join(expr_from(nth(items, 1, "join")?)?)),
         "relop" => Ok(BoxKind::RelOp {
-            shape: port_from(&items[1])?,
-            sel: sel_from(&items[2])?,
-            op: relop_from(&items[3])?,
+            shape: port_from(nth(items, 1, "relop")?)?,
+            sel: sel_from(nth(items, 2, "relop")?)?,
+            op: relop_from(nth(items, 3, "relop")?)?,
         }),
         "compop" => {
-            let op_items = items[3].as_list()?;
-            let op = match op_items[0].as_atom()? {
-                "shuffle" => CompOpKind::Shuffle(op_items[1].as_usize()?),
+            let op_items = nth(items, 3, "compop")?.as_list()?;
+            let op = match nth(op_items, 0, "compop op")?.as_atom()? {
+                "shuffle" => CompOpKind::Shuffle(nth(op_items, 1, "shuffle")?.as_usize()?),
                 "reorder" => CompOpKind::Reorder {
-                    from: op_items[1].as_usize()?,
-                    to: op_items[2].as_usize()?,
+                    from: nth(op_items, 1, "reorder")?.as_usize()?,
+                    to: nth(op_items, 2, "reorder")?.as_usize()?,
                 },
                 other => return Err(FlowError::Persist(format!("unknown compop '{other}'"))),
             };
-            Ok(BoxKind::CompOp { shape: port_from(&items[1])?, sel: sel_from(&items[2])?, op })
+            Ok(BoxKind::CompOp {
+                shape: port_from(nth(items, 1, "compop")?)?,
+                sel: sel_from(nth(items, 2, "compop")?)?,
+                op,
+            })
         }
         "overlay" => {
-            let invariant = items[1].as_atom()? == "invariant";
+            let invariant = nth(items, 1, "overlay")?.as_atom()? == "invariant";
             let offset = items[2..].iter().map(|x| x.as_f64()).collect::<Result<Vec<_>, _>>()?;
             Ok(BoxKind::Overlay { offset, invariant })
         }
-        "stitch" => {
-            Ok(BoxKind::Stitch { arity: items[1].as_usize()?, layout: layout_from(&items[2])? })
-        }
+        "stitch" => Ok(BoxKind::Stitch {
+            arity: nth(items, 1, "stitch")?.as_usize()?,
+            layout: layout_from(nth(items, 2, "stitch")?)?,
+        }),
         "replicate" => {
-            let vertical = match &items[4] {
+            let vertical = match nth(items, 4, "replicate")? {
                 Sexp::Atom(a) if a == "-" => None,
                 other => Some(partition_from(other)?),
             };
             Ok(BoxKind::Replicate {
-                shape: port_from(&items[1])?,
-                sel: sel_from(&items[2])?,
-                horizontal: partition_from(&items[3])?,
+                shape: port_from(nth(items, 1, "replicate")?)?,
+                sel: sel_from(nth(items, 2, "replicate")?)?,
+                horizontal: partition_from(nth(items, 3, "replicate")?)?,
                 vertical,
             })
         }
-        "switch" => Ok(BoxKind::Switch(expr_from(&items[1])?)),
+        "switch" => Ok(BoxKind::Switch(expr_from(nth(items, 1, "switch")?)?)),
         "const" => {
-            let v = match items[1].as_atom()? {
+            let body = nth(items, 2, "const")?;
+            let v = match nth(items, 1, "const")?.as_atom()? {
                 "null" => tioga2_expr::Value::Null,
-                "bool" => tioga2_expr::Value::Bool(items[2].as_atom()? == "1"),
+                "bool" => tioga2_expr::Value::Bool(body.as_atom()? == "1"),
                 "int" => tioga2_expr::Value::Int(
-                    items[2]
-                        .as_atom()?
+                    body.as_atom()?
                         .parse()
                         .map_err(|_| FlowError::Persist("bad const int".into()))?,
                 ),
-                "float" => tioga2_expr::Value::Float(items[2].as_f64()?),
-                "text" => tioga2_expr::Value::Text(items[2].as_str()?.to_string()),
+                "float" => tioga2_expr::Value::Float(body.as_f64()?),
+                "text" => tioga2_expr::Value::Text(body.as_str()?.to_string()),
                 "timestamp" => tioga2_expr::Value::Timestamp(
-                    items[2]
-                        .as_atom()?
+                    body.as_atom()?
                         .parse()
                         .map_err(|_| FlowError::Persist("bad const timestamp".into()))?,
                 ),
@@ -659,33 +696,48 @@ fn kind_from(s: &Sexp, registry: &BoxRegistry) -> Result<BoxKind, FlowError> {
             Ok(BoxKind::Const(v))
         }
         "param-restrict" => {
-            let p_items = items[4].as_list()?;
+            let p_items =
+                tagged_tail(nth(items, 4, "param-restrict")?.as_list()?, "param-restrict params")?;
             let mut params = Vec::new();
-            for p in &p_items[1..] {
+            for p in p_items {
                 let pair = p.as_list()?;
-                params.push((pair[0].as_str()?.to_string(), ty_from(&pair[1])?));
+                params.push((
+                    nth(pair, 0, "param")?.as_str()?.to_string(),
+                    ty_from(nth(pair, 1, "param")?)?,
+                ));
             }
             Ok(BoxKind::ParamRestrict {
-                shape: port_from(&items[1])?,
-                sel: sel_from(&items[2])?,
-                pred: expr_from(&items[3])?,
+                shape: port_from(nth(items, 1, "param-restrict")?)?,
+                sel: sel_from(nth(items, 2, "param-restrict")?)?,
+                pred: expr_from(nth(items, 3, "param-restrict")?)?,
                 params,
             })
         }
-        "tee" => Ok(BoxKind::Tee(port_from(&items[1])?)),
+        "tee" => Ok(BoxKind::Tee(port_from(nth(items, 1, "tee")?)?)),
         "viewer" => Ok(BoxKind::Viewer {
-            canvas: items[1].as_str()?.to_string(),
-            ty: port_from(&items[2])?,
+            canvas: nth(items, 1, "viewer")?.as_str()?.to_string(),
+            ty: port_from(nth(items, 2, "viewer")?)?,
         }),
-        "param" => Ok(BoxKind::Param { idx: items[1].as_usize()?, ty: port_from(&items[2])? }),
+        "param" => Ok(BoxKind::Param {
+            idx: nth(items, 1, "param")?.as_usize()?,
+            ty: port_from(nth(items, 2, "param")?)?,
+        }),
         "hole" => Ok(BoxKind::Hole {
-            idx: items[1].as_usize()?,
-            in_types: items[2].as_list()?.iter().map(port_from).collect::<Result<_, _>>()?,
-            out_types: items[3].as_list()?.iter().map(port_from).collect::<Result<_, _>>()?,
+            idx: nth(items, 1, "hole")?.as_usize()?,
+            in_types: nth(items, 2, "hole")?
+                .as_list()?
+                .iter()
+                .map(port_from)
+                .collect::<Result<_, _>>()?,
+            out_types: nth(items, 3, "hole")?
+                .as_list()?
+                .iter()
+                .map(port_from)
+                .collect::<Result<_, _>>()?,
         }),
         "encap" => {
-            let def = Arc::new(def_from(&items[1], registry)?);
-            let plugs = items[2]
+            let def = Arc::new(def_from(nth(items, 1, "encap")?, registry)?);
+            let plugs = nth(items, 2, "encap")?
                 .as_list()?
                 .iter()
                 .map(|p| kind_from(p, registry))
@@ -693,7 +745,7 @@ fn kind_from(s: &Sexp, registry: &BoxRegistry) -> Result<BoxKind, FlowError> {
             Ok(BoxKind::Encapsulated { def, plugs })
         }
         "custom" => {
-            let name = items[1].as_str()?;
+            let name = nth(items, 1, "custom")?.as_str()?;
             match registry.get(name).and_then(|t| t.kind.clone()) {
                 Some(k @ BoxKind::Custom(_)) => Ok(k),
                 _ => Err(FlowError::Persist(format!("custom box '{name}' is not registered"))),
@@ -741,8 +793,16 @@ fn def_from(s: &Sexp, registry: &BoxRegistry) -> Result<EncapsulatedDef, FlowErr
         .map(|h| -> Result<HoleSig, FlowError> {
             let pair = h.as_list()?;
             Ok(HoleSig {
-                in_types: pair[0].as_list()?.iter().map(port_from).collect::<Result<_, _>>()?,
-                out_types: pair[1].as_list()?.iter().map(port_from).collect::<Result<_, _>>()?,
+                in_types: nth(pair, 0, "hole sig")?
+                    .as_list()?
+                    .iter()
+                    .map(port_from)
+                    .collect::<Result<_, _>>()?,
+                out_types: nth(pair, 1, "hole sig")?
+                    .as_list()?
+                    .iter()
+                    .map(port_from)
+                    .collect::<Result<_, _>>()?,
             })
         })
         .collect::<Result<Vec<_>, _>>()?;
@@ -756,7 +816,10 @@ fn def_from(s: &Sexp, registry: &BoxRegistry) -> Result<EncapsulatedDef, FlowErr
             .iter()
             .map(|b| -> Result<(NodeId, usize), FlowError> {
                 let pair = b.as_list()?;
-                Ok((NodeId(pair[0].as_usize()? as u32), pair[1].as_usize()?))
+                Ok((
+                    NodeId(nth(pair, 0, "output binding")?.as_usize()? as u32),
+                    nth(pair, 1, "output binding")?.as_usize()?,
+                ))
             })
             .collect::<Result<Vec<_>, _>>()?,
         holes,
@@ -801,20 +864,20 @@ fn graph_from(s: &Sexp, registry: &BoxRegistry) -> Result<Graph, FlowError> {
     let mut map = std::collections::BTreeMap::new();
     for n in &nodes[1..] {
         let pair = n.as_list()?;
-        let old_id = pair[0].as_usize()? as u32;
-        let kind = kind_from(&pair[1], registry)?;
+        let old_id = nth(pair, 0, "node")?.as_usize()? as u32;
+        let kind = kind_from(nth(pair, 1, "node")?, registry)?;
         map.insert(NodeId(old_id), g.add(kind));
     }
     for e in &edges[1..] {
         let q = e.as_list()?;
         let to = *map
-            .get(&NodeId(q[0].as_usize()? as u32))
+            .get(&NodeId(nth(q, 0, "edge")?.as_usize()? as u32))
             .ok_or_else(|| FlowError::Persist("edge references unknown node".into()))?;
-        let in_port = q[1].as_usize()?;
+        let in_port = nth(q, 1, "edge")?.as_usize()?;
         let from = *map
-            .get(&NodeId(q[2].as_usize()? as u32))
+            .get(&NodeId(nth(q, 2, "edge")?.as_usize()? as u32))
             .ok_or_else(|| FlowError::Persist("edge references unknown node".into()))?;
-        let out_port = q[3].as_usize()?;
+        let out_port = nth(q, 3, "edge")?.as_usize()?;
         g.connect(from, out_port, to, in_port)?;
     }
     Ok(g)
@@ -980,6 +1043,46 @@ mod tests {
         assert!(load_program("TIOGA2-PROGRAM v1\n(nonsense)", &registry()).is_err());
         assert!(load_program("TIOGA2-PROGRAM v1\n(graph (nodes (0 (frob))) (edges))", &registry())
             .is_err());
+    }
+
+    #[test]
+    fn malformed_programs_are_structured_errors() {
+        let reg = registry();
+        // Unbalanced parens, in both directions.
+        for text in [
+            "TIOGA2-PROGRAM v1\n(graph (nodes (0 (table \"T\"))) (edges)",
+            "TIOGA2-PROGRAM v1\n(graph (nodes (0 (table \"T\")))) (edges)))",
+        ] {
+            match load_program(text, &reg) {
+                Err(FlowError::Persist(_)) => {}
+                other => panic!("unbalanced parens -> {other:?}"),
+            }
+        }
+        // Bad string escape inside an atom.
+        let bad_escape =
+            "TIOGA2-PROGRAM v1\n(graph (nodes (0 (table \"bad \\q escape\"))) (edges))";
+        match load_program(bad_escape, &reg) {
+            Err(FlowError::Persist(m)) => assert!(m.contains("escape"), "{m}"),
+            other => panic!("bad escape -> {other:?}"),
+        }
+        // Unknown box name.
+        let unknown = "TIOGA2-PROGRAM v1\n(graph (nodes (0 (frobnicator 3))) (edges))";
+        match load_program(unknown, &reg) {
+            Err(FlowError::Persist(m)) => assert!(m.contains("unknown box"), "{m}"),
+            other => panic!("unknown box -> {other:?}"),
+        }
+        // Truncated tagged lists: every tail must be bounds-checked.
+        for text in [
+            "TIOGA2-PROGRAM v1\n(graph)",
+            "TIOGA2-PROGRAM v1\n(graph (nodes (0)) (edges))",
+            "TIOGA2-PROGRAM v1\n(graph (nodes (0 (restrict))) (edges))",
+            "TIOGA2-PROGRAM v1\n(graph (nodes (0 (table \"T\"))) (edges (0)))",
+        ] {
+            match load_program(text, &reg) {
+                Err(FlowError::Persist(_)) => {}
+                other => panic!("truncated '{text}' -> {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -36,10 +36,14 @@
 
 pub mod export;
 pub mod hist;
+pub mod journal;
 pub mod memory;
 pub mod tree;
 
 pub use hist::Histogram;
+pub use journal::{
+    CanvasView, EventLog, MagnifierView, SessionEvent, SessionSnapshot, TravelView, ViewState,
+};
 pub use memory::{CompletedSpan, Event, InMemoryRecorder};
 pub use tree::{CacheStatus, DemandTrace, OpNode};
 

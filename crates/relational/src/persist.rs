@@ -49,7 +49,10 @@ fn unescape(s: &str) -> Result<String, RelError> {
     Ok(out)
 }
 
-fn encode_value(v: &Value) -> Result<String, RelError> {
+/// Encode one scalar value in the relation persistence format (one
+/// type-tag char + payload).  Public so the session journal can carry
+/// §8 update payloads in the same round-trip-exact encoding.
+pub fn encode_value(v: &Value) -> Result<String, RelError> {
     Ok(match v {
         Value::Null => "N".to_string(),
         Value::Bool(b) => format!("B{}", *b as u8),
@@ -64,7 +67,8 @@ fn encode_value(v: &Value) -> Result<String, RelError> {
     })
 }
 
-fn decode_value(s: &str) -> Result<Value, RelError> {
+/// Decode one scalar value from [`encode_value`]'s form.
+pub fn decode_value(s: &str) -> Result<Value, RelError> {
     let bad = || RelError::Persist(format!("bad value encoding '{s}'"));
     let (tag, rest) = s.split_at(s.char_indices().nth(1).map(|(i, _)| i).unwrap_or(s.len()));
     match tag {

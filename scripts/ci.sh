@@ -15,11 +15,20 @@
 #   chaos leg                       — deterministic fault injection
 #       (tests/chaos.rs), once unarmed and once with TIOGA2_FAULTS set so
 #       the env-resolved global fault plan path is exercised too
+#   kill-and-recover leg            — crash sessions at random fault
+#       sites and rebuild them from the event journal alone
+#       (tests/kill_recover.rs): byte-identical canvases, demand
+#       results, and catalog at 1, 2, and 8 recovery workers
 #   governed leg                    — the whole root test suite under a
 #       generous TIOGA2_BUDGET: governance checkpoints run everywhere and
 #       must never trip on healthy workloads
 #   example self_monitor            — the self-hosted sys.* pipeline
 #       headless; exits non-zero if the latency canvas renders empty
+#   figures + BENCH_figures.json    — regenerate every paper figure
+#       (includes the A8 crash/recover/diff of journal recovery, which
+#       arms its own fault plan and fails on any differing pixel) and
+#       check the emitted JSON is non-empty and carries every A-section
+#       measurement key
 #
 # Run from the repository root:  ./scripts/ci.sh
 set -euo pipefail
@@ -33,7 +42,15 @@ cargo clippy --workspace -- -D warnings
 cargo bench -p tioga2-bench --bench obs_overhead
 cargo test -q --test chaos
 TIOGA2_FAULTS='scan:0=err' cargo test -q --test chaos env_fault_plan
+cargo test -q --test kill_recover
 TIOGA2_BUDGET='rows=50000000,ms=600000' cargo test -q
 cargo run --release --example self_monitor
+cargo run --release -p tioga2-bench --bin figures
+test -s BENCH_figures.json || { echo "ci: BENCH_figures.json is missing or empty" >&2; exit 1; }
+for key in a5_plan_pushdown a6_parallel_scaling_t1 a6_parallel_scaling_t2 \
+           a6_parallel_scaling_t4 a7_self_monitoring a8_journal_recovery; do
+    grep -q "\"$key\"" BENCH_figures.json \
+        || { echo "ci: BENCH_figures.json is missing '$key'" >&2; exit 1; }
+done
 
-echo "ci: fmt + build + tests (1 and 4 workers) + clippy + budgets + chaos + governed suite + self-monitor all green"
+echo "ci: fmt + build + tests (1 and 4 workers) + clippy + budgets + chaos + kill-recover + governed suite + self-monitor + figures all green"

@@ -144,6 +144,13 @@ Tioga-2 REPL — every command is one paper operation.
   :trace export <path>                 Chrome trace JSON (Perfetto)
   :trace prom <path>                   Prometheus text exposition
   :trace folded <path>                 folded stacks from the demand-trace ring
+  :journal                             event-journal status
+  :journal tail [n]                    last n journal events
+  :journal save <path>                 write the journal as JSONL
+  :journal snapshot                    force a recovery snapshot marker
+  :journal recover <path>              rebuild the session from a journal
+  :rewind [n] | :replay [n]            time-travel over journaled edits
+  :watch [all|<kind>|off]              live-tail journal events by kind
   quit";
 
 /// Execute one line against the session.
@@ -165,7 +172,7 @@ pub fn run_line(session: &mut Session, line: &str) -> ReplResult {
     };
 
     let msg = |s: String| Ok(ReplOutcome::Message(s));
-    match cmd {
+    let result = match cmd {
         "quit" | "exit" => Ok(ReplOutcome::Quit),
         "help" => {
             if let Some(op) = args.first() {
@@ -735,7 +742,118 @@ pub fn run_line(session: &mut Session, line: &str) -> ReplResult {
                 )),
             }
         }
+        ":journal" | "journal" => {
+            if args.is_empty() {
+                let ev = session.events();
+                let snap = ev
+                    .last_snapshot_seq()
+                    .map(|s| format!("#{s}"))
+                    .unwrap_or_else(|| "none".to_string());
+                let sink = ev.sink_path().unwrap_or_else(|| "none".to_string());
+                return msg(format!(
+                    "journal: {} event(s), {} dropped, last snapshot {snap}, file sink {sink}",
+                    ev.len(),
+                    ev.dropped()
+                ));
+            }
+            match args[0] {
+                "tail" => {
+                    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+                    let evs = session.events().events();
+                    let start = evs.len().saturating_sub(n);
+                    let lines: Vec<String> = evs[start..]
+                        .iter()
+                        .map(|(seq, e)| format!("#{seq:<5} {}", e.summary()))
+                        .collect();
+                    msg(if lines.is_empty() {
+                        "journal empty".to_string()
+                    } else {
+                        lines.join("\n")
+                    })
+                }
+                "save" => {
+                    need(2)?;
+                    std::fs::write(args[1], session.journal_text()).map_err(|e| e.to_string())?;
+                    msg(format!("{} written ({} event(s))", args[1], session.events().len()))
+                }
+                "snapshot" => {
+                    let seq = session.snapshot_now().map_err(err)?;
+                    msg(format!("snapshot #{seq} (canvas + catalog + undo stacks)"))
+                }
+                "recover" => {
+                    need(2)?;
+                    let text = std::fs::read_to_string(args[1]).map_err(|e| e.to_string())?;
+                    *session = Session::recover(&text).map_err(err)?;
+                    msg(format!(
+                        "recovered: {} box(es), {} canvas(es), {} journal event(s)",
+                        session.graph.len(),
+                        session.canvas_names().len(),
+                        session.events().len()
+                    ))
+                }
+                other => Err(format!(
+                    "':journal {other}' is not a journal command \
+                     (tail [n], save <path>, snapshot, recover <path>)"
+                )),
+            }
+        }
+        ":rewind" | "rewind" => {
+            let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1);
+            let done = session.rewind(n);
+            msg(format!("rewound {done} step(s) ({} box(es) now)", session.graph.len()))
+        }
+        ":replay" | "replay" => {
+            let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1);
+            let done = session.replay_forward(n);
+            msg(format!("replayed {done} step(s) ({} box(es) now)", session.graph.len()))
+        }
+        ":watch" | "watch" => {
+            if args.is_empty() {
+                return match session.watch_filter() {
+                    Some("") => msg("watching all events".to_string()),
+                    Some(k) => msg(format!("watching '{k}' events")),
+                    None => {
+                        msg("watch off — ':watch all' or ':watch <kind>' tails the journal"
+                            .to_string())
+                    }
+                };
+            }
+            match args[0] {
+                "off" => {
+                    session.clear_watch();
+                    msg("watch off".to_string())
+                }
+                "all" => {
+                    session.set_watch(Some(""));
+                    msg("watching all events".to_string())
+                }
+                kind => {
+                    session.set_watch(Some(kind));
+                    msg(format!("watching '{kind}' events"))
+                }
+            }
+        }
         other => Err(format!("unknown command '{other}'; try 'help'")),
+    };
+    // `:watch` live tail: new journal events matching the filter are
+    // appended to whatever the command printed, so the tail interleaves
+    // with normal use of the session.
+    match result {
+        Ok(ReplOutcome::Message(m)) if session.watch_filter().is_some() => {
+            let tail: Vec<String> = session
+                .drain_watch()
+                .into_iter()
+                .map(|(seq, e)| format!("[watch #{seq}] {}", e.summary()))
+                .collect();
+            if tail.is_empty() {
+                Ok(ReplOutcome::Message(m))
+            } else if m.is_empty() {
+                Ok(ReplOutcome::Message(tail.join("\n")))
+            } else {
+                Ok(ReplOutcome::Message(format!("{m}\n{}", tail.join("\n"))))
+            }
+        }
+        other => other,
     }
 }
 
@@ -1024,5 +1142,82 @@ mod tests {
         assert_eq!(s.graph.len(), 2);
         assert_eq!(ok(&mut s, "undo"), "undone");
         assert_eq!(ok(&mut s, "redo"), "redone");
+    }
+
+    #[test]
+    fn journal_status_tail_and_save() {
+        let mut s = session();
+        ok(&mut s, "table Stations");
+        ok(&mut s, "restrict 0 state = 'LA'");
+        let status = ok(&mut s, ":journal");
+        assert!(status.contains("event(s)"), "{status}");
+        assert!(status.contains("last snapshot none"), "{status}");
+        let tail = ok(&mut s, ":journal tail 1");
+        assert!(tail.contains("Restrict"), "{tail}");
+        let snap = ok(&mut s, ":journal snapshot");
+        assert!(snap.contains("snapshot #"), "{snap}");
+        assert!(ok(&mut s, ":journal").contains("last snapshot #"));
+        assert!(run_line(&mut s, ":journal frob").is_err());
+    }
+
+    #[test]
+    fn journal_recover_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join("tioga2_repl_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.jsonl");
+        let path = path.to_str().unwrap();
+
+        let mut s = session();
+        ok(&mut s, "table Stations");
+        ok(&mut s, "restrict 0 state = 'LA'");
+        ok(&mut s, "viewer 1 main");
+        ok(&mut s, "render main");
+        ok(&mut s, ":journal snapshot");
+        ok(&mut s, "pan main 3 -2");
+        ok(&mut s, &format!(":journal save {path}"));
+        let m = ok(&mut s, &format!(":journal recover {path}"));
+        assert!(m.contains("3 box(es)"), "{m}");
+        assert!(m.contains("1 canvas(es)"), "{m}");
+        // The recovered session renders the same canvas.
+        let a = s.render("main").unwrap();
+        let mut orig = session();
+        for line in ["table Stations", "restrict 0 state = 'LA'", "viewer 1 main", "pan main 3 -2"]
+        {
+            ok(&mut orig, line);
+        }
+        let b = orig.render("main").unwrap();
+        assert_eq!(a.fb.pixels(), b.fb.pixels());
+    }
+
+    #[test]
+    fn rewind_and_replay_via_repl() {
+        let mut s = session();
+        ok(&mut s, "table Stations");
+        ok(&mut s, "restrict 0 state = 'LA'");
+        assert_eq!(s.graph.len(), 2);
+        let m = ok(&mut s, ":rewind");
+        assert!(m.contains("rewound 1"), "{m}");
+        assert_eq!(s.graph.len(), 1);
+        let m = ok(&mut s, ":rewind 5");
+        assert!(m.contains("rewound 1"), "stops at the beginning: {m}");
+        let m = ok(&mut s, ":replay 2");
+        assert!(m.contains("replayed 2"), "{m}");
+        assert_eq!(s.graph.len(), 2);
+    }
+
+    #[test]
+    fn watch_tails_a_live_demand_via_repl() {
+        let mut s = session();
+        ok(&mut s, "table Stations");
+        ok(&mut s, "restrict 0 state = 'LA'");
+        assert_eq!(ok(&mut s, ":watch demand"), "watching 'demand' events");
+        // `show` demands the node; the demand outcome is tailed inline.
+        let m = ok(&mut s, "show 1 3");
+        assert!(m.contains("[watch #"), "no tail in: {m}");
+        assert!(m.contains("demand"), "{m}");
+        // Filter hides non-demand events.
+        let m = ok(&mut s, "table Observations");
+        assert!(!m.contains("[watch"), "edit leaked through the demand filter: {m}");
+        assert_eq!(ok(&mut s, ":watch off"), "watch off");
     }
 }

@@ -1,0 +1,94 @@
+//! Corrupt-one-byte fuzz over the persistence formats: flipping any
+//! single byte of a saved program (or saved relation) must yield either
+//! a clean reload or a structured error — never a panic, never a
+//! mangled silent success that changes the graph shape class.
+
+use proptest::prelude::*;
+use tioga2::dataflow::boxes::RelOpKind;
+use tioga2::dataflow::{persist, BoxKind, BoxRegistry, Graph};
+use tioga2::expr::{parse, ScalarType, Value};
+use tioga2::relational::persist as rel_persist;
+use tioga2::relational::relation::RelationBuilder;
+
+/// A representative program: table, predicates with strings and floats,
+/// a multi-output switch, a viewer — every value shape the S-expr
+/// format serializes.
+fn sample_program() -> String {
+    let mut g = Graph::new();
+    let t = g.add(BoxKind::Table("Stations".into()));
+    let r =
+        g.add(BoxKind::rel(RelOpKind::Restrict(parse("state = 'LA' AND altitude > 1.5").unwrap())));
+    let p = g.add(BoxKind::rel(RelOpKind::Project(vec!["name".into(), "state".into()])));
+    let sw = g.add(BoxKind::Switch(parse("altitude > 10.0").unwrap()));
+    let v = g.add(BoxKind::Viewer { canvas: "main".into(), ty: tioga2::dataflow::PortType::R });
+    g.connect(t, 0, r, 0).unwrap();
+    g.connect(r, 0, p, 0).unwrap();
+    g.connect(p, 0, sw, 0).unwrap();
+    g.connect(sw, 0, v, 0).unwrap();
+    persist::save_program(&g)
+}
+
+fn sample_relation() -> String {
+    let mut rel = RelationBuilder::new()
+        .field("name", ScalarType::Text)
+        .field("qty", ScalarType::Int)
+        .field("w", ScalarType::Float)
+        .row(vec![Value::Text("tab\there \\ done".into()), Value::Int(-3), Value::Float(0.25)])
+        .row(vec![Value::Null, Value::Int(7), Value::Float(-1.5e10)])
+        .build()
+        .unwrap();
+    rel.add_method("x2", ScalarType::Float, parse("w * 2.0").unwrap()).unwrap();
+    rel_persist::save_relation(&rel).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Flip one byte anywhere in a saved program; loading must not
+    /// panic, and must either error structurally or parse cleanly.
+    #[test]
+    fn corrupt_one_byte_program_never_panics(pos in 0usize..4096, byte in any::<u8>()) {
+        let text = sample_program();
+        let mut bytes = text.clone().into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        let corrupted = String::from_utf8_lossy(&bytes).to_string();
+        let reg = BoxRegistry::with_primitives();
+        // Either outcome is fine; a panic here fails the test by itself.
+        let _ = persist::load_program(&corrupted, &reg);
+    }
+
+    /// Same property over the relation format (catalog snapshots, the
+    /// journal's snapshot payloads).
+    #[test]
+    fn corrupt_one_byte_relation_never_panics(pos in 0usize..4096, byte in any::<u8>()) {
+        let text = sample_relation();
+        let mut bytes = text.clone().into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        let corrupted = String::from_utf8_lossy(&bytes).to_string();
+        let _ = rel_persist::load_relation(&corrupted);
+    }
+
+    /// Deleting one byte (truncation mid-token) is also survivable.
+    #[test]
+    fn delete_one_byte_program_never_panics(pos in 0usize..4096) {
+        let text = sample_program();
+        let mut bytes = text.clone().into_bytes();
+        let pos = pos % bytes.len();
+        bytes.remove(pos);
+        let corrupted = String::from_utf8_lossy(&bytes).to_string();
+        let reg = BoxRegistry::with_primitives();
+        let _ = persist::load_program(&corrupted, &reg);
+    }
+}
+
+/// An uncorrupted control: the fuzz inputs really are loadable programs,
+/// so the properties above are exercising the parser, not the magic
+/// check alone.
+#[test]
+fn uncorrupted_samples_load() {
+    let reg = BoxRegistry::with_primitives();
+    assert!(persist::load_program(&sample_program(), &reg).is_ok());
+    assert!(rel_persist::load_relation(&sample_relation()).is_ok());
+}
