@@ -88,6 +88,31 @@ impl Report {
         });
     }
 
+    /// Record a figure whose stats were measured outside a session (the
+    /// A9 server ablation measures client-observed latency across many
+    /// sessions, so there is no single engine to read counters from;
+    /// `threads` holds the concurrent session count there).
+    fn push_external(
+        &mut self,
+        name: &str,
+        wall_ms: f64,
+        sessions: usize,
+        demands: usize,
+        histograms: Vec<(String, Histogram)>,
+    ) {
+        self.figures.push(FigureStats {
+            name: name.to_string(),
+            wall_ms,
+            threads: sessions,
+            box_evals: 0,
+            cache_hits: 0,
+            rows_in: 0,
+            rows_out: 0,
+            spans: demands,
+            histograms,
+        });
+    }
+
     fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"seed\": \"{:#x}\",\n", tioga2_bench::SEED));
@@ -593,6 +618,90 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.canvas_names().len()
         );
         report.finish("a8_journal_recovery", &s, &rec);
+    }
+
+    // --------------- A9: tiogad multi-session scaling (server core)
+    {
+        // N concurrent sessions over one shared catalog snapshot, each
+        // driving a scripted gesture stream (restrict + viewer setup,
+        // then repeated zoom/pan/show demand cycles) through the wire
+        // protocol.  Client-observed demand latency at 1/4/16/64
+        // sessions is the ablation; the shared-snapshot memory proof
+        // (one base-table allocation regardless of session count) is
+        // the acceptance gate.
+        use tioga2_server::{Client, ServerConfig, ServerHandle};
+        const GESTURES: usize = 6;
+        for &n in &[1usize, 4, 16, 64] {
+            let cfg =
+                ServerConfig { max_sessions: n, max_per_tenant: n, ..ServerConfig::default() };
+            let mut h = ServerHandle::start(catalog(300, 8), cfg, "127.0.0.1:0")?;
+            let addr = h.addr();
+            let t0 = Instant::now();
+            let workers: Vec<_> = (0..n)
+                .map(|i| {
+                    std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                        let fail = |e: std::io::Error| e.to_string();
+                        let mut c = Client::connect(addr).map_err(fail)?;
+                        c.attach(Some(&format!("load{i}")), Some("bench")).map_err(fail)??;
+                        c.run("table Stations").map_err(fail)??;
+                        c.run("restrict 0 altitude > 100.0").map_err(fail)??;
+                        c.run("viewer 1 w").map_err(fail)??;
+                        let mut lat = Vec::with_capacity(GESTURES * 2);
+                        for g in 0..GESTURES {
+                            c.run(&format!("zoom w {}", 1.0 + 0.1 * (g % 3) as f64))
+                                .map_err(fail)??;
+                            c.run("pan w 2 -1").map_err(fail)??;
+                            // Two demand-class gestures per cycle (file-free,
+                            // so 64 sessions don't race on one output path).
+                            for line in ["show 1 4", "explain analyze 1"] {
+                                let t = Instant::now();
+                                c.run(line).map_err(fail)??;
+                                lat.push(t.elapsed().as_nanos() as u64);
+                            }
+                        }
+                        Ok(lat)
+                    })
+                })
+                .collect();
+            // Every session is attached and set up before any joins, so
+            // the proof sees the full fleet; gestures are read-only, so
+            // no table may have COW-diverged.
+            let mut hist = Histogram::default();
+            let mut demands = 0usize;
+            for w in workers {
+                let lat = w.join().map_err(|_| "A9: load thread panicked")??;
+                demands += lat.len();
+                for v in lat {
+                    hist.record(v);
+                }
+            }
+            let proof = h.server().storage_proof();
+            if proof.max_distinct_allocations != 1 {
+                return Err(format!(
+                    "A9: {n} read-only sessions hold {} distinct allocations of a base \
+                     table — the shared-snapshot proof failed",
+                    proof.max_distinct_allocations
+                )
+                .into());
+            }
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "[A9] {n:>2} session(s): {demands} demands, p50 {:.2} ms, p99 {:.2} ms, \
+                 {} base table(s) all shared (1 allocation each)",
+                hist.p50() as f64 / 1e6,
+                hist.p99() as f64 / 1e6,
+                proof.tables,
+            );
+            report.push_external(
+                &format!("a9_server_scaling_s{n}"),
+                wall_ms,
+                n,
+                demands,
+                vec![("demand_latency".to_string(), hist)],
+            );
+            h.stop();
+        }
+        println!();
     }
 
     std::fs::write("BENCH_figures.json", report.to_json())?;

@@ -20,6 +20,7 @@
 //! whole-program Tioga-1 baseline (for the A1 ablation).
 
 pub mod canvas;
+pub mod command;
 pub mod environment;
 pub mod error;
 pub mod menus;
@@ -27,7 +28,8 @@ pub mod session;
 pub mod update;
 
 pub use canvas::Canvas;
+pub use command::{dispatch, Command, Response};
 pub use environment::Environment;
 pub use error::CoreError;
-pub use session::{EvalMode, Session};
+pub use session::{EvalMode, Session, SupersedeHandle};
 pub use update::UpdateDialog;

@@ -110,6 +110,11 @@ pub struct Session {
     /// a fresh token and cancels the previous one, so a superseding
     /// render aborts any still-running predecessor cooperatively.
     inflight: Option<CancelToken>,
+    /// Mirror of `inflight` shared with [`SupersedeHandle`]s, so other
+    /// threads (e.g. a `tiogad` connection thread) can cancel this
+    /// session's in-flight demand while the session worker is blocked
+    /// inside it.
+    inflight_shared: Arc<std::sync::Mutex<Option<CancelToken>>>,
     /// The session event journal: every edit, gesture, render, update,
     /// config change and demand outcome, plus periodic snapshot markers.
     /// Shared with the engine (which appends demand/cache events).
@@ -127,6 +132,26 @@ pub struct Session {
     watch: Option<String>,
     /// Last journal sequence number already delivered to `:watch`.
     watch_cursor: u64,
+}
+
+/// A clonable, thread-safe view of one session's in-flight demand token
+/// (see [`Session::supersede_handle`]).
+#[derive(Clone)]
+pub struct SupersedeHandle(Arc<std::sync::Mutex<Option<CancelToken>>>);
+
+impl SupersedeHandle {
+    /// Cancel the demand currently in flight, if any.  Returns whether a
+    /// token was armed.  Cooperative: the running demand notices at its
+    /// next cancellation check and aborts with a structured error.
+    pub fn cancel_inflight(&self) -> bool {
+        match self.0.lock().unwrap().as_ref() {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 impl Session {
@@ -150,6 +175,7 @@ impl Session {
             recorder: tioga2_obs::noop(),
             budget: None,
             inflight: None,
+            inflight_shared: Arc::new(std::sync::Mutex::new(None)),
             events,
             op_depth: 0,
             edits_since_snapshot: 0,
@@ -250,6 +276,15 @@ impl Session {
         self.inflight.clone()
     }
 
+    /// A clonable, thread-safe handle onto this session's in-flight
+    /// demand.  `tiogad` hands one to each connection thread so a newly
+    /// arriving demand-class command can cancel the demand the session
+    /// worker is currently executing (admission control's "supersede"
+    /// rule) without locking the session itself.
+    pub fn supersede_handle(&self) -> SupersedeHandle {
+        SupersedeHandle(self.inflight_shared.clone())
+    }
+
     /// Arm a fresh cancel token for a demand about to run, cancelling the
     /// token of the demand it supersedes (§10: a newer render aborts the
     /// in-flight one instead of queueing behind it).
@@ -258,6 +293,7 @@ impl Session {
         if let Some(prev) = self.inflight.replace(token.clone()) {
             prev.cancel();
         }
+        *self.inflight_shared.lock().unwrap() = Some(token.clone());
         match &self.budget {
             Some(b) => self.engine.set_budget(Some(b.clone().with_token(token.clone()))),
             None => self.engine.set_cancel_token(Some(token.clone())),
@@ -1442,6 +1478,7 @@ impl Session {
     /// Runs through the plan layer, so the demand's outcome (status,
     /// rows, wall time) lands in the session event journal.
     pub fn demand(&mut self, node: NodeId, port: usize) -> Result<Displayable, CoreError> {
+        self.arm_demand();
         Ok(self.engine.demand_displayable_planned(&self.graph, node, port)?)
     }
 
@@ -1459,6 +1496,7 @@ impl Session {
     /// renderer pushes down is applied, so the trace shows exactly what a
     /// render of that canvas executes.
     pub fn explain_analyze(&mut self, node: NodeId, port: usize) -> Result<String, CoreError> {
+        self.arm_demand();
         let window = self.window_pred_for(node, port)?;
         match self.engine.demand_analyzed(&self.graph, node, port, true, window.as_ref()) {
             Ok((_, Some(t))) => Ok(t.render()),

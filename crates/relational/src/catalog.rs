@@ -52,6 +52,42 @@ impl Catalog {
         Ok(self.get(name)?.read().clone())
     }
 
+    /// Fork a private copy of this catalog for one session.
+    ///
+    /// Every table handle in the fork is fresh, but each wraps an
+    /// `Arc`-shared *snapshot* of the source relation: the tuple stores
+    /// alias the originals (O(1) per table, one allocation no matter how
+    /// many forks exist), and the first `update.rs` write through a fork
+    /// pays one copy-on-write clone of just that table.  Writes are
+    /// therefore private to the forking session — the base catalog and
+    /// sibling forks never observe them — which is the isolation contract
+    /// `tiogad` relies on to host many sessions over one set of base
+    /// relations.
+    pub fn fork(&self) -> Catalog {
+        let out = Catalog::new();
+        {
+            let src = self.tables.read();
+            let mut dst = out.tables.write();
+            for (name, handle) in src.iter() {
+                dst.insert(name.clone(), Arc::new(RwLock::new(handle.read().clone())));
+            }
+        }
+        out
+    }
+
+    /// Identity of a table's shared tuple allocation (see
+    /// [`Relation::storage_id`]); used by isolation tests and the server's
+    /// shared-memory proof.
+    pub fn storage_id(&self, name: &str) -> Result<usize, RelError> {
+        Ok(self.get(name)?.read().storage_id())
+    }
+
+    /// Live reference count of a table's shared tuple allocation (see
+    /// [`Relation::storage_refs`]).
+    pub fn storage_refs(&self, name: &str) -> Result<usize, RelError> {
+        Ok(self.get(name)?.read().storage_refs())
+    }
+
     /// Names of all registered tables, sorted — this backs the paper's
     /// "menu of all tables available" in the menu bar (§3).
     pub fn table_names(&self) -> Vec<String> {
@@ -114,6 +150,40 @@ mod tests {
         assert!(c.remove("t"));
         assert!(!c.remove("t"));
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fork_shares_storage_until_write() {
+        let c = Catalog::new();
+        c.register("t", small());
+        let base_id = c.storage_id("t").unwrap();
+        let forks: Vec<Catalog> = (0..4).map(|_| c.fork()).collect();
+        // One allocation across base + all forks...
+        for f in &forks {
+            assert_eq!(f.storage_id("t").unwrap(), base_id);
+        }
+        assert_eq!(c.storage_refs("t").unwrap(), 1 + forks.len());
+        // ...until one fork writes: it diverges, the others keep sharing.
+        forks[0].get("t").unwrap().write().push_row(vec![Value::Int(9)]).unwrap();
+        assert_ne!(forks[0].storage_id("t").unwrap(), base_id);
+        assert_eq!(forks[1].storage_id("t").unwrap(), base_id);
+        assert_eq!(c.storage_refs("t").unwrap(), forks.len());
+        // The write is private.
+        assert_eq!(forks[0].snapshot("t").unwrap().len(), 2);
+        assert_eq!(c.snapshot("t").unwrap().len(), 1);
+        assert_eq!(forks[1].snapshot("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fork_is_structurally_private() {
+        let c = Catalog::new();
+        c.register("t", small());
+        let f = c.fork();
+        // Registering/removing in the fork leaves the base untouched.
+        f.register("extra", small());
+        assert!(!c.contains("extra"));
+        f.remove("t");
+        assert!(c.contains("t"));
     }
 
     #[test]

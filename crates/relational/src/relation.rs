@@ -74,6 +74,22 @@ impl Relation {
         Arc::clone(&self.tuples)
     }
 
+    /// Identity of the shared tuple allocation.  Two relations with the
+    /// same storage id share one in-memory tuple store (clones, catalog
+    /// forks, and memoized results all alias until a copy-on-write
+    /// mutation diverges them).
+    pub fn storage_id(&self) -> usize {
+        Arc::as_ptr(&self.tuples) as *const () as usize
+    }
+
+    /// Number of live references to the shared tuple allocation
+    /// (`Arc::strong_count`) — the multi-session memory proof: N forked
+    /// sessions hosting the same unmodified base table report N+1 here
+    /// while occupying a single allocation.
+    pub fn storage_refs(&self) -> usize {
+        Arc::strong_count(&self.tuples)
+    }
+
     /// A relation with this one's schema, methods and provenance but the
     /// given tuples.  Used by the plan executor to install streamed
     /// results under a schema-replayed header.

@@ -1,0 +1,88 @@
+//! `tioga2-client` — a line-oriented client for `tiogad`.
+//!
+//! Reads REPL command lines from stdin, sends each over the framed wire
+//! protocol, and prints the reply body.  Protocol verbs (`attach`,
+//! `detach`, `stats`, `shutdown`) pass straight through, so scripted
+//! sessions are plain shell pipelines:
+//!
+//! ```sh
+//! printf 'table Stations\nshow 0 5\nquit\n' \
+//!     | tioga2-client --addr 127.0.0.1:7104 --session demo
+//! ```
+
+use std::io::{BufRead, Write};
+use tioga2_server::{Client, Reply};
+
+/// Write a reply body to stdout.  A closed pipe (the reader downstream
+/// exited, e.g. `... | grep -q`) is a normal way for a scripted session
+/// to end, not an error — signal the caller to stop instead of letting
+/// `println!` panic on the broken pipe.
+fn emit(body: &str) -> bool {
+    let mut out = std::io::stdout().lock();
+    writeln!(out, "{body}").is_ok()
+}
+
+fn usage() -> ! {
+    eprintln!("usage: tioga2-client [--addr HOST:PORT] [--session SID] [--tenant NAME]");
+    std::process::exit(2)
+}
+
+fn main() -> std::io::Result<()> {
+    let mut addr = "127.0.0.1:7104".to_string();
+    let mut session: Option<String> = None;
+    let mut tenant: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--session" => session = Some(value("--session")),
+            "--tenant" => tenant = Some(value("--tenant")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+
+    let mut client = Client::connect(&*addr)?;
+    if session.is_some() || tenant.is_some() {
+        match client.attach(session.as_deref(), tenant.as_deref())? {
+            Ok(sid) => eprintln!("attached {sid}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match client.send(&line)? {
+            Reply::Ok(body) => {
+                if !body.is_empty() && !emit(&body) {
+                    return Ok(());
+                }
+            }
+            Reply::Err(e) => eprintln!("error: {e}"),
+            Reply::Bye(body) => {
+                if !body.is_empty() {
+                    let _ = emit(&body);
+                }
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}

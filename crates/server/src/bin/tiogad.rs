@@ -1,0 +1,87 @@
+//! `tiogad` — the Tioga-2 multi-session daemon.
+//!
+//! ```sh
+//! tiogad --addr 127.0.0.1:7104                 # serve the standard catalog
+//! tiogad --addr 127.0.0.1:0 --port-file p.txt  # ephemeral port for scripts
+//! tiogad --journal-dir out/sessions            # durable per-session journals
+//! tiogad --budget "rows=100000 ms=2000"        # default per-session budget
+//! ```
+//!
+//! Clients speak the framed line protocol of `tioga2_server::proto`:
+//! `attach [session [tenant]]`, then any REPL command line, `stats`,
+//! `detach`, and `shutdown` (which stops the daemon).
+
+use std::path::PathBuf;
+use tioga2_datagen::register_standard_catalog;
+use tioga2_relational::{govern::parse_budget_spec, Catalog};
+use tioga2_server::{ServerConfig, ServerHandle};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tiogad [--addr HOST:PORT] [--port-file PATH] [--journal-dir DIR]\n\
+         \x20             [--budget SPEC] [--max-sessions N] [--max-per-tenant N] [--queue-depth N]\n\
+         \x20             [--stations N] [--obs-per-station N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> std::io::Result<()> {
+    let mut addr = "127.0.0.1:7104".to_string();
+    let mut port_file: Option<PathBuf> = None;
+    let mut cfg = ServerConfig::default();
+    let mut stations = 300usize;
+    let mut obs_per = 24usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--port-file" => port_file = Some(PathBuf::from(value("--port-file"))),
+            "--journal-dir" => cfg.journal_dir = Some(PathBuf::from(value("--journal-dir"))),
+            "--budget" => {
+                let spec = value("--budget");
+                cfg.default_budget =
+                    Some(parse_budget_spec(&spec).filter(|b| !b.is_empty()).unwrap_or_else(|| {
+                        eprintln!("'{spec}' is not a budget (rows=<n> ms=<n>)");
+                        usage()
+                    }));
+            }
+            "--max-sessions" => {
+                cfg.max_sessions = value("--max-sessions").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-per-tenant" => {
+                cfg.max_per_tenant = value("--max-per-tenant").parse().unwrap_or_else(|_| usage())
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = value("--queue-depth").parse().unwrap_or_else(|_| usage())
+            }
+            "--stations" => stations = value("--stations").parse().unwrap_or_else(|_| usage()),
+            "--obs-per-station" => {
+                obs_per = value("--obs-per-station").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+
+    let catalog = Catalog::new();
+    register_standard_catalog(&catalog, stations, obs_per, 42);
+    let mut handle = ServerHandle::start(catalog, cfg, &addr)?;
+    let bound = handle.addr();
+    if let Some(pf) = &port_file {
+        std::fs::write(pf, bound.port().to_string())?;
+    }
+    eprintln!("tiogad listening on {bound} ({stations} stations x {obs_per} observations)");
+    handle.wait();
+    eprintln!("tiogad: clean shutdown");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! A minimal blocking tiogad client: one TCP connection, framed
+//! request/reply.  Used by the CI smoke script, the load generator, and
+//! the golden tests; real front ends can speak the same five lines of
+//! protocol from any language.
+
+use crate::proto::{read_frame, write_frame, Reply};
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: stream })
+    }
+
+    /// Send one line; wait for its reply.
+    pub fn send(&mut self, line: &str) -> io::Result<Reply> {
+        write_frame(&mut self.writer, line)?;
+        match read_frame(&mut self.reader)? {
+            Some(payload) => Reply::decode(&payload),
+            None => Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")),
+        }
+    }
+
+    /// Send one line; return the body, turning `err` replies into
+    /// `Err(String)` like the REPL does.
+    pub fn run(&mut self, line: &str) -> io::Result<Result<String, String>> {
+        Ok(match self.send(line)? {
+            Reply::Ok(b) | Reply::Bye(b) => Ok(b),
+            Reply::Err(e) => Err(e),
+        })
+    }
+
+    /// `attach` convenience: returns the session id.
+    pub fn attach(
+        &mut self,
+        sid: Option<&str>,
+        tenant: Option<&str>,
+    ) -> io::Result<Result<String, String>> {
+        let line = match (sid, tenant) {
+            (None, None) => "attach".to_string(),
+            (Some(s), None) => format!("attach {s}"),
+            (Some(s), Some(t)) => format!("attach {s} {t}"),
+            (None, Some(t)) => format!("attach - {t}"),
+        };
+        Ok(match self.send(&line)? {
+            Reply::Ok(b) => Ok(b.trim_start_matches("attached ").to_string()),
+            Reply::Bye(b) => Ok(b),
+            Reply::Err(e) => Err(e),
+        })
+    }
+}

@@ -1,0 +1,30 @@
+//! # tioga2-server — `tiogad`
+//!
+//! The multi-session server core.  The paper frames Tioga-2 as an
+//! *environment* — many users direct-manipulating visualizations over
+//! shared databases (§1: "database visualization environment").  This
+//! crate hosts many independent [`tioga2_core::Session`]s over one
+//! shared catalog:
+//!
+//! * base relations are `Arc`-shared snapshots ([`Catalog::fork`]):
+//!   N sessions share one in-memory copy, and a session's §8 updates
+//!   copy-on-write diverge only the table it wrote — private by
+//!   construction;
+//! * clients speak the exact REPL command set over a length-prefixed
+//!   line protocol ([`proto`]) — the grammar is `core::command`, shared
+//!   verbatim with the single-user REPL;
+//! * every session journals to its own file (PR 6) and is recovered on
+//!   re-attach;
+//! * admission control (PR 5's budgets + cancel tokens): session caps,
+//!   bounded per-session demand queues, tenant budgets, and
+//!   supersede-cancellation of in-flight demands.
+//!
+//! [`Catalog::fork`]: tioga2_relational::Catalog::fork
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use proto::Reply;
+pub use server::{Server, ServerConfig, ServerHandle, StorageProof};

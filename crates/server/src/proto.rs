@@ -1,0 +1,145 @@
+//! The tiogad wire protocol: length-prefixed UTF-8 frames over TCP.
+//!
+//! One frame is an ASCII decimal byte length, a newline, exactly that
+//! many payload bytes, and a trailing newline:
+//!
+//! ```text
+//! frame    = length "\n" payload "\n"
+//! length   = 1*DIGIT                ; byte length of payload
+//! payload  = request | reply
+//! request  = "attach" [" " session [" " tenant]]
+//!          | "detach" | "stats" | "shutdown"
+//!          | command-line           ; any core::command line
+//! reply    = ("ok" | "err" | "bye") ["\n" body]
+//! ```
+//!
+//! Length-prefixing keeps multi-line bodies (ASCII tables, help text,
+//! journal tails) unambiguous without any escaping, and lets a client
+//! preallocate.  Frames are capped at [`MAX_FRAME`] bytes; an oversized
+//! length is a protocol error, not an allocation.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on one frame's payload (16 MiB — a rendered ASCII table
+/// of the largest bench catalog fits with room to spare).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(payload.len() + 16);
+    buf.extend_from_slice(payload.len().to_string().as_bytes());
+    buf.push(b'\n');
+    buf.extend_from_slice(payload.as_bytes());
+    buf.push(b'\n');
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame.  `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let len: usize = header
+        .trim()
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad frame length"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut payload = vec![0u8; len + 1];
+    io::Read::read_exact(r, &mut payload)?;
+    if payload.pop() != Some(b'\n') {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "missing frame terminator"));
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// One decoded reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    Ok(String),
+    Err(String),
+    /// Sent for `quit`/`shutdown`; the server closes the connection next.
+    Bye(String),
+}
+
+impl Reply {
+    pub fn encode(&self) -> String {
+        let (tag, body) = match self {
+            Reply::Ok(b) => ("ok", b),
+            Reply::Err(b) => ("err", b),
+            Reply::Bye(b) => ("bye", b),
+        };
+        if body.is_empty() {
+            tag.to_string()
+        } else {
+            format!("{tag}\n{body}")
+        }
+    }
+
+    pub fn decode(payload: &str) -> io::Result<Reply> {
+        let (tag, body) = match payload.split_once('\n') {
+            Some((t, b)) => (t, b.to_string()),
+            None => (payload, String::new()),
+        };
+        match tag {
+            "ok" => Ok(Reply::Ok(body)),
+            "err" => Ok(Reply::Err(body)),
+            "bye" => Ok(Reply::Bye(body)),
+            other => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad reply tag '{other}'")))
+            }
+        }
+    }
+
+    /// The body regardless of tag.
+    pub fn body(&self) -> &str {
+        match self {
+            Reply::Ok(b) | Reply::Err(b) | Reply::Bye(b) => b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello\nworld").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = io::BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "hello\nworld");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn frame_errors() {
+        let mut r = io::BufReader::new(&b"zebra\n"[..]);
+        assert!(read_frame(&mut r).is_err());
+        let mut r = io::BufReader::new(&b"5\nab"[..]);
+        assert!(read_frame(&mut r).is_err(), "truncated payload");
+        let huge = format!("{}\n", MAX_FRAME + 1);
+        let mut r = io::BufReader::new(huge.as_bytes());
+        assert!(read_frame(&mut r).is_err(), "oversized frame rejected before allocation");
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        for reply in [
+            Reply::Ok(String::new()),
+            Reply::Ok("line1\nline2".into()),
+            Reply::Err("budget exceeded".into()),
+            Reply::Bye(String::new()),
+        ] {
+            assert_eq!(Reply::decode(&reply.encode()).unwrap(), reply);
+        }
+        assert!(Reply::decode("zorp\nbody").is_err());
+    }
+}

@@ -1,0 +1,553 @@
+//! The tiogad runtime: many [`Session`]s over one shared catalog.
+//!
+//! Architecture (one box per thread):
+//!
+//! ```text
+//!                    ┌───────────────┐
+//!   TCP clients ───▶ │  accept loop  │
+//!                    └──────┬────────┘
+//!                           │ one thread per connection
+//!                  ┌────────▼─────────┐     verbs: attach/detach/
+//!                  │ connection thread │     stats/shutdown, else a
+//!                  └────────┬─────────┘     core::command line
+//!                           │ bounded sync_channel (admission queue)
+//!                  ┌────────▼─────────┐
+//!                  │  session worker  │  owns one Session over
+//!                  │  (one per sid)   │  base.fork() + its journal
+//!                  └──────────────────┘
+//! ```
+//!
+//! Every session runs over [`Catalog::fork`]: base relations are
+//! `Arc`-shared snapshots (one allocation no matter how many sessions),
+//! and a session's `update.rs` writes copy-on-write diverge only its own
+//! table — sessions never observe each other's edits.
+//!
+//! Admission control (built on PR 5's budget/cancel machinery):
+//! * **session caps** — at most `max_sessions` live sessions, at most
+//!   `max_per_tenant` per tenant; excess `attach`es are refused.
+//! * **bounded demand queue** — each session's command queue holds at
+//!   most `queue_depth` entries; when full, commands are refused with a
+//!   structured error instead of queueing unboundedly.
+//! * **supersede** — a newly arriving demand-class command (`show`,
+//!   `render`, `:explain analyze`) cancels the session's in-flight
+//!   demand via [`SupersedeHandle`]: the newest gesture wins (§6).
+//! * **tenant budgets** — each session runs under its tenant's row/
+//!   wall-clock budget (or the server default).
+
+use crate::proto::{read_frame, write_frame, Reply};
+use std::collections::BTreeMap;
+use std::io::{self, BufReader};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use tioga2_core::command::{self, Command, Response};
+use tioga2_core::{Environment, Session, SupersedeHandle};
+use tioga2_relational::{Budget, Catalog};
+
+/// Server configuration.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Most live sessions, across all tenants.
+    pub max_sessions: usize,
+    /// Most live sessions per tenant.
+    pub max_per_tenant: usize,
+    /// Bounded per-session command queue depth.
+    pub queue_depth: usize,
+    /// Default per-session demand budget (tenant overrides win).
+    pub default_budget: Option<Budget>,
+    /// Per-tenant demand budgets, keyed by tenant name.
+    pub tenant_budgets: BTreeMap<String, Budget>,
+    /// Directory for per-session journals; `None` disables durability.
+    /// A re-`attach` of a dead session id recovers from its journal.
+    pub journal_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            max_per_tenant: 16,
+            queue_depth: 8,
+            default_budget: None,
+            tenant_budgets: BTreeMap::new(),
+            journal_dir: None,
+        }
+    }
+}
+
+/// One queued command plus the channel its reply goes back on.
+struct Job {
+    line: String,
+    reply: SyncSender<JobReply>,
+}
+
+/// Worker's answer: the command outcome plus whether the session quit.
+struct JobReply {
+    result: Result<String, String>,
+    quit: bool,
+}
+
+/// One hosted session: its admission queue, supersede handle, forked
+/// catalog (for the storage proof), and worker thread.
+struct SessionSlot {
+    tenant: String,
+    tx: SyncSender<Job>,
+    supersede: SupersedeHandle,
+    catalog: Catalog,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// Shared server state.
+pub struct Server {
+    base: Catalog,
+    cfg: ServerConfig,
+    slots: Mutex<BTreeMap<String, SessionSlot>>,
+    next_sid: AtomicU64,
+    shutdown: AtomicBool,
+    // Live connection sockets, so shutdown can unblock their readers.
+    conns: Mutex<BTreeMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+/// The shared-snapshot memory proof: across the base catalog and every
+/// live session, how many distinct tuple allocations back each table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageProof {
+    /// Live session count.
+    pub sessions: usize,
+    /// Base tables examined.
+    pub tables: usize,
+    /// The worst table's distinct-allocation count (1 = every session
+    /// shares the base allocation; >1 = some session wrote and COW
+    /// diverged).
+    pub max_distinct_allocations: usize,
+}
+
+impl Server {
+    pub fn new(base: Catalog, cfg: ServerConfig) -> Arc<Server> {
+        Arc::new(Server {
+            base,
+            cfg,
+            slots: Mutex::new(BTreeMap::new()),
+            next_sid: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(BTreeMap::new()),
+            next_conn: AtomicU64::new(1),
+        })
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    fn journal_path(&self, sid: &str) -> Option<PathBuf> {
+        // Session ids are single whitespace-free tokens; keep the file
+        // name safe anyway.
+        let safe: String = sid
+            .chars()
+            .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        self.cfg.journal_dir.as_ref().map(|d| d.join(format!("{safe}.jsonl")))
+    }
+
+    /// Attach (create or join) the session `sid` for `tenant`.  Enforces
+    /// the session caps; a dead session id with a journal on disk is
+    /// recovered instead of recreated blank.
+    pub fn attach(&self, sid: Option<&str>, tenant: &str) -> Result<String, String> {
+        let sid = match sid {
+            Some(s) => s.to_string(),
+            None => format!("s{}", self.next_sid.fetch_add(1, Ordering::Relaxed)),
+        };
+        let mut slots = self.slots.lock().unwrap();
+        if slots.contains_key(&sid) {
+            return Ok(sid); // joining an existing session is free
+        }
+        if slots.len() >= self.cfg.max_sessions {
+            return Err(format!(
+                "admission denied: server is at max_sessions={}",
+                self.cfg.max_sessions
+            ));
+        }
+        let tenant_count = slots.values().filter(|s| s.tenant == tenant).count();
+        if tenant_count >= self.cfg.max_per_tenant {
+            return Err(format!(
+                "admission denied: tenant '{tenant}' is at max_per_tenant={}",
+                self.cfg.max_per_tenant
+            ));
+        }
+
+        let budget = self
+            .cfg
+            .tenant_budgets
+            .get(tenant)
+            .cloned()
+            .or_else(|| self.cfg.default_budget.clone());
+        let fork = self.base.fork();
+        let journal = self.journal_path(&sid);
+        if let Some(dir) = &self.cfg.journal_dir {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+
+        let (tx, rx) = sync_channel::<Job>(self.cfg.queue_depth);
+        // The session is built on the worker thread (it owns it for
+        // life); the supersede handle and forked catalog come back over
+        // a one-shot channel so the slot can expose them.
+        let (init_tx, init_rx) = sync_channel::<Result<(SupersedeHandle, Catalog), String>>(1);
+        let worker = std::thread::Builder::new()
+            .name(format!("tiogad-{sid}"))
+            .spawn(move || session_worker(fork, budget, journal, rx, init_tx))
+            .map_err(|e| e.to_string())?;
+        let (supersede, catalog) =
+            init_rx.recv().map_err(|_| "session worker died during startup".to_string())??;
+        slots.insert(
+            sid.clone(),
+            SessionSlot {
+                tenant: tenant.to_string(),
+                tx,
+                supersede,
+                catalog,
+                worker: Some(worker),
+            },
+        );
+        Ok(sid)
+    }
+
+    /// Detach `sid`: the worker drains its queue and exits.  With a
+    /// journal dir configured the session's state survives on disk and a
+    /// later `attach` of the same id recovers it.
+    pub fn detach(&self, sid: &str) -> Result<(), String> {
+        let slot =
+            self.slots.lock().unwrap().remove(sid).ok_or_else(|| format!("no session '{sid}'"))?;
+        drop(slot.tx);
+        if let Some(w) = slot.worker {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Run one command line in session `sid`.  This is the admission
+    /// path: demand-class commands supersede the in-flight demand, and a
+    /// full queue refuses the command instead of blocking.
+    pub fn run(&self, sid: &str, line: &str) -> Result<(String, bool), String> {
+        let (tx, supersede) = {
+            let slots = self.slots.lock().unwrap();
+            let slot = slots.get(sid).ok_or_else(|| format!("no session '{sid}'"))?;
+            (slot.tx.clone(), slot.supersede.clone())
+        };
+        // Parse up front so admission can classify; the worker re-parses
+        // (cheap) so its journal and errors are identical to the REPL's.
+        if let Ok(Some(cmd)) = Command::parse(line) {
+            if cmd.is_demand() {
+                supersede.cancel_inflight();
+            }
+        }
+        let (rtx, rrx) = sync_channel::<JobReply>(1);
+        match tx.try_send(Job { line: line.to_string(), reply: rtx }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                return Err(format!(
+                    "admission denied: session '{sid}' queue is full (depth {})",
+                    self.cfg.queue_depth
+                ))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.slots.lock().unwrap().remove(sid);
+                return Err(format!("session '{sid}' worker exited"));
+            }
+        }
+        let reply = rrx.recv().map_err(|_| format!("session '{sid}' worker exited"))?;
+        if reply.quit {
+            // `quit` ends the hosted session like an explicit detach.
+            let _ = self.detach(sid);
+        }
+        reply.result.map(|body| (body, reply.quit))
+    }
+
+    /// The shared-snapshot memory proof over all live sessions.
+    pub fn storage_proof(&self) -> StorageProof {
+        let slots = self.slots.lock().unwrap();
+        let tables = self.base.table_names();
+        let mut max_distinct = 0usize;
+        for name in &tables {
+            let mut ids = std::collections::BTreeSet::new();
+            if let Ok(id) = self.base.storage_id(name) {
+                ids.insert(id);
+            }
+            for slot in slots.values() {
+                if let Ok(id) = slot.catalog.storage_id(name) {
+                    ids.insert(id);
+                }
+            }
+            max_distinct = max_distinct.max(ids.len());
+        }
+        StorageProof {
+            sessions: slots.len(),
+            tables: tables.len(),
+            max_distinct_allocations: max_distinct,
+        }
+    }
+
+    /// Human-readable `stats` verb output.
+    pub fn stats_text(&self) -> String {
+        let proof = self.storage_proof();
+        let slots = self.slots.lock().unwrap();
+        let mut tenants: BTreeMap<&str, usize> = BTreeMap::new();
+        for slot in slots.values() {
+            *tenants.entry(slot.tenant.as_str()).or_default() += 1;
+        }
+        let tenants = tenants.iter().map(|(t, n)| format!("{t}={n}")).collect::<Vec<_>>().join(" ");
+        format!(
+            "sessions={} max_sessions={} queue_depth={}\ntenants: {}\nstorage: {} base table(s), max {} allocation(s) per table across all sessions",
+            proof.sessions,
+            self.cfg.max_sessions,
+            self.cfg.queue_depth,
+            if tenants.is_empty() { "none" } else { &tenants },
+            proof.tables,
+            proof.max_distinct_allocations,
+        )
+    }
+
+    /// Live session ids (sorted).
+    pub fn session_ids(&self) -> Vec<String> {
+        self.slots.lock().unwrap().keys().cloned().collect()
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Begin shutdown: detach every session (workers drain and exit),
+    /// tell the accept loop to stop, and close live connections so their
+    /// reader threads unblock.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let slots: Vec<String> = self.slots.lock().unwrap().keys().cloned().collect();
+        for sid in slots {
+            let _ = self.detach(&sid);
+        }
+        for (_, stream) in std::mem::take(&mut *self.conns.lock().unwrap()) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn register_conn(&self, stream: &TcpStream) -> Option<u64> {
+        let handle = stream.try_clone().ok()?;
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        self.conns.lock().unwrap().insert(id, handle);
+        Some(id)
+    }
+
+    fn deregister_conn(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.conns.lock().unwrap().remove(&id);
+        }
+    }
+}
+
+/// The per-session worker: owns the session for its whole life, drains
+/// the bounded queue, executes through exactly the same
+/// `core::command::run_line` the REPL uses.
+fn session_worker(
+    fork: Catalog,
+    budget: Option<Budget>,
+    journal: Option<PathBuf>,
+    rx: Receiver<Job>,
+    init_tx: SyncSender<Result<(SupersedeHandle, Catalog), String>>,
+) {
+    let mut session = match build_session(fork, &journal) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = init_tx.send(Err(e));
+            return;
+        }
+    };
+    if let Some(b) = budget {
+        session.set_budget(Some(b));
+    }
+    let catalog = session.env.catalog.clone();
+    if init_tx.send(Ok((session.supersede_handle(), catalog))).is_err() {
+        return;
+    }
+    while let Ok(job) = rx.recv() {
+        let (result, quit) = match command::run_line(&mut session, &job.line) {
+            Ok(Response::Message(m)) => (Ok(m), false),
+            Ok(Response::Quit) => (Ok("bye".to_string()), true),
+            Err(e) => (Err(e), false),
+        };
+        let _ = job.reply.send(JobReply { result, quit });
+        if quit {
+            break;
+        }
+    }
+}
+
+/// Fresh session over the forked catalog — or, when its journal already
+/// exists on disk, the session recovered from it (saved programs, canvas
+/// positions, and private table edits all survive re-attach).
+fn build_session(fork: Catalog, journal: &Option<PathBuf>) -> Result<Session, String> {
+    match journal {
+        None => Ok(Session::new(Environment::new(fork))),
+        Some(path) => {
+            let existing = std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false);
+            let mut session = if existing {
+                let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+                Session::recover(&text).map_err(|e| e.to_string())?
+            } else {
+                Session::new(Environment::new(fork))
+            };
+            let path = path.to_str().ok_or_else(|| "journal path is not UTF-8".to_string())?;
+            session.attach_journal_file(path).map_err(|e| e.to_string())?;
+            if session.events().last_snapshot_seq().is_none() {
+                // Fresh journal: snapshot immediately so the file is
+                // recoverable from the first byte.
+                session.snapshot_now().map_err(|e| e.to_string())?;
+            }
+            Ok(session)
+        }
+    }
+}
+
+/// A running server bound to a TCP address.
+pub struct ServerHandle {
+    server: Arc<Server>,
+    addr: std::net::SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start the
+    /// accept loop.
+    pub fn start(base: Catalog, cfg: ServerConfig, addr: &str) -> io::Result<ServerHandle> {
+        let server = Server::new(base, cfg);
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let srv = server.clone();
+        let accept = std::thread::Builder::new()
+            .name("tiogad-accept".into())
+            .spawn(move || accept_loop(listener, srv))?;
+        Ok(ServerHandle { server, addr, accept: Some(accept) })
+    }
+
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Shut down: sessions detach, the accept loop exits, and this call
+    /// joins it.  Idempotent.
+    pub fn stop(&mut self) {
+        self.server.shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until the accept loop exits (a client's `shutdown` verb
+    /// stops it); then reap sessions.  The tiogad binary's main loop.
+    pub fn wait(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.server.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, server: Arc<Server>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !server.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let srv = server.clone();
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("tiogad-conn".into())
+                    .spawn(move || connection(stream, srv))
+                {
+                    conns.push(h);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// One connection: frames in, replies out.  The connection tracks which
+/// session it is attached to; command lines are admitted into that
+/// session's queue.
+fn connection(stream: TcpStream, server: Arc<Server>) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let conn_id = server.register_conn(&stream);
+    let mut writer = stream;
+    let mut attached: Option<String> = None;
+    // Err and clean EOF both mean the client went away.
+    while let Ok(Some(line)) = read_frame(&mut reader) {
+        let mut parts = line.split_whitespace();
+        let reply = match parts.next() {
+            Some("attach") => {
+                // `-` as the session id means "pick one for me" (used
+                // when only the tenant is given).
+                let sid = parts.next().filter(|s| *s != "-");
+                let tenant = parts.next().unwrap_or("default");
+                match server.attach(sid, tenant) {
+                    Ok(sid) => {
+                        attached = Some(sid.clone());
+                        Reply::Ok(format!("attached {sid}"))
+                    }
+                    Err(e) => Reply::Err(e),
+                }
+            }
+            Some("detach") => match attached.take() {
+                Some(sid) => match server.detach(&sid) {
+                    Ok(()) => Reply::Ok(format!("detached {sid}")),
+                    Err(e) => Reply::Err(e),
+                },
+                None => Reply::Err("not attached".to_string()),
+            },
+            Some("stats") => Reply::Ok(server.stats_text()),
+            Some("shutdown") => {
+                // Reply before shutdown(): it closes this socket too.
+                let _ = write_frame(&mut writer, &Reply::Bye("shutting down".into()).encode());
+                server.shutdown();
+                break;
+            }
+            Some(_) => match &attached {
+                None => Reply::Err("not attached; 'attach [session [tenant]]' first".to_string()),
+                Some(sid) => match server.run(sid, &line) {
+                    Ok((body, true)) => {
+                        attached = None;
+                        Reply::Bye(body)
+                    }
+                    Ok((body, false)) => Reply::Ok(body),
+                    Err(e) => Reply::Err(e),
+                },
+            },
+            None => Reply::Ok(String::new()),
+        };
+        if write_frame(&mut writer, &reply.encode()).is_err() {
+            break;
+        }
+    }
+    server.deregister_conn(conn_id);
+}

@@ -24,11 +24,16 @@
 #       must never trip on healthy workloads
 #   example self_monitor            — the self-hosted sys.* pipeline
 #       headless; exits non-zero if the latency canvas renders empty
+#   tiogad smoke leg                — start the multi-session daemon on
+#       an ephemeral port, drive a scripted client session end-to-end
+#       over the wire protocol (build + demand + save), then stop it
+#       with the shutdown verb and assert a clean exit
 #   figures + BENCH_figures.json    — regenerate every paper figure
 #       (includes the A8 crash/recover/diff of journal recovery, which
-#       arms its own fault plan and fails on any differing pixel) and
-#       check the emitted JSON is non-empty and carries every A-section
-#       measurement key
+#       arms its own fault plan and fails on any differing pixel, and
+#       the A9 tiogad scaling ablation with its shared-snapshot memory
+#       proof) and check the emitted JSON is non-empty and carries
+#       every A-section measurement key
 #
 # Run from the repository root:  ./scripts/ci.sh
 set -euo pipefail
@@ -45,12 +50,35 @@ TIOGA2_FAULTS='scan:0=err' cargo test -q --test chaos env_fault_plan
 cargo test -q --test kill_recover
 TIOGA2_BUDGET='rows=50000000,ms=600000' cargo test -q
 cargo run --release --example self_monitor
+
+# tiogad smoke: daemon on an ephemeral port, one scripted session, clean shutdown.
+rm -f /tmp/tiogad_ci_port
+cargo run --release -p tioga2-server --bin tiogad -- \
+    --addr 127.0.0.1:0 --port-file /tmp/tiogad_ci_port \
+    --stations 60 --obs-per-station 4 > /tmp/tiogad_ci_log 2>&1 &
+TIOGAD_PID=$!
+for _ in $(seq 1 100); do [ -s /tmp/tiogad_ci_port ] && break; sleep 0.1; done
+[ -s /tmp/tiogad_ci_port ] || { echo "ci: tiogad never wrote its port file" >&2; cat /tmp/tiogad_ci_log >&2; exit 1; }
+PORT=$(cat /tmp/tiogad_ci_port)
+# Capture the whole scripted session before grepping: `grep -q` on the
+# live pipe would close it at the first match and cut the session short.
+printf "table Stations\nrestrict 0 state = 'LA'\nshow 1 3\nsave smoke\nprograms\nstats\nquit\n" \
+    | cargo run --release -q -p tioga2-server --bin tioga2-client -- \
+        --addr "127.0.0.1:$PORT" --session ci-smoke > /tmp/tiogad_ci_out
+grep -q "tuples" /tmp/tiogad_ci_out || { echo "ci: tiogad smoke session produced no demand output" >&2; kill $TIOGAD_PID; exit 1; }
+grep -q "saved 'smoke'" /tmp/tiogad_ci_out || { echo "ci: tiogad smoke session did not save its program" >&2; kill $TIOGAD_PID; exit 1; }
+echo shutdown | cargo run --release -q -p tioga2-server --bin tioga2-client -- --addr "127.0.0.1:$PORT"
+wait $TIOGAD_PID || { echo "ci: tiogad exited non-zero" >&2; exit 1; }
+grep -q "clean shutdown" /tmp/tiogad_ci_log || { echo "ci: tiogad did not shut down cleanly" >&2; cat /tmp/tiogad_ci_log >&2; exit 1; }
+
 cargo run --release -p tioga2-bench --bin figures
 test -s BENCH_figures.json || { echo "ci: BENCH_figures.json is missing or empty" >&2; exit 1; }
 for key in a5_plan_pushdown a6_parallel_scaling_t1 a6_parallel_scaling_t2 \
-           a6_parallel_scaling_t4 a7_self_monitoring a8_journal_recovery; do
+           a6_parallel_scaling_t4 a7_self_monitoring a8_journal_recovery \
+           a9_server_scaling_s1 a9_server_scaling_s4 a9_server_scaling_s16 \
+           a9_server_scaling_s64; do
     grep -q "\"$key\"" BENCH_figures.json \
         || { echo "ci: BENCH_figures.json is missing '$key'" >&2; exit 1; }
 done
 
-echo "ci: fmt + build + tests (1 and 4 workers) + clippy + budgets + chaos + kill-recover + governed suite + self-monitor + figures all green"
+echo "ci: fmt + build + tests (1 and 4 workers) + clippy + budgets + chaos + kill-recover + governed suite + self-monitor + tiogad smoke + figures all green"

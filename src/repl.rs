@@ -7,14 +7,16 @@
 //! line; `#` starts a comment).  Every command maps 1:1 onto a
 //! `Session` method, i.e. onto a paper operation.
 //!
+//! The grammar and the dispatch bodies live in `core::command` — one
+//! typed [`Command`](crate::core::command::Command) per operation, shared
+//! with `tiogad`'s wire protocol — so this module is just the
+//! line-oriented client: it forwards each line and maps the response
+//! back onto the historical `ReplOutcome` type.
+//!
 //! Type `help` inside the REPL for the command list.
 
-use crate::core::{CoreError, Session};
-use crate::dataflow::NodeId;
-use crate::display::compose::PartitionSpec;
-use crate::display::{Layout, Selection};
-use crate::expr::ScalarType;
-use crate::relational::{AggFunc, AggSpec};
+use crate::core::command::{self, Response};
+use crate::core::Session;
 
 /// Outcome of one REPL line.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,831 +31,11 @@ pub enum ReplOutcome {
 /// session edits roll back on failure).
 pub type ReplResult = Result<ReplOutcome, String>;
 
-fn node(tok: &str) -> Result<NodeId, String> {
-    let t = tok.trim_start_matches('#');
-    t.parse::<u32>().map(NodeId).map_err(|_| format!("'{tok}' is not a node id"))
-}
-
-fn describe_budget(b: &crate::relational::Budget) -> String {
-    let mut parts = Vec::new();
-    if let Some(r) = b.row_cap {
-        parts.push(format!("rows={r}"));
-    }
-    if let Some(ms) = b.wall_ms {
-        parts.push(format!("ms={ms}"));
-    }
-    if parts.is_empty() {
-        "unlimited".to_string()
-    } else {
-        parts.join(" ")
-    }
-}
-
-fn err(e: CoreError) -> String {
-    e.to_string()
-}
-
-fn scalar_type(tok: &str) -> Result<ScalarType, String> {
-    ScalarType::parse(tok).ok_or_else(|| format!("'{tok}' is not a type"))
-}
-
-fn layout(tok: &str) -> Result<Layout, String> {
-    match tok {
-        "h" | "horizontal" => Ok(Layout::Horizontal),
-        "v" | "vertical" => Ok(Layout::Vertical),
-        other => match other.strip_prefix("tab:") {
-            Some(k) => k
-                .parse()
-                .map(|cols| Layout::Tabular { cols })
-                .map_err(|_| format!("bad tabular column count in '{other}'")),
-            None => Err(format!("'{other}' is not a layout (h, v, tab:<cols>)")),
-        },
-    }
-}
-
-fn parse_const(ty: &str, text: &str) -> Result<crate::expr::Value, String> {
-    use crate::expr::Value;
-    match ty {
-        "int" => text.trim().parse().map(Value::Int).map_err(|_| format!("'{text}' is not an int")),
-        "float" => {
-            text.trim().parse().map(Value::Float).map_err(|_| format!("'{text}' is not a float"))
-        }
-        "text" => Ok(Value::Text(text.trim_matches('\'').to_string())),
-        other => Err(format!("'{other}' is not a const type (int, float, text)")),
-    }
-}
-
-const HELP: &str = "\
-Tioga-2 REPL — every command is one paper operation.
-  tables | boxes | ops | help [op] | programs
-  table <name>                          Add Table
-  restrict <node> <predicate>          Restrict
-  project <node> <f1,f2,...>           Project
-  sample <node> <p> [seed]             Sample
-  sort <node> <attr[:desc],...>        Sort
-  join <left> <right> <predicate>      Join
-  switch <node> <predicate>            Switch (2 outputs)
-  aggregate <node> <k1,k2|-> <fn:attr:out,...>
-  distinct <node> [a1,a2,...]          Distinct
-  limit <node> <offset> <count>        Limit
-  setattr <node> <name> <type> <def>   Set Attribute
-  addattr <node> <name> <type> <plain|location|display> <def>
-  rmattr <node> <name>                 Remove Attribute
-  swap <node> <a> <b>                  Swap Attributes
-  scale <node> <attr> <k>              Scale Attribute
-  translate <node> <attr> <c>          Translate Attribute
-  combine <node> <a> <b> <dx> <dy> <new>
-  range <node> <min> <max>             Set Range
-  layername <node> <name>              Set Layer Name
-  overlay <bottom> <top>               Overlay (invariant mode)
-  shuffle <node> <layer>               Shuffle
-  stitch <n1,n2,...> <h|v|tab:k>       Stitch
-  replicate <node> enum:<attr>         Replicate by enumerated type
-  const <int|float|text> <value>       scalar parameter box
-  setconst <node> <int|float|text> <v> twiddle a parameter in place
-  restrictp <node> <name=node,...> <predicate>
-  viewer <node> <canvas>               attach a canvas
-  clone <canvas> <new>                 clone a canvas
-  tee <node> <in_port>                 T on the edge into a port
-  encapsulate <n1,n2,...> <name> [hole:<n1,n2>]...
-  usebox <name> <in1,in2,...>          instantiate a registry box
-  delete <node>                        Delete Box
-  candidates <node>                    Apply Box menu for an edge
-  show <node> [rows]                   ASCII table of a node's output
-  program                              the program window (ASCII)
-  diagram <file>                       program window as out/<file>.svg
-  render <canvas> [file]               render; writes out/<file>.ppm
-  elevmap <canvas>                     the elevation map
-  cyclemap <canvas>                    cycle a group's elevation map
-  pan <canvas> <dx> <dy> | zoom <canvas> <factor>
-  slider <canvas> <dim> <lo> <hi>
-  slave <a> <b> | unslave <a> <b>
-  click <canvas> <x> <y>
-  update <canvas> <x> <y> <field>=<text> ...
-  back                                 rear-view 'go home'
-  undo | redo
-  save <name> | load <name> | new
-  :explain <node>                      the streaming plan + rewrites for a box
-  :explain analyze <node>              execute + per-operator rows/time/cache tree
-  :sys                                 refresh sys.* introspection tables
-  :stats                               engine counters + trace summary
-  :threads [n]                         show/set parallel plan workers
-  :budget [rows=<n>] [ms=<n>] | off    cap rows/wall-clock per demand
-  :faults <site[:at][=err|panic],...> | off   arm deterministic fault injection
-  :trace on|off                        collect spans/histograms
-  :trace export <path>                 Chrome trace JSON (Perfetto)
-  :trace prom <path>                   Prometheus text exposition
-  :trace folded <path>                 folded stacks from the demand-trace ring
-  :journal                             event-journal status
-  :journal tail [n]                    last n journal events
-  :journal save <path>                 write the journal as JSONL
-  :journal snapshot                    force a recovery snapshot marker
-  :journal recover <path>              rebuild the session from a journal
-  :rewind [n] | :replay [n]            time-travel over journaled edits
-  :watch [all|<kind>|off]              live-tail journal events by kind
-  quit";
-
 /// Execute one line against the session.
 pub fn run_line(session: &mut Session, line: &str) -> ReplResult {
-    let line = line.split('#').next().unwrap_or("").trim();
-    if line.is_empty() {
-        return Ok(ReplOutcome::Message(String::new()));
-    }
-    let mut parts = line.split_whitespace();
-    let cmd = parts.next().unwrap_or("");
-    let args: Vec<&str> = parts.collect();
-    let rest = |from: usize| args[from..].join(" ");
-    let need = |n: usize| -> Result<(), String> {
-        if args.len() < n {
-            Err(format!("'{cmd}' needs at least {n} argument(s); try 'help'"))
-        } else {
-            Ok(())
-        }
-    };
-
-    let msg = |s: String| Ok(ReplOutcome::Message(s));
-    let result = match cmd {
-        "quit" | "exit" => Ok(ReplOutcome::Quit),
-        "help" => {
-            if let Some(op) = args.first() {
-                match crate::core::menus::help(op) {
-                    Some(h) => msg(format!("{} ({}): {}", h.name, h.reference, h.help)),
-                    None => Err(format!("no operation named '{op}'")),
-                }
-            } else {
-                msg(HELP.to_string())
-            }
-        }
-        "ops" => msg(crate::core::menus::OPERATIONS
-            .iter()
-            .map(|o| format!("{:22} {}", o.name, o.reference))
-            .collect::<Vec<_>>()
-            .join("\n")),
-        "tables" => msg(crate::core::menus::tables_menu(session).join("\n")),
-        "boxes" => msg(crate::core::menus::boxes_menu(session).join("\n")),
-        "programs" => msg(session.env.program_names().join("\n")),
-        "table" => {
-            need(1)?;
-            let id = session.add_table(args[0]).map_err(err)?;
-            msg(format!("{id} = {}", args[0]))
-        }
-        "restrict" => {
-            need(2)?;
-            let id = session.restrict(node(args[0])?, &rest(1)).map_err(err)?;
-            msg(format!("{id} = Restrict"))
-        }
-        "project" => {
-            need(2)?;
-            let fields: Vec<&str> = args[1].split(',').collect();
-            let id = session.project(node(args[0])?, &fields).map_err(err)?;
-            msg(format!("{id} = Project"))
-        }
-        "sample" => {
-            need(2)?;
-            let p: f64 = args[1].parse().map_err(|_| "bad probability".to_string())?;
-            let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
-            let id = session.sample(node(args[0])?, p, seed).map_err(err)?;
-            msg(format!("{id} = Sample({p})"))
-        }
-        "sort" => {
-            need(2)?;
-            let keys: Vec<(&str, bool)> = args[1]
-                .split(',')
-                .map(|k| match k.strip_suffix(":desc") {
-                    Some(a) => (a, false),
-                    None => (k.strip_suffix(":asc").unwrap_or(k), true),
-                })
-                .collect();
-            let id = session.sort(node(args[0])?, &keys).map_err(err)?;
-            msg(format!("{id} = Sort"))
-        }
-        "join" => {
-            need(3)?;
-            let id = session.join(node(args[0])?, node(args[1])?, &rest(2)).map_err(err)?;
-            msg(format!("{id} = Join"))
-        }
-        "switch" => {
-            need(2)?;
-            let id = session.switch(node(args[0])?, &rest(1)).map_err(err)?;
-            msg(format!("{id} = Switch (outputs 0 = match, 1 = rest)"))
-        }
-        "aggregate" => {
-            need(3)?;
-            let keys: Vec<&str> =
-                if args[1] == "-" { vec![] } else { args[1].split(',').collect() };
-            let mut aggs = Vec::new();
-            for spec in args[2].split(',') {
-                let mut it = spec.split(':');
-                let func = it
-                    .next()
-                    .and_then(AggFunc::parse)
-                    .ok_or_else(|| format!("bad aggregate in '{spec}'"))?;
-                let attr = it.next().ok_or_else(|| format!("bad aggregate in '{spec}'"))?;
-                let out = it.next().ok_or_else(|| format!("bad aggregate in '{spec}'"))?;
-                aggs.push(AggSpec {
-                    func,
-                    attr: if attr == "-" { None } else { Some(attr.to_string()) },
-                    output: out.to_string(),
-                });
-            }
-            let id = session.aggregate(node(args[0])?, &keys, aggs).map_err(err)?;
-            msg(format!("{id} = Aggregate"))
-        }
-        "distinct" => {
-            need(1)?;
-            let attrs: Vec<&str> = args.get(1).map(|a| a.split(',').collect()).unwrap_or_default();
-            let id = session.distinct(node(args[0])?, &attrs).map_err(err)?;
-            msg(format!("{id} = Distinct"))
-        }
-        "limit" => {
-            need(3)?;
-            let off: usize = args[1].parse().map_err(|_| "bad offset".to_string())?;
-            let cnt: usize = args[2].parse().map_err(|_| "bad count".to_string())?;
-            let id = session.limit(node(args[0])?, off, cnt).map_err(err)?;
-            msg(format!("{id} = Limit"))
-        }
-        "setattr" => {
-            need(4)?;
-            let id = session
-                .set_attribute(node(args[0])?, args[1], scalar_type(args[2])?, &rest(3))
-                .map_err(err)?;
-            msg(format!("{id} = Set Attribute {}", args[1]))
-        }
-        "addattr" => {
-            need(5)?;
-            let role = match args[3] {
-                "plain" => crate::display::attr_ops::AttrRole::Plain,
-                "location" => crate::display::attr_ops::AttrRole::Location,
-                "display" => crate::display::attr_ops::AttrRole::Display,
-                other => return Err(format!("'{other}' is not an attribute role")),
-            };
-            let id = session
-                .add_attribute(node(args[0])?, args[1], scalar_type(args[2])?, &rest(4), role)
-                .map_err(err)?;
-            msg(format!("{id} = Add Attribute {}", args[1]))
-        }
-        "rmattr" => {
-            need(2)?;
-            let id = session.remove_attribute(node(args[0])?, args[1]).map_err(err)?;
-            msg(format!("{id} = Remove Attribute"))
-        }
-        "swap" => {
-            need(3)?;
-            let id = session.swap_attributes(node(args[0])?, args[1], args[2]).map_err(err)?;
-            msg(format!("{id} = Swap Attributes"))
-        }
-        "scale" => {
-            need(3)?;
-            let k: f64 = args[2].parse().map_err(|_| "bad factor".to_string())?;
-            let id = session.scale_attribute(node(args[0])?, args[1], k).map_err(err)?;
-            msg(format!("{id} = Scale Attribute"))
-        }
-        "translate" => {
-            need(3)?;
-            let c: f64 = args[2].parse().map_err(|_| "bad offset".to_string())?;
-            let id = session.translate_attribute(node(args[0])?, args[1], c).map_err(err)?;
-            msg(format!("{id} = Translate Attribute"))
-        }
-        "combine" => {
-            need(6)?;
-            let dx: f64 = args[3].parse().map_err(|_| "bad dx".to_string())?;
-            let dy: f64 = args[4].parse().map_err(|_| "bad dy".to_string())?;
-            let id = session
-                .combine_displays(node(args[0])?, args[1], args[2], (dx, dy), args[5])
-                .map_err(err)?;
-            msg(format!("{id} = Combine Displays -> {}", args[5]))
-        }
-        "range" => {
-            need(3)?;
-            let lo: f64 = args[1].parse().map_err(|_| "bad min".to_string())?;
-            let hi: f64 = args[2].parse().map_err(|_| "bad max".to_string())?;
-            let id =
-                session.set_range(node(args[0])?, lo, hi, Selection::default()).map_err(err)?;
-            msg(format!("{id} = Set Range [{lo}, {hi}]"))
-        }
-        "layername" => {
-            need(2)?;
-            let id = session.set_layer_name(node(args[0])?, &rest(1)).map_err(err)?;
-            msg(format!("{id} = Set Layer Name"))
-        }
-        "overlay" => {
-            need(2)?;
-            let id = session.overlay(node(args[0])?, node(args[1])?, vec![], true).map_err(err)?;
-            msg(format!("{id} = Overlay"))
-        }
-        "shuffle" => {
-            need(2)?;
-            let layer: usize = args[1].parse().map_err(|_| "bad layer index".to_string())?;
-            let id = session.shuffle(node(args[0])?, layer, Selection::default()).map_err(err)?;
-            msg(format!("{id} = Shuffle"))
-        }
-        "stitch" => {
-            need(2)?;
-            let members = args[0].split(',').map(node).collect::<Result<Vec<_>, _>>()?;
-            let id = session.stitch(&members, layout(args[1])?).map_err(err)?;
-            msg(format!("{id} = Stitch"))
-        }
-        "replicate" => {
-            need(2)?;
-            let spec = match args[1].strip_prefix("enum:") {
-                Some(attr) => PartitionSpec::Enumerate(attr.to_string()),
-                None => return Err("replicate currently takes enum:<attr>".to_string()),
-            };
-            let id =
-                session.replicate(node(args[0])?, spec, None, Selection::default()).map_err(err)?;
-            msg(format!("{id} = Replicate"))
-        }
-        "const" => {
-            need(2)?;
-            let v = parse_const(args[0], &rest(1))?;
-            let id = session.add_const(v).map_err(err)?;
-            msg(format!("{id} = Const"))
-        }
-        "setconst" => {
-            need(3)?;
-            let v = parse_const(args[1], &rest(2))?;
-            session.set_const(node(args[0])?, v).map_err(err)?;
-            msg("parameter updated".to_string())
-        }
-        "restrictp" => {
-            need(3)?;
-            let mut params = Vec::new();
-            for pair in args[1].split(',') {
-                let (name, src) =
-                    pair.split_once('=').ok_or_else(|| format!("'{pair}' is not name=node"))?;
-                params.push((name, node(src)?));
-            }
-            let params: Vec<(&str, NodeId)> = params;
-            let id =
-                session.restrict_with_params(node(args[0])?, &rest(2), &params).map_err(err)?;
-            msg(format!("{id} = Restrict(params)"))
-        }
-        "viewer" => {
-            need(2)?;
-            let id = session.add_viewer(node(args[0])?, args[1]).map_err(err)?;
-            msg(format!("{id} = Viewer[{}]", args[1]))
-        }
-        "clone" => {
-            need(2)?;
-            let id = session.clone_canvas(args[0], args[1]).map_err(err)?;
-            msg(format!("{id} = Viewer[{}] (clone of {})", args[1], args[0]))
-        }
-        "encapsulate" => {
-            need(2)?;
-            let region = args[0].split(',').map(node).collect::<Result<Vec<_>, _>>()?;
-            let name = args[1];
-            let mut holes = Vec::new();
-            for h in &args[2..] {
-                let ids =
-                    h.strip_prefix("hole:").ok_or_else(|| format!("'{h}' is not hole:<nodes>"))?;
-                holes.push(ids.split(',').map(node).collect::<Result<Vec<_>, _>>()?);
-            }
-            let def = session.encapsulate(&region, &holes, name).map_err(err)?;
-            msg(format!(
-                "registered '{}' ({} input(s), {} output(s), {} hole(s))",
-                def.name,
-                def.in_types.len(),
-                def.out_types.len(),
-                def.holes.len()
-            ))
-        }
-        "usebox" => {
-            need(1)?;
-            let template = session
-                .env
-                .registry
-                .get(args[0])
-                .ok_or_else(|| format!("no box named '{}' in the registry", args[0]))?;
-            let kind = template.kind.clone().ok_or_else(|| {
-                format!(
-                    "'{}' needs parameters (or hole plugs); it cannot be instantiated directly",
-                    args[0]
-                )
-            })?;
-            let inputs: Vec<NodeId> = match args.get(1) {
-                Some(list) => list.split(',').map(node).collect::<Result<Vec<_>, _>>()?,
-                None => vec![],
-            };
-            let id = session.add_box(kind).map_err(err)?;
-            for (i, src) in inputs.iter().enumerate() {
-                session.connect(*src, 0, id, i).map_err(err)?;
-            }
-            msg(format!("{id} = {}", args[0]))
-        }
-        "tee" => {
-            need(2)?;
-            let port: usize = args[1].parse().map_err(|_| "bad port".to_string())?;
-            let id = session.add_tee(node(args[0])?, port).map_err(err)?;
-            msg(format!("{id} = T"))
-        }
-        "delete" => {
-            need(1)?;
-            session.delete_box(node(args[0])?).map_err(err)?;
-            msg("deleted".to_string())
-        }
-        "candidates" => {
-            need(1)?;
-            let cands = session.apply_box_candidates(&[(node(args[0])?, 0)]).map_err(err)?;
-            msg(cands.iter().map(|c| c.name.clone()).collect::<Vec<_>>().join("\n"))
-        }
-        "show" => {
-            need(1)?;
-            let rows: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12);
-            let d = session.demand(node(args[0])?, 0).map_err(err)?;
-            match d {
-                crate::display::Displayable::R(dr) => {
-                    msg(format!("{} tuples\n{}", dr.rel.len(), dr.rel.to_ascii_table(rows)))
-                }
-                other => msg(format!(
-                    "{} displayable with {} tuples",
-                    other.type_tag(),
-                    other.tuple_count()
-                )),
-            }
-        }
-        "program" => msg(session.graph.to_ascii()),
-        "diagram" => {
-            need(1)?;
-            std::fs::create_dir_all("out").map_err(|e| e.to_string())?;
-            let path = format!("out/{}.svg", args[0]);
-            std::fs::write(&path, crate::dataflow::diagram::to_svg(&session.graph))
-                .map_err(|e| e.to_string())?;
-            msg(format!("{path} written"))
-        }
-        "render" => {
-            need(1)?;
-            let frame = session.render(args[0]).map_err(err)?;
-            let file = args.get(1).copied().unwrap_or(args[0]);
-            std::fs::create_dir_all("out").map_err(|e| e.to_string())?;
-            let path = format!("out/{file}.ppm");
-            crate::render::ppm::write_ppm(&frame.fb, &path).map_err(|e| e.to_string())?;
-            msg(format!(
-                "{path}: {}x{} px, {} screen objects",
-                frame.fb.width(),
-                frame.fb.height(),
-                frame.hits.len().max(frame.member_hits.iter().map(|h| h.len()).sum())
-            ))
-        }
-        "elevmap" => {
-            need(1)?;
-            let bars = session.elevation_map(args[0]).map_err(err)?;
-            msg(bars
-                .iter()
-                .map(|b| {
-                    format!(
-                        "[{}] {:20} {:>10.2}..{:<10.2} {}",
-                        b.order,
-                        b.layer_name,
-                        b.range.min,
-                        b.range.max,
-                        if b.active { "ACTIVE" } else { "" }
-                    )
-                })
-                .collect::<Vec<_>>()
-                .join("\n"))
-        }
-        "cyclemap" => {
-            need(1)?;
-            let i = session.cycle_elevation_map(args[0]).map_err(err)?;
-            msg(format!("elevation map now shows member {i}"))
-        }
-        "pan" => {
-            need(3)?;
-            let dx: i32 = args[1].parse().map_err(|_| "bad dx".to_string())?;
-            let dy: i32 = args[2].parse().map_err(|_| "bad dy".to_string())?;
-            session.pan(args[0], dx, dy).map_err(err)?;
-            msg("ok".to_string())
-        }
-        "zoom" => {
-            need(2)?;
-            let f: f64 = args[1].parse().map_err(|_| "bad factor".to_string())?;
-            match session.zoom(args[0], f).map_err(err)? {
-                Some(dest) => msg(format!("passed through a wormhole to '{dest}'")),
-                None => msg(format!(
-                    "elevation {:.4}",
-                    session.viewers.get(args[0]).map_err(|e| e.to_string())?.position.elevation
-                )),
-            }
-        }
-        "slider" => {
-            need(4)?;
-            let lo: f64 = args[2].parse().map_err(|_| "bad lo".to_string())?;
-            let hi: f64 = args[3].parse().map_err(|_| "bad hi".to_string())?;
-            session.set_slider(args[0], args[1], lo, hi).map_err(err)?;
-            msg("ok".to_string())
-        }
-        "slave" => {
-            need(2)?;
-            session.slave(args[0], args[1]).map_err(err)?;
-            msg("slaved".to_string())
-        }
-        "unslave" => {
-            need(2)?;
-            session.unslave(args[0], args[1]).map_err(err)?;
-            msg("unslaved".to_string())
-        }
-        "click" => {
-            need(3)?;
-            let x: i32 = args[1].parse().map_err(|_| "bad x".to_string())?;
-            let y: i32 = args[2].parse().map_err(|_| "bad y".to_string())?;
-            match session.click(args[0], x, y).map_err(err)? {
-                Some(hit) => msg(format!(
-                    "{} from layer '{}' (row {}, table {:?})",
-                    hit.kind, hit.provenance.layer, hit.provenance.row_id, hit.provenance.source
-                )),
-                None => msg("nothing there".to_string()),
-            }
-        }
-        "update" => {
-            need(4)?;
-            let x: i32 = args[1].parse().map_err(|_| "bad x".to_string())?;
-            let y: i32 = args[2].parse().map_err(|_| "bad y".to_string())?;
-            let mut dialog = session.begin_update(args[0], x, y).map_err(err)?;
-            let mut changed = Vec::new();
-            for assign in &args[3..] {
-                let (field, text) = assign
-                    .split_once('=')
-                    .ok_or_else(|| format!("'{assign}' is not field=text"))?;
-                dialog.set_field(field, text).map_err(err)?;
-                changed.push(field.to_string());
-            }
-            let table = dialog.table.clone();
-            let row = dialog.row_id;
-            dialog.commit(session).map_err(err)?;
-            msg(format!("updated {} of {table} row {row}", changed.join(", ")))
-        }
-        "back" => {
-            let home = session.go_back().map_err(err)?;
-            msg(format!("back on '{home}'"))
-        }
-        "undo" => msg(if session.undo() { "undone" } else { "nothing to undo" }.to_string()),
-        "redo" => msg(if session.redo() { "redone" } else { "nothing to redo" }.to_string()),
-        "save" => {
-            need(1)?;
-            session.save_program(args[0]);
-            msg(format!("saved '{}'", args[0]))
-        }
-        "load" => {
-            need(1)?;
-            session.load_program(args[0]).map_err(err)?;
-            msg(format!("loaded '{}' ({} boxes)", args[0], session.graph.len()))
-        }
-        "new" => {
-            session.new_program();
-            msg("new program".to_string())
-        }
-        ":explain" | "explain" => {
-            need(1)?;
-            if args[0] == "analyze" {
-                need(2)?;
-                let id = node(args[1])?;
-                return msg(session.explain_analyze(id, 0).map_err(err)?.trim_end().to_string());
-            }
-            let id = node(args[0])?;
-            msg(session.explain(id, 0).map_err(err)?.trim_end().to_string())
-        }
-        ":sys" | "sys" => {
-            let names = session.refresh_sys_tables().map_err(err)?;
-            let mut out = Vec::new();
-            for name in names {
-                let rows = session.env.catalog.snapshot(&name).map(|r| r.len()).unwrap_or(0);
-                out.push(format!("{name:16} {rows} tuple(s)"));
-            }
-            out.push("refreshed — demand them like any table ('table sys.demands')".to_string());
-            msg(out.join("\n"))
-        }
-        ":stats" | "stats" => {
-            let st = session.engine_stats();
-            let mut out = format!(
-                "engine: box_evals={} cache_hits={} rows_in={} rows_out={}",
-                st.box_evals, st.cache_hits, st.rows_in, st.rows_out
-            );
-            match session.recorder().summary_table() {
-                Some(table) => {
-                    out.push('\n');
-                    out.push_str(table.trim_end());
-                }
-                None => out.push_str("\ntracing off — ':trace on' collects spans and histograms"),
-            }
-            msg(out)
-        }
-        ":threads" | "threads" => {
-            if args.is_empty() {
-                msg(format!("threads={}", session.threads()))
-            } else {
-                let n: usize = args[0]
-                    .parse()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| format!("'{}' is not a thread count (>= 1)", args[0]))?;
-                session.set_threads(n);
-                msg(format!("threads={n}"))
-            }
-        }
-        ":budget" | "budget" => {
-            if args.is_empty() {
-                return match session.budget() {
-                    Some(b) => msg(format!("budget: {}", describe_budget(b))),
-                    None => msg("budget off".to_string()),
-                };
-            }
-            if args[0] == "off" {
-                session.set_budget(None);
-                return msg("budget off".to_string());
-            }
-            let spec = rest(0);
-            let budget = crate::relational::govern::parse_budget_spec(&spec)
-                .filter(|b| !b.is_empty())
-                .ok_or_else(|| {
-                    format!(
-                        "'{spec}' is not a budget; try ':budget rows=<n> ms=<n>' or ':budget off'"
-                    )
-                })?;
-            session.set_budget(Some(budget.clone()));
-            msg(format!("budget: {}", describe_budget(&budget)))
-        }
-        ":faults" | "faults" => {
-            if args.is_empty() {
-                return match crate::relational::fault::current() {
-                    Some(p) => msg(format!(
-                        "faults armed: {} spec(s), {} injected",
-                        p.specs().len(),
-                        p.injected_count()
-                    )),
-                    None => msg("faults off".to_string()),
-                };
-            }
-            if args[0] == "off" {
-                crate::relational::fault::install(None);
-                return msg("faults off".to_string());
-            }
-            let spec = rest(0);
-            let plan = crate::relational::FaultPlan::parse(&spec)?;
-            let n = plan.specs().len();
-            crate::relational::fault::install(Some(plan));
-            msg(format!("faults armed: {n} spec(s)"))
-        }
-        ":trace" | "trace" => {
-            need(1)?;
-            match args[0] {
-                "on" => {
-                    session.set_recorder(std::sync::Arc::new(crate::obs::InMemoryRecorder::new()));
-                    msg("tracing on".to_string())
-                }
-                "off" => {
-                    session.set_recorder(crate::obs::noop());
-                    msg("tracing off".to_string())
-                }
-                "export" => {
-                    need(2)?;
-                    let json = session
-                        .recorder()
-                        .chrome_trace_json()
-                        .ok_or_else(|| "tracing is off; ':trace on' first".to_string())?;
-                    std::fs::write(args[1], json).map_err(|e| e.to_string())?;
-                    msg(format!("{} written — open in Perfetto (ui.perfetto.dev)", args[1]))
-                }
-                "prom" => {
-                    need(2)?;
-                    let text = session
-                        .recorder()
-                        .prometheus_text()
-                        .ok_or_else(|| "tracing is off; ':trace on' first".to_string())?;
-                    std::fs::write(args[1], text).map_err(|e| e.to_string())?;
-                    msg(format!("{} written", args[1]))
-                }
-                "folded" => {
-                    need(2)?;
-                    let traces: Vec<crate::obs::DemandTrace> =
-                        session.demand_traces().iter().cloned().collect();
-                    if traces.is_empty() {
-                        return Err(
-                            "no demand traces; ':explain analyze <node>' or ':trace on' first"
-                                .to_string(),
-                        );
-                    }
-                    let text = crate::obs::export::folded_stacks(&traces);
-                    std::fs::write(args[1], text).map_err(|e| e.to_string())?;
-                    msg(format!("{} written ({} demand trace(s))", args[1], traces.len()))
-                }
-                other => Err(format!(
-                    "':trace {other}' is not a trace command \
-                     (on, off, export <path>, prom <path>, folded <path>)"
-                )),
-            }
-        }
-        ":journal" | "journal" => {
-            if args.is_empty() {
-                let ev = session.events();
-                let snap = ev
-                    .last_snapshot_seq()
-                    .map(|s| format!("#{s}"))
-                    .unwrap_or_else(|| "none".to_string());
-                let sink = ev.sink_path().unwrap_or_else(|| "none".to_string());
-                return msg(format!(
-                    "journal: {} event(s), {} dropped, last snapshot {snap}, file sink {sink}",
-                    ev.len(),
-                    ev.dropped()
-                ));
-            }
-            match args[0] {
-                "tail" => {
-                    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
-                    let evs = session.events().events();
-                    let start = evs.len().saturating_sub(n);
-                    let lines: Vec<String> = evs[start..]
-                        .iter()
-                        .map(|(seq, e)| format!("#{seq:<5} {}", e.summary()))
-                        .collect();
-                    msg(if lines.is_empty() {
-                        "journal empty".to_string()
-                    } else {
-                        lines.join("\n")
-                    })
-                }
-                "save" => {
-                    need(2)?;
-                    std::fs::write(args[1], session.journal_text()).map_err(|e| e.to_string())?;
-                    msg(format!("{} written ({} event(s))", args[1], session.events().len()))
-                }
-                "snapshot" => {
-                    let seq = session.snapshot_now().map_err(err)?;
-                    msg(format!("snapshot #{seq} (canvas + catalog + undo stacks)"))
-                }
-                "recover" => {
-                    need(2)?;
-                    let text = std::fs::read_to_string(args[1]).map_err(|e| e.to_string())?;
-                    *session = Session::recover(&text).map_err(err)?;
-                    msg(format!(
-                        "recovered: {} box(es), {} canvas(es), {} journal event(s)",
-                        session.graph.len(),
-                        session.canvas_names().len(),
-                        session.events().len()
-                    ))
-                }
-                other => Err(format!(
-                    "':journal {other}' is not a journal command \
-                     (tail [n], save <path>, snapshot, recover <path>)"
-                )),
-            }
-        }
-        ":rewind" | "rewind" => {
-            let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1);
-            let done = session.rewind(n);
-            msg(format!("rewound {done} step(s) ({} box(es) now)", session.graph.len()))
-        }
-        ":replay" | "replay" => {
-            let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1);
-            let done = session.replay_forward(n);
-            msg(format!("replayed {done} step(s) ({} box(es) now)", session.graph.len()))
-        }
-        ":watch" | "watch" => {
-            if args.is_empty() {
-                return match session.watch_filter() {
-                    Some("") => msg("watching all events".to_string()),
-                    Some(k) => msg(format!("watching '{k}' events")),
-                    None => {
-                        msg("watch off — ':watch all' or ':watch <kind>' tails the journal"
-                            .to_string())
-                    }
-                };
-            }
-            match args[0] {
-                "off" => {
-                    session.clear_watch();
-                    msg("watch off".to_string())
-                }
-                "all" => {
-                    session.set_watch(Some(""));
-                    msg("watching all events".to_string())
-                }
-                kind => {
-                    session.set_watch(Some(kind));
-                    msg(format!("watching '{kind}' events"))
-                }
-            }
-        }
-        other => Err(format!("unknown command '{other}'; try 'help'")),
-    };
-    // `:watch` live tail: new journal events matching the filter are
-    // appended to whatever the command printed, so the tail interleaves
-    // with normal use of the session.
-    match result {
-        Ok(ReplOutcome::Message(m)) if session.watch_filter().is_some() => {
-            let tail: Vec<String> = session
-                .drain_watch()
-                .into_iter()
-                .map(|(seq, e)| format!("[watch #{seq}] {}", e.summary()))
-                .collect();
-            if tail.is_empty() {
-                Ok(ReplOutcome::Message(m))
-            } else if m.is_empty() {
-                Ok(ReplOutcome::Message(tail.join("\n")))
-            } else {
-                Ok(ReplOutcome::Message(format!("{m}\n{}", tail.join("\n"))))
-            }
-        }
-        other => other,
+    match command::run_line(session, line)? {
+        Response::Message(m) => Ok(ReplOutcome::Message(m)),
+        Response::Quit => Ok(ReplOutcome::Quit),
     }
 }
 

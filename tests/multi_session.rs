@@ -1,0 +1,111 @@
+//! Multi-session isolation over shared-catalog snapshots (the tiogad
+//! storage model): N sessions fork the base catalog, share one tuple
+//! allocation per base table, and never observe each other's §8 writes.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tioga2::datagen::register_standard_catalog;
+use tioga2::expr::Value;
+use tioga2::relational::update::{install_update, FieldChange};
+use tioga2::relational::Catalog;
+
+fn base() -> Catalog {
+    let c = Catalog::new();
+    register_standard_catalog(&c, 30, 2, 11);
+    c
+}
+
+fn altitude_at(c: &Catalog, row_id: u64) -> Value {
+    let snap = c.snapshot("Stations").unwrap();
+    let i = snap.schema().index_of("altitude").unwrap();
+    let t = snap.tuples().iter().find(|t| t.row_id == row_id).unwrap();
+    t.values()[i].clone()
+}
+
+fn set_altitude(c: &Catalog, row_id: u64, v: f64) {
+    install_update(
+        c,
+        "Stations",
+        row_id,
+        &[FieldChange { field: "altitude".into(), value: Value::Float(v) }],
+    )
+    .unwrap();
+}
+
+/// The memory proof behind the A9 ablation, at the catalog layer: K
+/// forks are one allocation (`Arc::strong_count == K + 1`) until a
+/// write COW-diverges exactly the writer's copy of exactly that table.
+#[test]
+fn forks_share_one_allocation_until_write() {
+    let b = base();
+    let forks: Vec<Catalog> = (0..4).map(|_| b.fork()).collect();
+
+    let base_id = b.storage_id("Stations").unwrap();
+    for f in &forks {
+        assert_eq!(f.storage_id("Stations").unwrap(), base_id);
+    }
+    // base + 4 forks, one Stations tuple store.
+    assert_eq!(b.storage_refs("Stations").unwrap(), 5);
+
+    let row = b.snapshot("Stations").unwrap().tuples()[0].row_id;
+    set_altitude(&forks[0], row, 4321.0);
+
+    // Only the writer diverged; the other three still share with base.
+    assert_ne!(forks[0].storage_id("Stations").unwrap(), base_id);
+    for f in &forks[1..] {
+        assert_eq!(f.storage_id("Stations").unwrap(), base_id);
+    }
+    assert_eq!(b.storage_refs("Stations").unwrap(), 4);
+    // Untouched tables are still fully shared by everyone.
+    assert_eq!(b.storage_refs("Observations").unwrap(), 5);
+    assert_eq!(altitude_at(&b, row), altitude_at(&forks[1], row));
+    assert_eq!(altitude_at(&forks[0], row), Value::Float(4321.0));
+}
+
+proptest! {
+    /// K sessions each apply an arbitrary interleaving of §8 updates to
+    /// private forks of the same base table.  No session ever observes
+    /// another's write, and the base never changes.
+    #[test]
+    fn concurrent_session_writes_stay_private(
+        k in 2usize..6,
+        writes in proptest::collection::vec(
+            (0usize..6, 0usize..30, -8000.0f64..8000.0),
+            1..12,
+        ),
+    ) {
+        let b = base();
+        let snap = b.snapshot("Stations").unwrap();
+        let row_ids: Vec<u64> = snap.tuples().iter().map(|t| t.row_id).collect();
+        let pristine: Vec<Value> =
+            row_ids.iter().map(|r| altitude_at(&b, *r)).collect();
+        drop(snap);
+
+        let forks: Vec<Catalog> = (0..k).map(|_| b.fork()).collect();
+        // expected[(session, row_id)] = last value that session wrote.
+        let mut expected: BTreeMap<(usize, u64), f64> = BTreeMap::new();
+        for (s, r, v) in &writes {
+            let s = s % k;
+            let row = row_ids[r % row_ids.len()];
+            set_altitude(&forks[s], row, *v);
+            expected.insert((s, row), *v);
+        }
+
+        for (s, fork) in forks.iter().enumerate() {
+            for (i, row) in row_ids.iter().enumerate() {
+                let want = match expected.get(&(s, *row)) {
+                    // A session sees its own writes...
+                    Some(v) => Value::Float(*v),
+                    // ...and pristine base values everywhere else, no
+                    // matter what the other sessions wrote.
+                    None => pristine[i].clone(),
+                };
+                prop_assert_eq!(altitude_at(fork, *row), want);
+            }
+        }
+        // The base table itself never moved.
+        for (i, row) in row_ids.iter().enumerate() {
+            prop_assert_eq!(altitude_at(&b, *row), pristine[i].clone());
+        }
+    }
+}

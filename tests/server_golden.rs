@@ -1,0 +1,85 @@
+//! The golden equivalence test behind the PR's refactor: one gesture
+//! script driven through the single-user REPL and through a tiogad
+//! client must produce byte-identical replies and byte-identical
+//! rendered framebuffers — the server hosts *the same* sessions, not a
+//! reimplementation.
+
+use tioga2::core::{Environment, Session};
+use tioga2::datagen::register_standard_catalog;
+use tioga2::relational::Catalog;
+use tioga2::repl::{self, ReplOutcome};
+use tioga2_server::{Client, ServerConfig, ServerHandle};
+
+fn catalog() -> Catalog {
+    let c = Catalog::new();
+    register_standard_catalog(&c, 150, 10, 20260706);
+    c
+}
+
+/// The shared gesture script: build the Louisiana view, then navigate.
+/// `{out}` is the per-path render file stem.
+const SCRIPT: &[&str] = &[
+    "table Stations",
+    "restrict 0 state = 'LA'",
+    "setattr 1 x float longitude",
+    "setattr 2 y float latitude",
+    "viewer 3 gold",
+    "zoom gold 2.0",
+    "pan gold 3 -2",
+    "show 3 8",
+    "program",
+    "render gold {out}",
+];
+
+fn run_repl(out: &str) -> Vec<String> {
+    let mut s = Session::new(Environment::new(catalog()));
+    SCRIPT
+        .iter()
+        .map(|line| {
+            let line = line.replace("{out}", out);
+            match repl::run_line(&mut s, &line).unwrap() {
+                ReplOutcome::Message(m) => m,
+                ReplOutcome::Quit => unreachable!(),
+            }
+        })
+        .collect()
+}
+
+fn run_server(out: &str) -> Vec<String> {
+    let mut h = ServerHandle::start(catalog(), ServerConfig::default(), "127.0.0.1:0").unwrap();
+    let mut c = Client::connect(h.addr()).unwrap();
+    c.attach(Some("golden"), None).unwrap().unwrap();
+    let replies = SCRIPT
+        .iter()
+        .map(|line| {
+            let line = line.replace("{out}", out);
+            c.run(&line).unwrap().unwrap()
+        })
+        .collect();
+    h.stop();
+    replies
+}
+
+#[test]
+fn same_script_same_pixels_through_repl_and_tiogad() {
+    let repl_replies = run_repl("golden_repl");
+    let srv_replies = run_server("golden_srv");
+
+    // Every reply is byte-identical except the render line, which names
+    // its output file; strip the path and compare the rest of it too.
+    assert_eq!(repl_replies.len(), srv_replies.len());
+    for (i, (r, s)) in repl_replies.iter().zip(&srv_replies).enumerate() {
+        if SCRIPT[i].starts_with("render") {
+            let tail = |m: &str| m.split_once(": ").map(|(_, t)| t.to_string());
+            assert_eq!(tail(r), tail(s), "render reply diverged");
+        } else {
+            assert_eq!(r, s, "reply {i} ('{}') diverged", SCRIPT[i]);
+        }
+    }
+
+    // And the pixels themselves are the same.
+    let a = std::fs::read("out/golden_repl.ppm").unwrap();
+    let b = std::fs::read("out/golden_srv.ppm").unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "framebuffers diverged between repl and tiogad");
+}
