@@ -704,6 +704,85 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!();
     }
 
+    // --------- A10: tuple-edit latency — delta propagation vs invalidate-all
+    {
+        // One warm windowed restrict chain over a Points table; each
+        // committed edit either propagates as a tuple delta (patching
+        // the cached plan output in place) or flushes every cache the
+        // way pre-delta builds did.  The re-demand after each edit is
+        // what the viewer pays before it can redraw.
+        use tioga2_bench::points_catalog;
+        use tioga2_dataflow::boxes::{BoxKind, RelOpKind};
+        use tioga2_dataflow::{Engine, Graph};
+        use tioga2_expr::Value;
+        use tioga2_relational::update::{install_update_delta, FieldChange};
+        const EDITS: usize = 25;
+        println!("[A10] tuple-edit latency, {EDITS} edits per mode (delta vs invalidate-all)");
+        for &n in &[1_000usize, 10_000, 100_000] {
+            let mut wall = [0.0f64; 2]; // [delta, invalidate-all]
+            let mut applied = 0u64;
+            for (mode, wall_slot) in wall.iter_mut().enumerate() {
+                let c = points_catalog(n);
+                let mut g = Graph::new();
+                let t = g.add(BoxKind::Table("Points".into()));
+                let r = g.add(BoxKind::rel(RelOpKind::Restrict(parse("mass >= 1.0")?)));
+                g.connect(t, 0, r, 0)?;
+                let mut e = Engine::new(c.clone());
+                let rec = Arc::new(InMemoryRecorder::new());
+                e.set_recorder(rec.clone());
+                // A viewer-sized window: ~10% of the scatter is visible,
+                // so a patch touches O(visible) rows while invalidate-all
+                // rescans the whole table.
+                let window = parse("x < 100.0")?;
+                e.demand_planned_opts(&g, r, 0, true, Some(&window))?;
+                let ids: Vec<u64> =
+                    c.snapshot("Points")?.tuples().iter().map(|t| t.row_id).collect();
+                let t0 = Instant::now();
+                for i in 0..EDITS {
+                    let delta = install_update_delta(
+                        &c,
+                        "Points",
+                        ids[i * 37 % ids.len()],
+                        &[FieldChange {
+                            field: "mass".into(),
+                            value: Value::Float(500.0 + i as f64),
+                        }],
+                    )?;
+                    if mode == 0 {
+                        e.apply_delta(&g, &delta);
+                    } else {
+                        e.invalidate_all();
+                    }
+                    e.demand_planned_opts(&g, r, 0, true, Some(&window))?;
+                }
+                *wall_slot = t0.elapsed().as_secs_f64() * 1e3;
+                if mode == 0 {
+                    applied = rec.counter("plan.delta.applied").unwrap_or(0);
+                }
+            }
+            if applied == 0 {
+                return Err(format!("A10: no delta was applied at n={n}").into());
+            }
+            let speedup = wall[1] / wall[0].max(1e-9);
+            if n == 100_000 && speedup < 5.0 {
+                return Err(format!(
+                    "A10: delta propagation is only {speedup:.1}x faster than \
+                     invalidate-all at 100k rows (need >= 5x)"
+                )
+                .into());
+            }
+            println!(
+                "[A10] {n:>6} rows: delta {:.2} ms, invalidate-all {:.2} ms \
+                 ({speedup:.1}x, {applied} patches applied)",
+                wall[0], wall[1],
+            );
+            let tag = n / 1000;
+            report.push_external(&format!("a10_edit_delta_{tag}k"), wall[0], 1, EDITS, vec![]);
+            report.push_external(&format!("a10_edit_invalidate_{tag}k"), wall[1], 1, EDITS, vec![]);
+        }
+        println!();
+    }
+
     std::fs::write("BENCH_figures.json", report.to_json())?;
     println!(
         "all figures regenerated into out/; BENCH_figures.json covers {} figures",

@@ -2270,9 +2270,20 @@ impl Session {
         row_id: u64,
         changes: &[tioga2_relational::update::FieldChange],
     ) -> Result<(), CoreError> {
-        tioga2_relational::update::install_update(&self.env.catalog, table, row_id, changes)?;
-        // Base data changed outside the structural signature.
-        self.engine.invalidate_all();
+        // Base data changed outside the structural signature — but the
+        // edit is *local*: capture it as a tuple delta and propagate it
+        // through the cached plans.  Entries a delta rule covers are
+        // patched in place; the rest fall back to selective eviction of
+        // the edited table's demand cone, so cached plans over unrelated
+        // tables keep hitting.  `invalidate_all` is never reached from
+        // here.
+        let delta = tioga2_relational::update::install_update_delta(
+            &self.env.catalog,
+            table,
+            row_id,
+            changes,
+        )?;
+        self.engine.apply_delta(&self.graph, &delta);
         let mut enc = Vec::with_capacity(changes.len());
         for c in changes {
             enc.push((c.field.clone(), rel_persist::encode_value(&c.value)?));

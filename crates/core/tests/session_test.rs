@@ -9,6 +9,7 @@ use tioga2_display::attr_ops::AttrRole;
 use tioga2_display::compose::PartitionSpec;
 use tioga2_display::{Displayable, Layout, Selection};
 use tioga2_expr::{parse, Color, ScalarType as T};
+use tioga2_obs::Recorder as _;
 use tioga2_relational::Catalog;
 use tioga2_viewer::magnifier::Magnifier;
 
@@ -866,4 +867,66 @@ fn sys_tables_are_ordinary_demandable_relations() {
     assert_eq!(s.demand(roots, 0).unwrap().tuple_count(), traces);
     let all = s.demand(t, 0).unwrap().tuple_count();
     assert!(all > traces, "per-operator tuples present");
+}
+
+#[test]
+fn tuple_edit_propagates_as_delta_not_invalidation() {
+    // PR 8 regression: `install_update` must never reach
+    // `invalidate_all`.  A cached plan over an *unrelated* table
+    // survives a tuple edit untouched (still a cache hit, no box
+    // refires), and the edited table's own chain is patched in place —
+    // the re-demand reflects the new value with `plan.delta.applied`
+    // counted and zero plan-level recomputation.
+    let mut s = session();
+    let rec = std::sync::Arc::new(tioga2_obs::InMemoryRecorder::new());
+    s.set_recorder(rec.clone());
+
+    // Unrelated pipeline over Stations.
+    let t1 = s.add_table("Stations").unwrap();
+    let r1 = s.restrict(t1, "state = 'LA'").unwrap();
+    let unrelated_before = s.demand(r1, 0).unwrap().tuple_count();
+
+    // Edited pipeline over Employees (a pure restrict chain: patchable).
+    let t2 = s.add_table("Employees").unwrap();
+    let r2 = s.restrict(t2, "salary >= 0").unwrap();
+    s.demand(r2, 0).unwrap();
+    s.add_viewer(t2, "emps").unwrap();
+    let frame = s.render("emps").unwrap();
+
+    // Warm-cache baselines.
+    let hits_before = rec.counter("plan.cache_hits").unwrap_or(0);
+    s.demand(r1, 0).unwrap();
+    assert_eq!(rec.counter("plan.cache_hits"), Some(hits_before + 1), "warm");
+    let evals_before = s.engine_stats().box_evals;
+
+    // Commit a field edit through the §8 dialog.
+    let hit = frame.hits.records()[1].clone();
+    let (cx, cy) = ((hit.bbox.0 + hit.bbox.2) / 2, (hit.bbox.1 + hit.bbox.3) / 2);
+    let mut dialog = s.begin_update("emps", cx, cy).unwrap();
+    let row_id = dialog.row_id;
+    dialog.set_field("salary", "123456").unwrap();
+    dialog.commit(&mut s).unwrap();
+
+    // The delta was applied, not a flush: no full invalidation event,
+    // and at least the Table boundary + restrict chain were patched.
+    assert!(rec.counter("plan.delta.applied").unwrap_or(0) >= 2, "patched entries");
+    let hits_mid = rec.counter("plan.cache_hits").unwrap_or(0);
+
+    // Unrelated chain: still answered from the plan cache, no refires.
+    assert_eq!(s.demand(r1, 0).unwrap().tuple_count(), unrelated_before);
+    assert_eq!(rec.counter("plan.cache_hits"), Some(hits_mid + 1), "unrelated survives");
+    assert_eq!(s.engine_stats().box_evals, evals_before, "no box refired");
+
+    // Edited chain: the patched cache answers with the new value.
+    let d = s.demand(r2, 0).unwrap();
+    assert_eq!(rec.counter("plan.cache_hits"), Some(hits_mid + 2), "edited chain patched");
+    match d {
+        Displayable::R(dr) => {
+            let i = (0..dr.rel.len())
+                .find(|&i| dr.rel.tuples()[i].row_id == row_id)
+                .expect("edited row visible");
+            assert_eq!(dr.rel.attr_value(i, "salary").unwrap(), tioga2_expr::Value::Int(123456));
+        }
+        other => panic!("{other:?}"),
+    }
 }

@@ -33,7 +33,9 @@ use tioga2_display::{DisplayRelation, Displayable};
 use tioga2_expr::{Expr, UnaryOp};
 use tioga2_obs::{CacheStatus, DemandTrace, EventLog, OpNode, Recorder, SessionEvent, SpanId};
 use tioga2_relational::ops;
-use tioga2_relational::{fault, govern, Budget, BudgetMeter, CancelToken, Catalog, RelError};
+use tioga2_relational::{
+    fault, govern, Budget, BudgetMeter, CancelToken, Catalog, Delta, RelError, RowChange,
+};
 
 /// Evaluation counters, used by tests and the ablation benches.
 ///
@@ -58,12 +60,32 @@ struct CacheEntry {
     outputs: Vec<Data>,
 }
 
+/// Outcome of one [`Engine::apply_delta`] walk, also surfaced as the
+/// `plan.delta.{applied,fallback,rows}` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// Cached entries patched in place (memo boundaries refreshed,
+    /// aggregates merged, chains pushed through).
+    pub applied: u64,
+    /// Tainted entries with no applicable delta rule, evicted instead.
+    pub fallback: u64,
+    /// Row changes pushed into patched entries (`delta.rows()` each).
+    pub rows: u64,
+    /// Total entries removed from either cache (fallbacks plus sweeps
+    /// of deleted boxes).
+    pub evicted: u64,
+}
+
 /// Memoized result of one planned demand, keyed by the plan fingerprint
 /// (canonical plan text + boundary structural signatures), so any edit
 /// that changes the chain or anything upstream of it misses naturally.
 struct PlanCacheEntry {
     fp: u64,
     output: Data,
+    /// The pre-rewrite plan (window wrap included) whose execution
+    /// produced `output`, kept so [`Engine::apply_delta`] can push
+    /// base-table deltas through the chain and patch `output` in place.
+    plan: plan::Plan,
 }
 
 /// Default capacity of the finished-[`DemandTrace`] ring (oldest evicted
@@ -351,17 +373,13 @@ impl Engine {
         }
     }
 
-    /// Drop only the memoized results whose demand cone reads one of
-    /// `tables` — a node is evicted iff its kind reads a listed table or
-    /// any transitive input does.  Entries keyed by nodes no longer in
-    /// `graph` are evicted too (nothing can be proven about a deleted
-    /// box).  Returns the number of entries evicted.  This is what
-    /// `sys.*` refreshes use so that unrelated cached plans survive.
-    pub fn invalidate_reading(&mut self, graph: &Graph, tables: &[String]) -> u64 {
+    /// The nodes whose demand cone reads one of `tables`: every node
+    /// whose kind reads a listed table, propagated downstream to a
+    /// fixpoint (graphs are interactive-UI sized; quadratic worst case
+    /// is fine).
+    fn tainted_nodes(graph: &Graph, tables: &[String]) -> HashSet<NodeId> {
         let mut tainted: HashSet<NodeId> =
             graph.nodes().filter(|n| Self::kind_reads(&n.kind, tables)).map(|n| n.id).collect();
-        // Propagate downstream to a fixpoint (graphs are interactive-UI
-        // sized; quadratic worst case is fine).
         loop {
             let mut grew = false;
             for n in graph.nodes() {
@@ -376,6 +394,17 @@ impl Engine {
                 break;
             }
         }
+        tainted
+    }
+
+    /// Drop only the memoized results whose demand cone reads one of
+    /// `tables` — a node is evicted iff its kind reads a listed table or
+    /// any transitive input does.  Entries keyed by nodes no longer in
+    /// `graph` are evicted too (nothing can be proven about a deleted
+    /// box).  Returns the number of entries evicted.  This is what
+    /// `sys.*` refreshes use so that unrelated cached plans survive.
+    pub fn invalidate_reading(&mut self, graph: &Graph, tables: &[String]) -> u64 {
+        let tainted = Self::tainted_nodes(graph, tables);
         let before = self.cache.len() + self.plan_cache.len();
         self.cache.retain(|id, _| graph.node(*id).is_ok() && !tainted.contains(id));
         self.plan_cache.retain(|(id, _), _| graph.node(*id).is_ok() && !tainted.contains(id));
@@ -383,12 +412,206 @@ impl Engine {
         self.recorder.add("cache.invalidations", 1);
         self.recorder.add("cache.invalidated_entries", evicted);
         if let Some(j) = &self.journal {
-            j.append(SessionEvent::CacheInvalidation {
-                scope: "selective".into(),
-                entries: evicted,
-            });
+            // The journaled scope carries the *actual* table list so
+            // `sys.events` and replay can tell a selective eviction from
+            // a full flush (whose scope is `"all"`).
+            j.append(SessionEvent::CacheInvalidation { scope: tables.join(","), entries: evicted });
         }
         evicted
+    }
+
+    /// Propagate a committed base-table [`Delta`] through the caches:
+    /// patch every memoized result a delta rule covers in place, evict
+    /// (selectively — never [`Engine::invalidate_all`]) the tainted
+    /// entries no rule covers, and leave everything whose demand cone
+    /// does not read the edited table untouched.
+    ///
+    /// Rules, per cached entry:
+    /// * **Table boundary** memo entries for the edited table are
+    ///   refreshed from the catalog (a snapshot + display-header
+    ///   rebuild, O(1) in Arc clones — tuples are shared).
+    /// * **Mergeable aggregates** — an `Aggregate` box fed directly by
+    ///   the edited table — are patched by
+    ///   [`tioga2_relational::aggregate::patch_aggregate_update`].
+    /// * **Plan-cache chains** of Restrict / Project / Rename (window
+    ///   wraps included) over the edited table are patched by
+    ///   [`plan::patch_chain`].
+    /// * Everything else tainted falls back to eviction: Sort, Distinct,
+    ///   Sample, Limit, Join, `__seq`-dependent predicates, Custom
+    ///   boxes, multi-source plans, aggregate ties/floats.
+    ///
+    /// Fingerprints and structural signatures exclude base-table
+    /// contents, so a patched entry keeps hitting.  Each patch attempt
+    /// charges the engine budget (`delta.rows()` per entry) and passes
+    /// the `delta` fault site; a budget denial, injected fault, or panic
+    /// inside a patch evicts that entry instead — a fault mid-delta can
+    /// never leave a poisoned cache.
+    pub fn apply_delta(&mut self, graph: &Graph, delta: &Delta) -> DeltaOutcome {
+        let tables = [delta.table.clone()];
+        let tainted = Self::tainted_nodes(graph, &tables);
+        let meter = self.budget.as_ref().map(|b| b.start());
+        let faults = self.faults.clone().or_else(fault::current);
+        // One fresh display relation serves every reference to the table
+        // (display headers are schema-derived, not content-derived).
+        let base = self
+            .catalog
+            .snapshot(&delta.table)
+            .ok()
+            .and_then(|rel| make_display_relation(rel, delta.table.clone()).ok());
+        let mut out = DeltaOutcome::default();
+        let mut coord = 0u64;
+
+        // Budget + fault + panic containment around one patch attempt:
+        // any denial degrades to eviction for that entry only.
+        let mut guard = |f: &mut dyn FnMut() -> Option<Data>| -> Option<Data> {
+            coord += 1;
+            if let Some(m) = &meter {
+                m.charge(delta.rows()).ok()?;
+            }
+            // The fault trip goes *inside* the containment: a panic
+            // action must degrade to eviction exactly like a real one.
+            let site = coord - 1;
+            let faults = faults.as_ref();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(fp) = faults {
+                    fp.trip("delta", site).ok()?;
+                }
+                f()
+            }))
+            .ok()
+            .flatten()
+        };
+
+        // Box memo cache.
+        let ids: Vec<NodeId> = self.cache.keys().copied().collect();
+        for id in ids {
+            if graph.node(id).is_err() {
+                self.cache.remove(&id);
+                out.evicted += 1;
+                continue;
+            }
+            if !tainted.contains(&id) {
+                continue;
+            }
+            let patched = {
+                let cache = &self.cache;
+                guard(&mut || {
+                    Self::patch_memo_entry(graph, id, cache.get(&id)?, base.as_ref()?, delta)
+                })
+            };
+            match patched {
+                Some(data) => {
+                    let entry = self.cache.get_mut(&id).expect("present above");
+                    entry.outputs = vec![data];
+                    out.applied += 1;
+                    out.rows += delta.rows();
+                }
+                None => {
+                    self.cache.remove(&id);
+                    out.fallback += 1;
+                    out.evicted += 1;
+                }
+            }
+        }
+
+        // Plan cache.
+        let keys: Vec<(NodeId, usize)> = self.plan_cache.keys().copied().collect();
+        for key in keys {
+            if graph.node(key.0).is_err() {
+                self.plan_cache.remove(&key);
+                out.evicted += 1;
+                continue;
+            }
+            let entry = self.plan_cache.get(&key).expect("key just listed");
+            let srcs = entry.plan.sources();
+            if !srcs.iter().any(|(n, _)| tainted.contains(n)) {
+                continue; // demand cone never reads the edited table
+            }
+            let single_table_src = srcs.len() == 1
+                && graph
+                    .node(srcs[0].0)
+                    .is_ok_and(|n| matches!(&n.kind, BoxKind::Table(t) if *t == delta.table));
+            let patched = if single_table_src {
+                let (plan_ref, output_ref) = (&entry.plan, &entry.output);
+                guard(&mut || {
+                    let Data::D(Displayable::R(dr)) = output_ref else { return None };
+                    let patched = plan::patch_chain(plan_ref, base.as_ref()?, dr, &delta.changes)?;
+                    Some(Data::D(Displayable::R(patched)))
+                })
+            } else {
+                None
+            };
+            match patched {
+                Some(data) => {
+                    self.plan_cache.get_mut(&key).expect("present above").output = data;
+                    out.applied += 1;
+                    out.rows += delta.rows();
+                }
+                None => {
+                    self.plan_cache.remove(&key);
+                    out.fallback += 1;
+                    out.evicted += 1;
+                }
+            }
+        }
+
+        self.recorder.add("plan.delta.applied", out.applied);
+        self.recorder.add("plan.delta.fallback", out.fallback);
+        self.recorder.add("plan.delta.rows", out.rows);
+        if out.evicted > 0 {
+            self.recorder.add("cache.invalidations", 1);
+            self.recorder.add("cache.invalidated_entries", out.evicted);
+        }
+        if let Some(j) = &self.journal {
+            j.append(SessionEvent::CacheInvalidation {
+                scope: delta.table.clone(),
+                entries: out.evicted,
+            });
+        }
+        out
+    }
+
+    /// The delta rules for one box memo entry; `None` means fallback.
+    fn patch_memo_entry(
+        graph: &Graph,
+        id: NodeId,
+        entry: &CacheEntry,
+        base: &DisplayRelation,
+        delta: &Delta,
+    ) -> Option<Data> {
+        let node = graph.node(id).ok()?;
+        match &node.kind {
+            // The edited table itself: refresh the boundary from the
+            // catalog (same structural signature — contents are outside
+            // it — so downstream fingerprints keep matching).
+            BoxKind::Table(t) if *t == delta.table => Some(Data::D(Displayable::R(base.clone()))),
+            // A mergeable aggregate directly over the edited table.
+            BoxKind::RelOp { op: RelOpKind::Aggregate { keys, aggs }, .. } => {
+                let (src, sport) = node.inputs.first()?.as_ref()?;
+                if *sport != 0
+                    || node.inputs.len() != 1
+                    || !matches!(&graph.node(*src).ok()?.kind,
+                                 BoxKind::Table(t) if *t == delta.table)
+                {
+                    return None;
+                }
+                let [Data::D(Displayable::R(dr))] = entry.outputs.as_slice() else {
+                    return None;
+                };
+                let krefs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                let mut rel = dr.rel.clone();
+                for ch in &delta.changes {
+                    let RowChange::Update { old, new } = ch else { return None };
+                    rel = tioga2_relational::aggregate::patch_aggregate_update(
+                        &base.rel, &rel, &krefs, aggs, old, new,
+                    )?;
+                }
+                let mut out = dr.clone();
+                out.rel = rel;
+                Some(Data::D(Displayable::R(out)))
+            }
+            _ => None,
+        }
     }
 
     /// Demand the value on `(node, out_port)` of `graph`.
@@ -692,7 +915,7 @@ impl Engine {
             }
         };
         let data = Data::D(Displayable::R(out_dr));
-        self.plan_cache.insert((node, port), PlanCacheEntry { fp, output: data.clone() });
+        self.plan_cache.insert((node, port), PlanCacheEntry { fp, output: data.clone(), plan });
         let trace = push_trace(self, &es, "ok");
         Ok((data, trace))
     }

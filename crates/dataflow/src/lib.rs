@@ -38,7 +38,7 @@ pub mod port;
 pub use boxes::{BoxKind, BoxRegistry, BoxTemplate, CustomBox};
 pub use edit::Journal;
 pub use encapsulate::EncapsulatedDef;
-pub use engine::{Engine, EvalStats};
+pub use engine::{DeltaOutcome, Engine, EvalStats};
 pub use error::FlowError;
 pub use graph::{Graph, Node, NodeId};
 pub use lower::lower;

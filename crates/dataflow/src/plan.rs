@@ -27,7 +27,8 @@ use tioga2_display::DisplayRelation;
 use tioga2_expr::{BinOp, Expr};
 use tioga2_relational::ops::{self, join_renames};
 use tioga2_relational::{
-    BudgetMeter, FaultPlan, OpCell, ParPipeline, Relation, TupleStream, SEQ_ATTR,
+    BudgetMeter, FaultPlan, OpCell, ParPipeline, Relation, Tuple, TupleContext, TupleStream,
+    SEQ_ATTR,
 };
 
 use crate::boxes::RelOpKind;
@@ -314,6 +315,167 @@ pub fn header_of(plan: &Plan, srcs: &SourceMap) -> Result<DisplayRelation, FlowE
             Ok(redefault(joined, &lh)?)
         }
     }
+}
+
+/// Delta rule for pure unary Restrict / Project / Rename chains over a
+/// single base-table source: patch `cached` — the memoized output of
+/// `plan` — in place for the row changes of a base-table delta, instead
+/// of evicting and recomputing the whole chain.
+///
+/// Soundness rests on three chain invariants: these operators are 1:1
+/// (or filtering) and order-preserving over the base scan, they
+/// preserve `row_id` (project rebuilds values but keeps identity,
+/// rename is schema-only), and — checked here per stage — no restrict
+/// predicate's transitive closure observes `__seq`, so membership of a
+/// tuple is decided by its values alone, independent of position.
+/// Any other operator (Sort, Distinct, Sample, Limit, Join), a
+/// `__seq`-dependent predicate, or an evaluation error returns `None`
+/// and the caller falls back to invalidation.
+///
+/// `base` is the *post-update* display relation of the table source
+/// (headers are content-independent, so replaying stage metadata on it
+/// is exact); `cached` is patched copy-on-write and returned.
+pub fn patch_chain(
+    plan: &Plan,
+    base: &DisplayRelation,
+    cached: &DisplayRelation,
+    changes: &[tioga2_relational::RowChange],
+) -> Option<DisplayRelation> {
+    use tioga2_relational::RowChange;
+
+    // Walk root -> source, collecting the patchable stages.
+    enum Stage<'a> {
+        Restrict(&'a Expr),
+        Project(&'a [String]),
+        Rename(&'a str, &'a str),
+    }
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut cur = plan;
+    loop {
+        match cur {
+            Plan::Source { .. } => break,
+            Plan::Restrict { input, pred } => {
+                stages.push(Stage::Restrict(pred));
+                cur = input;
+            }
+            Plan::Project { input, cols } => {
+                stages.push(Stage::Project(cols));
+                cur = input;
+            }
+            Plan::Rename { input, from, to } => {
+                stages.push(Stage::Rename(from, to));
+                cur = input;
+            }
+            _ => return None,
+        }
+    }
+    stages.reverse();
+
+    // Replay the *input* header of every stage bottom-up (`__seq`-free
+    // predicate closures are checked against the header they evaluate
+    // on, exactly as the rewriter does).
+    let mut header = base.clone();
+    header.rel = header.rel.with_tuples(Vec::new());
+    let mut in_headers: Vec<DisplayRelation> = Vec::with_capacity(stages.len());
+    for s in &stages {
+        in_headers.push(header.clone());
+        let op = match s {
+            Stage::Restrict(pred) => {
+                if closure_uses_seq(pred, &header.rel) {
+                    return None;
+                }
+                RelOpKind::Restrict((*pred).clone())
+            }
+            Stage::Project(cols) => RelOpKind::Project(cols.to_vec()),
+            Stage::Rename(from, to) => {
+                RelOpKind::Rename { from: (*from).to_string(), to: (*to).to_string() }
+            }
+        };
+        header = apply_rel_op(&op, &header).ok()?;
+    }
+
+    // Push one tuple through all stages: `Some(t)` survives, `None` is
+    // filtered out.  Errors surface as a fallback via `?` in the caller.
+    let push = |t: &Tuple| -> Result<Option<Tuple>, FlowError> {
+        let mut cur = t.clone();
+        for (s, h) in stages.iter().zip(&in_headers) {
+            match s {
+                Stage::Restrict(pred) => {
+                    let ctx = TupleContext::new(&h.rel, &cur, 0);
+                    if !tioga2_expr::eval_predicate(pred, &ctx).map_err(FlowError::from)? {
+                        return Ok(None);
+                    }
+                }
+                Stage::Project(cols) => {
+                    let mut vals = Vec::with_capacity(cols.len());
+                    for c in cols.iter() {
+                        let i = h.rel.schema().index_of(c).ok_or_else(|| {
+                            FlowError::from(tioga2_relational::RelError::UnknownAttribute(
+                                c.clone(),
+                            ))
+                        })?;
+                        vals.push(cur.values()[i].clone());
+                    }
+                    cur = Tuple::new(cur.row_id, vals);
+                }
+                // Schema-only: the tuple's values are untouched.
+                Stage::Rename(..) => {}
+            }
+        }
+        Ok(Some(cur))
+    };
+
+    let mut tuples = cached.rel.tuples().to_vec();
+    for ch in changes {
+        let find = |ts: &[Tuple], rid: u64| ts.iter().position(|t| t.row_id == rid);
+        match ch {
+            RowChange::Update { old, new } => {
+                let was_in = push(old).ok()?;
+                let now_in = push(new).ok()?;
+                match (was_in, now_in) {
+                    (Some(_), Some(n)) => {
+                        let pos = find(&tuples, old.row_id)?;
+                        tuples[pos] = n;
+                    }
+                    (Some(_), None) => {
+                        let pos = find(&tuples, old.row_id)?;
+                        tuples.remove(pos);
+                    }
+                    (None, Some(n)) => insert_in_base_order(&mut tuples, n, &base.rel)?,
+                    (None, None) => {}
+                }
+            }
+            RowChange::Insert { new } => {
+                if let Some(n) = push(new).ok()? {
+                    insert_in_base_order(&mut tuples, n, &base.rel)?;
+                }
+            }
+            RowChange::Delete { old } => {
+                // The old tuple may or may not have passed the filters;
+                // absence from the cached output is not an error.
+                if push(old).ok()?.is_some() {
+                    let pos = find(&tuples, old.row_id)?;
+                    tuples.remove(pos);
+                }
+            }
+        }
+    }
+    let mut out = cached.clone();
+    out.rel = cached.rel.with_tuples(tuples);
+    Some(out)
+}
+
+/// Insert `t` into `out` (a filtered, order-preserving projection of
+/// `base`) at the position matching base-table order: directly before
+/// the first later base row that survived, or at the end.  `None` when
+/// `t`'s row is not in `base` at all (caller falls back).
+fn insert_in_base_order(out: &mut Vec<Tuple>, t: Tuple, base: &Relation) -> Option<()> {
+    let base_pos = base.tuples().iter().position(|b| b.row_id == t.row_id)?;
+    let successors: std::collections::HashSet<u64> =
+        base.tuples()[base_pos + 1..].iter().map(|b| b.row_id).collect();
+    let at = out.iter().position(|o| successors.contains(&o.row_id)).unwrap_or(out.len());
+    out.insert(at, t);
+    Some(())
 }
 
 /// Per-rule application counts from one [`rewrite`] run.

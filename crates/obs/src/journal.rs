@@ -77,8 +77,10 @@ pub enum SessionEvent {
         threads: u64,
         detail: String,
     },
-    /// A cache invalidation: `scope` is `all` or `sys`, `entries` how
-    /// many memoized results were evicted.
+    /// A cache invalidation: `scope` is `"all"` for a full flush, or
+    /// the comma-separated list of base tables whose demand cones were
+    /// selectively evicted (or delta-patched); `entries` is how many
+    /// memoized results were evicted.
     CacheInvalidation { scope: String, entries: u64 },
     /// A recovery point embedding the full session state.
     Snapshot(Box<SessionSnapshot>),
@@ -996,6 +998,9 @@ mod tests {
                 detail: "row budget exhausted".into(),
             },
             SessionEvent::CacheInvalidation { scope: "all".into(), entries: 12 },
+            // Selective scopes carry the edited/refreshed table list so
+            // replay can tell them from a full flush.
+            SessionEvent::CacheInvalidation { scope: "Stations,sys.counters".into(), entries: 3 },
             SessionEvent::Snapshot(Box::new(SessionSnapshot {
                 program: "TIOGA2-PROGRAM v1\n(graph (nodes) (edges))\n".into(),
                 tables: vec![("Stations".into(), "TIOGA2-RELATION v1\n...".into())],
@@ -1056,11 +1061,12 @@ mod tests {
         let restored = EventLog::from_jsonl(&log.to_jsonl()).unwrap();
         assert_eq!(restored.len(), log.len());
         assert_eq!(restored.last_seq(), log.last_seq());
-        assert_eq!(restored.last_snapshot_seq(), Some(10));
+        let snap_seq = sample_events().len() as u64; // snapshot is the last sample event
+        assert_eq!(restored.last_snapshot_seq(), Some(snap_seq));
         // Appends continue after the loaded sequence numbers.
         let seq = restored.append(SessionEvent::Undo).unwrap();
         assert_eq!(Some(seq), restored.last_seq());
-        assert!(seq > 10);
+        assert!(seq > snap_seq);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::error::RelError;
 use crate::relation::Relation;
 use crate::schema::{Field, Schema};
-use crate::tuple::TupleContext;
+use crate::tuple::{Tuple, TupleContext};
 use std::collections::HashMap;
 use tioga2_expr::{Context, Expr, ScalarType, Value};
 
@@ -379,6 +379,140 @@ pub fn aggregate_threaded(
         out.push_row(row)?;
     }
     Ok(out)
+}
+
+/// Try to patch a memoized `aggregate(rel, keys, aggs)` output in place
+/// for one in-place row update `old -> new` on the input, instead of
+/// recomputing the whole grouping.  Returns `None` whenever the merge
+/// cannot be proven byte-identical to a from-scratch recompute — the
+/// caller then falls back to invalidation.  The mergeable cases:
+///
+/// * `count(*)` — row count is unchanged by an update;
+/// * `count(attr)` — adjust by the null transition of the edited cell;
+/// * `sum(attr)` over `Int` — exact modular arithmetic, so
+///   `cached - old + new` equals the recomputed fold (float sums
+///   reassociate and are *not* patched);
+/// * `min`/`max` — when the new value strictly improves the cached
+///   extremum, or both old and new are strictly irrelevant to it; any
+///   tie (old or new comparing equal to the extremum) falls back, since
+///   first-seen tie-breaking depends on scan order.
+///
+/// Group-key changes, `avg`, position-dependent (`__seq`) keys or
+/// inputs, and inserts/deletes all return `None`.
+pub fn patch_aggregate_update(
+    rel: &Relation,
+    cached: &Relation,
+    keys: &[&str],
+    aggs: &[AggSpec],
+    old: &Tuple,
+    new: &Tuple,
+) -> Option<Relation> {
+    if aggs.is_empty() || cached.schema().fields().len() != keys.len() + aggs.len() {
+        return None;
+    }
+    // Position-dependent keys or inputs: the edited row's `__seq` is not
+    // recoverable here, so no rule applies.
+    if keys.iter().any(|k| attr_uses_seq(rel, k))
+        || aggs.iter().any(|a| a.attr.as_deref().is_some_and(|at| attr_uses_seq(rel, at)))
+    {
+        return None;
+    }
+    let ctx_old = TupleContext::new(rel, old, 0);
+    let ctx_new = TupleContext::new(rel, new, 0);
+    let key_old: Vec<Value> = keys.iter().map(|k| ctx_old.get(k).unwrap_or(Value::Null)).collect();
+    let key_new: Vec<Value> = keys.iter().map(|k| ctx_new.get(k).unwrap_or(Value::Null)).collect();
+    // The row must stay in its group, with a representation-identical
+    // key (the cached group row stores first-seen key values; `-0.0`
+    // vs `0.0` share a group key but render differently).
+    if group_key(&key_old) != group_key(&key_new)
+        || key_old != key_new
+        || key_old.iter().zip(&key_new).any(|(a, b)| a.display_text() != b.display_text())
+    {
+        return None;
+    }
+    let target = group_key(&key_new);
+    let pos =
+        cached.tuples().iter().position(|t| group_key(&t.values()[..keys.len()]) == target)?;
+    let mut patched = cached.tuples()[pos].clone();
+    for (i, a) in aggs.iter().enumerate() {
+        let ci = keys.len() + i;
+        let (v_old, v_new) = match &a.attr {
+            Some(attr) => {
+                (ctx_old.get(attr).unwrap_or(Value::Null), ctx_new.get(attr).unwrap_or(Value::Null))
+            }
+            None => (Value::Int(1), Value::Int(1)),
+        };
+        // Unchanged contribution (NaN compares unequal and falls through
+        // to the per-function rules, which reject it).
+        if v_old == v_new && v_old.display_text() == v_new.display_text() {
+            continue;
+        }
+        let cell = patched.values()[ci].clone();
+        let next = match a.func {
+            AggFunc::Count if a.attr.is_none() => continue,
+            AggFunc::Count => {
+                let d = i64::from(!v_new.is_null()) - i64::from(!v_old.is_null());
+                if d == 0 {
+                    continue;
+                }
+                match cell {
+                    Value::Int(c) => Value::Int(c + d),
+                    _ => return None,
+                }
+            }
+            AggFunc::Sum => {
+                if rel.attr_type(a.attr.as_deref()?)? != ScalarType::Int {
+                    return None; // float sums reassociate
+                }
+                match (&v_old, &v_new, &cell) {
+                    (Value::Null, Value::Int(y), Value::Null) => Value::Int(*y),
+                    (Value::Null, Value::Int(y), Value::Int(c)) => Value::Int(c.wrapping_add(*y)),
+                    // Removing the last non-null contribution may leave
+                    // an all-null group (sum = NULL): not decidable from
+                    // the cached cell alone.
+                    (Value::Int(_), Value::Null, _) => return None,
+                    (Value::Int(x), Value::Int(y), Value::Int(c)) => {
+                        Value::Int(c.wrapping_sub(*x).wrapping_add(*y))
+                    }
+                    _ => return None,
+                }
+            }
+            AggFunc::Avg => return None,
+            AggFunc::Min | AggFunc::Max => {
+                let improves = |v: &Value, c: &Value| match a.func {
+                    AggFunc::Min => v.total_cmp(c).is_lt(),
+                    _ => v.total_cmp(c).is_gt(),
+                };
+                // Is the old contribution provably irrelevant?
+                match (&v_old, &cell) {
+                    (Value::Null, _) => {}
+                    (_, Value::Null) => return None, // cached says "no rows" yet old contributed
+                    (o, c) => {
+                        if o.total_cmp(c).is_eq() || improves(o, c) {
+                            return None; // old may *be* the extremum
+                        }
+                    }
+                }
+                match (&v_new, &cell) {
+                    (Value::Null, _) => continue,
+                    (n, Value::Null) => n.clone(),
+                    (n, c) => {
+                        if improves(n, c) {
+                            n.clone()
+                        } else if n.total_cmp(c).is_eq() {
+                            return None; // tie: first-seen order decides
+                        } else {
+                            continue;
+                        }
+                    }
+                }
+            }
+        };
+        patched = patched.with_value(ci, next);
+    }
+    let mut tuples = cached.tuples().to_vec();
+    tuples[pos] = patched;
+    Some(cached.with_tuples(tuples))
 }
 
 /// DISTINCT on the given attributes (all stored fields if empty),

@@ -1,0 +1,99 @@
+//! Tuple-level deltas (ROADMAP item 3: "propagate deltas, not
+//! invalidations").
+//!
+//! A committed §8 update on a base table is a *local* edit: one tuple
+//! changed, everything else is untouched.  Rather than describing the
+//! edit as "something changed somewhere" (which forces cache
+//! invalidation), a [`Delta`] names the table and carries the exact
+//! before/after tuples, so downstream operators can patch memoized
+//! results in place.  An update is modeled as the classic
+//! delete-old/insert-new pair collapsed into one [`RowChange::Update`]
+//! so consumers that care (aggregates) can see both sides at once,
+//! while chain operators may still treat it as remove+add.
+
+use crate::tuple::Tuple;
+
+/// One row-level change against a base table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowChange {
+    /// An in-place field edit: same `row_id`, same position, new values.
+    Update { old: Tuple, new: Tuple },
+    /// A newly appended row.
+    Insert { new: Tuple },
+    /// A removed row.
+    Delete { old: Tuple },
+}
+
+impl RowChange {
+    /// The stable row identity this change concerns.
+    pub fn row_id(&self) -> u64 {
+        match self {
+            RowChange::Update { new, .. } | RowChange::Insert { new } => new.row_id,
+            RowChange::Delete { old } => old.row_id,
+        }
+    }
+}
+
+/// A set of row changes committed against one base table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// The catalog name of the edited base table.
+    pub table: String,
+    /// The row changes, in commit order.
+    pub changes: Vec<RowChange>,
+}
+
+impl Delta {
+    /// A delta holding a single in-place update.
+    pub fn update(table: impl Into<String>, old: Tuple, new: Tuple) -> Self {
+        Delta { table: table.into(), changes: vec![RowChange::Update { old, new }] }
+    }
+
+    /// A delta holding a single insert.
+    pub fn insert(table: impl Into<String>, new: Tuple) -> Self {
+        Delta { table: table.into(), changes: vec![RowChange::Insert { new }] }
+    }
+
+    /// A delta holding a single delete.
+    pub fn delete(table: impl Into<String>, old: Tuple) -> Self {
+        Delta { table: table.into(), changes: vec![RowChange::Delete { old }] }
+    }
+
+    /// How many row changes this delta carries (the unit charged to the
+    /// budget meter and reported as `plan.delta.rows`).
+    pub fn rows(&self) -> u64 {
+        self.changes.len() as u64
+    }
+
+    /// True when every change is an in-place [`RowChange::Update`].
+    pub fn updates_only(&self) -> bool {
+        self.changes.iter().all(|c| matches!(c, RowChange::Update { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tioga2_expr::Value;
+
+    fn tup(id: u64, v: i64) -> Tuple {
+        Tuple::new(id, vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn constructors_and_rows() {
+        let d = Delta::update("t", tup(1, 10), tup(1, 11));
+        assert_eq!(d.table, "t");
+        assert_eq!(d.rows(), 1);
+        assert!(d.updates_only());
+        assert_eq!(d.changes[0].row_id(), 1);
+
+        let d = Delta::insert("t", tup(2, 5));
+        assert!(!d.updates_only());
+        assert_eq!(d.changes[0].row_id(), 2);
+
+        let d = Delta::delete("t", tup(3, 5));
+        assert!(!d.updates_only());
+        assert_eq!(d.changes[0].row_id(), 3);
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod aggregate;
 pub mod catalog;
+pub mod delta;
 pub mod error;
 pub mod fault;
 pub mod govern;
@@ -32,6 +33,7 @@ pub mod update;
 
 pub use aggregate::{aggregate, distinct, limit, rename, AggFunc, AggSpec};
 pub use catalog::Catalog;
+pub use delta::{Delta, RowChange};
 pub use error::RelError;
 pub use fault::{FaultAction, FaultPlan, FaultSpec};
 pub use govern::{Budget, BudgetMeter, CancelToken, GOVERN_CHECK_PERIOD};

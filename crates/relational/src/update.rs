@@ -11,6 +11,7 @@
 //! its stable `row_id` and installing a new value with full type checking.
 
 use crate::catalog::Catalog;
+use crate::delta::Delta;
 use crate::error::RelError;
 use crate::relation::Relation;
 use tioga2_expr::Value;
@@ -78,6 +79,33 @@ pub fn install_update(
     let mut rel = handle.write();
     update_row(&mut rel, row_id, changes)?;
     Ok(row_id)
+}
+
+/// Install changes like [`install_update`], but also capture the exact
+/// before/after tuples as a [`Delta`] so callers can propagate the edit
+/// through memoized dataflow results instead of invalidating them.
+pub fn install_update_delta(
+    catalog: &Catalog,
+    table: &str,
+    row_id: u64,
+    changes: &[FieldChange],
+) -> Result<Delta, RelError> {
+    let handle = catalog.get(table)?;
+    let mut rel = handle.write();
+    let old = rel
+        .tuples()
+        .iter()
+        .find(|t| t.row_id == row_id)
+        .cloned()
+        .ok_or_else(|| RelError::Update(format!("no row with id {row_id}")))?;
+    update_row(&mut rel, row_id, changes)?;
+    let new = rel
+        .tuples()
+        .iter()
+        .find(|t| t.row_id == row_id)
+        .cloned()
+        .expect("updated row still present: update_row replaces in place");
+    Ok(Delta::update(table, old, new))
 }
 
 /// Delete the row with identity `row_id` from base table `table`.

@@ -41,10 +41,16 @@ pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
     if r.read_line(&mut header)? == 0 {
         return Ok(None);
     }
-    let len: usize = header
-        .trim()
-        .parse()
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad frame length"))?;
+    // Accept exactly what `write_frame` emits: canonical ASCII digits —
+    // no sign, no whitespace padding, no leading zeros ("0" itself is
+    // canonical).  `trim().parse()` would also take " 5 ", "+5" and
+    // "005", silently admitting frames no conforming peer ever sends.
+    let digits = header.strip_suffix('\n').unwrap_or(&header);
+    let canonical = !digits.is_empty()
+        && digits.bytes().all(|b| b.is_ascii_digit())
+        && (digits == "0" || !digits.starts_with('0'));
+    let len: usize = if canonical { digits.parse().ok() } else { None }
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad frame length"))?;
     if len > MAX_FRAME {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
     }
@@ -128,6 +134,25 @@ mod tests {
         let huge = format!("{}\n", MAX_FRAME + 1);
         let mut r = io::BufReader::new(huge.as_bytes());
         assert!(read_frame(&mut r).is_err(), "oversized frame rejected before allocation");
+    }
+
+    #[test]
+    fn frame_length_must_be_canonical() {
+        // Each of these parses under `trim().parse()` but is not a
+        // header `write_frame` can emit — all must be InvalidData.
+        for bad in [" 5 \n", "+5\n", "05\n", "005\n", " 0\n", "5 \n", "\n", "+0\n", "-0\n"] {
+            let input = format!("{bad}hello\n");
+            let mut r = io::BufReader::new(input.as_bytes());
+            let err = read_frame(&mut r).expect_err(&format!("{bad:?} accepted"));
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bad:?}");
+        }
+        // Canonical zero is still fine.
+        let mut r = io::BufReader::new(&b"0\n\n"[..]);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "");
+        // And a header without the trailing newline (EOF mid-header)
+        // stays an error, not a panic.
+        let mut r = io::BufReader::new(&b"12"[..]);
+        assert!(read_frame(&mut r).is_err());
     }
 
     #[test]

@@ -19,6 +19,11 @@
 #       sites and rebuild them from the event journal alone
 #       (tests/kill_recover.rs): byte-identical canvases, demand
 #       results, and catalog at 1, 2, and 8 recovery workers
+#   delta-equivalence leg           — property tests that a committed
+#       tuple edit propagated as a delta (tests/delta_equivalence.rs)
+#       leaves every cache byte-identical to recompute-from-scratch,
+#       run serial and with the parallel executor, with chaos faults
+#       injected mid-delta
 #   governed leg                    — the whole root test suite under a
 #       generous TIOGA2_BUDGET: governance checkpoints run everywhere and
 #       must never trip on healthy workloads
@@ -48,6 +53,8 @@ cargo bench -p tioga2-bench --bench obs_overhead
 cargo test -q --test chaos
 TIOGA2_FAULTS='scan:0=err' cargo test -q --test chaos env_fault_plan
 cargo test -q --test kill_recover
+TIOGA2_THREADS=1 cargo test -q --test delta_equivalence
+TIOGA2_THREADS=4 cargo test -q --test delta_equivalence
 TIOGA2_BUDGET='rows=50000000,ms=600000' cargo test -q
 cargo run --release --example self_monitor
 
@@ -76,7 +83,10 @@ test -s BENCH_figures.json || { echo "ci: BENCH_figures.json is missing or empty
 for key in a5_plan_pushdown a6_parallel_scaling_t1 a6_parallel_scaling_t2 \
            a6_parallel_scaling_t4 a7_self_monitoring a8_journal_recovery \
            a9_server_scaling_s1 a9_server_scaling_s4 a9_server_scaling_s16 \
-           a9_server_scaling_s64; do
+           a9_server_scaling_s64 \
+           a10_edit_delta_1k a10_edit_invalidate_1k \
+           a10_edit_delta_10k a10_edit_invalidate_10k \
+           a10_edit_delta_100k a10_edit_invalidate_100k; do
     grep -q "\"$key\"" BENCH_figures.json \
         || { echo "ci: BENCH_figures.json is missing '$key'" >&2; exit 1; }
 done
