@@ -64,6 +64,19 @@ pub enum TraceCmd {
     Folded(String),
 }
 
+/// `:slowlog` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlowlogCmd {
+    /// Show the armed state and every captured slow demand.
+    Show,
+    /// Disarm capture (entries are kept).
+    Off,
+    /// Arm at a millisecond threshold (0 captures every traced demand).
+    Threshold(u64),
+    /// Drop the captured entries.
+    Clear,
+}
+
 /// `:journal` subcommands.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JournalCmd {
@@ -161,6 +174,7 @@ pub enum Command {
     Budget(BudgetCmd),
     Faults(FaultsCmd),
     Trace(TraceCmd),
+    Slowlog(SlowlogCmd),
     Journal(JournalCmd),
     Rewind(Option<usize>),
     Replay(Option<usize>),
@@ -542,6 +556,12 @@ pub const COMMANDS: &[CommandSpec] = &[
         usage: ":trace on|off|export <p>|prom <p>|folded <p>",
         summary: "span/histogram collection + exports",
         example: ":trace export out/trace.json",
+    },
+    CommandSpec {
+        name: ":slowlog",
+        usage: ":slowlog [<ms>|off|clear]",
+        summary: "slow-demand ring: show, arm threshold, disarm",
+        example: ":slowlog 250",
     },
     CommandSpec {
         name: ":journal",
@@ -1124,6 +1144,19 @@ impl Command {
                     }
                 }
             }
+            ":slowlog" | "slowlog" => {
+                if args.is_empty() {
+                    Command::Slowlog(SlowlogCmd::Show)
+                } else {
+                    match args[0] {
+                        "off" => Command::Slowlog(SlowlogCmd::Off),
+                        "clear" => Command::Slowlog(SlowlogCmd::Clear),
+                        ms => Command::Slowlog(SlowlogCmd::Threshold(ms.parse().map_err(
+                            |_| format!("':slowlog {ms}': expected a millisecond threshold, 'off', or 'clear'"),
+                        )?)),
+                    }
+                }
+            }
             ":journal" | "journal" => {
                 if args.is_empty() {
                     Command::Journal(JournalCmd::Status)
@@ -1306,6 +1339,10 @@ impl Command {
             Trace(TraceCmd::Export(p)) => format!(":trace export {p}"),
             Trace(TraceCmd::Prom(p)) => format!(":trace prom {p}"),
             Trace(TraceCmd::Folded(p)) => format!(":trace folded {p}"),
+            Slowlog(SlowlogCmd::Show) => ":slowlog".to_string(),
+            Slowlog(SlowlogCmd::Off) => ":slowlog off".to_string(),
+            Slowlog(SlowlogCmd::Clear) => ":slowlog clear".to_string(),
+            Slowlog(SlowlogCmd::Threshold(ms)) => format!(":slowlog {ms}"),
             Journal(JournalCmd::Status) => ":journal".to_string(),
             Journal(JournalCmd::Tail(None)) => ":journal tail".to_string(),
             Journal(JournalCmd::Tail(Some(n))) => format!(":journal tail {n}"),
@@ -1796,6 +1833,21 @@ pub fn dispatch(session: &mut Session, cmd: &Command) -> CommandResult {
             std::fs::write(path, text).map_err(|e| e.to_string())?;
             msg(format!("{path} written ({} demand trace(s))", traces.len()))
         }
+        Command::Slowlog(SlowlogCmd::Show) => msg(session.slowlog().render()),
+        Command::Slowlog(SlowlogCmd::Off) => {
+            session.slowlog().disarm();
+            msg("slowlog off (captured entries kept; ':slowlog clear' drops them)".to_string())
+        }
+        Command::Slowlog(SlowlogCmd::Clear) => {
+            session.slowlog().clear();
+            msg("slowlog cleared".to_string())
+        }
+        Command::Slowlog(SlowlogCmd::Threshold(ms)) => {
+            session.slowlog().arm_ms(*ms);
+            msg(format!(
+                "slowlog armed: demands over {ms} ms are captured (':sys' refreshes sys.slow)"
+            ))
+        }
         Command::Journal(JournalCmd::Status) => {
             let ev = session.events();
             let snap = ev
@@ -1990,6 +2042,45 @@ mod tests {
         assert!(Command::parse(":explain analyze 2").unwrap().unwrap().is_demand());
         assert!(!Command::parse("restrict 0 a > 1").unwrap().unwrap().is_demand());
         assert!(!Command::parse("pan main 1 1").unwrap().unwrap().is_demand());
+    }
+
+    #[test]
+    fn slowlog_captures_demands_into_sys_slow() {
+        let catalog = Catalog::new();
+        tioga2_datagen::register_standard_catalog(&catalog, 20, 2, 3);
+        let mut s = Session::new(Environment::new(catalog));
+        // Threshold 0: every traced demand is "slow".
+        run_line(&mut s, ":slowlog 0").unwrap();
+        run_line(&mut s, "table Stations").unwrap();
+        run_line(&mut s, "restrict 0 state = 'LA'").unwrap();
+        run_line(&mut s, "show 1").unwrap();
+        assert!(!s.slowlog().entries().is_empty(), "armed slowlog captured nothing");
+
+        let text = match run_line(&mut s, ":slowlog").unwrap() {
+            Response::Message(m) => m,
+            other => panic!("{other:?}"),
+        };
+        assert!(text.contains("slowlog armed at 0 ms"), "{text}");
+        assert!(text.contains("slow demand(s) captured"), "{text}");
+
+        // The ring is an ordinary relation after a sys refresh.
+        run_line(&mut s, ":sys").unwrap();
+        run_line(&mut s, "table sys.slow").unwrap();
+        let shown = match run_line(&mut s, "show 2").unwrap() {
+            Response::Message(m) => m,
+            other => panic!("{other:?}"),
+        };
+        assert!(shown.contains("request"), "{shown}");
+        assert!(shown.contains("#1.0"), "{shown}");
+
+        // Disarm, demand again on a fresh chain: nothing new captured.
+        let before = s.slowlog().entries().len();
+        run_line(&mut s, ":slowlog off").unwrap();
+        run_line(&mut s, "restrict 0 altitude > 0").unwrap();
+        run_line(&mut s, "show 3").unwrap();
+        assert_eq!(s.slowlog().entries().len(), before);
+        run_line(&mut s, ":slowlog clear").unwrap();
+        assert!(s.slowlog().entries().is_empty());
     }
 
     #[test]

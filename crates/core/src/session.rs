@@ -132,6 +132,10 @@ pub struct Session {
     watch: Option<String>,
     /// Last journal sequence number already delivered to `:watch`.
     watch_cursor: u64,
+    /// Slow-demand ring shared with the engine (standalone sessions own
+    /// one seeded from `TIOGA2_SLOWLOG`; `tiogad` swaps in its
+    /// fleet-wide log via [`Session::install_slowlog`]).
+    slowlog: Arc<tioga2_obs::SlowLog>,
 }
 
 /// A clonable, thread-safe view of one session's in-flight demand token
@@ -159,6 +163,8 @@ impl Session {
         let mut engine = Engine::new(env.catalog.clone());
         let events = EventLog::new();
         engine.set_journal(Some(events.clone()));
+        let slowlog = Arc::new(tioga2_obs::SlowLog::from_env());
+        engine.set_slowlog(slowlog.clone(), "", "");
         Session {
             env,
             graph: Graph::new(),
@@ -182,7 +188,27 @@ impl Session {
             snapshot_every: env_snapshot_every(),
             watch: None,
             watch_cursor: 0,
+            slowlog,
         }
+    }
+
+    /// The session's slow-demand ring (see [`tioga2_obs::SlowLog`]).
+    pub fn slowlog(&self) -> &Arc<tioga2_obs::SlowLog> {
+        &self.slowlog
+    }
+
+    /// Replace the slow-demand sink and the `{tenant, session}` labels
+    /// its captures carry.  `tiogad` installs its fleet-wide log here on
+    /// attach so one ring aggregates slow demands across all tenants.
+    pub fn install_slowlog(&mut self, log: Arc<tioga2_obs::SlowLog>, tenant: &str, session: &str) {
+        self.engine.set_slowlog(log.clone(), tenant, session);
+        self.slowlog = log;
+    }
+
+    /// Stamp subsequent demands with a protocol request id (0 clears);
+    /// see [`Engine::set_request_id`].
+    pub fn set_request_id(&mut self, request_id: u64) {
+        self.engine.set_request_id(request_id);
     }
 
     /// Install an instrumentation recorder for this session and its
@@ -1545,8 +1571,8 @@ impl Session {
 
     /// Names of the self-hosted introspection tables maintained by
     /// [`Session::refresh_sys_tables`].
-    pub const SYS_TABLES: [&'static str; 4] =
-        ["sys.counters", "sys.histograms", "sys.demands", "sys.events"];
+    pub const SYS_TABLES: [&'static str; 5] =
+        ["sys.counters", "sys.histograms", "sys.demands", "sys.events", "sys.slow"];
 
     /// Publish the session's own instrumentation as ordinary catalog
     /// tables — the engine monitoring itself with its own machinery.
@@ -1558,6 +1584,10 @@ impl Session {
     ///   cache, provenance, par_workers, status)` — one tuple per
     ///   operator of every trace in the demand ring, in preorder;
     ///   `status` is `ok` or the abort class of the whole demand.
+    /// * `sys.slow(request, demand, tenant, session, label, status,
+    ///   wall_ms, threshold_ms, ops, folded)` — one tuple per captured
+    ///   slow demand (see `:slowlog`), so an ordinary box chain can
+    ///   render the engine's own slow-query dashboard.
     ///
     /// The tables are snapshots: re-run to refresh.  Because base-table
     /// contents changed outside the structural signature, all memoized
@@ -1701,6 +1731,36 @@ impl Session {
             ]);
         }
         self.env.catalog.register("sys.events", events.build()?);
+
+        // sys.slow: the slow-demand ring as a relation — request id
+        // first, because correlating wire frame -> slow trace is the
+        // point of the table.
+        let mut slow = RelationBuilder::new()
+            .field("request", T::Int)
+            .field("demand", T::Int)
+            .field("tenant", T::Text)
+            .field("session", T::Text)
+            .field("label", T::Text)
+            .field("status", T::Text)
+            .field("wall_ms", T::Float)
+            .field("threshold_ms", T::Float)
+            .field("ops", T::Int)
+            .field("folded", T::Text);
+        for e in self.slowlog.entries() {
+            slow = slow.row(vec![
+                Value::Int(e.trace.request_id as i64),
+                Value::Int(e.trace.demand_id as i64),
+                Value::Text(e.tenant),
+                Value::Text(e.session),
+                Value::Text(e.trace.label.clone()),
+                Value::Text(e.trace.status.clone()),
+                Value::Float(e.trace.total_ns as f64 / 1e6),
+                Value::Float(e.threshold_ns as f64 / 1e6),
+                Value::Int(e.trace.root.node_count() as i64),
+                Value::Text(e.folded),
+            ]);
+        }
+        self.env.catalog.register("sys.slow", slow.build()?);
 
         // Catalog contents changed outside the structural signature — but
         // only for the sys.* relations, so only plans that read them are

@@ -94,6 +94,15 @@ struct PlanCacheEntry {
 /// with `TIOGA2_TRACE_RING`, per engine with [`Engine::set_trace_ring`].
 pub const DEMAND_TRACE_RING: usize = 32;
 
+/// With a recorder enabled (but no explicit analyze and no armed
+/// slowlog), attribute one planned demand in this many.  Full
+/// attribution threads a counting/timing cell through every tuple pull
+/// — cheap per row but multiplied by every row of every monitored
+/// demand; sampling keeps fleet telemetry under its <2% overhead budget
+/// (the A11 ablation) while `sys.demands` still fills from ordinary
+/// renders.
+pub const TRACE_SAMPLE_PERIOD: u64 = 64;
+
 /// Trace-ring capacity from `TIOGA2_TRACE_RING`, clamped to >= 1;
 /// [`DEMAND_TRACE_RING`] when unset or unparsable.
 fn env_trace_ring() -> usize {
@@ -116,9 +125,13 @@ pub struct Engine {
     /// [`tioga2_relational::par::threads`] at construction.
     threads: usize,
     /// Ring of the last [`Engine::trace_ring`] per-demand trace trees.
-    /// Populated by every planned demand while an enabled recorder is
-    /// installed, and by [`Engine::demand_analyzed`] unconditionally.
+    /// Populated by [`Engine::demand_analyzed`] and while the slowlog is
+    /// armed unconditionally, and by a 1-in-[`TRACE_SAMPLE_PERIOD`]
+    /// sample of planned demands while an enabled recorder is installed.
     demand_traces: VecDeque<DemandTrace>,
+    /// Recordable plan executions seen, for the sampling decision
+    /// (plan-cache hits do not count — they never build traces).
+    trace_sample_seq: u64,
     /// Capacity of `demand_traces`; `TIOGA2_TRACE_RING` at construction.
     trace_ring: usize,
     /// Traces evicted from the ring over this engine's lifetime (also
@@ -143,6 +156,14 @@ pub struct Engine {
     /// Containment nesting depth: demand-outcome counters and panic
     /// cache-invalidation run only when the outermost frame unwinds.
     govern_depth: usize,
+    /// Protocol request id stamped onto traces and journaled demand
+    /// events until the next [`Engine::set_request_id`]; 0 outside a
+    /// request context (REPL, tests).
+    request_id: u64,
+    /// Slow-demand sink plus the `{tenant, session}` labels its entries
+    /// carry; installed by the session (standalone: from
+    /// `TIOGA2_SLOWLOG`; under `tiogad`: the daemon's fleet-wide log).
+    slowlog: Option<(Arc<tioga2_obs::SlowLog>, String, String)>,
 }
 
 fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
@@ -166,6 +187,7 @@ impl Engine {
             recorder: tioga2_obs::noop(),
             threads: tioga2_relational::par::threads(),
             demand_traces: VecDeque::new(),
+            trace_sample_seq: 0,
             trace_ring: env_trace_ring(),
             traces_dropped: 0,
             next_demand_id: 0,
@@ -174,7 +196,31 @@ impl Engine {
             meter: None,
             faults: None,
             govern_depth: 0,
+            request_id: 0,
+            slowlog: None,
         }
+    }
+
+    /// Stamp subsequent demands with a protocol request id (0 clears).
+    /// `tiogad`'s session worker sets this per frame before running the
+    /// command, so traces and journal events correlate to the wire.
+    pub fn set_request_id(&mut self, request_id: u64) {
+        self.request_id = request_id;
+    }
+
+    /// The request id subsequent demands will be stamped with.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// Install the slow-demand sink with the labels its entries carry.
+    pub fn set_slowlog(&mut self, log: Arc<tioga2_obs::SlowLog>, tenant: &str, session: &str) {
+        self.slowlog = Some((log, tenant.to_string(), session.to_string()));
+    }
+
+    /// The installed slow-demand sink, if any.
+    pub fn slowlog(&self) -> Option<&Arc<tioga2_obs::SlowLog>> {
+        self.slowlog.as_ref().map(|(log, _, _)| log)
     }
 
     /// Install (or clear) the budget applied to subsequent demands.
@@ -730,6 +776,7 @@ impl Engine {
         if let Some(j) = &self.journal {
             j.append(SessionEvent::Demand {
                 demand_id: id_before,
+                request_id: self.request_id,
                 label: format!("{node}.{port} ({name})"),
                 status,
                 rows_out,
@@ -755,14 +802,25 @@ impl Engine {
         if orig.is_source() && window.is_none() {
             return Ok((self.demand(graph, node, port)?, None));
         }
-        // Attribution runs for every planned demand while a recorder is
-        // enabled (that is what fills `sys.demands` from ordinary
-        // renders) and whenever an analyze was asked for explicitly.
-        let record = force_trace || self.recorder.is_enabled();
+        // Attribution policy.  Full per-operator attribution threads an
+        // extra counting/timing layer through every tuple pull — a few
+        // percent of demand wall time, too much to charge every gesture
+        // of every monitored session.  So: an explicit analyze and an
+        // armed slowlog attribute *every* demand (the slowlog must hold
+        // a full trace for any over-threshold demand it captures); a
+        // merely-enabled recorder attributes a 1-in-
+        // [`TRACE_SAMPLE_PERIOD`] sample (decided after the plan-cache
+        // probe, so hits never burn sample slots), which is what fills
+        // `sys.demands` from ordinary renders.  The `demand.latency_ns`
+        // histogram sees every demand either way.
+        let slow_armed =
+            self.slowlog.as_ref().is_some_and(|(log, _, _)| log.threshold_ns().is_some());
+        let mut record = force_trace || slow_armed;
+        let may_sample = self.recorder.is_enabled();
         // Canon strings of every subtree present in the user's program:
         // executed nodes outside this set were synthesized by the window
         // wrap or moved/produced by the optimizer (trace provenance).
-        let orig_canons = record.then(|| {
+        let orig_canons = (record || may_sample).then(|| {
             let mut set = HashSet::new();
             collect_canons(&orig, &mut set);
             set
@@ -793,10 +851,16 @@ impl Engine {
             if entry.fp == fp {
                 self.recorder.add("plan.cache_hits", 1);
                 if !force_trace {
+                    self.recorder.observe_ns("demand.latency_ns", t0.elapsed().as_nanos() as u64);
                     return Ok((entry.output.clone(), None));
                 }
                 would_hit = true;
             }
+        }
+        if !record && may_sample {
+            let seq = self.trace_sample_seq;
+            self.trace_sample_seq += 1;
+            record = seq.is_multiple_of(TRACE_SAMPLE_PERIOD);
         }
 
         // Evaluate the boundaries through the normal memoized path.  A
@@ -885,6 +949,7 @@ impl Engine {
                 let name = graph.node(node).map(|n| n.name()).unwrap_or_else(|_| "?".to_string());
                 let t = DemandTrace {
                     demand_id: eng.next_demand_id,
+                    request_id: eng.request_id,
                     label: format!("{node}.{port} ({name})"),
                     total_ns: t0.elapsed().as_nanos() as u64,
                     threads: eng.threads,
@@ -895,6 +960,9 @@ impl Engine {
                     root,
                 };
                 eng.next_demand_id += 1;
+                if let Some((log, tenant, session)) = &eng.slowlog {
+                    log.observe(tenant, session, &t);
+                }
                 while eng.demand_traces.len() >= eng.trace_ring {
                     eng.demand_traces.pop_front();
                     eng.traces_dropped += 1;
@@ -911,12 +979,14 @@ impl Engine {
                 // become an *aborted* trace in the ring (`:explain
                 // analyze` / `sys.demands` show how far the demand got).
                 push_trace(self, &plan::ExecStats::default(), Self::error_status(&e));
+                self.recorder.observe_ns("demand.latency_ns", t0.elapsed().as_nanos() as u64);
                 return Err(e);
             }
         };
         let data = Data::D(Displayable::R(out_dr));
         self.plan_cache.insert((node, port), PlanCacheEntry { fp, output: data.clone(), plan });
         let trace = push_trace(self, &es, "ok");
+        self.recorder.observe_ns("demand.latency_ns", t0.elapsed().as_nanos() as u64);
         Ok((data, trace))
     }
 
@@ -1844,13 +1914,28 @@ mod tests {
         let mut e = Engine::new(catalog());
         e.demand_planned(&g, r, 0).unwrap();
         assert!(e.demand_traces().is_empty(), "noop recorder: no attribution");
-        e.set_recorder(std::sync::Arc::new(InMemoryRecorder::new()));
+        let rec = std::sync::Arc::new(InMemoryRecorder::new());
+        e.set_recorder(rec.clone());
         e.invalidate_all();
         e.demand_planned(&g, r, 0).unwrap();
-        assert_eq!(e.demand_traces().len(), 1);
+        assert_eq!(e.demand_traces().len(), 1, "first recordable demand is sampled");
         let trace = &e.demand_traces()[0];
         assert_eq!(trace.root.rows_out, 3);
         assert_eq!(trace.threads, e.threads());
+        // The next TRACE_SAMPLE_PERIOD-1 recordable demands ride without
+        // attribution; the one after is sampled again.
+        for _ in 0..(TRACE_SAMPLE_PERIOD - 1) {
+            e.invalidate_all();
+            e.demand_planned(&g, r, 0).unwrap();
+        }
+        assert_eq!(e.demand_traces().len(), 1, "1-in-{TRACE_SAMPLE_PERIOD} sampling");
+        e.invalidate_all();
+        e.demand_planned(&g, r, 0).unwrap();
+        assert_eq!(e.demand_traces().len(), 2);
+        // ...but the latency histogram saw every demand, sampled or not.
+        let hists = rec.histograms();
+        let lat = hists.get("demand.latency_ns").expect("demand latency histogram");
+        assert_eq!(lat.count(), TRACE_SAMPLE_PERIOD + 1);
     }
 
     #[test]

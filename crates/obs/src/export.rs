@@ -5,6 +5,7 @@
 //! All are hand-rolled (this crate is dependency-free by design); the
 //! JSON writer escapes strings per RFC 8259.
 
+use crate::hist::Histogram;
 use crate::memory::{Event, InMemoryRecorder};
 use crate::tree::DemandTrace;
 
@@ -194,7 +195,7 @@ pub fn folded_stacks(traces: &[DemandTrace]) -> String {
 }
 
 /// Sanitize a name into a Prometheus metric/label token.
-fn prom_name(s: &str) -> String {
+pub(crate) fn prom_name(s: &str) -> String {
     let mut out: String = s
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
@@ -205,8 +206,32 @@ fn prom_name(s: &str) -> String {
     out
 }
 
+/// Append one spec-compliant Prometheus histogram series: cumulative
+/// `_bucket{le=...}` lines over the log₂ buckets (upper bounds as `le`,
+/// closing with `+Inf`), then `_sum` and `_count`.  `labels` is the
+/// pre-rendered label body *without* braces (e.g. `span="render"` or
+/// `tenant="acme",session="s3"`), empty for an unlabeled series; the
+/// `le` label is spliced in after it.  The `# TYPE {family} histogram`
+/// header is the caller's responsibility (one header per family, many
+/// series).
+pub fn histogram_series(out: &mut String, family: &str, labels: &str, h: &Histogram) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cum = 0u64;
+    for (_, hi, n) in h.nonzero_buckets() {
+        cum += n;
+        out.push_str(&format!("{family}_bucket{{{labels}{sep}le=\"{hi}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{family}_bucket{{{labels}{sep}le=\"+Inf\"}} {}\n", h.count()));
+    let braces = if labels.is_empty() { String::new() } else { format!("{{{labels}}}") };
+    out.push_str(&format!("{family}_sum{braces} {}\n", h.sum()));
+    out.push_str(&format!("{family}_count{braces} {}\n", h.count()));
+}
+
 /// Prometheus text exposition (format 0.0.4): counters, per-node cache
-/// tallies, and span-duration summaries with p50/p95/p99 quantiles.
+/// tallies, span-duration summaries with p50/p95/p99 quantiles, and —
+/// alongside the summaries, under the separate `tioga2_span_latency_ns`
+/// family so existing dashboards keep working — native histogram series
+/// with cumulative `le` buckets.
 pub fn prometheus_text(rec: &InMemoryRecorder) -> String {
     let mut out = String::new();
 
@@ -246,6 +271,11 @@ pub fn prometheus_text(rec: &InMemoryRecorder) -> String {
                 "tioga2_span_duration_ns_count{{span=\"{span}\"}} {}\n",
                 h.count()
             ));
+        }
+        out.push_str("# TYPE tioga2_span_latency_ns histogram\n");
+        for (name, h) in &histograms {
+            let labels = format!("span=\"{}\"", escape_json(name));
+            histogram_series(&mut out, "tioga2_span_latency_ns", &labels, h);
         }
     }
     out
@@ -321,6 +351,47 @@ mod tests {
             let metric = line.split(&['{', ' '][..]).next().unwrap();
             assert!(!metric.contains('.'), "unsanitized metric: {metric}");
         }
+    }
+
+    #[test]
+    fn native_histogram_family_has_cumulative_buckets() {
+        let rec = InMemoryRecorder::new();
+        for v in [3u64, 5, 100, 100] {
+            rec.observe_ns("render", v);
+        }
+        let text = prometheus_text(&rec);
+        assert!(text.contains("# TYPE tioga2_span_latency_ns histogram"), "{text}");
+        // Values 3 and 5 land in buckets [2,4) and [4,8); both 100s in
+        // [64,128).  Cumulative counts climb to the total and close +Inf.
+        assert!(
+            text.contains("tioga2_span_latency_ns_bucket{span=\"render\",le=\"4\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tioga2_span_latency_ns_bucket{span=\"render\",le=\"8\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tioga2_span_latency_ns_bucket{span=\"render\",le=\"128\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tioga2_span_latency_ns_bucket{span=\"render\",le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("tioga2_span_latency_ns_sum{span=\"render\"} 208"), "{text}");
+        assert!(text.contains("tioga2_span_latency_ns_count{span=\"render\"} 4"), "{text}");
+        // The old summary family survives for existing dashboards.
+        assert!(text.contains("tioga2_span_duration_ns_count{span=\"render\"} 4"), "{text}");
+        // An unlabeled series drops the label braces on _sum/_count.
+        let mut plain = String::new();
+        let mut h = Histogram::default();
+        h.record(9);
+        histogram_series(&mut plain, "x_ns", "", &h);
+        assert_eq!(
+            plain,
+            "x_ns_bucket{le=\"16\"} 1\nx_ns_bucket{le=\"+Inf\"} 1\nx_ns_sum 9\nx_ns_count 1\n"
+        );
     }
 
     #[test]
@@ -498,6 +569,7 @@ mod tests {
         };
         let mk = |id: u64, total: u64| DemandTrace {
             demand_id: id,
+            request_id: 0,
             label: format!("#{id}.0"),
             total_ns: total,
             threads: 1,

@@ -1,0 +1,303 @@
+//! Fleet-wide metrics aggregation for `tiogad`.
+//!
+//! A [`crate::InMemoryRecorder`] observes *one* session.  The daemon
+//! hosts many, across tenants, and an operator asking "which tenant is
+//! slow" needs every session's counters and latency histograms merged
+//! into one scrape under `{tenant, session}` labels.  [`FleetRecorder`]
+//! is that registry: each attach registers the session's recorder, each
+//! detach retires it — folding its final counters/histograms into a
+//! per-tenant "retired" aggregate so fleet totals stay monotonic and
+//! memory stays bounded no matter how many sessions come and go.
+//!
+//! The exposition is native Prometheus: counters become
+//! `tioga2_fleet_<name>{tenant,session}` series and histograms become
+//! spec-compliant `histogram` families (cumulative `_bucket{le=...}`
+//! including `+Inf`, plus `_sum`/`_count`) via
+//! [`crate::export::histogram_series`].
+
+use crate::export::{escape_json, histogram_series, prom_name};
+use crate::hist::Histogram;
+use crate::memory::InMemoryRecorder;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// `session` label used for a tenant's retired-session aggregate.  Real
+/// session ids come from `attach` and never contain parentheses.
+pub const RETIRED_SESSION_LABEL: &str = "(retired)";
+
+#[derive(Default)]
+struct Retired {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    sessions: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Live per-session recorders, keyed `(tenant, session)`.
+    live: BTreeMap<(String, String), Arc<InMemoryRecorder>>,
+    /// Folded-in state of detached sessions, per tenant.
+    retired: BTreeMap<String, Retired>,
+}
+
+/// Aggregates N per-session recorders into one labeled exposition; see
+/// the module docs.  All methods take `&self` — the daemon shares one
+/// instance across connection and session-worker threads.
+#[derive(Default)]
+pub struct FleetRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl FleetRecorder {
+    pub fn new() -> FleetRecorder {
+        FleetRecorder::default()
+    }
+
+    /// Register a session's recorder under `{tenant, session}`.
+    /// Re-registering the same key (journal-backed re-attach) replaces
+    /// the old recorder after folding it into the retired aggregate.
+    pub fn register(&self, tenant: &str, session: &str, rec: Arc<InMemoryRecorder>) {
+        let mut inner = self.inner.lock();
+        let key = (tenant.to_string(), session.to_string());
+        if let Some(old) = inner.live.insert(key, rec) {
+            fold(inner.retired.entry(tenant.to_string()).or_default(), &old);
+        }
+    }
+
+    /// Unregister a detached session, folding its final numbers into
+    /// the tenant's retired aggregate (so totals never regress).
+    pub fn retire(&self, tenant: &str, session: &str) {
+        let mut inner = self.inner.lock();
+        if let Some(rec) = inner.live.remove(&(tenant.to_string(), session.to_string())) {
+            fold(inner.retired.entry(tenant.to_string()).or_default(), &rec);
+        }
+    }
+
+    /// Live registered sessions per tenant.
+    pub fn live_sessions(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for (tenant, _) in self.inner.lock().live.keys() {
+            *out.entry(tenant.clone()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Every counter summed across all live and retired sessions.
+    pub fn counters_total(&self) -> BTreeMap<String, u64> {
+        let inner = self.inner.lock();
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        for rec in inner.live.values() {
+            for (name, v) in rec.counters() {
+                *out.entry(name).or_insert(0) += v;
+            }
+        }
+        for retired in inner.retired.values() {
+            for (name, v) in &retired.counters {
+                *out.entry(name.clone()).or_insert(0) += v;
+            }
+        }
+        out
+    }
+
+    /// Every histogram merged across all live and retired sessions.
+    pub fn histograms_total(&self) -> BTreeMap<String, Histogram> {
+        let inner = self.inner.lock();
+        let mut out: BTreeMap<String, Histogram> = BTreeMap::new();
+        for rec in inner.live.values() {
+            for (name, h) in rec.histograms() {
+                out.entry(name).or_default().merge(&h);
+            }
+        }
+        for retired in inner.retired.values() {
+            for (name, h) in &retired.histograms {
+                out.entry(name.clone()).or_default().merge(h);
+            }
+        }
+        out
+    }
+
+    /// Prometheus text exposition of the whole fleet: counters as
+    /// `tioga2_fleet_<name>{tenant,session}` series, histograms as
+    /// native `histogram` families, retired aggregates under the
+    /// [`RETIRED_SESSION_LABEL`] session.  Family-major, with one
+    /// `# TYPE` header per family; deterministic order (BTreeMap).
+    pub fn prometheus_text(&self) -> String {
+        let inner = self.inner.lock();
+        // (rendered label body, counters, histograms) per series source.
+        type SeriesSource = (String, BTreeMap<String, u64>, BTreeMap<String, Histogram>);
+        let mut series: Vec<SeriesSource> = Vec::new();
+        for ((tenant, session), rec) in &inner.live {
+            series.push((labels(tenant, session), rec.counters(), rec.histograms()));
+        }
+        for (tenant, retired) in &inner.retired {
+            if retired.sessions == 0 {
+                continue;
+            }
+            series.push((
+                labels(tenant, RETIRED_SESSION_LABEL),
+                retired.counters.clone(),
+                retired.histograms.clone(),
+            ));
+        }
+
+        let mut out = String::new();
+        let counter_families: std::collections::BTreeSet<&String> =
+            series.iter().flat_map(|(_, c, _)| c.keys()).collect();
+        for name in counter_families {
+            let metric = format!("tioga2_fleet_{}", prom_name(name));
+            out.push_str(&format!("# TYPE {metric} counter\n"));
+            for (labels, counters, _) in &series {
+                if let Some(v) = counters.get(name) {
+                    out.push_str(&format!("{metric}{{{labels}}} {v}\n"));
+                }
+            }
+        }
+        let hist_families: std::collections::BTreeSet<&String> =
+            series.iter().flat_map(|(_, _, h)| h.keys()).collect();
+        for name in hist_families {
+            let metric = format!("tioga2_fleet_{}", prom_name(name));
+            out.push_str(&format!("# TYPE {metric} histogram\n"));
+            for (labels, _, hists) in &series {
+                if let Some(h) = hists.get(name) {
+                    histogram_series(&mut out, &metric, labels, h);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn labels(tenant: &str, session: &str) -> String {
+    format!("tenant=\"{}\",session=\"{}\"", escape_json(tenant), escape_json(session))
+}
+
+fn fold(retired: &mut Retired, rec: &InMemoryRecorder) {
+    for (name, v) in rec.counters() {
+        *retired.counters.entry(name).or_insert(0) += v;
+    }
+    for (name, h) in rec.histograms() {
+        retired.histograms.entry(name).or_default().merge(&h);
+    }
+    retired.sessions += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn session_recorder(evals: u64, latencies: &[u64]) -> Arc<InMemoryRecorder> {
+        let rec = Arc::new(InMemoryRecorder::new());
+        rec.add("engine.box_evals", evals);
+        for &ns in latencies {
+            rec.observe_ns("demand.latency_ns", ns);
+        }
+        rec
+    }
+
+    #[test]
+    fn totals_equal_per_session_recorder_sums() {
+        let fleet = FleetRecorder::new();
+        let a1 = session_recorder(3, &[100, 200]);
+        let a2 = session_recorder(5, &[300]);
+        let b1 = session_recorder(7, &[50, 60, 70]);
+        fleet.register("acme", "s1", a1.clone());
+        fleet.register("acme", "s2", a2.clone());
+        fleet.register("beta", "s3", b1.clone());
+
+        assert_eq!(fleet.counters_total()["engine.box_evals"], 15);
+        let h = &fleet.histograms_total()["demand.latency_ns"];
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 100 + 200 + 300 + 50 + 60 + 70);
+        assert_eq!(
+            fleet.live_sessions(),
+            BTreeMap::from([("acme".to_string(), 2), ("beta".to_string(), 1)])
+        );
+
+        // Retiring folds the session away without losing its numbers...
+        fleet.retire("acme", "s2");
+        assert_eq!(fleet.counters_total()["engine.box_evals"], 15);
+        assert_eq!(fleet.histograms_total()["demand.latency_ns"].count(), 6);
+        assert_eq!(fleet.live_sessions().get("acme"), Some(&1));
+        // ...and the exposition moves it to the retired aggregate.
+        let text = fleet.prometheus_text();
+        assert!(
+            text.contains("tioga2_fleet_engine_box_evals{tenant=\"acme\",session=\"(retired)\"} 5"),
+            "{text}"
+        );
+        assert!(!text.contains("session=\"s2\""), "{text}");
+    }
+
+    #[test]
+    fn exposition_is_labeled_and_spec_compliant() {
+        let fleet = FleetRecorder::new();
+        fleet.register("acme", "s1", session_recorder(2, &[100]));
+        fleet.register("beta", "s2", session_recorder(4, &[1000, 1000]));
+        let text = fleet.prometheus_text();
+        assert!(text.contains("# TYPE tioga2_fleet_engine_box_evals counter"), "{text}");
+        assert!(
+            text.contains("tioga2_fleet_engine_box_evals{tenant=\"acme\",session=\"s1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tioga2_fleet_engine_box_evals{tenant=\"beta\",session=\"s2\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE tioga2_fleet_demand_latency_ns histogram"), "{text}");
+        // 100 lands in [64,128); both 1000s in [512,1024).
+        assert!(
+            text.contains(
+                "tioga2_fleet_demand_latency_ns_bucket{tenant=\"acme\",session=\"s1\",le=\"128\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "tioga2_fleet_demand_latency_ns_bucket{tenant=\"beta\",session=\"s2\",le=\"+Inf\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "tioga2_fleet_demand_latency_ns_sum{tenant=\"beta\",session=\"s2\"} 2000"
+            ),
+            "{text}"
+        );
+        // Each # TYPE header appears exactly once per family.
+        assert_eq!(text.matches("# TYPE tioga2_fleet_demand_latency_ns histogram").count(), 1);
+    }
+
+    #[test]
+    fn golden_exposition_format() {
+        // Pins the exact exposition byte-for-byte: label order, family
+        // grouping, cumulative buckets, +Inf, _sum/_count.  Change this
+        // only when the format deliberately changes.
+        let fleet = FleetRecorder::new();
+        let rec = Arc::new(InMemoryRecorder::new());
+        rec.add("engine.box_evals", 2);
+        rec.observe_ns("demand.latency_ns", 3);
+        rec.observe_ns("demand.latency_ns", 100);
+        fleet.register("acme", "s1", rec);
+        let expected = "\
+# TYPE tioga2_fleet_engine_box_evals counter
+tioga2_fleet_engine_box_evals{tenant=\"acme\",session=\"s1\"} 2
+# TYPE tioga2_fleet_demand_latency_ns histogram
+tioga2_fleet_demand_latency_ns_bucket{tenant=\"acme\",session=\"s1\",le=\"4\"} 1
+tioga2_fleet_demand_latency_ns_bucket{tenant=\"acme\",session=\"s1\",le=\"128\"} 2
+tioga2_fleet_demand_latency_ns_bucket{tenant=\"acme\",session=\"s1\",le=\"+Inf\"} 2
+tioga2_fleet_demand_latency_ns_sum{tenant=\"acme\",session=\"s1\"} 103
+tioga2_fleet_demand_latency_ns_count{tenant=\"acme\",session=\"s1\"} 2
+";
+        assert_eq!(fleet.prometheus_text(), expected);
+    }
+
+    #[test]
+    fn reregistering_a_session_folds_the_old_recorder() {
+        let fleet = FleetRecorder::new();
+        fleet.register("t", "s", session_recorder(10, &[]));
+        fleet.register("t", "s", session_recorder(1, &[]));
+        assert_eq!(fleet.counters_total()["engine.box_evals"], 11);
+        assert_eq!(fleet.live_sessions()["t"], 1);
+    }
+}

@@ -122,6 +122,23 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// Fold another histogram into this one.  Buckets, counts, and sums
+    /// add; min/max take the extremes.  The fleet aggregator uses this to
+    /// merge per-session histograms into per-tenant (and retired-session)
+    /// totals without losing bucket resolution.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Non-empty buckets as `(lo, hi, count)`, for exposition formats.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
         self.buckets
@@ -197,6 +214,31 @@ mod tests {
         assert_eq!(h.quantile(1.0), 10_000);
         assert_eq!(h.count(), 10_000);
         assert_eq!(h.sum(), (1 + 10_000) * 10_000 / 2);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_both_streams() {
+        let (mut a, mut b, mut both) =
+            (Histogram::default(), Histogram::default(), Histogram::default());
+        for v in [1u64, 7, 100, 5_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 3, 900_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        assert_eq!(a.nonzero_buckets(), both.nonzero_buckets());
+        // Merging an empty histogram is a no-op, including min tracking.
+        let snapshot = a.nonzero_buckets();
+        a.merge(&Histogram::default());
+        assert_eq!(a.nonzero_buckets(), snapshot);
+        assert_eq!(a.min(), both.min());
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub enum SessionEvent {
     /// `error`); `detail` carries the error text when aborted.
     Demand {
         demand_id: u64,
+        /// Protocol request id of the frame that issued the demand (0
+        /// outside a request context — REPL, tests, journals written
+        /// before the field existed).
+        request_id: u64,
         label: String,
         status: String,
         rows_out: u64,
@@ -196,8 +200,18 @@ impl SessionEvent {
                 format!("update '{table}' row {row_id} ({} fields)", changes.len())
             }
             SessionEvent::Config { key, value } => format!("config {key}={value}"),
-            SessionEvent::Demand { demand_id, label, status, rows_out, wall_ns, .. } => {
-                format!("demand #{demand_id} {label} {status} rows={rows_out} ns={wall_ns}")
+            SessionEvent::Demand {
+                demand_id,
+                request_id,
+                label,
+                status,
+                rows_out,
+                wall_ns,
+                ..
+            } => {
+                let req =
+                    if *request_id != 0 { format!(" req={request_id}") } else { String::new() };
+                format!("demand #{demand_id}{req} {label} {status} rows={rows_out} ns={wall_ns}")
             }
             SessionEvent::CacheInvalidation { scope, entries } => {
                 format!("cache invalidate scope={scope} entries={entries}")
@@ -682,8 +696,18 @@ fn event_json(seq: u64, ev: &SessionEvent) -> Json {
             fields.push(("key".into(), Json::Str(key.clone())));
             fields.push(("value".into(), Json::Str(value.clone())));
         }
-        SessionEvent::Demand { demand_id, label, status, rows_out, wall_ns, threads, detail } => {
+        SessionEvent::Demand {
+            demand_id,
+            request_id,
+            label,
+            status,
+            rows_out,
+            wall_ns,
+            threads,
+            detail,
+        } => {
             fields.push(("demand".into(), Json::Num(*demand_id as f64)));
+            fields.push(("req".into(), Json::Num(*request_id as f64)));
             fields.push(("label".into(), Json::Str(label.clone())));
             fields.push(("status".into(), Json::Str(status.clone())));
             fields.push(("rows".into(), Json::Num(*rows_out as f64)));
@@ -728,6 +752,9 @@ fn event_from(j: &Json) -> Result<(u64, SessionEvent), String> {
         "config" => SessionEvent::Config { key: j.str_field("key")?, value: j.str_field("value")? },
         "demand" => SessionEvent::Demand {
             demand_id: j.u64_field("demand")?,
+            // Absent in journals written before request correlation
+            // existed — decode those as "no request context".
+            request_id: j.u64_field("req").unwrap_or(0),
             label: j.str_field("label")?,
             status: j.str_field("status")?,
             rows_out: j.u64_field("rows")?,
@@ -990,6 +1017,7 @@ mod tests {
             SessionEvent::Config { key: "threads".into(), value: "2".into() },
             SessionEvent::Demand {
                 demand_id: 3,
+                request_id: 17,
                 label: "Project.0".into(),
                 status: "budget_exceeded".into(),
                 rows_out: 0,
@@ -1049,6 +1077,25 @@ mod tests {
         for ((seq, ev), (i, expected)) in back.iter().zip(sample_events().iter().enumerate()) {
             assert_eq!(*seq, i as u64 + 1);
             assert_eq!(ev, expected);
+        }
+    }
+
+    #[test]
+    fn demand_events_without_req_field_decode_as_request_zero() {
+        // Journals written before request-ID correlation carry no "req"
+        // field; they must still load, defaulting to "no request".
+        let line = format!(
+            "{}\n{{\"seq\":1,\"kind\":\"demand\",\"demand\":4,\"label\":\"#1.0\",\
+             \"status\":\"ok\",\"rows\":10,\"ns\":99,\"threads\":1,\"detail\":\"\"}}",
+            header_line()
+        );
+        let back = parse_jsonl(&line).unwrap();
+        match &back[0].1 {
+            SessionEvent::Demand { demand_id, request_id, .. } => {
+                assert_eq!(*demand_id, 4);
+                assert_eq!(*request_id, 0);
+            }
+            other => panic!("wrong event: {other:?}"),
         }
     }
 

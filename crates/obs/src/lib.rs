@@ -35,16 +35,20 @@
 //! ```
 
 pub mod export;
+pub mod fleet;
 pub mod hist;
 pub mod journal;
 pub mod memory;
+pub mod slow;
 pub mod tree;
 
+pub use fleet::FleetRecorder;
 pub use hist::Histogram;
 pub use journal::{
     CanvasView, EventLog, MagnifierView, SessionEvent, SessionSnapshot, TravelView, ViewState,
 };
 pub use memory::{CompletedSpan, Event, InMemoryRecorder};
+pub use slow::{SlowEntry, SlowLog};
 pub use tree::{CacheStatus, DemandTrace, OpNode};
 
 use std::sync::Arc;

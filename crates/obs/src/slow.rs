@@ -1,0 +1,263 @@
+//! The slow-demand log: a bounded, thread-safe ring of fully attributed
+//! traces for demands that ran longer than an armed threshold.
+//!
+//! Sampling-profiler output answers "where does time go on average";
+//! the slowlog answers the operator's question "what exactly happened in
+//! the request that took 800ms last Tuesday".  Every captured entry
+//! carries the demand's whole [`DemandTrace`] tree *and* its folded
+//! flamegraph stack, plus the `{tenant, session}` labels and the
+//! protocol request id, so a single slow frame can be correlated from
+//! the wire down to the operator that burned the time.
+//!
+//! One [`SlowLog`] is shared: in the REPL a session owns its own; under
+//! `tiogad` the daemon installs one fleet-wide log into every session
+//! worker, so `slowlog`/`sys.slow` show the slowest demands across all
+//! tenants.  The threshold is an atomic — `:slowlog 250` in any session
+//! (or `TIOGA2_SLOWLOG=250` at startup) re-arms the shared log without
+//! locking.
+
+use crate::tree::DemandTrace;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Threshold sentinel meaning "disarmed" (never captures).
+const OFF: u64 = u64::MAX;
+
+/// Default ring capacity; enough to hold a storm of slow demands
+/// without unbounded growth.
+pub const DEFAULT_SLOW_RING: usize = 64;
+
+/// One captured over-threshold demand.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Tenant of the session that ran the demand ("" outside `tiogad`).
+    pub tenant: String,
+    /// Session id ("" outside `tiogad`).
+    pub session: String,
+    /// Threshold (ns) that was armed when this entry was captured.
+    pub threshold_ns: u64,
+    /// The full attributed trace (request id, rows, per-operator time).
+    pub trace: DemandTrace,
+    /// Folded flamegraph stacks of the trace, captured eagerly so the
+    /// entry stays useful after the engine's trace ring evicts it.
+    pub folded: String,
+}
+
+struct Ring {
+    entries: VecDeque<SlowEntry>,
+    capacity: usize,
+    /// Entries evicted because the ring was full.
+    dropped: u64,
+}
+
+/// Thread-safe slow-demand ring; see the module docs.
+pub struct SlowLog {
+    threshold_ns: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl SlowLog {
+    /// A disarmed log with the default ring capacity.
+    pub fn new() -> SlowLog {
+        SlowLog {
+            threshold_ns: AtomicU64::new(OFF),
+            ring: Mutex::new(Ring {
+                entries: VecDeque::new(),
+                capacity: DEFAULT_SLOW_RING,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// A log armed (or not) from `TIOGA2_SLOWLOG`: a number of
+    /// milliseconds arms the threshold, anything else (or unset) leaves
+    /// the log disarmed.
+    pub fn from_env() -> SlowLog {
+        let log = SlowLog::new();
+        if let Ok(v) = std::env::var("TIOGA2_SLOWLOG") {
+            if let Ok(ms) = v.trim().parse::<u64>() {
+                log.arm_ms(ms);
+            }
+        }
+        log
+    }
+
+    /// Arm at a millisecond threshold.  0 captures every traced demand.
+    pub fn arm_ms(&self, ms: u64) {
+        self.threshold_ns.store(ms.saturating_mul(1_000_000), Ordering::Relaxed);
+    }
+
+    /// Disarm: stop capturing (existing entries are kept).
+    pub fn disarm(&self) {
+        self.threshold_ns.store(OFF, Ordering::Relaxed);
+    }
+
+    /// Current threshold in nanoseconds, `None` when disarmed.
+    pub fn threshold_ns(&self) -> Option<u64> {
+        match self.threshold_ns.load(Ordering::Relaxed) {
+            OFF => None,
+            ns => Some(ns),
+        }
+    }
+
+    /// Offer a finished demand.  Cheap when disarmed or under threshold
+    /// (one atomic load, no lock); otherwise clones the trace, renders
+    /// its folded stacks, and pushes a ring entry.
+    pub fn observe(&self, tenant: &str, session: &str, trace: &DemandTrace) {
+        let armed = self.threshold_ns.load(Ordering::Relaxed);
+        if armed == OFF || trace.total_ns < armed {
+            return;
+        }
+        let entry = SlowEntry {
+            tenant: tenant.to_string(),
+            session: session.to_string(),
+            threshold_ns: armed,
+            folded: trace.folded(),
+            trace: trace.clone(),
+        };
+        let mut ring = self.ring.lock();
+        while ring.entries.len() >= ring.capacity {
+            ring.entries.pop_front();
+            ring.dropped += 1;
+        }
+        ring.entries.push_back(entry);
+    }
+
+    /// Snapshot of the captured entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        self.ring.lock().entries.iter().cloned().collect()
+    }
+
+    /// Entries evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().dropped
+    }
+
+    /// Drop all captured entries (the threshold stays as armed).
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock();
+        ring.entries.clear();
+        ring.dropped = 0;
+    }
+
+    /// Human-readable report: the armed state plus one block per entry
+    /// (newest last) — backs the REPL `:slowlog` and the `slowlog`
+    /// protocol verb.
+    pub fn render(&self) -> String {
+        let mut out = match self.threshold_ns() {
+            Some(ns) => format!("slowlog armed at {} ms\n", ns / 1_000_000),
+            None => "slowlog off\n".to_string(),
+        };
+        let entries = self.entries();
+        let dropped = self.dropped();
+        if entries.is_empty() {
+            out.push_str("(no slow demands captured)\n");
+            return out;
+        }
+        out.push_str(&format!("{} slow demand(s) captured", entries.len()));
+        if dropped > 0 {
+            out.push_str(&format!(" ({dropped} evicted)"));
+        }
+        out.push('\n');
+        for e in &entries {
+            let who = match (e.tenant.is_empty(), e.session.is_empty()) {
+                (true, true) => String::new(),
+                _ => format!(" [tenant {} session {}]", e.tenant, e.session),
+            };
+            out.push_str(&format!(
+                "--- req #{} demand #{}{} over {} ms threshold ---\n",
+                e.trace.request_id,
+                e.trace.demand_id,
+                who,
+                e.threshold_ns / 1_000_000
+            ));
+            out.push_str(&e.trace.render());
+        }
+        out
+    }
+}
+
+impl Default for SlowLog {
+    fn default() -> Self {
+        SlowLog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{CacheStatus, OpNode};
+
+    fn trace(id: u64, req: u64, total_ns: u64) -> DemandTrace {
+        DemandTrace {
+            demand_id: id,
+            request_id: req,
+            label: format!("#{id}.0 (Project)"),
+            total_ns,
+            threads: 1,
+            par_segments: 0,
+            plan_cache: CacheStatus::Miss,
+            rewrites: vec![],
+            status: "ok".to_string(),
+            root: OpNode {
+                op: "Project [a]".to_string(),
+                rows_in: 5,
+                rows_out: 5,
+                ns: total_ns,
+                cache: CacheStatus::NotCached,
+                provenance: String::new(),
+                par_workers: 0,
+                children: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn disarmed_log_captures_nothing() {
+        let log = SlowLog::new();
+        assert_eq!(log.threshold_ns(), None);
+        log.observe("t", "s", &trace(1, 1, u64::MAX - 1));
+        assert!(log.entries().is_empty());
+        assert!(log.render().contains("slowlog off"));
+    }
+
+    #[test]
+    fn armed_log_captures_only_over_threshold() {
+        let log = SlowLog::new();
+        log.arm_ms(10);
+        assert_eq!(log.threshold_ns(), Some(10_000_000));
+        log.observe("acme", "s1", &trace(1, 41, 9_000_000)); // under
+        log.observe("acme", "s1", &trace(2, 42, 11_000_000)); // over
+        let entries = log.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].trace.demand_id, 2);
+        assert_eq!(entries[0].trace.request_id, 42);
+        assert_eq!(entries[0].tenant, "acme");
+        assert_eq!(entries[0].threshold_ns, 10_000_000);
+        assert!(entries[0].folded.contains("Project"));
+        let text = log.render();
+        assert!(text.contains("slowlog armed at 10 ms"), "{text}");
+        assert!(text.contains("req #42 demand #2 [tenant acme session s1]"), "{text}");
+        log.disarm();
+        log.observe("acme", "s1", &trace(3, 43, 99_000_000));
+        assert_eq!(log.entries().len(), 1, "disarm stops capture, keeps entries");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_evictions() {
+        let log = SlowLog::new();
+        log.arm_ms(0); // capture everything
+        for i in 0..(DEFAULT_SLOW_RING as u64 + 5) {
+            log.observe("", "", &trace(i, i, 1_000));
+        }
+        let entries = log.entries();
+        assert_eq!(entries.len(), DEFAULT_SLOW_RING);
+        assert_eq!(log.dropped(), 5);
+        // Oldest evicted first.
+        assert_eq!(entries[0].trace.demand_id, 5);
+        log.clear();
+        assert!(log.entries().is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+}

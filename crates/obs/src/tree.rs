@@ -76,6 +76,12 @@ impl OpNode {
 pub struct DemandTrace {
     /// Monotonic id assigned by the engine.
     pub demand_id: u64,
+    /// Protocol request id of the frame that triggered this demand
+    /// (assigned per frame by `tiogad`'s protocol layer), or 0 for
+    /// demands issued outside a request context (REPL, tests).  Lets an
+    /// operator correlate a slow trace back to the exact wire frame and
+    /// its journal event.
+    pub request_id: u64,
     /// The demanded output, e.g. `#7.0 (Project)`.
     pub label: String,
     /// Wall time of the whole demand (planning + execution).
@@ -119,6 +125,9 @@ impl DemandTrace {
             self.par_segments,
             self.plan_cache.label(),
         );
+        if self.request_id != 0 {
+            out.push_str(&format!("request #{}\n", self.request_id));
+        }
         if !self.rewrites.is_empty() {
             let list: Vec<String> =
                 self.rewrites.iter().map(|(r, n)| format!("{r} x{n}")).collect();
@@ -247,6 +256,7 @@ mod tests {
         };
         DemandTrace {
             demand_id: 7,
+            request_id: 91,
             label: "#2.0 (Project)".to_string(),
             total_ns: 1_000_000,
             threads: 4,
@@ -270,6 +280,7 @@ mod tests {
     fn render_shows_rows_time_pct_and_annotations() {
         let r = sample_trace().render();
         assert!(r.contains("demand #7 on #2.0 (Project)"), "{r}");
+        assert!(r.contains("request #91"), "{r}");
         assert!(r.contains("plan cache miss"), "{r}");
         assert!(r.contains("rewrites: fuse_restricts x1"), "{r}");
         assert!(r.contains("rows 200 -> 42"), "{r}");

@@ -5,11 +5,14 @@
 //! tiogad --addr 127.0.0.1:0 --port-file p.txt  # ephemeral port for scripts
 //! tiogad --journal-dir out/sessions            # durable per-session journals
 //! tiogad --budget "rows=100000 ms=2000"        # default per-session budget
+//! tiogad --metrics-addr 127.0.0.1:9104         # HTTP GET /metrics scrape
+//! tiogad --slowlog 250                         # capture demands over 250ms
 //! ```
 //!
 //! Clients speak the framed line protocol of `tioga2_server::proto`:
 //! `attach [session [tenant]]`, then any REPL command line, `stats`,
-//! `detach`, and `shutdown` (which stops the daemon).
+//! `metrics`, `slowlog`, `detach`, and `shutdown` (which stops the
+//! daemon).
 
 use std::path::PathBuf;
 use tioga2_datagen::register_standard_catalog;
@@ -20,7 +23,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: tiogad [--addr HOST:PORT] [--port-file PATH] [--journal-dir DIR]\n\
          \x20             [--budget SPEC] [--max-sessions N] [--max-per-tenant N] [--queue-depth N]\n\
-         \x20             [--stations N] [--obs-per-station N]"
+         \x20             [--stations N] [--obs-per-station N]\n\
+         \x20             [--metrics-addr HOST:PORT] [--metrics-port-file PATH]\n\
+         \x20             [--slowlog MS] [--no-telemetry]"
     );
     std::process::exit(2)
 }
@@ -28,6 +33,7 @@ fn usage() -> ! {
 fn main() -> std::io::Result<()> {
     let mut addr = "127.0.0.1:7104".to_string();
     let mut port_file: Option<PathBuf> = None;
+    let mut metrics_port_file: Option<PathBuf> = None;
     let mut cfg = ServerConfig::default();
     let mut stations = 300usize;
     let mut obs_per = 24usize;
@@ -61,6 +67,14 @@ fn main() -> std::io::Result<()> {
             "--queue-depth" => {
                 cfg.queue_depth = value("--queue-depth").parse().unwrap_or_else(|_| usage())
             }
+            "--metrics-addr" => cfg.metrics_addr = Some(value("--metrics-addr")),
+            "--metrics-port-file" => {
+                metrics_port_file = Some(PathBuf::from(value("--metrics-port-file")))
+            }
+            "--slowlog" => {
+                cfg.slowlog_ms = Some(value("--slowlog").parse().unwrap_or_else(|_| usage()))
+            }
+            "--no-telemetry" => cfg.telemetry = false,
             "--stations" => stations = value("--stations").parse().unwrap_or_else(|_| usage()),
             "--obs-per-station" => {
                 obs_per = value("--obs-per-station").parse().unwrap_or_else(|_| usage())
@@ -79,6 +93,12 @@ fn main() -> std::io::Result<()> {
     let bound = handle.addr();
     if let Some(pf) = &port_file {
         std::fs::write(pf, bound.port().to_string())?;
+    }
+    if let Some(maddr) = handle.metrics_addr() {
+        if let Some(pf) = &metrics_port_file {
+            std::fs::write(pf, maddr.port().to_string())?;
+        }
+        eprintln!("tiogad metrics on http://{maddr}/metrics");
     }
     eprintln!("tiogad listening on {bound} ({stations} stations x {obs_per} observations)");
     handle.wait();

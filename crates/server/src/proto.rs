@@ -19,10 +19,22 @@
 //! length is a protocol error, not an allocation.
 
 use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Upper bound on one frame's payload (16 MiB — a rendered ASCII table
 /// of the largest bench catalog fits with room to spare).
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Mint the next request id (process-wide, monotonic, starting at 1).
+/// The connection loop stamps one per command frame; it rides through
+/// the session worker into the demand trace, the journal's demand
+/// event, and the slow-demand log, so one wire request can be chased
+/// through every telemetry surface.  0 is reserved for "no request
+/// context" (e.g. the REPL).
+pub fn next_request_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Write one frame.
 pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
@@ -153,6 +165,14 @@ mod tests {
         // stays an error, not a panic.
         let mut r = io::BufReader::new(&b"12"[..]);
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_nonzero() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert!(a > 0 && b > 0);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -34,17 +34,20 @@
 //! * **tenant budgets** — each session runs under its tenant's row/
 //!   wall-clock budget (or the server default).
 
-use crate::proto::{read_frame, write_frame, Reply};
+use crate::proto::{next_request_id, read_frame, write_frame, Reply};
 use std::collections::BTreeMap;
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 use tioga2_core::command::{self, Command, Response};
 use tioga2_core::{Environment, Session, SupersedeHandle};
+use tioga2_obs::export::escape_json;
+use tioga2_obs::{FleetRecorder, InMemoryRecorder, SlowLog};
 use tioga2_relational::{Budget, Catalog};
 
 /// Server configuration.
@@ -63,6 +66,18 @@ pub struct ServerConfig {
     /// Directory for per-session journals; `None` disables durability.
     /// A re-`attach` of a dead session id recovers from its journal.
     pub journal_dir: Option<PathBuf>,
+    /// Fleet telemetry: give every session an [`InMemoryRecorder`] and
+    /// aggregate them in a [`FleetRecorder`] under `{tenant, session}`
+    /// labels.  Off = sessions keep the noop recorder (the A11 ablation
+    /// baseline).
+    pub telemetry: bool,
+    /// Bind a second listener serving `GET /metrics` Prometheus text
+    /// (use port 0 for an ephemeral port); `None` disables it.  The
+    /// `metrics` protocol verb works either way.
+    pub metrics_addr: Option<String>,
+    /// Arm the fleet-wide slow-demand log at this threshold (ms);
+    /// `None` defers to the `TIOGA2_SLOWLOG` env var.
+    pub slowlog_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -74,13 +89,20 @@ impl Default for ServerConfig {
             default_budget: None,
             tenant_budgets: BTreeMap::new(),
             journal_dir: None,
+            telemetry: true,
+            metrics_addr: None,
+            slowlog_ms: None,
         }
     }
 }
 
-/// One queued command plus the channel its reply goes back on.
+/// One queued command plus the channel its reply goes back on.  `rid`
+/// is the request id stamped on the protocol frame (or minted by
+/// [`Server::run`]); the worker installs it in the session so the
+/// demand trace, journal event, and slow log all carry it.
 struct Job {
     line: String,
+    rid: u64,
     reply: SyncSender<JobReply>,
 }
 
@@ -110,6 +132,16 @@ pub struct Server {
     // Live connection sockets, so shutdown can unblock their readers.
     conns: Mutex<BTreeMap<u64, TcpStream>>,
     next_conn: AtomicU64,
+    // Fleet telemetry: per-session recorders aggregated under
+    // {tenant, session} labels, plus the shared slow-demand ring.
+    fleet: Arc<FleetRecorder>,
+    slowlog: Arc<SlowLog>,
+    started: Instant,
+    // Daemon-level admission counters (monotonic).
+    attaches: AtomicU64,
+    refused_max_sessions: AtomicU64,
+    refused_max_per_tenant: AtomicU64,
+    queue_full: AtomicU64,
 }
 
 /// The shared-snapshot memory proof: across the base catalog and every
@@ -128,6 +160,14 @@ pub struct StorageProof {
 
 impl Server {
     pub fn new(base: Catalog, cfg: ServerConfig) -> Arc<Server> {
+        let slowlog = match cfg.slowlog_ms {
+            Some(ms) => {
+                let log = SlowLog::new();
+                log.arm_ms(ms);
+                log
+            }
+            None => SlowLog::from_env(),
+        };
         Arc::new(Server {
             base,
             cfg,
@@ -136,7 +176,25 @@ impl Server {
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(BTreeMap::new()),
             next_conn: AtomicU64::new(1),
+            fleet: Arc::new(FleetRecorder::new()),
+            slowlog: Arc::new(slowlog),
+            started: Instant::now(),
+            attaches: AtomicU64::new(0),
+            refused_max_sessions: AtomicU64::new(0),
+            refused_max_per_tenant: AtomicU64::new(0),
+            queue_full: AtomicU64::new(0),
         })
+    }
+
+    /// The fleet-wide metrics aggregator (per-session recorders under
+    /// `{tenant, session}` labels).
+    pub fn fleet(&self) -> &Arc<FleetRecorder> {
+        &self.fleet
+    }
+
+    /// The shared slow-demand ring every hosted session reports into.
+    pub fn slowlog(&self) -> &Arc<SlowLog> {
+        &self.slowlog
     }
 
     pub fn config(&self) -> &ServerConfig {
@@ -166,6 +224,7 @@ impl Server {
             return Ok(sid); // joining an existing session is free
         }
         if slots.len() >= self.cfg.max_sessions {
+            self.refused_max_sessions.fetch_add(1, Ordering::Relaxed);
             return Err(format!(
                 "admission denied: server is at max_sessions={}",
                 self.cfg.max_sessions
@@ -173,6 +232,7 @@ impl Server {
         }
         let tenant_count = slots.values().filter(|s| s.tenant == tenant).count();
         if tenant_count >= self.cfg.max_per_tenant {
+            self.refused_max_per_tenant.fetch_add(1, Ordering::Relaxed);
             return Err(format!(
                 "admission denied: tenant '{tenant}' is at max_per_tenant={}",
                 self.cfg.max_per_tenant
@@ -192,13 +252,19 @@ impl Server {
         }
 
         let (tx, rx) = sync_channel::<Job>(self.cfg.queue_depth);
+        let obs = WorkerObs {
+            fleet: self.cfg.telemetry.then(|| self.fleet.clone()),
+            slowlog: self.slowlog.clone(),
+            tenant: tenant.to_string(),
+            sid: sid.clone(),
+        };
         // The session is built on the worker thread (it owns it for
         // life); the supersede handle and forked catalog come back over
         // a one-shot channel so the slot can expose them.
         let (init_tx, init_rx) = sync_channel::<Result<(SupersedeHandle, Catalog), String>>(1);
         let worker = std::thread::Builder::new()
             .name(format!("tiogad-{sid}"))
-            .spawn(move || session_worker(fork, budget, journal, rx, init_tx))
+            .spawn(move || session_worker(fork, budget, journal, obs, rx, init_tx))
             .map_err(|e| e.to_string())?;
         let (supersede, catalog) =
             init_rx.recv().map_err(|_| "session worker died during startup".to_string())??;
@@ -212,6 +278,7 @@ impl Server {
                 worker: Some(worker),
             },
         );
+        self.attaches.fetch_add(1, Ordering::Relaxed);
         Ok(sid)
     }
 
@@ -225,13 +292,25 @@ impl Server {
         if let Some(w) = slot.worker {
             let _ = w.join();
         }
+        // After the worker has stopped recording: fold the session's
+        // final counters/histograms into the tenant's retired aggregate
+        // so fleet totals stay monotonic (no-op when telemetry is off).
+        self.fleet.retire(&slot.tenant, sid);
         Ok(())
     }
 
-    /// Run one command line in session `sid`.  This is the admission
-    /// path: demand-class commands supersede the in-flight demand, and a
-    /// full queue refuses the command instead of blocking.
+    /// Run one command line in session `sid`, minting a fresh request
+    /// id.  This is the admission path: demand-class commands supersede
+    /// the in-flight demand, and a full queue refuses the command
+    /// instead of blocking.
     pub fn run(&self, sid: &str, line: &str) -> Result<(String, bool), String> {
+        self.run_req(sid, line, next_request_id())
+    }
+
+    /// [`Server::run`] with an explicit request id (the connection loop
+    /// stamps one per protocol frame so replies, journal events, and
+    /// slowlog entries correlate).
+    pub fn run_req(&self, sid: &str, line: &str, rid: u64) -> Result<(String, bool), String> {
         let (tx, supersede) = {
             let slots = self.slots.lock().unwrap();
             let slot = slots.get(sid).ok_or_else(|| format!("no session '{sid}'"))?;
@@ -245,13 +324,14 @@ impl Server {
             }
         }
         let (rtx, rrx) = sync_channel::<JobReply>(1);
-        match tx.try_send(Job { line: line.to_string(), reply: rtx }) {
+        match tx.try_send(Job { line: line.to_string(), rid, reply: rtx }) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
+                self.queue_full.fetch_add(1, Ordering::Relaxed);
                 return Err(format!(
                     "admission denied: session '{sid}' queue is full (depth {})",
                     self.cfg.queue_depth
-                ))
+                ));
             }
             Err(TrySendError::Disconnected(_)) => {
                 self.slots.lock().unwrap().remove(sid);
@@ -299,15 +379,74 @@ impl Server {
             *tenants.entry(slot.tenant.as_str()).or_default() += 1;
         }
         let tenants = tenants.iter().map(|(t, n)| format!("{t}={n}")).collect::<Vec<_>>().join(" ");
+        let slow = match self.slowlog.threshold_ns() {
+            Some(ns) => format!("armed at {} ms", ns / 1_000_000),
+            None => "off".to_string(),
+        };
         format!(
-            "sessions={} max_sessions={} queue_depth={}\ntenants: {}\nstorage: {} base table(s), max {} allocation(s) per table across all sessions",
+            "sessions={} max_sessions={} queue_depth={}\ntenants: {}\nstorage: {} base table(s), max {} allocation(s) per table across all sessions\nuptime: {}s  telemetry: {}  slowlog: {}\nadmission: attaches={} refused_max_sessions={} refused_max_per_tenant={} queue_full={}",
             proof.sessions,
             self.cfg.max_sessions,
             self.cfg.queue_depth,
             if tenants.is_empty() { "none" } else { &tenants },
             proof.tables,
             proof.max_distinct_allocations,
+            self.started.elapsed().as_secs(),
+            if self.cfg.telemetry { "on" } else { "off" },
+            slow,
+            self.attaches.load(Ordering::Relaxed),
+            self.refused_max_sessions.load(Ordering::Relaxed),
+            self.refused_max_per_tenant.load(Ordering::Relaxed),
+            self.queue_full.load(Ordering::Relaxed),
         )
+    }
+
+    /// The full Prometheus exposition: daemon-level series (uptime,
+    /// live sessions per tenant, admission counters) followed by the
+    /// fleet's per-`{tenant, session}` counter and histogram families.
+    /// Backs both the `metrics` protocol verb and the HTTP `/metrics`
+    /// scrape listener.
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE tioga2_daemon_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "tioga2_daemon_uptime_seconds {}\n",
+            self.started.elapsed().as_secs()
+        ));
+        out.push_str("# TYPE tioga2_daemon_sessions gauge\n");
+        let mut tenants: BTreeMap<String, usize> = BTreeMap::new();
+        for slot in self.slots.lock().unwrap().values() {
+            *tenants.entry(slot.tenant.clone()).or_default() += 1;
+        }
+        for (tenant, n) in &tenants {
+            out.push_str(&format!(
+                "tioga2_daemon_sessions{{tenant=\"{}\"}} {n}\n",
+                escape_json(tenant)
+            ));
+        }
+        out.push_str("# TYPE tioga2_daemon_attaches_total counter\n");
+        out.push_str(&format!(
+            "tioga2_daemon_attaches_total {}\n",
+            self.attaches.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE tioga2_daemon_admissions_refused_total counter\n");
+        out.push_str(&format!(
+            "tioga2_daemon_admissions_refused_total{{reason=\"max_sessions\"}} {}\n",
+            self.refused_max_sessions.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "tioga2_daemon_admissions_refused_total{{reason=\"max_per_tenant\"}} {}\n",
+            self.refused_max_per_tenant.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE tioga2_daemon_queue_full_total counter\n");
+        out.push_str(&format!(
+            "tioga2_daemon_queue_full_total {}\n",
+            self.queue_full.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE tioga2_daemon_slowlog_entries gauge\n");
+        out.push_str(&format!("tioga2_daemon_slowlog_entries {}\n", self.slowlog.entries().len()));
+        out.push_str(&self.fleet.prometheus_text());
+        out
     }
 
     /// Live session ids (sorted).
@@ -347,6 +486,16 @@ impl Server {
     }
 }
 
+/// Per-session telemetry handed to the worker at attach time: the
+/// fleet aggregator to register with (when telemetry is on), the shared
+/// slow-demand ring, and the session's `{tenant, session}` labels.
+struct WorkerObs {
+    fleet: Option<Arc<FleetRecorder>>,
+    slowlog: Arc<SlowLog>,
+    tenant: String,
+    sid: String,
+}
+
 /// The per-session worker: owns the session for its whole life, drains
 /// the bounded queue, executes through exactly the same
 /// `core::command::run_line` the REPL uses.
@@ -354,6 +503,7 @@ fn session_worker(
     fork: Catalog,
     budget: Option<Budget>,
     journal: Option<PathBuf>,
+    obs: WorkerObs,
     rx: Receiver<Job>,
     init_tx: SyncSender<Result<(SupersedeHandle, Catalog), String>>,
 ) {
@@ -367,16 +517,24 @@ fn session_worker(
     if let Some(b) = budget {
         session.set_budget(Some(b));
     }
+    if let Some(fleet) = &obs.fleet {
+        let rec = Arc::new(InMemoryRecorder::new());
+        session.set_recorder(rec.clone());
+        fleet.register(&obs.tenant, &obs.sid, rec);
+    }
+    session.install_slowlog(obs.slowlog, &obs.tenant, &obs.sid);
     let catalog = session.env.catalog.clone();
     if init_tx.send(Ok((session.supersede_handle(), catalog))).is_err() {
         return;
     }
     while let Ok(job) = rx.recv() {
+        session.set_request_id(job.rid);
         let (result, quit) = match command::run_line(&mut session, &job.line) {
             Ok(Response::Message(m)) => (Ok(m), false),
             Ok(Response::Quit) => (Ok("bye".to_string()), true),
             Err(e) => (Err(e), false),
         };
+        session.set_request_id(0);
         let _ = job.reply.send(JobReply { result, quit });
         if quit {
             break;
@@ -410,17 +568,22 @@ fn build_session(fork: Catalog, journal: &Option<PathBuf>) -> Result<Session, St
     }
 }
 
-/// A running server bound to a TCP address.
+/// A running server bound to a TCP address (plus, optionally, a second
+/// listener serving `GET /metrics`).
 pub struct ServerHandle {
     server: Arc<Server>,
     addr: std::net::SocketAddr,
     accept: Option<JoinHandle<()>>,
+    metrics_addr: Option<std::net::SocketAddr>,
+    metrics: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// Bind `addr` (use port 0 for an ephemeral port) and start the
-    /// accept loop.
+    /// accept loop.  When the config names a `metrics_addr`, also bind
+    /// the HTTP scrape listener.
     pub fn start(base: Catalog, cfg: ServerConfig, addr: &str) -> io::Result<ServerHandle> {
+        let scrape = cfg.metrics_addr.clone();
         let server = Server::new(base, cfg);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -429,22 +592,43 @@ impl ServerHandle {
         let accept = std::thread::Builder::new()
             .name("tiogad-accept".into())
             .spawn(move || accept_loop(listener, srv))?;
-        Ok(ServerHandle { server, addr, accept: Some(accept) })
+        let (metrics_addr, metrics) = match scrape {
+            None => (None, None),
+            Some(maddr) => {
+                let ml = TcpListener::bind(maddr.as_str())?;
+                let bound = ml.local_addr()?;
+                ml.set_nonblocking(true)?;
+                let srv = server.clone();
+                let h = std::thread::Builder::new()
+                    .name("tiogad-metrics".into())
+                    .spawn(move || metrics_loop(ml, srv))?;
+                (Some(bound), Some(h))
+            }
+        };
+        Ok(ServerHandle { server, addr, accept: Some(accept), metrics_addr, metrics })
     }
 
     pub fn addr(&self) -> std::net::SocketAddr {
         self.addr
     }
 
+    /// Bound address of the `/metrics` HTTP listener, when configured.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_addr
+    }
+
     pub fn server(&self) -> &Arc<Server> {
         &self.server
     }
 
-    /// Shut down: sessions detach, the accept loop exits, and this call
-    /// joins it.  Idempotent.
+    /// Shut down: sessions detach, the accept loops exit, and this call
+    /// joins them.  Idempotent.
     pub fn stop(&mut self) {
         self.server.shutdown();
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics.take() {
             let _ = h.join();
         }
     }
@@ -456,6 +640,9 @@ impl ServerHandle {
             let _ = h.join();
         }
         self.server.shutdown();
+        if let Some(h) = self.metrics.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -463,6 +650,62 @@ impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// The scrape listener: a deliberately minimal std-only HTTP/1.0
+/// responder.  `GET /metrics` answers the Prometheus exposition; every
+/// other path is 404.  One request per connection (`Connection: close`)
+/// keeps it free of keep-alive state.
+fn metrics_loop(listener: TcpListener, server: Arc<Server>) {
+    while !server.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _)) => serve_scrape(stream, &server),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_scrape(mut stream: TcpStream, server: &Arc<Server>) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+    // Read until the blank line ending the request head (or EOF); the
+    // request line is all we act on.
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+                if head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = String::from_utf8_lossy(&head);
+    let request_line = request_line.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/metrics/") {
+        ("200 OK", server.metrics_text())
+    } else {
+        ("404 Not Found", "only GET /metrics is served here\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 fn accept_loop(listener: TcpListener, server: Arc<Server>) {
@@ -526,6 +769,8 @@ fn connection(stream: TcpStream, server: Arc<Server>) {
                 None => Reply::Err("not attached".to_string()),
             },
             Some("stats") => Reply::Ok(server.stats_text()),
+            Some("metrics") => Reply::Ok(server.metrics_text()),
+            Some("slowlog") => Reply::Ok(server.slowlog.render()),
             Some("shutdown") => {
                 // Reply before shutdown(): it closes this socket too.
                 let _ = write_frame(&mut writer, &Reply::Bye("shutting down".into()).encode());
@@ -534,14 +779,19 @@ fn connection(stream: TcpStream, server: Arc<Server>) {
             }
             Some(_) => match &attached {
                 None => Reply::Err("not attached; 'attach [session [tenant]]' first".to_string()),
-                Some(sid) => match server.run(sid, &line) {
-                    Ok((body, true)) => {
-                        attached = None;
-                        Reply::Bye(body)
+                Some(sid) => {
+                    // Every command frame gets a request id; it travels
+                    // through the session worker into the demand trace,
+                    // the journal's demand event, and the slow log.
+                    match server.run_req(sid, &line, next_request_id()) {
+                        Ok((body, true)) => {
+                            attached = None;
+                            Reply::Bye(body)
+                        }
+                        Ok((body, false)) => Reply::Ok(body),
+                        Err(e) => Reply::Err(e),
                     }
-                    Ok((body, false)) => Reply::Ok(body),
-                    Err(e) => Reply::Err(e),
-                },
+                }
             },
             None => Reply::Ok(String::new()),
         };

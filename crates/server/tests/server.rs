@@ -262,6 +262,184 @@ fn stats_text_reports_sessions_and_storage() {
     h.stop();
 }
 
+/// Minimal HTTP/1.0 GET against the scrape listener — the tests stay
+/// curl-free, like `scripts/ci.sh`.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes()).unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    (head.lines().next().unwrap_or("").to_string(), body.to_string())
+}
+
+#[test]
+fn metrics_expose_per_tenant_fleet_series_over_verb_and_http() {
+    let cfg = ServerConfig { metrics_addr: Some("127.0.0.1:0".into()), ..ServerConfig::default() };
+    let mut h = start(cfg);
+
+    // Two tenants drive sessions concurrently.
+    let mut clients: Vec<Client> = Vec::new();
+    let handles: Vec<_> = [("acme", "a1"), ("acme", "a2"), ("zeta", "z1")]
+        .into_iter()
+        .map(|(tenant, sid)| {
+            let addr = h.addr();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.attach(Some(sid), Some(tenant)).unwrap().unwrap();
+                c.run("table Stations").unwrap().unwrap();
+                c.run("restrict 0 state = 'LA'").unwrap().unwrap();
+                c.run("show 1 5").unwrap().unwrap();
+                c
+            })
+        })
+        .collect();
+    for t in handles {
+        clients.push(t.join().unwrap());
+    }
+
+    // The `metrics` verb answers the same exposition as the scrape.
+    let verb = clients[0].run("metrics").unwrap().unwrap();
+    for needle in [
+        "# TYPE tioga2_daemon_sessions gauge",
+        "tioga2_daemon_sessions{tenant=\"acme\"} 2",
+        "tioga2_daemon_sessions{tenant=\"zeta\"} 1",
+        "tioga2_daemon_attaches_total 3",
+        "tioga2_daemon_admissions_refused_total{reason=\"max_sessions\"} 0",
+        "# TYPE tioga2_fleet_demand_latency_ns histogram",
+        "tenant=\"acme\",session=\"a1\"",
+        "tenant=\"zeta\",session=\"z1\"",
+    ] {
+        assert!(verb.contains(needle), "missing {needle:?} in:\n{verb}");
+    }
+
+    // Fleet totals equal the per-session sums: add up every
+    // per-session demand-latency _count in the exposition and compare
+    // against the aggregator's merged histogram.
+    let scraped_count: u64 = verb
+        .lines()
+        .filter(|l| l.starts_with("tioga2_fleet_demand_latency_ns_count"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    let total = h.server().fleet().histograms_total();
+    let merged = total.get("demand.latency_ns").expect("merged demand latency histogram");
+    assert_eq!(scraped_count, merged.count(), "per-session counts must sum to the fleet total");
+    assert!(merged.count() >= 3, "each session ran at least one demand");
+
+    // The HTTP scrape surface serves the same families.
+    let maddr = h.metrics_addr().expect("metrics listener configured");
+    let (status, body) = http_get(maddr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("tioga2_daemon_uptime_seconds"), "{body}");
+    assert!(body.contains("tioga2_fleet_demand_latency_ns_bucket"), "{body}");
+    assert!(body.contains("tenant=\"acme\""), "{body}");
+    let (status, _) = http_get(maddr, "/elsewhere");
+    assert!(status.contains("404"), "{status}");
+
+    // Detached sessions fold into the tenant's retired aggregate; the
+    // grand total stays monotonic.
+    assert!(matches!(clients[2].send("detach").unwrap(), Reply::Ok(_)));
+    let after = clients[0].run("metrics").unwrap().unwrap();
+    assert!(after.contains("session=\"(retired)\""), "{after}");
+    let retired_count: u64 = after
+        .lines()
+        .filter(|l| l.starts_with("tioga2_fleet_demand_latency_ns_count"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(retired_count, merged.count(), "retiring must not lose observations");
+    h.stop();
+}
+
+#[test]
+fn telemetry_off_keeps_daemon_series_but_no_fleet_series() {
+    let cfg = ServerConfig { telemetry: false, ..ServerConfig::default() };
+    let mut h = start(cfg);
+    let mut c = Client::connect(h.addr()).unwrap();
+    c.attach(Some("s"), Some("acme")).unwrap().unwrap();
+    c.run("table Stations").unwrap().unwrap();
+    c.run("show 0 5").unwrap().unwrap();
+    let text = c.run("metrics").unwrap().unwrap();
+    assert!(text.contains("tioga2_daemon_attaches_total 1"), "{text}");
+    assert!(!text.contains("tioga2_fleet_"), "telemetry off must not record:\n{text}");
+    let stats = c.run("stats").unwrap().unwrap();
+    assert!(stats.contains("telemetry: off"), "{stats}");
+    h.stop();
+}
+
+#[test]
+fn admission_refusals_are_counted() {
+    let cfg = ServerConfig { max_sessions: 2, max_per_tenant: 1, ..ServerConfig::default() };
+    let mut h = start(cfg);
+    let mut a = Client::connect(h.addr()).unwrap();
+    a.attach(Some("a"), Some("acme")).unwrap().unwrap();
+    let mut b = Client::connect(h.addr()).unwrap();
+    b.attach(Some("b"), Some("acme")).unwrap().unwrap_err(); // per-tenant
+    b.attach(Some("b"), Some("beta")).unwrap().unwrap();
+    let mut c = Client::connect(h.addr()).unwrap();
+    c.attach(Some("c"), Some("gamma")).unwrap().unwrap_err(); // max_sessions
+    let stats = a.run("stats").unwrap().unwrap();
+    assert!(
+        stats.contains("attaches=2 refused_max_sessions=1 refused_max_per_tenant=1 queue_full=0"),
+        "{stats}"
+    );
+    let metrics = a.run("metrics").unwrap().unwrap();
+    assert!(
+        metrics.contains("tioga2_daemon_admissions_refused_total{reason=\"max_sessions\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("tioga2_daemon_admissions_refused_total{reason=\"max_per_tenant\"} 1"),
+        "{metrics}"
+    );
+    h.stop();
+}
+
+#[test]
+fn slow_demands_carry_request_ids_into_slowlog_sys_slow_and_journal() {
+    let dir = std::env::temp_dir().join("tiogad_slowlog_rid");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Threshold 0: every traced demand is "slow" — deterministic capture.
+    let cfg = ServerConfig {
+        slowlog_ms: Some(0),
+        journal_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let mut h = start(cfg);
+    let mut c = Client::connect(h.addr()).unwrap();
+    c.attach(Some("slow"), Some("acme")).unwrap().unwrap();
+    c.run("table Stations").unwrap().unwrap();
+    c.run("restrict 0 altitude > -10000").unwrap().unwrap();
+    c.run("show 1 5").unwrap().unwrap();
+
+    // The fleet-wide slowlog verb shows the capture with its labels and
+    // a nonzero request id.
+    let text = c.run("slowlog").unwrap().unwrap();
+    assert!(text.contains("slowlog armed at 0 ms"), "{text}");
+    assert!(text.contains("[tenant acme session slow]"), "{text}");
+    let rid: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("--- req #"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no req id in slowlog:\n{text}"));
+    assert!(rid > 0, "request ids minted by the server are nonzero");
+
+    // The same entries surface as the sys.slow relation in-session.
+    c.run(":sys").unwrap().unwrap();
+    c.run("table sys.slow").unwrap().unwrap();
+    let rows = c.run("show 2 50").unwrap().unwrap();
+    assert!(rows.contains("request"), "{rows}");
+    assert!(rows.contains(&rid.to_string()), "slow row must carry req #{rid}:\n{rows}");
+
+    // And the journal's demand events recorded the same request ids.
+    let journal = std::fs::read_to_string(dir.join("slow.jsonl")).unwrap();
+    assert!(journal.contains(&format!("\"req\":{rid}")), "journal lost req #{rid}");
+    assert!(!journal.contains("\"req\":0"), "server demands must never journal req 0");
+    h.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn shutdown_verb_stops_the_server() {
     let mut h = start(ServerConfig::default());

@@ -30,15 +30,21 @@
 #   example self_monitor            — the self-hosted sys.* pipeline
 #       headless; exits non-zero if the latency canvas renders empty
 #   tiogad smoke leg                — start the multi-session daemon on
-#       an ephemeral port, drive a scripted client session end-to-end
-#       over the wire protocol (build + demand + save), then stop it
-#       with the shutdown verb and assert a clean exit
+#       an ephemeral port with fleet telemetry, a journal, and an armed
+#       slowlog; drive a scripted client session end-to-end over the
+#       wire protocol (build + demand + save), scrape GET /metrics over
+#       a raw TCP socket (no curl in the image) and assert the daemon
+#       and per-tenant fleet metric families are present, assert the
+#       session journal carries non-zero request IDs on its demand
+#       events, then stop the daemon with the shutdown verb and assert
+#       a clean exit
 #   figures + BENCH_figures.json    — regenerate every paper figure
 #       (includes the A8 crash/recover/diff of journal recovery, which
-#       arms its own fault plan and fails on any differing pixel, and
-#       the A9 tiogad scaling ablation with its shared-snapshot memory
-#       proof) and check the emitted JSON is non-empty and carries
-#       every A-section measurement key
+#       arms its own fault plan and fails on any differing pixel, the
+#       A9 tiogad scaling ablation with its shared-snapshot memory
+#       proof, and the A11 fleet-telemetry overhead gate) and check the
+#       emitted JSON is non-empty and carries every A-section
+#       measurement key
 #
 # Run from the repository root:  ./scripts/ci.sh
 set -euo pipefail
@@ -58,15 +64,21 @@ TIOGA2_THREADS=4 cargo test -q --test delta_equivalence
 TIOGA2_BUDGET='rows=50000000,ms=600000' cargo test -q
 cargo run --release --example self_monitor
 
-# tiogad smoke: daemon on an ephemeral port, one scripted session, clean shutdown.
-rm -f /tmp/tiogad_ci_port
+# tiogad smoke: daemon on an ephemeral port with telemetry + journal +
+# armed slowlog, one scripted session, a /metrics scrape, clean shutdown.
+rm -f /tmp/tiogad_ci_port /tmp/tiogad_ci_mport
+rm -rf /tmp/tiogad_ci_journal
 cargo run --release -p tioga2-server --bin tiogad -- \
     --addr 127.0.0.1:0 --port-file /tmp/tiogad_ci_port \
+    --metrics-addr 127.0.0.1:0 --metrics-port-file /tmp/tiogad_ci_mport \
+    --journal-dir /tmp/tiogad_ci_journal --slowlog 0 \
     --stations 60 --obs-per-station 4 > /tmp/tiogad_ci_log 2>&1 &
 TIOGAD_PID=$!
 for _ in $(seq 1 100); do [ -s /tmp/tiogad_ci_port ] && break; sleep 0.1; done
 [ -s /tmp/tiogad_ci_port ] || { echo "ci: tiogad never wrote its port file" >&2; cat /tmp/tiogad_ci_log >&2; exit 1; }
 PORT=$(cat /tmp/tiogad_ci_port)
+[ -s /tmp/tiogad_ci_mport ] || { echo "ci: tiogad never wrote its metrics port file" >&2; cat /tmp/tiogad_ci_log >&2; exit 1; }
+MPORT=$(cat /tmp/tiogad_ci_mport)
 # Capture the whole scripted session before grepping: `grep -q` on the
 # live pipe would close it at the first match and cut the session short.
 printf "table Stations\nrestrict 0 state = 'LA'\nshow 1 3\nsave smoke\nprograms\nstats\nquit\n" \
@@ -74,6 +86,22 @@ printf "table Stations\nrestrict 0 state = 'LA'\nshow 1 3\nsave smoke\nprograms\
         --addr "127.0.0.1:$PORT" --session ci-smoke > /tmp/tiogad_ci_out
 grep -q "tuples" /tmp/tiogad_ci_out || { echo "ci: tiogad smoke session produced no demand output" >&2; kill $TIOGAD_PID; exit 1; }
 grep -q "saved 'smoke'" /tmp/tiogad_ci_out || { echo "ci: tiogad smoke session did not save its program" >&2; kill $TIOGAD_PID; exit 1; }
+# Scrape GET /metrics over a raw TCP socket (the image has no curl) and
+# assert both the daemon gauges and the per-tenant fleet families.
+exec 3<>"/dev/tcp/127.0.0.1/$MPORT"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+cat <&3 > /tmp/tiogad_ci_metrics
+exec 3<&- 3>&-
+grep -q "HTTP/1.0 200 OK" /tmp/tiogad_ci_metrics || { echo "ci: /metrics scrape did not return 200" >&2; kill $TIOGAD_PID; exit 1; }
+for fam in tioga2_daemon_uptime_seconds tioga2_daemon_attaches_total \
+           tioga2_fleet_demand_latency_ns_bucket tioga2_fleet_demand_latency_ns_count; do
+    grep -q "$fam" /tmp/tiogad_ci_metrics \
+        || { echo "ci: /metrics scrape is missing the '$fam' family" >&2; kill $TIOGAD_PID; exit 1; }
+done
+grep -q 'tenant="' /tmp/tiogad_ci_metrics || { echo "ci: /metrics fleet series carry no tenant label" >&2; kill $TIOGAD_PID; exit 1; }
+# Request-ID round-trip: the session journal's demand events must carry
+# the client frames' non-zero request IDs.
+grep -rq '"req":[1-9]' /tmp/tiogad_ci_journal || { echo "ci: session journal has no non-zero request IDs on demand events" >&2; kill $TIOGAD_PID; exit 1; }
 echo shutdown | cargo run --release -q -p tioga2-server --bin tioga2-client -- --addr "127.0.0.1:$PORT"
 wait $TIOGAD_PID || { echo "ci: tiogad exited non-zero" >&2; exit 1; }
 grep -q "clean shutdown" /tmp/tiogad_ci_log || { echo "ci: tiogad did not shut down cleanly" >&2; cat /tmp/tiogad_ci_log >&2; exit 1; }
@@ -86,7 +114,8 @@ for key in a5_plan_pushdown a6_parallel_scaling_t1 a6_parallel_scaling_t2 \
            a9_server_scaling_s64 \
            a10_edit_delta_1k a10_edit_invalidate_1k \
            a10_edit_delta_10k a10_edit_invalidate_10k \
-           a10_edit_delta_100k a10_edit_invalidate_100k; do
+           a10_edit_delta_100k a10_edit_invalidate_100k \
+           a11_telemetry_on a11_telemetry_off; do
     grep -q "\"$key\"" BENCH_figures.json \
         || { echo "ci: BENCH_figures.json is missing '$key'" >&2; exit 1; }
 done

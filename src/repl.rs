@@ -206,6 +206,27 @@ mod tests {
     }
 
     #[test]
+    fn slowlog_via_repl() {
+        let mut s = session();
+        assert!(ok(&mut s, ":slowlog").contains("slowlog off"));
+        ok(&mut s, ":slowlog 0"); // every demand counts as slow
+        ok(&mut s, "table Stations");
+        ok(&mut s, "restrict 0 state = 'LA'");
+        ok(&mut s, "show 1 5");
+        let report = ok(&mut s, ":slowlog");
+        assert!(report.contains("slowlog armed at 0 ms"), "{report}");
+        assert!(report.contains("slow demand(s) captured"), "{report}");
+        ok(&mut s, ":sys");
+        ok(&mut s, "table sys.slow");
+        let rows = ok(&mut s, "show 2 50");
+        assert!(rows.contains("request"), "{rows}");
+        assert!(ok(&mut s, ":slowlog off").contains("slowlog off"));
+        assert!(ok(&mut s, ":slowlog clear").contains("cleared"));
+        assert!(ok(&mut s, ":slowlog").contains("no slow demands captured"));
+        assert!(run_line(&mut s, ":slowlog sideways").is_err());
+    }
+
+    #[test]
     fn explain_analyze_and_sys_tables_via_repl() {
         let mut s = session();
         ok(&mut s, "table Stations");
