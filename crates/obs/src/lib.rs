@@ -38,6 +38,7 @@ pub mod export;
 pub mod fleet;
 pub mod hist;
 pub mod journal;
+pub mod manifest;
 pub mod memory;
 pub mod slow;
 pub mod tree;
@@ -47,6 +48,7 @@ pub use hist::Histogram;
 pub use journal::{
     CanvasView, EventLog, MagnifierView, SessionEvent, SessionSnapshot, TravelView, ViewState,
 };
+pub use manifest::{DirLock, FleetManifest, ManifestEntry};
 pub use memory::{CompletedSpan, Event, InMemoryRecorder};
 pub use slow::{SlowEntry, SlowLog};
 pub use tree::{CacheStatus, DemandTrace, OpNode};

@@ -1,0 +1,300 @@
+//! Fleet manifest + journal-directory lock for tiogad restart recovery.
+//!
+//! The manifest is a single small JSON file in the journal directory
+//! recording which sessions were live (and under which tenant) when the
+//! daemon last wrote it.  On restart the daemon eagerly recovers exactly
+//! the manifest's sessions; journal files *not* listed stay on disk and
+//! remain lazily attachable.  The file is rewritten atomically
+//! (tmp + rename) so a crash mid-write leaves either the old or the new
+//! manifest, never a torn one.
+//!
+//! The lock file pins a journal directory to one daemon: two tiogads
+//! pointed at the same `--journal-dir` would interleave appends and
+//! corrupt every journal.  Staleness is decided by pid liveness
+//! (`/proc/<pid>` on Linux), so a SIGKILLed daemon's lock does not
+//! block the restart that recovery exists for.
+
+use crate::journal::Json;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest inside the journal directory.
+pub const MANIFEST_FILE: &str = "fleet-manifest.json";
+/// File name of the daemon lock inside the journal directory.
+pub const LOCK_FILE: &str = "tiogad.lock";
+
+const MANIFEST_FORMAT: &str = "tioga2-fleet-manifest";
+const MANIFEST_VERSION: u64 = 1;
+
+/// One live session as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Session id — also the journal file stem (`<sid>.journal`).
+    pub sid: String,
+    /// Owning tenant; reattach must present the same one.
+    pub tenant: String,
+}
+
+/// The fleet manifest: which sessions the daemon considered live at the
+/// moment it was last written.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetManifest {
+    pub sessions: Vec<ManifestEntry>,
+    /// `true` when written by a graceful drain; `false` on the periodic
+    /// rewrites that happen while serving.  A recovered fleet whose
+    /// manifest says `clean: false` crashed.
+    pub clean_shutdown: bool,
+}
+
+impl FleetManifest {
+    pub fn new() -> FleetManifest {
+        FleetManifest::default()
+    }
+
+    pub fn to_text(&self) -> String {
+        let sessions = self
+            .sessions
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("sid".into(), Json::Str(e.sid.clone())),
+                    ("tenant".into(), Json::Str(e.tenant.clone())),
+                ])
+            })
+            .collect();
+        let obj = Json::Obj(vec![
+            ("format".into(), Json::Str(MANIFEST_FORMAT.into())),
+            ("version".into(), Json::Num(MANIFEST_VERSION as f64)),
+            ("clean".into(), Json::Bool(self.clean_shutdown)),
+            ("sessions".into(), Json::Arr(sessions)),
+        ]);
+        let mut text = obj.to_text();
+        text.push('\n');
+        text
+    }
+
+    pub fn parse(text: &str) -> Result<FleetManifest, String> {
+        let v = Json::parse(text.trim_end())?;
+        let fields = match &v {
+            Json::Obj(fields) => fields,
+            _ => return Err("manifest: expected a JSON object".into()),
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        match get("format") {
+            Some(Json::Str(s)) if s == MANIFEST_FORMAT => {}
+            _ => return Err(format!("manifest: missing format marker '{MANIFEST_FORMAT}'")),
+        }
+        match get("version") {
+            Some(Json::Num(n)) if *n as u64 == MANIFEST_VERSION => {}
+            Some(Json::Num(n)) => return Err(format!("manifest: unsupported version {n}")),
+            _ => return Err("manifest: missing version".into()),
+        }
+        let clean_shutdown = matches!(get("clean"), Some(Json::Bool(true)));
+        let mut sessions = Vec::new();
+        match get("sessions") {
+            Some(Json::Arr(items)) => {
+                for item in items {
+                    let entry = match item {
+                        Json::Obj(fs) => fs,
+                        _ => return Err("manifest: session entry must be an object".into()),
+                    };
+                    let field = |key: &str| -> Result<String, String> {
+                        match entry.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                            Some(Json::Str(s)) => Ok(s.clone()),
+                            _ => Err(format!("manifest: session entry missing '{key}'")),
+                        }
+                    };
+                    sessions.push(ManifestEntry { sid: field("sid")?, tenant: field("tenant")? });
+                }
+            }
+            _ => return Err("manifest: missing sessions array".into()),
+        }
+        Ok(FleetManifest { sessions, clean_shutdown })
+    }
+
+    /// Atomically (tmp + rename) write the manifest into `dir`.
+    pub fn store(&self, dir: &Path) -> Result<(), String> {
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        let fin = dir.join(MANIFEST_FILE);
+        fs::write(&tmp, self.to_text()).map_err(|e| format!("manifest write: {e}"))?;
+        fs::rename(&tmp, &fin).map_err(|e| format!("manifest rename: {e}"))
+    }
+
+    /// Load the manifest from `dir`.  `Ok(None)` when the file does not
+    /// exist (fresh directory / pre-manifest journals); parse failures
+    /// are real errors the caller should surface.
+    pub fn load(dir: &Path) -> Result<Option<FleetManifest>, String> {
+        let path = dir.join(MANIFEST_FILE);
+        match fs::read_to_string(&path) {
+            Ok(text) => Ok(Some(FleetManifest::parse(&text)?)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("manifest read: {e}")),
+        }
+    }
+}
+
+/// Exclusive ownership of a journal directory, released on drop.
+#[derive(Debug)]
+pub struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    /// Take the lock, refusing if another *live* daemon holds it.  A
+    /// lock left by a dead pid (crash) is silently replaced.
+    pub fn acquire(dir: &Path) -> Result<DirLock, String> {
+        let path = dir.join(LOCK_FILE);
+        let pid = std::process::id();
+        match fs::read_to_string(&path) {
+            Ok(prev) => {
+                let prev_pid: Option<u32> = prev.trim().parse().ok();
+                match prev_pid {
+                    Some(p) if p != pid && pid_alive(p) => {
+                        return Err(format!(
+                            "journal dir {} is locked by live pid {p} (remove {} if stale)",
+                            dir.display(),
+                            path.display()
+                        ));
+                    }
+                    _ => {} // dead holder or unparseable: reclaim
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("lockfile read: {e}")),
+        }
+        fs::write(&path, format!("{pid}\n")).map_err(|e| format!("lockfile write: {e}"))?;
+        Ok(DirLock { path })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+fn pid_alive(pid: u32) -> bool {
+    // Linux-only liveness probe; on other platforms assume alive so we
+    // err on the side of refusing to double-attach a journal dir.
+    if !cfg!(target_os = "linux") {
+        return true;
+    }
+    // `/proc/<pid>` alone is not enough: a SIGKILLed daemon lingers
+    // there as a zombie until its parent reaps it, and a zombie cannot
+    // be writing journals — treating it as live would block exactly the
+    // restart recovery the lock exists to protect.  State is the third
+    // field of `/proc/<pid>/stat`, after the parenthesized comm (which
+    // may itself contain spaces or parens, hence rfind).
+    match fs::read_to_string(format!("/proc/{pid}/stat")) {
+        Err(_) => false,
+        Ok(stat) => match stat.rfind(')') {
+            None => true, // unparseable: assume alive, refuse the dir
+            Some(i) => !matches!(
+                stat[i + 1..].split_whitespace().next(),
+                Some("Z") | Some("X") | Some("x")
+            ),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tioga2-manifest-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = FleetManifest {
+            sessions: vec![
+                ManifestEntry { sid: "s1".into(), tenant: "acme".into() },
+                ManifestEntry { sid: "s2".into(), tenant: "zenith \"quoted\"".into() },
+            ],
+            clean_shutdown: true,
+        };
+        let back = FleetManifest::parse(&m.to_text()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_store_and_load() {
+        let dir = tmpdir("store");
+        assert_eq!(FleetManifest::load(&dir).unwrap(), None);
+        let m = FleetManifest {
+            sessions: vec![ManifestEntry { sid: "a".into(), tenant: "t".into() }],
+            clean_shutdown: false,
+        };
+        m.store(&dir).unwrap();
+        assert_eq!(FleetManifest::load(&dir).unwrap(), Some(m));
+        // no tmp residue from the atomic write
+        assert!(!dir.join(format!("{MANIFEST_FILE}.tmp")).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_rejects_garbage_and_wrong_format() {
+        assert!(FleetManifest::parse("not json").is_err());
+        assert!(FleetManifest::parse("{\"format\":\"other\",\"version\":1}").is_err());
+        assert!(FleetManifest::parse(
+            "{\"format\":\"tioga2-fleet-manifest\",\"version\":99,\"sessions\":[]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn dirlock_excludes_live_pid_and_reclaims_dead() {
+        let dir = tmpdir("lock");
+        let lock = DirLock::acquire(&dir).unwrap();
+        // Same (live) pid re-acquiring is allowed — it is *our* lock.
+        drop(DirLock::acquire(&dir).unwrap());
+        drop(lock);
+        assert!(!dir.join(LOCK_FILE).exists());
+        // A live foreign pid refuses: pid 1 is always alive on Linux.
+        if cfg!(target_os = "linux") {
+            fs::write(dir.join(LOCK_FILE), "1\n").unwrap();
+            assert!(DirLock::acquire(&dir).is_err());
+        }
+        // A dead pid's lock is reclaimed.
+        fs::write(dir.join(LOCK_FILE), "4294967: not-a-pid\n").unwrap();
+        let lock = DirLock::acquire(&dir).unwrap();
+        drop(lock);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A SIGKILLed daemon lingers in `/proc` as a zombie until its
+    /// parent reaps it; its lock must still be reclaimable — blocking
+    /// on a zombie would defeat the restart recovery the lock protects.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn dirlock_reclaims_zombie_holder() {
+        let dir = tmpdir("zombie");
+        fs::create_dir_all(&dir).unwrap();
+        let mut child = std::process::Command::new("true").spawn().unwrap();
+        // Wait for the process to exit WITHOUT reaping it: /proc/<pid>
+        // stays present with state Z until `wait` below.
+        let stat = format!("/proc/{}/stat", child.id());
+        for _ in 0..200 {
+            let state = fs::read_to_string(&stat)
+                .ok()
+                .and_then(|s| s[s.rfind(')')? + 1..].split_whitespace().next().map(String::from));
+            if state.as_deref() == Some("Z") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        fs::write(dir.join(LOCK_FILE), format!("{}\n", child.id())).unwrap();
+        let lock = DirLock::acquire(&dir);
+        let _ = child.wait();
+        drop(lock.expect("a zombie holder's lock must be reclaimed"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -175,6 +175,17 @@ pub fn install(plan: Option<FaultPlan>) -> Option<Arc<FaultPlan>> {
     prev
 }
 
+/// Trip `site@coord` against the global plan directly.  For layers with
+/// no demand context to capture an `Arc` into (the server's network
+/// edge, journal fsync); disarmed cost is the same single atomic load
+/// as [`current`].
+pub fn trip_global(site: &str, coord: u64) -> Result<(), RelError> {
+    match current() {
+        Some(plan) => plan.trip(site, coord),
+        None => Ok(()),
+    }
+}
+
 /// The currently armed plan, if any. One relaxed load when disarmed;
 /// execution layers call this once per demand and capture the `Arc`.
 pub fn current() -> Option<Arc<FaultPlan>> {

@@ -9,9 +9,15 @@
 //! printf 'table Stations\nshow 0 5\nquit\n' \
 //!     | tioga2-client --addr 127.0.0.1:7104 --session demo
 //! ```
+//!
+//! By default every command rides the crash-durability contract:
+//! bounded retry with exponential backoff, reconnect-then-reattach
+//! after a torn connection or daemon restart, and request-id stamping
+//! so retries are exactly-once.  `--no-retry` gives the raw
+//! one-connection behaviour (a dropped daemon is then a hard error).
 
 use std::io::{BufRead, Write};
-use tioga2_server::{Client, Reply};
+use tioga2_server::{Client, Reply, RetryClient, RetryPolicy};
 
 /// Write a reply body to stdout.  A closed pipe (the reader downstream
 /// exited, e.g. `... | grep -q`) is a normal way for a scripted session
@@ -23,7 +29,10 @@ fn emit(body: &str) -> bool {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: tioga2-client [--addr HOST:PORT] [--session SID] [--tenant NAME]");
+    eprintln!(
+        "usage: tioga2-client [--addr HOST:PORT] [--session SID] [--tenant NAME]\n\
+         \x20                    [--no-retry] [--retries N] [--timeout-ms MS]"
+    );
     std::process::exit(2)
 }
 
@@ -31,6 +40,8 @@ fn main() -> std::io::Result<()> {
     let mut addr = "127.0.0.1:7104".to_string();
     let mut session: Option<String> = None;
     let mut tenant: Option<String> = None;
+    let mut retry = true;
+    let mut policy = RetryPolicy::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,6 +55,12 @@ fn main() -> std::io::Result<()> {
             "--addr" => addr = value("--addr"),
             "--session" => session = Some(value("--session")),
             "--tenant" => tenant = Some(value("--tenant")),
+            "--no-retry" => retry = false,
+            "--retries" => policy.attempts = value("--retries").parse().unwrap_or_else(|_| usage()),
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms").parse().unwrap_or_else(|_| usage());
+                policy.timeout = std::time::Duration::from_millis(ms);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -52,9 +69,71 @@ fn main() -> std::io::Result<()> {
         }
     }
 
-    let mut client = Client::connect(&*addr)?;
+    if retry {
+        run_retry(&addr, policy, session.as_deref(), tenant.as_deref())
+    } else {
+        run_plain(&addr, session.as_deref(), tenant.as_deref())
+    }
+}
+
+fn run_retry(
+    addr: &str,
+    policy: RetryPolicy,
+    session: Option<&str>,
+    tenant: Option<&str>,
+) -> std::io::Result<()> {
+    let mut client = RetryClient::connect_with(addr, policy);
     if session.is_some() || tenant.is_some() {
-        match client.attach(session.as_deref(), tenant.as_deref())? {
+        match client.attach(session, tenant) {
+            Ok(sid) => eprintln!("attached {sid}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let stdin = std::io::stdin();
+    let mut done = false;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match client.send(&line)? {
+            Reply::Ok(body) => {
+                if !body.is_empty() && !emit(&body) {
+                    done = true;
+                }
+            }
+            Reply::Err(e) => eprintln!("error: {e}"),
+            Reply::Bye(body) => {
+                if !body.is_empty() {
+                    let _ = emit(&body);
+                }
+                done = true;
+            }
+        }
+        if done {
+            break;
+        }
+    }
+    let s = client.stats();
+    if s.retries + s.reconnects + s.refusals > 1 {
+        // One reconnect is just the initial dial; more means the retry
+        // machinery actually did work worth reporting.
+        eprintln!(
+            "tioga2-client: retries={} reconnects={} refusals={}",
+            s.retries, s.reconnects, s.refusals
+        );
+    }
+    Ok(())
+}
+
+fn run_plain(addr: &str, session: Option<&str>, tenant: Option<&str>) -> std::io::Result<()> {
+    let mut client = Client::connect(addr)?;
+    if session.is_some() || tenant.is_some() {
+        match client.attach(session, tenant)? {
             Ok(sid) => eprintln!("attached {sid}"),
             Err(e) => {
                 eprintln!("error: {e}");

@@ -25,6 +25,6 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, RetryClient, RetryPolicy, RetryStats};
 pub use proto::Reply;
-pub use server::{Server, ServerConfig, ServerHandle, StorageProof};
+pub use server::{RecoveryReport, Server, ServerConfig, ServerHandle, StorageProof};

@@ -34,21 +34,23 @@
 //! * **tenant budgets** — each session runs under its tenant's row/
 //!   wall-clock budget (or the server default).
 
-use crate::proto::{next_request_id, read_frame, write_frame, Reply};
+use crate::proto::{
+    next_request_id, retryable, split_rid, write_frame, FrameEvent, FrameReader, Reply,
+};
 use std::collections::BTreeMap;
-use std::io::{self, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tioga2_core::command::{self, Command, Response};
 use tioga2_core::{Environment, Session, SupersedeHandle};
-use tioga2_obs::export::escape_json;
-use tioga2_obs::{FleetRecorder, InMemoryRecorder, SlowLog};
-use tioga2_relational::{Budget, Catalog};
+use tioga2_obs::export::{escape_json, histogram_series};
+use tioga2_obs::{DirLock, FleetManifest, FleetRecorder, Histogram, InMemoryRecorder, SlowLog};
+use tioga2_relational::{fault, Budget, Catalog};
 
 /// Server configuration.
 #[derive(Clone)]
@@ -78,6 +80,23 @@ pub struct ServerConfig {
     /// Arm the fleet-wide slow-demand log at this threshold (ms);
     /// `None` defers to the `TIOGA2_SLOWLOG` env var.
     pub slowlog_ms: Option<u64>,
+    /// Durability-on-commit: fsync a session's journal after every
+    /// executed command, *before* the reply frame is sent.  A positive
+    /// reply then means the edit is on stable storage.  Requires
+    /// `journal_dir`; measured <5% on the A12 gesture workload.
+    pub fsync: bool,
+    /// How long a graceful drain lets in-flight demands run before
+    /// cancelling them via their supersede handles.
+    pub drain_deadline_ms: u64,
+    /// Evict sessions idle longer than this (journal-backed: flush +
+    /// detach, a later `attach` recovers them).  `None` disables
+    /// reaping; ignored without a `journal_dir` since eviction would
+    /// otherwise lose state.
+    pub idle_evict_ms: Option<u64>,
+    /// Per-connection socket read/write deadline.  Reads at a frame
+    /// boundary merely poll shutdown flags on expiry; a peer stalled
+    /// *mid-frame* (or a write blocked this long) tears the connection.
+    pub conn_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +111,10 @@ impl Default for ServerConfig {
             telemetry: true,
             metrics_addr: None,
             slowlog_ms: None,
+            fsync: false,
+            drain_deadline_ms: 2_000,
+            idle_evict_ms: None,
+            conn_timeout_ms: 30_000,
         }
     }
 }
@@ -99,14 +122,22 @@ impl Default for ServerConfig {
 /// One queued command plus the channel its reply goes back on.  `rid`
 /// is the request id stamped on the protocol frame (or minted by
 /// [`Server::run`]); the worker installs it in the session so the
-/// demand trace, journal event, and slow log all carry it.
+/// demand trace, journal event, and slow log all carry it.  `stamped`
+/// records whether the *client* chose the rid: only those enter the
+/// worker's duplicate-suppression cache — client counters and the
+/// server's minting counter are independent namespaces, so a minted
+/// rid must never be allowed to answer for a stamped retry.
 struct Job {
     line: String,
     rid: u64,
+    stamped: bool,
     reply: SyncSender<JobReply>,
 }
 
 /// Worker's answer: the command outcome plus whether the session quit.
+/// `Clone` so the worker's duplicate-suppression cache can re-serve it
+/// when a retried frame carries an already-executed request id.
+#[derive(Clone)]
 struct JobReply {
     result: Result<String, String>,
     quit: bool,
@@ -120,6 +151,8 @@ struct SessionSlot {
     supersede: SupersedeHandle,
     catalog: Catalog,
     worker: Option<JoinHandle<()>>,
+    /// Last admission into this session — the idle reaper's clock.
+    last_used: Instant,
 }
 
 /// Shared server state.
@@ -142,6 +175,47 @@ pub struct Server {
     refused_max_sessions: AtomicU64,
     refused_max_per_tenant: AtomicU64,
     queue_full: AtomicU64,
+    // --- crash durability & drain state (PR 10) ---
+    /// Set by `shutdown drain` / SIGTERM: stop admitting, finish
+    /// in-flight work, fsync, write the manifest, exit.
+    draining: AtomicBool,
+    /// Session ids mid-attach (worker building/recovering) — counted
+    /// against the caps but not yet in `slots`, so attach does not hold
+    /// the slots lock across an expensive journal recovery.
+    reserved: Mutex<BTreeMap<String, String>>,
+    /// Exclusive claim on the journal dir (held for the server's life).
+    dir_lock: Mutex<Option<DirLock>>,
+    /// Sessions rebuilt from journals (startup recovery + reattach).
+    recoveries: AtomicU64,
+    /// Journals whose final record was torn by a crash mid-append.
+    torn_tails: AtomicU64,
+    /// Journal-backed evictions, by reason.
+    evictions_idle: AtomicU64,
+    evictions_drain: AtomicU64,
+    /// Retried frames answered from a worker's duplicate-suppression
+    /// cache instead of re-executing (the server-visible face of client
+    /// retries).
+    dedup_hits: Arc<AtomicU64>,
+    /// Server-wide reply frames served; the coordinate stream for the
+    /// `net.*` chaos sites.
+    net_frames: AtomicU64,
+    /// Wall time of completed drains (ms).
+    drain_hist: Mutex<Histogram>,
+}
+
+/// What startup fleet recovery found in the journal directory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Sessions rebuilt from their journals (sorted by id).
+    pub recovered: Vec<String>,
+    /// Sessions whose journals refused to load, with the reason — they
+    /// refuse `attach` with the same error but never fail the boot.
+    pub damaged: Vec<(String, String)>,
+    /// Whether the manifest recorded a graceful drain.
+    pub clean_shutdown: bool,
+    /// The manifest itself was unreadable; recovery degraded to lazy
+    /// (journals recover on explicit attach).
+    pub manifest_damaged: bool,
 }
 
 /// The shared-snapshot memory proof: across the base catalog and every
@@ -160,6 +234,7 @@ pub struct StorageProof {
 
 impl Server {
     pub fn new(base: Catalog, cfg: ServerConfig) -> Arc<Server> {
+        Self::install_io_fault_bridge();
         let slowlog = match cfg.slowlog_ms {
             Some(ms) => {
                 let log = SlowLog::new();
@@ -183,7 +258,30 @@ impl Server {
             refused_max_sessions: AtomicU64::new(0),
             refused_max_per_tenant: AtomicU64::new(0),
             queue_full: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            reserved: Mutex::new(BTreeMap::new()),
+            dir_lock: Mutex::new(None),
+            recoveries: AtomicU64::new(0),
+            torn_tails: AtomicU64::new(0),
+            evictions_idle: AtomicU64::new(0),
+            evictions_drain: AtomicU64::new(0),
+            dedup_hits: Arc::new(AtomicU64::new(0)),
+            drain_hist: Mutex::new(Histogram::default()),
+            net_frames: AtomicU64::new(0),
         })
+    }
+
+    /// Bridge the obs journal's IO fault hook to the process-global
+    /// fault registry, arming the `journal.fsync` chaos site.  Installed
+    /// once per process; near-free when `TIOGA2_FAULTS` is unset (one
+    /// atomic load per fsync).
+    fn install_io_fault_bridge() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            tioga2_obs::journal::set_io_fault_hook(Some(Arc::new(|site: &str, coord: u64| {
+                fault::trip_global(site, coord).map_err(|e| e.to_string())
+            })));
+        });
     }
 
     /// The fleet-wide metrics aggregator (per-session recorders under
@@ -214,31 +312,86 @@ impl Server {
     /// Attach (create or join) the session `sid` for `tenant`.  Enforces
     /// the session caps; a dead session id with a journal on disk is
     /// recovered instead of recreated blank.
+    ///
+    /// The slots lock is *not* held while the worker builds (possibly
+    /// recovers) the session: the id is reserved first, so concurrent
+    /// attaches — startup recovery runs many in parallel — only
+    /// serialize on the cheap bookkeeping.
     pub fn attach(&self, sid: Option<&str>, tenant: &str) -> Result<String, String> {
         let sid = match sid {
             Some(s) => s.to_string(),
-            None => format!("s{}", self.next_sid.fetch_add(1, Ordering::Relaxed)),
+            // Anonymous attach mints an id — skipping any that is live,
+            // reserved, or has a journal on disk (after a restart the
+            // counter starts over, but recovered sessions and dormant
+            // journals still own their ids).
+            None => loop {
+                let cand = format!("s{}", self.next_sid.fetch_add(1, Ordering::Relaxed));
+                let taken = self.slots.lock().unwrap().contains_key(&cand)
+                    || self.reserved.lock().unwrap().contains_key(&cand)
+                    || self.journal_path(&cand).map(|p| p.exists()).unwrap_or(false);
+                if !taken {
+                    break cand;
+                }
+            },
         };
-        let mut slots = self.slots.lock().unwrap();
-        if slots.contains_key(&sid) {
-            return Ok(sid); // joining an existing session is free
-        }
-        if slots.len() >= self.cfg.max_sessions {
-            self.refused_max_sessions.fetch_add(1, Ordering::Relaxed);
-            return Err(format!(
-                "admission denied: server is at max_sessions={}",
-                self.cfg.max_sessions
-            ));
-        }
-        let tenant_count = slots.values().filter(|s| s.tenant == tenant).count();
-        if tenant_count >= self.cfg.max_per_tenant {
-            self.refused_max_per_tenant.fetch_add(1, Ordering::Relaxed);
-            return Err(format!(
-                "admission denied: tenant '{tenant}' is at max_per_tenant={}",
-                self.cfg.max_per_tenant
-            ));
+        // Phase 1: caps + reservation, under the locks.
+        {
+            let mut slots = self.slots.lock().unwrap();
+            let mut reserved = self.reserved.lock().unwrap();
+            if let Some(slot) = slots.get_mut(&sid) {
+                if slot.tenant != tenant {
+                    return Err(format!(
+                        "admission denied: session '{sid}' belongs to tenant '{}'",
+                        slot.tenant
+                    ));
+                }
+                slot.last_used = Instant::now();
+                return Ok(sid); // joining an existing session is free
+            }
+            if self.draining.load(Ordering::SeqCst) || self.is_shutdown() {
+                return Err(retryable("admission denied: server is draining"));
+            }
+            if reserved.contains_key(&sid) {
+                return Err(retryable(format!("session '{sid}' attach already in progress")));
+            }
+            if slots.len() + reserved.len() >= self.cfg.max_sessions {
+                self.refused_max_sessions.fetch_add(1, Ordering::Relaxed);
+                return Err(format!(
+                    "admission denied: server is at max_sessions={}",
+                    self.cfg.max_sessions
+                ));
+            }
+            let tenant_count = slots.values().filter(|s| s.tenant == tenant).count()
+                + reserved.values().filter(|t| t.as_str() == tenant).count();
+            if tenant_count >= self.cfg.max_per_tenant {
+                self.refused_max_per_tenant.fetch_add(1, Ordering::Relaxed);
+                return Err(format!(
+                    "admission denied: tenant '{tenant}' is at max_per_tenant={}",
+                    self.cfg.max_per_tenant
+                ));
+            }
+            reserved.insert(sid.clone(), tenant.to_string());
         }
 
+        // Phase 2: build the session off-lock; always release the
+        // reservation, success or not.
+        let built = self.spawn_worker(&sid, tenant);
+        let mut slots = self.slots.lock().unwrap();
+        self.reserved.lock().unwrap().remove(&sid);
+        let (slot, recovered) = built?;
+        slots.insert(sid.clone(), slot);
+        drop(slots);
+        self.attaches.fetch_add(1, Ordering::Relaxed);
+        if recovered {
+            self.recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.write_manifest(false);
+        Ok(sid)
+    }
+
+    /// Spawn the worker thread for a new (or journal-recovered) session
+    /// and wait for it to hand back the slot's handles.
+    fn spawn_worker(&self, sid: &str, tenant: &str) -> Result<(SessionSlot, bool), String> {
         let budget = self
             .cfg
             .tenant_budgets
@@ -246,45 +399,76 @@ impl Server {
             .cloned()
             .or_else(|| self.cfg.default_budget.clone());
         let fork = self.base.fork();
-        let journal = self.journal_path(&sid);
+        let journal = self.journal_path(sid);
         if let Some(dir) = &self.cfg.journal_dir {
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
         }
+        let will_recover = journal
+            .as_ref()
+            .map(|p| std::fs::metadata(p).map(|m| m.len() > 0).unwrap_or(false))
+            .unwrap_or(false);
 
         let (tx, rx) = sync_channel::<Job>(self.cfg.queue_depth);
         let obs = WorkerObs {
             fleet: self.cfg.telemetry.then(|| self.fleet.clone()),
             slowlog: self.slowlog.clone(),
             tenant: tenant.to_string(),
-            sid: sid.clone(),
+            sid: sid.to_string(),
+            fsync: self.cfg.fsync,
+            dedup_hits: self.dedup_hits.clone(),
         };
         // The session is built on the worker thread (it owns it for
         // life); the supersede handle and forked catalog come back over
         // a one-shot channel so the slot can expose them.
-        let (init_tx, init_rx) = sync_channel::<Result<(SupersedeHandle, Catalog), String>>(1);
+        let (init_tx, init_rx) =
+            sync_channel::<Result<(SupersedeHandle, Catalog, bool), String>>(1);
         let worker = std::thread::Builder::new()
             .name(format!("tiogad-{sid}"))
             .spawn(move || session_worker(fork, budget, journal, obs, rx, init_tx))
             .map_err(|e| e.to_string())?;
-        let (supersede, catalog) =
+        let (supersede, catalog, torn) =
             init_rx.recv().map_err(|_| "session worker died during startup".to_string())??;
-        slots.insert(
-            sid.clone(),
+        if torn {
+            self.torn_tails.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((
             SessionSlot {
                 tenant: tenant.to_string(),
                 tx,
                 supersede,
                 catalog,
                 worker: Some(worker),
+                last_used: Instant::now(),
             },
-        );
-        self.attaches.fetch_add(1, Ordering::Relaxed);
-        Ok(sid)
+            will_recover,
+        ))
     }
 
-    /// Detach `sid`: the worker drains its queue and exits.  With a
-    /// journal dir configured the session's state survives on disk and a
-    /// later `attach` of the same id recovers it.
+    /// Rewrite the fleet manifest (live sessions + shutdown
+    /// cleanliness).  Best-effort: a failed write degrades restart from
+    /// eager to lazy recovery, it must never fail the serving path.
+    fn write_manifest(&self, clean: bool) {
+        let Some(dir) = &self.cfg.journal_dir else { return };
+        let sessions = {
+            let slots = self.slots.lock().unwrap();
+            slots
+                .iter()
+                .map(|(sid, slot)| tioga2_obs::ManifestEntry {
+                    sid: sid.clone(),
+                    tenant: slot.tenant.clone(),
+                })
+                .collect()
+        };
+        let manifest = FleetManifest { sessions, clean_shutdown: clean };
+        let _ = std::fs::create_dir_all(dir);
+        if let Err(e) = manifest.store(dir) {
+            eprintln!("tiogad: manifest write failed: {e}");
+        }
+    }
+
+    /// Detach `sid`: the worker drains its queue, fsyncs the journal,
+    /// and exits.  With a journal dir configured the session's state
+    /// survives on disk and a later `attach` of the same id recovers it.
     pub fn detach(&self, sid: &str) -> Result<(), String> {
         let slot =
             self.slots.lock().unwrap().remove(sid).ok_or_else(|| format!("no session '{sid}'"))?;
@@ -296,7 +480,171 @@ impl Server {
         // final counters/histograms into the tenant's retired aggregate
         // so fleet totals stay monotonic (no-op when telemetry is off).
         self.fleet.retire(&slot.tenant, sid);
+        self.write_manifest(false);
         Ok(())
+    }
+
+    /// Evict every session idle longer than `idle_evict_ms`.  Eviction
+    /// is a journal-backed detach — flush, fsync, free the slot — so an
+    /// evicted session reattaches with full state.  Skipped entirely
+    /// without a journal dir (eviction would lose state).  Returns the
+    /// evicted session ids.
+    pub fn reap_idle(&self) -> Vec<String> {
+        let (Some(ms), Some(_)) = (self.cfg.idle_evict_ms, self.cfg.journal_dir.as_ref()) else {
+            return Vec::new();
+        };
+        if self.draining.load(Ordering::SeqCst) {
+            return Vec::new();
+        }
+        let cutoff = Duration::from_millis(ms);
+        let idle: Vec<String> = {
+            let slots = self.slots.lock().unwrap();
+            slots
+                .iter()
+                .filter(|(_, slot)| slot.last_used.elapsed() >= cutoff)
+                .map(|(sid, _)| sid.clone())
+                .collect()
+        };
+        let mut evicted = Vec::new();
+        for sid in idle {
+            if self.detach(&sid).is_ok() {
+                self.evictions_idle.fetch_add(1, Ordering::Relaxed);
+                evicted.push(sid);
+            }
+        }
+        evicted
+    }
+
+    /// Whether a graceful drain is underway (exposed by `stats`).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: stop admitting (attaches and new commands are
+    /// refused with a retryable error), let queued and in-flight demands
+    /// finish under `drain_deadline_ms` (a watchdog then cancels them
+    /// via their supersede handles), fsync every journal as its worker
+    /// exits, and write a clean manifest.  Returns the drain wall time
+    /// in ms.  Idempotent — a second drain is a no-op.
+    pub fn drain(&self) -> u64 {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return 0;
+        }
+        let start = Instant::now();
+        let drained: Vec<(String, SessionSlot)> = {
+            let mut slots = self.slots.lock().unwrap();
+            std::mem::take(&mut *slots).into_iter().collect()
+        };
+        let n = drained.len() as u64;
+
+        // Deadline watchdog: if the fleet has not finished by the drain
+        // deadline, cancel every in-flight demand so workers unblock.
+        let cancels: Vec<SupersedeHandle> =
+            drained.iter().map(|(_, s)| s.supersede.clone()).collect();
+        let deadline = Duration::from_millis(self.cfg.drain_deadline_ms);
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = done.clone();
+        let watchdog = std::thread::Builder::new()
+            .name("tiogad-drain-watchdog".into())
+            .spawn(move || {
+                let tick = Duration::from_millis(10);
+                let begun = Instant::now();
+                while !done2.load(Ordering::SeqCst) {
+                    if begun.elapsed() >= deadline {
+                        for handle in &cancels {
+                            handle.cancel_inflight();
+                        }
+                        return;
+                    }
+                    std::thread::sleep(tick);
+                }
+            })
+            .ok();
+
+        // Dropping a slot's sender ends its worker's queue; the worker
+        // finishes whatever was admitted, fsyncs its journal, and exits.
+        for (sid, slot) in drained {
+            drop(slot.tx);
+            if let Some(w) = slot.worker {
+                let _ = w.join();
+            }
+            self.fleet.retire(&slot.tenant, &sid);
+            self.evictions_drain.fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(true, Ordering::SeqCst);
+        if let Some(w) = watchdog {
+            let _ = w.join();
+        }
+
+        // All journals are on disk: record the clean manifest (drain
+        // empties the live set, so recovery after a *clean* shutdown
+        // starts lazy — journals stay attachable by id).
+        self.write_manifest(true);
+        let ms = start.elapsed().as_millis() as u64;
+        self.drain_hist.lock().unwrap().record(ms);
+        eprintln!("tiogad: drained {n} session(s) in {ms} ms");
+        ms
+    }
+
+    /// Startup recovery: claim the journal dir (lockfile, pid-liveness
+    /// stale detection), read the manifest, and rebuild every listed
+    /// session — in parallel, bounded — so clients can reattach to their
+    /// pre-crash `{tenant, session}` immediately.  Per-session failures
+    /// (damaged journals) degrade to that session refusing to attach;
+    /// they never fail the boot.  Only a foreign *live* daemon holding
+    /// the lock is fatal.
+    pub fn recover_fleet(&self) -> Result<RecoveryReport, String> {
+        let Some(dir) = self.cfg.journal_dir.clone() else {
+            return Ok(RecoveryReport::default());
+        };
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let lock = DirLock::acquire(&dir)?;
+        *self.dir_lock.lock().unwrap() = Some(lock);
+
+        let manifest = match FleetManifest::load(&dir) {
+            Ok(Some(m)) => m,
+            Ok(None) => return Ok(RecoveryReport::default()),
+            Err(e) => {
+                // A torn/corrupt manifest downgrades to lazy recovery.
+                eprintln!("tiogad: manifest unreadable ({e}); sessions recover on attach");
+                return Ok(RecoveryReport { manifest_damaged: true, ..Default::default() });
+            }
+        };
+        let mut report =
+            RecoveryReport { clean_shutdown: manifest.clean_shutdown, ..Default::default() };
+        if manifest.sessions.is_empty() {
+            return Ok(report);
+        }
+
+        // Bounded parallel rebuild: attach() reserves ids up front and
+        // builds off-lock, so K recovery threads overlap journal replay.
+        type SessionResults = Vec<(String, Result<(), String>)>;
+        let work = Arc::new(Mutex::new(manifest.sessions));
+        let results: Arc<Mutex<SessionResults>> = Arc::new(Mutex::new(Vec::new()));
+        let threads = {
+            let n = work.lock().unwrap().len();
+            n.min(4)
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let work = work.clone();
+                let results = results.clone();
+                scope.spawn(move || loop {
+                    let Some(entry) = work.lock().unwrap().pop() else { break };
+                    let out = self.attach(Some(&entry.sid), &entry.tenant).map(|_| ());
+                    results.lock().unwrap().push((entry.sid, out));
+                });
+            }
+        });
+        let mut results = std::mem::take(&mut *results.lock().unwrap());
+        results.sort_by(|a, b| a.0.cmp(&b.0));
+        for (sid, out) in results {
+            match out {
+                Ok(()) => report.recovered.push(sid),
+                Err(e) => report.damaged.push((sid, e)),
+            }
+        }
+        Ok(report)
     }
 
     /// Run one command line in session `sid`, minting a fresh request
@@ -304,16 +652,29 @@ impl Server {
     /// the in-flight demand, and a full queue refuses the command
     /// instead of blocking.
     pub fn run(&self, sid: &str, line: &str) -> Result<(String, bool), String> {
-        self.run_req(sid, line, next_request_id())
+        self.run_req(sid, line, next_request_id(), false)
     }
 
     /// [`Server::run`] with an explicit request id (the connection loop
     /// stamps one per protocol frame so replies, journal events, and
-    /// slowlog entries correlate).
-    pub fn run_req(&self, sid: &str, line: &str, rid: u64) -> Result<(String, bool), String> {
+    /// slowlog entries correlate).  `stamped` marks a client-chosen rid:
+    /// only those participate in duplicate suppression, because a
+    /// server-minted rid lives in a different counter namespace and may
+    /// collide with a client's.
+    pub fn run_req(
+        &self,
+        sid: &str,
+        line: &str,
+        rid: u64,
+        stamped: bool,
+    ) -> Result<(String, bool), String> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err(retryable("admission denied: server is draining"));
+        }
         let (tx, supersede) = {
-            let slots = self.slots.lock().unwrap();
-            let slot = slots.get(sid).ok_or_else(|| format!("no session '{sid}'"))?;
+            let mut slots = self.slots.lock().unwrap();
+            let slot = slots.get_mut(sid).ok_or_else(|| format!("no session '{sid}'"))?;
+            slot.last_used = Instant::now();
             (slot.tx.clone(), slot.supersede.clone())
         };
         // Parse up front so admission can classify; the worker re-parses
@@ -324,14 +685,14 @@ impl Server {
             }
         }
         let (rtx, rrx) = sync_channel::<JobReply>(1);
-        match tx.try_send(Job { line: line.to_string(), rid, reply: rtx }) {
+        match tx.try_send(Job { line: line.to_string(), rid, stamped, reply: rtx }) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
                 self.queue_full.fetch_add(1, Ordering::Relaxed);
-                return Err(format!(
+                return Err(retryable(format!(
                     "admission denied: session '{sid}' queue is full (depth {})",
                     self.cfg.queue_depth
-                ));
+                )));
             }
             Err(TrySendError::Disconnected(_)) => {
                 self.slots.lock().unwrap().remove(sid);
@@ -384,7 +745,7 @@ impl Server {
             None => "off".to_string(),
         };
         format!(
-            "sessions={} max_sessions={} queue_depth={}\ntenants: {}\nstorage: {} base table(s), max {} allocation(s) per table across all sessions\nuptime: {}s  telemetry: {}  slowlog: {}\nadmission: attaches={} refused_max_sessions={} refused_max_per_tenant={} queue_full={}",
+            "sessions={} max_sessions={} queue_depth={}\ntenants: {}\nstorage: {} base table(s), max {} allocation(s) per table across all sessions\nuptime: {}s  telemetry: {}  slowlog: {}  draining: {}\nadmission: attaches={} refused_max_sessions={} refused_max_per_tenant={} queue_full={}\ndurability: fsync={} recoveries={} torn_tails={} evictions_idle={} evictions_drain={} dedup_hits={}",
             proof.sessions,
             self.cfg.max_sessions,
             self.cfg.queue_depth,
@@ -394,10 +755,17 @@ impl Server {
             self.started.elapsed().as_secs(),
             if self.cfg.telemetry { "on" } else { "off" },
             slow,
+            if self.is_draining() { "yes" } else { "no" },
             self.attaches.load(Ordering::Relaxed),
             self.refused_max_sessions.load(Ordering::Relaxed),
             self.refused_max_per_tenant.load(Ordering::Relaxed),
             self.queue_full.load(Ordering::Relaxed),
+            if self.cfg.fsync { "on" } else { "off" },
+            self.recoveries.load(Ordering::Relaxed),
+            self.torn_tails.load(Ordering::Relaxed),
+            self.evictions_idle.load(Ordering::Relaxed),
+            self.evictions_drain.load(Ordering::Relaxed),
+            self.dedup_hits.load(Ordering::Relaxed),
         )
     }
 
@@ -445,6 +813,40 @@ impl Server {
         ));
         out.push_str("# TYPE tioga2_daemon_slowlog_entries gauge\n");
         out.push_str(&format!("tioga2_daemon_slowlog_entries {}\n", self.slowlog.entries().len()));
+        out.push_str("# TYPE tioga2_daemon_draining gauge\n");
+        out.push_str(&format!(
+            "tioga2_daemon_draining {}\n",
+            if self.is_draining() { 1 } else { 0 }
+        ));
+        out.push_str("# TYPE tioga2_fleet_recoveries_total counter\n");
+        out.push_str(&format!(
+            "tioga2_fleet_recoveries_total {}\n",
+            self.recoveries.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE tioga2_fleet_torn_tails_total counter\n");
+        out.push_str(&format!(
+            "tioga2_fleet_torn_tails_total {}\n",
+            self.torn_tails.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE tioga2_fleet_evictions_total counter\n");
+        out.push_str(&format!(
+            "tioga2_fleet_evictions_total{{reason=\"idle\"}} {}\n",
+            self.evictions_idle.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "tioga2_fleet_evictions_total{{reason=\"drain\"}} {}\n",
+            self.evictions_drain.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE tioga2_fleet_dedup_hits_total counter\n");
+        out.push_str(&format!(
+            "tioga2_fleet_dedup_hits_total {}\n",
+            self.dedup_hits.load(Ordering::Relaxed)
+        ));
+        let drain = self.drain_hist.lock().unwrap().clone();
+        if drain.count() > 0 {
+            out.push_str("# TYPE tioga2_fleet_drain_duration_ms histogram\n");
+            histogram_series(&mut out, "tioga2_fleet_drain_duration_ms", "", &drain);
+        }
         out.push_str(&self.fleet.prometheus_text());
         out
     }
@@ -470,6 +872,30 @@ impl Server {
         for (_, stream) in std::mem::take(&mut *self.conns.lock().unwrap()) {
             let _ = stream.shutdown(Shutdown::Both);
         }
+        // Release the journal-dir claim so a successor daemon can boot.
+        self.dir_lock.lock().unwrap().take();
+    }
+
+    /// Chaos hook: stop serving the way a crashed daemon would.  Worker
+    /// threads are joined so journal files close, but sessions are not
+    /// retired, the manifest is not rewritten (it still lists the fleet
+    /// as live), and the lockfile is left on disk exactly as SIGKILL
+    /// would leave it — startup recovery must cope with all of that.
+    pub fn crash(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let slots = std::mem::take(&mut *self.slots.lock().unwrap());
+        for (_, slot) in slots {
+            drop(slot.tx);
+            if let Some(w) = slot.worker {
+                let _ = w.join();
+            }
+        }
+        for (_, stream) in std::mem::take(&mut *self.conns.lock().unwrap()) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(lock) = self.dir_lock.lock().unwrap().take() {
+            std::mem::forget(lock); // leave the lockfile behind, like a real crash
+        }
     }
 
     fn register_conn(&self, stream: &TcpStream) -> Option<u64> {
@@ -494,7 +920,18 @@ struct WorkerObs {
     slowlog: Arc<SlowLog>,
     tenant: String,
     sid: String,
+    /// Durability-on-commit: fsync the journal after every executed
+    /// command, before its reply is sent.
+    fsync: bool,
+    /// Shared counter of retried frames answered from the dedup cache.
+    dedup_hits: Arc<AtomicU64>,
 }
+
+/// How many recently executed request ids each worker remembers for
+/// duplicate suppression.  A client retries one in-flight command at a
+/// time, so even a small window is generous; 64 also covers a proxy
+/// replaying a burst.
+const DEDUP_WINDOW: usize = 64;
 
 /// The per-session worker: owns the session for its whole life, drains
 /// the bounded queue, executes through exactly the same
@@ -505,10 +942,10 @@ fn session_worker(
     journal: Option<PathBuf>,
     obs: WorkerObs,
     rx: Receiver<Job>,
-    init_tx: SyncSender<Result<(SupersedeHandle, Catalog), String>>,
+    init_tx: SyncSender<Result<(SupersedeHandle, Catalog, bool), String>>,
 ) {
-    let mut session = match build_session(fork, &journal) {
-        Ok(s) => s,
+    let (mut session, torn) = match build_session(fork, &journal) {
+        Ok(pair) => pair,
         Err(e) => {
             let _ = init_tx.send(Err(e));
             return;
@@ -524,47 +961,112 @@ fn session_worker(
     }
     session.install_slowlog(obs.slowlog, &obs.tenant, &obs.sid);
     let catalog = session.env.catalog.clone();
-    if init_tx.send(Ok((session.supersede_handle(), catalog))).is_err() {
+    if init_tx.send(Ok((session.supersede_handle(), catalog, torn))).is_err() {
         return;
     }
+    // Duplicate suppression: a retried frame (same client-stamped
+    // request id) is answered from this bounded cache instead of
+    // re-executing — the exactly-once half of the client retry contract.
+    let mut recent: std::collections::VecDeque<(u64, JobReply)> = std::collections::VecDeque::new();
     while let Ok(job) = rx.recv() {
+        if job.stamped {
+            if let Some((_, cached)) = recent.iter().find(|(rid, _)| *rid == job.rid) {
+                obs.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(cached.clone());
+                continue;
+            }
+        }
         session.set_request_id(job.rid);
-        let (result, quit) = match command::run_line(&mut session, &job.line) {
+        let (mut result, mut quit) = match command::run_line(&mut session, &job.line) {
             Ok(Response::Message(m)) => (Ok(m), false),
             Ok(Response::Quit) => (Ok("bye".to_string()), true),
             Err(e) => (Err(e), false),
         };
         session.set_request_id(0);
-        let _ = job.reply.send(JobReply { result, quit });
+        if obs.fsync {
+            // The reply is the durability acknowledgement: the journal
+            // events behind this command hit stable storage first.
+            // (The `journal.fsync` chaos site fires inside.)  A failed
+            // fsync becomes the reply — and is cached below like any
+            // other outcome, because the command *did* mutate in-memory
+            // state: a retry of the same rid must not re-execute it.
+            if let Err(e) = session.sync_journal() {
+                result = Err(format!("journal fsync failed: {e}"));
+                quit = false;
+            }
+        }
+        let out = JobReply { result, quit };
+        if job.stamped {
+            recent.push_back((job.rid, out.clone()));
+            while recent.len() > DEDUP_WINDOW {
+                recent.pop_front();
+            }
+        }
+        let _ = job.reply.send(out);
         if quit {
             break;
         }
     }
+    // Queue closed (detach / eviction / drain / quit): put the journal
+    // on stable storage before the slot is considered gone.
+    let _ = session.sync_journal();
 }
 
 /// Fresh session over the forked catalog — or, when its journal already
 /// exists on disk, the session recovered from it (saved programs, canvas
-/// positions, and private table edits all survive re-attach).
-fn build_session(fork: Catalog, journal: &Option<PathBuf>) -> Result<Session, String> {
+/// positions, and private table edits all survive re-attach).  The
+/// `bool` reports a torn final journal record (crash mid-append): the
+/// record is dropped — its op was never acknowledged durable — and
+/// recovery proceeds.
+fn build_session(fork: Catalog, journal: &Option<PathBuf>) -> Result<(Session, bool), String> {
     match journal {
-        None => Ok(Session::new(Environment::new(fork))),
+        None => Ok((Session::new(Environment::new(fork)), false)),
         Some(path) => {
             let existing = std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false);
-            let mut session = if existing {
+            let (session, torn, text) = if existing {
                 let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-                Session::recover(&text).map_err(|e| e.to_string())?
+                let (s, torn) = Session::recover_crashed(&text).map_err(|e| e.to_string())?;
+                (s, torn, text)
             } else {
-                Session::new(Environment::new(fork))
+                (Session::new(Environment::new(fork)), false, String::new())
             };
-            let path = path.to_str().ok_or_else(|| "journal path is not UTF-8".to_string())?;
-            session.attach_journal_file(path).map_err(|e| e.to_string())?;
+            let mut session = session;
+            let path_str = path.to_str().ok_or_else(|| "journal path is not UTF-8".to_string())?;
+            if torn {
+                // Cut the torn record off the file so the sink's
+                // subsequent appends follow a complete line.  Truncate
+                // in place with `set_len` — a full rewrite (O_TRUNC +
+                // write) would, if interrupted, corrupt records *before*
+                // the tail and turn a recoverable torn-tail crash into
+                // an unattachable session.  An interrupted `set_len`
+                // leaves either the old torn tail or the repaired file:
+                // both recover.
+                let keep = drop_last_line(&text).len() as u64;
+                let file = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| e.to_string())?;
+                file.set_len(keep).map_err(|e| e.to_string())?;
+                file.sync_all().map_err(|e| e.to_string())?;
+            }
+            session.attach_journal_file(path_str).map_err(|e| e.to_string())?;
             if session.events().last_snapshot_seq().is_none() {
                 // Fresh journal: snapshot immediately so the file is
                 // recoverable from the first byte.
                 session.snapshot_now().map_err(|e| e.to_string())?;
             }
-            Ok(session)
+            Ok((session, torn))
         }
+    }
+}
+
+/// Everything up to (and including) the newline that ends the second-to-
+/// last line — i.e. the text with its final (torn) record removed.
+fn drop_last_line(text: &str) -> &str {
+    let t = text.strip_suffix('\n').unwrap_or(text);
+    match t.rfind('\n') {
+        Some(i) => &t[..=i],
+        None => "",
     }
 }
 
@@ -585,6 +1087,27 @@ impl ServerHandle {
     pub fn start(base: Catalog, cfg: ServerConfig, addr: &str) -> io::Result<ServerHandle> {
         let scrape = cfg.metrics_addr.clone();
         let server = Server::new(base, cfg);
+        // Claim the journal dir and rebuild the pre-crash fleet before
+        // the listener opens: clients reattach to recovered sessions on
+        // the first frame.  A foreign live daemon on the same dir is
+        // the one fatal case.
+        let report = server.recover_fleet().map_err(io::Error::other)?;
+        if !report.recovered.is_empty() || !report.damaged.is_empty() {
+            eprintln!(
+                "tiogad: recovered {} session(s){} ({} shutdown){}",
+                report.recovered.len(),
+                if report.damaged.is_empty() {
+                    String::new()
+                } else {
+                    format!(", {} damaged", report.damaged.len())
+                },
+                if report.clean_shutdown { "clean" } else { "unclean" },
+                if report.damaged.is_empty() { "" } else { " — damaged journals refuse attach" },
+            );
+            for (sid, why) in &report.damaged {
+                eprintln!("tiogad: session '{sid}' journal damaged: {why}");
+            }
+        }
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -656,47 +1179,68 @@ impl Drop for ServerHandle {
 /// responder.  `GET /metrics` answers the Prometheus exposition; every
 /// other path is 404.  One request per connection (`Connection: close`)
 /// keeps it free of keep-alive state.
+///
+/// Each accepted scrape gets its own short-lived thread: a slow or
+/// stalled scraper must never serialize behind-it scrapes (the old
+/// serial accept loop let one slow-loris peer block the whole
+/// endpoint for its full read deadline).
 fn metrics_loop(listener: TcpListener, server: Arc<Server>) {
+    let mut scrapes: Vec<JoinHandle<()>> = Vec::new();
     while !server.is_shutdown() {
         match listener.accept() {
-            Ok((stream, _)) => serve_scrape(stream, &server),
+            Ok((stream, _)) => {
+                let srv = server.clone();
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("tiogad-scrape".into())
+                    .spawn(move || serve_scrape(stream, &srv))
+                {
+                    scrapes.push(h);
+                }
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(std::time::Duration::from_millis(2));
+                std::thread::sleep(Duration::from_millis(2));
             }
             Err(_) => break,
         }
+        scrapes.retain(|h| !h.is_finished());
+    }
+    for h in scrapes {
+        let _ = h.join();
     }
 }
 
 fn serve_scrape(mut stream: TcpStream, server: &Arc<Server>) {
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
-    // Read until the blank line ending the request head (or EOF); the
-    // request line is all we act on.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(1_000)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    // Accumulate split/partial reads until the *request line* is
+    // complete (first newline) — the head's blank-line terminator is
+    // not worth waiting for, the request line is all we act on.  A peer
+    // that stalls before finishing one line gets 408 and the socket
+    // back.
     let mut head = Vec::new();
     let mut buf = [0u8; 512];
-    loop {
-        match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => {
-                head.extend_from_slice(&buf[..n]);
-                if head.windows(4).any(|w| w == b"\r\n\r\n")
-                    || head.windows(2).any(|w| w == b"\n\n")
-                {
-                    break;
-                }
-                if head.len() > 8192 {
-                    break;
-                }
-            }
-            Err(_) => break,
+    let request_line = loop {
+        if let Some(nl) = head.iter().position(|&b| b == b'\n') {
+            break String::from_utf8_lossy(&head[..nl]).into_owned();
         }
-    }
-    let request_line = String::from_utf8_lossy(&head);
-    let request_line = request_line.lines().next().unwrap_or("");
+        if head.len() > 8192 {
+            break String::new(); // header flood: treat as malformed
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break String::from_utf8_lossy(&head).into_owned(),
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                break String::new()
+            }
+            Err(_) => break String::new(),
+        }
+    };
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
     let (status, body) = if method == "GET" && (path == "/metrics" || path == "/metrics/") {
         ("200 OK", server.metrics_text())
+    } else if request_line.is_empty() {
+        ("408 Request Timeout", "request line never arrived\n".to_string())
     } else {
         ("404 Not Found", "only GET /metrics is served here\n".to_string())
     };
@@ -710,6 +1254,7 @@ fn serve_scrape(mut stream: TcpStream, server: &Arc<Server>) {
 
 fn accept_loop(listener: TcpListener, server: Arc<Server>) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut last_reap = Instant::now();
     while !server.is_shutdown() {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -722,11 +1267,17 @@ fn accept_loop(listener: TcpListener, server: Arc<Server>) {
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(std::time::Duration::from_millis(2));
+                std::thread::sleep(Duration::from_millis(2));
             }
             Err(_) => break,
         }
         conns.retain(|h| !h.is_finished());
+        // Idle-session reaping rides the accept loop's heartbeat — no
+        // extra thread, ~4 checks/second when the server is quiet.
+        if last_reap.elapsed() >= Duration::from_millis(250) {
+            last_reap = Instant::now();
+            server.reap_idle();
+        }
     }
     for h in conns {
         let _ = h.join();
@@ -734,35 +1285,61 @@ fn accept_loop(listener: TcpListener, server: Arc<Server>) {
 }
 
 /// One connection: frames in, replies out.  The connection tracks which
-/// session it is attached to; command lines are admitted into that
-/// session's queue.
+/// session (and tenant) it is attached to; command lines are admitted
+/// into that session's queue.
+///
+/// Robustness decisions live here:
+/// * the socket carries read/write deadlines; a deadline at a frame
+///   boundary just polls the shutdown flag, mid-frame it tears the
+///   connection (a stalled or byte-dribbling peer cannot pin a thread);
+/// * command payloads may carry a client request-id stamp (`#<rid> `),
+///   which rides into the worker's duplicate suppression;
+/// * an evicted session is transparently reattached (journal-backed
+///   eviction means recovery is exact) before the command runs;
+/// * the `net.stall` / `net.torn_frame` / `net.disconnect` chaos sites
+///   fire on the reply path, coordinate = server-wide replies served.
 fn connection(stream: TcpStream, server: Arc<Server>) {
-    let mut reader = BufReader::new(match stream.try_clone() {
+    let timeout = Duration::from_millis(server.cfg.conn_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let mut reader = FrameReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let conn_id = server.register_conn(&stream);
     let mut writer = stream;
-    let mut attached: Option<String> = None;
-    // Err and clean EOF both mean the client went away.
-    while let Ok(Some(line)) = read_frame(&mut reader) {
+    let mut attached: Option<(String, String)> = None; // (sid, tenant)
+    loop {
+        let line = match reader.next_event() {
+            Ok(FrameEvent::Frame(line)) => line,
+            Ok(FrameEvent::Idle) => {
+                if server.is_shutdown() {
+                    break;
+                }
+                continue;
+            }
+            // Err (torn frame, protocol garbage) and clean EOF both end
+            // the connection; the client reconnects and reattaches.
+            Ok(FrameEvent::Eof) | Err(_) => break,
+        };
+        let (stamped_rid, line) = split_rid(&line);
         let mut parts = line.split_whitespace();
         let reply = match parts.next() {
             Some("attach") => {
                 // `-` as the session id means "pick one for me" (used
                 // when only the tenant is given).
                 let sid = parts.next().filter(|s| *s != "-");
-                let tenant = parts.next().unwrap_or("default");
-                match server.attach(sid, tenant) {
+                let tenant = parts.next().unwrap_or("default").to_string();
+                match server.attach(sid, &tenant) {
                     Ok(sid) => {
-                        attached = Some(sid.clone());
+                        attached = Some((sid.clone(), tenant));
                         Reply::Ok(format!("attached {sid}"))
                     }
                     Err(e) => Reply::Err(e),
                 }
             }
             Some("detach") => match attached.take() {
-                Some(sid) => match server.detach(&sid) {
+                Some((sid, _)) => match server.detach(&sid) {
                     Ok(()) => Reply::Ok(format!("detached {sid}")),
                     Err(e) => Reply::Err(e),
                 },
@@ -772,18 +1349,39 @@ fn connection(stream: TcpStream, server: Arc<Server>) {
             Some("metrics") => Reply::Ok(server.metrics_text()),
             Some("slowlog") => Reply::Ok(server.slowlog.render()),
             Some("shutdown") => {
+                let drain = parts.next() == Some("drain");
                 // Reply before shutdown(): it closes this socket too.
-                let _ = write_frame(&mut writer, &Reply::Bye("shutting down".into()).encode());
+                let bye = if drain { "draining, then shutting down" } else { "shutting down" };
+                let _ = write_frame(&mut writer, &Reply::Bye(bye.into()).encode());
+                if drain {
+                    server.drain();
+                }
                 server.shutdown();
                 break;
             }
             Some(_) => match &attached {
                 None => Reply::Err("not attached; 'attach [session [tenant]]' first".to_string()),
-                Some(sid) => {
-                    // Every command frame gets a request id; it travels
-                    // through the session worker into the demand trace,
-                    // the journal's demand event, and the slow log.
-                    match server.run_req(sid, &line, next_request_id()) {
+                Some((sid, tenant)) => {
+                    // Every command frame gets a request id — the
+                    // client's stamp when present (retries reuse it, so
+                    // the worker can suppress duplicates), else minted
+                    // here.  Either way it travels through the worker
+                    // into the demand trace, journal, and slow log —
+                    // but only client-stamped ids join the dedup
+                    // window (the two counters are separate namespaces).
+                    let (rid, stamped) = match stamped_rid {
+                        Some(r) => (r, true),
+                        None => (next_request_id(), false),
+                    };
+                    let mut out = server.run_req(sid, line, rid, stamped);
+                    if matches!(&out, Err(e) if e.starts_with("no session")) {
+                        // The idle reaper evicted this session between
+                        // commands; its journal makes reattach exact.
+                        if server.attach(Some(sid), tenant).is_ok() {
+                            out = server.run_req(sid, line, rid, stamped);
+                        }
+                    }
+                    match out {
                         Ok((body, true)) => {
                             attached = None;
                             Reply::Bye(body)
@@ -795,9 +1393,32 @@ fn connection(stream: TcpStream, server: Arc<Server>) {
             },
             None => Reply::Ok(String::new()),
         };
+        // Network chaos sites, in reply order: stall the writer, tear
+        // the reply frame, drop the connection after executing but
+        // before replying (the client's retry must then be exactly-once).
+        // The coordinate is the *server-wide* reply count: a coordinate
+        // fires once and is then past, so a retrying client always makes
+        // progress (a per-connection counter would re-trip the same
+        // fault on every reconnect — a livelock, not a test).
+        let coord = server.net_frames.fetch_add(1, Ordering::Relaxed);
+        if fault::trip_global("net.stall", coord).is_err() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        if fault::trip_global("net.torn_frame", coord).is_err() {
+            let encoded = reply.encode();
+            let mut framed = Vec::new();
+            let _ = write_frame(&mut framed, &encoded);
+            let cut = framed.len().saturating_sub(framed.len() / 2).max(1);
+            let _ = writer.write_all(&framed[..cut]);
+            break;
+        }
+        if fault::trip_global("net.disconnect", coord).is_err() {
+            break;
+        }
         if write_frame(&mut writer, &reply.encode()).is_err() {
             break;
         }
     }
+    let _ = writer.shutdown(Shutdown::Both);
     server.deregister_conn(conn_id);
 }

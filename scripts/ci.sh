@@ -29,6 +29,12 @@
 #       must never trip on healthy workloads
 #   example self_monitor            — the self-hosted sys.* pipeline
 #       headless; exits non-zero if the latency canvas renders empty
+#   fleet chaos leg                 — network-fault injection against a
+#       live tiogad (tests/fleet_chaos.rs): torn frames, dropped
+#       connections, stalled replies, and fsync faults, each followed by
+#       a kill + restart that must recover byte-identically with
+#       exactly-once retry semantics; run serial and with the parallel
+#       executor
 #   tiogad smoke leg                — start the multi-session daemon on
 #       an ephemeral port with fleet telemetry, a journal, and an armed
 #       slowlog; drive a scripted client session end-to-end over the
@@ -38,12 +44,19 @@
 #       session journal carries non-zero request IDs on its demand
 #       events, then stop the daemon with the shutdown verb and assert
 #       a clean exit
+#   kill-and-restart smoke leg      — start tiogad with a journal and
+#       fsync-on-commit, build a session over the wire, SIGKILL the
+#       daemon mid-flight, restart it on the same journal directory
+#       (the dead pid's lockfile must be reclaimed), and assert the
+#       recovered session replays byte-identical demand output; then
+#       SIGTERM the successor and assert it drains and exits 0
 #   figures + BENCH_figures.json    — regenerate every paper figure
 #       (includes the A8 crash/recover/diff of journal recovery, which
 #       arms its own fault plan and fails on any differing pixel, the
 #       A9 tiogad scaling ablation with its shared-snapshot memory
-#       proof, and the A11 fleet-telemetry overhead gate) and check the
-#       emitted JSON is non-empty and carries every A-section
+#       proof, the A11 fleet-telemetry overhead gate, and the A12
+#       fleet-recovery scaling + fsync-on-commit <5% overhead gate) and
+#       check the emitted JSON is non-empty and carries every A-section
 #       measurement key
 #
 # Run from the repository root:  ./scripts/ci.sh
@@ -59,6 +72,8 @@ cargo bench -p tioga2-bench --bench obs_overhead
 cargo test -q --test chaos
 TIOGA2_FAULTS='scan:0=err' cargo test -q --test chaos env_fault_plan
 cargo test -q --test kill_recover
+TIOGA2_THREADS=1 cargo test -q --test fleet_chaos
+TIOGA2_THREADS=4 cargo test -q --test fleet_chaos
 TIOGA2_THREADS=1 cargo test -q --test delta_equivalence
 TIOGA2_THREADS=4 cargo test -q --test delta_equivalence
 TIOGA2_BUDGET='rows=50000000,ms=600000' cargo test -q
@@ -106,6 +121,49 @@ echo shutdown | cargo run --release -q -p tioga2-server --bin tioga2-client -- -
 wait $TIOGAD_PID || { echo "ci: tiogad exited non-zero" >&2; exit 1; }
 grep -q "clean shutdown" /tmp/tiogad_ci_log || { echo "ci: tiogad did not shut down cleanly" >&2; cat /tmp/tiogad_ci_log >&2; exit 1; }
 
+# Kill-and-restart smoke: SIGKILL a journaled fsync-on-commit daemon
+# mid-flight, restart it on the same journal dir, and demand the
+# recovered session byte-for-byte; then drain the successor via SIGTERM.
+rm -f /tmp/tiogad_ci_kr_port
+rm -rf /tmp/tiogad_ci_kr_journal
+# The daemon is exec'd directly (not via `cargo run`, whose wrapper
+# process would absorb the SIGKILL and leave the real daemon running —
+# and holding the journal lock).
+./target/release/tiogad \
+    --addr 127.0.0.1:0 --port-file /tmp/tiogad_ci_kr_port \
+    --journal-dir /tmp/tiogad_ci_kr_journal --fsync \
+    --stations 60 --obs-per-station 4 > /tmp/tiogad_ci_kr_log 2>&1 &
+KR_PID=$!
+for _ in $(seq 1 100); do [ -s /tmp/tiogad_ci_kr_port ] && break; sleep 0.1; done
+[ -s /tmp/tiogad_ci_kr_port ] || { echo "ci: kill-restart tiogad never wrote its port file" >&2; cat /tmp/tiogad_ci_kr_log >&2; exit 1; }
+KR_PORT=$(cat /tmp/tiogad_ci_kr_port)
+printf "table Stations\nrestrict 0 state = 'LA'\nquit\n" \
+    | ./target/release/tioga2-client \
+        --addr "127.0.0.1:$KR_PORT" --session kr-smoke > /dev/null
+printf "show 1 3\nquit\n" \
+    | ./target/release/tioga2-client \
+        --addr "127.0.0.1:$KR_PORT" --session kr-smoke > /tmp/tiogad_ci_kr_before
+grep -q "tuples" /tmp/tiogad_ci_kr_before || { echo "ci: kill-restart session produced no demand output" >&2; kill $KR_PID; exit 1; }
+kill -9 $KR_PID
+wait $KR_PID 2>/dev/null || true   # reap: the lockfile's pid must be dead before restart
+./target/release/tiogad \
+    --addr "127.0.0.1:$KR_PORT" \
+    --journal-dir /tmp/tiogad_ci_kr_journal --fsync \
+    --stations 60 --obs-per-station 4 > /tmp/tiogad_ci_kr_log2 2>&1 &
+KR2_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening" /tmp/tiogad_ci_kr_log2 2>/dev/null && break; sleep 0.1
+done
+printf "show 1 3\nquit\n" \
+    | ./target/release/tioga2-client \
+        --addr "127.0.0.1:$KR_PORT" --session kr-smoke > /tmp/tiogad_ci_kr_after
+diff /tmp/tiogad_ci_kr_before /tmp/tiogad_ci_kr_after \
+    || { echo "ci: session 'kr-smoke' did not recover byte-identically after SIGKILL + restart" >&2; kill $KR2_PID; exit 1; }
+kill -TERM $KR2_PID
+wait $KR2_PID || { echo "ci: tiogad exited non-zero after SIGTERM drain" >&2; cat /tmp/tiogad_ci_kr_log2 >&2; exit 1; }
+grep -q "SIGTERM, draining" /tmp/tiogad_ci_kr_log2 || { echo "ci: tiogad never reported the SIGTERM drain" >&2; cat /tmp/tiogad_ci_kr_log2 >&2; exit 1; }
+grep -q "clean shutdown" /tmp/tiogad_ci_kr_log2 || { echo "ci: drained tiogad did not shut down cleanly" >&2; cat /tmp/tiogad_ci_kr_log2 >&2; exit 1; }
+
 cargo run --release -p tioga2-bench --bin figures
 test -s BENCH_figures.json || { echo "ci: BENCH_figures.json is missing or empty" >&2; exit 1; }
 for key in a5_plan_pushdown a6_parallel_scaling_t1 a6_parallel_scaling_t2 \
@@ -115,9 +173,12 @@ for key in a5_plan_pushdown a6_parallel_scaling_t1 a6_parallel_scaling_t2 \
            a10_edit_delta_1k a10_edit_invalidate_1k \
            a10_edit_delta_10k a10_edit_invalidate_10k \
            a10_edit_delta_100k a10_edit_invalidate_100k \
-           a11_telemetry_on a11_telemetry_off; do
+           a11_telemetry_on a11_telemetry_off \
+           a12_recovery_1sessions a12_recovery_4sessions \
+           a12_recovery_16sessions a12_recovery_64sessions \
+           a12_fsync_off a12_fsync_on; do
     grep -q "\"$key\"" BENCH_figures.json \
         || { echo "ci: BENCH_figures.json is missing '$key'" >&2; exit 1; }
 done
 
-echo "ci: fmt + build + tests (1 and 4 workers) + clippy + budgets + chaos + kill-recover + governed suite + self-monitor + tiogad smoke + figures all green"
+echo "ci: fmt + build + tests (1 and 4 workers) + clippy + budgets + chaos + kill-recover + fleet-chaos + governed suite + self-monitor + tiogad smoke + kill-restart smoke + figures all green"
